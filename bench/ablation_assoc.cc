@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: associativity (paper Sections 2.2c and 5.2).  Two claims:
+ * (a) raising associativity absorbs the large-page-index collisions
+ * (the eight small pages of a chunk competing for one set), and
+ * (b) the tomcatv large-page anomaly is a 2-way index artifact that
+ * disappears at higher associativities ("We do not see any such
+ * anomalies for higher associativities").
+ */
+
+#include "bench/bench_common.h"
+
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace tps;
+    const auto scale = bench::banner(
+        "Ablation (Sec 2.2c/5.2)", "associativity sweep, 32 entries");
+
+    const std::size_t way_options[] = {1, 2, 4, 8, 16};
+
+    auto run = [&](const std::string &workload_name,
+                   const core::PolicySpec &policy, IndexScheme scheme,
+                   std::size_t ways) {
+        auto workload =
+            workloads::findWorkload(workload_name).instantiate();
+        TlbConfig tlb;
+        tlb.organization = TlbOrganization::SetAssociative;
+        tlb.entries = 32;
+        tlb.ways = ways;
+        tlb.scheme = scheme;
+        core::RunOptions options;
+        options.maxRefs = scale.refs;
+        options.warmupRefs = scale.warmupRefs;
+        return core::runExperiment(*workload, policy, tlb, options)
+            .cpiTlb;
+    };
+
+    std::cout << "-- (a) two-size scheme, large-page index: "
+                 "associativity absorbs chunk-block collisions --\n";
+    {
+        stats::TextTable table({"Program", "1-way", "2-way", "4-way",
+                                "8-way", "16-way"});
+        for (const char *name : {"li", "worm", "xnews"}) {
+            std::vector<std::string> row = {name};
+            for (std::size_t ways : way_options) {
+                row.push_back(bench::cpi(run(
+                    name,
+                    core::PolicySpec::twoSizes(
+                        core::paperPolicy(scale)),
+                    IndexScheme::LargePage, ways)));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\n-- (b) tomcatv with 32KB single pages: the 2-way "
+                 "thrash anomaly vanishes with associativity --\n";
+    {
+        stats::TextTable table({"Pages", "1-way", "2-way", "4-way",
+                                "8-way", "16-way"});
+        for (unsigned size_log2 : {kLog2_4K, kLog2_32K}) {
+            std::vector<std::string> row = {
+                formatBytes(std::uint64_t{1} << size_log2)};
+            for (std::size_t ways : way_options) {
+                TlbConfig tlb;
+                tlb.organization = TlbOrganization::SetAssociative;
+                tlb.entries = 32;
+                tlb.ways = ways;
+                tlb.scheme = IndexScheme::Exact;
+                tlb.smallLog2 = size_log2;
+                tlb.largeLog2 = size_log2 + 3;
+                auto workload =
+                    workloads::findWorkload("tomcatv").instantiate();
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                row.push_back(bench::cpi(
+                    core::runExperiment(
+                        *workload,
+                        core::PolicySpec::single(size_log2), tlb,
+                        options)
+                        .cpiTlb));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: demotion.  The paper's Section 3.4 policy is silent on
+ * when (or whether) a promoted chunk reverts to small pages.  At the
+ * paper's T = 1e7 the question barely arises — sweep periods fit
+ * inside the window — but at scaled-down T a symmetric demote rule
+ * re-demotes every chunk on each pass and re-promotes it four blocks
+ * later, churning TLB shootdowns.  This bench measures that churn,
+ * justifying the library's no-demotion default (DESIGN.md) with data.
+ */
+
+#include "bench/bench_common.h"
+
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace tps;
+    const auto scale = bench::banner(
+        "Ablation (Sec 3.4)",
+        "demotion threshold: churn at scaled-down T");
+
+    // Two-way set-associative: the organization where re-promotion's
+    // small-page phases also collide with resident large pages in the
+    // index (the churn shows up as misses, not just shootdowns).
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::SetAssociative;
+    tlb.entries = 16;
+    tlb.ways = 2;
+    tlb.scheme = IndexScheme::Exact;
+
+    struct Variant
+    {
+        const char *label;
+        unsigned demoteThreshold; // 0 = never demote
+    };
+    const Variant variants[] = {{"never (default)", 0},
+                                {"hysteresis (<2)", 2},
+                                {"symmetric (<4)", 4}};
+
+    stats::TextTable table({"Demotion", "mean CPI_TLB", "promotions",
+                            "demotions", "invalidations"});
+    for (const Variant &variant : variants) {
+        double cpi_sum = 0.0;
+        std::uint64_t promotions = 0, demotions = 0, invalidations = 0;
+        for (const auto &info : workloads::suite()) {
+            auto workload = info.instantiate();
+            TwoSizeConfig policy = core::paperPolicy(scale);
+            policy.demoteThreshold = variant.demoteThreshold;
+            core::RunOptions options;
+            options.maxRefs = scale.refs;
+            options.warmupRefs = scale.warmupRefs;
+            const auto result = core::runExperiment(
+                *workload, core::PolicySpec::twoSizes(policy), tlb,
+                options);
+            cpi_sum += result.cpiTlb;
+            promotions += result.policy.promotions;
+            demotions += result.policy.demotions;
+            invalidations += result.tlb.invalidations;
+        }
+        table.addRow({variant.label, bench::cpi(cpi_sum / 12),
+                      withCommas(promotions), withCommas(demotions),
+                      withCommas(invalidations)});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: demotion roughly triples shootdown "
+                 "traffic for a small miss-count saving; CPI_TLB "
+                 "ignores per-remap OS work (promotionCycles = 0 "
+                 "here), so charging any realistic copy/zero/table "
+                 "cost favours the no-demotion default.  At paper "
+                 "scale (T = 1e7) the variants converge: whole passes "
+                 "stay in-window and demotion rarely fires\n";
+    return 0;
+}

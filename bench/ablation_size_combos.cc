@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: the page-size combinations the paper measured but cut for
+ * space ("We also have similar data for combinations of 4KB/16KB and
+ * 4KB/64KB", Section 3.2).  Reproduces the Figure 4.2/5.1-style
+ * summary for 4K/16K, 4K/32K and 4K/64K.
+ */
+
+#include "bench/bench_common.h"
+
+#include "workloads/registry.h"
+#include "wset/avg_working_set.h"
+#include "wset/two_size_working_set.h"
+
+int
+main()
+{
+    using namespace tps;
+    const auto scale = bench::banner(
+        "Ablation (Sec 3.2)", "4K/16K vs 4K/32K vs 4K/64K");
+
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = 16;
+
+    stats::TextTable table({"Combo", "mean CPI_TLB", "vs 4KB",
+                            "mean WS_norm", "large-ref%"});
+
+    // 4KB single-size baseline.
+    double base_cpi = 0.0;
+    for (const auto &info : workloads::suite()) {
+        auto workload = info.instantiate();
+        core::RunOptions options;
+        options.maxRefs = scale.refs;
+        options.warmupRefs = scale.warmupRefs;
+        base_cpi += core::runExperiment(
+                        *workload, core::PolicySpec::single(kLog2_4K),
+                        tlb, options)
+                        .cpiTlb;
+    }
+    table.addRow({"4KB only", bench::cpi(base_cpi / 12), "1.00x",
+                  "1.00", "0.0"});
+
+    for (unsigned large_log2 : {kLog2_16K, kLog2_32K, kLog2_64K}) {
+        double cpi_sum = 0.0, ws_sum = 0.0, large_sum = 0.0;
+        for (const auto &info : workloads::suite()) {
+            auto workload = info.instantiate();
+
+            TwoSizeConfig policy = core::paperPolicy(scale);
+            policy.largeLog2 = large_log2;
+
+            TlbConfig combo_tlb = tlb;
+            combo_tlb.largeLog2 = large_log2;
+
+            core::RunOptions options;
+            options.maxRefs = scale.refs;
+            options.warmupRefs = scale.warmupRefs;
+            const auto result = core::runExperiment(
+                *workload, core::PolicySpec::twoSizes(policy),
+                combo_tlb, options);
+            cpi_sum += result.cpiTlb;
+            large_sum += result.policy.largeFraction();
+
+            workload->reset();
+            TwoSizeWorkingSet two_ws(policy);
+            AvgWorkingSet base_ws({kLog2_4K}, {scale.window});
+            MemRef ref;
+            for (std::uint64_t n = 0;
+                 n < scale.refs / 2 && workload->next(ref); ++n) {
+                two_ws.observe(ref.vaddr);
+                base_ws.observe(ref.vaddr);
+            }
+            base_ws.finish();
+            if (base_ws.averageBytes(0, 0) > 0)
+                ws_sum += two_ws.averageBytes() /
+                          base_ws.averageBytes(0, 0);
+        }
+        const double n = 12.0;
+        const double cpi = cpi_sum / n;
+        table.addRow({std::string("4KB/") +
+                          formatBytes(std::uint64_t{1} << large_log2),
+                      bench::cpi(cpi),
+                      formatFixed(cpi > 0 ? base_cpi / 12 / cpi : 0.0,
+                                  2) +
+                          "x",
+                      bench::ratio(ws_sum / n),
+                      formatFixed(large_sum / n * 100.0, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected shape: bigger large pages map more per "
+                 "entry (better CPI) but cost more working set; "
+                 "4K/32K is the paper's sweet spot\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared boilerplate for the bench executables: every bench prints a
+ * banner with its experiment id, the scale in use, and a paper-style
+ * ASCII table on stdout.
+ */
+
+#ifndef TPS_BENCH_BENCH_COMMON_H_
+#define TPS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/figures.h"
+#include "stats/csv.h"
+#include "stats/table.h"
+#include "util/format.h"
+
+namespace tps::bench
+{
+
+/** Print the standard banner and return the active scale. */
+inline core::StudyScale
+banner(const char *experiment, const char *what)
+{
+    const core::StudyScale scale = core::defaultScale();
+    std::cout << "== " << experiment << ": " << what << " ==\n"
+              << "   refs/workload = " << withCommas(scale.refs)
+              << ", window T = " << withCommas(scale.window)
+              << " refs (override: TPS_REFS / TPS_WINDOW)\n"
+              << "   paper scale: refs 1e8..4e9, T = 1e7; shapes, not "
+                 "absolute values, are the reproduction target\n\n";
+    return scale;
+}
+
+/** Format a CPI value the way the paper's tables do (3 decimals). */
+inline std::string
+cpi(double v)
+{
+    return formatFixed(v, 3);
+}
+
+/** Format a normalized working-set ratio (2 decimals). */
+inline std::string
+ratio(double v)
+{
+    return formatFixed(v, 2);
+}
+
+/**
+ * When TPS_CSV_DIR is set, also dump the table as
+ * "$TPS_CSV_DIR/<experiment>.csv" for replotting (the paper's figures
+ * are plots; the printed tables are their data).
+ */
+inline void
+maybeWriteCsv(const std::string &experiment,
+              const std::vector<std::string> &headers,
+              const std::vector<std::vector<std::string>> &rows)
+{
+    const char *dir = std::getenv("TPS_CSV_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return;
+    const std::string path = std::string(dir) + "/" + experiment +
+                             ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warn: cannot write " << path << "\n";
+        return;
+    }
+    stats::CsvWriter csv(out, headers);
+    for (const auto &row : rows)
+        csv.writeRow(row);
+    std::cerr << "info: wrote " << path << "\n";
+}
+
+} // namespace tps::bench
+
+#endif // TPS_BENCH_BENCH_COMMON_H_

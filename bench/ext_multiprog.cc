@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension (paper future work, Sections 3.1/6): multiprogramming.
+ * The paper's traces were uniprogrammed and it repeatedly flags the
+ * absence of multiprogrammed behaviour as the main threat to its
+ * conclusions.  This bench interleaves four workloads in fixed
+ * context-switch quanta through one shared (ASID-tagged, flush-free)
+ * TLB and asks whether the two-page-size advantage survives the
+ * extra capacity pressure — and how it depends on quantum length.
+ */
+
+#include "bench/bench_common.h"
+
+#include "trace/transforms.h"
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace tps;
+    const auto scale = bench::banner(
+        "Extension", "multiprogrammed workloads sharing one TLB");
+
+    const char *mix[] = {"espresso", "xnews", "matrix300", "li"};
+
+    stats::TextTable table({"Quantum", "TLB", "CPI 4KB", "CPI 4K/32K",
+                            "two-size wins?"});
+    for (std::uint64_t quantum : {5'000ull, 20'000ull, 100'000ull}) {
+        for (std::size_t entries : {std::size_t{32}, std::size_t{64}}) {
+            auto run = [&](const core::PolicySpec &policy) {
+                std::vector<std::unique_ptr<
+                    workloads::SyntheticWorkload>> sources;
+                std::vector<TraceSource *> raw;
+                for (const char *name : mix) {
+                    sources.push_back(
+                        workloads::findWorkload(name).instantiate());
+                    raw.push_back(sources.back().get());
+                }
+                InterleaveSource merged(raw, quantum);
+
+                TlbConfig tlb;
+                tlb.organization =
+                    TlbOrganization::FullyAssociative;
+                tlb.entries = entries;
+
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                return core::runExperiment(merged, policy, tlb,
+                                           options);
+            };
+
+            const auto base =
+                run(core::PolicySpec::single(kLog2_4K));
+            const auto two = run(core::PolicySpec::twoSizes(
+                core::paperPolicy(scale)));
+            table.addRow({withCommas(quantum),
+                          std::to_string(entries) + "-entry FA",
+                          bench::cpi(base.cpiTlb),
+                          bench::cpi(two.cpiTlb),
+                          two.cpiTlb < base.cpiTlb ? "yes" : "no"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nshorter quanta = more context switches = each "
+                 "process finds less of its state resident; large "
+                 "pages let the shared TLB re-cover working sets "
+                 "faster after a switch\n";
+    return 0;
+}

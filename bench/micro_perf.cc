@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark micro-suite for the simulator itself: TLB lookup
+ * throughput per organization, policy classification cost, stack
+ * simulation cost, and trace generation speed.  These are the numbers
+ * that determine how far above the default TPS_REFS scale the harness
+ * can be pushed (the paper burned 5.5 CPU-months; this reports what a
+ * modern replication costs per million references).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "stacksim/all_assoc.h"
+#include "stacksim/lru_stack.h"
+#include "tlb/factory.h"
+#include "trace/vector_trace.h"
+#include "vm/two_size_policy.h"
+#include "workloads/registry.h"
+#include "wset/avg_working_set.h"
+
+namespace
+{
+
+using namespace tps;
+
+/** Shared captured trace so generation cost is excluded. */
+const VectorTrace &
+capturedTrace()
+{
+    static const VectorTrace trace = [] {
+        auto workload = workloads::findWorkload("doduc").instantiate();
+        return materialize(*workload, 200'000);
+    }();
+    return trace;
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const auto &info = workloads::suite()[static_cast<std::size_t>(
+        state.range(0))];
+    auto workload = info.instantiate();
+    MemRef ref;
+    for (auto _ : state) {
+        workload->next(ref);
+        benchmark::DoNotOptimize(ref.vaddr);
+    }
+    state.SetLabel(info.name);
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(0)->Arg(7)->Arg(9);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    TlbConfig config;
+    switch (state.range(0)) {
+      case 0:
+        config.organization = TlbOrganization::FullyAssociative;
+        config.entries = 16;
+        break;
+      case 1:
+        config.organization = TlbOrganization::FullyAssociative;
+        config.entries = 64;
+        break;
+      case 2:
+        config.organization = TlbOrganization::SetAssociative;
+        config.entries = 32;
+        config.ways = 2;
+        break;
+      default:
+        config.organization = TlbOrganization::Split;
+        config.entries = 32;
+        config.splitLargeEntries = 8;
+        break;
+    }
+    auto tlb = makeTlb(config);
+    const auto &refs = capturedTrace().refs();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const MemRef &ref = refs[i];
+        benchmark::DoNotOptimize(
+            tlb->access(pageOf(ref.vaddr, kLog2_4K), ref.vaddr));
+        i = (i + 1) % refs.size();
+    }
+    state.SetLabel(config.describe());
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_TlbAccess)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_TwoSizePolicyClassify(benchmark::State &state)
+{
+    TwoSizeConfig config;
+    config.window = 100'000;
+    TwoSizePolicy policy(config);
+    const auto &refs = capturedTrace().refs();
+    std::size_t i = 0;
+    RefTime now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            policy.classify(refs[i].vaddr, ++now));
+        i = (i + 1) % refs.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_TwoSizePolicyClassify);
+
+void
+BM_LruStackObserve(benchmark::State &state)
+{
+    LruStackSim sim(static_cast<std::size_t>(state.range(0)));
+    const auto &refs = capturedTrace().refs();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        sim.observe(refs[i].vaddr >> kLog2_4K);
+        i = (i + 1) % refs.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_LruStackObserve)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_AllAssocObserve(benchmark::State &state)
+{
+    // The "84 configs at ~2x the cost of one" tycho tradeoff.
+    AllAssocSim sim(static_cast<unsigned>(state.range(0)), 8);
+    const auto &refs = capturedTrace().refs();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        sim.observe(refs[i].vaddr >> kLog2_4K);
+        i = (i + 1) % refs.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_AllAssocObserve)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_AvgWorkingSetObserve(benchmark::State &state)
+{
+    AvgWorkingSet wset({kLog2_4K, kLog2_8K, kLog2_16K, kLog2_32K},
+                       {100'000});
+    const auto &refs = capturedTrace().refs();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        wset.observe(refs[i].vaddr);
+        i = (i + 1) % refs.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_AvgWorkingSetObserve);
+
+} // namespace
+
+BENCHMARK_MAIN();

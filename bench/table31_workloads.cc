@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Regenerates Table 3.1: the workload roster with trace length,
+ * references per instruction, footprint, and average working-set size
+ * at 4KB pages.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace tps;
+    const auto scale =
+        bench::banner("Table 3.1", "workload characteristics");
+
+    stats::TextTable table({"Program", "Description", "Refs",
+                            "Instrs", "RPI", "Footprint", "WS(4KB,T)"});
+    for (const auto &row : core::runWorkloadTable(scale)) {
+        table.addRow({row.name, row.description, withCommas(row.refs),
+                      withCommas(row.instructions),
+                      formatFixed(row.rpi, 2),
+                      formatBytes(row.footprintBytes),
+                      formatBytes(static_cast<std::uint64_t>(
+                          row.avgWs4kBytes))});
+    }
+    table.print(std::cout);
+    return 0;
+}

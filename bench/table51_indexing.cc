@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Table 5.1: CPI_TLB comparison of set-associative
+ * indexing schemes for 16- and 32-entry two-way TLBs —
+ *   (1) 4KB pages, normal (exact/small) index,
+ *   (2) 4KB pages on large-page-index hardware (the "OS never
+ *       allocates large pages" hazard case),
+ *   (3) 4KB/32KB two-size scheme, large-page index,
+ *   (4) 4KB/32KB two-size scheme, exact index.
+ *
+ * Paper shape: column (2) is consistently much worse than (1) —
+ * hardware for two page sizes *without* OS support loses; (4) is
+ * usually at least as good as (3) but often comparable.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace tps;
+    const auto scale = bench::banner(
+        "Table 5.1", "CPI_TLB by set-associative indexing scheme");
+
+    for (const std::size_t entries : {std::size_t{16}, std::size_t{32}}) {
+        const auto rows = core::runIndexingStudy(scale, entries, 2);
+
+        std::cout << "-- " << entries << "-entry, two-way --\n";
+        stats::TextTable table({"Program", "4KB", "4KB lg-idx",
+                                "4K/32K lg-idx", "4K/32K exact"});
+        std::vector<std::vector<std::string>> csv_rows;
+        for (const auto &row : rows) {
+            table.addRow({row.name, bench::cpi(row.cpi4k),
+                          bench::cpi(row.cpi4kLargeIndex),
+                          bench::cpi(row.cpiTwoLargeIndex),
+                          bench::cpi(row.cpiTwoExactIndex)});
+            csv_rows.push_back(
+                {row.name, formatFixed(row.cpi4k, 6),
+                 formatFixed(row.cpi4kLargeIndex, 6),
+                 formatFixed(row.cpiTwoLargeIndex, 6),
+                 formatFixed(row.cpiTwoExactIndex, 6)});
+        }
+        bench::maybeWriteCsv("table51_" + std::to_string(entries) +
+                                 "entry",
+                             {"program", "cpi_4k", "cpi_4k_large_idx",
+                              "cpi_two_large_idx", "cpi_two_exact"},
+                             csv_rows);
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

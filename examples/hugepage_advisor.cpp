@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Huge-page advisor: runs the Section 3.4 assignment policy over a
+ * workload's reference stream and reports which 32KB regions of the
+ * address space deserve large pages — the ancestor of what
+ * `madvise(MADV_HUGEPAGE)` tooling or Linux khugepaged decides today.
+ *
+ * Usage: hugepage_advisor [workload] [window]
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "stats/table.h"
+#include "util/format.h"
+#include "vm/two_size_policy.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tps;
+
+    const std::string name = argc > 1 ? argv[1] : "li";
+    const RefTime window =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
+
+    auto workload = workloads::findWorkload(name).instantiate();
+
+    TwoSizeConfig config;
+    config.window = window;
+    TwoSizePolicy policy(config);
+
+    // Track per-chunk reference counts to rank the recommendations.
+    std::map<Addr, std::uint64_t> chunk_refs;
+    std::map<Addr, std::uint64_t> chunk_large_refs;
+
+    MemRef ref;
+    RefTime now = 0;
+    while (now < 2'000'000 && workload->next(ref)) {
+        ++now;
+        const PageId page = policy.classify(ref.vaddr, now);
+        const Addr chunk = ref.vaddr >> config.largeLog2;
+        ++chunk_refs[chunk];
+        if (page.sizeLog2 == config.largeLog2)
+            ++chunk_large_refs[chunk];
+    }
+
+    std::cout << "huge-page advice for '" << name << "' (window "
+              << withCommas(window) << " refs, "
+              << withCommas(now) << " refs analyzed)\n"
+              << "policy: promote a 32KB chunk when >= "
+              << config.resolvedPromote()
+              << " of its 8 blocks are touched within the window\n\n";
+
+    struct Advice
+    {
+        Addr chunk;
+        std::uint64_t refs;
+        double largeShare;
+        bool promoted;
+    };
+    std::vector<Advice> advice;
+    for (const auto &[chunk, refs] : chunk_refs) {
+        const double share =
+            static_cast<double>(chunk_large_refs[chunk]) /
+            static_cast<double>(refs);
+        advice.push_back(Advice{
+            chunk, refs, share,
+            policy.isLargeMapped(chunk << config.largeLog2)});
+    }
+    std::sort(advice.begin(), advice.end(),
+              [](const Advice &a, const Advice &b) {
+                  return a.refs > b.refs;
+              });
+
+    stats::TextTable table(
+        {"Region", "Refs", "Large-mapped refs", "Advice"});
+    std::size_t shown = 0;
+    std::uint64_t promoted_chunks = 0;
+    for (const auto &entry : advice)
+        promoted_chunks += entry.promoted ? 1 : 0;
+    for (const auto &entry : advice) {
+        if (shown++ >= 16)
+            break;
+        char region[64];
+        std::snprintf(region, sizeof(region), "0x%09llx",
+                      static_cast<unsigned long long>(
+                          entry.chunk << config.largeLog2));
+        table.addRow({region, withCommas(entry.refs),
+                      formatFixed(entry.largeShare * 100.0, 1) + "%",
+                      entry.promoted ? "use a 32KB page"
+                                     : "keep 4KB pages"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n" << promoted_chunks << " of " << advice.size()
+              << " touched 32KB regions end mapped large ("
+              << formatBytes(promoted_chunks << config.largeLog2)
+              << " of huge-page-backed memory); "
+              << policy.stats().promotions << " promotions total\n";
+    return 0;
+}

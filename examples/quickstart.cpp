@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: simulate one workload against a single-page-size TLB
+ * and the paper's two-page-size scheme, and print the comparison.
+ *
+ * Usage: quickstart [workload]     (default: matrix300)
+ */
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "util/format.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tps;
+
+    const std::string name = argc > 1 ? argv[1] : "matrix300";
+    auto workload = workloads::findWorkload(name).instantiate();
+
+    // A 16-entry fully associative TLB, like the paper's Figure 5.1.
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = 16;
+
+    core::RunOptions options;
+    options.maxRefs = 1'000'000;
+    options.warmupRefs = 250'000;
+    options.wsWindow = 100'000;
+
+    std::cout << "workload: " << name << "\n\n";
+
+    // Baseline: single 4KB pages.
+    const auto base = core::runExperiment(
+        *workload, core::PolicySpec::single(kLog2_4K), tlb, options);
+    std::cout << "4KB pages on " << base.tlbName << ":\n"
+              << "  misses " << withCommas(base.tlb.misses) << " / "
+              << withCommas(base.refs) << " refs"
+              << "  (miss ratio " << formatFixed(base.missRatio * 100, 3)
+              << "%)\n"
+              << "  CPI_TLB " << formatFixed(base.cpiTlb, 3)
+              << "   avg working set "
+              << formatBytes(static_cast<std::uint64_t>(base.avgWsBytes))
+              << "\n\n";
+
+    // The paper's dynamic 4KB/32KB scheme (Section 3.4 policy).
+    TwoSizeConfig policy;
+    policy.window = 100'000;
+    const auto two = core::runExperiment(
+        *workload, core::PolicySpec::twoSizes(policy), tlb, options);
+    std::cout << "4KB/32KB two-page-size scheme:\n"
+              << "  misses " << withCommas(two.tlb.misses)
+              << "  CPI_TLB " << formatFixed(two.cpiTlb, 3)
+              << "  (miss penalty x1.25 included)\n"
+              << "  " << formatFixed(two.policy.largeFraction() * 100, 1)
+              << "% of references mapped by large pages, "
+              << two.policy.promotions
+              << " promotions after warmup\n"
+              << "  avg working set "
+              << formatBytes(static_cast<std::uint64_t>(two.avgWsBytes))
+              << "\n\n";
+
+    const double speedup =
+        two.cpiTlb > 0 ? base.cpiTlb / two.cpiTlb : 0.0;
+    std::cout << "CPI_TLB ratio (4KB / two-size): "
+              << formatFixed(speedup, 2) << "x\n";
+    return 0;
+}

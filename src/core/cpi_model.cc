@@ -1,0 +1,16 @@
+#include "core/cpi_model.h"
+
+#include <limits>
+
+namespace tps::core
+{
+
+double
+criticalMissPenaltyIncrease(double mpi_4k, double mpi_ps)
+{
+    if (mpi_ps <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return (mpi_4k / mpi_ps - 1.0) * 100.0;
+}
+
+} // namespace tps::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's CPI accounting (Section 3.2).
+ *
+ *   CPI_TLB = (TLB misses per instruction) x (TLB miss penalty)
+ *
+ * with a 20-cycle penalty for single-page-size handlers and a 25%
+ * higher penalty when the handler must support two page sizes
+ * (Section 2.3).  Extensions beyond the paper's constants — an extra
+ * reprobe charge for the sequential exact-index probe strategy and an
+ * explicit per-promotion cost — default to the paper's assumptions
+ * (zero / folded into the 25%).
+ */
+
+#ifndef TPS_CORE_CPI_MODEL_H_
+#define TPS_CORE_CPI_MODEL_H_
+
+#include "tlb/factory.h"
+#include "tlb/tlb.h"
+#include "util/types.h"
+#include "vm/policy.h"
+
+namespace tps::core
+{
+
+/** Cycle cost model for TLB miss handling. */
+struct CpiModel
+{
+    /** Software miss handler, one page size (paper: 20 cycles). */
+    double basePenalty = 20.0;
+
+    /** Multiplier when the handler supports two sizes (paper: 1.25). */
+    double twoSizeFactor = 1.25;
+
+    /**
+     * Extra cycles per second probe under the Sequential exact-index
+     * strategy (charged to every miss and every large-page hit, which
+     * are the accesses that reprobe).  The paper discusses but does
+     * not cost this (Section 2.2 option b); default 0 models the
+     * Parallel strategy.
+     */
+    double reprobeCycles = 0.0;
+
+    /**
+     * Cycles charged per page promotion/demotion (copying, zeroing,
+     * table updates).  The paper folds this into the 25% penalty
+     * (Section 3.4); nonzero values are used by the ablation bench.
+     */
+    double promotionCycles = 0.0;
+
+    /** Miss penalty in cycles for the given handler flavour. */
+    double
+    missPenalty(bool two_sizes) const
+    {
+        return two_sizes ? basePenalty * twoSizeFactor : basePenalty;
+    }
+
+    /**
+     * CPI contribution of TLB handling.
+     *
+     * @param tlb        end-of-run TLB counters
+     * @param policy     end-of-run policy counters
+     * @param instructions retired instruction count
+     * @param two_sizes  whether the handler supports two page sizes
+     * @param probe      probe strategy (Sequential adds reprobe cost)
+     */
+    double
+    cpiTlb(const TlbStats &tlb, const PolicyStats &policy,
+           std::uint64_t instructions, bool two_sizes,
+           ProbeStrategy probe = ProbeStrategy::Parallel) const
+    {
+        if (instructions == 0)
+            return 0.0;
+        const double instrs = static_cast<double>(instructions);
+        double cycles = static_cast<double>(tlb.misses) *
+                        missPenalty(two_sizes);
+        if (two_sizes && probe == ProbeStrategy::Sequential) {
+            cycles += reprobeCycles *
+                      static_cast<double>(tlb.misses + tlb.hitsLarge);
+        }
+        cycles += promotionCycles *
+                  static_cast<double>(policy.promotions +
+                                      policy.demotions);
+        return cycles / instrs;
+    }
+};
+
+/**
+ * Critical miss-penalty increase (paper Section 3.2): the relative
+ * miss-penalty headroom of scheme `ps` over the 4KB baseline,
+ *     delta_mp = (MPI(4KB) / MPI(ps) - 1) x 100%.
+ * Positive values mean the two-size handler could be that much slower
+ * per miss and still break even with 4KB pages.
+ * Returns +infinity when mpi_ps is zero.
+ */
+double criticalMissPenaltyIncrease(double mpi_4k, double mpi_ps);
+
+} // namespace tps::core
+
+#endif // TPS_CORE_CPI_MODEL_H_

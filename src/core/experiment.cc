@@ -1,0 +1,193 @@
+#include "core/experiment.h"
+
+#include "util/logging.h"
+#include "vm/page_table.h"
+#include "wset/windowed_working_set.h"
+
+namespace tps::core
+{
+
+PolicySpec
+PolicySpec::single(unsigned size_log2)
+{
+    PolicySpec spec;
+    spec.kind = Kind::Single;
+    spec.singleLog2 = size_log2;
+    return spec;
+}
+
+PolicySpec
+PolicySpec::twoSizes(const TwoSizeConfig &config)
+{
+    PolicySpec spec;
+    spec.kind = Kind::TwoSize;
+    spec.twoSize = config;
+    return spec;
+}
+
+std::unique_ptr<PageSizePolicy>
+PolicySpec::instantiate() const
+{
+    switch (kind) {
+      case Kind::Single:
+        return std::make_unique<SingleSizePolicy>(singleLog2);
+      case Kind::TwoSize:
+        return std::make_unique<TwoSizePolicy>(twoSize);
+    }
+    tps_panic("unreachable policy kind");
+}
+
+namespace
+{
+
+/**
+ * Fans invalidation events out to the TLB and, optionally, mirrors
+ * chunk remaps into the modeled page tables.
+ */
+class SinkTee : public InvalidationSink
+{
+  public:
+    SinkTee(Tlb &tlb, AddressSpace *address_space)
+        : tlb_(tlb), address_space_(address_space)
+    {
+    }
+
+    void
+    invalidatePage(const PageId &page) override
+    {
+        tlb_.invalidatePage(page);
+    }
+
+    void
+    onChunkRemap(Addr chunk_number, bool to_large) override
+    {
+        if (address_space_ != nullptr)
+            address_space_->remapChunk(chunk_number, to_large);
+    }
+
+  private:
+    Tlb &tlb_;
+    AddressSpace *address_space_;
+};
+
+} // namespace
+
+ExperimentResult
+runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
+              const RunOptions &options, ProbeStrategy probe)
+{
+    trace.reset();
+    policy.reset();
+    tlb.reset();
+
+    const bool two_sizes = policy.isMultiSize();
+
+    std::optional<WindowedWorkingSet> wset;
+    if (options.wsWindow != 0)
+        wset.emplace(options.wsWindow);
+
+    std::optional<AddressSpace> address_space;
+    if (options.modelPageTables) {
+        // Small/large exponents: take them from the policy when it is
+        // multi-size; a single-size policy walks only the "small"
+        // table, so pair it with an unused larger size.
+        if (const auto *policy2 =
+                dynamic_cast<const TwoSizePolicy *>(&policy)) {
+            address_space.emplace(policy2->config().smallLog2,
+                                  policy2->config().largeLog2);
+        } else if (const auto *policy1 =
+                       dynamic_cast<const SingleSizePolicy *>(
+                           &policy)) {
+            address_space.emplace(policy1->sizeLog2(),
+                                  policy1->sizeLog2() + 3);
+        } else {
+            tps_fatal("page-table modeling supports single- and "
+                      "two-size policies only (got ", policy.name(),
+                      ")");
+        }
+    }
+
+    SinkTee sink(tlb, address_space ? &*address_space : nullptr);
+    policy.setInvalidationSink(&sink);
+
+    ExperimentResult result;
+    result.workload = trace.name();
+    result.tlbName = tlb.name();
+    result.policyName = policy.name();
+
+    if (options.warmupRefs != 0 && options.maxRefs != 0 &&
+        options.warmupRefs >= options.maxRefs) {
+        tps_fatal("warmupRefs (", options.warmupRefs,
+                  ") must be below maxRefs (", options.maxRefs, ")");
+    }
+
+    MemRef ref;
+    RefTime now = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t measured_refs = 0;
+    while ((options.maxRefs == 0 || now < options.maxRefs) &&
+           trace.next(ref)) {
+        ++now;
+        if (now == options.warmupRefs + 1 && options.warmupRefs != 0) {
+            // Warmup ends: zero the counters, keep the state.
+            tlb.resetStats();
+            policy.resetStats();
+            instructions = 0;
+        }
+        if (now > options.warmupRefs)
+            ++measured_refs;
+        if (ref.type == RefType::Ifetch)
+            ++instructions;
+        const PageId page = policy.classify(ref.vaddr, now);
+        const bool hit = tlb.access(page, ref.vaddr);
+        if (!hit && address_space) {
+            if (two_sizes)
+                address_space->handleMiss(page, ProbeOrder::SmallFirst);
+            else
+                address_space->handleMissSingleSize(page);
+        }
+        if (wset)
+            wset->observe(page);
+    }
+    policy.setInvalidationSink(nullptr);
+
+    result.refs = measured_refs;
+    result.instructions = instructions;
+    result.tlb = tlb.stats();
+    result.policy = policy.stats();
+    result.cpiTlb = options.cpi.cpiTlb(result.tlb, result.policy,
+                                       instructions, two_sizes, probe);
+    result.mpi = instructions == 0
+                     ? 0.0
+                     : static_cast<double>(result.tlb.misses) /
+                           static_cast<double>(instructions);
+    result.missRatio = result.tlb.missRatio();
+    result.rpi = instructions == 0
+                     ? 0.0
+                     : static_cast<double>(measured_refs) /
+                           static_cast<double>(instructions);
+    if (wset)
+        result.avgWsBytes = wset->averageBytes();
+    if (address_space) {
+        result.measuredMissCycles = address_space->averageMissCycles();
+        result.cpiTlbMeasured =
+            instructions == 0
+                ? 0.0
+                : static_cast<double>(result.tlb.misses) *
+                      result.measuredMissCycles /
+                      static_cast<double>(instructions);
+    }
+    return result;
+}
+
+ExperimentResult
+runExperiment(TraceSource &trace, const PolicySpec &policy_spec,
+              const TlbConfig &tlb_config, const RunOptions &options)
+{
+    auto policy = policy_spec.instantiate();
+    auto tlb = makeTlb(tlb_config);
+    return runExperiment(trace, *policy, *tlb, options,
+                         tlb_config.probe);
+}
+
+} // namespace tps::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The experiment driver: trace -> page-size policy -> TLB (+ optional
+ * working-set tracking and page-table modeling) in a single pass,
+ * producing every metric the paper reports.
+ */
+
+#ifndef TPS_CORE_EXPERIMENT_H_
+#define TPS_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/cpi_model.h"
+#include "tlb/factory.h"
+#include "trace/trace_source.h"
+#include "vm/policy.h"
+#include "vm/two_size_policy.h"
+
+namespace tps::core
+{
+
+/** Which page-size assignment to simulate. */
+struct PolicySpec
+{
+    enum class Kind
+    {
+        Single,
+        TwoSize,
+    };
+
+    Kind kind = Kind::Single;
+    unsigned singleLog2 = kLog2_4K; ///< Kind::Single
+    TwoSizeConfig twoSize;          ///< Kind::TwoSize
+
+    /** Convenience constructors. */
+    static PolicySpec single(unsigned size_log2);
+    static PolicySpec twoSizes(const TwoSizeConfig &config);
+
+    std::unique_ptr<PageSizePolicy> instantiate() const;
+};
+
+/** Run controls independent of TLB/policy structure. */
+struct RunOptions
+{
+    /** Stop after this many references (0 = drain the source). */
+    std::uint64_t maxRefs = 2'000'000;
+
+    /**
+     * References replayed before measurement starts: TLB contents and
+     * policy state warm up, but statistics are zeroed at this point.
+     * The paper's 1e8..4e9-reference traces amortize cold-start and
+     * first-pass promotion transients that would dominate our scaled
+     * traces; a warmup of ~1/4 of the trace is the scaled equivalent.
+     * Must be < maxRefs (or 0 to measure everything).
+     */
+    std::uint64_t warmupRefs = 0;
+
+    CpiModel cpi;
+
+    /**
+     * Track the average working set of the classified page stream
+     * with this window (0 = do not track).
+     */
+    RefTime wsWindow = 0;
+
+    /**
+     * Model the OS page tables and software walker, measuring an
+     * empirical miss penalty alongside the constant-model CPI.
+     */
+    bool modelPageTables = false;
+};
+
+/** Everything measured in one run. */
+struct ExperimentResult
+{
+    std::string workload;
+    std::string tlbName;
+    std::string policyName;
+
+    std::uint64_t refs = 0;
+    std::uint64_t instructions = 0;
+
+    TlbStats tlb;
+    PolicyStats policy;
+
+    double cpiTlb = 0.0;    ///< constant-penalty model (the paper's)
+    double mpi = 0.0;       ///< TLB misses per instruction
+    double missRatio = 0.0; ///< misses per reference
+    double rpi = 0.0;       ///< references per instruction
+
+    /** Average working set in bytes (0 unless wsWindow was set). */
+    double avgWsBytes = 0.0;
+
+    /** Measured mean handler cycles (0 unless modelPageTables). */
+    double measuredMissCycles = 0.0;
+    /** CPI_TLB recomputed with the measured penalty. */
+    double cpiTlbMeasured = 0.0;
+};
+
+/**
+ * Run one experiment: replays @p trace (after reset()) through
+ * @p policy into @p tlb.
+ *
+ * The policy's invalidation sink is pointed at the TLB for the
+ * duration (promotions shoot down stale entries, per Section 3.4).
+ */
+ExperimentResult runExperiment(TraceSource &trace, PageSizePolicy &policy,
+                               Tlb &tlb, const RunOptions &options,
+                               ProbeStrategy probe = ProbeStrategy::Parallel);
+
+/**
+ * Convenience wrapper: build policy and TLB from specs, then run.
+ */
+ExperimentResult runExperiment(TraceSource &trace,
+                               const PolicySpec &policy_spec,
+                               const TlbConfig &tlb_config,
+                               const RunOptions &options);
+
+} // namespace tps::core
+
+#endif // TPS_CORE_EXPERIMENT_H_

@@ -1,0 +1,261 @@
+#include "core/figures.h"
+
+#include "trace/trace_stats.h"
+#include "trace/transforms.h"
+#include "util/format.h"
+#include "workloads/registry.h"
+#include "wset/avg_working_set.h"
+#include "wset/two_size_working_set.h"
+#include "wset/windowed_working_set.h"
+
+namespace tps::core
+{
+
+StudyScale
+defaultScale()
+{
+    StudyScale scale;
+    scale.refs = envOr("TPS_REFS", scale.refs);
+    scale.window = envOr("TPS_WINDOW", scale.window);
+    scale.warmupRefs = envOr("TPS_WARMUP", scale.refs / 4);
+    return scale;
+}
+
+TwoSizeConfig
+paperPolicy(const StudyScale &scale)
+{
+    TwoSizeConfig config;
+    config.smallLog2 = kLog2_4K;
+    config.largeLog2 = kLog2_32K;
+    config.window = scale.window;
+    // promoteThreshold 0 -> "half or more of the blocks" (Section 3.4)
+    return config;
+}
+
+std::vector<WorkloadRow>
+runWorkloadTable(const StudyScale &scale)
+{
+    std::vector<WorkloadRow> rows;
+    for (const auto &info : workloads::suite()) {
+        auto workload = info.instantiate();
+
+        // One pass collects both descriptive stats and the 4KB
+        // average working set.
+        TraceStatsBuilder stats_builder;
+        AvgWorkingSet wset({kLog2_4K}, {scale.window});
+        MemRef ref;
+        for (std::uint64_t n = 0; n < scale.refs && workload->next(ref);
+             ++n) {
+            stats_builder.observe(ref);
+            wset.observe(ref.vaddr);
+        }
+        wset.finish();
+        const TraceStats stats = stats_builder.finish();
+
+        WorkloadRow row;
+        row.name = info.name;
+        row.description = info.description;
+        row.refs = stats.refs;
+        row.instructions = stats.instructions;
+        row.rpi = stats.rpi();
+        row.footprintBytes = stats.footprintBytes();
+        row.avgWs4kBytes = wset.averageBytes(0, 0);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<WsSingleRow>
+runWsSingleStudy(const StudyScale &scale,
+                 const std::vector<unsigned> &size_log2s)
+{
+    std::vector<WsSingleRow> rows;
+    for (const auto &info : workloads::suite()) {
+        auto workload = info.instantiate();
+
+        // All sizes in one pass (the Slutz-Traiger property the
+        // paper's tooling relied on).
+        std::vector<unsigned> sizes = {kLog2_4K};
+        sizes.insert(sizes.end(), size_log2s.begin(), size_log2s.end());
+        AvgWorkingSet wset(sizes, {scale.window});
+        MemRef ref;
+        for (std::uint64_t n = 0; n < scale.refs && workload->next(ref);
+             ++n)
+            wset.observe(ref.vaddr);
+        wset.finish();
+
+        WsSingleRow row;
+        row.name = info.name;
+        row.ws4kBytes = wset.averageBytes(0, 0);
+        for (std::size_t s = 1; s < sizes.size(); ++s) {
+            row.wsNormalized.push_back(
+                row.ws4kBytes == 0.0
+                    ? 0.0
+                    : wset.averageBytes(s, 0) / row.ws4kBytes);
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<WsTwoRow>
+runWsTwoStudy(const StudyScale &scale, const TwoSizeConfig &policy_config)
+{
+    std::vector<WsTwoRow> rows;
+    for (const auto &info : workloads::suite()) {
+        auto workload = info.instantiate();
+
+        AvgWorkingSet wset_static(
+            {kLog2_4K, kLog2_8K, kLog2_16K, kLog2_32K}, {scale.window});
+        // The dynamic analyzer evaluates the Section 3.4 assignment
+        // from the window contents at every t (the paper's
+        // definition); the policy instance runs alongside purely to
+        // report the large-page reference fraction.
+        TwoSizeWorkingSet wset_dynamic(policy_config);
+        TwoSizePolicy policy(policy_config);
+
+        MemRef ref;
+        RefTime now = 0;
+        while (now < scale.refs && workload->next(ref)) {
+            ++now;
+            wset_static.observe(ref.vaddr);
+            wset_dynamic.observe(ref.vaddr);
+            policy.classify(ref.vaddr, now);
+        }
+        wset_static.finish();
+
+        WsTwoRow row;
+        row.name = info.name;
+        row.ws4kBytes = wset_static.averageBytes(0, 0);
+        if (row.ws4kBytes > 0.0) {
+            row.norm8k = wset_static.averageBytes(1, 0) / row.ws4kBytes;
+            row.norm16k = wset_static.averageBytes(2, 0) / row.ws4kBytes;
+            row.norm32k = wset_static.averageBytes(3, 0) / row.ws4kBytes;
+            row.normTwoSize =
+                wset_dynamic.averageBytes() / row.ws4kBytes;
+        }
+        row.largeFraction = policy.stats().largeFraction();
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+namespace
+{
+
+/** Run one (policy, TLB) cell of a CPI study. */
+ExperimentResult
+runCell(TraceSource &trace, const PolicySpec &policy, TlbConfig tlb,
+        const StudyScale &scale, const CpiModel &cpi)
+{
+    RunOptions options;
+    options.maxRefs = scale.refs;
+    options.warmupRefs =
+        scale.warmupRefs < scale.refs ? scale.warmupRefs : 0;
+    options.cpi = cpi;
+    return runExperiment(trace, policy, tlb, options);
+}
+
+/** TLB config for a single-size column: index by that size's bits. */
+TlbConfig
+singleSizeTlb(TlbConfig base, unsigned size_log2)
+{
+    base.scheme = IndexScheme::Exact;
+    base.smallLog2 = size_log2;
+    // largeLog2 only disambiguates stats and must stay above small.
+    base.largeLog2 = size_log2 + 3;
+    return base;
+}
+
+} // namespace
+
+std::vector<CpiRow>
+runCpiStudy(const StudyScale &scale, const TlbConfig &base,
+            const CpiModel &cpi)
+{
+    std::vector<CpiRow> rows;
+    const TwoSizeConfig policy2 = paperPolicy(scale);
+    for (const auto &info : workloads::suite()) {
+        auto workload = info.instantiate();
+
+        CpiRow row;
+        row.name = info.name;
+
+        const auto r4 =
+            runCell(*workload, PolicySpec::single(kLog2_4K),
+                    singleSizeTlb(base, kLog2_4K), scale, cpi);
+        row.cpi4k = r4.cpiTlb;
+        row.mpi4k = r4.mpi;
+
+        row.cpi8k = runCell(*workload, PolicySpec::single(kLog2_8K),
+                            singleSizeTlb(base, kLog2_8K), scale, cpi)
+                        .cpiTlb;
+        row.cpi32k = runCell(*workload, PolicySpec::single(kLog2_32K),
+                             singleSizeTlb(base, kLog2_32K), scale, cpi)
+                         .cpiTlb;
+
+        TlbConfig two_tlb = base;
+        two_tlb.smallLog2 = policy2.smallLog2;
+        two_tlb.largeLog2 = policy2.largeLog2;
+        const auto r2 = runCell(*workload, PolicySpec::twoSizes(policy2),
+                                two_tlb, scale, cpi);
+        row.cpiTwoSize = r2.cpiTlb;
+        row.mpiTwoSize = r2.mpi;
+        row.largeFraction = r2.policy.largeFraction();
+        row.promotions = r2.policy.promotions;
+
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<IndexingRow>
+runIndexingStudy(const StudyScale &scale, std::size_t entries,
+                 std::size_t ways, const CpiModel &cpi)
+{
+    std::vector<IndexingRow> rows;
+    const TwoSizeConfig policy2 = paperPolicy(scale);
+
+    TlbConfig base;
+    base.organization = TlbOrganization::SetAssociative;
+    base.entries = entries;
+    base.ways = ways;
+    base.smallLog2 = policy2.smallLog2;
+    base.largeLog2 = policy2.largeLog2;
+
+    for (const auto &info : workloads::suite()) {
+        auto workload = info.instantiate();
+
+        IndexingRow row;
+        row.name = info.name;
+
+        TlbConfig tlb = base;
+        tlb.scheme = IndexScheme::Exact; // small pages -> small index
+        row.cpi4k = runCell(*workload, PolicySpec::single(kLog2_4K), tlb,
+                            scale, cpi)
+                        .cpiTlb;
+
+        tlb.scheme = IndexScheme::LargePage;
+        row.cpi4kLargeIndex =
+            runCell(*workload, PolicySpec::single(kLog2_4K), tlb, scale,
+                    cpi)
+                .cpiTlb;
+
+        tlb.scheme = IndexScheme::LargePage;
+        row.cpiTwoLargeIndex =
+            runCell(*workload, PolicySpec::twoSizes(policy2), tlb, scale,
+                    cpi)
+                .cpiTlb;
+
+        tlb.scheme = IndexScheme::Exact;
+        row.cpiTwoExactIndex =
+            runCell(*workload, PolicySpec::twoSizes(policy2), tlb, scale,
+                    cpi)
+                .cpiTlb;
+
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace tps::core

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared runners for every table and figure in the paper's evaluation,
+ * used by both the bench binaries and the integration tests.
+ *
+ * Per-experiment mapping (see DESIGN.md for the full index):
+ *   - runWorkloadTable    -> Table 3.1
+ *   - runWsSingleStudy    -> Figure 4.1
+ *   - runWsTwoStudy       -> Figure 4.2
+ *   - runCpiStudy         -> Figures 5.1 (FA) and 5.2 (set-assoc)
+ *   - runIndexingStudy    -> Table 5.1
+ *   - deltaMp (from runCpiStudy rows) -> Section 5.2's critical
+ *     miss-penalty increase
+ */
+
+#ifndef TPS_CORE_FIGURES_H_
+#define TPS_CORE_FIGURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace tps::core
+{
+
+/** Trace-length / window scaling shared by all studies. */
+struct StudyScale
+{
+    /** References simulated per workload (paper: 1e8..4e9). */
+    std::uint64_t refs = 2'000'000;
+
+    /** Working-set / assignment window T (paper: 1e7). */
+    RefTime window = 200'000;
+
+    /**
+     * References replayed before TLB measurement starts (CPI studies
+     * only; working-set studies measure the whole trace as the paper
+     * does).  Default: refs / 4.
+     */
+    std::uint64_t warmupRefs = 500'000;
+};
+
+/**
+ * Default scale, honouring the TPS_REFS and TPS_WINDOW environment
+ * overrides so benches can be run at paper scale.
+ */
+StudyScale defaultScale();
+
+// ---------------------------------------------------------------- 3.1
+
+/** One row of Table 3.1. */
+struct WorkloadRow
+{
+    std::string name;
+    std::string description;
+    std::uint64_t refs = 0;
+    std::uint64_t instructions = 0;
+    double rpi = 0.0;
+    std::uint64_t footprintBytes = 0; ///< distinct 4KB pages x 4KB
+    double avgWs4kBytes = 0.0;        ///< working set @4KB, window T
+};
+
+std::vector<WorkloadRow> runWorkloadTable(const StudyScale &scale);
+
+// ---------------------------------------------------------------- 4.x
+
+/** Working sets for single page sizes (one row per workload). */
+struct WsSingleRow
+{
+    std::string name;
+    double ws4kBytes = 0.0;
+    /** Normalized WS per requested size, same order as sizes arg. */
+    std::vector<double> wsNormalized;
+};
+
+std::vector<WsSingleRow>
+runWsSingleStudy(const StudyScale &scale,
+                 const std::vector<unsigned> &size_log2s);
+
+/** Working sets: single sizes vs the dynamic two-size scheme. */
+struct WsTwoRow
+{
+    std::string name;
+    double ws4kBytes = 0.0;
+    double norm8k = 0.0;
+    double norm16k = 0.0;
+    double norm32k = 0.0;
+    double normTwoSize = 0.0; ///< 4KB/32KB dynamic policy
+    double largeFraction = 0.0; ///< refs mapped large under the policy
+};
+
+std::vector<WsTwoRow> runWsTwoStudy(const StudyScale &scale,
+                                    const TwoSizeConfig &policy_config);
+
+// ---------------------------------------------------------------- 5.x
+
+/** CPI_TLB for the four page-size schemes of Figures 5.1/5.2. */
+struct CpiRow
+{
+    std::string name;
+    double cpi4k = 0.0;
+    double cpi8k = 0.0;
+    double cpi32k = 0.0;
+    double cpiTwoSize = 0.0;
+    double mpi4k = 0.0;
+    double mpiTwoSize = 0.0;
+    double largeFraction = 0.0;
+    std::uint64_t promotions = 0;
+
+    /** Section 5.2's critical miss-penalty increase. */
+    double
+    deltaMp() const
+    {
+        return criticalMissPenaltyIncrease(mpi4k, mpiTwoSize);
+    }
+};
+
+/**
+ * Run the Figure 5.1/5.2 study on one TLB shape.
+ * @param base organization/entries/ways/replacement are taken from
+ *             here; page sizes and scheme are set per column
+ *             (single-size columns use exact indexing; the two-size
+ *             column uses base.scheme).
+ */
+std::vector<CpiRow> runCpiStudy(const StudyScale &scale,
+                                const TlbConfig &base,
+                                const CpiModel &cpi = {});
+
+// --------------------------------------------------------------- T5.1
+
+/** One row of Table 5.1 (per TLB size). */
+struct IndexingRow
+{
+    std::string name;
+    double cpi4k = 0.0;             ///< 4KB pages, exact (small) index
+    double cpi4kLargeIndex = 0.0;   ///< 4KB pages on large-index hw
+    double cpiTwoLargeIndex = 0.0;  ///< 4KB/32KB, large-page index
+    double cpiTwoExactIndex = 0.0;  ///< 4KB/32KB, exact index
+};
+
+std::vector<IndexingRow> runIndexingStudy(const StudyScale &scale,
+                                          std::size_t entries,
+                                          std::size_t ways,
+                                          const CpiModel &cpi = {});
+
+/** The paper's default 4KB/32KB assignment policy at scale T. */
+TwoSizeConfig paperPolicy(const StudyScale &scale);
+
+} // namespace tps::core
+
+#endif // TPS_CORE_FIGURES_H_

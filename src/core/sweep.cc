@@ -1,0 +1,146 @@
+#include "core/sweep.h"
+
+#include <map>
+
+#include "stats/csv.h"
+#include "stats/table.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+
+std::string
+describePolicy(const PolicySpec &spec)
+{
+    // Policy names are owned by the policy objects; instantiate a
+    // throwaway to keep naming in one place.
+    return spec.instantiate()->name();
+}
+
+SweepRunner &
+SweepRunner::workloads(std::vector<std::string> names)
+{
+    workload_names_ = std::move(names);
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::configuration(const TlbConfig &tlb, const PolicySpec &policy,
+                           std::string label)
+{
+    if (label.empty())
+        label = tlb.describe() + " / " + describePolicy(policy);
+    configs_.push_back(Config{tlb, policy, std::move(label)});
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::options(const RunOptions &options)
+{
+    options_ = options;
+    return *this;
+}
+
+std::size_t
+SweepRunner::cells() const
+{
+    const std::size_t rows = workload_names_.empty()
+                                 ? workloads::suite().size()
+                                 : workload_names_.size();
+    return rows * configs_.size();
+}
+
+std::vector<SweepCell>
+SweepRunner::run() const
+{
+    if (configs_.empty())
+        tps_fatal("sweep has no configurations");
+
+    std::vector<std::string> names = workload_names_;
+    if (names.empty())
+        names = workloads::suiteNames();
+
+    std::vector<SweepCell> cells;
+    cells.reserve(names.size() * configs_.size());
+    for (const std::string &name : names) {
+        auto workload = workloads::findWorkload(name).instantiate();
+        for (const Config &config : configs_) {
+            SweepCell cell;
+            cell.workload = name;
+            cell.configLabel = config.label;
+            cell.result = runExperiment(*workload, config.policy,
+                                        config.tlb, options_);
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+void
+SweepRunner::printCpiTable(std::ostream &os,
+                           const std::vector<SweepCell> &cells)
+{
+    // Column order = first-seen order of config labels.
+    std::vector<std::string> columns;
+    for (const SweepCell &cell : cells) {
+        bool known = false;
+        for (const std::string &column : columns)
+            known |= column == cell.configLabel;
+        if (!known)
+            columns.push_back(cell.configLabel);
+    }
+
+    std::vector<std::string> headers = {"Program"};
+    headers.insert(headers.end(), columns.begin(), columns.end());
+    stats::TextTable table(std::move(headers));
+
+    // Row order = first-seen order of workloads.
+    std::vector<std::string> rows;
+    std::map<std::pair<std::string, std::string>, double> grid;
+    for (const SweepCell &cell : cells) {
+        bool known = false;
+        for (const std::string &row : rows)
+            known |= row == cell.workload;
+        if (!known)
+            rows.push_back(cell.workload);
+        grid[{cell.workload, cell.configLabel}] = cell.result.cpiTlb;
+    }
+    for (const std::string &row : rows) {
+        std::vector<std::string> line = {row};
+        for (const std::string &column : columns) {
+            const auto it = grid.find({row, column});
+            line.push_back(it == grid.end()
+                               ? "-"
+                               : formatFixed(it->second, 3));
+        }
+        table.addRow(std::move(line));
+    }
+    table.print(os);
+}
+
+void
+SweepRunner::writeCsv(std::ostream &os,
+                      const std::vector<SweepCell> &cells)
+{
+    stats::CsvWriter csv(os, {"workload", "config", "refs",
+                              "instructions", "misses", "mpi",
+                              "cpi_tlb", "miss_ratio",
+                              "large_fraction", "promotions",
+                              "avg_ws_bytes"});
+    for (const SweepCell &cell : cells) {
+        const ExperimentResult &r = cell.result;
+        csv.writeRow({cell.workload, cell.configLabel,
+                      std::to_string(r.refs),
+                      std::to_string(r.instructions),
+                      std::to_string(r.tlb.misses),
+                      formatFixed(r.mpi, 8), formatFixed(r.cpiTlb, 6),
+                      formatFixed(r.missRatio, 8),
+                      formatFixed(r.policy.largeFraction(), 6),
+                      std::to_string(r.policy.promotions),
+                      formatFixed(r.avgWsBytes, 0)});
+    }
+}
+
+} // namespace tps::core

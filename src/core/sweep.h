@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SweepRunner: declarative cartesian-product experiment sweeps.
+ *
+ * The paper evaluated 84+ TLB configurations against 12 traces; its
+ * modern equivalent is a grid of (workload x TLB x policy) cells.
+ * SweepRunner runs such a grid through the experiment driver and
+ * hands back every cell, with helpers to render the grid as a table
+ * (one row per workload, one column per configuration) or CSV.
+ */
+
+#ifndef TPS_CORE_SWEEP_H_
+#define TPS_CORE_SWEEP_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace tps::core
+{
+
+/** One cell of a sweep. */
+struct SweepCell
+{
+    std::string workload;
+    std::string configLabel; ///< "<tlb> / <policy>"
+    ExperimentResult result;
+};
+
+/** Cartesian-product sweep of workloads x (TLB, policy) pairs. */
+class SweepRunner
+{
+  public:
+    /** Add workloads by registry name (default: the whole suite). */
+    SweepRunner &workloads(std::vector<std::string> names);
+
+    /**
+     * Add one configuration column.
+     * @param label  shown as the column header; auto-derived from the
+     *               TLB and policy when empty.
+     */
+    SweepRunner &configuration(const TlbConfig &tlb,
+                               const PolicySpec &policy,
+                               std::string label = "");
+
+    /** Run controls applied to every cell. */
+    SweepRunner &options(const RunOptions &options);
+
+    /**
+     * Execute the grid (row-major: all configs of one workload before
+     * the next, so each workload's generator state is reused).
+     */
+    std::vector<SweepCell> run() const;
+
+    std::size_t cells() const;
+
+    /** Render CPI_TLB as a workload x configuration table. */
+    static void printCpiTable(std::ostream &os,
+                              const std::vector<SweepCell> &cells);
+
+    /** Dump every cell's key metrics as CSV. */
+    static void writeCsv(std::ostream &os,
+                         const std::vector<SweepCell> &cells);
+
+  private:
+    struct Config
+    {
+        TlbConfig tlb;
+        PolicySpec policy;
+        std::string label;
+    };
+
+    std::vector<std::string> workload_names_;
+    std::vector<Config> configs_;
+    RunOptions options_;
+};
+
+/** Human-readable label for a PolicySpec ("4KB", "4KB/32KB"). */
+std::string describePolicy(const PolicySpec &spec);
+
+} // namespace tps::core
+
+#endif // TPS_CORE_SWEEP_H_

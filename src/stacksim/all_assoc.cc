@@ -1,0 +1,79 @@
+#include "stacksim/all_assoc.h"
+
+#include <algorithm>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+AllAssocSim::AllAssocSim(unsigned max_set_bits, std::size_t max_ways)
+    : max_set_bits_(max_set_bits), max_ways_(max_ways)
+{
+    if (max_ways == 0)
+        tps_fatal("AllAssocSim needs max_ways > 0");
+    if (max_set_bits > 20)
+        tps_fatal("AllAssocSim set bits capped at 20, got ", max_set_bits);
+    levels_.resize(max_set_bits_ + 1);
+    for (unsigned s = 0; s <= max_set_bits_; ++s)
+        levels_[s].resize(std::size_t{1} << s);
+    histograms_.assign(max_set_bits_ + 1, stats::Histogram(max_ways_));
+}
+
+void
+AllAssocSim::observe(std::uint64_t tag, std::uint64_t index)
+{
+    ++refs_;
+    for (unsigned s = 0; s <= max_set_bits_; ++s) {
+        SetStack &set = levels_[s][index & mask(s)];
+        auto &keys = set.keys;
+        const auto it = std::find(keys.begin(), keys.end(), tag);
+        if (it == keys.end()) {
+            histograms_[s].add(max_ways_); // overflow: miss at all ways
+            keys.insert(keys.begin(), tag);
+            if (keys.size() > max_ways_)
+                keys.pop_back();
+        } else {
+            const std::size_t depth =
+                static_cast<std::size_t>(it - keys.begin());
+            histograms_[s].add(depth);
+            keys.erase(it);
+            keys.insert(keys.begin(), tag);
+        }
+    }
+}
+
+std::uint64_t
+AllAssocSim::misses(unsigned set_bits, std::size_t ways) const
+{
+    if (set_bits > max_set_bits_)
+        tps_fatal("set_bits ", set_bits, " beyond tracked ",
+                  max_set_bits_);
+    if (ways == 0 || ways > max_ways_)
+        tps_fatal("ways ", ways, " outside tracked range [1,", max_ways_,
+                  "]");
+    return histograms_[set_bits].tailAtLeast(ways);
+}
+
+std::uint64_t
+AllAssocSim::missesForCapacity(std::size_t entries, std::size_t ways) const
+{
+    if (ways == 0 || entries % ways != 0 || !isPow2(entries / ways))
+        tps_fatal("capacity ", entries, " not a power-of-two set count "
+                  "at ", ways, " ways");
+    return misses(log2Exact(entries / ways), ways);
+}
+
+void
+AllAssocSim::reset()
+{
+    for (auto &level : levels_)
+        for (auto &set : level)
+            set.keys.clear();
+    for (auto &histogram : histograms_)
+        histogram.reset();
+    refs_ = 0;
+}
+
+} // namespace tps

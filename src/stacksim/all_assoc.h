@@ -1,0 +1,83 @@
+/**
+ * @file
+ * All-associativity simulation [HiS89]: per-set stack refinement that
+ * evaluates every (number of sets, associativity) pair in one pass.
+ *
+ * For a fixed set count 2^s, LRU within each set is a stack algorithm,
+ * so a per-set stack-distance histogram gives miss counts for every
+ * associativity at that set count.  Running all set counts
+ * 2^0 .. 2^max_set_bits side by side reproduces the paper's "84 TLB
+ * configurations in one simulation at about double the cost of one"
+ * (Section 3.3).
+ */
+
+#ifndef TPS_STACKSIM_ALL_ASSOC_H_
+#define TPS_STACKSIM_ALL_ASSOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace tps
+{
+
+/** One-pass evaluator for a grid of set-associative organizations. */
+class AllAssocSim
+{
+  public:
+    /**
+     * @param max_set_bits evaluate set counts 2^0 .. 2^max_set_bits
+     * @param max_ways     largest associativity of interest
+     */
+    AllAssocSim(unsigned max_set_bits, std::size_t max_ways);
+
+    /**
+     * Account one reference.
+     *
+     * @param tag   the page number (what the TLB entry stores)
+     * @param index value whose low bits select the set.  For normal
+     *              indexing pass the tag itself; for the paper's
+     *              large-page-index scheme on small pages pass
+     *              tag >> (largeLog2 - smallLog2).
+     */
+    void observe(std::uint64_t tag, std::uint64_t index);
+
+    /** Convenience: index with the tag's own low bits. */
+    void observe(std::uint64_t tag) { observe(tag, tag); }
+
+    /**
+     * Misses of the organization with 2^set_bits sets x ways.
+     * @pre set_bits <= max_set_bits, 0 < ways <= max_ways
+     */
+    std::uint64_t misses(unsigned set_bits, std::size_t ways) const;
+
+    /** Misses for total capacity @p entries at associativity @p ways. */
+    std::uint64_t
+    missesForCapacity(std::size_t entries, std::size_t ways) const;
+
+    std::uint64_t refs() const { return refs_; }
+    unsigned maxSetBits() const { return max_set_bits_; }
+    std::size_t maxWays() const { return max_ways_; }
+
+    void reset();
+
+  private:
+    /** Bounded per-set move-to-front stack. */
+    struct SetStack
+    {
+        std::vector<std::uint64_t> keys; // most recent first
+    };
+
+    unsigned max_set_bits_;
+    std::size_t max_ways_;
+    /** level s -> 2^s stacks. */
+    std::vector<std::vector<SetStack>> levels_;
+    /** level s -> distance histogram aggregated over its sets. */
+    std::vector<stats::Histogram> histograms_;
+    std::uint64_t refs_ = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_STACKSIM_ALL_ASSOC_H_

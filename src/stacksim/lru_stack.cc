@@ -1,0 +1,57 @@
+#include "stacksim/lru_stack.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+LruStackSim::LruStackSim(std::size_t max_depth)
+    : max_depth_(max_depth), histogram_(max_depth)
+{
+    if (max_depth == 0)
+        tps_fatal("LruStackSim needs max_depth > 0");
+    stack_.reserve(max_depth + 1);
+}
+
+void
+LruStackSim::observe(std::uint64_t key)
+{
+    ++refs_;
+    const auto it = std::find(stack_.begin(), stack_.end(), key);
+    if (it == stack_.end()) {
+        // Cold (or beyond tracked depth): misses at every size.
+        ++cold_;
+        histogram_.add(max_depth_); // lands in the overflow bucket
+        stack_.insert(stack_.begin(), key);
+        if (stack_.size() > max_depth_)
+            stack_.pop_back();
+        return;
+    }
+    const std::size_t depth =
+        static_cast<std::size_t>(it - stack_.begin());
+    histogram_.add(depth);
+    stack_.erase(it);
+    stack_.insert(stack_.begin(), key);
+}
+
+std::uint64_t
+LruStackSim::missesForSize(std::size_t entries) const
+{
+    if (entries > max_depth_)
+        tps_fatal("missesForSize(", entries, ") beyond tracked depth ",
+                  max_depth_);
+    return histogram_.tailAtLeast(entries);
+}
+
+void
+LruStackSim::reset()
+{
+    stack_.clear();
+    histogram_.reset();
+    cold_ = 0;
+    refs_ = 0;
+}
+
+} // namespace tps

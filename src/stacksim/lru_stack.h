@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Mattson LRU stack simulation [MGS70]: one pass over a trace yields
+ * miss counts for fully associative LRU buffers of *every* size.
+ *
+ * This is the core of the paper's "tycho" methodology (Section 3.3):
+ * LRU is a stack algorithm, so the contents of an n-entry buffer are
+ * always a subset of an (n+1)-entry buffer, and a reference hits in
+ * every buffer at least as large as its stack distance.
+ */
+
+#ifndef TPS_STACKSIM_LRU_STACK_H_
+#define TPS_STACKSIM_LRU_STACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace tps
+{
+
+/**
+ * Bounded move-to-front LRU stack with a stack-distance histogram.
+ *
+ * Distances are 0-based: distance d means the key was the (d+1)-th
+ * most recently used, so a buffer with capacity > d hits.  Distances
+ * beyond the bound (and cold first references) count as "overflow" —
+ * misses in every tracked size.
+ */
+class LruStackSim
+{
+  public:
+    /** @param max_depth largest buffer size of interest. */
+    explicit LruStackSim(std::size_t max_depth);
+
+    /** Account one reference to @p key. */
+    void observe(std::uint64_t key);
+
+    /**
+     * Misses of a fully associative LRU buffer with @p entries slots.
+     * @pre entries <= max_depth (distances beyond were not tracked)
+     */
+    std::uint64_t missesForSize(std::size_t entries) const;
+
+    std::uint64_t refs() const { return refs_; }
+
+    /**
+     * References found nowhere in the tracked stack: true cold misses
+     * plus re-references whose distance exceeded max_depth (the stack
+     * is bounded, so the two are indistinguishable; both miss in every
+     * tracked size).
+     */
+    std::uint64_t coldMisses() const { return cold_; }
+    const stats::Histogram &distances() const { return histogram_; }
+
+    void reset();
+
+  private:
+    std::size_t max_depth_;
+    std::vector<std::uint64_t> stack_; ///< most recent first
+    stats::Histogram histogram_;
+    std::uint64_t cold_ = 0;
+    std::uint64_t refs_ = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_STACKSIM_LRU_STACK_H_

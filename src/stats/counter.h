@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simple named event counter.
+ */
+
+#ifndef TPS_STATS_COUNTER_H_
+#define TPS_STATS_COUNTER_H_
+
+#include <cstdint>
+
+namespace tps::stats
+{
+
+/**
+ * A monotonically increasing event counter.
+ *
+ * Deliberately minimal: simulators in this codebase bump counters on
+ * every reference, so the hot path must compile to a single add.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    /** Ratio of this counter to @p denom; 0 when denom is 0. */
+    double
+    per(std::uint64_t denom) const
+    {
+        return denom == 0 ? 0.0
+                          : static_cast<double>(value_) /
+                                static_cast<double>(denom);
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+} // namespace tps::stats
+
+#endif // TPS_STATS_COUNTER_H_

@@ -1,0 +1,48 @@
+#include "stats/csv.h"
+
+#include "util/logging.h"
+
+namespace tps::stats
+{
+
+CsvWriter::CsvWriter(std::ostream &os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size())
+{
+    if (headers.empty())
+        tps_fatal("CsvWriter requires at least one column");
+    for (std::size_t i = 0; i < headers.size(); ++i)
+        os_ << (i == 0 ? "" : ",") << quote(headers[i]);
+    os_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &row)
+{
+    if (row.size() != columns_)
+        tps_fatal("CSV row has ", row.size(), " fields, expected ",
+                  columns_);
+    for (std::size_t i = 0; i < row.size(); ++i)
+        os_ << (i == 0 ? "" : ",") << quote(row[i]);
+    os_ << '\n';
+    ++rows_;
+}
+
+std::string
+CsvWriter::quote(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace tps::stats

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV emitter so experiment results can be post-processed with
+ * external plotting tools (the figures in the paper are plots).
+ */
+
+#ifndef TPS_STATS_CSV_H_
+#define TPS_STATS_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tps::stats
+{
+
+/**
+ * Streams rows of comma-separated values with proper quoting.
+ * Writes the header on construction.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter(std::ostream &os, std::vector<std::string> headers);
+
+    /** Write one row. @pre row.size() == number of headers */
+    void writeRow(const std::vector<std::string> &row);
+
+    std::size_t rowsWritten() const { return rows_; }
+
+    /** Quote one field per RFC 4180 (internal; exposed for tests). */
+    static std::string quote(const std::string &field);
+
+  private:
+    std::ostream &os_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace tps::stats
+
+#endif // TPS_STATS_CSV_H_

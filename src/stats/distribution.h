@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Running scalar distribution (mean / min / max / stddev) in O(1) space.
+ */
+
+#ifndef TPS_STATS_DISTRIBUTION_H_
+#define TPS_STATS_DISTRIBUTION_H_
+
+#include <cstdint>
+
+namespace tps::stats
+{
+
+/**
+ * Accumulates samples with Welford's algorithm so mean and variance are
+ * numerically stable even for billions of samples.
+ */
+class Distribution
+{
+  public:
+    void add(double sample);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const;
+    double max() const;
+
+    /** Population variance (0 for fewer than 2 samples). */
+    double variance() const;
+    double stddev() const;
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    void reset();
+
+    /** Merge another distribution into this one (parallel-safe merge). */
+    void merge(const Distribution &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tps::stats
+
+#endif // TPS_STATS_DISTRIBUTION_H_

@@ -1,0 +1,79 @@
+#include "stats/histogram.h"
+
+#include "util/bitops.h"
+
+namespace tps::stats
+{
+
+Histogram::Histogram(std::size_t bound) : buckets_(bound, 0) {}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    if (value < buckets_.size())
+        buckets_[static_cast<std::size_t>(value)] += weight;
+    else
+        overflow_ += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::tailAtLeast(std::uint64_t threshold) const
+{
+    std::uint64_t tail = overflow_;
+    for (std::size_t i = static_cast<std::size_t>(threshold);
+         i < buckets_.size(); ++i)
+        tail += buckets_[i];
+    return tail;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+Log2Histogram::Log2Histogram(unsigned max_log2)
+    : buckets_(static_cast<std::size_t>(max_log2) + 2, 0)
+{
+}
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t idx;
+    if (value == 0)
+        idx = 0;
+    else
+        idx = static_cast<std::size_t>(floorLog2(value)) + 1;
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    buckets_[idx] += weight;
+    total_ += weight;
+    weighted_sum_ += static_cast<double>(value) *
+                     static_cast<double>(weight);
+}
+
+std::uint64_t
+Log2Histogram::bucketFloor(std::size_t i) const
+{
+    return i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+}
+
+double
+Log2Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : weighted_sum_ / static_cast<double>(total_);
+}
+
+void
+Log2Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+    weighted_sum_ = 0.0;
+}
+
+} // namespace tps::stats

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Integer histograms: linear-bucket and log2-bucket variants.
+ *
+ * The stack simulator records stack-distance histograms (one bucket per
+ * exact distance up to a bound, then an overflow bucket), from which
+ * miss counts for every TLB size are derived in one pass.
+ */
+
+#ifndef TPS_STATS_HISTOGRAM_H_
+#define TPS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tps::stats
+{
+
+/**
+ * Histogram over exact integer values [0, bound); values >= bound land
+ * in a single overflow bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t bound);
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t bound() const { return buckets_.size(); }
+
+    /** Total weight across all buckets including overflow. */
+    std::uint64_t total() const { return total_; }
+
+    /**
+     * Weight of samples with value >= @p threshold (overflow included).
+     * For a stack-distance histogram this is exactly the number of
+     * misses of a fully associative LRU buffer with @p threshold slots.
+     */
+    std::uint64_t tailAtLeast(std::uint64_t threshold) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Histogram with power-of-two bucket boundaries: [0], [1], [2,3], [4,7].. */
+class Log2Histogram
+{
+  public:
+    /** @param max_log2 values >= 2^max_log2 share the last bucket. */
+    explicit Log2Histogram(unsigned max_log2 = 40);
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of buckets (= max_log2 + 2: zero bucket + one per octave). */
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t total() const { return total_; }
+
+    /** Lower bound of bucket @p i (0, 1, 2, 4, 8, ...). */
+    std::uint64_t bucketFloor(std::size_t i) const;
+
+    /** Weighted arithmetic mean using each sample's exact value. */
+    double mean() const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    double weighted_sum_ = 0.0;
+};
+
+} // namespace tps::stats
+
+#endif // TPS_STATS_HISTOGRAM_H_

@@ -1,0 +1,112 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tps::stats
+{
+
+namespace
+{
+
+/** Heuristic: a cell that parses as a number gets right-aligned. */
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = 0;
+    if (cell[i] == '-' || cell[i] == '+')
+        ++i;
+    bool saw_digit = false;
+    for (; i < cell.size(); ++i) {
+        const char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            saw_digit = true;
+        else if (c != '.' && c != ',' && c != '%' && c != 'x')
+            return false;
+    }
+    return saw_digit;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        tps_fatal("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        tps_fatal("TextTable row has ", row.size(), " cells, expected ",
+                  headers_.size());
+    rows_.push_back(Row{false, std::move(row)});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_cells = [&](const std::vector<std::string> &cells,
+                           bool align_numeric) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string &cell = cells[c];
+            const std::size_t pad = widths[c] - cell.size();
+            const bool right = align_numeric && looksNumeric(cell);
+            os << (c == 0 ? "" : "  ");
+            if (right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    auto print_rule = [&] {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c == 0 ? 0 : 2);
+        os << std::string(total, '-') << '\n';
+    };
+
+    print_cells(headers_, false);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.rule)
+            print_rule();
+        else
+            print_cells(row.cells, true);
+    }
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace tps::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table builder used by benches to print paper-style tables.
+ */
+
+#ifndef TPS_STATS_TABLE_H_
+#define TPS_STATS_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tps::stats
+{
+
+/**
+ * A column-aligned text table.
+ *
+ * Columns are declared up front; rows are appended as strings (callers
+ * format numbers themselves so each table controls its precision, as
+ * the paper's tables do).  Numeric-looking cells are right-aligned,
+ * text cells left-aligned.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row. @pre row.size() == number of headers */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal rule (rendered as dashes). */
+    void addRule();
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Render the table with a header rule to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (convenience for tests). */
+    std::string toString() const;
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace tps::stats
+
+#endif // TPS_STATS_TABLE_H_

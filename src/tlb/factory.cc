@@ -1,0 +1,80 @@
+#include "tlb/factory.h"
+
+#include "tlb/fully_assoc.h"
+#include "tlb/split_tlb.h"
+#include "tlb/two_level_tlb.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+std::string
+TlbConfig::describe() const
+{
+    std::string text = std::to_string(entries) + "-entry ";
+    switch (organization) {
+      case TlbOrganization::FullyAssociative:
+        text += "fully-assoc";
+        break;
+      case TlbOrganization::SetAssociative:
+        text += std::to_string(ways) + "-way " + indexSchemeName(scheme);
+        break;
+      case TlbOrganization::Split:
+        text += "split(" +
+                std::to_string(entries - splitLargeEntries) + "s+" +
+                std::to_string(splitLargeEntries) + "l)";
+        break;
+      case TlbOrganization::TwoLevel:
+        text += "two-level(L1 " + std::to_string(l1Entries) + ")";
+        break;
+    }
+    return text;
+}
+
+std::unique_ptr<Tlb>
+makeTlb(const TlbConfig &config)
+{
+    switch (config.organization) {
+      case TlbOrganization::FullyAssociative:
+        return std::make_unique<FullyAssocTlb>(
+            config.entries, config.replacement, config.largeLog2,
+            config.rngSeed);
+
+      case TlbOrganization::SetAssociative:
+        return std::make_unique<SetAssocTlb>(
+            config.entries, config.ways, config.scheme, config.smallLog2,
+            config.largeLog2, config.replacement, config.rngSeed);
+
+      case TlbOrganization::Split: {
+          if (config.splitLargeEntries == 0 ||
+              config.splitLargeEntries >= config.entries) {
+              tps_fatal("split TLB needs 0 < large entries (",
+                        config.splitLargeEntries, ") < total entries (",
+                        config.entries, ")");
+          }
+          auto small_tlb = std::make_unique<FullyAssocTlb>(
+              config.entries - config.splitLargeEntries,
+              config.replacement, config.largeLog2, config.rngSeed);
+          auto large_tlb = std::make_unique<FullyAssocTlb>(
+              config.splitLargeEntries, config.replacement,
+              config.largeLog2, config.rngSeed + 1);
+          return std::make_unique<SplitTlb>(std::move(small_tlb),
+                                            std::move(large_tlb),
+                                            config.largeLog2);
+      }
+
+      case TlbOrganization::TwoLevel: {
+          auto l1 = std::make_unique<FullyAssocTlb>(
+              config.l1Entries, config.replacement, config.largeLog2,
+              config.rngSeed);
+          auto l2 = std::make_unique<FullyAssocTlb>(
+              config.entries, config.replacement, config.largeLog2,
+              config.rngSeed + 1);
+          return std::make_unique<TwoLevelTlb>(std::move(l1),
+                                               std::move(l2));
+      }
+    }
+    tps_panic("unreachable TLB organization");
+}
+
+} // namespace tps

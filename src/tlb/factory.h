@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Declarative TLB configuration and factory.
+ */
+
+#ifndef TPS_TLB_FACTORY_H_
+#define TPS_TLB_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "tlb/set_assoc.h"
+#include "tlb/tlb.h"
+#include "tlb/tlb_entry.h"
+
+namespace tps
+{
+
+/** Overall TLB organization. */
+enum class TlbOrganization : std::uint8_t
+{
+    FullyAssociative = 0,
+    SetAssociative = 1,
+    Split = 2,    ///< one sub-TLB per page size
+    TwoLevel = 3, ///< FA L1 micro-TLB + FA L2 (entries = L2 size)
+};
+
+/**
+ * Exact-index probe strategy (paper Section 2.2, options a/b/c).
+ * Miss counts are identical across Parallel and Sequential; they
+ * differ in per-access probe cost, which core::CpiModel charges.
+ */
+enum class ProbeStrategy : std::uint8_t
+{
+    Parallel = 0,   ///< dual-ported / replicated: both indexes at once
+    Sequential = 1, ///< probe small index, reprobe with large on miss
+};
+
+/** Complete description of a TLB to simulate. */
+struct TlbConfig
+{
+    TlbOrganization organization = TlbOrganization::FullyAssociative;
+    std::size_t entries = 16;
+    std::size_t ways = 2; ///< ignored for fully associative
+
+    IndexScheme scheme = IndexScheme::Exact; ///< set-assoc only
+    ProbeStrategy probe = ProbeStrategy::Parallel;
+
+    unsigned smallLog2 = kLog2_4K;
+    unsigned largeLog2 = kLog2_32K;
+
+    ReplPolicy replacement = ReplPolicy::LRU;
+    std::uint64_t rngSeed = 1;
+
+    /**
+     * Split organization: entries reserved for the large-page sub-TLB
+     * (the rest go to the small sub-TLB).  Both sub-TLBs are fully
+     * associative, matching the PA-RISC Block-TLB arrangement.
+     */
+    std::size_t splitLargeEntries = 4;
+
+    /** TwoLevel organization: entries in the L1 micro-TLB. */
+    std::size_t l1Entries = 4;
+
+    /** Short description, e.g. "32-entry 2-way exact-index". */
+    std::string describe() const;
+};
+
+/** Build a TLB model; tps_fatal on inconsistent configuration. */
+std::unique_ptr<Tlb> makeTlb(const TlbConfig &config);
+
+} // namespace tps
+
+#endif // TPS_TLB_FACTORY_H_

@@ -1,0 +1,116 @@
+#include "tlb/fully_assoc.h"
+
+#include "tlb/tlb_detail.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+FullyAssocTlb::FullyAssocTlb(std::size_t entries, ReplPolicy policy,
+                             unsigned large_log2, std::uint64_t rng_seed)
+    : entries_(entries), policy_(policy), large_log2_(large_log2),
+      rng_(rng_seed), rng_seed_(rng_seed)
+{
+    if (entries == 0)
+        tps_fatal("TLB must have at least one entry");
+    if (policy == ReplPolicy::TreePLRU &&
+        (!isPow2(entries) || entries > 64)) {
+        tps_fatal("tree-PLRU needs a power-of-two entry count <= 64, "
+                  "got ", entries);
+    }
+}
+
+bool
+FullyAssocTlb::access(const PageId &page, Addr vaddr)
+{
+    (void)vaddr; // fully associative: no index bits
+    ++clock_;
+    const bool is_large = page.sizeLog2 >= large_log2_;
+
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        TlbEntry &entry = entries_[i];
+        if (entry.matches(page)) {
+            entry.lastUse = clock_;
+            if (policy_ == ReplPolicy::TreePLRU)
+                plru_.touch(i, entries_.size());
+            detail::recordOutcome(stats_, true, is_large);
+            return true;
+        }
+    }
+
+    detail::recordOutcome(stats_, false, is_large);
+    const std::size_t victim = chooseVictim(
+        entries_.data(), entries_.size(), policy_, rng_, plru_);
+    TlbEntry &slot = entries_[victim];
+    if (slot.valid)
+        ++stats_.evictions;
+    slot.page = page;
+    slot.valid = true;
+    slot.lastUse = clock_;
+    slot.inserted = clock_;
+    if (policy_ == ReplPolicy::TreePLRU)
+        plru_.touch(victim, entries_.size());
+    ++stats_.fills;
+    return false;
+}
+
+void
+FullyAssocTlb::invalidatePage(const PageId &page)
+{
+    for (TlbEntry &entry : entries_) {
+        if (entry.matches(page)) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+FullyAssocTlb::invalidateAll()
+{
+    for (TlbEntry &entry : entries_) {
+        if (entry.valid) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+FullyAssocTlb::reset()
+{
+    for (TlbEntry &entry : entries_)
+        entry = TlbEntry{};
+    clock_ = 0;
+    stats_ = TlbStats{};
+    rng_ = Rng(rng_seed_);
+    plru_ = PlruTree{};
+}
+
+std::string
+FullyAssocTlb::name() const
+{
+    return std::to_string(entries_.size()) + "-entry fully assoc (" +
+           replPolicyName(policy_) + ")";
+}
+
+std::size_t
+FullyAssocTlb::validCount() const
+{
+    std::size_t count = 0;
+    for (const TlbEntry &entry : entries_)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+bool
+FullyAssocTlb::contains(const PageId &page) const
+{
+    for (const TlbEntry &entry : entries_)
+        if (entry.matches(page))
+            return true;
+    return false;
+}
+
+} // namespace tps

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fully associative TLB (paper Section 2.1).
+ *
+ * The straightforward way to support multiple page sizes: every entry
+ * carries the page size in its tag and (logically) has its own
+ * comparator, so any page of any size can live in any entry.
+ */
+
+#ifndef TPS_TLB_FULLY_ASSOC_H_
+#define TPS_TLB_FULLY_ASSOC_H_
+
+#include <vector>
+
+#include "tlb/replacement.h"
+#include "tlb/tlb.h"
+#include "tlb/tlb_entry.h"
+#include "util/random.h"
+
+namespace tps
+{
+
+/** Fully associative TLB with pluggable replacement. */
+class FullyAssocTlb : public Tlb
+{
+  public:
+    /**
+     * @param entries capacity (any positive count; real FA TLBs need
+     *                not be powers of two — the R4000's is 48 entries)
+     * @param large_log2 page-size exponent treated as "large" in the
+     *                per-size statistics split
+     */
+    FullyAssocTlb(std::size_t entries, ReplPolicy policy = ReplPolicy::LRU,
+                  unsigned large_log2 = kLog2_32K,
+                  std::uint64_t rng_seed = 1);
+
+    bool access(const PageId &page, Addr vaddr) override;
+    void invalidatePage(const PageId &page) override;
+    void invalidateAll() override;
+    void reset() override;
+    void resetStats() override { stats_ = TlbStats{}; }
+    std::size_t capacity() const override { return entries_.size(); }
+    const TlbStats &stats() const override { return stats_; }
+    std::string name() const override;
+
+    ReplPolicy policy() const { return policy_; }
+
+    /** Count of currently valid entries (for tests). */
+    std::size_t validCount() const;
+
+    /** Is @p page currently resident (for tests)? */
+    bool contains(const PageId &page) const;
+
+  private:
+    std::vector<TlbEntry> entries_;
+    ReplPolicy policy_;
+    unsigned large_log2_;
+    Rng rng_;
+    std::uint64_t rng_seed_;
+    std::uint64_t clock_ = 0;
+    PlruTree plru_; ///< used only under ReplPolicy::TreePLRU
+    TlbStats stats_;
+};
+
+} // namespace tps
+
+#endif // TPS_TLB_FULLY_ASSOC_H_

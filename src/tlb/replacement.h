@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Victim selection shared by all associative TLB organizations.
+ */
+
+#ifndef TPS_TLB_REPLACEMENT_H_
+#define TPS_TLB_REPLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tlb/tlb_entry.h"
+#include "util/random.h"
+
+namespace tps
+{
+
+/**
+ * Tree pseudo-LRU state for one set of up to 64 ways.
+ *
+ * A binary tree of (ways - 1) direction bits stored heap-style in one
+ * word: node i's children are 2i+1 / 2i+2; the leaves are the ways.
+ * Each bit points toward the pseudo-least-recently-used subtree, so
+ * victim selection follows the bits down and a touch flips the bits
+ * on the path to point away from the touched way — exactly the
+ * hardware scheme.  Requires a power-of-two way count.
+ */
+struct PlruTree
+{
+    std::uint64_t bits = 0;
+
+    /** Way the tree currently designates as victim. */
+    std::size_t
+    victim(std::size_t ways) const
+    {
+        std::size_t node = 0;
+        while (node < ways - 1) {
+            const bool right = (bits >> node) & 1;
+            node = 2 * node + 1 + (right ? 1 : 0);
+        }
+        return node - (ways - 1);
+    }
+
+    /** Record a reference to @p way: bits on its path point away. */
+    void
+    touch(std::size_t way, std::size_t ways)
+    {
+        std::size_t node = way + (ways - 1);
+        while (node != 0) {
+            const std::size_t parent = (node - 1) / 2;
+            const bool came_from_right = node == 2 * parent + 2;
+            // Point the parent at the *other* child.
+            if (came_from_right)
+                bits &= ~(std::uint64_t{1} << parent);
+            else
+                bits |= std::uint64_t{1} << parent;
+            node = parent;
+        }
+    }
+};
+
+/**
+ * Choose a victim among @p count candidate entries starting at
+ * @p entries.  Invalid entries are preferred unconditionally;
+ * otherwise selection follows @p policy.
+ *
+ * @param plru per-group tree state; consulted only for TreePLRU
+ * @return index of the victim within the candidate group
+ */
+inline std::size_t
+chooseVictim(const TlbEntry *entries, std::size_t count, ReplPolicy policy,
+             Rng &rng, const PlruTree &plru = {})
+{
+    for (std::size_t i = 0; i < count; ++i)
+        if (!entries[i].valid)
+            return i;
+
+    if (policy == ReplPolicy::TreePLRU)
+        return plru.victim(count);
+
+    switch (policy) {
+      case ReplPolicy::LRU: {
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < count; ++i)
+              if (entries[i].lastUse < entries[victim].lastUse)
+                  victim = i;
+          return victim;
+      }
+      case ReplPolicy::FIFO: {
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < count; ++i)
+              if (entries[i].inserted < entries[victim].inserted)
+                  victim = i;
+          return victim;
+      }
+      case ReplPolicy::Random:
+        return static_cast<std::size_t>(rng.below(count));
+      case ReplPolicy::TreePLRU:
+        break; // handled above
+    }
+    return 0;
+}
+
+} // namespace tps
+
+#endif // TPS_TLB_REPLACEMENT_H_

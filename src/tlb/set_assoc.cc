@@ -1,0 +1,145 @@
+#include "tlb/set_assoc.h"
+
+#include <algorithm>
+
+#include "tlb/tlb_detail.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+SetAssocTlb::SetAssocTlb(std::size_t entries, std::size_t ways,
+                         IndexScheme scheme, unsigned small_log2,
+                         unsigned large_log2, ReplPolicy policy,
+                         std::uint64_t rng_seed)
+    : entries_(entries), sets_(ways == 0 ? 0 : entries / ways),
+      ways_(ways), scheme_(scheme), small_log2_(small_log2),
+      large_log2_(large_log2), policy_(policy), rng_(rng_seed),
+      rng_seed_(rng_seed)
+{
+    if (entries == 0 || ways == 0)
+        tps_fatal("set-associative TLB needs entries > 0 and ways > 0");
+    if (entries % ways != 0)
+        tps_fatal("TLB entries (", entries, ") not divisible by ways (",
+                  ways, ")");
+    if (!isPow2(sets_))
+        tps_fatal("number of sets (", sets_, ") must be a power of two");
+    if (large_log2 <= small_log2)
+        tps_fatal("large page must exceed small page");
+    if (policy == ReplPolicy::TreePLRU &&
+        (!isPow2(ways) || ways > 64)) {
+        tps_fatal("tree-PLRU needs a power-of-two way count <= 64, "
+                  "got ", ways);
+    }
+    index_bits_ = log2Exact(sets_);
+    plru_.resize(sets_);
+}
+
+std::size_t
+SetAssocTlb::indexFor(const PageId &page, Addr vaddr) const
+{
+    unsigned shift = 0;
+    switch (scheme_) {
+      case IndexScheme::SmallPage:
+        shift = small_log2_;
+        break;
+      case IndexScheme::LargePage:
+        shift = large_log2_;
+        break;
+      case IndexScheme::Exact:
+        shift = page.sizeLog2;
+        break;
+    }
+    return static_cast<std::size_t>((vaddr >> shift) & mask(index_bits_));
+}
+
+bool
+SetAssocTlb::access(const PageId &page, Addr vaddr)
+{
+    ++clock_;
+    const bool is_large = page.sizeLog2 >= large_log2_;
+    const std::size_t set = indexFor(page, vaddr);
+    TlbEntry *base = setBase(set);
+
+    for (std::size_t way = 0; way < ways_; ++way) {
+        if (base[way].matches(page)) {
+            base[way].lastUse = clock_;
+            if (policy_ == ReplPolicy::TreePLRU)
+                plru_[set].touch(way, ways_);
+            detail::recordOutcome(stats_, true, is_large);
+            return true;
+        }
+    }
+
+    detail::recordOutcome(stats_, false, is_large);
+    const std::size_t victim =
+        chooseVictim(base, ways_, policy_, rng_, plru_[set]);
+    TlbEntry &slot = base[victim];
+    if (slot.valid)
+        ++stats_.evictions;
+    slot.page = page;
+    slot.valid = true;
+    slot.lastUse = clock_;
+    slot.inserted = clock_;
+    if (policy_ == ReplPolicy::TreePLRU)
+        plru_[set].touch(victim, ways_);
+    ++stats_.fills;
+    return false;
+}
+
+void
+SetAssocTlb::invalidatePage(const PageId &page)
+{
+    // Under the SmallPage scheme a large page may be resident in
+    // several sets (the pathology of Section 2.2), so a correct
+    // shootdown must search the whole array.  Invalidations are rare
+    // (only promotions/demotions), so the full scan is acceptable.
+    for (TlbEntry &entry : entries_) {
+        if (entry.matches(page)) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+SetAssocTlb::invalidateAll()
+{
+    for (TlbEntry &entry : entries_) {
+        if (entry.valid) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+SetAssocTlb::reset()
+{
+    for (TlbEntry &entry : entries_)
+        entry = TlbEntry{};
+    clock_ = 0;
+    stats_ = TlbStats{};
+    rng_ = Rng(rng_seed_);
+    std::fill(plru_.begin(), plru_.end(), PlruTree{});
+}
+
+std::string
+SetAssocTlb::name() const
+{
+    return std::to_string(entries_.size()) + "-entry " +
+           std::to_string(ways_) + "-way (" + indexSchemeName(scheme_) +
+           ", " + replPolicyName(policy_) + ")";
+}
+
+std::size_t
+SetAssocTlb::residentCopies(const PageId &page) const
+{
+    std::size_t count = 0;
+    for (const TlbEntry &entry : entries_)
+        count += entry.matches(page) ? 1 : 0;
+    return count;
+}
+
+} // namespace tps

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Set-associative TLB supporting two page sizes (paper Section 2.2).
+ *
+ * The open design question the paper analyzes: which address bits index
+ * the set array when the page size is not known at lookup time?
+ *
+ *  - SmallPage index: bits above the small page offset.  A large page
+ *    then indexes to *different* sets depending on offset bits inside
+ *    it, so one large page can occupy (and miss in) many sets — the
+ *    scheme the paper rules out.
+ *  - LargePage index: bits above the large page offset.  Consistent
+ *    for both sizes, but all 2^(largeLog2-smallLog2) small pages of a
+ *    chunk compete for one set.
+ *  - Exact index: bits above the page's own offset.  Hardware must
+ *    discover the size: probe both indexes in parallel, reprobe
+ *    sequentially, or split the TLB (Section 2.2, options a/b/c).
+ *    Miss behaviour is identical across those options; they differ in
+ *    probe cost, which the CPI model charges (see core/cpi_model.h).
+ */
+
+#ifndef TPS_TLB_SET_ASSOC_H_
+#define TPS_TLB_SET_ASSOC_H_
+
+#include <vector>
+
+#include "tlb/replacement.h"
+#include "tlb/tlb.h"
+#include "tlb/tlb_entry.h"
+#include "util/random.h"
+
+namespace tps
+{
+
+/** Set-index selection for a two-page-size set-associative TLB. */
+enum class IndexScheme : std::uint8_t
+{
+    SmallPage = 0, ///< index with small-page-number bits (broken)
+    LargePage = 1, ///< index with large-page-number bits
+    Exact = 2,     ///< index with the page's own page-number bits
+};
+
+constexpr const char *
+indexSchemeName(IndexScheme scheme)
+{
+    switch (scheme) {
+      case IndexScheme::SmallPage:
+        return "small-index";
+      case IndexScheme::LargePage:
+        return "large-index";
+      case IndexScheme::Exact:
+        return "exact-index";
+    }
+    return "?";
+}
+
+/** Set-associative TLB with a two-page-size indexing scheme. */
+class SetAssocTlb : public Tlb
+{
+  public:
+    /**
+     * @param entries  total capacity; must be ways * power-of-two sets
+     * @param ways     associativity
+     * @param scheme   set-index selection (see IndexScheme)
+     * @param small_log2,large_log2 the two supported page sizes
+     */
+    SetAssocTlb(std::size_t entries, std::size_t ways, IndexScheme scheme,
+                unsigned small_log2 = kLog2_4K,
+                unsigned large_log2 = kLog2_32K,
+                ReplPolicy policy = ReplPolicy::LRU,
+                std::uint64_t rng_seed = 1);
+
+    bool access(const PageId &page, Addr vaddr) override;
+    void invalidatePage(const PageId &page) override;
+    void invalidateAll() override;
+    void reset() override;
+    void resetStats() override { stats_ = TlbStats{}; }
+    std::size_t capacity() const override { return entries_.size(); }
+    const TlbStats &stats() const override { return stats_; }
+    std::string name() const override;
+
+    std::size_t numSets() const { return sets_; }
+    std::size_t numWays() const { return ways_; }
+    IndexScheme scheme() const { return scheme_; }
+
+    /** Set index this (page, vaddr) pair probes (exposed for tests). */
+    std::size_t indexFor(const PageId &page, Addr vaddr) const;
+
+    /** Number of valid entries holding @p page (duplicates possible
+     *  only under the SmallPage scheme; for tests). */
+    std::size_t residentCopies(const PageId &page) const;
+
+  private:
+    TlbEntry *setBase(std::size_t set) { return &entries_[set * ways_]; }
+    const TlbEntry *
+    setBase(std::size_t set) const
+    {
+        return &entries_[set * ways_];
+    }
+
+    std::vector<TlbEntry> entries_; ///< sets_ x ways_, set-major
+    std::size_t sets_;
+    std::size_t ways_;
+    IndexScheme scheme_;
+    unsigned small_log2_;
+    unsigned large_log2_;
+    unsigned index_bits_;
+    ReplPolicy policy_;
+    Rng rng_;
+    std::uint64_t rng_seed_;
+    std::uint64_t clock_ = 0;
+    std::vector<PlruTree> plru_; ///< per set; TreePLRU only
+    TlbStats stats_;
+};
+
+} // namespace tps
+
+#endif // TPS_TLB_SET_ASSOC_H_

@@ -1,0 +1,92 @@
+#include "tlb/split_tlb.h"
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+SplitTlb::SplitTlb(std::unique_ptr<Tlb> small_tlb,
+                   std::unique_ptr<Tlb> large_tlb, unsigned large_log2)
+    : small_(std::move(small_tlb)), large_(std::move(large_tlb)),
+      large_log2_(large_log2)
+{
+    if (!small_ || !large_)
+        tps_fatal("SplitTlb requires two sub-TLBs");
+}
+
+bool
+SplitTlb::access(const PageId &page, Addr vaddr)
+{
+    Tlb &target = page.sizeLog2 >= large_log2_ ? *large_ : *small_;
+    return target.access(page, vaddr);
+}
+
+void
+SplitTlb::invalidatePage(const PageId &page)
+{
+    Tlb &target = page.sizeLog2 >= large_log2_ ? *large_ : *small_;
+    target.invalidatePage(page);
+}
+
+void
+SplitTlb::invalidateAll()
+{
+    small_->invalidateAll();
+    large_->invalidateAll();
+}
+
+void
+SplitTlb::reset()
+{
+    small_->reset();
+    large_->reset();
+}
+
+void
+SplitTlb::resetStats()
+{
+    small_->resetStats();
+    large_->resetStats();
+}
+
+std::size_t
+SplitTlb::capacity() const
+{
+    return small_->capacity() + large_->capacity();
+}
+
+void
+SplitTlb::refreshStats() const
+{
+    const TlbStats &a = small_->stats();
+    const TlbStats &b = large_->stats();
+    combined_ = TlbStats{};
+    combined_.accesses = a.accesses + b.accesses;
+    combined_.hits = a.hits + b.hits;
+    combined_.misses = a.misses + b.misses;
+    // The small sub-TLB records everything it handles as small-size
+    // (its large_log2 threshold is never crossed) and symmetrically
+    // for the large sub-TLB, so the by-size split is exact:
+    combined_.hitsSmall = a.hits;
+    combined_.hitsLarge = b.hits;
+    combined_.missesSmall = a.misses;
+    combined_.missesLarge = b.misses;
+    combined_.fills = a.fills + b.fills;
+    combined_.evictions = a.evictions + b.evictions;
+    combined_.invalidations = a.invalidations + b.invalidations;
+}
+
+const TlbStats &
+SplitTlb::stats() const
+{
+    refreshStats();
+    return combined_;
+}
+
+std::string
+SplitTlb::name() const
+{
+    return "split[" + small_->name() + " | " + large_->name() + "]";
+}
+
+} // namespace tps

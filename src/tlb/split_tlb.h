@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Split TLBs: a separate TLB per page size (paper Section 2.2,
+ * exact-index option (c); cf. the Intel i860 XP's 64-entry 4KB TLB +
+ * 16-entry 4MB TLB, and HP PA-RISC 1.1's Block TLB).
+ *
+ * Both sub-TLBs are probed in parallel with the appropriate page
+ * number, so lookup cost matches a single TLB; the drawback the paper
+ * notes is stranded capacity when pages are not distributed across the
+ * two sizes the way the hardware split assumed.
+ */
+
+#ifndef TPS_TLB_SPLIT_TLB_H_
+#define TPS_TLB_SPLIT_TLB_H_
+
+#include <memory>
+
+#include "tlb/tlb.h"
+
+namespace tps
+{
+
+/** Two-page-size TLB built from one sub-TLB per size. */
+class SplitTlb : public Tlb
+{
+  public:
+    /**
+     * @param small_tlb handles every page with sizeLog2 < large_log2
+     * @param large_tlb handles the rest
+     */
+    SplitTlb(std::unique_ptr<Tlb> small_tlb, std::unique_ptr<Tlb> large_tlb,
+             unsigned large_log2 = kLog2_32K);
+
+    bool access(const PageId &page, Addr vaddr) override;
+    void invalidatePage(const PageId &page) override;
+    void invalidateAll() override;
+    void reset() override;
+    void resetStats() override;
+    std::size_t capacity() const override;
+    const TlbStats &stats() const override;
+    std::string name() const override;
+
+    const Tlb &smallTlb() const { return *small_; }
+    const Tlb &largeTlb() const { return *large_; }
+
+  private:
+    /** Recompute the combined stats from the sub-TLBs. */
+    void refreshStats() const;
+
+    std::unique_ptr<Tlb> small_;
+    std::unique_ptr<Tlb> large_;
+    unsigned large_log2_;
+    mutable TlbStats combined_;
+};
+
+} // namespace tps
+
+#endif // TPS_TLB_SPLIT_TLB_H_

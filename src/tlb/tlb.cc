@@ -1,0 +1,27 @@
+#include "tlb/tlb.h"
+
+#include "tlb/tlb_detail.h"
+
+namespace tps::detail
+{
+
+void
+recordOutcome(TlbStats &stats, bool hit, bool is_large)
+{
+    ++stats.accesses;
+    if (hit) {
+        ++stats.hits;
+        if (is_large)
+            ++stats.hitsLarge;
+        else
+            ++stats.hitsSmall;
+    } else {
+        ++stats.misses;
+        if (is_large)
+            ++stats.missesLarge;
+        else
+            ++stats.missesSmall;
+    }
+}
+
+} // namespace tps::detail

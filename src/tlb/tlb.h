@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The TLB simulation interface.
+ *
+ * Every TLB model consumes (PageId, vaddr) pairs: the PageId is the
+ * translation unit the OS policy assigned (Section 3.4 of the paper),
+ * while the raw vaddr is what the hardware actually has at indexing
+ * time — the distinction is the crux of the set-associative indexing
+ * problem the paper analyzes in Section 2.2.
+ */
+
+#ifndef TPS_TLB_TLB_H_
+#define TPS_TLB_TLB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "vm/page.h"
+#include "vm/policy.h"
+
+namespace tps
+{
+
+/** Event counters shared by every TLB model. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** Broken out by the page size of the reference. */
+    std::uint64_t hitsSmall = 0;
+    std::uint64_t hitsLarge = 0;
+    std::uint64_t missesSmall = 0;
+    std::uint64_t missesLarge = 0;
+
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;     ///< valid entries displaced by fills
+    std::uint64_t invalidations = 0; ///< entries removed by shootdowns
+
+    double
+    missRatio() const
+    {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(misses) /
+                                   static_cast<double>(accesses);
+    }
+};
+
+/**
+ * Abstract TLB.  Implements InvalidationSink so a PageSizePolicy can
+ * shoot down stale translations on promotion/demotion.
+ */
+class Tlb : public InvalidationSink
+{
+  public:
+    ~Tlb() override = default;
+
+    /**
+     * Simulate one translation.  On a miss the translation is filled
+     * (trace-driven convention: the fill always succeeds).
+     *
+     * @param page  translation unit assigned by the OS policy
+     * @param vaddr full virtual address (drives set indexing)
+     * @return true on hit
+     */
+    virtual bool access(const PageId &page, Addr vaddr) = 0;
+
+    /** Remove every entry (context-switch flush). */
+    virtual void invalidateAll() = 0;
+
+    /** Clear contents and statistics. */
+    virtual void reset() = 0;
+
+    /**
+     * Zero the statistics while keeping TLB contents (used to exclude
+     * warmup from measurement; the paper's billion-reference traces
+     * amortize cold effects that our scaled traces must skip).
+     */
+    virtual void resetStats() = 0;
+
+    /** Total entry capacity. */
+    virtual std::size_t capacity() const = 0;
+
+    virtual const TlbStats &stats() const = 0;
+    virtual std::string name() const = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_TLB_TLB_H_

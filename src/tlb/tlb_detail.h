@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Internal helpers shared by the TLB implementations.
+ */
+
+#ifndef TPS_TLB_TLB_DETAIL_H_
+#define TPS_TLB_TLB_DETAIL_H_
+
+#include "tlb/tlb.h"
+
+namespace tps::detail
+{
+
+/**
+ * Bump the access/hit/miss counters for one lookup.
+ * @param is_large whether the reference's page is the larger size
+ *                 (callers pass sizeLog2 comparison; single-size TLBs
+ *                 pass false).
+ */
+void recordOutcome(TlbStats &stats, bool hit, bool is_large);
+
+} // namespace tps::detail
+
+#endif // TPS_TLB_TLB_DETAIL_H_

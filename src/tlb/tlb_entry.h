@@ -1,0 +1,68 @@
+/**
+ * @file
+ * One TLB entry and the replacement metadata it carries.
+ */
+
+#ifndef TPS_TLB_TLB_ENTRY_H_
+#define TPS_TLB_TLB_ENTRY_H_
+
+#include <cstdint>
+
+#include "vm/page.h"
+
+namespace tps
+{
+
+/**
+ * A TLB entry: tag (PageId: vpn + page size, per Section 2.1 — the tag
+ * must include the page size so hit detection can select the right
+ * comparison width) plus replacement bookkeeping.
+ */
+struct TlbEntry
+{
+    PageId page;
+    bool valid = false;
+    std::uint64_t lastUse = 0;  ///< access clock at last hit/fill (LRU)
+    std::uint64_t inserted = 0; ///< access clock at fill (FIFO)
+
+    bool
+    matches(const PageId &lookup) const
+    {
+        return valid && page == lookup;
+    }
+};
+
+/** Replacement policies available to every associative organization. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU = 0,
+    FIFO = 1,
+    Random = 2,
+    /**
+     * Tree pseudo-LRU: the hardware-realistic approximation real TLBs
+     * ship (true LRU needs O(ways log ways) state and wide updates).
+     * Implemented via the victim-selection helpers in replacement.h;
+     * requires a power-of-two way count.
+     */
+    TreePLRU = 3,
+};
+
+constexpr const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:
+        return "LRU";
+      case ReplPolicy::FIFO:
+        return "FIFO";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::TreePLRU:
+        return "tree-PLRU";
+    }
+    return "?";
+}
+
+} // namespace tps
+
+#endif // TPS_TLB_TLB_ENTRY_H_

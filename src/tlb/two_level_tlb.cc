@@ -1,0 +1,101 @@
+#include "tlb/two_level_tlb.h"
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+TwoLevelTlb::TwoLevelTlb(std::unique_ptr<Tlb> l1,
+                         std::unique_ptr<Tlb> l2)
+    : l1_(std::move(l1)), l2_(std::move(l2))
+{
+    if (!l1_ || !l2_)
+        tps_fatal("TwoLevelTlb requires both levels");
+    if (l1_->capacity() >= l2_->capacity())
+        tps_fatal("L1 TLB (", l1_->capacity(),
+                  " entries) should be smaller than L2 (",
+                  l2_->capacity(), ")");
+}
+
+bool
+TwoLevelTlb::access(const PageId &page, Addr vaddr)
+{
+    ++stats_.accesses;
+    const bool is_large = page.sizeLog2 >= kLog2_32K;
+
+    if (l1_->access(page, vaddr)) {
+        ++level_stats_.l1Hits;
+        ++stats_.hits;
+        (is_large ? stats_.hitsLarge : stats_.hitsSmall) += 1;
+        return true;
+    }
+    // L1 missed and already refilled itself; classify via L2.
+    if (l2_->access(page, vaddr)) {
+        ++level_stats_.l2Hits;
+        ++stats_.hits;
+        (is_large ? stats_.hitsLarge : stats_.hitsSmall) += 1;
+        return true;
+    }
+    ++level_stats_.l2Misses;
+    ++stats_.misses;
+    (is_large ? stats_.missesLarge : stats_.missesSmall) += 1;
+    ++stats_.fills;
+    return false;
+}
+
+void
+TwoLevelTlb::invalidatePage(const PageId &page)
+{
+    l1_->invalidatePage(page);
+    l2_->invalidatePage(page);
+    // Count shootdowns once at the hierarchy level.
+    stats_.invalidations =
+        l1_->stats().invalidations + l2_->stats().invalidations;
+}
+
+void
+TwoLevelTlb::invalidateAll()
+{
+    l1_->invalidateAll();
+    l2_->invalidateAll();
+    stats_.invalidations =
+        l1_->stats().invalidations + l2_->stats().invalidations;
+}
+
+void
+TwoLevelTlb::reset()
+{
+    l1_->reset();
+    l2_->reset();
+    level_stats_ = TwoLevelStats{};
+    stats_ = TlbStats{};
+}
+
+void
+TwoLevelTlb::resetStats()
+{
+    l1_->resetStats();
+    l2_->resetStats();
+    level_stats_ = TwoLevelStats{};
+    stats_ = TlbStats{};
+}
+
+std::size_t
+TwoLevelTlb::capacity() const
+{
+    return l2_->capacity(); // inclusion: L2 bounds reach
+}
+
+const TlbStats &
+TwoLevelTlb::stats() const
+{
+    return stats_;
+}
+
+std::string
+TwoLevelTlb::name() const
+{
+    return "L1[" + l1_->name() + "] + L2[" + l2_->name() + "]";
+}
+
+} // namespace tps

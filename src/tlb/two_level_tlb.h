@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Two-level TLB hierarchy.
+ *
+ * The paper's Section 1 argues a physically-tagged L1 cache caps how
+ * large a (single-level) TLB can grow before it slows every memory
+ * reference.  The design answer that later machines adopted is a
+ * hierarchy: a tiny fully associative L1 ("micro-TLB", cf. the R4000's
+ * ITLB) backed by a larger, slower L2.  This model composes any two
+ * Tlb implementations, maintains (non-strict) inclusion on fills and
+ * strict inclusion on invalidations, and reports the L1/L2 split so
+ * the CPI model can charge an L2-hit latency instead of a full miss.
+ */
+
+#ifndef TPS_TLB_TWO_LEVEL_TLB_H_
+#define TPS_TLB_TWO_LEVEL_TLB_H_
+
+#include <memory>
+
+#include "tlb/tlb.h"
+
+namespace tps
+{
+
+/** Extra counters specific to the hierarchy. */
+struct TwoLevelStats
+{
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;   ///< L1 miss, L2 hit (refill L1)
+    std::uint64_t l2Misses = 0; ///< miss in both (software handler)
+};
+
+/** An L1 micro-TLB backed by a larger L2. */
+class TwoLevelTlb : public Tlb
+{
+  public:
+    TwoLevelTlb(std::unique_ptr<Tlb> l1, std::unique_ptr<Tlb> l2);
+
+    /**
+     * Hit means "did not reach the miss handler": an L2 hit refills
+     * the L1 and still counts as a TLB hit at this interface; use
+     * levelStats() to cost the L2-hit latency separately.
+     */
+    bool access(const PageId &page, Addr vaddr) override;
+
+    void invalidatePage(const PageId &page) override;
+    void invalidateAll() override;
+    void reset() override;
+    void resetStats() override;
+    std::size_t capacity() const override;
+    const TlbStats &stats() const override;
+    std::string name() const override;
+
+    const TwoLevelStats &levelStats() const { return level_stats_; }
+    const Tlb &l1() const { return *l1_; }
+    const Tlb &l2() const { return *l2_; }
+
+  private:
+    std::unique_ptr<Tlb> l1_;
+    std::unique_ptr<Tlb> l2_;
+    TwoLevelStats level_stats_;
+    TlbStats stats_;
+};
+
+} // namespace tps
+
+#endif // TPS_TLB_TWO_LEVEL_TLB_H_

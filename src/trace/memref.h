@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The memory-reference record: the unit of data flowing through every
+ * simulator in tps.
+ *
+ * The paper's traces are user-mode SPARC memory references (instruction
+ * fetches, loads and stores) captured with shade/shadow.  A MemRef
+ * models one such reference.
+ */
+
+#ifndef TPS_TRACE_MEMREF_H_
+#define TPS_TRACE_MEMREF_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace tps
+{
+
+/** Kind of memory reference. */
+enum class RefType : std::uint8_t
+{
+    Ifetch = 0, ///< instruction fetch (one per executed instruction)
+    Load = 1,   ///< data read
+    Store = 2,  ///< data write
+};
+
+/** Printable name for a RefType. */
+constexpr const char *
+refTypeName(RefType type)
+{
+    switch (type) {
+      case RefType::Ifetch:
+        return "ifetch";
+      case RefType::Load:
+        return "load";
+      case RefType::Store:
+        return "store";
+    }
+    return "?";
+}
+
+/**
+ * One memory reference.
+ *
+ * Instruction counting convention: every executed instruction emits
+ * exactly one Ifetch reference, so the number of instructions in a
+ * trace equals its Ifetch count.  Misses-per-instruction (MPI) and
+ * references-per-instruction (RPI) derive from that.
+ */
+struct MemRef
+{
+    Addr vaddr = 0;
+    RefType type = RefType::Load;
+    std::uint8_t size = 4; ///< access width in bytes (metadata only)
+
+    bool isInstruction() const { return type == RefType::Ifetch; }
+    bool isData() const { return type != RefType::Ifetch; }
+
+    bool
+    operator==(const MemRef &other) const
+    {
+        return vaddr == other.vaddr && type == other.type &&
+               size == other.size;
+    }
+};
+
+} // namespace tps
+
+#endif // TPS_TRACE_MEMREF_H_

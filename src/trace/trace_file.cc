@@ -1,0 +1,244 @@
+#include "trace/trace_file.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'T', 'P', 'S', 'T', 'R', 'C', '1', '\0'};
+
+std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Map an access size in bytes to the 2-bit size code and back. */
+std::uint8_t
+sizeCode(std::uint8_t size)
+{
+    switch (size) {
+      case 1:
+        return 0;
+      case 2:
+        return 1;
+      case 4:
+        return 2;
+      case 8:
+        return 3;
+      default:
+        return 2; // unusual widths are recorded as 4 bytes
+    }
+}
+
+std::uint8_t
+sizeFromCode(std::uint8_t code)
+{
+    return static_cast<std::uint8_t>(1u << code);
+}
+
+template <typename Stream>
+void
+putU32(Stream &out, std::uint32_t v)
+{
+    std::array<char, 4> raw;
+    for (int i = 0; i < 4; ++i)
+        raw[static_cast<std::size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xFF);
+    out.write(raw.data(), raw.size());
+}
+
+template <typename Stream>
+void
+putU64(Stream &out, std::uint64_t v)
+{
+    std::array<char, 8> raw;
+    for (int i = 0; i < 8; ++i)
+        raw[static_cast<std::size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xFF);
+    out.write(raw.data(), raw.size());
+}
+
+std::uint32_t
+getU32(std::istream &in)
+{
+    std::array<char, 4> raw{};
+    in.read(raw.data(), raw.size());
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) |
+            static_cast<std::uint8_t>(raw[static_cast<std::size_t>(i)]);
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &in)
+{
+    std::array<char, 8> raw{};
+    in.read(raw.data(), raw.size());
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) |
+            static_cast<std::uint8_t>(raw[static_cast<std::size_t>(i)]);
+    return v;
+}
+
+void
+putVarint(std::ostream &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.put(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.put(static_cast<char>(v));
+}
+
+bool
+getVarint(std::istream &in, std::uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    for (;;) {
+        const int c = in.get();
+        if (c == std::istream::traits_type::eof())
+            return false;
+        v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+        if ((c & 0x80) == 0)
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            return false; // malformed
+    }
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 const std::string &trace_name)
+    : out_(path, std::ios::binary), path_(path)
+{
+    if (!out_)
+        tps_fatal("cannot open trace file for writing: ", path);
+    out_.write(kMagic, sizeof(kMagic));
+    putU32(out_, static_cast<std::uint32_t>(trace_name.size()));
+    out_.write(trace_name.data(),
+               static_cast<std::streamsize>(trace_name.size()));
+    count_offset_ = out_.tellp();
+    putU64(out_, 0); // ref count, patched by finish()
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceFileWriter::write(const MemRef &ref)
+{
+    if (finished_)
+        tps_panic("write after finish on trace file ", path_);
+    const std::uint8_t control = static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(ref.type) & 0x3) |
+        (sizeCode(ref.size) << 2));
+    out_.put(static_cast<char>(control));
+    const std::int64_t delta = static_cast<std::int64_t>(ref.vaddr) -
+                               static_cast<std::int64_t>(prev_addr_);
+    putVarint(out_, zigzagEncode(delta));
+    prev_addr_ = ref.vaddr;
+    ++count_;
+}
+
+void
+TraceFileWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_.seekp(count_offset_, std::ios::beg);
+    putU64(out_, count_);
+    out_.flush();
+    if (!out_)
+        tps_fatal("I/O error finalizing trace file ", path_);
+}
+
+std::uint64_t
+writeTraceFile(const std::string &path, TraceSource &source,
+               std::uint64_t max_refs)
+{
+    TraceFileWriter writer(path, source.name());
+    MemRef ref;
+    while ((max_refs == 0 || writer.refsWritten() < max_refs) &&
+           source.next(ref))
+        writer.write(ref);
+    writer.finish();
+    return writer.refsWritten();
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : in_(path, std::ios::binary), path_(path)
+{
+    if (!in_)
+        tps_fatal("cannot open trace file: ", path);
+    char magic[sizeof(kMagic)] = {};
+    in_.read(magic, sizeof(magic));
+    if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        tps_fatal("not a tps trace file (bad magic): ", path);
+    const std::uint32_t name_len = getU32(in_);
+    if (name_len > (1u << 20))
+        tps_fatal("corrupt trace header (name length ", name_len, "): ",
+                  path);
+    name_.resize(name_len);
+    in_.read(name_.data(), name_len);
+    ref_count_ = getU64(in_);
+    if (!in_)
+        tps_fatal("truncated trace header: ", path);
+    data_start_ = in_.tellg();
+}
+
+bool
+TraceFileReader::next(MemRef &ref)
+{
+    if (delivered_ >= ref_count_)
+        return false;
+    const int control = in_.get();
+    if (control == std::istream::traits_type::eof())
+        tps_fatal("trace file truncated (expected ", ref_count_,
+                  " refs, got ", delivered_, "): ", path_);
+    std::uint64_t encoded = 0;
+    if (!getVarint(in_, encoded))
+        tps_fatal("trace file truncated mid-record: ", path_);
+    const std::int64_t delta = zigzagDecode(encoded);
+    prev_addr_ = static_cast<Addr>(static_cast<std::int64_t>(prev_addr_) +
+                                   delta);
+    ref.vaddr = prev_addr_;
+    ref.type = static_cast<RefType>(control & 0x3);
+    ref.size = sizeFromCode(static_cast<std::uint8_t>((control >> 2) & 0x3));
+    ++delivered_;
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    in_.clear();
+    in_.seekg(data_start_);
+    delivered_ = 0;
+    prev_addr_ = 0;
+}
+
+} // namespace tps

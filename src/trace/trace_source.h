@@ -1,0 +1,45 @@
+/**
+ * @file
+ * TraceSource: the pull interface every reference stream implements.
+ */
+
+#ifndef TPS_TRACE_TRACE_SOURCE_H_
+#define TPS_TRACE_TRACE_SOURCE_H_
+
+#include <string>
+
+#include "trace/memref.h"
+
+namespace tps
+{
+
+/**
+ * A resettable stream of memory references.
+ *
+ * Implementations include in-memory traces, binary trace files and the
+ * synthetic workload generators.  Sources must be deterministic across
+ * reset() so that the same reference stream can be replayed against
+ * many TLB configurations, exactly as the paper replays each SPARC
+ * trace against 84+ configurations.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @return false when the stream is exhausted (@p ref untouched).
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Rewind to the first reference, replaying identically. */
+    virtual void reset() = 0;
+
+    /** Human-readable identifier (workload or file name). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_TRACE_TRACE_SOURCE_H_

@@ -1,0 +1,61 @@
+#include "trace/trace_stats.h"
+
+namespace tps
+{
+
+void
+TraceStatsBuilder::observe(const MemRef &ref)
+{
+    ++stats_.refs;
+    const Addr vpn = ref.vaddr >> 12;
+    switch (ref.type) {
+      case RefType::Ifetch:
+        ++stats_.instructions;
+        code_pages_.insert(vpn);
+        break;
+      case RefType::Load:
+        ++stats_.loads;
+        data_pages_.insert(vpn);
+        break;
+      case RefType::Store:
+        ++stats_.stores;
+        data_pages_.insert(vpn);
+        break;
+    }
+}
+
+TraceStats
+TraceStatsBuilder::finish() const
+{
+    TraceStats out = stats_;
+    out.codePages4k = code_pages_.size();
+    out.dataPages4k = data_pages_.size();
+    // Code and data normally live on disjoint pages, but be exact when
+    // a generator mixes them on one page.
+    std::uint64_t shared = 0;
+    const auto &smaller =
+        code_pages_.size() <= data_pages_.size() ? code_pages_
+                                                 : data_pages_;
+    const auto &larger =
+        code_pages_.size() <= data_pages_.size() ? data_pages_
+                                                 : code_pages_;
+    for (Addr vpn : smaller)
+        shared += larger.count(vpn);
+    out.totalPages4k = out.codePages4k + out.dataPages4k - shared;
+    return out;
+}
+
+TraceStats
+collectTraceStats(TraceSource &source, std::uint64_t max_refs)
+{
+    TraceStatsBuilder builder;
+    MemRef ref;
+    std::uint64_t seen = 0;
+    while ((max_refs == 0 || seen < max_refs) && source.next(ref)) {
+        builder.observe(ref);
+        ++seen;
+    }
+    return builder.finish();
+}
+
+} // namespace tps

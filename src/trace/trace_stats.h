@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Descriptive statistics over a reference stream (Table 3.1 inputs).
+ */
+
+#ifndef TPS_TRACE_TRACE_STATS_H_
+#define TPS_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/trace_source.h"
+#include "util/types.h"
+
+namespace tps
+{
+
+/** Aggregate properties of a trace. */
+struct TraceStats
+{
+    std::uint64_t refs = 0;
+    std::uint64_t instructions = 0; ///< = ifetch count
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    /** Distinct 4KB pages touched, split by reference kind. */
+    std::uint64_t codePages4k = 0;
+    std::uint64_t dataPages4k = 0;
+    std::uint64_t totalPages4k = 0;
+
+    /** Total footprint in bytes at 4KB granularity. */
+    std::uint64_t footprintBytes() const { return totalPages4k << 12; }
+
+    /** References per instruction (paper Table 3.1 "RPI"). */
+    double
+    rpi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : static_cast<double>(refs) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/**
+ * Single pass over @p source collecting TraceStats.
+ * Consumes up to @p max_refs references (all when 0); does not reset
+ * the source first or afterwards.
+ */
+TraceStats collectTraceStats(TraceSource &source,
+                             std::uint64_t max_refs = 0);
+
+/**
+ * Incremental variant for callers already iterating a trace.
+ */
+class TraceStatsBuilder
+{
+  public:
+    void observe(const MemRef &ref);
+    TraceStats finish() const;
+
+  private:
+    TraceStats stats_;
+    std::unordered_set<Addr> code_pages_;
+    std::unordered_set<Addr> data_pages_;
+};
+
+} // namespace tps
+
+#endif // TPS_TRACE_TRACE_STATS_H_

@@ -1,0 +1,161 @@
+#include "trace/transforms.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+LimitSource::LimitSource(TraceSource &inner, std::uint64_t max_refs)
+    : inner_(inner), max_refs_(max_refs)
+{
+}
+
+bool
+LimitSource::next(MemRef &ref)
+{
+    if (delivered_ >= max_refs_)
+        return false;
+    if (!inner_.next(ref))
+        return false;
+    ++delivered_;
+    return true;
+}
+
+void
+LimitSource::reset()
+{
+    inner_.reset();
+    delivered_ = 0;
+}
+
+std::string
+LimitSource::name() const
+{
+    return inner_.name();
+}
+
+TypeFilterSource::TypeFilterSource(TraceSource &inner, bool keep_ifetch,
+                                   bool keep_load, bool keep_store)
+    : inner_(inner), keep_ifetch_(keep_ifetch), keep_load_(keep_load),
+      keep_store_(keep_store)
+{
+}
+
+bool
+TypeFilterSource::keeps(RefType type) const
+{
+    switch (type) {
+      case RefType::Ifetch:
+        return keep_ifetch_;
+      case RefType::Load:
+        return keep_load_;
+      case RefType::Store:
+        return keep_store_;
+    }
+    return false;
+}
+
+bool
+TypeFilterSource::next(MemRef &ref)
+{
+    MemRef candidate;
+    while (inner_.next(candidate)) {
+        if (keeps(candidate.type)) {
+            ref = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TypeFilterSource::reset()
+{
+    inner_.reset();
+}
+
+std::string
+TypeFilterSource::name() const
+{
+    return inner_.name() + "/filtered";
+}
+
+InterleaveSource::InterleaveSource(std::vector<TraceSource *> sources,
+                                   std::uint64_t quantum,
+                                   unsigned slice_log2)
+    : sources_(std::move(sources)), exhausted_(sources_.size(), false),
+      quantum_(quantum), slice_log2_(slice_log2)
+{
+    if (sources_.empty())
+        tps_fatal("InterleaveSource requires at least one source");
+    if (quantum_ == 0)
+        tps_fatal("InterleaveSource quantum must be positive");
+    for (auto *src : sources_) {
+        if (src == nullptr)
+            tps_fatal("InterleaveSource given a null source");
+    }
+}
+
+bool
+InterleaveSource::next(MemRef &ref)
+{
+    const std::size_t n = sources_.size();
+    // Each iteration either delivers a reference or marks one source
+    // exhausted, so 2n+2 iterations suffice to terminate.
+    for (std::size_t guard = 0; guard < 2 * n + 2; ++guard) {
+        if (in_quantum_ >= quantum_) {
+            current_ = (current_ + 1) % n;
+            in_quantum_ = 0;
+        }
+        if (exhausted_[current_]) {
+            bool found = false;
+            for (std::size_t step = 1; step <= n; ++step) {
+                const std::size_t candidate = (current_ + step) % n;
+                if (!exhausted_[candidate]) {
+                    current_ = candidate;
+                    in_quantum_ = 0;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return false;
+        }
+        MemRef inner_ref;
+        if (sources_[current_]->next(inner_ref)) {
+            ref = inner_ref;
+            ref.vaddr += static_cast<Addr>(current_) << slice_log2_;
+            ++in_quantum_;
+            return true;
+        }
+        exhausted_[current_] = true;
+    }
+    return false;
+}
+
+void
+InterleaveSource::reset()
+{
+    for (auto *src : sources_)
+        src->reset();
+    std::fill(exhausted_.begin(), exhausted_.end(), false);
+    current_ = 0;
+    in_quantum_ = 0;
+}
+
+std::string
+InterleaveSource::name() const
+{
+    std::string joined = "interleave(";
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+        if (i != 0)
+            joined += "+";
+        joined += sources_[i]->name();
+    }
+    joined += ")";
+    return joined;
+}
+
+} // namespace tps

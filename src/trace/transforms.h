@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Composable trace transformers (limit, filter-by-type, interleave).
+ *
+ * These adapt TraceSources the way the paper's tooling post-processed
+ * raw shade output: truncating to a budget, selecting data-only
+ * streams, or merging streams (a cheap stand-in for multiprogramming,
+ * which the paper flags as future work).
+ */
+
+#ifndef TPS_TRACE_TRANSFORMS_H_
+#define TPS_TRACE_TRANSFORMS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace tps
+{
+
+/** Caps an underlying source at a fixed number of references. */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(TraceSource &inner, std::uint64_t max_refs);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t max_refs_;
+    std::uint64_t delivered_ = 0;
+};
+
+/** Passes through only references of the selected kinds. */
+class TypeFilterSource : public TraceSource
+{
+  public:
+    TypeFilterSource(TraceSource &inner, bool keep_ifetch, bool keep_load,
+                     bool keep_store);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    bool keeps(RefType type) const;
+
+    TraceSource &inner_;
+    bool keep_ifetch_;
+    bool keep_load_;
+    bool keep_store_;
+};
+
+/**
+ * Round-robin interleaving of several sources in fixed-size quanta,
+ * modelling context switches between uniprogrammed traces.  Each
+ * source's addresses are offset into a disjoint address-space slice so
+ * the merged stream behaves like distinct processes sharing one TLB
+ * (ASID-free, i.e. a flush-free tagged TLB).
+ */
+class InterleaveSource : public TraceSource
+{
+  public:
+    /**
+     * @param quantum references delivered from one source before
+     *                switching to the next.
+     * @param slice_log2 log2 of the per-source address slice;
+     *                   source i's addresses are placed at
+     *                   i << slice_log2.  Must exceed every source's
+     *                   address range.
+     */
+    InterleaveSource(std::vector<TraceSource *> sources,
+                     std::uint64_t quantum, unsigned slice_log2 = 36);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::vector<TraceSource *> sources_;
+    std::vector<bool> exhausted_;
+    std::uint64_t quantum_;
+    unsigned slice_log2_;
+    std::size_t current_ = 0;
+    std::uint64_t in_quantum_ = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_TRACE_TRANSFORMS_H_

@@ -1,0 +1,30 @@
+#include "trace/vector_trace.h"
+
+namespace tps
+{
+
+VectorTrace::VectorTrace(std::vector<MemRef> refs, std::string name)
+    : refs_(std::move(refs)), name_(std::move(name))
+{
+}
+
+bool
+VectorTrace::next(MemRef &ref)
+{
+    if (pos_ >= refs_.size())
+        return false;
+    ref = refs_[pos_++];
+    return true;
+}
+
+VectorTrace
+materialize(TraceSource &source, std::uint64_t max_refs)
+{
+    std::vector<MemRef> refs;
+    MemRef ref;
+    while ((max_refs == 0 || refs.size() < max_refs) && source.next(ref))
+        refs.push_back(ref);
+    return VectorTrace(std::move(refs), source.name());
+}
+
+} // namespace tps

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * In-memory trace: a vector of MemRefs exposed as a TraceSource.
+ */
+
+#ifndef TPS_TRACE_VECTOR_TRACE_H_
+#define TPS_TRACE_VECTOR_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace tps
+{
+
+/**
+ * A trace held entirely in memory.  Used for unit tests, for capturing
+ * generator output, and for replaying short traces many times.
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace() = default;
+    explicit VectorTrace(std::vector<MemRef> refs,
+                         std::string name = "vector");
+
+    void append(const MemRef &ref) { refs_.push_back(ref); }
+
+    bool next(MemRef &ref) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::size_t size() const { return refs_.size(); }
+    const std::vector<MemRef> &refs() const { return refs_; }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::string name_ = "vector";
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Drain up to @p max_refs references from @p source into a VectorTrace.
+ * Drains everything when max_refs is 0.
+ */
+VectorTrace materialize(TraceSource &source, std::uint64_t max_refs = 0);
+
+} // namespace tps
+
+#endif // TPS_TRACE_VECTOR_TRACE_H_

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the address-translation code.
+ *
+ * Page sizes in tps are always powers of two and pages are aligned
+ * (paper, Section 1), so page numbers and offsets are pure bit fields.
+ */
+
+#ifndef TPS_UTIL_BITOPS_H_
+#define TPS_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace tps
+{
+
+/** Return true iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Floor of log base 2.
+ * @pre v != 0
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63 - std::countl_zero(v);
+}
+
+/**
+ * Exact log base 2 of a power of two.
+ * @pre isPow2(v)
+ */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    assert(isPow2(v));
+    return floorLog2(v);
+}
+
+/** Smallest power of two >= v (v must be <= 2^63). */
+constexpr std::uint64_t
+ceilPow2(std::uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
+/** A mask with the low @p bits bits set. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bits [first, last] (inclusive, first <= last) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    assert(first <= last);
+    return (v >> first) & mask(last - first + 1);
+}
+
+/** Round @p addr down to a multiple of 2^alignLog2. */
+constexpr Addr
+alignDown(Addr addr, unsigned align_log2)
+{
+    return addr & ~mask(align_log2);
+}
+
+/** Round @p addr up to a multiple of 2^alignLog2. */
+constexpr Addr
+alignUp(Addr addr, unsigned align_log2)
+{
+    return alignDown(addr + mask(align_log2), align_log2);
+}
+
+/** True iff @p addr is a multiple of 2^alignLog2. */
+constexpr bool
+isAligned(Addr addr, unsigned align_log2)
+{
+    return (addr & mask(align_log2)) == 0;
+}
+
+} // namespace tps
+
+#endif // TPS_UTIL_BITOPS_H_

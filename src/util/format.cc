@@ -1,0 +1,119 @@
+#include "util/format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+std::string
+withCommas(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *suffixes[] = {"B", "KB", "MB", "GB", "TB"};
+    int unit = 0;
+    double v = static_cast<double>(bytes);
+    while (v >= 1024.0 && unit < 4) {
+        v /= 1024.0;
+        ++unit;
+    }
+    char buf[64];
+    const double rounded = std::round(v * 10.0) / 10.0;
+    if (std::abs(rounded - std::round(rounded)) < 1e-9) {
+        std::snprintf(buf, sizeof(buf), "%.0f%s", rounded, suffixes[unit]);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f%s", rounded, suffixes[unit]);
+    }
+    return buf;
+}
+
+std::string
+formatFixed(double v, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+    return buf;
+}
+
+bool
+parseSize(const std::string &text, std::uint64_t &bytes_out)
+{
+    if (text.empty())
+        return false;
+    std::size_t pos = 0;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(
+                                    text[pos])))
+        ++pos;
+    if (pos == 0)
+        return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < pos; ++i) {
+        const std::uint64_t digit =
+            static_cast<std::uint64_t>(text[i] - '0');
+        if (value > (~std::uint64_t{0} - digit) / 10)
+            return false; // overflow
+        value = value * 10 + digit;
+    }
+
+    std::string suffix = text.substr(pos);
+    for (auto &c : suffix)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (!suffix.empty() && suffix.back() == 'B')
+        suffix.pop_back();
+
+    std::uint64_t mult = 1;
+    if (suffix == "") {
+        mult = 1;
+    } else if (suffix == "K") {
+        mult = 1ULL << 10;
+    } else if (suffix == "M") {
+        mult = 1ULL << 20;
+    } else if (suffix == "G") {
+        mult = 1ULL << 30;
+    } else {
+        return false;
+    }
+    if (mult != 1 && value > ~std::uint64_t{0} / mult)
+        return false;
+    bytes_out = value * mult;
+    return true;
+}
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0') {
+        std::uint64_t parsed = 0;
+        if (parseSize(raw, parsed))
+            return parsed;
+        tps_warn("ignoring unparseable ", name, "='", raw, "'");
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace tps

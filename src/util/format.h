@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Human-readable number and size formatting for tables and reports.
+ */
+
+#ifndef TPS_UTIL_FORMAT_H_
+#define TPS_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tps
+{
+
+/** 1234567 -> "1,234,567". */
+std::string withCommas(std::uint64_t v);
+
+/**
+ * Render a byte count with a binary-unit suffix: 4096 -> "4KB",
+ * 1572864 -> "1.5MB".  Chooses the largest unit that keeps the value
+ * >= 1, with at most one decimal place (dropped when exact).
+ */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Fixed-point decimal with @p places digits after the point. */
+std::string formatFixed(double v, int places);
+
+/**
+ * Parse a size string such as "4K", "32KB", "1M", "512" into bytes.
+ * Accepts suffixes K/M/G with optional trailing "B", case-insensitive.
+ * Returns false on malformed input.
+ */
+bool parseSize(const std::string &text, std::uint64_t &bytes_out);
+
+/**
+ * Read an environment override: returns @p fallback when @p name is
+ * unset or unparseable (a warning is emitted for unparseable values).
+ * Used by benches for TPS_REFS / TPS_WINDOW style scaling knobs.
+ */
+std::uint64_t envOr(const char *name, std::uint64_t fallback);
+
+} // namespace tps
+
+#endif // TPS_UTIL_FORMAT_H_

@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tps
+{
+namespace detail
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> warn_count{0};
+std::atomic<bool> quiet_flag{false};
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warn_count.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet_flag.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+std::uint64_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quiet()
+{
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
+} // namespace tps

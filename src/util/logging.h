@@ -1,0 +1,75 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Following the gem5 convention:
+ *  - panic()  -- an internal invariant was violated (a tps bug); aborts.
+ *  - fatal()  -- the user asked for something impossible (bad config);
+ *                exits with status 1.
+ *  - warn()   -- something works, but not as well as it should.
+ *  - inform() -- normal operational status.
+ *
+ * All messages go to stderr so that bench/table output on stdout stays
+ * machine-parseable.
+ */
+
+#ifndef TPS_UTIL_LOGGING_H_
+#define TPS_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace tps
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    static_cast<void>((os << ... << args)); // void: empty packs too
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Test hook: count of warnings emitted so far. */
+std::uint64_t warnCount();
+
+/** Test hook: suppress/unsuppress inform() output. */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace detail
+
+/** Report an internal error and abort (never returns). */
+#define tps_panic(...)                                                     \
+    ::tps::detail::panicImpl(__FILE__, __LINE__,                           \
+                             ::tps::detail::concat(__VA_ARGS__))
+
+/** Report a user/configuration error and exit(1) (never returns). */
+#define tps_fatal(...)                                                     \
+    ::tps::detail::fatalImpl(__FILE__, __LINE__,                           \
+                             ::tps::detail::concat(__VA_ARGS__))
+
+/** Warn about questionable but survivable conditions. */
+#define tps_warn(...)                                                      \
+    ::tps::detail::warnImpl(::tps::detail::concat(__VA_ARGS__))
+
+/** Print an informational status message (suppressed when quiet). */
+#define tps_inform(...)                                                    \
+    ::tps::detail::informImpl(::tps::detail::concat(__VA_ARGS__))
+
+} // namespace tps
+
+#endif // TPS_UTIL_LOGGING_H_

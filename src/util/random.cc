@@ -1,0 +1,133 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // xoshiro's all-zero state is invalid; SplitMix64 cannot produce four
+    // zero outputs in a row, but be defensive anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire-style unbiased bounded generation with rejection.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::burstLength(double p, std::uint64_t cap)
+{
+    p = std::clamp(p, 1e-9, 1.0);
+    std::uint64_t len = 1;
+    while (len < cap && !chance(p))
+        ++len;
+    return len;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    if (n == 0)
+        tps_fatal("ZipfSampler requires at least one rank");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = total;
+    }
+    for (auto &v : cdf_)
+        v /= total;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace tps

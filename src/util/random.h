@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every synthetic workload must be exactly reproducible from its seed so
+ * that experiments are rerunnable and comparable across TLB
+ * configurations (the same "trace" is replayed for every config, exactly
+ * as the paper replays its SPARC traces).  We therefore use our own
+ * fixed-algorithm generator (xoshiro256**) rather than std::mt19937,
+ * whose distributions are not specified bit-for-bit across standard
+ * library implementations.
+ */
+
+#ifndef TPS_UTIL_RANDOM_H_
+#define TPS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tps
+{
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64.
+ *
+ * Fast, high-quality, and fully deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is fine). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound), unbiased. @pre bound > 0 */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial: true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish burst length: 1 + Geometric(p), mean roughly 1/p.
+     * Used for run lengths of sequential access bursts.
+     */
+    std::uint64_t burstLength(double p, std::uint64_t cap = 1u << 20);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf(s) sampler over ranks {0, .., n-1}: rank k drawn with probability
+ * proportional to 1/(k+1)^s.  Uses an inverted-CDF table, so sampling is
+ * O(log n).  Models skewed object popularity (e.g., hot widgets in the
+ * xnews workload, hot nets in verilog).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     number of ranks (must be >= 1)
+     * @param s     skew parameter (s = 0 degenerates to uniform)
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace tps
+
+#endif // TPS_UTIL_RANDOM_H_

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every tps subsystem.
+ */
+
+#ifndef TPS_UTIL_TYPES_H_
+#define TPS_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace tps
+{
+
+/** A virtual (or physical) byte address. */
+using Addr = std::uint64_t;
+
+/** A count of simulated processor cycles. */
+using Cycles = std::uint64_t;
+
+/**
+ * A logical reference timestamp: the index of a memory reference within
+ * a trace, starting at 1 for the first reference.  Working-set windows
+ * and page-size assignment windows are expressed in this unit.
+ */
+using RefTime = std::uint64_t;
+
+} // namespace tps
+
+#endif // TPS_UTIL_TYPES_H_

@@ -1,0 +1,158 @@
+#include "vm/multi_size_policy.h"
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+MultiSizePolicy::MultiSizePolicy(const MultiSizeConfig &config)
+    : config_(config)
+{
+    const auto &sizes = config.sizeLog2s;
+    if (sizes.size() < 2 || sizes.size() > 4)
+        tps_fatal("MultiSizePolicy supports 2..4 levels, got ",
+                  sizes.size());
+    for (std::size_t k = 0; k + 1 < sizes.size(); ++k) {
+        if (sizes[k + 1] <= sizes[k])
+            tps_fatal("page sizes must be strictly ascending");
+        if (sizes[k + 1] - sizes[k] > 6)
+            tps_fatal("level fanout above 64 children unsupported");
+    }
+    if (config.window == 0)
+        tps_fatal("window must be positive");
+    if (config.thresholdNum == 0 ||
+        config.thresholdNum > config.thresholdDen)
+        tps_fatal("threshold fraction must be in (0, 1]");
+    levels_.resize(sizes.size() - 1);
+    refs_per_level_.assign(sizes.size(), 0);
+}
+
+unsigned
+MultiSizePolicy::activeChildren(const NodeState &node, RefTime now,
+                                std::size_t level) const
+{
+    const unsigned children = config_.fanout(level);
+    unsigned active = 0;
+    for (unsigned c = 0; c < children; ++c) {
+        const RefTime last = node.lastRef[c];
+        if (last == 0)
+            continue;
+        // Transition 0 counts *recent* blocks (windowed, as in
+        // Section 3.4); higher transitions count *promoted* children,
+        // which is permanent under the no-demotion default.
+        if (level == 0 ? (now - last < config_.window) : true)
+            ++active;
+    }
+    return active;
+}
+
+void
+MultiSizePolicy::promote(std::size_t level, Addr parent_number)
+{
+    NodeState &node = levels_[level][parent_number];
+    if (node.promoted)
+        return;
+    node.promoted = true;
+    ++stats_.promotions;
+
+    if (sink_ != nullptr) {
+        // Invalidate every finer-grained translation this new page
+        // subsumes, level by level.
+        const unsigned parent_log2 = config_.sizeLog2s[level + 1];
+        for (std::size_t child_level = 0; child_level <= level;
+             ++child_level) {
+            const unsigned child_log2 =
+                config_.sizeLog2s[child_level];
+            const Addr first = parent_number
+                               << (parent_log2 - child_log2);
+            const Addr count = Addr{1} << (parent_log2 - child_log2);
+            for (Addr i = 0; i < count; ++i) {
+                sink_->invalidatePage(PageId{
+                    first + i, static_cast<std::uint8_t>(child_log2)});
+            }
+        }
+    }
+
+    // Mark promotion in the next level up and maybe cascade.
+    if (level + 1 < levels_.size()) {
+        const unsigned up_fanout_log2 =
+            config_.sizeLog2s[level + 2] - config_.sizeLog2s[level + 1];
+        const Addr up_parent = parent_number >> up_fanout_log2;
+        const unsigned child_index = static_cast<unsigned>(
+            parent_number & mask(up_fanout_log2));
+        NodeState &up = levels_[level + 1][up_parent];
+        if (up.lastRef[child_index] == 0) {
+            up.lastRef[child_index] = 1; // permanent marker
+            if (!up.promoted &&
+                activeChildren(up, 0, level + 1) >=
+                    config_.threshold(level + 1)) {
+                promote(level + 1, up_parent);
+            }
+        }
+    }
+}
+
+PageId
+MultiSizePolicy::classify(Addr vaddr, RefTime now)
+{
+    // Update block recency at the finest transition.
+    const Addr chunk = vaddr >> config_.sizeLog2s[1];
+    NodeState &node0 = levels_[0][chunk];
+    const unsigned block = static_cast<unsigned>(
+        (vaddr >> config_.sizeLog2s[0]) & (config_.fanout(0) - 1));
+    node0.lastRef[block] = now;
+    if (!node0.promoted &&
+        activeChildren(node0, now, 0) >= config_.threshold(0))
+        promote(0, chunk);
+
+    const std::size_t level = levelOf(vaddr);
+    ++refs_per_level_[level];
+    if (level == 0)
+        ++stats_.refsSmall;
+    else
+        ++stats_.refsLarge;
+    return pageOf(vaddr, config_.sizeLog2s[level]);
+}
+
+std::size_t
+MultiSizePolicy::levelOf(Addr vaddr) const
+{
+    // The coarsest promoted ancestor wins.
+    for (std::size_t k = levels_.size(); k-- > 0;) {
+        const Addr parent = vaddr >> config_.sizeLog2s[k + 1];
+        const auto it = levels_[k].find(parent);
+        if (it != levels_[k].end() && it->second.promoted)
+            return k + 1;
+    }
+    return 0;
+}
+
+void
+MultiSizePolicy::setInvalidationSink(InvalidationSink *sink)
+{
+    sink_ = sink;
+}
+
+void
+MultiSizePolicy::reset()
+{
+    for (LevelMap &level : levels_)
+        level.clear();
+    stats_ = PolicyStats{};
+    refs_per_level_.assign(config_.sizeLog2s.size(), 0);
+}
+
+std::string
+MultiSizePolicy::name() const
+{
+    std::string text;
+    for (std::size_t k = 0; k < config_.sizeLog2s.size(); ++k) {
+        if (k != 0)
+            text += "/";
+        text += formatBytes(std::uint64_t{1} << config_.sizeLog2s[k]);
+    }
+    return text;
+}
+
+} // namespace tps

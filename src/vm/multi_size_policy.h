@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Hierarchical multi-page-size assignment — the extension the paper
+ * leaves open ("we do not know of a good operating system policy for
+ * selecting among many page sizes", Section 1) while citing hardware
+ * that already supported it (R4000: 13 sizes; SuperSPARC: 4).
+ *
+ * The policy generalizes Section 3.4 recursively: level 0 pages (4KB)
+ * promote to level 1 chunks (e.g. 32KB) exactly as in TwoSizePolicy;
+ * a level 2 superchunk (e.g. 256KB) promotes when at least half of
+ * its level-1 chunks are themselves promoted, and so on.  Promotion
+ * at level k invalidates the level-(k-1) translations it subsumes.
+ * Like the two-size default, demotion is disabled (see
+ * TwoSizeConfig::demoteThreshold for the rationale).
+ */
+
+#ifndef TPS_VM_MULTI_SIZE_POLICY_H_
+#define TPS_VM_MULTI_SIZE_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/policy.h"
+
+namespace tps
+{
+
+/** Configuration of the size ladder. */
+struct MultiSizeConfig
+{
+    /**
+     * Page-size exponents, ascending; at most 4 levels, each level at
+     * most 64x the previous.  Default: 4KB / 32KB / 256KB.
+     */
+    std::vector<unsigned> sizeLog2s = {12, 15, 18};
+
+    /** Working-set window T, in references. */
+    RefTime window = 200'000;
+
+    /**
+     * Per-transition promote threshold as a fraction of children
+     * (numerator over denominator), default 1/2 — the paper's "half
+     * or more".
+     */
+    unsigned thresholdNum = 1;
+    unsigned thresholdDen = 2;
+
+    /** Children per parent at transition k -> k+1. */
+    unsigned
+    fanout(std::size_t level) const
+    {
+        return 1u << (sizeLog2s.at(level + 1) - sizeLog2s.at(level));
+    }
+
+    /** Resolved promote threshold at transition k -> k+1. */
+    unsigned
+    threshold(std::size_t level) const
+    {
+        const unsigned children = fanout(level);
+        unsigned t = children * thresholdNum / thresholdDen;
+        return t == 0 ? 1 : t;
+    }
+};
+
+/** Hierarchical N-size assignment policy. */
+class MultiSizePolicy : public PageSizePolicy
+{
+  public:
+    explicit MultiSizePolicy(const MultiSizeConfig &config);
+
+    PageId classify(Addr vaddr, RefTime now) override;
+    void setInvalidationSink(InvalidationSink *sink) override;
+    void reset() override;
+    void resetStats() override { stats_ = PolicyStats{}; }
+    const PolicyStats &stats() const override { return stats_; }
+    std::string name() const override;
+    bool isMultiSize() const override { return true; }
+
+    const MultiSizeConfig &config() const { return config_; }
+
+    /** Current mapping level (index into sizeLog2s) for @p vaddr. */
+    std::size_t levelOf(Addr vaddr) const;
+
+    /** Refs classified at each level (index-aligned to sizeLog2s). */
+    const std::vector<std::uint64_t> &refsPerLevel() const
+    {
+        return refs_per_level_;
+    }
+
+  private:
+    /** Per-parent recency/promotion state at one transition. */
+    struct NodeState
+    {
+        /** Last reference time of each child region (0 = never). */
+        std::array<RefTime, 64> lastRef{};
+        bool promoted = false;
+    };
+
+    /** State of transition k: parent number -> NodeState. */
+    using LevelMap = std::unordered_map<Addr, NodeState>;
+
+    unsigned activeChildren(const NodeState &node, RefTime now,
+                            std::size_t level) const;
+    void promote(std::size_t level, Addr parent_number);
+
+    MultiSizeConfig config_;
+    InvalidationSink *sink_ = nullptr;
+    std::vector<LevelMap> levels_; ///< one per transition
+    PolicyStats stats_;
+    std::vector<std::uint64_t> refs_per_level_;
+};
+
+} // namespace tps
+
+#endif // TPS_VM_MULTI_SIZE_POLICY_H_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Page identity types.
+ *
+ * Pages are powers of two in size and aligned (paper, Section 1), so a
+ * page is fully identified by its virtual page number together with its
+ * size; physical addresses form by concatenation, never addition.
+ */
+
+#ifndef TPS_VM_PAGE_H_
+#define TPS_VM_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bitops.h"
+#include "util/types.h"
+
+namespace tps
+{
+
+/** Conventional page-size exponents used throughout the study. */
+inline constexpr unsigned kLog2_4K = 12;
+inline constexpr unsigned kLog2_8K = 13;
+inline constexpr unsigned kLog2_16K = 14;
+inline constexpr unsigned kLog2_32K = 15;
+inline constexpr unsigned kLog2_64K = 16;
+
+/**
+ * Identity of one page: virtual page number plus size exponent.
+ *
+ * Two PageIds are equal only if both fields match; a 4KB page and the
+ * 32KB page containing it are distinct mappings (a TLB entry for one
+ * never satisfies a lookup classified as the other).
+ */
+struct PageId
+{
+    Addr vpn = 0;
+    std::uint8_t sizeLog2 = kLog2_4K;
+
+    Addr baseAddr() const { return vpn << sizeLog2; }
+    std::uint64_t sizeBytes() const { return std::uint64_t{1} << sizeLog2; }
+
+    /** True iff @p vaddr lies within this page. */
+    bool
+    contains(Addr vaddr) const
+    {
+        return (vaddr >> sizeLog2) == vpn;
+    }
+
+    bool
+    operator==(const PageId &other) const
+    {
+        return vpn == other.vpn && sizeLog2 == other.sizeLog2;
+    }
+};
+
+/** Build the PageId of size 2^sizeLog2 containing @p vaddr. */
+inline PageId
+pageOf(Addr vaddr, unsigned size_log2)
+{
+    return PageId{vaddr >> size_log2,
+                  static_cast<std::uint8_t>(size_log2)};
+}
+
+/** Hash functor for PageId (size folded into the high bits). */
+struct PageIdHash
+{
+    std::size_t
+    operator()(const PageId &page) const
+    {
+        // SplitMix64-style mix of vpn and size.
+        std::uint64_t z = page.vpn +
+                          (std::uint64_t{page.sizeLog2} << 56) +
+                          0x9E3779B97F4A7C15ULL;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};
+
+} // namespace tps
+
+#endif // TPS_VM_PAGE_H_

@@ -1,0 +1,254 @@
+#include "vm/page_table.h"
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+ForwardPageTable::ForwardPageTable(unsigned size_log2, unsigned va_bits,
+                                   unsigned levels)
+    : size_log2_(size_log2)
+{
+    if (levels == 0 || levels > 6)
+        tps_fatal("page table levels must be in [1,6], got ", levels);
+    if (va_bits <= size_log2)
+        tps_fatal("va_bits (", va_bits, ") must exceed page size bits (",
+                  size_log2, ")");
+    const unsigned vpn_bits = va_bits - size_log2;
+
+    // Split vpn_bits into `levels` fields, giving the remainder to the
+    // top level (like SPARC/x86 tables, the root is the odd one out).
+    const unsigned base = vpn_bits / levels;
+    unsigned top = vpn_bits - base * (levels - 1);
+    bits_.push_back(top);
+    for (unsigned i = 1; i < levels; ++i)
+        bits_.push_back(base);
+
+    unsigned shift = vpn_bits;
+    for (unsigned b : bits_) {
+        shift -= b;
+        shifts_.push_back(shift);
+    }
+
+    root_ = std::make_unique<Node>();
+    ++nodes_allocated_;
+    if (levels == 1)
+        root_->leaves.resize(std::size_t{1} << bits_[0]);
+    else
+        root_->children.resize(std::size_t{1} << bits_[0]);
+}
+
+unsigned
+ForwardPageTable::indexAt(Addr vpn, unsigned depth) const
+{
+    return static_cast<unsigned>((vpn >> shifts_[depth]) &
+                                 mask(bits_[depth]));
+}
+
+ForwardPageTable::Node *
+ForwardPageTable::ensureChild(Node &parent, std::size_t index,
+                              unsigned depth)
+{
+    NodePtr &slot = parent.children[index];
+    if (!slot) {
+        slot = std::make_unique<Node>();
+        ++nodes_allocated_;
+        const unsigned child_depth = depth + 1;
+        if (child_depth == levels() - 1)
+            slot->leaves.resize(std::size_t{1} << bits_[child_depth]);
+        else
+            slot->children.resize(std::size_t{1} << bits_[child_depth]);
+    }
+    return slot.get();
+}
+
+void
+ForwardPageTable::map(Addr vpn)
+{
+    Node *node = root_.get();
+    for (unsigned depth = 0; depth + 1 < levels(); ++depth)
+        node = ensureChild(*node, indexAt(vpn, depth), depth);
+    PageTableEntry &pte = node->leaves[indexAt(vpn, levels() - 1)];
+    if (!pte.valid) {
+        pte.valid = true;
+        pte.pfn = next_pfn_++;
+        ++mapped_;
+    }
+}
+
+void
+ForwardPageTable::unmap(Addr vpn)
+{
+    Node *node = root_.get();
+    for (unsigned depth = 0; depth + 1 < levels(); ++depth) {
+        NodePtr &slot = node->children[indexAt(vpn, depth)];
+        if (!slot)
+            return;
+        node = slot.get();
+    }
+    PageTableEntry &pte = node->leaves[indexAt(vpn, levels() - 1)];
+    if (pte.valid) {
+        pte.valid = false;
+        --mapped_;
+    }
+}
+
+const PageTableEntry *
+ForwardPageTable::walk(Addr vpn, unsigned &touches_out) const
+{
+    const Node *node = root_.get();
+    for (unsigned depth = 0; depth + 1 < levels(); ++depth) {
+        ++touches_out; // read the interior descriptor
+        const NodePtr &slot = node->children[indexAt(vpn, depth)];
+        if (!slot)
+            return nullptr;
+        node = slot.get();
+    }
+    ++touches_out; // read the leaf PTE
+    const PageTableEntry &pte = node->leaves[indexAt(vpn, levels() - 1)];
+    return pte.valid ? &pte : nullptr;
+}
+
+bool
+ForwardPageTable::isMapped(Addr vpn) const
+{
+    unsigned touches = 0;
+    return walk(vpn, touches) != nullptr;
+}
+
+std::uint64_t
+ForwardPageTable::tableBytes() const
+{
+    // Model each interior descriptor and each PTE as 8 bytes; a node's
+    // footprint is its fan-out times that.  Count via allocation trace.
+    std::uint64_t bytes = 0;
+    // Recompute by walking would be costly; approximate with per-level
+    // fan-out times allocated node count is wrong when levels differ in
+    // width, so track precisely: every allocated node at depth d has
+    // 2^bits_[d] slots.  nodes_allocated_ does not record depth, so
+    // recurse instead (tables are small).
+    struct Walker
+    {
+        const ForwardPageTable &table;
+        std::uint64_t bytes = 0;
+
+        void
+        visit(const Node &node, unsigned depth)
+        {
+            bytes += (std::uint64_t{1} << table.bits_[depth]) * 8;
+            if (depth + 1 < table.levels()) {
+                for (const NodePtr &child : node.children)
+                    if (child)
+                        visit(*child, depth + 1);
+            }
+        }
+    } walker{*this};
+    walker.visit(*root_, 0);
+    bytes = walker.bytes;
+    return bytes;
+}
+
+AddressSpace::AddressSpace(unsigned small_log2, unsigned large_log2,
+                           HandlerCostModel costs)
+    : small_log2_(small_log2), large_log2_(large_log2), costs_(costs),
+      small_(small_log2), large_(large_log2)
+{
+    if (large_log2 <= small_log2)
+        tps_fatal("AddressSpace: large page must exceed small page");
+}
+
+WalkResult
+AddressSpace::handleMissSingleSize(const PageId &page)
+{
+    ForwardPageTable &table =
+        page.sizeLog2 == small_log2_ ? small_ : large_;
+    WalkResult result;
+    const PageTableEntry *pte = table.walk(page.vpn, result.touches);
+    if (pte == nullptr) {
+        // Demand fault: create the mapping, then count the (re)walk.
+        table.map(page.vpn);
+        result.faulted = true;
+        ++faults_;
+        result.touches = 0;
+        pte = table.walk(page.vpn, result.touches);
+    }
+    result.found = pte != nullptr;
+    result.cycles = costs_.singleSizeCost(result.touches);
+    ++misses_;
+    total_cycles_ += result.cycles;
+    return result;
+}
+
+WalkResult
+AddressSpace::handleMiss(const PageId &page, ProbeOrder order)
+{
+    const bool is_small = page.sizeLog2 == small_log2_;
+    ForwardPageTable &own = is_small ? small_ : large_;
+    if (!own.isMapped(page.vpn)) {
+        own.map(page.vpn);
+        ++faults_;
+    }
+
+    WalkResult result;
+    result.faulted = false;
+
+    const Addr small_vpn =
+        is_small ? page.vpn
+                 : page.vpn << (large_log2_ - small_log2_); // any block
+    const Addr large_vpn =
+        is_small ? page.vpn >> (large_log2_ - small_log2_) : page.vpn;
+
+    auto probe = [&](ForwardPageTable &table, Addr vpn) -> bool {
+        const PageTableEntry *pte = table.walk(vpn, result.touches);
+        result.cycles += costs_.sizeCheck;
+        return pte != nullptr;
+    };
+
+    bool hit_first;
+    if (order == ProbeOrder::SmallFirst) {
+        hit_first = probe(small_, small_vpn);
+        if (!hit_first)
+            result.found = probe(large_, large_vpn);
+        else
+            result.found = true;
+    } else {
+        hit_first = probe(large_, large_vpn);
+        if (!hit_first)
+            result.found = probe(small_, small_vpn);
+        else
+            result.found = true;
+    }
+
+    result.cycles += costs_.trapOverhead +
+                     costs_.perTouch * result.touches;
+    ++misses_;
+    total_cycles_ += result.cycles;
+    return result;
+}
+
+void
+AddressSpace::remapChunk(Addr chunk_number, bool to_large)
+{
+    const unsigned ratio_log2 = large_log2_ - small_log2_;
+    const Addr first_small = chunk_number << ratio_log2;
+    const Addr block_count = Addr{1} << ratio_log2;
+    if (to_large) {
+        for (Addr b = 0; b < block_count; ++b)
+            small_.unmap(first_small + b);
+        large_.map(chunk_number);
+    } else {
+        large_.unmap(chunk_number);
+        for (Addr b = 0; b < block_count; ++b)
+            small_.map(first_small + b);
+    }
+}
+
+double
+AddressSpace::averageMissCycles() const
+{
+    return misses_ == 0 ? 0.0
+                        : static_cast<double>(total_cycles_) /
+                              static_cast<double>(misses_);
+}
+
+} // namespace tps

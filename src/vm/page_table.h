@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Forward page tables and a software TLB-miss-handler cost model.
+ *
+ * The paper assumes TLB misses are handled in software at ~20 cycles
+ * for one page size and ~25 cycles (+25%) for two page sizes
+ * (Section 2.3), citing SPARC assembly estimates.  This module builds
+ * the data structures such a handler would walk — split per-size
+ * multi-level forward tables, probed in a configurable order — and
+ * measures walk costs, so those constants are grounded in a model
+ * rather than asserted (see bench/ablation_penalty).
+ */
+
+#ifndef TPS_VM_PAGE_TABLE_H_
+#define TPS_VM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/page.h"
+
+namespace tps
+{
+
+/** A translation held by a page table. */
+struct PageTableEntry
+{
+    Addr pfn = 0;      ///< physical frame number (same size as the page)
+    bool valid = false;
+};
+
+/**
+ * A multi-level forward (radix) page table for one fixed page size.
+ *
+ * The virtual page number is split into `levels` roughly equal index
+ * fields, walked top-down.  Each level descended counts as one memory
+ * touch for the cost model.
+ */
+class ForwardPageTable
+{
+  public:
+    /**
+     * @param size_log2 page size this table maps
+     * @param va_bits   virtual-address width covered (default 48)
+     * @param levels    radix levels (default 3, SPARC-reference style)
+     */
+    explicit ForwardPageTable(unsigned size_log2, unsigned va_bits = 48,
+                              unsigned levels = 3);
+
+    /** Install a translation (allocating a physical frame). */
+    void map(Addr vpn);
+
+    /** Remove a translation; harmless if absent. */
+    void unmap(Addr vpn);
+
+    /**
+     * Walk for @p vpn.
+     * @param touches_out incremented by the number of table levels read
+     * @return the entry, or nullptr when unmapped (partial walks still
+     *         cost the levels actually descended).
+     */
+    const PageTableEntry *walk(Addr vpn, unsigned &touches_out) const;
+
+    bool isMapped(Addr vpn) const;
+
+    unsigned sizeLog2() const { return size_log2_; }
+    unsigned levels() const { return static_cast<unsigned>(bits_.size()); }
+    std::uint64_t mappedPages() const { return mapped_; }
+
+    /** Bytes of table memory currently allocated (OS overhead metric). */
+    std::uint64_t tableBytes() const;
+
+  private:
+    struct Node;
+    using NodePtr = std::unique_ptr<Node>;
+
+    struct Node
+    {
+        std::vector<NodePtr> children; // interior level
+        std::vector<PageTableEntry> leaves; // leaf level
+    };
+
+    Node *ensureChild(Node &parent, std::size_t index, unsigned depth);
+    unsigned indexAt(Addr vpn, unsigned depth) const;
+
+    unsigned size_log2_;
+    std::vector<unsigned> bits_;   ///< index bits per level, top-down
+    std::vector<unsigned> shifts_; ///< shift per level, top-down
+    NodePtr root_;
+    Addr next_pfn_ = 1;
+    std::uint64_t mapped_ = 0;
+    std::uint64_t nodes_allocated_ = 0;
+};
+
+/** Which table a two-size handler probes first. */
+enum class ProbeOrder : std::uint8_t
+{
+    SmallFirst,
+    LargeFirst,
+};
+
+/** Cycle-cost parameters of the software miss handler. */
+struct HandlerCostModel
+{
+    Cycles trapOverhead = 8;   ///< save/restore, dispatch
+    Cycles perTouch = 4;       ///< one page-table memory read
+    Cycles sizeCheck = 1;      ///< per probe: discriminate page size
+
+    /** Cost of a single-size walk that descends @p touches levels. */
+    Cycles
+    singleSizeCost(unsigned touches) const
+    {
+        return trapOverhead + perTouch * touches;
+    }
+};
+
+/** Outcome of one simulated software miss handling. */
+struct WalkResult
+{
+    bool found = false;
+    unsigned touches = 0; ///< page-table reads performed
+    Cycles cycles = 0;    ///< modelled handler cost
+    bool faulted = false; ///< translation had to be created first
+};
+
+/**
+ * The OS view of memory for the two-page-size study: one table per
+ * page size plus the software handler that probes them.  Mirrors the
+ * policy's promotions/demotions via remapChunk().
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace(unsigned small_log2, unsigned large_log2,
+                 HandlerCostModel costs = {});
+
+    /**
+     * Handle a TLB miss for @p page (as classified by the policy),
+     * creating the mapping on first touch (a demand "page fault", not
+     * charged to the TLB handler cost).
+     *
+     * @param order probe order used by the handler when the size is
+     *              unknown; determines the modelled cycle cost.
+     */
+    WalkResult handleMiss(const PageId &page, ProbeOrder order);
+
+    /** Single-size variant: the handler knows the page size a priori. */
+    WalkResult handleMissSingleSize(const PageId &page);
+
+    /**
+     * Reflect a chunk promotion (to_large) or demotion in the tables:
+     * unmap the old-size pages, map the new-size page(s) covering the
+     * chunk.
+     */
+    void remapChunk(Addr chunk_number, bool to_large);
+
+    const ForwardPageTable &smallTable() const { return small_; }
+    const ForwardPageTable &largeTable() const { return large_; }
+
+    /** Running average handler cost in cycles. */
+    double averageMissCycles() const;
+    std::uint64_t missesHandled() const { return misses_; }
+    std::uint64_t faults() const { return faults_; }
+
+  private:
+    unsigned small_log2_;
+    unsigned large_log2_;
+    HandlerCostModel costs_;
+    ForwardPageTable small_;
+    ForwardPageTable large_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t faults_ = 0;
+    Cycles total_cycles_ = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_VM_PAGE_TABLE_H_

@@ -1,0 +1,44 @@
+#include "vm/policy.h"
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+SingleSizePolicy::SingleSizePolicy(unsigned size_log2)
+    : size_log2_(size_log2)
+{
+    if (size_log2 < 9 || size_log2 > 30)
+        tps_fatal("implausible page size 2^", size_log2);
+}
+
+PageId
+SingleSizePolicy::classify(Addr vaddr, RefTime now)
+{
+    (void)now;
+    ++stats_.refsSmall;
+    return pageOf(vaddr, size_log2_);
+}
+
+void
+SingleSizePolicy::setInvalidationSink(InvalidationSink *sink)
+{
+    // A single-size mapping never changes, so there is never anything
+    // to invalidate.
+    (void)sink;
+}
+
+void
+SingleSizePolicy::reset()
+{
+    stats_ = PolicyStats{};
+}
+
+std::string
+SingleSizePolicy::name() const
+{
+    return formatBytes(std::uint64_t{1} << size_log2_);
+}
+
+} // namespace tps

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Page-size assignment policy interface and the single-size baseline.
+ *
+ * A policy answers, per memory reference, "which page (of which size)
+ * does this address live on right now?".  The two-page-size policy may
+ * also change its mind over time (promotion/demotion), in which case it
+ * notifies an InvalidationSink so stale TLB entries are shot down —
+ * the cost the paper folds into the 25% higher miss penalty.
+ */
+
+#ifndef TPS_VM_POLICY_H_
+#define TPS_VM_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "vm/page.h"
+
+namespace tps
+{
+
+/** Receiver of mapping-change notifications (typically a TLB). */
+class InvalidationSink
+{
+  public:
+    virtual ~InvalidationSink() = default;
+
+    /** The translation for @p page is no longer valid. */
+    virtual void invalidatePage(const PageId &page) = 0;
+
+    /**
+     * A whole chunk changed mapping granularity (promotion when
+     * @p to_large, demotion otherwise).  Per-page invalidations for
+     * the same event are delivered separately via invalidatePage();
+     * this hook exists so page-table models can remap in one step.
+     */
+    virtual void
+    onChunkRemap(Addr chunk_number, bool to_large)
+    {
+        (void)chunk_number;
+        (void)to_large;
+    }
+};
+
+/** Counters every policy maintains. */
+struct PolicyStats
+{
+    std::uint64_t refsSmall = 0;  ///< refs classified onto small pages
+    std::uint64_t refsLarge = 0;  ///< refs classified onto large pages
+    std::uint64_t promotions = 0; ///< small->large chunk transitions
+    std::uint64_t demotions = 0;  ///< large->small chunk transitions
+
+    /** Fraction of references mapped by large pages. */
+    double
+    largeFraction() const
+    {
+        const std::uint64_t total = refsSmall + refsLarge;
+        return total == 0 ? 0.0
+                          : static_cast<double>(refsLarge) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Per-reference page-size assignment. */
+class PageSizePolicy
+{
+  public:
+    virtual ~PageSizePolicy() = default;
+
+    /**
+     * Classify the reference at @p vaddr made at reference-time @p now
+     * (1-based, monotonically increasing).  May emit invalidations to
+     * the registered sink before returning.
+     */
+    virtual PageId classify(Addr vaddr, RefTime now) = 0;
+
+    /** Register the TLB (or other cache of translations) to notify. */
+    virtual void setInvalidationSink(InvalidationSink *sink) = 0;
+
+    /** Forget all history (for replaying the trace from the start). */
+    virtual void reset() = 0;
+
+    /** Zero statistics only, keeping assignment state (warmup). */
+    virtual void resetStats() = 0;
+
+    virtual const PolicyStats &stats() const = 0;
+    virtual std::string name() const = 0;
+
+    /** True when the policy can assign more than one page size. */
+    virtual bool isMultiSize() const { return false; }
+};
+
+/**
+ * The baseline: every address maps to a page of one fixed size.
+ */
+class SingleSizePolicy : public PageSizePolicy
+{
+  public:
+    explicit SingleSizePolicy(unsigned size_log2);
+
+    PageId classify(Addr vaddr, RefTime now) override;
+    void setInvalidationSink(InvalidationSink *sink) override;
+    void reset() override;
+    void resetStats() override { stats_ = PolicyStats{}; }
+    const PolicyStats &stats() const override { return stats_; }
+    std::string name() const override;
+
+    unsigned sizeLog2() const { return size_log2_; }
+
+  private:
+    unsigned size_log2_;
+    PolicyStats stats_;
+};
+
+} // namespace tps
+
+#endif // TPS_VM_POLICY_H_

@@ -1,0 +1,132 @@
+#include "vm/two_size_policy.h"
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+unsigned
+TwoSizeConfig::resolvedPromote() const
+{
+    return promoteThreshold != 0 ? promoteThreshold : blocksPerChunk() / 2;
+}
+
+TwoSizePolicy::TwoSizePolicy(const TwoSizeConfig &config)
+    : config_(config), promote_threshold_(config.resolvedPromote()),
+      demote_threshold_(config.demoteThreshold),
+      blocks_per_chunk_(config.blocksPerChunk())
+{
+    if (config.largeLog2 <= config.smallLog2)
+        tps_fatal("large page (2^", config.largeLog2,
+                  ") must exceed small page (2^", config.smallLog2, ")");
+    if (blocks_per_chunk_ > kMaxBlocksPerChunk)
+        tps_fatal("size ratio ", blocks_per_chunk_, " exceeds supported ",
+                  kMaxBlocksPerChunk, " blocks per chunk");
+    if (config.window == 0)
+        tps_fatal("two-size policy window must be positive");
+    if (promote_threshold_ > blocks_per_chunk_)
+        tps_fatal("promote threshold ", promote_threshold_,
+                  " exceeds blocks per chunk ", blocks_per_chunk_);
+    if (demote_threshold_ > promote_threshold_)
+        tps_fatal("demote threshold above promote threshold would "
+                  "oscillate");
+}
+
+unsigned
+TwoSizePolicy::activeBlocks(const ChunkState &state, RefTime now) const
+{
+    unsigned active = 0;
+    for (unsigned b = 0; b < blocks_per_chunk_; ++b) {
+        const RefTime last = state.lastRef[b];
+        if (last != 0 && now - last < config_.window)
+            ++active;
+    }
+    return active;
+}
+
+void
+TwoSizePolicy::promote(Addr chunk_number, ChunkState &state)
+{
+    state.large = true;
+    ++stats_.promotions;
+    if (sink_ != nullptr) {
+        // The blocks of this chunk were mapped as small pages; those
+        // translations are now stale.
+        const Addr first_small_vpn =
+            chunk_number << (config_.largeLog2 - config_.smallLog2);
+        for (unsigned b = 0; b < blocks_per_chunk_; ++b) {
+            sink_->invalidatePage(
+                PageId{first_small_vpn + b,
+                       static_cast<std::uint8_t>(config_.smallLog2)});
+        }
+        sink_->onChunkRemap(chunk_number, true);
+    }
+}
+
+void
+TwoSizePolicy::demote(Addr chunk_number, ChunkState &state)
+{
+    state.large = false;
+    ++stats_.demotions;
+    if (sink_ != nullptr) {
+        sink_->invalidatePage(
+            PageId{chunk_number,
+                   static_cast<std::uint8_t>(config_.largeLog2)});
+        sink_->onChunkRemap(chunk_number, false);
+    }
+}
+
+PageId
+TwoSizePolicy::classify(Addr vaddr, RefTime now)
+{
+    const Addr chunk_number = vaddr >> config_.largeLog2;
+    ChunkState &state = chunks_[chunk_number];
+
+    const unsigned block = static_cast<unsigned>(
+        (vaddr >> config_.smallLog2) & (blocks_per_chunk_ - 1));
+    state.lastRef[block] = now;
+
+    const unsigned active = activeBlocks(state, now);
+    if (!state.large && active >= promote_threshold_)
+        promote(chunk_number, state);
+    else if (state.large && demote_threshold_ != 0 &&
+             active < demote_threshold_)
+        demote(chunk_number, state);
+
+    if (state.large) {
+        ++stats_.refsLarge;
+        return pageOf(vaddr, config_.largeLog2);
+    }
+    ++stats_.refsSmall;
+    return pageOf(vaddr, config_.smallLog2);
+}
+
+void
+TwoSizePolicy::setInvalidationSink(InvalidationSink *sink)
+{
+    sink_ = sink;
+}
+
+void
+TwoSizePolicy::reset()
+{
+    chunks_.clear();
+    stats_ = PolicyStats{};
+}
+
+std::string
+TwoSizePolicy::name() const
+{
+    return formatBytes(std::uint64_t{1} << config_.smallLog2) + "/" +
+           formatBytes(std::uint64_t{1} << config_.largeLog2);
+}
+
+bool
+TwoSizePolicy::isLargeMapped(Addr vaddr) const
+{
+    const auto it = chunks_.find(vaddr >> config_.largeLog2);
+    return it != chunks_.end() && it->second.large;
+}
+
+} // namespace tps

@@ -1,0 +1,69 @@
+#include "workloads/code_model.h"
+
+#include "util/logging.h"
+
+namespace tps::workloads
+{
+
+CodeModel::CodeModel(const CodeModelConfig &config)
+    : config_(config),
+      popularity_(config.functions > 0 ? config.functions : 1,
+                  config.zipfSkew)
+{
+    if (config.functions == 0)
+        tps_fatal("CodeModel needs at least one function");
+
+    // Lay functions out back to back with deterministic size jitter.
+    Rng layout_rng(config.layoutSeed);
+    Addr base = config.base;
+    funcs_.reserve(config.functions);
+    for (std::uint32_t f = 0; f < config.functions; ++f) {
+        const std::uint32_t half = config.avgFuncBytes / 2;
+        std::uint32_t bytes =
+            half + static_cast<std::uint32_t>(
+                       layout_rng.below(config.avgFuncBytes + 1));
+        bytes = (bytes + 3) & ~3u; // whole instructions
+        if (bytes < 16)
+            bytes = 16;
+        funcs_.push_back(Func{base, bytes});
+        base += bytes;
+    }
+    text_bytes_ = base - config.base;
+    reset();
+}
+
+Addr
+CodeModel::nextFetch(Rng &rng)
+{
+    const Func &func = funcs_[current_];
+    const Addr fetch = pc_;
+
+    // Decide where control flows next.
+    if (rng.chance(config_.callRate)) {
+        // Call/return: transfer to a popularity-weighted function.
+        current_ = popularity_.sample(rng);
+        pc_ = funcs_[current_].base;
+    } else if (rng.chance(config_.loopBackRate)) {
+        // Loop: jump backward a short, random distance.
+        const Addr offset = pc_ - func.base;
+        const Addr back = rng.below(offset / 4 + 1) * 4;
+        pc_ -= back;
+    } else {
+        pc_ += 4;
+        if (pc_ >= func.base + func.bytes) {
+            // Fall off the end: return toward a popular function.
+            current_ = popularity_.sample(rng);
+            pc_ = funcs_[current_].base;
+        }
+    }
+    return fetch;
+}
+
+void
+CodeModel::reset()
+{
+    current_ = 0;
+    pc_ = funcs_[0].base;
+}
+
+} // namespace tps::workloads

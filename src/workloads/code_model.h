@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Instruction-fetch address generator.
+ *
+ * Code pages matter to the study: programs like fpppp have large text
+ * footprints whose fetches contend for TLB entries alongside data.
+ * The model is a set of functions with Zipf-distributed popularity;
+ * the program counter advances linearly, loops backward within a
+ * function, and occasionally transfers to another function.
+ */
+
+#ifndef TPS_WORKLOADS_CODE_MODEL_H_
+#define TPS_WORKLOADS_CODE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/types.h"
+#include "workloads/layout.h"
+
+namespace tps::workloads
+{
+
+/** Shape of a workload's text segment and control flow. */
+struct CodeModelConfig
+{
+    Addr base = kTextBase;
+    std::uint32_t functions = 16;
+    std::uint32_t avgFuncBytes = 2048; ///< sizes vary 0.5x..1.5x
+    double zipfSkew = 1.2;   ///< popularity skew of call targets
+    double callRate = 0.02;  ///< per-instruction transfer probability
+    double loopBackRate = 0.08; ///< per-instruction backward-jump prob
+    std::uint64_t layoutSeed = 7; ///< fixes function sizes
+};
+
+/** Deterministic instruction-fetch stream. */
+class CodeModel
+{
+  public:
+    explicit CodeModel(const CodeModelConfig &config);
+
+    /** Address of the next instruction fetch (4-byte instructions). */
+    Addr nextFetch(Rng &rng);
+
+    /** Return control flow to the entry function. */
+    void reset();
+
+    /** Total text bytes across all functions. */
+    std::uint64_t textBytes() const { return text_bytes_; }
+
+  private:
+    struct Func
+    {
+        Addr base;
+        std::uint32_t bytes;
+    };
+
+    CodeModelConfig config_;
+    std::vector<Func> funcs_;
+    ZipfSampler popularity_;
+    std::size_t current_ = 0;
+    Addr pc_ = 0;
+    std::uint64_t text_bytes_ = 0;
+};
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_CODE_MODEL_H_

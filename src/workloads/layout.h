@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Canonical virtual-address-space layout for synthetic workloads.
+ *
+ * Mirrors a classic 32-bit SPARC user process: text low, heap/data in
+ * the middle, stack high.  Keeping segments far apart makes the
+ * sparse-address-space behaviour the paper attributes to programs like
+ * `li` reproducible.
+ */
+
+#ifndef TPS_WORKLOADS_LAYOUT_H_
+#define TPS_WORKLOADS_LAYOUT_H_
+
+#include "util/types.h"
+
+namespace tps::workloads
+{
+
+inline constexpr Addr kTextBase = 0x0001'0000;
+inline constexpr Addr kDataBase = 0x2000'0000;
+inline constexpr Addr kMmapBase = 0x4000'0000;
+inline constexpr Addr kStackTop = 0xF000'0000;
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_LAYOUT_H_

@@ -1,0 +1,99 @@
+#include "workloads/patterns.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tps::workloads
+{
+
+Sweep::Sweep(Addr base, std::uint64_t bytes, std::int64_t stride)
+    : base_(base), bytes_(bytes)
+{
+    if (bytes == 0)
+        tps_fatal("Sweep over empty region");
+    std::int64_t norm = stride % static_cast<std::int64_t>(bytes);
+    if (norm < 0)
+        norm += static_cast<std::int64_t>(bytes);
+    if (norm == 0)
+        norm = 1; // zero stride would never advance
+    stride_ = static_cast<std::uint64_t>(norm);
+}
+
+Addr
+Sweep::next()
+{
+    const Addr addr = base_ + offset_;
+    offset_ += stride_;
+    wrapped_ = offset_ >= bytes_;
+    if (wrapped_)
+        offset_ -= bytes_;
+    return addr;
+}
+
+PointerChase::PointerChase(Addr base, std::uint64_t bytes,
+                           std::uint32_t cell_bytes, Rng &rng)
+    : base_(base), cell_bytes_(cell_bytes)
+{
+    if (cell_bytes == 0 || bytes < cell_bytes)
+        tps_fatal("PointerChase needs at least one cell");
+    const std::uint32_t cells =
+        static_cast<std::uint32_t>(bytes / cell_bytes);
+
+    // Sattolo's algorithm: a uniform random *cyclic* permutation, so
+    // the chase is one cycle covering every cell.
+    std::vector<std::uint32_t> perm(cells);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::uint32_t i = cells - 1; i > 0; --i) {
+        const std::uint32_t j =
+            static_cast<std::uint32_t>(rng.below(i));
+        std::swap(perm[i], perm[j]);
+    }
+    // perm as a sequence defines the cycle: perm[k] -> perm[k+1].
+    next_.assign(cells, 0);
+    for (std::uint32_t k = 0; k < cells; ++k)
+        next_[perm[k]] = perm[(k + 1) % cells];
+}
+
+Addr
+PointerChase::next()
+{
+    const Addr addr = base_ + static_cast<Addr>(current_) * cell_bytes_;
+    current_ = next_[current_];
+    return addr;
+}
+
+ZipfObjects::ZipfObjects(Addr base, std::uint32_t objects,
+                         std::uint32_t object_bytes, double skew,
+                         std::uint64_t shuffle_seed)
+    : base_(base), objects_(objects), object_bytes_(object_bytes),
+      sampler_(objects > 0 ? objects : 1, skew), placement_(objects)
+{
+    if (objects == 0 || object_bytes == 0)
+        tps_fatal("ZipfObjects needs a nonempty region");
+    std::iota(placement_.begin(), placement_.end(), 0u);
+    Rng shuffle_rng(shuffle_seed);
+    for (std::uint32_t i = objects - 1; i > 0; --i) {
+        const std::uint32_t j =
+            static_cast<std::uint32_t>(shuffle_rng.below(i + 1));
+        std::swap(placement_[i], placement_[j]);
+    }
+}
+
+Addr
+ZipfObjects::objectBase(std::size_t rank) const
+{
+    return base_ +
+           static_cast<Addr>(placement_.at(rank)) * object_bytes_;
+}
+
+Addr
+ZipfObjects::next(Rng &rng)
+{
+    const std::size_t rank = sampler_.sample(rng);
+    const Addr offset = rng.below(object_bytes_) & ~Addr{7};
+    return objectBase(rank) + offset;
+}
+
+} // namespace tps::workloads

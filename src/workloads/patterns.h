@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reusable data-access pattern primitives for workload synthesis.
+ *
+ * Each primitive produces addresses only — the workloads decide how to
+ * interleave them with instruction fetches and stores.
+ */
+
+#ifndef TPS_WORKLOADS_PATTERNS_H_
+#define TPS_WORKLOADS_PATTERNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace tps::workloads
+{
+
+/**
+ * Linear sweep over [base, base+bytes) with a fixed stride, wrapping
+ * at the end.  stride may exceed the region (it is taken mod bytes).
+ */
+class Sweep
+{
+  public:
+    Sweep(Addr base, std::uint64_t bytes, std::int64_t stride);
+
+    /** Current address; advances the cursor. */
+    Addr next();
+
+    /** Reposition at the start of the region. */
+    void restart() { offset_ = 0; }
+
+    /** Cursor position within the region (for phase logic). */
+    std::uint64_t offset() const { return offset_; }
+    std::uint64_t bytes() const { return bytes_; }
+    Addr base() const { return base_; }
+
+    /** True exactly when the cursor has just wrapped to offset 0. */
+    bool wrapped() const { return wrapped_; }
+
+  private:
+    Addr base_;
+    std::uint64_t bytes_;
+    std::uint64_t stride_; ///< normalized to [0, bytes)
+    std::uint64_t offset_ = 0;
+    bool wrapped_ = false;
+};
+
+/**
+ * Pointer chase over a region of fixed-size cells, following a
+ * precomputed random cyclic permutation (a single cycle visiting
+ * every cell), so spatial locality is deliberately destroyed while
+ * the footprint stays exact.
+ */
+class PointerChase
+{
+  public:
+    /**
+     * @param rng used once here to build the permutation; the chase
+     *            itself is deterministic.
+     */
+    PointerChase(Addr base, std::uint64_t bytes, std::uint32_t cell_bytes,
+                 Rng &rng);
+
+    Addr next();
+    void restart() { current_ = 0; }
+    std::uint32_t cells() const
+    {
+        return static_cast<std::uint32_t>(next_.size());
+    }
+
+  private:
+    Addr base_;
+    std::uint32_t cell_bytes_;
+    std::vector<std::uint32_t> next_; ///< successor cell index
+    std::uint32_t current_ = 0;
+};
+
+/**
+ * Zipf-popular objects in a region: each access picks an object by
+ * popularity rank and touches a random offset inside it.
+ */
+class ZipfObjects
+{
+  public:
+    ZipfObjects(Addr base, std::uint32_t objects,
+                std::uint32_t object_bytes, double skew,
+                std::uint64_t shuffle_seed = 11);
+
+    /** Address inside a popularity-sampled object. */
+    Addr next(Rng &rng);
+
+    /** Base address of object with popularity rank @p rank. */
+    Addr objectBase(std::size_t rank) const;
+
+    std::uint32_t objects() const { return objects_; }
+    std::uint64_t regionBytes() const
+    {
+        return std::uint64_t{objects_} * object_bytes_;
+    }
+
+  private:
+    Addr base_;
+    std::uint32_t objects_;
+    std::uint32_t object_bytes_;
+    ZipfSampler sampler_;
+    /** rank -> object slot, so hot objects are scattered in memory. */
+    std::vector<std::uint32_t> placement_;
+};
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_PATTERNS_H_

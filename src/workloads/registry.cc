@@ -1,0 +1,49 @@
+#include "workloads/registry.h"
+
+#include "util/logging.h"
+#include "workloads/spec_suite.h"
+
+namespace tps::workloads
+{
+
+const std::vector<WorkloadInfo> &
+suite()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"li", "lisp interpreter (sparse heap, GC)", 101, &makeLi},
+        {"espresso", "boolean minimizer (small hot set)", 102,
+         &makeEspresso},
+        {"fpppp", "quantum chemistry (huge text)", 103, &makeFpppp},
+        {"doduc", "Monte Carlo reactor sim", 104, &makeDoduc},
+        {"x11perf", "X11 drawing benchmark", 105, &makeX11perf},
+        {"eqntott", "truth-table generator", 106, &makeEqntott},
+        {"worm", "chunk-sparse crawler", 107, &makeWorm},
+        {"nasa7", "NASA Ames kernels", 108, &makeNasa7},
+        {"xnews", "news/window server", 109, &makeXnews},
+        {"matrix300", "300x300 dgemm, unblocked", 110, &makeMatrix300},
+        {"tomcatv", "vectorized mesh solver", 111, &makeTomcatv},
+        {"verilog", "gate-level simulator", 112, &makeVerilog},
+    };
+    return table;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &info : suite())
+        if (info.name == name)
+            return info;
+    tps_fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    names.reserve(suite().size());
+    for (const WorkloadInfo &info : suite())
+        names.push_back(info.name);
+    return names;
+}
+
+} // namespace tps::workloads

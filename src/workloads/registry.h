@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The workload registry: name-indexed access to the Table 3.1 suite.
+ */
+
+#ifndef TPS_WORKLOADS_REGISTRY_H_
+#define TPS_WORKLOADS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic_workload.h"
+
+namespace tps::workloads
+{
+
+/** Descriptor of one suite workload (one Table 3.1 row). */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    std::uint64_t defaultSeed;
+    std::unique_ptr<SyntheticWorkload> (*make)(std::uint64_t seed);
+
+    std::unique_ptr<SyntheticWorkload>
+    instantiate() const
+    {
+        return make(defaultSeed);
+    }
+};
+
+/**
+ * All twelve workloads, in ascending working-set-size order (the
+ * order the paper's figures and tables use).
+ */
+const std::vector<WorkloadInfo> &suite();
+
+/** Look up one workload by name; tps_fatal if unknown. */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+/** Names in suite order (convenience for sweeps). */
+std::vector<std::string> suiteNames();
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_REGISTRY_H_

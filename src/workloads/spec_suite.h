@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Factories for the twelve workload generators modeling the programs
+ * of the paper's Table 3.1.
+ *
+ * Each generator reproduces the *memory behaviour* the paper (and the
+ * SPEC'89 literature) attributes to its program — footprint scale,
+ * spatial density per 32KB chunk, sweep/chase/popularity structure —
+ * not the program's computation.  See DESIGN.md, "Substitutions".
+ *
+ * Ordering convention: the registry lists workloads in ascending
+ * working-set size, the order the paper's figures use.
+ */
+
+#ifndef TPS_WORKLOADS_SPEC_SUITE_H_
+#define TPS_WORKLOADS_SPEC_SUITE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/synthetic_workload.h"
+
+namespace tps::workloads
+{
+
+/** Lisp interpreter: sparse heap pools, pointer chasing, periodic GC. */
+std::unique_ptr<SyntheticWorkload> makeLi(std::uint64_t seed = 101);
+
+/** Boolean minimizer: small hot set + sparse cover-table excursions. */
+std::unique_ptr<SyntheticWorkload> makeEspresso(std::uint64_t seed = 102);
+
+/** Quantum chemistry: tiny hot data, very large text footprint. */
+std::unique_ptr<SyntheticWorkload> makeFpppp(std::uint64_t seed = 103);
+
+/** Monte Carlo reactor sim: many scattered mid-size regions. */
+std::unique_ptr<SyntheticWorkload> makeDoduc(std::uint64_t seed = 104);
+
+/** X11 drawing benchmark: framebuffer store bursts + request ring. */
+std::unique_ptr<SyntheticWorkload> makeX11perf(std::uint64_t seed = 105);
+
+/** Truth-table generator: long bit-vector scans + quicksort phase. */
+std::unique_ptr<SyntheticWorkload> makeEqntott(std::uint64_t seed = 106);
+
+/** Sliding crawler touching few blocks per chunk (sparse chunks). */
+std::unique_ptr<SyntheticWorkload> makeWorm(std::uint64_t seed = 107);
+
+/** NASA kernels: cycled mxm / FFT / pentadiagonal / gather phases. */
+std::unique_ptr<SyntheticWorkload> makeNasa7(std::uint64_t seed = 108);
+
+/** News server: Zipf-popular widgets, event ring, expose sweeps. */
+std::unique_ptr<SyntheticWorkload> makeXnews(std::uint64_t seed = 109);
+
+/** 300x300 dgemm with an unblocked large-stride operand. */
+std::unique_ptr<SyntheticWorkload> makeMatrix300(std::uint64_t seed = 110);
+
+/** Vectorized mesh solver: seven big arrays swept in lockstep. */
+std::unique_ptr<SyntheticWorkload> makeTomcatv(std::uint64_t seed = 111);
+
+/** Event-driven gate-level simulator over a big netlist graph. */
+std::unique_ptr<SyntheticWorkload> makeVerilog(std::uint64_t seed = 112);
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_SPEC_SUITE_H_

@@ -1,0 +1,58 @@
+#include "workloads/synthetic_workload.h"
+
+#include "util/logging.h"
+
+namespace tps::workloads
+{
+
+SyntheticWorkload::SyntheticWorkload(std::string name, std::uint64_t seed,
+                                     const CodeModelConfig &code_config)
+    : rng_(seed), name_(std::move(name)), seed_(seed), code_(code_config)
+{
+}
+
+bool
+SyntheticWorkload::next(MemRef &ref)
+{
+    while (queue_.empty())
+        behave();
+    ref = queue_.front();
+    queue_.pop_front();
+    return true;
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_ = Rng(seed_);
+    code_.reset();
+    queue_.clear();
+    onReset();
+}
+
+void
+SyntheticWorkload::instr()
+{
+    queue_.push_back(MemRef{code_.nextFetch(rng_), RefType::Ifetch, 4});
+}
+
+void
+SyntheticWorkload::instrs(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        instr();
+}
+
+void
+SyntheticWorkload::load(Addr vaddr, std::uint8_t size)
+{
+    queue_.push_back(MemRef{vaddr, RefType::Load, size});
+}
+
+void
+SyntheticWorkload::store(Addr vaddr, std::uint8_t size)
+{
+    queue_.push_back(MemRef{vaddr, RefType::Store, size});
+}
+
+} // namespace tps::workloads

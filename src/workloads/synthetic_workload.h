@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Base class for the twelve synthetic SPEC'89-era workload generators.
+ *
+ * A SyntheticWorkload is an *infinite* TraceSource (wrap in
+ * LimitSource or pass max_refs to materialize()); each subclass
+ * implements behave(), which emits one small burst of instruction and
+ * data references per call.  Determinism contract: the same seed
+ * always produces the same reference stream, and reset() replays it
+ * from the start.
+ */
+
+#ifndef TPS_WORKLOADS_SYNTHETIC_WORKLOAD_H_
+#define TPS_WORKLOADS_SYNTHETIC_WORKLOAD_H_
+
+#include <deque>
+#include <string>
+
+#include "trace/trace_source.h"
+#include "util/random.h"
+#include "workloads/code_model.h"
+
+namespace tps::workloads
+{
+
+/** Common skeleton for synthetic workloads. */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    bool next(MemRef &ref) final;
+    void reset() final;
+    std::string name() const final { return name_; }
+
+    std::uint64_t seed() const { return seed_; }
+
+  protected:
+    SyntheticWorkload(std::string name, std::uint64_t seed,
+                      const CodeModelConfig &code_config);
+
+    /**
+     * Emit one burst of references (>= 1) via the emit helpers.
+     * Called whenever the output queue runs dry.
+     */
+    virtual void behave() = 0;
+
+    /** Re-initialize subclass cursors after a reset(). */
+    virtual void onReset() {}
+
+    /** Emit one instruction fetch from the code model. */
+    void instr();
+
+    /** Emit @p n instruction fetches. */
+    void instrs(unsigned n);
+
+    void load(Addr vaddr, std::uint8_t size = 8);
+    void store(Addr vaddr, std::uint8_t size = 8);
+
+    Rng rng_;
+
+  private:
+    std::string name_;
+    std::uint64_t seed_;
+    CodeModel code_;
+    std::deque<MemRef> queue_;
+};
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_SYNTHETIC_WORKLOAD_H_

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * worm and verilog: a deliberately chunk-sparse crawler (the paper's
+ * other two-page-size degradation case) and an event-driven gate-level
+ * simulator with graph-structured locality.
+ */
+
+#include "workloads/spec_suite.h"
+
+#include "workloads/layout.h"
+#include "workloads/patterns.h"
+
+namespace tps::workloads
+{
+
+namespace
+{
+
+/**
+ * worm: crawls a window across a large area, but within each 32KB
+ * chunk touches only 2-3 fixed 4KB blocks (chosen per chunk by a
+ * deterministic hash).  Active blocks per chunk stay below the
+ * promotion threshold, so the two-page-size policy allocates almost
+ * no large pages and its higher miss penalty makes CPI_TLB *worse*
+ * than plain 4KB pages — reproducing the paper's worm result.
+ */
+class Worm : public SyntheticWorkload
+{
+  public:
+    explicit Worm(std::uint64_t seed)
+        : SyntheticWorkload("worm", seed, codeConfig())
+    {
+        onReset();
+    }
+
+  protected:
+    static constexpr Addr kArea = kDataBase;
+    static constexpr std::uint64_t kAreaBytes = 1664 * 1024; // 52 chunks
+    static constexpr std::uint64_t kWindowChunks = 6;
+    static constexpr std::uint64_t kChunks = kAreaBytes / 0x8000;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        // Keep text inside one 4KB block so the code chunk never has
+        // enough active blocks to promote: worm's reference stream is
+        // then almost entirely small pages, the paper's degradation
+        // case.
+        config.functions = 4;
+        config.avgFuncBytes = 768;
+        config.callRate = 0.02;
+        config.loopBackRate = 0.12;
+        return config;
+    }
+
+    /** The b-th touchable block of a chunk (b in 0..2). */
+    static std::uint32_t
+    blockOf(std::uint64_t chunk, unsigned b)
+    {
+        std::uint64_t h = (chunk + 1) * 0x9E3779B97F4A7C15ULL;
+        h ^= h >> 31;
+        return static_cast<std::uint32_t>((h >> (8 * b)) % 8);
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        if (steps_ % kAdvancePeriod == 0)
+            window_head_ = (window_head_ + 1) % kChunks;
+
+        // Touch a random chunk of the window at one of its 2-3 blocks.
+        instrs(2);
+        const std::uint64_t chunk =
+            (window_head_ + rng_.below(kWindowChunks)) % kChunks;
+        const unsigned which = static_cast<unsigned>(rng_.below(3));
+        const Addr block_base =
+            kArea + chunk * 0x8000 + blockOf(chunk, which) * 0x1000;
+        load(block_base + (rng_.below(0x1000) & ~Addr{7}));
+        if (rng_.chance(0.3)) {
+            instr();
+            store(block_base + (rng_.below(0x1000) & ~Addr{7}));
+        }
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        window_head_ = 0;
+    }
+
+  private:
+    static constexpr std::uint64_t kAdvancePeriod = 2'500;
+
+    std::uint64_t steps_ = 0;
+    std::uint64_t window_head_ = 0;
+};
+
+/**
+ * verilog: event-driven gate-level simulation.  A hot event wheel is
+ * read sequentially; each event loads a gate record from a ~2.2MB
+ * netlist (Zipf-popular: clock trees and hot nets) and chases 2-4
+ * fanout neighbours determined by a deterministic hash — pointer
+ * chasing with moderate locality over a big footprint.
+ */
+class Verilog : public SyntheticWorkload
+{
+  public:
+    explicit Verilog(std::uint64_t seed)
+        : SyntheticWorkload("verilog", seed, codeConfig()),
+          gates_(kNetlistBase, kGates, kGateBytes, 1.25, seed + 9)
+    {
+        onReset();
+    }
+
+  protected:
+    static constexpr Addr kNetlistBase = kDataBase;
+    static constexpr std::uint32_t kGates = 47'000;
+    static constexpr std::uint32_t kGateBytes = 48; // ~2.2MB netlist
+    static constexpr std::uint64_t kNetlistBytes =
+        std::uint64_t{kGates} * kGateBytes;
+    static constexpr Addr kWheelBase = kMmapBase;
+    static constexpr std::uint64_t kWheelBytes = 64 * 1024;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 72;
+        config.avgFuncBytes = 2048;
+        config.callRate = 0.035;
+        config.loopBackRate = 0.08;
+        return config;
+    }
+
+    Addr
+    gateAddr(std::uint32_t gate) const
+    {
+        return kNetlistBase + std::uint64_t{gate} * kGateBytes;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        // Pop the next event from the wheel.
+        instrs(2);
+        load(kWheelBase + (steps_ * 16) % kWheelBytes);
+
+        // Evaluate a gate.  Activity clusters: most events fire within
+        // the currently active clock domain (a contiguous ~128KB slice
+        // of the netlist, rotating slowly), the rest are
+        // popularity-weighted across the whole design.
+        if (steps_ % 3'000 == 0) {
+            domain_base_ =
+                kNetlistBase +
+                (rng_.below(kNetlistBytes - kDomainBytes) & ~Addr{63});
+        }
+        const Addr gate =
+            rng_.chance(0.85)
+                ? domain_base_ + (rng_.below(kDomainBytes) /
+                                  kGateBytes) * kGateBytes
+                : gates_.next(rng_);
+        load(gate);
+        const std::uint32_t gate_index = static_cast<std::uint32_t>(
+            (gate - kNetlistBase) / kGateBytes);
+
+        // ...and chase its fanout.  Synthesis places most fanout close
+        // to the driver (placement locality); a minority of nets span
+        // the chip.
+        const unsigned fanout = 1 + static_cast<unsigned>(rng_.below(2));
+        for (unsigned f = 0; f < fanout; ++f) {
+            instrs(2);
+            std::uint64_t h =
+                (std::uint64_t{gate_index} * 4 + f + 1) *
+                0xBF58476D1CE4E5B9ULL;
+            h ^= h >> 27;
+            Addr neighbour;
+            if (rng_.chance(0.92)) {
+                // Local net: within +/-32KB of the driving gate.
+                const std::uint64_t span = 64 * 1024;
+                const Addr lo =
+                    gate > kNetlistBase + span / 2 ? gate - span / 2
+                                                   : kNetlistBase;
+                neighbour = lo + (h % span);
+                if (neighbour >= kNetlistBase + kNetlistBytes)
+                    neighbour = kNetlistBase + (h % kNetlistBytes);
+            } else {
+                neighbour = kNetlistBase + (h % kNetlistBytes);
+            }
+            load(neighbour & ~Addr{7});
+        }
+        // Schedule: write back into the wheel.
+        store(kWheelBase + ((steps_ * 16 + 8192) % kWheelBytes), 8);
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        domain_base_ = kNetlistBase;
+    }
+
+  private:
+    static constexpr std::uint64_t kDomainBytes = 48 * 1024;
+
+    ZipfObjects gates_;
+    std::uint64_t steps_ = 0;
+    Addr domain_base_ = kNetlistBase;
+};
+
+} // namespace
+
+std::unique_ptr<SyntheticWorkload>
+makeWorm(std::uint64_t seed)
+{
+    return std::make_unique<Worm>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeVerilog(std::uint64_t seed)
+{
+    return std::make_unique<Verilog>(seed);
+}
+
+} // namespace tps::workloads

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * matrix300 and tomcatv: the dense linear-algebra workloads whose
+ * large-stride sweeps dominate the paper's TLB results.
+ */
+
+#include "workloads/spec_suite.h"
+
+#include "workloads/layout.h"
+#include "workloads/patterns.h"
+
+namespace tps::workloads
+{
+
+namespace
+{
+
+/**
+ * matrix300: unblocked 300x300 double dgemm, C[i][j] += A[i][k]*B[k][j]
+ * with row-major storage.  The inner k-loop reads A sequentially but
+ * strides through B at 300*8 = 2400 bytes — crossing a 4KB page every
+ * other access and spanning ~176 pages per column — which is the
+ * notorious behaviour that made matrix300 a TLB/cache stress test.
+ * Nearly every chunk is touched densely, so the two-page-size policy
+ * promotes almost everything.
+ */
+class Matrix300 : public SyntheticWorkload
+{
+  public:
+    explicit Matrix300(std::uint64_t seed)
+        : SyntheticWorkload("matrix300", seed, codeConfig())
+    {
+    }
+
+  protected:
+    static constexpr std::uint32_t kN = 300;
+    static constexpr Addr kA = kDataBase;
+    static constexpr Addr kB = kA + 0x000C'0000; // 768KB apart
+    static constexpr Addr kC = kB + 0x000C'0000;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 6;       // tiny kernel loop
+        config.avgFuncBytes = 512;
+        config.loopBackRate = 0.2;  // tight loops
+        config.callRate = 0.005;
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        // One k-iteration of the SAXPY inner loop (multiply, add,
+        // index arithmetic, loop bookkeeping).
+        instrs(4);
+        load(kA + (std::uint64_t{i_} * kN + k_) * 8);
+        load(kB + (std::uint64_t{k_} * kN + j_) * 8);
+        if (++k_ == kN) {
+            k_ = 0;
+            instr();
+            store(kC + (std::uint64_t{i_} * kN + j_) * 8);
+            if (++j_ == kN) {
+                j_ = 0;
+                if (++i_ == kN)
+                    i_ = 0;
+            }
+        }
+    }
+
+    void
+    onReset() override
+    {
+        i_ = j_ = k_ = 0;
+    }
+
+  private:
+    std::uint32_t i_ = 0, j_ = 0, k_ = 0;
+};
+
+/**
+ * tomcatv: a vectorized 257x257 mesh solver.  Seven double arrays
+ * (X, Y, RX, RY, AA, DD, D) laid out back to back in a Fortran common
+ * block are swept row-by-row in lockstep, so at any instant seven
+ * reference streams advance through pages whose index bits are related
+ * by the (non-power-of-two) array pitch — the access/index interaction
+ * behind the paper's observation that tomcatv thrashes two-way
+ * set-associative TLBs and gets *worse* with larger pages.
+ */
+class Tomcatv : public SyntheticWorkload
+{
+  public:
+    explicit Tomcatv(std::uint64_t seed)
+        : SyntheticWorkload("tomcatv", seed, codeConfig())
+    {
+    }
+
+  protected:
+    static constexpr std::uint32_t kN = 257;
+    static constexpr std::uint64_t kArrayBytes =
+        std::uint64_t{kN} * kN * 8; // 528,392 bytes
+    static constexpr unsigned kArrays = 7;
+    static constexpr Addr kBase = kDataBase;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 8;
+        config.avgFuncBytes = 1024;
+        config.loopBackRate = 0.18;
+        config.callRate = 0.004;
+        return config;
+    }
+
+    static Addr
+    arrayBase(unsigned array)
+    {
+        return kBase + array * kArrayBytes;
+    }
+
+    void
+    behave() override
+    {
+        // One element step of the current loop nest.  tomcatv's main
+        // loops each stream through three arrays in lockstep; because
+        // the arrays sit at a fixed pitch in one common block, the
+        // three concurrent pages collide in the same set at some page
+        // sizes (the index-interaction anomaly of Section 5.2).
+        instrs(4);
+        const std::uint64_t elem = (std::uint64_t{i_} * kN + j_) * 8;
+        if (phase_ == 0) {
+            // Main residual loop: three concurrent streams.
+            load(arrayBase(0) + elem);
+            load(arrayBase(1) + elem);
+            instr();
+            store(arrayBase(2) + elem);
+        } else if (phase_ == 1) {
+            load(arrayBase(3) + elem);
+            instr();
+            store(arrayBase(4) + elem);
+        } else {
+            load(arrayBase(5) + elem);
+            instr();
+            store(arrayBase(6) + elem);
+        }
+
+        if (++j_ == kN) {
+            j_ = 0;
+            if (++i_ == kN) {
+                i_ = 0;
+                phase_ = (phase_ + 1) % 3; // next loop nest
+            }
+        }
+    }
+
+    void
+    onReset() override
+    {
+        i_ = j_ = 0;
+        phase_ = 0;
+    }
+
+  private:
+    std::uint32_t i_ = 0, j_ = 0;
+    unsigned phase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SyntheticWorkload>
+makeMatrix300(std::uint64_t seed)
+{
+    return std::make_unique<Matrix300>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeTomcatv(std::uint64_t seed)
+{
+    return std::make_unique<Tomcatv>(seed);
+}
+
+} // namespace tps::workloads

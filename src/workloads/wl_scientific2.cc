@@ -1,0 +1,276 @@
+/**
+ * @file
+ * fpppp, doduc and nasa7: the floating-point workloads with contrasting
+ * code/data balance — fpppp stresses instruction pages, doduc scatters
+ * over many mid-size regions, nasa7 cycles through distinct kernels.
+ */
+
+#include "workloads/spec_suite.h"
+
+#include "workloads/layout.h"
+#include "workloads/patterns.h"
+
+namespace tps::workloads
+{
+
+namespace
+{
+
+/**
+ * fpppp: two-electron integral derivatives.  Famous for enormous
+ * straight-line basic blocks: the text footprint (~480KB here) far
+ * exceeds the data working set (~96KB of heavily reused scalars and
+ * small matrices), so instruction pages dominate TLB traffic.  Both
+ * text and hot data are dense, so two page sizes help a lot.
+ */
+class Fpppp : public SyntheticWorkload
+{
+  public:
+    explicit Fpppp(std::uint64_t seed)
+        : SyntheticWorkload("fpppp", seed, codeConfig()),
+          data_(kDataBase, 16, 6 * 1024, 1.1, seed + 3)
+    {
+    }
+
+  protected:
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 48;
+        config.avgFuncBytes = 5120; // long unrolled blocks
+        config.callRate = 0.012;
+        config.loopBackRate = 0.01; // straight-line code
+        config.zipfSkew = 1.2;      // a hot core plus a long tail
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        // FP-heavy: several instructions per data touch.
+        instrs(3);
+        load(data_.next(rng_));
+        if (rng_.chance(0.25)) {
+            instr();
+            store(data_.next(rng_));
+        }
+    }
+
+  private:
+    ZipfObjects data_;
+};
+
+/**
+ * doduc: Monte Carlo simulation of a nuclear reactor component.
+ * State is spread over dozens of scattered regions of varying size
+ * (8-24KB); control jumps between them with skewed popularity and
+ * reads short sequential bursts.  Region sizes straddle the promotion
+ * threshold (4 of 8 blocks), so only some chunks promote — the paper's
+ * Table 5.1 shows doduc with mixed indexing-scheme behaviour.
+ */
+class Doduc : public SyntheticWorkload
+{
+  public:
+    explicit Doduc(std::uint64_t seed)
+        : SyntheticWorkload("doduc", seed, codeConfig()),
+          region_pick_(kRegions, 1.0)
+    {
+        Rng layout_rng(seed + 29);
+        for (unsigned r = 0; r < kRegions; ++r) {
+            // 8KB..24KB: 2..6 blocks of the 8-block chunk.
+            region_bytes_[r] = static_cast<std::uint32_t>(
+                (2 + layout_rng.below(5)) * 4096);
+        }
+        onReset();
+    }
+
+  protected:
+    static constexpr unsigned kRegions = 48;
+    static constexpr Addr kRegionSpacing = 32 * 1024; // one per chunk
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 56;
+        config.avgFuncBytes = 1536;
+        config.callRate = 0.03;
+        config.loopBackRate = 0.07;
+        return config;
+    }
+
+    Addr
+    regionBase(unsigned region) const
+    {
+        return kDataBase + region * kRegionSpacing;
+    }
+
+    void
+    behave() override
+    {
+        if (burst_left_ == 0) {
+            current_ = static_cast<unsigned>(region_pick_.sample(rng_));
+            burst_left_ = 8 + static_cast<unsigned>(rng_.below(25));
+            burst_offset_ = static_cast<std::uint32_t>(
+                rng_.below(region_bytes_[current_]) & ~Addr{7});
+        }
+        instrs(2);
+        load(regionBase(current_) + burst_offset_);
+        burst_offset_ =
+            (burst_offset_ + 8) % region_bytes_[current_];
+        if (rng_.chance(0.15)) {
+            instr();
+            store(regionBase(current_) + burst_offset_);
+        }
+        --burst_left_;
+    }
+
+    void
+    onReset() override
+    {
+        current_ = 0;
+        burst_left_ = 0;
+        burst_offset_ = 0;
+    }
+
+  private:
+    ZipfSampler region_pick_;
+    std::uint32_t region_bytes_[kRegions] = {};
+    unsigned current_ = 0;
+    unsigned burst_left_ = 0;
+    std::uint32_t burst_offset_ = 0;
+};
+
+/**
+ * nasa7: seven NASA Ames kernels run back to back.  Modeled as four
+ * cycled phases over ~2.5MB of arrays: dense matrix multiply (large
+ * stride), FFT butterflies (power-of-two strides — hard on set
+ * indexing), pentadiagonal line sweeps, and index-driven gather.
+ * Dense coverage promotes nearly everything, making nasa7 one of the
+ * paper's biggest two-page-size winners.
+ */
+class Nasa7 : public SyntheticWorkload
+{
+  public:
+    explicit Nasa7(std::uint64_t seed)
+        : SyntheticWorkload("nasa7", seed, codeConfig())
+    {
+        onReset();
+    }
+
+  protected:
+    static constexpr Addr kM1 = kDataBase;               // 512KB
+    static constexpr Addr kM2 = kDataBase + 0x0008'0000; // 512KB
+    static constexpr Addr kFft = kDataBase + 0x0010'0000; // 1MB
+    static constexpr Addr kPenta = kDataBase + 0x0020'0000; // 384KB
+    static constexpr Addr kGatherData = kDataBase + 0x0028'0000; // 512KB
+    static constexpr Addr kGatherIndex = kDataBase + 0x0030'0000; // 64KB
+
+    static constexpr std::uint32_t kMatN = 256; // 256x256 doubles
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 28;
+        config.avgFuncBytes = 2048;
+        config.loopBackRate = 0.15;
+        config.callRate = 0.006;
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        const unsigned phase =
+            static_cast<unsigned>((steps_ / kPhaseLength) % 4);
+        switch (phase) {
+          case 0: { // mxm: sequential + large-stride operand
+              instrs(2);
+              load(kM1 + (mxm_cursor_ * 8) % 0x0008'0000);
+              load(kM2 + ((mxm_cursor_ % kMatN) * kMatN +
+                          mxm_cursor_ / kMatN % kMatN) * 8);
+              ++mxm_cursor_;
+              break;
+          }
+          case 1: { // FFT butterflies: stride 2^k pairs
+              instrs(2);
+              const unsigned stage = 3 + (fft_cursor_ / 4096) % 8;
+              const std::uint64_t idx =
+                  (fft_cursor_ * 8) % (0x0010'0000 >> 1);
+              load(kFft + idx);
+              load(kFft + idx + (std::uint64_t{1} << (stage + 3)));
+              instr();
+              store(kFft + idx);
+              ++fft_cursor_;
+              break;
+          }
+          case 2: { // vpenta: diagonal line sweeps
+              instrs(2);
+              const std::uint64_t diag =
+                  (penta_cursor_ * (kMatN + 1) * 8) % 0x0006'0000;
+              load(kPenta + diag);
+              load(kPenta + diag + 8);
+              instr();
+              store(kPenta + diag + 16);
+              ++penta_cursor_;
+              break;
+          }
+          default: { // gather: index array drives scattered reads
+              instrs(2);
+              const Addr index_addr =
+                  kGatherIndex + (gather_cursor_ * 4) % 0x0001'0000;
+              load(index_addr, 4);
+              // The "index value" is a deterministic hash of the slot.
+              std::uint64_t h = gather_cursor_ * 0x9E3779B97F4A7C15ULL;
+              h ^= h >> 29;
+              load(kGatherData + (h % 0x0008'0000 & ~Addr{7}));
+              ++gather_cursor_;
+              break;
+          }
+        }
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        mxm_cursor_ = 0;
+        fft_cursor_ = 0;
+        penta_cursor_ = 0;
+        gather_cursor_ = 0;
+    }
+
+  private:
+    static constexpr std::uint64_t kPhaseLength = 60'000;
+
+    std::uint64_t steps_ = 0;
+    std::uint64_t mxm_cursor_ = 0;
+    std::uint64_t fft_cursor_ = 0;
+    std::uint64_t penta_cursor_ = 0;
+    std::uint64_t gather_cursor_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SyntheticWorkload>
+makeFpppp(std::uint64_t seed)
+{
+    return std::make_unique<Fpppp>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeDoduc(std::uint64_t seed)
+{
+    return std::make_unique<Doduc>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeNasa7(std::uint64_t seed)
+{
+    return std::make_unique<Nasa7>(seed);
+}
+
+} // namespace tps::workloads

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * li, espresso and eqntott: the integer/symbolic workloads.  li and
+ * espresso are the paper's examples of sparse address spaces and tight
+ * temporal locality, respectively — the programs whose working sets
+ * inflate most under a single large page size.
+ */
+
+#include "workloads/spec_suite.h"
+
+#include <array>
+
+#include "workloads/layout.h"
+#include "workloads/patterns.h"
+
+namespace tps::workloads
+{
+
+namespace
+{
+
+/**
+ * li: the xlisp interpreter.  The heap is a set of cons-cell pools
+ * placed every 64KB (leaving unused gaps, i.e. a *sparse* address
+ * space), each pool bump-filled to a different density, so some 32KB
+ * chunks are dense enough to promote and many are not.  The mutator
+ * pointer-chases popularity-weighted pools; a periodic mark-and-sweep
+ * GC walks every pool sequentially.
+ */
+class Li : public SyntheticWorkload
+{
+  public:
+    explicit Li(std::uint64_t seed)
+        : SyntheticWorkload("li", seed, codeConfig()),
+          pool_popularity_(kPools, 1.4)
+    {
+        Rng layout_rng(seed + 17);
+        for (unsigned p = 0; p < kPools; ++p) {
+            // Fill fraction ramps from 20% to 100% across pools.
+            const double fill = 0.20 + 0.80 * p / (kPools - 1);
+            live_bytes_[p] = static_cast<std::uint32_t>(
+                static_cast<double>(kPoolBytes) * fill) &
+                ~std::uint32_t{15};
+            (void)layout_rng;
+        }
+        onReset();
+    }
+
+  protected:
+    static constexpr unsigned kPools = 20;
+    static constexpr std::uint32_t kPoolBytes = 32 * 1024;
+    static constexpr Addr kPoolSpacing = 64 * 1024; // gaps -> sparse
+    static constexpr Addr kHeapBase = kDataBase;
+    static constexpr Addr kEvalStack = kStackTop - 0xB000;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 30;      // eval/apply/builtins
+        config.avgFuncBytes = 1024; // ~30KB text: one page per set
+        config.callRate = 0.05;     // interpreter dispatch
+        config.loopBackRate = 0.06;
+        return config;
+    }
+
+    Addr
+    poolBase(unsigned pool) const
+    {
+        return kHeapBase + pool * kPoolSpacing;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        if (steps_ % kGcPeriod == 0) {
+            gc_pool_ = 0;
+            gc_offset_ = 0;
+            gc_active_ = true;
+        }
+
+        if (gc_active_) {
+            // Mark-and-sweep: walk live cells of every pool in order.
+            instrs(1);
+            for (int touch = 0; touch < 3 && gc_active_; ++touch) {
+                load(poolBase(gc_pool_) + gc_offset_, 8);
+                gc_offset_ += 16;
+                if (gc_offset_ >= live_bytes_[gc_pool_]) {
+                    gc_offset_ = 0;
+                    if (++gc_pool_ == kPools)
+                        gc_active_ = false;
+                }
+            }
+            return;
+        }
+
+        // Mutator: eval loop touching the stack and chasing cells.
+        // Chases are bursty — evaluating one expression walks one
+        // list — and have locality: mostly short hops from the pool's
+        // cursor, sometimes a long jump.
+        instrs(3);
+        load(kEvalStack + (steps_ % 512) * 8);
+        if (burst_left_ == 0) {
+            current_pool_ = static_cast<unsigned>(
+                pool_popularity_.sample(rng_));
+            burst_left_ = 8 + static_cast<unsigned>(rng_.below(33));
+        }
+        --burst_left_;
+        const unsigned pool = current_pool_;
+        const std::uint32_t cells = live_bytes_[pool] / 16;
+        std::uint32_t &cursor = chase_cursor_[pool];
+        if (rng_.chance(0.85))
+            cursor = (cursor + 1 +
+                      static_cast<std::uint32_t>(rng_.below(8))) % cells;
+        else
+            cursor = static_cast<std::uint32_t>(rng_.below(cells));
+        load(poolBase(pool) + std::uint64_t{cursor} * 16);
+        if (rng_.chance(0.30)) {
+            // cons: bump-allocate in the current allocation pool.
+            instr();
+            store(poolBase(alloc_pool_) + alloc_offset_, 8);
+            alloc_offset_ += 16;
+            if (alloc_offset_ >= live_bytes_[alloc_pool_]) {
+                alloc_offset_ = 0;
+                alloc_pool_ = (alloc_pool_ + 1) % kPools;
+            }
+        }
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        gc_active_ = false;
+        gc_pool_ = 0;
+        gc_offset_ = 0;
+        alloc_pool_ = 0;
+        alloc_offset_ = 0;
+        current_pool_ = 0;
+        burst_left_ = 0;
+        chase_cursor_.fill(0);
+    }
+
+  private:
+    static constexpr std::uint64_t kGcPeriod = 60'000;
+
+    ZipfSampler pool_popularity_;
+    std::array<std::uint32_t, kPools> live_bytes_{};
+    std::uint64_t steps_ = 0;
+    bool gc_active_ = false;
+    unsigned gc_pool_ = 0;
+    std::uint32_t gc_offset_ = 0;
+    unsigned alloc_pool_ = 0;
+    std::uint32_t alloc_offset_ = 0;
+    unsigned current_pool_ = 0;
+    unsigned burst_left_ = 0;
+    std::array<std::uint32_t, kPools> chase_cursor_{};
+};
+
+/**
+ * espresso: boolean function minimization.  Almost all time is spent
+ * re-scanning a small hot cube list (strong temporal locality, the
+ * paper's example of a program whose WS balloons under large pages);
+ * occasional excursions stride through a big cover table touching only
+ * ~3 of the 8 blocks per 32KB chunk, so those chunks never promote and
+ * the two-page-size scheme pays its higher miss penalty for little
+ * gain — espresso is one of the paper's two degradation cases.
+ */
+class Espresso : public SyntheticWorkload
+{
+  public:
+    explicit Espresso(std::uint64_t seed)
+        : SyntheticWorkload("espresso", seed, codeConfig()),
+          hot_(kHotBase, kHotBytes, 16)
+    {
+        onReset();
+    }
+
+  protected:
+    // Exactly eight 4KB pages: the hot cube list tiles the sets of a
+    // 16-entry two-way TLB one page per set, as a compact contiguous
+    // allocation naturally does.
+    static constexpr Addr kHotBase = kDataBase;
+    static constexpr std::uint64_t kHotBytes = 32 * 1024;
+    static constexpr Addr kCoverBase = kDataBase + 0x0010'0000;
+    static constexpr std::uint64_t kCoverBytes = 640 * 1024;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        // Small, loop-dominated kernel: hot set (cubes + text) fits a
+        // 16-entry 4KB TLB, so espresso's baseline CPI_TLB is low and
+        // its unpromotable excursions dominate the miss stream.
+        config.functions = 12;
+        config.avgFuncBytes = 1280;
+        config.callRate = 0.02;
+        config.loopBackRate = 0.14;
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        if (excursion_left_ > 0) {
+            // Cover-table excursion: visit blocks 0, 3 and 5 of each
+            // chunk (3 of 8 -> below the promotion threshold).
+            instrs(2);
+            static constexpr std::uint32_t kBlockPick[3] = {0, 3, 5};
+            const Addr chunk =
+                kCoverBase + (excursion_chunk_ % kCoverChunks) * 0x8000;
+            const Addr block =
+                chunk + kBlockPick[excursion_left_ % 3] * 0x1000;
+            load(block + (steps_ * 64) % 0x1000);
+            if (--excursion_left_ % 3 == 0)
+                ++excursion_chunk_;
+            return;
+        }
+        if (steps_ % kExcursionPeriod == 0) {
+            excursion_left_ = 90; // 30 chunks x 3 blocks
+            return;
+        }
+
+        // Hot loop: re-scan the cube list.
+        instrs(2);
+        load(hot_.next());
+        if (rng_.chance(0.2)) {
+            instr();
+            store(kHotBase + (rng_.below(kHotBytes) & ~Addr{7}));
+        }
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        excursion_left_ = 0;
+        excursion_chunk_ = 0;
+        hot_.restart();
+    }
+
+  private:
+    static constexpr std::uint64_t kExcursionPeriod = 9'000;
+    static constexpr std::uint64_t kCoverChunks = kCoverBytes / 0x8000;
+
+    Sweep hot_;
+    std::uint64_t steps_ = 0;
+    std::uint32_t excursion_left_ = 0;
+    std::uint64_t excursion_chunk_ = 0;
+};
+
+/**
+ * eqntott: truth-table generation.  Dominated by long unit-stride
+ * comparisons of two big bit-vector arrays (dense chunks, promotes
+ * well) plus a quicksort phase over a term-index array with
+ * partition-local accesses.
+ */
+class Eqntott : public SyntheticWorkload
+{
+  public:
+    explicit Eqntott(std::uint64_t seed)
+        : SyntheticWorkload("eqntott", seed, codeConfig()),
+          scan_a_(kVecA, kVecBytes, 8), scan_b_(kVecB, kVecBytes, 8)
+    {
+        onReset();
+    }
+
+  protected:
+    static constexpr Addr kVecA = kDataBase;
+    static constexpr std::uint64_t kVecBytes = 768 * 1024;
+    // B sits at a deliberately odd offset from A, so their lockstep
+    // scans fall into different sets at every page size of interest.
+    static constexpr Addr kVecB = kDataBase + 0x0011'D000;
+    static constexpr Addr kIndexBase = kDataBase + 0x0024'0000;
+    static constexpr std::uint64_t kIndexBytes = 192 * 1024;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 20;
+        config.avgFuncBytes = 1024;
+        config.callRate = 0.015;
+        config.loopBackRate = 0.15;
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        const bool sorting = (steps_ / kPhaseLength) % 4 == 3;
+        if (sorting) {
+            // Quicksort partitioning: two cursors converge from the
+            // ends of the current subrange; a new subrange starts when
+            // they meet.
+            instrs(2);
+            if (sort_left_ == 0) {
+                sort_span_ = kIndexBytes >>
+                             (1 + rng_.below(6)); // 3KB..96KB
+                sort_base_ =
+                    kIndexBase +
+                    (rng_.below(kIndexBytes - sort_span_ + 1) & ~Addr{7});
+                sort_left_ = static_cast<std::uint32_t>(sort_span_ / 16);
+                sort_cursor_ = 0;
+            }
+            load(sort_base_ + sort_cursor_);
+            load(sort_base_ + sort_span_ - sort_cursor_ - 8);
+            if (rng_.chance(0.3)) {
+                instr();
+                store(sort_base_ + sort_cursor_);
+            }
+            sort_cursor_ += 8;
+            --sort_left_;
+            return;
+        }
+
+        // Vector comparison scan.
+        instrs(2);
+        load(scan_a_.next());
+        load(scan_b_.next());
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        sort_cursor_ = 0;
+        sort_left_ = 0;
+        sort_span_ = 0;
+        sort_base_ = kIndexBase;
+        scan_a_.restart();
+        scan_b_.restart();
+    }
+
+  private:
+    static constexpr std::uint64_t kPhaseLength = 50'000;
+
+    Sweep scan_a_;
+    Sweep scan_b_;
+    std::uint64_t steps_ = 0;
+    std::uint64_t sort_cursor_ = 0;
+    std::uint32_t sort_left_ = 0;
+    std::uint64_t sort_span_ = 0;
+    Addr sort_base_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SyntheticWorkload>
+makeLi(std::uint64_t seed)
+{
+    return std::make_unique<Li>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeEspresso(std::uint64_t seed)
+{
+    return std::make_unique<Espresso>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeEqntott(std::uint64_t seed)
+{
+    return std::make_unique<Eqntott>(seed);
+}
+
+} // namespace tps::workloads

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * x11perf and xnews: the window-system workloads — store-heavy
+ * framebuffer bursts and popularity-skewed widget dispatch.
+ */
+
+#include "workloads/spec_suite.h"
+
+#include "workloads/layout.h"
+#include "workloads/patterns.h"
+
+namespace tps::workloads
+{
+
+namespace
+{
+
+/**
+ * x11perf: X server drawing benchmark.  Rendering writes long
+ * horizontal scanline segments into a ~1.25MB framebuffer (dense
+ * store bursts that promote readily) while a small request ring and
+ * GC/font tables are read.
+ */
+class X11perf : public SyntheticWorkload
+{
+  public:
+    explicit X11perf(std::uint64_t seed)
+        : SyntheticWorkload("x11perf", seed, codeConfig()),
+          fonts_(kFontBase, 48, 2048, 1.0, seed + 5)
+    {
+        onReset();
+    }
+
+  protected:
+    static constexpr Addr kFbBase = kMmapBase;
+    static constexpr std::uint64_t kFbBytes = 1280 * 1024;
+    static constexpr std::uint32_t kRowBytes = 4096; // 1024 px * 4B
+    static constexpr std::uint64_t kBandBytes = 256 * 1024;
+    static constexpr Addr kRingBase = kDataBase;
+    static constexpr std::uint64_t kRingBytes = 16 * 1024;
+    static constexpr Addr kFontBase = kDataBase + 0x0008'0000;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 40;
+        config.avgFuncBytes = 1536;
+        config.callRate = 0.03;
+        config.loopBackRate = 0.10;
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        // Read the next request from the ring.
+        instrs(2);
+        load(kRingBase + (steps_ * 32) % kRingBytes);
+
+        if (burst_left_ == 0) {
+            // New drawing op.  Drawing clusters in the active window
+            // (a ~256KB band of the framebuffer) and occasionally the
+            // active window moves — x11perf repeats each op batch in
+            // one region before moving on.
+            if (steps_ % 25'000 == 0) {
+                const std::uint64_t bands = kFbBytes / kBandBytes;
+                band_base_ = kFbBase + rng_.below(bands) * kBandBytes;
+            }
+            const std::uint64_t rows = kBandBytes / kRowBytes;
+            burst_addr_ = band_base_ + rng_.below(rows) * kRowBytes +
+                          (rng_.below(kRowBytes / 2) & ~Addr{3});
+            burst_left_ = 16 + static_cast<unsigned>(rng_.below(113));
+            if (rng_.chance(0.2))
+                load(fonts_.next(rng_)); // glyph lookup
+        }
+        // Blit a segment of the scanline.
+        for (int px = 0; px < 4 && burst_left_ > 0; ++px) {
+            store(burst_addr_, 4);
+            burst_addr_ += 4;
+            --burst_left_;
+        }
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        burst_left_ = 0;
+        burst_addr_ = kFbBase;
+        band_base_ = kFbBase;
+    }
+
+  private:
+    ZipfObjects fonts_;
+    std::uint64_t steps_ = 0;
+    unsigned burst_left_ = 0;
+    Addr burst_addr_ = 0;
+    Addr band_base_ = kFbBase;
+};
+
+/**
+ * xnews: news/window server.  Dispatches events to ~600 widget
+ * records (2KB each, Zipf-popular, scattered over ~1.2MB), reads an
+ * event ring, and periodically handles an "expose" that sweeps a
+ * contiguous window region — a mix of skewed reuse and dense sweeps.
+ */
+class Xnews : public SyntheticWorkload
+{
+  public:
+    explicit Xnews(std::uint64_t seed)
+        : SyntheticWorkload("xnews", seed, codeConfig()),
+          widgets_(kWidgetBase, 384, 2048, 1.35, seed + 7)
+    {
+        onReset();
+    }
+
+  protected:
+    static constexpr Addr kWidgetBase = kDataBase;
+    static constexpr Addr kRingBase = kDataBase + 0x0020'0000;
+    static constexpr std::uint64_t kRingBytes = 32 * 1024;
+    static constexpr Addr kPixBase = kMmapBase;
+    static constexpr std::uint64_t kPixBytes = 768 * 1024;
+
+    static CodeModelConfig
+    codeConfig()
+    {
+        CodeModelConfig config;
+        config.functions = 64;
+        config.avgFuncBytes = 1792;
+        config.callRate = 0.04;
+        config.loopBackRate = 0.06;
+        return config;
+    }
+
+    void
+    behave() override
+    {
+        ++steps_;
+        if (expose_left_ > 0) {
+            // Expose: densely repaint a contiguous pixmap region.
+            instrs(2);
+            for (int touch = 0; touch < 3 && expose_left_ > 0; ++touch) {
+                store(expose_addr_, 4);
+                expose_addr_ += 64;
+                --expose_left_;
+            }
+            return;
+        }
+        if (steps_ % kExposePeriod == 0) {
+            const std::uint64_t span = 96 * 1024;
+            expose_addr_ =
+                kPixBase + (rng_.below(kPixBytes - span) & ~Addr{63});
+            expose_left_ = static_cast<std::uint32_t>(span / 64);
+            return;
+        }
+
+        // Event dispatch: ring read + widget access.  Most events go
+        // to the focused widget; the rest are popularity-weighted.
+        instrs(3);
+        load(kRingBase + (steps_ * 16) % kRingBytes);
+        if (steps_ % 200 == 0)
+            focus_ = widgets_.next(rng_) & ~Addr{2047};
+        const Addr widget = rng_.chance(0.6)
+                                ? focus_ + (rng_.below(2048) & ~Addr{7})
+                                : widgets_.next(rng_);
+        load(widget);
+        if (rng_.chance(0.25)) {
+            instr();
+            store(widget);
+        }
+    }
+
+    void
+    onReset() override
+    {
+        steps_ = 0;
+        expose_left_ = 0;
+        expose_addr_ = kPixBase;
+        focus_ = kWidgetBase;
+    }
+
+  private:
+    static constexpr std::uint64_t kExposePeriod = 20'000;
+
+    ZipfObjects widgets_;
+    std::uint64_t steps_ = 0;
+    std::uint32_t expose_left_ = 0;
+    Addr expose_addr_ = 0;
+    Addr focus_ = kWidgetBase;
+};
+
+} // namespace
+
+std::unique_ptr<SyntheticWorkload>
+makeX11perf(std::uint64_t seed)
+{
+    return std::make_unique<X11perf>(seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeXnews(std::uint64_t seed)
+{
+    return std::make_unique<Xnews>(seed);
+}
+
+} // namespace tps::workloads

@@ -1,0 +1,78 @@
+#include "wset/avg_working_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+AvgWorkingSet::AvgWorkingSet(std::vector<unsigned> size_log2s,
+                             std::vector<RefTime> windows)
+    : size_log2s_(std::move(size_log2s)), windows_(std::move(windows))
+{
+    if (size_log2s_.empty() || windows_.empty())
+        tps_fatal("AvgWorkingSet needs at least one size and one window");
+    for (RefTime window : windows_)
+        if (window == 0)
+            tps_fatal("working-set window must be positive");
+    per_size_.resize(size_log2s_.size());
+    for (auto &per : per_size_)
+        per.acc.assign(windows_.size(), 0);
+}
+
+void
+AvgWorkingSet::observe(Addr vaddr)
+{
+    if (finished_)
+        tps_panic("observe() after finish()");
+    ++now_;
+    for (std::size_t s = 0; s < size_log2s_.size(); ++s) {
+        PerSize &per = per_size_[s];
+        const Addr vpn = vaddr >> size_log2s_[s];
+        auto [it, inserted] = per.lastRef.try_emplace(vpn, now_);
+        if (!inserted) {
+            const RefTime gap = now_ - it->second;
+            for (std::size_t w = 0; w < windows_.size(); ++w)
+                per.acc[w] += std::min<RefTime>(gap, windows_[w]);
+            it->second = now_;
+        }
+    }
+}
+
+void
+AvgWorkingSet::finish()
+{
+    if (finished_)
+        tps_panic("finish() called twice");
+    finished_ = true;
+    for (PerSize &per : per_size_) {
+        for (const auto &[vpn, last] : per.lastRef) {
+            const RefTime tail = now_ - last + 1;
+            for (std::size_t w = 0; w < windows_.size(); ++w)
+                per.acc[w] += std::min<RefTime>(tail, windows_[w]);
+        }
+    }
+}
+
+double
+AvgWorkingSet::averageBytes(std::size_t size_idx,
+                            std::size_t window_idx) const
+{
+    if (!finished_)
+        tps_panic("averageBytes() before finish()");
+    if (now_ == 0)
+        return 0.0;
+    const double page_bytes = static_cast<double>(
+        std::uint64_t{1} << size_log2s_.at(size_idx));
+    return static_cast<double>(per_size_.at(size_idx).acc.at(window_idx)) *
+           page_bytes / static_cast<double>(now_);
+}
+
+std::uint64_t
+AvgWorkingSet::distinctPages(std::size_t size_idx) const
+{
+    return per_size_.at(size_idx).lastRef.size();
+}
+
+} // namespace tps

@@ -1,0 +1,95 @@
+#include "wset/two_size_working_set.h"
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+TwoSizeWorkingSet::TwoSizeWorkingSet(const TwoSizeConfig &config)
+    : config_(config), threshold_(config.resolvedPromote()),
+      blocks_per_chunk_(config.blocksPerChunk())
+{
+    if (blocks_per_chunk_ > kMaxBlocksPerChunk)
+        tps_fatal("size ratio exceeds supported blocks per chunk");
+    if (config.window == 0)
+        tps_fatal("working-set window must be positive");
+}
+
+std::uint64_t
+TwoSizeWorkingSet::contribution(std::uint32_t active_blocks) const
+{
+    if (active_blocks >= threshold_)
+        return std::uint64_t{1} << config_.largeLog2;
+    return std::uint64_t{active_blocks} << config_.smallLog2;
+}
+
+void
+TwoSizeWorkingSet::expireOld()
+{
+    while (touches_.size() > config_.window) {
+        const Touch old = touches_.front();
+        touches_.pop_front();
+        auto it = chunks_.find(old.chunk);
+        if (it == chunks_.end())
+            tps_panic("chunk window accounting out of sync");
+        ChunkWindow &window = it->second;
+        const std::uint64_t before = contribution(window.activeBlocks);
+        if (--window.blockTouches[old.block] == 0) {
+            const bool was_large = window.activeBlocks >= threshold_;
+            --window.activeBlocks;
+            const bool is_large = window.activeBlocks >= threshold_;
+            if (was_large && !is_large)
+                --large_chunks_;
+            current_bytes_ -= before;
+            current_bytes_ += contribution(window.activeBlocks);
+            if (window.activeBlocks == 0)
+                chunks_.erase(it);
+        }
+    }
+}
+
+void
+TwoSizeWorkingSet::observe(Addr vaddr)
+{
+    ++now_;
+    const Addr chunk_number = vaddr >> config_.largeLog2;
+    const std::uint8_t block = static_cast<std::uint8_t>(
+        (vaddr >> config_.smallLog2) & (blocks_per_chunk_ - 1));
+
+    ChunkWindow &window = chunks_[chunk_number];
+    if (window.blockTouches[block]++ == 0) {
+        const std::uint64_t before = contribution(window.activeBlocks);
+        const bool was_large = window.activeBlocks >= threshold_;
+        ++window.activeBlocks;
+        const bool is_large = window.activeBlocks >= threshold_;
+        if (!was_large && is_large)
+            ++large_chunks_;
+        current_bytes_ -= before;
+        current_bytes_ += contribution(window.activeBlocks);
+    }
+    touches_.push_back(Touch{chunk_number, block});
+
+    expireOld();
+    total_bytes_ += current_bytes_;
+}
+
+double
+TwoSizeWorkingSet::averageBytes() const
+{
+    return now_ == 0 ? 0.0
+                     : static_cast<double>(total_bytes_) /
+                           static_cast<double>(now_);
+}
+
+void
+TwoSizeWorkingSet::reset()
+{
+    now_ = 0;
+    touches_.clear();
+    chunks_.clear();
+    current_bytes_ = 0;
+    total_bytes_ = 0;
+    large_chunks_ = 0;
+}
+
+} // namespace tps

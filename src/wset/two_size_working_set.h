@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Exact average working-set size under the paper's two-page-size
+ * assignment (Sections 3.2 + 3.4), evaluated by definition:
+ *
+ *   At reference time t, a chunk with at least `threshold` blocks
+ *   touched in (t-T, t] is mapped as one large page (contributing the
+ *   large page size); any other chunk contributes the small page size
+ *   for each of its blocks touched in (t-T, t].
+ *
+ * Unlike the generic WindowedWorkingSet — which records the
+ * classification chosen at access time and therefore double-counts a
+ * chunk while its pre-promotion small-page occurrences age out — this
+ * analyzer re-evaluates the assignment from the chunk's *current*
+ * in-window block population at every t, which is exactly the
+ * quantity the paper's Figure 4.2 plots.
+ */
+
+#ifndef TPS_WSET_TWO_SIZE_WORKING_SET_H_
+#define TPS_WSET_TWO_SIZE_WORKING_SET_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/types.h"
+#include "vm/two_size_policy.h"
+
+namespace tps
+{
+
+/** Sliding-window two-size working-set analyzer. */
+class TwoSizeWorkingSet
+{
+  public:
+    /**
+     * @param config chunk geometry, threshold and window T.  The
+     *               demotion setting is irrelevant: assignment is
+     *               re-derived from the window at every reference.
+     */
+    explicit TwoSizeWorkingSet(const TwoSizeConfig &config);
+
+    /** Account one reference; w(t) accumulates into the average. */
+    void observe(Addr vaddr);
+
+    /** Current working-set size w(t) in bytes. */
+    std::uint64_t currentBytes() const { return current_bytes_; }
+
+    /** Average of w(t) over all references so far. */
+    double averageBytes() const;
+
+    /** Chunks currently mapped large / small-with-blocks. */
+    std::size_t largeChunks() const { return large_chunks_; }
+
+    RefTime refs() const { return now_; }
+
+    void reset();
+
+  private:
+    struct ChunkWindow
+    {
+        /** Touches of each block currently inside the window. */
+        std::uint32_t blockTouches[kMaxBlocksPerChunk] = {};
+        std::uint32_t activeBlocks = 0;
+    };
+
+    struct Touch
+    {
+        Addr chunk;
+        std::uint8_t block;
+    };
+
+    /** Bytes chunk contributes given its active-block count. */
+    std::uint64_t contribution(std::uint32_t active_blocks) const;
+
+    void expireOld();
+
+    TwoSizeConfig config_;
+    unsigned threshold_;
+    unsigned blocks_per_chunk_;
+    RefTime now_ = 0;
+    std::deque<Touch> touches_; ///< youngest at back, one per ref
+    std::unordered_map<Addr, ChunkWindow> chunks_;
+    std::uint64_t current_bytes_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    std::size_t large_chunks_ = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_WSET_TWO_SIZE_WORKING_SET_H_

@@ -1,0 +1,61 @@
+#include "wset/windowed_working_set.h"
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+WindowedWorkingSet::WindowedWorkingSet(RefTime window) : window_(window)
+{
+    if (window == 0)
+        tps_fatal("working-set window must be positive");
+}
+
+void
+WindowedWorkingSet::expireOld()
+{
+    while (occurrences_.size() > window_) {
+        const PageId old = occurrences_.front();
+        occurrences_.pop_front();
+        auto it = counts_.find(old);
+        if (it == counts_.end())
+            tps_panic("window accounting out of sync");
+        if (--it->second == 0) {
+            current_bytes_ -= old.sizeBytes();
+            counts_.erase(it);
+        }
+    }
+}
+
+void
+WindowedWorkingSet::observe(const PageId &page)
+{
+    ++now_;
+    occurrences_.push_back(page);
+    auto [it, inserted] = counts_.try_emplace(page, 0);
+    if (it->second == 0)
+        current_bytes_ += page.sizeBytes();
+    ++it->second;
+    expireOld();
+    total_bytes_ += current_bytes_;
+}
+
+double
+WindowedWorkingSet::averageBytes() const
+{
+    return now_ == 0 ? 0.0
+                     : static_cast<double>(total_bytes_) /
+                           static_cast<double>(now_);
+}
+
+void
+WindowedWorkingSet::reset()
+{
+    now_ = 0;
+    occurrences_.clear();
+    counts_.clear();
+    current_bytes_ = 0;
+    total_bytes_ = 0;
+}
+
+} // namespace tps

@@ -1,0 +1,104 @@
+/** @file Unit tests for the CPI accounting model (paper Section 3.2). */
+
+#include "core/cpi_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tps::core
+{
+namespace
+{
+
+TlbStats
+statsWith(std::uint64_t misses, std::uint64_t hits_large = 0)
+{
+    TlbStats stats;
+    stats.misses = misses;
+    stats.hitsLarge = hits_large;
+    return stats;
+}
+
+TEST(CpiModelTest, PaperDefaults)
+{
+    CpiModel model;
+    EXPECT_DOUBLE_EQ(model.missPenalty(false), 20.0);
+    EXPECT_DOUBLE_EQ(model.missPenalty(true), 25.0);
+}
+
+TEST(CpiModelTest, CpiIsMpiTimesPenalty)
+{
+    CpiModel model;
+    // 1000 misses over 100000 instructions: MPI = 0.01.
+    EXPECT_DOUBLE_EQ(
+        model.cpiTlb(statsWith(1000), PolicyStats{}, 100000, false),
+        0.01 * 20.0);
+    EXPECT_DOUBLE_EQ(
+        model.cpiTlb(statsWith(1000), PolicyStats{}, 100000, true),
+        0.01 * 25.0);
+}
+
+TEST(CpiModelTest, ZeroInstructionsSafe)
+{
+    CpiModel model;
+    EXPECT_DOUBLE_EQ(
+        model.cpiTlb(statsWith(10), PolicyStats{}, 0, false), 0.0);
+}
+
+TEST(CpiModelTest, SequentialReprobeChargesLargeHitsAndMisses)
+{
+    CpiModel model;
+    model.reprobeCycles = 2.0;
+    const TlbStats stats = statsWith(100, 400);
+    const double parallel = model.cpiTlb(stats, PolicyStats{}, 10000,
+                                         true, ProbeStrategy::Parallel);
+    const double sequential = model.cpiTlb(
+        stats, PolicyStats{}, 10000, true, ProbeStrategy::Sequential);
+    EXPECT_DOUBLE_EQ(sequential - parallel,
+                     2.0 * (100 + 400) / 10000.0);
+}
+
+TEST(CpiModelTest, ReprobeIrrelevantForSingleSize)
+{
+    CpiModel model;
+    model.reprobeCycles = 5.0;
+    const TlbStats stats = statsWith(100, 400);
+    EXPECT_DOUBLE_EQ(model.cpiTlb(stats, PolicyStats{}, 10000, false,
+                                  ProbeStrategy::Sequential),
+                     model.cpiTlb(stats, PolicyStats{}, 10000, false,
+                                  ProbeStrategy::Parallel));
+}
+
+TEST(CpiModelTest, PromotionCostCharged)
+{
+    CpiModel model;
+    model.promotionCycles = 1000.0;
+    PolicyStats policy;
+    policy.promotions = 5;
+    policy.demotions = 3;
+    const double with_promos =
+        model.cpiTlb(statsWith(0), policy, 10000, true);
+    EXPECT_DOUBLE_EQ(with_promos, 1000.0 * 8 / 10000.0);
+}
+
+TEST(CriticalMissPenaltyTest, PaperFormula)
+{
+    // delta_mp = (MPI(4K)/MPI(ps) - 1) * 100%.
+    EXPECT_DOUBLE_EQ(criticalMissPenaltyIncrease(0.02, 0.01), 100.0);
+    EXPECT_NEAR(criticalMissPenaltyIncrease(0.013, 0.01), 30.0, 1e-9);
+    EXPECT_NEAR(criticalMissPenaltyIncrease(0.13, 0.01), 1200.0, 1e-9);
+}
+
+TEST(CriticalMissPenaltyTest, NegativeWhenSchemeWorse)
+{
+    EXPECT_LT(criticalMissPenaltyIncrease(0.01, 0.02), 0.0);
+}
+
+TEST(CriticalMissPenaltyTest, InfiniteWhenNoMisses)
+{
+    EXPECT_TRUE(std::isinf(criticalMissPenaltyIncrease(0.01, 0.0)));
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproducibility contract: every experiment is bit-for-bit
+ * deterministic — same configuration, same result — across repeated
+ * runs, TLB reuse, and policy reuse.  This is the property that makes
+ * the figure tables in EXPERIMENTS.md regenerable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+RunOptions
+options()
+{
+    RunOptions opts;
+    opts.maxRefs = 120'000;
+    opts.warmupRefs = 30'000;
+    opts.wsWindow = 20'000;
+    return opts;
+}
+
+bool
+sameResult(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return a.tlb.misses == b.tlb.misses && a.tlb.hits == b.tlb.hits &&
+           a.tlb.invalidations == b.tlb.invalidations &&
+           a.policy.promotions == b.policy.promotions &&
+           a.instructions == b.instructions &&
+           a.cpiTlb == b.cpiTlb && a.avgWsBytes == b.avgWsBytes;
+}
+
+TEST(DeterminismTest, FreshObjectsReproduce)
+{
+    for (const char *name : {"li", "worm", "tomcatv"}) {
+        auto w1 = workloads::findWorkload(name).instantiate();
+        auto w2 = workloads::findWorkload(name).instantiate();
+        TlbConfig tlb;
+        tlb.organization = TlbOrganization::SetAssociative;
+        tlb.entries = 16;
+        tlb.ways = 2;
+        TwoSizeConfig policy;
+        policy.window = 20'000;
+        const auto r1 = runExperiment(
+            *w1, PolicySpec::twoSizes(policy), tlb, options());
+        const auto r2 = runExperiment(
+            *w2, PolicySpec::twoSizes(policy), tlb, options());
+        EXPECT_TRUE(sameResult(r1, r2)) << name;
+    }
+}
+
+TEST(DeterminismTest, ReusedObjectsReproduce)
+{
+    // runExperiment resets trace, policy and TLB: running twice with
+    // the same objects must match exactly.
+    auto workload = workloads::findWorkload("doduc").instantiate();
+    TwoSizeConfig config;
+    config.window = 20'000;
+    TwoSizePolicy policy(config);
+    auto tlb = makeTlb(TlbConfig{});
+    const auto r1 = runExperiment(*workload, policy, *tlb, options());
+    const auto r2 = runExperiment(*workload, policy, *tlb, options());
+    EXPECT_TRUE(sameResult(r1, r2));
+}
+
+TEST(DeterminismTest, RandomReplacementIsSeededDeterministic)
+{
+    auto workload = workloads::findWorkload("xnews").instantiate();
+    TlbConfig tlb;
+    tlb.replacement = ReplPolicy::Random;
+    tlb.rngSeed = 99;
+    const auto r1 = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), tlb, options());
+    const auto r2 = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), tlb, options());
+    EXPECT_TRUE(sameResult(r1, r2));
+
+    // ...and a different seed genuinely changes the outcome.
+    tlb.rngSeed = 100;
+    const auto r3 = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), tlb, options());
+    EXPECT_NE(r1.tlb.misses, r3.tlb.misses);
+}
+
+TEST(DeterminismTest, TwoLevelFactoryOrganizationRuns)
+{
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::TwoLevel;
+    tlb.entries = 64;
+    tlb.l1Entries = 4;
+    const auto r1 = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), tlb, options());
+    const auto r2 = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), tlb, options());
+    EXPECT_TRUE(sameResult(r1, r2));
+    EXPECT_EQ(tlb.describe(), "64-entry two-level(L1 4)");
+}
+
+} // namespace
+} // namespace tps::core

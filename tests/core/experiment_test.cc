@@ -1,0 +1,177 @@
+/** @file Unit tests for the experiment driver. */
+
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/vector_trace.h"
+
+namespace tps::core
+{
+namespace
+{
+
+/** Trace touching `pages` 4KB pages cyclically, one ifetch each. */
+VectorTrace
+cyclicTrace(unsigned pages, unsigned rounds)
+{
+    std::vector<MemRef> refs;
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (unsigned page = 0; page < pages; ++page) {
+            refs.push_back(MemRef{0x100000 + Addr{page} * 4096,
+                                  RefType::Ifetch, 4});
+        }
+    }
+    return VectorTrace(std::move(refs), "cyclic");
+}
+
+TEST(ExperimentTest, CountsRefsAndInstructions)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_EQ(result.refs, 40u);
+    EXPECT_EQ(result.instructions, 40u);
+    EXPECT_DOUBLE_EQ(result.rpi, 1.0);
+}
+
+TEST(ExperimentTest, ColdMissesOnlyWhenFits)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_EQ(result.tlb.misses, 4u);
+    EXPECT_DOUBLE_EQ(result.mpi, 0.1);
+    EXPECT_DOUBLE_EQ(result.cpiTlb, 0.1 * 20.0);
+}
+
+TEST(ExperimentTest, MaxRefsTruncates)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 12;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_EQ(result.refs, 12u);
+}
+
+TEST(ExperimentTest, WarmupExcludesColdMisses)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.warmupRefs = 4; // exactly the cold pass
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_EQ(result.refs, 36u);
+    EXPECT_EQ(result.tlb.misses, 0u);
+    EXPECT_DOUBLE_EQ(result.cpiTlb, 0.0);
+}
+
+TEST(ExperimentTest, TwoSizePenaltyApplied)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    TwoSizeConfig policy;
+    policy.window = 1000;
+    policy.promoteThreshold = 8; // never promotes on this trace
+    const auto result = runExperiment(
+        trace, PolicySpec::twoSizes(policy), tlb, options);
+    EXPECT_EQ(result.tlb.misses, 4u);
+    EXPECT_DOUBLE_EQ(result.cpiTlb, 4.0 / 40.0 * 25.0);
+    EXPECT_EQ(result.policyName, "4KB/32KB");
+}
+
+TEST(ExperimentTest, PromotionsInvalidateThroughDriver)
+{
+    // Four pages of one chunk touched cyclically: promotion fires and
+    // the small-page entries are shot down inside the run.
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    TwoSizeConfig policy;
+    policy.window = 1000;
+    const auto result = runExperiment(
+        trace, PolicySpec::twoSizes(policy), tlb, options);
+    EXPECT_EQ(result.policy.promotions, 1u);
+    // Three small translations were resident at promotion time.
+    EXPECT_EQ(result.tlb.invalidations, 3u);
+    // Cold misses on blocks 0..2 as small pages; block 3's access is
+    // classified large (promotion fires first) and cold-misses once;
+    // everything after hits the large page.
+    EXPECT_EQ(result.tlb.misses, 4u);
+}
+
+TEST(ExperimentTest, WorkingSetTracked)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.wsWindow = 100; // everything stays in window
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_GT(result.avgWsBytes, 3.0 * 4096);
+    EXPECT_LE(result.avgWsBytes, 4.0 * 4096);
+}
+
+TEST(ExperimentTest, PageTableModelMeasuresPenalty)
+{
+    VectorTrace trace = cyclicTrace(64, 4); // thrash an 8-entry TLB
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.modelPageTables = true;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_DOUBLE_EQ(result.measuredMissCycles, 20.0);
+    EXPECT_GT(result.cpiTlbMeasured, 0.0);
+}
+
+TEST(ExperimentTest, ResultCarriesNames)
+{
+    VectorTrace trace = cyclicTrace(2, 2);
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::SetAssociative;
+    tlb.entries = 16;
+    tlb.ways = 2;
+    RunOptions options;
+    options.maxRefs = 0;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_8K), tlb, options);
+    EXPECT_EQ(result.workload, "cyclic");
+    EXPECT_EQ(result.policyName, "8KB");
+    EXPECT_NE(result.tlbName.find("16-entry"), std::string::npos);
+}
+
+TEST(ExperimentDeathTest, WarmupBeyondMaxRefsFatal)
+{
+    VectorTrace trace = cyclicTrace(2, 2);
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 10;
+    options.warmupRefs = 10;
+    EXPECT_EXIT(runExperiment(trace, PolicySpec::single(kLog2_4K), tlb,
+                              options),
+                ::testing::ExitedWithCode(1), "warmup");
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,128 @@
+/** @file Smoke tests for the shared table/figure runners (tiny scale). */
+
+#include "core/figures.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tps::core
+{
+namespace
+{
+
+StudyScale
+tinyScale()
+{
+    StudyScale scale;
+    scale.refs = 60'000;
+    scale.window = 10'000;
+    scale.warmupRefs = 15'000;
+    return scale;
+}
+
+TEST(FiguresTest, DefaultScaleHonorsEnv)
+{
+    setenv("TPS_REFS", "123456", 1);
+    setenv("TPS_WINDOW", "7890", 1);
+    setenv("TPS_WARMUP", "111", 1);
+    const StudyScale scale = defaultScale();
+    EXPECT_EQ(scale.refs, 123456u);
+    EXPECT_EQ(scale.window, 7890u);
+    EXPECT_EQ(scale.warmupRefs, 111u);
+    unsetenv("TPS_REFS");
+    unsetenv("TPS_WINDOW");
+    unsetenv("TPS_WARMUP");
+}
+
+TEST(FiguresTest, DefaultWarmupIsQuarterOfRefs)
+{
+    setenv("TPS_REFS", "1000000", 1);
+    unsetenv("TPS_WARMUP");
+    EXPECT_EQ(defaultScale().warmupRefs, 250000u);
+    unsetenv("TPS_REFS");
+}
+
+TEST(FiguresTest, PaperPolicyDefaults)
+{
+    const TwoSizeConfig config = paperPolicy(tinyScale());
+    EXPECT_EQ(config.smallLog2, kLog2_4K);
+    EXPECT_EQ(config.largeLog2, kLog2_32K);
+    EXPECT_EQ(config.window, 10'000u);
+    EXPECT_EQ(config.resolvedPromote(), 4u);
+}
+
+TEST(FiguresTest, WorkloadTableCoversSuite)
+{
+    const auto rows = runWorkloadTable(tinyScale());
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto &row : rows) {
+        EXPECT_EQ(row.refs, 60'000u);
+        EXPECT_GT(row.instructions, 0u);
+        EXPECT_GT(row.rpi, 1.0);
+        EXPECT_GT(row.footprintBytes, 0u);
+        EXPECT_GT(row.avgWs4kBytes, 0.0);
+        EXPECT_LE(row.avgWs4kBytes,
+                  static_cast<double>(row.footprintBytes));
+    }
+}
+
+TEST(FiguresTest, WsSingleStudyMonotone)
+{
+    const auto rows =
+        runWsSingleStudy(tinyScale(), {kLog2_8K, kLog2_16K, kLog2_32K});
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto &row : rows) {
+        ASSERT_EQ(row.wsNormalized.size(), 3u);
+        // Normalized WS >= 1 and monotone in page size.
+        EXPECT_GE(row.wsNormalized[0], 1.0 - 1e-9);
+        EXPECT_GE(row.wsNormalized[1],
+                  row.wsNormalized[0] - 1e-9);
+        EXPECT_GE(row.wsNormalized[2],
+                  row.wsNormalized[1] - 1e-9);
+    }
+}
+
+TEST(FiguresTest, WsTwoStudyWithinDoublingBound)
+{
+    const auto rows =
+        runWsTwoStudy(tinyScale(), paperPolicy(tinyScale()));
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto &row : rows) {
+        EXPECT_GE(row.normTwoSize, 1.0 - 1e-9) << row.name;
+        EXPECT_LE(row.normTwoSize, 2.0 + 1e-9) << row.name;
+        // Two-size never exceeds the 32KB-single cost.
+        EXPECT_LE(row.normTwoSize, row.norm32k + 1e-9) << row.name;
+    }
+}
+
+TEST(FiguresTest, CpiStudyProducesFiniteValues)
+{
+    TlbConfig base;
+    base.organization = TlbOrganization::FullyAssociative;
+    base.entries = 16;
+    const auto rows = runCpiStudy(tinyScale(), base);
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto &row : rows) {
+        EXPECT_GE(row.cpi4k, 0.0);
+        EXPECT_GE(row.cpi8k, 0.0);
+        EXPECT_GE(row.cpi32k, 0.0);
+        EXPECT_GE(row.cpiTwoSize, 0.0);
+        EXPECT_LT(row.cpi4k, 25.0); // CPI can't exceed penalty/instr
+    }
+}
+
+TEST(FiguresTest, IndexingStudyProducesAllColumns)
+{
+    const auto rows = runIndexingStudy(tinyScale(), 16, 2);
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto &row : rows) {
+        EXPECT_GE(row.cpi4k, 0.0);
+        EXPECT_GE(row.cpi4kLargeIndex, 0.0);
+        EXPECT_GE(row.cpiTwoLargeIndex, 0.0);
+        EXPECT_GE(row.cpiTwoExactIndex, 0.0);
+    }
+}
+
+} // namespace
+} // namespace tps::core

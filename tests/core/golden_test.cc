@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Golden-value regression tests.
+ *
+ * Every simulator in tps is deterministic by construction (fixed
+ * PRNG algorithm, no dependence on container iteration order), so
+ * exact counts are stable across platforms and rebuilds.  These
+ * pinned values exist to catch unintended behavioural drift during
+ * refactoring; if a deliberate model or workload change lands, the
+ * values are expected to move and should be re-pinned (and the
+ * figures in EXPERIMENTS.md re-captured).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+struct Golden
+{
+    const char *workload;
+    std::uint64_t misses;
+    std::uint64_t promotions;
+    std::uint64_t instructions;
+};
+
+// Captured with: 16-entry 2-way exact-index TLB, 4K/32K policy at
+// T = 50,000; 200,000 refs with 50,000 warmup.
+constexpr Golden kGolden[] = {
+    {"li", 1365u, 0u, 88375u},
+    {"espresso", 455u, 0u, 97113u},
+    {"worm", 13587u, 0u, 95811u},
+    {"matrix300", 11545u, 0u, 99973u},
+    {"tomcatv", 23315u, 12u, 93750u},
+};
+
+class GoldenTest : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(GoldenTest, ExactCountsStable)
+{
+    const Golden &expected = GetParam();
+    auto workload =
+        workloads::findWorkload(expected.workload).instantiate();
+
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::SetAssociative;
+    tlb.entries = 16;
+    tlb.ways = 2;
+    tlb.scheme = IndexScheme::Exact;
+
+    TwoSizeConfig policy;
+    policy.window = 50'000;
+
+    RunOptions options;
+    options.maxRefs = 200'000;
+    options.warmupRefs = 50'000;
+
+    const auto result = runExperiment(
+        *workload, PolicySpec::twoSizes(policy), tlb, options);
+    EXPECT_EQ(result.tlb.misses, expected.misses);
+    EXPECT_EQ(result.policy.promotions, expected.promotions);
+    EXPECT_EQ(result.instructions, expected.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PinnedWorkloads, GoldenTest, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(info.param.workload);
+    });
+
+} // namespace
+} // namespace tps::core

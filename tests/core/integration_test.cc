@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's qualitative claims
+ * checked end-to-end at reduced scale, plus equivalences between the
+ * direct simulators and the stack-simulation methodology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/figures.h"
+#include "vm/multi_size_policy.h"
+#include "stacksim/all_assoc.h"
+#include "stacksim/lru_stack.h"
+#include "trace/vector_trace.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+StudyScale
+smallScale()
+{
+    StudyScale scale;
+    scale.refs = 400'000;
+    scale.window = 50'000;
+    scale.warmupRefs = 100'000;
+    return scale;
+}
+
+/**
+ * Paper claim 1 (Section 6): 32KB single pages cut CPI_TLB by a
+ * large factor vs 4KB on a fully associative TLB, aggregated across
+ * the suite.
+ */
+TEST(PaperClaimsTest, LargePagesCutCpiOnFullyAssociative)
+{
+    TlbConfig base;
+    base.organization = TlbOrganization::FullyAssociative;
+    base.entries = 16;
+    const auto rows = runCpiStudy(smallScale(), base);
+    double total_4k = 0.0, total_32k = 0.0, total_8k = 0.0;
+    for (const auto &row : rows) {
+        total_4k += row.cpi4k;
+        total_8k += row.cpi8k;
+        total_32k += row.cpi32k;
+    }
+    EXPECT_GT(total_4k, 3.0 * total_32k); // paper: ~8x
+    EXPECT_GT(total_4k, 1.3 * total_8k);  // 8KB roughly halves
+}
+
+/**
+ * Paper claim 2: on a fully associative TLB the two-size scheme
+ * tracks the 32KB single size closely (the gap is mostly the 1.25x
+ * penalty), and beats 4KB overall.
+ */
+TEST(PaperClaimsTest, TwoSizesTrack32kOnFullyAssociative)
+{
+    TlbConfig base;
+    base.organization = TlbOrganization::FullyAssociative;
+    base.entries = 16;
+    const auto rows = runCpiStudy(smallScale(), base);
+    double total_two = 0.0, total_32k = 0.0, total_4k = 0.0;
+    unsigned improved = 0;
+    for (const auto &row : rows) {
+        total_two += row.cpiTwoSize;
+        total_32k += row.cpi32k;
+        total_4k += row.cpi4k;
+        improved += row.cpiTwoSize < row.cpi4k ? 1 : 0;
+    }
+    EXPECT_LT(total_two, 0.5 * total_4k);
+    EXPECT_LT(total_two, 3.0 * total_32k);
+    EXPECT_GE(improved, 9u); // nearly all programs improve under FA
+}
+
+/**
+ * Paper claim 3: with two-way set-associative TLBs results are mixed
+ * — most programs improve but some degrade (espresso, worm).
+ */
+TEST(PaperClaimsTest, SetAssociativeResultsMixed)
+{
+    TlbConfig base;
+    base.organization = TlbOrganization::SetAssociative;
+    base.entries = 16;
+    base.ways = 2;
+    base.scheme = IndexScheme::Exact;
+    const auto rows = runCpiStudy(smallScale(), base);
+    unsigned improved = 0;
+    double worm_delta = 0.0;
+    for (const auto &row : rows) {
+        improved += row.cpiTwoSize < row.cpi4k ? 1 : 0;
+        if (row.name == "worm")
+            worm_delta = row.cpiTwoSize - row.cpi4k;
+    }
+    EXPECT_GE(improved, 6u);
+    EXPECT_LE(improved, 11u); // not everyone improves
+    EXPECT_GT(worm_delta, 0.0); // worm degrades (Section 5.2)
+}
+
+/**
+ * Paper claim 4 (Section 5.2.1): hardware with the large-page index
+ * but an OS that allocates only small pages is much worse than plain
+ * 4KB hardware.
+ */
+TEST(PaperClaimsTest, LargeIndexWithoutOsSupportDegrades)
+{
+    const auto rows = runIndexingStudy(smallScale(), 16, 2);
+    double total_4k = 0.0, total_4k_large_index = 0.0;
+    for (const auto &row : rows) {
+        total_4k += row.cpi4k;
+        total_4k_large_index += row.cpi4kLargeIndex;
+    }
+    EXPECT_GT(total_4k_large_index, 1.2 * total_4k);
+}
+
+/**
+ * Paper claim 5 (Section 4): the two-size scheme's working-set cost
+ * is small (~1.1x average) and below even the 8KB single size, while
+ * 32KB singles cost much more.
+ */
+TEST(PaperClaimsTest, WorkingSetCosts)
+{
+    const auto rows =
+        runWsTwoStudy(smallScale(), paperPolicy(smallScale()));
+    double sum_two = 0.0, sum_8k = 0.0, sum_32k = 0.0;
+    for (const auto &row : rows) {
+        sum_two += row.normTwoSize;
+        sum_8k += row.norm8k;
+        sum_32k += row.norm32k;
+    }
+    const double n = static_cast<double>(rows.size());
+    EXPECT_LT(sum_two / n, 1.3);      // paper: ~1.1
+    EXPECT_LT(sum_two, sum_8k * 1.05); // <= 8KB single (small slack)
+    EXPECT_GT(sum_32k / n, 1.25);     // 32KB singles cost real memory
+}
+
+/**
+ * Methodology equivalence: a full experiment through the single-size
+ * policy on a fully associative TLB equals LRU stack simulation over
+ * the same page stream.
+ */
+TEST(MethodologyTest, StackSimMatchesExperimentDriver)
+{
+    auto workload = workloads::findWorkload("espresso").instantiate();
+
+    LruStackSim stack(64);
+    {
+        MemRef ref;
+        for (int i = 0; i < 100'000 && workload->next(ref); ++i)
+            stack.observe(ref.vaddr >> kLog2_4K);
+    }
+
+    for (std::size_t entries : {8u, 16u, 32u, 64u}) {
+        TlbConfig tlb;
+        tlb.organization = TlbOrganization::FullyAssociative;
+        tlb.entries = entries;
+        RunOptions options;
+        options.maxRefs = 100'000;
+        const auto result = runExperiment(
+            *workload, PolicySpec::single(kLog2_4K), tlb, options);
+        EXPECT_EQ(result.tlb.misses, stack.missesForSize(entries))
+            << entries << " entries";
+    }
+}
+
+/**
+ * Methodology equivalence for the set-associative grid (the "84
+ * configurations in one pass" of Section 3.3).
+ */
+TEST(MethodologyTest, AllAssocMatchesExperimentDriver)
+{
+    auto workload = workloads::findWorkload("doduc").instantiate();
+
+    AllAssocSim sim(5, 4);
+    {
+        MemRef ref;
+        for (int i = 0; i < 80'000 && workload->next(ref); ++i)
+            sim.observe(ref.vaddr >> kLog2_4K);
+    }
+
+    for (std::size_t ways : {1u, 2u, 4u}) {
+        for (unsigned set_bits : {2u, 3u, 4u}) {
+            TlbConfig tlb;
+            tlb.organization = TlbOrganization::SetAssociative;
+            tlb.entries = (std::size_t{1} << set_bits) * ways;
+            tlb.ways = ways;
+            tlb.scheme = IndexScheme::Exact;
+            RunOptions options;
+            options.maxRefs = 80'000;
+            const auto result = runExperiment(
+                *workload, PolicySpec::single(kLog2_4K), tlb, options);
+            EXPECT_EQ(result.tlb.misses, sim.misses(set_bits, ways))
+                << "sets 2^" << set_bits << " ways " << ways;
+        }
+    }
+}
+
+/**
+ * Consistency: after a promotion, no stale small-page translation of
+ * that chunk can hit.
+ */
+TEST(ConsistencyTest, NoStaleSmallHitsAfterPromotion)
+{
+    // Drive the policy + TLB by hand and cross-check residency.
+    TwoSizeConfig config;
+    config.window = 10'000;
+    TwoSizePolicy policy(config);
+    auto tlb = makeTlb(TlbConfig{});
+    policy.setInvalidationSink(tlb.get());
+
+    auto workload = workloads::findWorkload("x11perf").instantiate();
+    MemRef ref;
+    RefTime now = 0;
+    while (now < 200'000 && workload->next(ref)) {
+        ++now;
+        const PageId page = policy.classify(ref.vaddr, now);
+        tlb->access(page, ref.vaddr);
+        // Invariant: the TLB never hits a small page of a chunk that
+        // is currently mapped large (exercised implicitly: if a stale
+        // small entry survived, the policy would classify large and
+        // the access would miss-fill, inflating `fills` vs misses).
+        ASSERT_EQ(tlb->stats().fills, tlb->stats().misses);
+    }
+    EXPECT_GT(policy.stats().promotions, 0u);
+}
+
+/**
+ * The hierarchical three-size policy runs end-to-end and is never
+ * worse-or-equal than two sizes on big-footprint workloads (more
+ * reach per entry, same penalty model).
+ */
+TEST(ConsistencyTest, ThreeSizesEndToEnd)
+{
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = 16;
+    RunOptions options;
+    options.maxRefs = 400'000;
+    options.warmupRefs = 100'000;
+
+    auto workload = workloads::findWorkload("verilog").instantiate();
+    TwoSizeConfig two_config;
+    two_config.window = 50'000;
+    auto two_tlb = makeTlb(tlb);
+    TwoSizePolicy two_policy(two_config);
+    const auto two = runExperiment(*workload, two_policy, *two_tlb,
+                                   options);
+
+    workload->reset();
+    MultiSizeConfig multi_config;
+    multi_config.sizeLog2s = {12, 15, 18};
+    multi_config.window = 50'000;
+    MultiSizePolicy multi_policy(multi_config);
+    auto multi_tlb = makeTlb(tlb);
+    const auto multi = runExperiment(*workload, multi_policy,
+                                     *multi_tlb, options);
+
+    EXPECT_GT(multi_policy.refsPerLevel()[2], 0u); // 256KB pages used
+    EXPECT_LT(multi.tlb.misses, two.tlb.misses);
+    EXPECT_EQ(multi.policyName, "4KB/32KB/256KB");
+}
+
+/** The split TLB runs end-to-end through the driver. */
+TEST(ConsistencyTest, SplitTlbEndToEnd)
+{
+    auto workload = workloads::findWorkload("nasa7").instantiate();
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::Split;
+    tlb.entries = 16;
+    tlb.splitLargeEntries = 8;
+    RunOptions options;
+    options.maxRefs = 150'000;
+    TwoSizeConfig policy;
+    policy.window = 30'000;
+    const auto result = runExperiment(
+        *workload, PolicySpec::twoSizes(policy), tlb, options);
+    EXPECT_GT(result.tlb.hitsLarge, 0u);
+    EXPECT_GT(result.tlb.hitsSmall, 0u);
+    EXPECT_GT(result.cpiTlb, 0.0);
+}
+
+} // namespace
+} // namespace tps::core

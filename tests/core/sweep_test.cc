@@ -1,0 +1,116 @@
+/** @file Unit tests for the sweep runner. */
+
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+RunOptions
+tinyOptions()
+{
+    RunOptions options;
+    options.maxRefs = 40'000;
+    return options;
+}
+
+TEST(SweepTest, CellCountIsProduct)
+{
+    SweepRunner sweep;
+    sweep.workloads({"li", "worm"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K))
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_32K))
+        .options(tinyOptions());
+    EXPECT_EQ(sweep.cells(), 4u);
+    EXPECT_EQ(sweep.run().size(), 4u);
+}
+
+TEST(SweepTest, DefaultsToWholeSuite)
+{
+    SweepRunner sweep;
+    sweep.configuration(TlbConfig{}, PolicySpec::single(kLog2_4K));
+    EXPECT_EQ(sweep.cells(), 12u);
+}
+
+TEST(SweepTest, AutoLabels)
+{
+    SweepRunner sweep;
+    TwoSizeConfig policy;
+    policy.window = 10'000;
+    sweep.workloads({"espresso"})
+        .configuration(TlbConfig{}, PolicySpec::twoSizes(policy))
+        .options(tinyOptions());
+    const auto cells = sweep.run();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_NE(cells[0].configLabel.find("16-entry"),
+              std::string::npos);
+    EXPECT_NE(cells[0].configLabel.find("4KB/32KB"),
+              std::string::npos);
+}
+
+TEST(SweepTest, ResultsMatchDirectRuns)
+{
+    SweepRunner sweep;
+    sweep.workloads({"doduc"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K))
+        .options(tinyOptions());
+    const auto cells = sweep.run();
+    ASSERT_EQ(cells.size(), 1u);
+
+    auto workload = workloads::findWorkload("doduc").instantiate();
+    const auto direct = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), TlbConfig{},
+        tinyOptions());
+    EXPECT_EQ(cells[0].result.tlb.misses, direct.tlb.misses);
+    EXPECT_EQ(cells[0].result.cpiTlb, direct.cpiTlb);
+}
+
+TEST(SweepTest, CpiTableHasRowPerWorkload)
+{
+    SweepRunner sweep;
+    sweep.workloads({"li", "worm", "xnews"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K),
+                       "base")
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_32K),
+                       "large")
+        .options(tinyOptions());
+    std::ostringstream os;
+    SweepRunner::printCpiTable(os, sweep.run());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("li"), std::string::npos);
+    EXPECT_NE(out.find("worm"), std::string::npos);
+    EXPECT_NE(out.find("base"), std::string::npos);
+    EXPECT_NE(out.find("large"), std::string::npos);
+}
+
+TEST(SweepTest, CsvHasHeaderPlusCellRows)
+{
+    SweepRunner sweep;
+    sweep.workloads({"li"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K))
+        .options(tinyOptions());
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, sweep.run());
+    std::size_t lines = 0;
+    for (char c : os.str())
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 2u); // header + one cell
+    EXPECT_NE(os.str().find("cpi_tlb"), std::string::npos);
+}
+
+TEST(SweepDeathTest, EmptyConfigurationFatal)
+{
+    SweepRunner sweep;
+    EXPECT_EXIT(sweep.run(), ::testing::ExitedWithCode(1),
+                "no configurations");
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the all-associativity simulator, centered on equivalence
+ * with direct set-associative simulation across the whole
+ * (sets x ways) grid — the property the paper's tycho run relied on
+ * to evaluate 84 configurations in one pass.
+ */
+
+#include "stacksim/all_assoc.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/set_assoc.h"
+#include "util/random.h"
+#include "vm/page.h"
+
+namespace tps
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+mixedTrace(std::size_t refs, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(refs);
+    for (std::size_t i = 0; i < refs; ++i) {
+        if (rng.chance(0.5))
+            keys.push_back(rng.below(10)); // hot
+        else if (rng.chance(0.5))
+            keys.push_back(100 + (i % 37)); // cyclic
+        else
+            keys.push_back(rng.below(500)); // cold-ish
+    }
+    return keys;
+}
+
+TEST(AllAssocTest, FullyAssociativeLevelMatchesLruStack)
+{
+    // Level 0 (one set) is plain fully associative LRU.
+    AllAssocSim sim(4, 16);
+    const auto keys = mixedTrace(4000, 3);
+    for (std::uint64_t key : keys)
+        sim.observe(key);
+    // Compare against a direct 16-entry FA TLB.
+    for (std::size_t ways : {1u, 4u, 16u}) {
+        AllAssocSim fresh(0, 16);
+        for (std::uint64_t key : keys)
+            fresh.observe(key);
+        EXPECT_EQ(sim.misses(0, ways), fresh.misses(0, ways));
+    }
+}
+
+/** The headline equivalence across the configuration grid. */
+TEST(AllAssocTest, MatchesDirectSetAssociativeSimulation)
+{
+    const auto keys = mixedTrace(6000, 9);
+    AllAssocSim sim(4, 8);
+    for (std::uint64_t key : keys)
+        sim.observe(key);
+
+    for (unsigned set_bits : {0u, 1u, 2u, 3u, 4u}) {
+        for (std::size_t ways : {1u, 2u, 4u, 8u}) {
+            const std::size_t entries = (std::size_t{1} << set_bits) *
+                                        ways;
+            SetAssocTlb tlb(entries, ways, IndexScheme::Exact);
+            for (std::uint64_t key : keys)
+                tlb.access(PageId{key, kLog2_4K}, key << kLog2_4K);
+            EXPECT_EQ(sim.misses(set_bits, ways), tlb.stats().misses)
+                << "sets 2^" << set_bits << " ways " << ways;
+        }
+    }
+}
+
+TEST(AllAssocTest, MissesForCapacityConvenience)
+{
+    const auto keys = mixedTrace(2000, 11);
+    AllAssocSim sim(5, 4);
+    for (std::uint64_t key : keys)
+        sim.observe(key);
+    EXPECT_EQ(sim.missesForCapacity(16, 2), sim.misses(3, 2));
+    EXPECT_EQ(sim.missesForCapacity(32, 2), sim.misses(4, 2));
+}
+
+TEST(AllAssocTest, MoreWaysNeverMoreMisses)
+{
+    // Per-set LRU inclusion: at fixed sets, associativity only helps.
+    const auto keys = mixedTrace(5000, 13);
+    AllAssocSim sim(3, 16);
+    for (std::uint64_t key : keys)
+        sim.observe(key);
+    for (unsigned set_bits = 0; set_bits <= 3; ++set_bits)
+        for (std::size_t ways = 2; ways <= 16; ++ways)
+            EXPECT_LE(sim.misses(set_bits, ways),
+                      sim.misses(set_bits, ways - 1));
+}
+
+TEST(AllAssocTest, SeparateIndexKeySupported)
+{
+    // The large-page-index scheme on small pages: index with the
+    // chunk number while tagging with the page number.
+    AllAssocSim sim(2, 4);
+    // Eight consecutive small pages of one chunk: same index.
+    for (int round = 0; round < 3; ++round)
+        for (std::uint64_t page = 0; page < 8; ++page)
+            sim.observe(page, page >> 3);
+    // 2 sets x 4 ways with everything in one set: 8 pages cycling
+    // through 4 ways miss every time (Section 2.2's collision cost).
+    EXPECT_EQ(sim.misses(1, 4), 24u);
+    // Indexed by their own low bits, 4 pages per set fit in 4 ways:
+    // only the cold misses remain.
+    AllAssocSim spread(2, 4);
+    for (int round = 0; round < 3; ++round)
+        for (std::uint64_t page = 0; page < 8; ++page)
+            spread.observe(page, page);
+    EXPECT_EQ(spread.misses(1, 4), 8u);
+}
+
+TEST(AllAssocTest, ResetClears)
+{
+    AllAssocSim sim(2, 2);
+    sim.observe(1);
+    sim.reset();
+    EXPECT_EQ(sim.refs(), 0u);
+    EXPECT_EQ(sim.misses(0, 1), 0u);
+}
+
+TEST(AllAssocDeathTest, OutOfRangeQueriesFatal)
+{
+    AllAssocSim sim(2, 2);
+    EXPECT_EXIT(sim.misses(3, 1), ::testing::ExitedWithCode(1),
+                "beyond");
+    EXPECT_EXIT(sim.misses(1, 3), ::testing::ExitedWithCode(1),
+                "outside");
+    EXPECT_EXIT(sim.missesForCapacity(6, 2),
+                ::testing::ExitedWithCode(1), "power-of-two");
+}
+
+} // namespace
+} // namespace tps

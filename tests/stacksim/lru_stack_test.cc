@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for Mattson LRU stack simulation — including the key property
+ * that one stack-simulation pass equals direct fully associative LRU
+ * simulation at every size (the paper's tycho methodology).
+ */
+
+#include "stacksim/lru_stack.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/fully_assoc.h"
+#include "util/random.h"
+#include "vm/page.h"
+
+namespace tps
+{
+namespace
+{
+
+TEST(LruStackTest, ColdMissesCounted)
+{
+    LruStackSim sim(8);
+    sim.observe(1);
+    sim.observe(2);
+    sim.observe(3);
+    EXPECT_EQ(sim.coldMisses(), 3u);
+    EXPECT_EQ(sim.refs(), 3u);
+    EXPECT_EQ(sim.missesForSize(8), 3u);
+}
+
+TEST(LruStackTest, HitAtDepth)
+{
+    LruStackSim sim(8);
+    sim.observe(1);
+    sim.observe(2);
+    sim.observe(1); // distance 1: hits with >= 2 entries
+    EXPECT_EQ(sim.missesForSize(1), 3u);
+    EXPECT_EQ(sim.missesForSize(2), 2u);
+}
+
+TEST(LruStackTest, CyclicThrashAtExactCapacity)
+{
+    // The classic LRU pathology: cycling N+1 blocks through an
+    // N-entry buffer misses every time.
+    LruStackSim sim(8);
+    for (int round = 0; round < 10; ++round)
+        for (std::uint64_t key = 0; key <= 4; ++key)
+            sim.observe(key);
+    EXPECT_EQ(sim.missesForSize(4), sim.refs());
+    EXPECT_EQ(sim.missesForSize(5), 5u); // only the cold misses
+}
+
+TEST(LruStackTest, MissesMonotoneNonIncreasingInSize)
+{
+    LruStackSim sim(32);
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        sim.observe(rng.below(64));
+    for (std::size_t n = 1; n < 32; ++n)
+        EXPECT_LE(sim.missesForSize(n + 1), sim.missesForSize(n));
+}
+
+/**
+ * The central equivalence: stack simulation reproduces direct
+ * fully-associative-LRU miss counts for every size in one pass.
+ */
+TEST(LruStackTest, MatchesDirectFullyAssociativeSimulation)
+{
+    Rng rng(7);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 8000; ++i) {
+        // Mix of hot and cold pages for realistic distances.
+        keys.push_back(rng.chance(0.7) ? rng.below(12)
+                                       : rng.below(200));
+    }
+
+    LruStackSim stack(64);
+    for (std::uint64_t key : keys)
+        stack.observe(key);
+
+    for (std::size_t entries : {1u, 2u, 3u, 8u, 16u, 33u, 64u}) {
+        FullyAssocTlb tlb(entries, ReplPolicy::LRU);
+        for (std::uint64_t key : keys)
+            tlb.access(PageId{key, kLog2_4K}, key << kLog2_4K);
+        EXPECT_EQ(stack.missesForSize(entries), tlb.stats().misses)
+            << "entries " << entries;
+    }
+}
+
+TEST(LruStackTest, SequentialScanMissesEverywhere)
+{
+    LruStackSim sim(16);
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        sim.observe(key);
+    for (std::size_t n = 1; n <= 16; ++n)
+        EXPECT_EQ(sim.missesForSize(n), 1000u);
+}
+
+TEST(LruStackTest, ResetClears)
+{
+    LruStackSim sim(4);
+    sim.observe(1);
+    sim.reset();
+    EXPECT_EQ(sim.refs(), 0u);
+    EXPECT_EQ(sim.missesForSize(4), 0u);
+}
+
+TEST(LruStackDeathTest, SizeBeyondDepthFatal)
+{
+    LruStackSim sim(4);
+    EXPECT_EXIT(sim.missesForSize(5), ::testing::ExitedWithCode(1),
+                "beyond");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,50 @@
+/** @file Unit tests for stats/counter.h. */
+
+#include "stats/counter.h"
+
+#include <gtest/gtest.h>
+
+namespace tps::stats
+{
+namespace
+{
+
+TEST(CounterTest, StartsAtZero)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, IncrementForms)
+{
+    Counter counter;
+    ++counter;
+    counter++;
+    counter += 3;
+    EXPECT_EQ(counter.value(), 5u);
+}
+
+TEST(CounterTest, ResetClears)
+{
+    Counter counter;
+    counter += 10;
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, PerComputesRatio)
+{
+    Counter counter;
+    counter += 25;
+    EXPECT_DOUBLE_EQ(counter.per(100), 0.25);
+}
+
+TEST(CounterTest, PerZeroDenominatorIsZero)
+{
+    Counter counter;
+    counter += 5;
+    EXPECT_DOUBLE_EQ(counter.per(0), 0.0);
+}
+
+} // namespace
+} // namespace tps::stats

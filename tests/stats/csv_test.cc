@@ -1,0 +1,48 @@
+/** @file Unit tests for stats/csv.h. */
+
+#include "stats/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tps::stats
+{
+namespace
+{
+
+TEST(CsvTest, WritesHeaderOnConstruction)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a", "b"});
+    EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(CsvTest, WritesRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"x", "y"});
+    csv.writeRow({"1", "2"});
+    csv.writeRow({"3", "4"});
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, QuotedFieldRoundTripsInRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"name"});
+    csv.writeRow({"hello, world"});
+    EXPECT_EQ(os.str(), "name\n\"hello, world\"\n");
+}
+
+} // namespace
+} // namespace tps::stats

@@ -1,0 +1,87 @@
+/** @file Unit tests for stats/distribution.h. */
+
+#include "stats/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tps::stats
+{
+namespace
+{
+
+TEST(DistributionTest, EmptyIsSafe)
+{
+    Distribution dist;
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.variance(), 0.0);
+}
+
+TEST(DistributionTest, SingleSample)
+{
+    Distribution dist;
+    dist.add(7.5);
+    EXPECT_EQ(dist.count(), 1u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(dist.min(), 7.5);
+    EXPECT_DOUBLE_EQ(dist.max(), 7.5);
+    EXPECT_DOUBLE_EQ(dist.variance(), 0.0);
+}
+
+TEST(DistributionTest, KnownMoments)
+{
+    Distribution dist;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        dist.add(v);
+    EXPECT_DOUBLE_EQ(dist.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(dist.variance(), 4.0); // classic example set
+    EXPECT_DOUBLE_EQ(dist.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 2.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 9.0);
+    EXPECT_DOUBLE_EQ(dist.sum(), 40.0);
+}
+
+TEST(DistributionTest, MergeMatchesCombinedStream)
+{
+    Distribution all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i) * 10.0;
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(DistributionTest, MergeWithEmpty)
+{
+    Distribution a, b;
+    a.add(1.0);
+    a.add(3.0);
+    const double mean = a.mean();
+    a.merge(b); // no-op
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    b.merge(a); // copies
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DistributionTest, ResetClears)
+{
+    Distribution dist;
+    dist.add(5.0);
+    dist.reset();
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+}
+
+} // namespace
+} // namespace tps::stats

@@ -1,0 +1,117 @@
+/** @file Unit tests for stats/histogram.h. */
+
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace tps::stats
+{
+namespace
+{
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram hist(4);
+    hist.add(0);
+    hist.add(1);
+    hist.add(1);
+    hist.add(3);
+    hist.add(4);  // overflow
+    hist.add(99); // overflow
+    EXPECT_EQ(hist.bucket(0), 1u);
+    EXPECT_EQ(hist.bucket(1), 2u);
+    EXPECT_EQ(hist.bucket(2), 0u);
+    EXPECT_EQ(hist.bucket(3), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.total(), 6u);
+}
+
+TEST(HistogramTest, WeightedAdd)
+{
+    Histogram hist(2);
+    hist.add(1, 10);
+    hist.add(5, 3);
+    EXPECT_EQ(hist.bucket(1), 10u);
+    EXPECT_EQ(hist.overflow(), 3u);
+    EXPECT_EQ(hist.total(), 13u);
+}
+
+TEST(HistogramTest, TailAtLeastIsMissCount)
+{
+    // Stack-distance semantics: tailAtLeast(n) = misses with n slots.
+    Histogram hist(8);
+    hist.add(0, 100); // distance 0: hits for any size >= 1
+    hist.add(3, 50);  // hits for size >= 4
+    hist.add(7, 25);
+    hist.add(8, 10); // overflow: always misses
+    EXPECT_EQ(hist.tailAtLeast(0), 185u);
+    EXPECT_EQ(hist.tailAtLeast(1), 85u);
+    EXPECT_EQ(hist.tailAtLeast(4), 35u);
+    EXPECT_EQ(hist.tailAtLeast(8), 10u);
+}
+
+TEST(HistogramTest, TailMonotoneNonIncreasing)
+{
+    Histogram hist(16);
+    for (std::uint64_t v = 0; v < 32; ++v)
+        hist.add(v % 20, v + 1);
+    std::uint64_t prev = hist.tailAtLeast(0);
+    for (std::uint64_t n = 1; n <= 16; ++n) {
+        const std::uint64_t tail = hist.tailAtLeast(n);
+        EXPECT_LE(tail, prev);
+        prev = tail;
+    }
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram hist(4);
+    hist.add(2);
+    hist.add(9);
+    hist.reset();
+    EXPECT_EQ(hist.total(), 0u);
+    EXPECT_EQ(hist.overflow(), 0u);
+    EXPECT_EQ(hist.bucket(2), 0u);
+}
+
+TEST(Log2HistogramTest, BucketBoundaries)
+{
+    Log2Histogram hist(10);
+    hist.add(0);
+    hist.add(1);
+    hist.add(2);
+    hist.add(3);
+    hist.add(4);
+    EXPECT_EQ(hist.bucket(0), 1u); // value 0
+    EXPECT_EQ(hist.bucket(1), 1u); // value 1
+    EXPECT_EQ(hist.bucket(2), 2u); // values 2-3
+    EXPECT_EQ(hist.bucket(3), 1u); // values 4-7
+    EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(Log2HistogramTest, BucketFloor)
+{
+    Log2Histogram hist(10);
+    EXPECT_EQ(hist.bucketFloor(0), 0u);
+    EXPECT_EQ(hist.bucketFloor(1), 1u);
+    EXPECT_EQ(hist.bucketFloor(2), 2u);
+    EXPECT_EQ(hist.bucketFloor(4), 8u);
+}
+
+TEST(Log2HistogramTest, HugeValuesClampToLastBucket)
+{
+    Log2Histogram hist(4);
+    hist.add(~std::uint64_t{0});
+    EXPECT_EQ(hist.bucket(hist.numBuckets() - 1), 1u);
+}
+
+TEST(Log2HistogramTest, MeanUsesExactValues)
+{
+    Log2Histogram hist(20);
+    hist.add(10, 2);
+    hist.add(30, 2);
+    EXPECT_DOUBLE_EQ(hist.mean(), 20.0);
+}
+
+} // namespace
+} // namespace tps::stats

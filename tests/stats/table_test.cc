@@ -1,0 +1,62 @@
+/** @file Unit tests for stats/table.h. */
+
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tps::stats
+{
+namespace
+{
+
+TEST(TextTableTest, HeaderAndRule)
+{
+    TextTable table({"A", "B"});
+    const std::string out = table.toString();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned)
+{
+    TextTable table({"Name", "Value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longername", "2.345"});
+    const std::string out = table.toString();
+    // Every line has the same width up to trailing content.
+    const auto first_newline = out.find('\n');
+    ASSERT_NE(first_newline, std::string::npos);
+    // Numeric cells right-aligned: "1" should be preceded by spaces.
+    EXPECT_NE(out.find("     1"), std::string::npos);
+}
+
+TEST(TextTableTest, CountsRows)
+{
+    TextTable table({"A"});
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"1"});
+    table.addRule();
+    table.addRow({"2"});
+    EXPECT_EQ(table.numRows(), 3u);
+    EXPECT_EQ(table.numCols(), 1u);
+}
+
+TEST(TextTableTest, TextLeftNumericRight)
+{
+    TextTable table({"Program", "CPI"});
+    table.addRow({"li", "0.320"});
+    table.addRow({"verylongname", "12.5"});
+    const std::string out = table.toString();
+    // Text column padded on the right, so "li" followed by spaces.
+    EXPECT_NE(out.find("li          "), std::string::npos);
+}
+
+TEST(TextTableDeathTest, RowArityMismatchFatal)
+{
+    TextTable table({"A", "B"});
+    EXPECT_EXIT(table.addRow({"only one"}),
+                ::testing::ExitedWithCode(1), "cells");
+}
+
+} // namespace
+} // namespace tps::stats

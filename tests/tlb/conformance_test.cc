@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Conformance suite over the whole Tlb interface: every organization
+ * x replacement combination must satisfy the same accounting and
+ * residency invariants when driven by a real reference stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/factory.h"
+#include "vm/two_size_policy.h"
+#include "workloads/registry.h"
+
+namespace tps
+{
+namespace
+{
+
+struct ConformanceParam
+{
+    std::string label;
+    TlbConfig config;
+};
+
+std::vector<ConformanceParam>
+allConfigs()
+{
+    std::vector<ConformanceParam> params;
+    const ReplPolicy policies[] = {ReplPolicy::LRU, ReplPolicy::FIFO,
+                                   ReplPolicy::Random,
+                                   ReplPolicy::TreePLRU};
+    const char *policy_names[] = {"lru", "fifo", "random", "plru"};
+
+    for (std::size_t p = 0; p < 4; ++p) {
+        {
+            TlbConfig config;
+            config.organization = TlbOrganization::FullyAssociative;
+            config.entries = 16;
+            config.replacement = policies[p];
+            params.push_back({std::string("fa16_") + policy_names[p],
+                              config});
+        }
+        {
+            TlbConfig config;
+            config.organization = TlbOrganization::SetAssociative;
+            config.entries = 32;
+            config.ways = 2;
+            config.scheme = IndexScheme::Exact;
+            config.replacement = policies[p];
+            params.push_back({std::string("sa32x2_") +
+                                  policy_names[p],
+                              config});
+        }
+    }
+    for (IndexScheme scheme : {IndexScheme::SmallPage,
+                               IndexScheme::LargePage}) {
+        TlbConfig config;
+        config.organization = TlbOrganization::SetAssociative;
+        config.entries = 16;
+        config.ways = 4;
+        config.scheme = scheme;
+        params.push_back(
+            {std::string("sa16x4_") + indexSchemeName(scheme),
+             config});
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::Split;
+        config.entries = 24;
+        config.splitLargeEntries = 8;
+        params.push_back({"split24", config});
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::TwoLevel;
+        config.entries = 32;
+        config.l1Entries = 4;
+        params.push_back({"twolevel4_32", config});
+    }
+    return params;
+}
+
+class TlbConformanceTest
+    : public ::testing::TestWithParam<ConformanceParam>
+{
+};
+
+/** Drive a two-size reference stream and check the books balance. */
+TEST_P(TlbConformanceTest, AccountingInvariants)
+{
+    auto tlb = makeTlb(GetParam().config);
+    TwoSizeConfig policy_config;
+    policy_config.window = 20'000;
+    TwoSizePolicy policy(policy_config);
+    policy.setInvalidationSink(tlb.get());
+
+    auto workload = workloads::findWorkload("doduc").instantiate();
+    MemRef ref;
+    RefTime now = 0;
+    std::uint64_t observed_hits = 0;
+    while (now < 100'000 && workload->next(ref)) {
+        ++now;
+        const PageId page = policy.classify(ref.vaddr, now);
+        observed_hits += tlb->access(page, ref.vaddr) ? 1 : 0;
+    }
+
+    const TlbStats &stats = tlb->stats();
+    EXPECT_EQ(stats.accesses, 100'000u);
+    EXPECT_EQ(stats.hits + stats.misses, stats.accesses);
+    EXPECT_EQ(stats.hits, observed_hits);
+    EXPECT_EQ(stats.hitsSmall + stats.hitsLarge, stats.hits);
+    EXPECT_EQ(stats.missesSmall + stats.missesLarge, stats.misses);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_GE(stats.missRatio(), 0.0);
+    EXPECT_LE(stats.missRatio(), 1.0);
+}
+
+/** Repeated access to one page hits from the second access on. */
+TEST_P(TlbConformanceTest, SinglePageAlwaysHitsAfterFill)
+{
+    auto tlb = makeTlb(GetParam().config);
+    const PageId page{0x4242, kLog2_4K};
+    EXPECT_FALSE(tlb->access(page, page.baseAddr()));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_TRUE(tlb->access(page, page.baseAddr()));
+}
+
+/** Invalidation of a resident page forces exactly one refill miss. */
+TEST_P(TlbConformanceTest, InvalidateForcesRefill)
+{
+    auto tlb = makeTlb(GetParam().config);
+    const PageId page{0x9, kLog2_32K};
+    tlb->access(page, page.baseAddr());
+    tlb->invalidatePage(page);
+    EXPECT_FALSE(tlb->access(page, page.baseAddr()));
+    EXPECT_TRUE(tlb->access(page, page.baseAddr()));
+}
+
+/** reset() restores a pristine simulator (replay-identical). */
+TEST_P(TlbConformanceTest, ResetMakesRunsIdentical)
+{
+    auto tlb = makeTlb(GetParam().config);
+    auto workload = workloads::findWorkload("xnews").instantiate();
+
+    auto run = [&] {
+        workload->reset();
+        tlb->reset();
+        SingleSizePolicy policy(kLog2_4K);
+        MemRef ref;
+        RefTime now = 0;
+        while (now < 30'000 && workload->next(ref)) {
+            ++now;
+            tlb->access(policy.classify(ref.vaddr, now), ref.vaddr);
+        }
+        return tlb->stats().misses;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, TlbConformanceTest,
+    ::testing::ValuesIn(allConfigs()),
+    [](const ::testing::TestParamInfo<ConformanceParam> &info) {
+        std::string name = info.param.label;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace tps

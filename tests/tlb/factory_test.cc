@@ -1,0 +1,99 @@
+/** @file Unit tests for the TLB config factory. */
+
+#include "tlb/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/fully_assoc.h"
+#include "tlb/split_tlb.h"
+
+namespace tps
+{
+namespace
+{
+
+TEST(FactoryTest, BuildsFullyAssociative)
+{
+    TlbConfig config;
+    config.organization = TlbOrganization::FullyAssociative;
+    config.entries = 48; // R4000-style non-power-of-two
+    auto tlb = makeTlb(config);
+    EXPECT_EQ(tlb->capacity(), 48u);
+    EXPECT_NE(dynamic_cast<FullyAssocTlb *>(tlb.get()), nullptr);
+}
+
+TEST(FactoryTest, BuildsSetAssociative)
+{
+    TlbConfig config;
+    config.organization = TlbOrganization::SetAssociative;
+    config.entries = 32;
+    config.ways = 4;
+    config.scheme = IndexScheme::LargePage;
+    auto tlb = makeTlb(config);
+    auto *sa = dynamic_cast<SetAssocTlb *>(tlb.get());
+    ASSERT_NE(sa, nullptr);
+    EXPECT_EQ(sa->numSets(), 8u);
+    EXPECT_EQ(sa->scheme(), IndexScheme::LargePage);
+}
+
+TEST(FactoryTest, BuildsSplit)
+{
+    TlbConfig config;
+    config.organization = TlbOrganization::Split;
+    config.entries = 16;
+    config.splitLargeEntries = 4;
+    auto tlb = makeTlb(config);
+    auto *split = dynamic_cast<SplitTlb *>(tlb.get());
+    ASSERT_NE(split, nullptr);
+    EXPECT_EQ(split->smallTlb().capacity(), 12u);
+    EXPECT_EQ(split->largeTlb().capacity(), 4u);
+}
+
+TEST(FactoryTest, DescribeMentionsShape)
+{
+    TlbConfig config;
+    config.organization = TlbOrganization::SetAssociative;
+    config.entries = 16;
+    config.ways = 2;
+    config.scheme = IndexScheme::Exact;
+    EXPECT_EQ(config.describe(), "16-entry 2-way exact-index");
+
+    config.organization = TlbOrganization::FullyAssociative;
+    EXPECT_EQ(config.describe(), "16-entry fully-assoc");
+
+    config.organization = TlbOrganization::Split;
+    config.splitLargeEntries = 4;
+    EXPECT_EQ(config.describe(), "16-entry split(12s+4l)");
+}
+
+TEST(FactoryTest, FreshTlbsIndependent)
+{
+    TlbConfig config;
+    auto a = makeTlb(config);
+    auto b = makeTlb(config);
+    a->access(PageId{1, kLog2_4K}, 0x1000);
+    EXPECT_EQ(b->stats().accesses, 0u);
+}
+
+TEST(FactoryDeathTest, BadSplitFatal)
+{
+    TlbConfig config;
+    config.organization = TlbOrganization::Split;
+    config.entries = 16;
+    config.splitLargeEntries = 16;
+    EXPECT_EXIT(makeTlb(config), ::testing::ExitedWithCode(1), "split");
+    config.splitLargeEntries = 0;
+    EXPECT_EXIT(makeTlb(config), ::testing::ExitedWithCode(1), "split");
+}
+
+TEST(IndexSchemeTest, Names)
+{
+    EXPECT_STREQ(indexSchemeName(IndexScheme::SmallPage),
+                 "small-index");
+    EXPECT_STREQ(indexSchemeName(IndexScheme::LargePage),
+                 "large-index");
+    EXPECT_STREQ(indexSchemeName(IndexScheme::Exact), "exact-index");
+}
+
+} // namespace
+} // namespace tps

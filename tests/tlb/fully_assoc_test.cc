@@ -1,0 +1,177 @@
+/** @file Unit tests for the fully associative TLB model. */
+
+#include "tlb/fully_assoc.h"
+
+#include <gtest/gtest.h>
+
+namespace tps
+{
+namespace
+{
+
+PageId
+small(Addr vpn)
+{
+    return PageId{vpn, kLog2_4K};
+}
+
+PageId
+large(Addr vpn)
+{
+    return PageId{vpn, kLog2_32K};
+}
+
+TEST(FullyAssocTest, MissThenHit)
+{
+    FullyAssocTlb tlb(4);
+    EXPECT_FALSE(tlb.access(small(1), 0x1000));
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+    EXPECT_EQ(tlb.stats().accesses, 2u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(FullyAssocTest, MixedPageSizesCoexist)
+{
+    FullyAssocTlb tlb(4);
+    tlb.access(small(0x10), 0x10000);
+    tlb.access(large(0x2), 0x10000);
+    // Same covering address, different sizes: both resident.
+    EXPECT_TRUE(tlb.contains(small(0x10)));
+    EXPECT_TRUE(tlb.contains(large(0x2)));
+    EXPECT_TRUE(tlb.access(small(0x10), 0x10000));
+    EXPECT_TRUE(tlb.access(large(0x2), 0x10000));
+}
+
+TEST(FullyAssocTest, SizeIsPartOfTheTag)
+{
+    // Section 2.1: hit detection must use the page size.  A resident
+    // 4KB translation must not satisfy a 32KB lookup with equal vpn.
+    FullyAssocTlb tlb(4);
+    tlb.access(small(0x5), 0x5000);
+    EXPECT_FALSE(tlb.access(large(0x5), 0x5000 << 3));
+}
+
+TEST(FullyAssocTest, LruEvictsLeastRecent)
+{
+    FullyAssocTlb tlb(2, ReplPolicy::LRU);
+    tlb.access(small(1), 0);
+    tlb.access(small(2), 0);
+    tlb.access(small(1), 0); // refresh 1
+    tlb.access(small(3), 0); // evicts 2
+    EXPECT_TRUE(tlb.contains(small(1)));
+    EXPECT_FALSE(tlb.contains(small(2)));
+    EXPECT_TRUE(tlb.contains(small(3)));
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(FullyAssocTest, FifoIgnoresRecency)
+{
+    FullyAssocTlb tlb(2, ReplPolicy::FIFO);
+    tlb.access(small(1), 0);
+    tlb.access(small(2), 0);
+    tlb.access(small(1), 0); // hit; FIFO order unchanged
+    tlb.access(small(3), 0); // evicts 1 (oldest insertion)
+    EXPECT_FALSE(tlb.contains(small(1)));
+    EXPECT_TRUE(tlb.contains(small(2)));
+}
+
+TEST(FullyAssocTest, RandomReplacementStillCorrectlyTracksResidency)
+{
+    FullyAssocTlb tlb(4, ReplPolicy::Random);
+    for (Addr vpn = 0; vpn < 100; ++vpn)
+        tlb.access(small(vpn), vpn << 12);
+    EXPECT_EQ(tlb.validCount(), 4u);
+    EXPECT_EQ(tlb.stats().misses, 100u);
+}
+
+TEST(FullyAssocTest, InvalidatePage)
+{
+    FullyAssocTlb tlb(4);
+    tlb.access(small(1), 0x1000);
+    tlb.invalidatePage(small(1));
+    EXPECT_FALSE(tlb.contains(small(1)));
+    EXPECT_EQ(tlb.stats().invalidations, 1u);
+    EXPECT_FALSE(tlb.access(small(1), 0x1000)); // misses again
+}
+
+TEST(FullyAssocTest, InvalidateAbsentPageHarmless)
+{
+    FullyAssocTlb tlb(4);
+    tlb.invalidatePage(small(99));
+    EXPECT_EQ(tlb.stats().invalidations, 0u);
+}
+
+TEST(FullyAssocTest, InvalidateAllFlushes)
+{
+    FullyAssocTlb tlb(4);
+    tlb.access(small(1), 0);
+    tlb.access(small(2), 0);
+    tlb.invalidateAll();
+    EXPECT_EQ(tlb.validCount(), 0u);
+    EXPECT_EQ(tlb.stats().invalidations, 2u);
+}
+
+TEST(FullyAssocTest, StatsSplitBySize)
+{
+    FullyAssocTlb tlb(4, ReplPolicy::LRU, kLog2_32K);
+    tlb.access(small(1), 0);
+    tlb.access(small(1), 0);
+    tlb.access(large(2), 0);
+    EXPECT_EQ(tlb.stats().missesSmall, 1u);
+    EXPECT_EQ(tlb.stats().hitsSmall, 1u);
+    EXPECT_EQ(tlb.stats().missesLarge, 1u);
+    EXPECT_EQ(tlb.stats().hitsLarge, 0u);
+}
+
+TEST(FullyAssocTest, ResetRestoresDeterminism)
+{
+    FullyAssocTlb tlb(2, ReplPolicy::Random, kLog2_32K, 77);
+    std::vector<bool> first, second;
+    for (Addr vpn = 0; vpn < 50; ++vpn)
+        first.push_back(tlb.access(small(vpn % 5), 0));
+    tlb.reset();
+    for (Addr vpn = 0; vpn < 50; ++vpn)
+        second.push_back(tlb.access(small(vpn % 5), 0));
+    EXPECT_EQ(first, second);
+}
+
+TEST(FullyAssocTest, ResetStatsKeepsContents)
+{
+    FullyAssocTlb tlb(4);
+    tlb.access(small(1), 0);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    EXPECT_TRUE(tlb.access(small(1), 0)); // still resident
+}
+
+TEST(FullyAssocTest, MissRatio)
+{
+    FullyAssocTlb tlb(4);
+    tlb.access(small(1), 0);
+    tlb.access(small(1), 0);
+    tlb.access(small(1), 0);
+    tlb.access(small(2), 0);
+    EXPECT_DOUBLE_EQ(tlb.stats().missRatio(), 0.5);
+}
+
+TEST(FullyAssocTest, CapacityHonored)
+{
+    FullyAssocTlb tlb(3);
+    EXPECT_EQ(tlb.capacity(), 3u);
+    for (Addr vpn = 0; vpn < 3; ++vpn)
+        tlb.access(small(vpn), 0);
+    EXPECT_EQ(tlb.stats().evictions, 0u);
+    tlb.access(small(3), 0);
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+    EXPECT_EQ(tlb.validCount(), 3u);
+}
+
+TEST(FullyAssocDeathTest, ZeroEntriesFatal)
+{
+    EXPECT_EXIT(FullyAssocTlb{0}, ::testing::ExitedWithCode(1),
+                "at least one");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,108 @@
+/** @file Unit tests for tree pseudo-LRU replacement. */
+
+#include "tlb/replacement.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/fully_assoc.h"
+#include "tlb/set_assoc.h"
+
+namespace tps
+{
+namespace
+{
+
+TEST(PlruTreeTest, TwoWaysAlternate)
+{
+    PlruTree tree;
+    tree.touch(0, 2);
+    EXPECT_EQ(tree.victim(2), 1u);
+    tree.touch(1, 2);
+    EXPECT_EQ(tree.victim(2), 0u);
+}
+
+TEST(PlruTreeTest, SequentialFillVictimIsFirst)
+{
+    for (std::size_t ways : {2ul, 4ul, 8ul, 16ul, 32ul, 64ul}) {
+        PlruTree tree;
+        for (std::size_t way = 0; way < ways; ++way)
+            tree.touch(way, ways);
+        EXPECT_EQ(tree.victim(ways), 0u) << ways << " ways";
+    }
+}
+
+TEST(PlruTreeTest, NeverVictimizesMostRecentlyTouched)
+{
+    // The defining guarantee of tree-PLRU.
+    for (std::size_t ways : {2ul, 4ul, 8ul, 16ul}) {
+        PlruTree tree;
+        Rng rng(ways);
+        for (int i = 0; i < 20000; ++i) {
+            const std::size_t way =
+                static_cast<std::size_t>(rng.below(ways));
+            tree.touch(way, ways);
+            ASSERT_NE(tree.victim(ways), way)
+                << ways << " ways, iteration " << i;
+        }
+    }
+}
+
+TEST(PlruTreeTest, VictimAlwaysInRange)
+{
+    PlruTree tree;
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        tree.touch(static_cast<std::size_t>(rng.below(8)), 8);
+        ASSERT_LT(tree.victim(8), 8u);
+    }
+}
+
+TEST(PlruFaTest, BehavesLikeLruOnSequentialFill)
+{
+    FullyAssocTlb plru(4, ReplPolicy::TreePLRU);
+    FullyAssocTlb lru(4, ReplPolicy::LRU);
+    // Fill 4, then insert a 5th: both evict the oldest (way 0).
+    for (Addr vpn = 0; vpn < 5; ++vpn) {
+        plru.access(PageId{vpn, kLog2_4K}, vpn << 12);
+        lru.access(PageId{vpn, kLog2_4K}, vpn << 12);
+    }
+    for (Addr vpn = 1; vpn <= 4; ++vpn) {
+        EXPECT_EQ(plru.contains(PageId{vpn, kLog2_4K}),
+                  lru.contains(PageId{vpn, kLog2_4K}))
+            << "vpn " << vpn;
+    }
+    EXPECT_FALSE(plru.contains(PageId{0, kLog2_4K}));
+}
+
+TEST(PlruFaTest, HotEntrySurvives)
+{
+    FullyAssocTlb tlb(4, ReplPolicy::TreePLRU);
+    const PageId hot{99, kLog2_4K};
+    for (Addr vpn = 0; vpn < 100; ++vpn) {
+        tlb.access(hot, hot.vpn << 12); // touch hot every other access
+        tlb.access(PageId{vpn, kLog2_4K}, vpn << 12);
+    }
+    EXPECT_TRUE(tlb.contains(hot));
+}
+
+TEST(PlruSetAssocTest, WorksPerSet)
+{
+    SetAssocTlb tlb(16, 4, IndexScheme::Exact, kLog2_4K, kLog2_32K,
+                    ReplPolicy::TreePLRU);
+    // 4 pages in set 0 fit; a 5th evicts exactly one.
+    for (Addr i = 0; i < 5; ++i)
+        tlb.access(PageId{i * 4, kLog2_4K}, (i * 4) << 12);
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(PlruDeathTest, RequiresPowerOfTwoWays)
+{
+    EXPECT_EXIT(FullyAssocTlb(48, ReplPolicy::TreePLRU),
+                ::testing::ExitedWithCode(1), "power-of-two");
+    EXPECT_EXIT((SetAssocTlb{24, 3, IndexScheme::Exact, kLog2_4K,
+                             kLog2_32K, ReplPolicy::TreePLRU}),
+                ::testing::ExitedWithCode(1), "power-of-two");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,103 @@
+/** @file Unit tests for victim selection (tlb/replacement.h). */
+
+#include "tlb/replacement.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace tps
+{
+namespace
+{
+
+std::array<TlbEntry, 4>
+fourValidEntries()
+{
+    std::array<TlbEntry, 4> entries{};
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        entries[i].valid = true;
+        entries[i].page = PageId{i, kLog2_4K};
+        entries[i].lastUse = 10 + i;
+        entries[i].inserted = 20 - i;
+    }
+    return entries;
+}
+
+TEST(ReplacementTest, InvalidPreferredUnconditionally)
+{
+    auto entries = fourValidEntries();
+    entries[2].valid = false;
+    Rng rng(1);
+    for (ReplPolicy policy :
+         {ReplPolicy::LRU, ReplPolicy::FIFO, ReplPolicy::Random}) {
+        EXPECT_EQ(chooseVictim(entries.data(), entries.size(), policy,
+                               rng),
+                  2u);
+    }
+}
+
+TEST(ReplacementTest, FirstInvalidWins)
+{
+    auto entries = fourValidEntries();
+    entries[1].valid = false;
+    entries[3].valid = false;
+    Rng rng(2);
+    EXPECT_EQ(chooseVictim(entries.data(), entries.size(),
+                           ReplPolicy::LRU, rng),
+              1u);
+}
+
+TEST(ReplacementTest, LruPicksOldestUse)
+{
+    auto entries = fourValidEntries(); // lastUse 10,11,12,13
+    Rng rng(3);
+    EXPECT_EQ(chooseVictim(entries.data(), entries.size(),
+                           ReplPolicy::LRU, rng),
+              0u);
+    entries[0].lastUse = 99;
+    EXPECT_EQ(chooseVictim(entries.data(), entries.size(),
+                           ReplPolicy::LRU, rng),
+              1u);
+}
+
+TEST(ReplacementTest, FifoPicksOldestInsertion)
+{
+    auto entries = fourValidEntries(); // inserted 20,19,18,17
+    Rng rng(4);
+    EXPECT_EQ(chooseVictim(entries.data(), entries.size(),
+                           ReplPolicy::FIFO, rng),
+              3u);
+}
+
+TEST(ReplacementTest, RandomCoversAllWays)
+{
+    auto entries = fourValidEntries();
+    Rng rng(5);
+    std::array<int, 4> picks{};
+    for (int i = 0; i < 4000; ++i)
+        ++picks[chooseVictim(entries.data(), entries.size(),
+                             ReplPolicy::Random, rng)];
+    for (int count : picks)
+        EXPECT_GT(count, 700); // roughly uniform
+}
+
+TEST(ReplacementTest, SingleCandidate)
+{
+    TlbEntry entry;
+    entry.valid = true;
+    Rng rng(6);
+    for (ReplPolicy policy :
+         {ReplPolicy::LRU, ReplPolicy::FIFO, ReplPolicy::Random})
+        EXPECT_EQ(chooseVictim(&entry, 1, policy, rng), 0u);
+}
+
+TEST(ReplacementTest, PolicyNames)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "LRU");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::FIFO), "FIFO");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::Random), "random");
+}
+
+} // namespace
+} // namespace tps

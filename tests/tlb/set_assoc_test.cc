@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the set-associative TLB, focused on the three
+ * indexing schemes of paper Section 2.2 and their documented
+ * pathologies.
+ */
+
+#include "tlb/set_assoc.h"
+
+#include <gtest/gtest.h>
+
+namespace tps
+{
+namespace
+{
+
+PageId
+small(Addr vpn)
+{
+    return PageId{vpn, kLog2_4K};
+}
+
+PageId
+large(Addr vpn)
+{
+    return PageId{vpn, kLog2_32K};
+}
+
+TEST(SetAssocTest, GeometryDerived)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::Exact);
+    EXPECT_EQ(tlb.numSets(), 8u);
+    EXPECT_EQ(tlb.numWays(), 2u);
+    EXPECT_EQ(tlb.capacity(), 16u);
+}
+
+TEST(SetAssocTest, ExactIndexUsesOwnPageBits)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::Exact);
+    // Small page at vaddr 0x3000: set = (0x3000 >> 12) & 7 = 3.
+    EXPECT_EQ(tlb.indexFor(small(0x3), 0x3000), 3u);
+    // Large page at vaddr 0x18000: set = (0x18000 >> 15) & 7 = 3.
+    EXPECT_EQ(tlb.indexFor(large(0x3), 0x18000), 3u);
+}
+
+TEST(SetAssocTest, LargePageIndexConsistentForLargePages)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::LargePage);
+    // Any offset inside the same 32KB page indexes the same set.
+    const PageId page = large(0x5);
+    const std::size_t set = tlb.indexFor(page, 0x5 << 15);
+    for (Addr off = 0; off < (1u << 15); off += 0x1000)
+        EXPECT_EQ(tlb.indexFor(page, (Addr{0x5} << 15) + off), set);
+}
+
+TEST(SetAssocTest, SmallPageIndexSplitsLargePages)
+{
+    // The Section 2.2 pathology: under the small-page index, a large
+    // page indexes to different sets depending on offset bits that
+    // are part of its own page offset.
+    SetAssocTlb tlb(16, 2, IndexScheme::SmallPage);
+    const PageId page = large(0x0);
+    EXPECT_NE(tlb.indexFor(page, 0x0000), tlb.indexFor(page, 0x1000));
+}
+
+TEST(SetAssocTest, SmallPageIndexDuplicatesLargePageEntries)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::SmallPage);
+    const PageId page = large(0x0);
+    tlb.access(page, 0x0000); // fills set 0
+    tlb.access(page, 0x1000); // MISSES again, fills set 1
+    EXPECT_EQ(tlb.stats().misses, 2u);
+    EXPECT_EQ(tlb.residentCopies(page), 2u);
+    // ...which "negates the very reason to support both sizes".
+}
+
+TEST(SetAssocTest, ExactIndexNoDuplicates)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::Exact);
+    const PageId page = large(0x0);
+    tlb.access(page, 0x0000);
+    EXPECT_TRUE(tlb.access(page, 0x1000)); // same set, same tag: hit
+    EXPECT_EQ(tlb.residentCopies(page), 1u);
+}
+
+TEST(SetAssocTest, LargeIndexConflictsEightSmallPages)
+{
+    // Section 2.2: with the large-page index, the 8 small pages of a
+    // chunk compete for one set; at 2 ways a cyclic scan thrashes.
+    SetAssocTlb tlb(16, 2, IndexScheme::LargePage);
+    for (int round = 0; round < 3; ++round)
+        for (Addr block = 0; block < 8; ++block)
+            tlb.access(small(block), block << 12);
+    EXPECT_EQ(tlb.stats().misses, 24u); // every access misses
+}
+
+TEST(SetAssocTest, ExactIndexSpreadsEightSmallPages)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::Exact);
+    for (int round = 0; round < 3; ++round)
+        for (Addr block = 0; block < 8; ++block)
+            tlb.access(small(block), block << 12);
+    EXPECT_EQ(tlb.stats().misses, 8u); // cold only: one per set
+}
+
+TEST(SetAssocTest, HigherAssociativityAbsorbsLargeIndexConflicts)
+{
+    // Section 2.2(c): raising associativity to the chunk block count
+    // removes the collision cost.
+    SetAssocTlb tlb(16, 8, IndexScheme::LargePage);
+    for (int round = 0; round < 3; ++round)
+        for (Addr block = 0; block < 8; ++block)
+            tlb.access(small(block), block << 12);
+    EXPECT_EQ(tlb.stats().misses, 8u); // cold only
+}
+
+TEST(SetAssocTest, InvalidateFindsDuplicates)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::SmallPage);
+    const PageId page = large(0x0);
+    tlb.access(page, 0x0000);
+    tlb.access(page, 0x1000);
+    ASSERT_EQ(tlb.residentCopies(page), 2u);
+    tlb.invalidatePage(page);
+    EXPECT_EQ(tlb.residentCopies(page), 0u);
+    EXPECT_EQ(tlb.stats().invalidations, 2u);
+}
+
+TEST(SetAssocTest, LruWithinSet)
+{
+    SetAssocTlb tlb(4, 2, IndexScheme::Exact); // 2 sets
+    // Pages 0 and 2 land in set 0; page 4 also set 0.
+    tlb.access(small(0), 0x0000);
+    tlb.access(small(2), 0x2000);
+    tlb.access(small(0), 0x0000); // refresh 0
+    tlb.access(small(4), 0x4000); // evicts 2
+    EXPECT_TRUE(tlb.access(small(0), 0x0000));
+    EXPECT_FALSE(tlb.access(small(2), 0x2000));
+}
+
+TEST(SetAssocTest, DirectMappedWorks)
+{
+    SetAssocTlb tlb(8, 1, IndexScheme::Exact);
+    EXPECT_EQ(tlb.numSets(), 8u);
+    tlb.access(small(0), 0x0000);
+    tlb.access(small(8), 0x8000); // same set, evicts
+    EXPECT_FALSE(tlb.access(small(0), 0x0000));
+}
+
+TEST(SetAssocTest, ResetStatsKeepsContents)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::Exact);
+    tlb.access(small(1), 0x1000);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+}
+
+TEST(SetAssocTest, NameDescribesScheme)
+{
+    SetAssocTlb tlb(32, 2, IndexScheme::LargePage);
+    const std::string name = tlb.name();
+    EXPECT_NE(name.find("32-entry"), std::string::npos);
+    EXPECT_NE(name.find("large-index"), std::string::npos);
+}
+
+TEST(SetAssocDeathTest, BadGeometryFatal)
+{
+    EXPECT_EXIT((SetAssocTlb{0, 2, IndexScheme::Exact}),
+                ::testing::ExitedWithCode(1), "entries");
+    EXPECT_EXIT((SetAssocTlb{15, 2, IndexScheme::Exact}),
+                ::testing::ExitedWithCode(1), "divisible");
+    EXPECT_EXIT((SetAssocTlb{24, 2, IndexScheme::Exact}),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT((SetAssocTlb{16, 2, IndexScheme::Exact, 15, 12}),
+                ::testing::ExitedWithCode(1), "exceed");
+}
+
+/**
+ * Property sweep over geometries: a pure warm single-page working
+ * set no larger than the associativity never misses after warmup.
+ */
+class GeometryTest
+    : public ::testing::TestWithParam<std::pair<std::size_t,
+                                                std::size_t>>
+{
+};
+
+TEST_P(GeometryTest, WorkingSetWithinOneSetFits)
+{
+    const auto [entries, ways] = GetParam();
+    SetAssocTlb tlb(entries, ways, IndexScheme::Exact);
+    const std::size_t sets = entries / ways;
+    // `ways` pages that all map to set 0.
+    for (int round = 0; round < 5; ++round)
+        for (std::size_t i = 0; i < ways; ++i)
+            tlb.access(small(i * sets), (i * sets) << 12);
+    EXPECT_EQ(tlb.stats().misses, ways); // cold misses only
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 1},
+                      std::pair<std::size_t, std::size_t>{16, 2},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{32, 2},
+                      std::pair<std::size_t, std::size_t>{32, 8},
+                      std::pair<std::size_t, std::size_t>{64, 4}));
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,111 @@
+/** @file Unit tests for the split (per-size) TLB organization. */
+
+#include "tlb/split_tlb.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/fully_assoc.h"
+
+namespace tps
+{
+namespace
+{
+
+std::unique_ptr<SplitTlb>
+makeSplit(std::size_t small_entries, std::size_t large_entries)
+{
+    return std::make_unique<SplitTlb>(
+        std::make_unique<FullyAssocTlb>(small_entries),
+        std::make_unique<FullyAssocTlb>(large_entries), kLog2_32K);
+}
+
+TEST(SplitTlbTest, RoutesBySize)
+{
+    auto tlb = makeSplit(4, 2);
+    tlb->access(PageId{0x10, kLog2_4K}, 0x10000);
+    tlb->access(PageId{0x2, kLog2_32K}, 0x10000);
+    EXPECT_EQ(tlb->smallTlb().stats().accesses, 1u);
+    EXPECT_EQ(tlb->largeTlb().stats().accesses, 1u);
+}
+
+TEST(SplitTlbTest, CapacityIsSum)
+{
+    EXPECT_EQ(makeSplit(12, 4)->capacity(), 16u);
+}
+
+TEST(SplitTlbTest, CombinedStatsAggregate)
+{
+    auto tlb = makeSplit(4, 2);
+    tlb->access(PageId{0x1, kLog2_4K}, 0x1000);
+    tlb->access(PageId{0x1, kLog2_4K}, 0x1000);
+    tlb->access(PageId{0x9, kLog2_32K}, 0x48000);
+    const TlbStats &stats = tlb->stats();
+    EXPECT_EQ(stats.accesses, 3u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.missesSmall, 1u);
+    EXPECT_EQ(stats.missesLarge, 1u);
+    EXPECT_EQ(stats.hitsSmall, 1u);
+}
+
+TEST(SplitTlbTest, StrandedCapacity)
+{
+    // The paper's criticism of option (c): if the OS allocates no
+    // large pages, the large sub-TLB is dead weight.  A 6+2 split
+    // thrashes on 8 small pages even though an 8-entry unified FA
+    // TLB would hold them.
+    auto split = makeSplit(6, 2);
+    FullyAssocTlb unified(8);
+    for (int round = 0; round < 4; ++round) {
+        for (Addr vpn = 0; vpn < 8; ++vpn) {
+            split->access(PageId{vpn, kLog2_4K}, vpn << 12);
+            unified.access(PageId{vpn, kLog2_4K}, vpn << 12);
+        }
+    }
+    EXPECT_GT(split->stats().misses, unified.stats().misses);
+    EXPECT_EQ(unified.stats().misses, 8u); // cold only
+}
+
+TEST(SplitTlbTest, InvalidationRoutes)
+{
+    auto tlb = makeSplit(4, 2);
+    tlb->access(PageId{0x1, kLog2_4K}, 0x1000);
+    tlb->access(PageId{0x9, kLog2_32K}, 0x48000);
+    tlb->invalidatePage(PageId{0x1, kLog2_4K});
+    EXPECT_EQ(tlb->smallTlb().stats().invalidations, 1u);
+    EXPECT_EQ(tlb->largeTlb().stats().invalidations, 0u);
+    tlb->invalidatePage(PageId{0x9, kLog2_32K});
+    EXPECT_EQ(tlb->largeTlb().stats().invalidations, 1u);
+}
+
+TEST(SplitTlbTest, InvalidateAllAndReset)
+{
+    auto tlb = makeSplit(4, 2);
+    tlb->access(PageId{0x1, kLog2_4K}, 0x1000);
+    tlb->access(PageId{0x9, kLog2_32K}, 0x48000);
+    tlb->invalidateAll();
+    EXPECT_EQ(tlb->stats().invalidations, 2u);
+    tlb->reset();
+    EXPECT_EQ(tlb->stats().accesses, 0u);
+}
+
+TEST(SplitTlbTest, ResetStatsKeepsContents)
+{
+    auto tlb = makeSplit(4, 2);
+    tlb->access(PageId{0x1, kLog2_4K}, 0x1000);
+    tlb->resetStats();
+    EXPECT_EQ(tlb->stats().accesses, 0u);
+    EXPECT_TRUE(tlb->access(PageId{0x1, kLog2_4K}, 0x1000));
+}
+
+TEST(SplitTlbTest, NameMentionsBothHalves)
+{
+    auto tlb = makeSplit(12, 4);
+    const std::string name = tlb->name();
+    EXPECT_NE(name.find("split"), std::string::npos);
+    EXPECT_NE(name.find("12-entry"), std::string::npos);
+    EXPECT_NE(name.find("4-entry"), std::string::npos);
+}
+
+} // namespace
+} // namespace tps

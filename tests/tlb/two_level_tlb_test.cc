@@ -1,0 +1,127 @@
+/** @file Unit tests for the two-level TLB hierarchy. */
+
+#include "tlb/two_level_tlb.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/fully_assoc.h"
+
+namespace tps
+{
+namespace
+{
+
+TwoLevelTlb
+makeHierarchy(std::size_t l1, std::size_t l2)
+{
+    return TwoLevelTlb(std::make_unique<FullyAssocTlb>(l1),
+                       std::make_unique<FullyAssocTlb>(l2));
+}
+
+PageId
+page(Addr vpn)
+{
+    return PageId{vpn, kLog2_4K};
+}
+
+TEST(TwoLevelTest, L1HitFastPath)
+{
+    auto tlb = makeHierarchy(2, 8);
+    tlb.access(page(1), 0x1000);
+    EXPECT_TRUE(tlb.access(page(1), 0x1000));
+    EXPECT_EQ(tlb.levelStats().l1Hits, 1u);
+    EXPECT_EQ(tlb.levelStats().l2Hits, 0u);
+}
+
+TEST(TwoLevelTest, L2CatchesL1Evictions)
+{
+    auto tlb = makeHierarchy(2, 8);
+    // Touch 3 pages: page 1 falls out of the 2-entry L1 but stays in
+    // the 8-entry L2.
+    tlb.access(page(1), 0x1000);
+    tlb.access(page(2), 0x2000);
+    tlb.access(page(3), 0x3000);
+    EXPECT_TRUE(tlb.access(page(1), 0x1000)); // L2 hit, L1 refill
+    EXPECT_EQ(tlb.levelStats().l2Hits, 1u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    // Refilled: next access is an L1 hit.
+    EXPECT_TRUE(tlb.access(page(1), 0x1000));
+    EXPECT_EQ(tlb.levelStats().l1Hits, 1u);
+}
+
+TEST(TwoLevelTest, MissCountsOnlyFullMisses)
+{
+    auto tlb = makeHierarchy(2, 8);
+    for (Addr vpn = 0; vpn < 4; ++vpn)
+        tlb.access(page(vpn), vpn << 12);
+    EXPECT_EQ(tlb.stats().misses, 4u);       // all cold
+    EXPECT_EQ(tlb.levelStats().l2Misses, 4u);
+    // Re-touch everything: within L2 reach, so no new misses.
+    for (Addr vpn = 0; vpn < 4; ++vpn)
+        tlb.access(page(vpn), vpn << 12);
+    EXPECT_EQ(tlb.stats().misses, 4u);
+}
+
+TEST(TwoLevelTest, SameMissesAsFlatL2SizedTlb)
+{
+    // With inclusion-on-fill and LRU everywhere, the hierarchy's
+    // *misses* match a flat TLB of L2 size when the L1 refill path
+    // keeps L2 recency in sync (it does: every access reaches L2
+    // unless L1 hits, and L1 hits imply L2 would hit too under
+    // inclusion... verified empirically here on a mixed pattern).
+    auto hierarchy = makeHierarchy(4, 16);
+    FullyAssocTlb flat(16);
+    Rng rng(5);
+    std::uint64_t mismatch = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr vpn = rng.chance(0.7) ? rng.below(10)
+                                         : rng.below(64);
+        const bool a = hierarchy.access(page(vpn), vpn << 12);
+        const bool b = flat.access(page(vpn), vpn << 12);
+        mismatch += a != b ? 1 : 0;
+    }
+    // L1 hits can mask L2 LRU updates, so small divergence is
+    // possible in principle; it must stay marginal.
+    EXPECT_LT(static_cast<double>(mismatch), 20000 * 0.02);
+}
+
+TEST(TwoLevelTest, InvalidationReachesBothLevels)
+{
+    auto tlb = makeHierarchy(2, 8);
+    tlb.access(page(1), 0x1000);
+    tlb.invalidatePage(page(1));
+    EXPECT_FALSE(tlb.access(page(1), 0x1000)); // full miss again
+    EXPECT_EQ(tlb.levelStats().l2Misses, 2u);
+}
+
+TEST(TwoLevelTest, ResetAndResetStats)
+{
+    auto tlb = makeHierarchy(2, 8);
+    tlb.access(page(1), 0x1000);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    EXPECT_TRUE(tlb.access(page(1), 0x1000)); // contents kept
+    tlb.reset();
+    EXPECT_FALSE(tlb.access(page(1), 0x1000)); // contents gone
+}
+
+TEST(TwoLevelTest, CapacityIsL2)
+{
+    EXPECT_EQ(makeHierarchy(4, 64).capacity(), 64u);
+}
+
+TEST(TwoLevelTest, NameMentionsBothLevels)
+{
+    auto tlb = makeHierarchy(4, 64);
+    EXPECT_NE(tlb.name().find("L1["), std::string::npos);
+    EXPECT_NE(tlb.name().find("L2["), std::string::npos);
+}
+
+TEST(TwoLevelDeathTest, L1MustBeSmaller)
+{
+    EXPECT_EXIT(makeHierarchy(8, 8), ::testing::ExitedWithCode(1),
+                "smaller");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,192 @@
+/** @file Round-trip and robustness tests for the .tps trace format. */
+
+#include "trace/trace_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/vector_trace.h"
+#include "util/random.h"
+
+namespace tps
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const char *tag)
+    {
+        return ::testing::TempDir() + "tps_trace_" + tag + ".tps";
+    }
+};
+
+TEST_F(TraceFileTest, EmptyRoundTrip)
+{
+    const std::string path = tempPath("empty");
+    {
+        TraceFileWriter writer(path, "empty");
+        writer.finish();
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.refCount(), 0u);
+    EXPECT_EQ(reader.name(), "empty");
+    MemRef ref;
+    EXPECT_FALSE(reader.next(ref));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, RoundTripPreservesEverything)
+{
+    const std::string path = tempPath("rt");
+    std::vector<MemRef> refs = {
+        {0x1000, RefType::Ifetch, 4}, {0x0, RefType::Load, 1},
+        {0xFFFF'FFFF'F000, RefType::Store, 8},
+        {0x1004, RefType::Ifetch, 4}, {0x1000, RefType::Load, 2},
+    };
+    {
+        TraceFileWriter writer(path, "roundtrip");
+        for (const MemRef &ref : refs)
+            writer.write(ref);
+    } // destructor finishes
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.refCount(), refs.size());
+    for (const MemRef &expected : refs) {
+        MemRef got;
+        ASSERT_TRUE(reader.next(got));
+        EXPECT_EQ(got, expected);
+    }
+    MemRef extra;
+    EXPECT_FALSE(reader.next(extra));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, ReaderResetReplays)
+{
+    const std::string path = tempPath("reset");
+    {
+        TraceFileWriter writer(path, "r");
+        writer.write({0xAAAA, RefType::Load, 4});
+        writer.write({0xBBBB, RefType::Store, 8});
+    }
+    TraceFileReader reader(path);
+    VectorTrace first = materialize(reader);
+    reader.reset();
+    VectorTrace second = materialize(reader);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first.refs(), second.refs());
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, RandomAddressesSurviveDeltaEncoding)
+{
+    const std::string path = tempPath("rand");
+    Rng rng(99);
+    std::vector<MemRef> refs;
+    for (int i = 0; i < 5000; ++i) {
+        refs.push_back(MemRef{rng.next64() & 0xFFFF'FFFF'FFFF,
+                              static_cast<RefType>(rng.below(3)),
+                              static_cast<std::uint8_t>(
+                                  1u << rng.below(4))});
+    }
+    {
+        TraceFileWriter writer(path, "rand");
+        for (const MemRef &ref : refs)
+            writer.write(ref);
+    }
+    TraceFileReader reader(path);
+    for (const MemRef &expected : refs) {
+        MemRef got;
+        ASSERT_TRUE(reader.next(got));
+        ASSERT_EQ(got, expected);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, SequentialTraceCompressesWell)
+{
+    const std::string path = tempPath("seq");
+    constexpr int kRefs = 10000;
+    {
+        TraceFileWriter writer(path, "seq");
+        for (int i = 0; i < kRefs; ++i)
+            writer.write({0x10000 + static_cast<Addr>(i) * 8,
+                          RefType::Load, 8});
+    }
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+    // Control byte + 1-byte varint per record, plus a small header.
+    EXPECT_LT(file_bytes, kRefs * 3u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, WriteTraceFileHelper)
+{
+    const std::string path = tempPath("helper");
+    VectorTrace source({{0x1, RefType::Load, 4},
+                        {0x2, RefType::Load, 4}},
+                       "helper-src");
+    EXPECT_EQ(writeTraceFile(path, source), 2u);
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.name(), "helper-src");
+    EXPECT_EQ(reader.refCount(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, BadMagicIsFatal)
+{
+    const std::string path = tempPath("bad");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOTATRACEFILE___garbage";
+    }
+    EXPECT_EXIT({ TraceFileReader reader(path); },
+                ::testing::ExitedWithCode(1), "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ TraceFileReader reader("/nonexistent/nope.tps"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileTest, TruncatedRecordsAreFatalNotGarbage)
+{
+    const std::string path = tempPath("trunc");
+    {
+        TraceFileWriter writer(path, "trunc");
+        for (int i = 0; i < 100; ++i)
+            writer.write({0x1000 + static_cast<Addr>(i) * 0x1000,
+                          RefType::Load, 8});
+    }
+    // Chop the record section short while keeping the header intact.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto full = static_cast<std::streamoff>(in.tellg());
+    in.close();
+    std::string data(static_cast<std::size_t>(full), '\0');
+    std::ifstream re(path, std::ios::binary);
+    re.read(data.data(), full);
+    re.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), full - 40);
+    out.close();
+
+    EXPECT_EXIT(
+        {
+            TraceFileReader reader(path);
+            MemRef ref;
+            while (reader.next(ref)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,75 @@
+/** @file Unit tests for trace/trace_stats.h. */
+
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/vector_trace.h"
+
+namespace tps
+{
+namespace
+{
+
+TEST(TraceStatsTest, CountsByType)
+{
+    VectorTrace trace({{0x1000, RefType::Ifetch, 4},
+                       {0x2000, RefType::Load, 8},
+                       {0x3000, RefType::Store, 8},
+                       {0x1004, RefType::Ifetch, 4}},
+                      "t");
+    const TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.refs, 4u);
+    EXPECT_EQ(stats.instructions, 2u);
+    EXPECT_EQ(stats.loads, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_DOUBLE_EQ(stats.rpi(), 2.0);
+}
+
+TEST(TraceStatsTest, DistinctPages)
+{
+    VectorTrace trace({{0x1000, RefType::Ifetch, 4},
+                       {0x1004, RefType::Ifetch, 4}, // same page
+                       {0x5000, RefType::Load, 8},
+                       {0x5800, RefType::Store, 8}, // same page
+                       {0x9000, RefType::Load, 8}},
+                      "t");
+    const TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.codePages4k, 1u);
+    EXPECT_EQ(stats.dataPages4k, 2u);
+    EXPECT_EQ(stats.totalPages4k, 3u);
+    EXPECT_EQ(stats.footprintBytes(), 3u * 4096);
+}
+
+TEST(TraceStatsTest, SharedCodeDataPageCountedOnce)
+{
+    VectorTrace trace({{0x1000, RefType::Ifetch, 4},
+                       {0x1800, RefType::Load, 8}},
+                      "t");
+    const TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.codePages4k, 1u);
+    EXPECT_EQ(stats.dataPages4k, 1u);
+    EXPECT_EQ(stats.totalPages4k, 1u);
+}
+
+TEST(TraceStatsTest, MaxRefsLimit)
+{
+    VectorTrace trace({{0x1000, RefType::Load, 8},
+                       {0x2000, RefType::Load, 8},
+                       {0x3000, RefType::Load, 8}},
+                      "t");
+    const TraceStats stats = collectTraceStats(trace, 2);
+    EXPECT_EQ(stats.refs, 2u);
+}
+
+TEST(TraceStatsTest, EmptyTraceSafe)
+{
+    VectorTrace trace;
+    const TraceStats stats = collectTraceStats(trace);
+    EXPECT_EQ(stats.refs, 0u);
+    EXPECT_DOUBLE_EQ(stats.rpi(), 0.0);
+    EXPECT_EQ(stats.footprintBytes(), 0u);
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,116 @@
+/** @file Unit tests for trace/transforms.h. */
+
+#include "trace/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/vector_trace.h"
+
+namespace tps
+{
+namespace
+{
+
+VectorTrace
+threeRefs()
+{
+    return VectorTrace({{0x1000, RefType::Ifetch, 4},
+                        {0x2000, RefType::Load, 8},
+                        {0x3000, RefType::Store, 8}},
+                       "three");
+}
+
+TEST(LimitSourceTest, CapsOutput)
+{
+    VectorTrace inner = threeRefs();
+    LimitSource limited(inner, 2);
+    MemRef ref;
+    EXPECT_TRUE(limited.next(ref));
+    EXPECT_TRUE(limited.next(ref));
+    EXPECT_FALSE(limited.next(ref));
+}
+
+TEST(LimitSourceTest, ResetRestoresBudget)
+{
+    VectorTrace inner = threeRefs();
+    LimitSource limited(inner, 1);
+    MemRef ref;
+    EXPECT_TRUE(limited.next(ref));
+    EXPECT_FALSE(limited.next(ref));
+    limited.reset();
+    EXPECT_TRUE(limited.next(ref));
+    EXPECT_EQ(ref.vaddr, 0x1000u);
+}
+
+TEST(TypeFilterTest, KeepsOnlySelected)
+{
+    VectorTrace inner = threeRefs();
+    TypeFilterSource data_only(inner, false, true, true);
+    VectorTrace out = materialize(data_only);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.refs()[0].type, RefType::Load);
+    EXPECT_EQ(out.refs()[1].type, RefType::Store);
+}
+
+TEST(TypeFilterTest, IfetchOnly)
+{
+    VectorTrace inner = threeRefs();
+    TypeFilterSource code_only(inner, true, false, false);
+    VectorTrace out = materialize(code_only);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.refs()[0].type, RefType::Ifetch);
+}
+
+TEST(InterleaveTest, RoundRobinQuanta)
+{
+    VectorTrace a({{0x1, RefType::Load, 4},
+                   {0x2, RefType::Load, 4},
+                   {0x3, RefType::Load, 4}},
+                  "a");
+    VectorTrace b({{0x11, RefType::Load, 4},
+                   {0x12, RefType::Load, 4}},
+                  "b");
+    InterleaveSource merged({&a, &b}, 2, 36);
+    VectorTrace out = materialize(merged);
+    ASSERT_EQ(out.size(), 5u);
+    // a,a | b,b | a (b exhausted, a continues)
+    EXPECT_EQ(out.refs()[0].vaddr, 0x1u);
+    EXPECT_EQ(out.refs()[1].vaddr, 0x2u);
+    EXPECT_EQ(out.refs()[2].vaddr, (Addr{1} << 36) + 0x11);
+    EXPECT_EQ(out.refs()[3].vaddr, (Addr{1} << 36) + 0x12);
+    EXPECT_EQ(out.refs()[4].vaddr, 0x3u);
+}
+
+TEST(InterleaveTest, AddressSlicesDisjoint)
+{
+    VectorTrace a({{0xFFFF, RefType::Load, 4}}, "a");
+    VectorTrace b({{0xFFFF, RefType::Load, 4}}, "b");
+    InterleaveSource merged({&a, &b}, 1, 30);
+    VectorTrace out = materialize(merged);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out.refs()[0].vaddr, out.refs()[1].vaddr);
+    EXPECT_EQ(out.refs()[0].vaddr >> 30, 0u);
+    EXPECT_EQ(out.refs()[1].vaddr >> 30, 1u);
+}
+
+TEST(InterleaveTest, ResetReplays)
+{
+    VectorTrace a({{0x1, RefType::Load, 4}}, "a");
+    VectorTrace b({{0x2, RefType::Load, 4}}, "b");
+    InterleaveSource merged({&a, &b}, 1);
+    VectorTrace first = materialize(merged);
+    merged.reset();
+    VectorTrace second = materialize(merged);
+    EXPECT_EQ(first.refs(), second.refs());
+}
+
+TEST(InterleaveTest, NameMentionsAllSources)
+{
+    VectorTrace a({}, "alpha");
+    VectorTrace b({}, "beta");
+    InterleaveSource merged({&a, &b}, 4);
+    EXPECT_EQ(merged.name(), "interleave(alpha+beta)");
+}
+
+} // namespace
+} // namespace tps

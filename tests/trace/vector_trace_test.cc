@@ -1,0 +1,85 @@
+/** @file Unit tests for trace/vector_trace.h and memref.h. */
+
+#include "trace/vector_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tps
+{
+namespace
+{
+
+TEST(MemRefTest, TypePredicates)
+{
+    MemRef fetch{0x1000, RefType::Ifetch, 4};
+    MemRef load{0x2000, RefType::Load, 8};
+    MemRef store{0x3000, RefType::Store, 8};
+    EXPECT_TRUE(fetch.isInstruction());
+    EXPECT_FALSE(fetch.isData());
+    EXPECT_TRUE(load.isData());
+    EXPECT_TRUE(store.isData());
+    EXPECT_FALSE(store.isInstruction());
+}
+
+TEST(MemRefTest, RefTypeNames)
+{
+    EXPECT_STREQ(refTypeName(RefType::Ifetch), "ifetch");
+    EXPECT_STREQ(refTypeName(RefType::Load), "load");
+    EXPECT_STREQ(refTypeName(RefType::Store), "store");
+}
+
+TEST(VectorTraceTest, DeliversInOrder)
+{
+    VectorTrace trace({{0x1000, RefType::Load, 4},
+                       {0x2000, RefType::Store, 8}},
+                      "t");
+    MemRef ref;
+    ASSERT_TRUE(trace.next(ref));
+    EXPECT_EQ(ref.vaddr, 0x1000u);
+    ASSERT_TRUE(trace.next(ref));
+    EXPECT_EQ(ref.vaddr, 0x2000u);
+    EXPECT_FALSE(trace.next(ref));
+}
+
+TEST(VectorTraceTest, ResetReplaysIdentically)
+{
+    VectorTrace trace({{0xA, RefType::Load, 4}}, "t");
+    MemRef a, b;
+    ASSERT_TRUE(trace.next(a));
+    EXPECT_FALSE(trace.next(b));
+    trace.reset();
+    ASSERT_TRUE(trace.next(b));
+    EXPECT_EQ(a, b);
+}
+
+TEST(VectorTraceTest, AppendGrows)
+{
+    VectorTrace trace;
+    trace.append({0x1, RefType::Load, 4});
+    trace.append({0x2, RefType::Load, 4});
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(MaterializeTest, DrainsWholeSource)
+{
+    VectorTrace source({{0x1, RefType::Load, 4},
+                        {0x2, RefType::Load, 4},
+                        {0x3, RefType::Load, 4}},
+                       "src");
+    VectorTrace copy = materialize(source);
+    EXPECT_EQ(copy.size(), 3u);
+    EXPECT_EQ(copy.name(), "src");
+}
+
+TEST(MaterializeTest, HonorsLimit)
+{
+    VectorTrace source({{0x1, RefType::Load, 4},
+                        {0x2, RefType::Load, 4},
+                        {0x3, RefType::Load, 4}},
+                       "src");
+    VectorTrace copy = materialize(source, 2);
+    EXPECT_EQ(copy.size(), 2u);
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,92 @@
+/** @file Unit tests for util/bitops.h. */
+
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace tps
+{
+namespace
+{
+
+TEST(BitopsTest, IsPow2RecognizesPowers)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(4097));
+    EXPECT_TRUE(isPow2(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPow2(~std::uint64_t{0}));
+}
+
+TEST(BitopsTest, FloorLog2KnownValues)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(BitopsTest, Log2ExactInvertsShift)
+{
+    for (unsigned bit = 0; bit < 64; ++bit)
+        EXPECT_EQ(log2Exact(std::uint64_t{1} << bit), bit);
+}
+
+TEST(BitopsTest, CeilPow2)
+{
+    EXPECT_EQ(ceilPow2(1), 1u);
+    EXPECT_EQ(ceilPow2(3), 4u);
+    EXPECT_EQ(ceilPow2(4), 4u);
+    EXPECT_EQ(ceilPow2(4097), 8192u);
+}
+
+TEST(BitopsTest, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xFFFu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(65), ~std::uint64_t{0});
+}
+
+TEST(BitopsTest, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xABCD, 15, 12), 0xAu);
+    EXPECT_EQ(bits(0xABCD, 11, 8), 0xBu);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDu);
+    EXPECT_EQ(bits(0xFF, 7, 7), 1u);
+}
+
+TEST(BitopsTest, AlignmentRoundTrips)
+{
+    EXPECT_EQ(alignDown(0x1FFF, 12), 0x1000u);
+    EXPECT_EQ(alignUp(0x1001, 12), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 12), 0x1000u);
+    EXPECT_TRUE(isAligned(0x8000, 15));
+    EXPECT_FALSE(isAligned(0x8001, 15));
+}
+
+/** Property sweep: alignDown <= addr < alignDown + 2^a, etc. */
+TEST(BitopsTest, AlignmentProperties)
+{
+    for (unsigned a = 0; a <= 20; a += 4) {
+        for (Addr addr :
+             {Addr{0}, Addr{1}, Addr{0xFFF}, Addr{0x12345}, Addr{1} << 40}) {
+            const Addr down = alignDown(addr, a);
+            const Addr up = alignUp(addr, a);
+            EXPECT_LE(down, addr);
+            EXPECT_GE(up, addr);
+            EXPECT_TRUE(isAligned(down, a));
+            EXPECT_TRUE(isAligned(up, a));
+            EXPECT_LT(addr - down, std::uint64_t{1} << a);
+        }
+    }
+}
+
+} // namespace
+} // namespace tps

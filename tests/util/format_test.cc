@@ -1,0 +1,87 @@
+/** @file Unit tests for util/format.h. */
+
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tps
+{
+namespace
+{
+
+TEST(FormatTest, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+    EXPECT_EQ(withCommas(1000000000ull), "1,000,000,000");
+}
+
+TEST(FormatTest, FormatBytesUnits)
+{
+    EXPECT_EQ(formatBytes(0), "0B");
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(4096), "4KB");
+    EXPECT_EQ(formatBytes(32 * 1024), "32KB");
+    EXPECT_EQ(formatBytes(1536 * 1024), "1.5MB");
+    EXPECT_EQ(formatBytes(1ull << 30), "1GB");
+}
+
+TEST(FormatTest, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(1.23456, 3), "1.235");
+    EXPECT_EQ(formatFixed(1.0, 0), "1");
+    EXPECT_EQ(formatFixed(-0.5, 2), "-0.50");
+}
+
+TEST(FormatTest, ParseSizePlain)
+{
+    std::uint64_t bytes = 0;
+    ASSERT_TRUE(parseSize("512", bytes));
+    EXPECT_EQ(bytes, 512u);
+}
+
+TEST(FormatTest, ParseSizeSuffixes)
+{
+    std::uint64_t bytes = 0;
+    ASSERT_TRUE(parseSize("4K", bytes));
+    EXPECT_EQ(bytes, 4096u);
+    ASSERT_TRUE(parseSize("32KB", bytes));
+    EXPECT_EQ(bytes, 32768u);
+    ASSERT_TRUE(parseSize("2m", bytes));
+    EXPECT_EQ(bytes, 2u << 20);
+    ASSERT_TRUE(parseSize("1G", bytes));
+    EXPECT_EQ(bytes, 1ull << 30);
+}
+
+TEST(FormatTest, ParseSizeRejectsGarbage)
+{
+    std::uint64_t bytes = 0;
+    EXPECT_FALSE(parseSize("", bytes));
+    EXPECT_FALSE(parseSize("KB", bytes));
+    EXPECT_FALSE(parseSize("12X", bytes));
+    EXPECT_FALSE(parseSize("99999999999999999999999", bytes));
+}
+
+TEST(FormatTest, EnvOrFallsBack)
+{
+    unsetenv("TPS_TEST_ENVVAR");
+    EXPECT_EQ(envOr("TPS_TEST_ENVVAR", 123), 123u);
+}
+
+TEST(FormatTest, EnvOrParsesPlainAndSized)
+{
+    setenv("TPS_TEST_ENVVAR", "456", 1);
+    EXPECT_EQ(envOr("TPS_TEST_ENVVAR", 1), 456u);
+    setenv("TPS_TEST_ENVVAR", "2M", 1);
+    EXPECT_EQ(envOr("TPS_TEST_ENVVAR", 1), 2u << 20);
+    setenv("TPS_TEST_ENVVAR", "bogus", 1);
+    EXPECT_EQ(envOr("TPS_TEST_ENVVAR", 7), 7u);
+    unsetenv("TPS_TEST_ENVVAR");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,53 @@
+/** @file Unit tests for the gem5-style logging facility. */
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tps
+{
+namespace
+{
+
+TEST(LoggingTest, WarnIncrementsCounter)
+{
+    const std::uint64_t before = detail::warnCount();
+    tps_warn("test warning ", 42);
+    EXPECT_EQ(detail::warnCount(), before + 1);
+}
+
+TEST(LoggingTest, ConcatFormatsMixedArguments)
+{
+    EXPECT_EQ(detail::concat("x=", 7, ", y=", 2.5, "!"),
+              "x=7, y=2.5!");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingTest, QuietSuppressionToggle)
+{
+    detail::setQuiet(true);
+    EXPECT_TRUE(detail::quiet());
+    tps_inform("this should not appear");
+    detail::setQuiet(false);
+    EXPECT_FALSE(detail::quiet());
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(tps_fatal("config error ", 1), // NOLINT
+                ::testing::ExitedWithCode(1), "config error 1");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(tps_panic("invariant broken"), "invariant broken");
+}
+
+TEST(LoggingDeathTest, MessagesIncludeLocation)
+{
+    EXPECT_EXIT(tps_fatal("locate me"), ::testing::ExitedWithCode(1),
+                "logging_test.cc");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,163 @@
+/** @file Unit tests for the deterministic RNG and Zipf sampler. */
+
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tps
+{
+namespace
+{
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 100; ++i)
+        acc |= rng.next64();
+    EXPECT_NE(acc, 0u);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.below(8)];
+    for (int count : seen) {
+        EXPECT_GT(count, 300); // ~500 expected; catches gross bias
+        EXPECT_LT(count, 700);
+    }
+}
+
+TEST(RngTest, RangeIsInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.range(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BurstLengthMeanRoughlyInverseP)
+{
+    Rng rng(29);
+    double total = 0;
+    const int trials = 3000;
+    for (int i = 0; i < trials; ++i)
+        total += static_cast<double>(rng.burstLength(0.1));
+    EXPECT_NEAR(total / trials, 10.0, 1.5);
+}
+
+TEST(RngTest, BurstLengthHonorsCap)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LE(rng.burstLength(1e-9, 16), 16u);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero)
+{
+    ZipfSampler zipf(4, 0.0);
+    Rng rng(37);
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int count : counts)
+        EXPECT_NEAR(count, 2000, 300);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks)
+{
+    ZipfSampler zipf(100, 1.2);
+    Rng rng(41);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], 20000 / 100); // far above uniform share
+    // Monotone on average: first decile beats last decile.
+    int first = 0, last = 0;
+    for (int i = 0; i < 10; ++i) {
+        first += counts[i];
+        last += counts[90 + i];
+    }
+    EXPECT_GT(first, 5 * last);
+}
+
+TEST(ZipfTest, SingleRankAlwaysZero)
+{
+    ZipfSampler zipf(1, 1.0);
+    Rng rng(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,180 @@
+/** @file Unit tests for the hierarchical multi-size policy. */
+
+#include "vm/multi_size_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tps
+{
+namespace
+{
+
+class CountingSink : public InvalidationSink
+{
+  public:
+    void
+    invalidatePage(const PageId &page) override
+    {
+        invalidated.push_back(page);
+    }
+
+    std::size_t
+    countOfSize(unsigned size_log2) const
+    {
+        std::size_t count = 0;
+        for (const PageId &page : invalidated)
+            count += page.sizeLog2 == size_log2 ? 1 : 0;
+        return count;
+    }
+
+    std::vector<PageId> invalidated;
+};
+
+MultiSizeConfig
+threeLevel(RefTime window = 10'000)
+{
+    MultiSizeConfig config;
+    config.sizeLog2s = {12, 15, 18}; // 4K / 32K / 256K
+    config.window = window;
+    return config;
+}
+
+TEST(MultiSizeConfigTest, FanoutAndThreshold)
+{
+    const MultiSizeConfig config = threeLevel();
+    EXPECT_EQ(config.fanout(0), 8u);
+    EXPECT_EQ(config.fanout(1), 8u);
+    EXPECT_EQ(config.threshold(0), 4u);
+    EXPECT_EQ(config.threshold(1), 4u);
+}
+
+TEST(MultiSizePolicyTest, StartsAtSmallest)
+{
+    MultiSizePolicy policy(threeLevel());
+    EXPECT_EQ(policy.classify(0x2000'0000, 1).sizeLog2, 12);
+    EXPECT_EQ(policy.levelOf(0x2000'0000), 0u);
+}
+
+TEST(MultiSizePolicyTest, FirstLevelPromotionMatchesTwoSize)
+{
+    MultiSizePolicy policy(threeLevel());
+    RefTime now = 0;
+    for (unsigned b = 0; b < 3; ++b)
+        EXPECT_EQ(policy.classify(0x2000'0000 + b * 0x1000, ++now)
+                      .sizeLog2,
+                  12);
+    EXPECT_EQ(policy.classify(0x2000'3000, ++now).sizeLog2, 15);
+    EXPECT_EQ(policy.levelOf(0x2000'0000), 1u);
+}
+
+TEST(MultiSizePolicyTest, SecondLevelPromotionAtHalfTheChunks)
+{
+    MultiSizePolicy policy(threeLevel());
+    RefTime now = 0;
+    // Promote 4 of the 8 chunks of superchunk 0 (touch 4 blocks in
+    // each).
+    for (unsigned chunk = 0; chunk < 4; ++chunk) {
+        for (unsigned b = 0; b < 4; ++b) {
+            policy.classify(0x2000'0000 + chunk * 0x8000 + b * 0x1000,
+                            ++now);
+        }
+    }
+    // The 4th chunk promotion tips the superchunk.
+    EXPECT_EQ(policy.levelOf(0x2000'0000), 2u);
+    EXPECT_EQ(policy.classify(0x2000'0000, ++now).sizeLog2, 18);
+    // Even a never-promoted chunk inside it is now mapped at 256KB.
+    EXPECT_EQ(policy.classify(0x2003'8000, ++now).sizeLog2, 18);
+    // 4 chunk promotions + 1 superchunk promotion.
+    EXPECT_EQ(policy.stats().promotions, 5u);
+}
+
+TEST(MultiSizePolicyTest, SuperchunkPromotionInvalidatesAllFiner)
+{
+    CountingSink sink;
+    MultiSizePolicy policy(threeLevel());
+    policy.setInvalidationSink(&sink);
+    RefTime now = 0;
+    for (unsigned chunk = 0; chunk < 4; ++chunk)
+        for (unsigned b = 0; b < 4; ++b)
+            policy.classify(0x2000'0000 + chunk * 0x8000 + b * 0x1000,
+                            ++now);
+    // Four chunk promotions invalidate 8 small pages each; the
+    // superchunk promotion invalidates its 8 chunk pages and all 64
+    // small pages.
+    EXPECT_EQ(sink.countOfSize(15), 8u);
+    EXPECT_EQ(sink.countOfSize(12), 4u * 8 + 64u);
+}
+
+TEST(MultiSizePolicyTest, SparseChunksNeverCascade)
+{
+    MultiSizePolicy policy(threeLevel());
+    RefTime now = 0;
+    // Promote only 3 chunks: superchunk stays unpromoted.
+    for (unsigned chunk = 0; chunk < 3; ++chunk)
+        for (unsigned b = 0; b < 4; ++b)
+            policy.classify(0x2000'0000 + chunk * 0x8000 + b * 0x1000,
+                            ++now);
+    EXPECT_EQ(policy.levelOf(0x2000'0000), 1u);
+    EXPECT_EQ(policy.classify(0x2003'8000, ++now).sizeLog2, 12);
+}
+
+TEST(MultiSizePolicyTest, RefsPerLevelAccounted)
+{
+    MultiSizePolicy policy(threeLevel());
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    policy.classify(0x2000'0000, ++now);
+    const auto &levels = policy.refsPerLevel();
+    EXPECT_EQ(levels[0], 3u); // before promotion
+    EXPECT_EQ(levels[1], 2u); // promoting ref + next
+    EXPECT_EQ(levels[2], 0u);
+}
+
+TEST(MultiSizePolicyTest, TwoLevelDegeneratesToTwoSizeBehaviour)
+{
+    MultiSizeConfig config;
+    config.sizeLog2s = {12, 15};
+    config.window = 1'000;
+    MultiSizePolicy policy(config);
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x5000'0000 + b * 0x1000, ++now);
+    EXPECT_EQ(policy.classify(0x5000'0000, ++now).sizeLog2, 15);
+    EXPECT_EQ(policy.name(), "4KB/32KB");
+}
+
+TEST(MultiSizePolicyTest, ResetForgets)
+{
+    MultiSizePolicy policy(threeLevel());
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    policy.reset();
+    EXPECT_EQ(policy.levelOf(0x2000'0000), 0u);
+    EXPECT_EQ(policy.stats().promotions, 0u);
+}
+
+TEST(MultiSizePolicyTest, NameListsAllSizes)
+{
+    EXPECT_EQ(MultiSizePolicy(threeLevel()).name(), "4KB/32KB/256KB");
+}
+
+TEST(MultiSizePolicyDeathTest, RejectsBadLadders)
+{
+    MultiSizeConfig config;
+    config.sizeLog2s = {12};
+    EXPECT_EXIT(MultiSizePolicy{config}, ::testing::ExitedWithCode(1),
+                "levels");
+    config.sizeLog2s = {12, 12};
+    EXPECT_EXIT(MultiSizePolicy{config}, ::testing::ExitedWithCode(1),
+                "ascending");
+    config.sizeLog2s = {12, 20};
+    EXPECT_EXIT(MultiSizePolicy{config}, ::testing::ExitedWithCode(1),
+                "fanout");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,191 @@
+/** @file Unit tests for the page-table substrate and walker costs. */
+
+#include "vm/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace tps
+{
+namespace
+{
+
+TEST(ForwardPageTableTest, UnmappedWalkFails)
+{
+    ForwardPageTable table(kLog2_4K);
+    unsigned touches = 0;
+    EXPECT_EQ(table.walk(0x123, touches), nullptr);
+    EXPECT_GE(touches, 1u); // at least the root descriptor was read
+}
+
+TEST(ForwardPageTableTest, MapThenWalk)
+{
+    ForwardPageTable table(kLog2_4K);
+    table.map(0x123);
+    unsigned touches = 0;
+    const PageTableEntry *pte = table.walk(0x123, touches);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->valid);
+    EXPECT_EQ(touches, table.levels());
+    EXPECT_EQ(table.mappedPages(), 1u);
+}
+
+TEST(ForwardPageTableTest, DistinctFrames)
+{
+    ForwardPageTable table(kLog2_4K);
+    table.map(0x1);
+    table.map(0x2);
+    unsigned t = 0;
+    const PageTableEntry *a = table.walk(0x1, t);
+    const PageTableEntry *b = table.walk(0x2, t);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a->pfn, b->pfn);
+}
+
+TEST(ForwardPageTableTest, MapIdempotent)
+{
+    ForwardPageTable table(kLog2_4K);
+    table.map(0x5);
+    table.map(0x5);
+    EXPECT_EQ(table.mappedPages(), 1u);
+}
+
+TEST(ForwardPageTableTest, UnmapRemoves)
+{
+    ForwardPageTable table(kLog2_4K);
+    table.map(0x5);
+    table.unmap(0x5);
+    EXPECT_FALSE(table.isMapped(0x5));
+    EXPECT_EQ(table.mappedPages(), 0u);
+    // Unmapping absent entries is harmless.
+    table.unmap(0x5);
+    table.unmap(0x9999);
+}
+
+TEST(ForwardPageTableTest, SparseVpnsDoNotCollide)
+{
+    ForwardPageTable table(kLog2_4K, 48, 3);
+    const Addr far_apart[] = {0x0, 0xFFF, 0x100000, 0xFFFFFFFFF};
+    for (Addr vpn : far_apart)
+        table.map(vpn);
+    for (Addr vpn : far_apart)
+        EXPECT_TRUE(table.isMapped(vpn)) << std::hex << vpn;
+    EXPECT_EQ(table.mappedPages(), 4u);
+}
+
+TEST(ForwardPageTableTest, TableBytesGrowWithMappings)
+{
+    ForwardPageTable table(kLog2_4K);
+    const std::uint64_t empty = table.tableBytes();
+    table.map(0x0);
+    table.map(0x100000); // forces a second subtree
+    EXPECT_GT(table.tableBytes(), empty);
+}
+
+TEST(ForwardPageTableTest, SingleLevelWorks)
+{
+    ForwardPageTable table(kLog2_32K, 30, 1);
+    table.map(0x7);
+    unsigned touches = 0;
+    ASSERT_NE(table.walk(0x7, touches), nullptr);
+    EXPECT_EQ(touches, 1u);
+}
+
+TEST(HandlerCostModelTest, PaperConstantsReproduced)
+{
+    // Default model: 8 + 4*3 = 20 cycles for a 3-level single-size
+    // walk — the paper's Section 3.2 assumption.
+    HandlerCostModel costs;
+    EXPECT_EQ(costs.singleSizeCost(3), 20u);
+}
+
+TEST(AddressSpaceTest, SingleSizeMissCost)
+{
+    AddressSpace space(kLog2_4K, kLog2_32K);
+    const WalkResult result =
+        space.handleMissSingleSize(PageId{0x123, kLog2_4K});
+    EXPECT_TRUE(result.found);
+    EXPECT_TRUE(result.faulted); // first touch demand-faults
+    EXPECT_EQ(result.cycles, 20u);
+    EXPECT_EQ(space.faults(), 1u);
+
+    // Second miss on the same page: no fault, same walk cost.
+    const WalkResult again =
+        space.handleMissSingleSize(PageId{0x123, kLog2_4K});
+    EXPECT_FALSE(again.faulted);
+    EXPECT_EQ(again.cycles, 20u);
+}
+
+TEST(AddressSpaceTest, TwoSizeHandlerCostsMoreThanSingle)
+{
+    AddressSpace space(kLog2_4K, kLog2_32K);
+    // Map a small page, then handle misses with the two-size handler.
+    const WalkResult small_hit = space.handleMiss(
+        PageId{0x40, kLog2_4K}, ProbeOrder::SmallFirst);
+    EXPECT_TRUE(small_hit.found);
+    EXPECT_GT(small_hit.cycles, 20u); // size check overhead at least
+
+    // A large page probed small-first pays for the failed probe.
+    const WalkResult large_hit = space.handleMiss(
+        PageId{0x9, kLog2_32K}, ProbeOrder::SmallFirst);
+    EXPECT_TRUE(large_hit.found);
+    EXPECT_GT(large_hit.cycles, small_hit.cycles);
+}
+
+TEST(AddressSpaceTest, ProbeOrderMatters)
+{
+    AddressSpace a(kLog2_4K, kLog2_32K);
+    AddressSpace b(kLog2_4K, kLog2_32K);
+    const PageId large{0x9, kLog2_32K};
+    const WalkResult small_first =
+        a.handleMiss(large, ProbeOrder::SmallFirst);
+    const WalkResult large_first =
+        b.handleMiss(large, ProbeOrder::LargeFirst);
+    EXPECT_TRUE(small_first.found);
+    EXPECT_TRUE(large_first.found);
+    EXPECT_LT(large_first.cycles, small_first.cycles);
+}
+
+TEST(AddressSpaceTest, AverageTracksTwoSizeOverhead)
+{
+    // A half-small/half-large miss stream should average noticeably
+    // above the single-size 20 cycles — the paper's ~25% figure.
+    AddressSpace space(kLog2_4K, kLog2_32K);
+    for (Addr i = 0; i < 50; ++i) {
+        space.handleMiss(PageId{0x1000 + i, kLog2_4K},
+                         ProbeOrder::SmallFirst);
+        space.handleMiss(PageId{0x10 + i, kLog2_32K},
+                         ProbeOrder::SmallFirst);
+    }
+    const double avg = space.averageMissCycles();
+    EXPECT_GT(avg, 20.0);
+    EXPECT_LT(avg, 2.0 * 20.0);
+}
+
+TEST(AddressSpaceTest, RemapChunkMovesMappings)
+{
+    AddressSpace space(kLog2_4K, kLog2_32K);
+    // Fault in the 8 small pages of chunk 3.
+    for (Addr b = 0; b < 8; ++b)
+        space.handleMissSingleSize(PageId{3 * 8 + b, kLog2_4K});
+    EXPECT_EQ(space.smallTable().mappedPages(), 8u);
+
+    space.remapChunk(3, true);
+    EXPECT_EQ(space.smallTable().mappedPages(), 0u);
+    EXPECT_EQ(space.largeTable().mappedPages(), 1u);
+
+    space.remapChunk(3, false);
+    EXPECT_EQ(space.smallTable().mappedPages(), 8u);
+    EXPECT_EQ(space.largeTable().mappedPages(), 0u);
+}
+
+TEST(ForwardPageTableDeathTest, RejectsBadGeometry)
+{
+    EXPECT_EXIT((ForwardPageTable{kLog2_4K, 48, 0}),
+                ::testing::ExitedWithCode(1), "levels");
+    EXPECT_EXIT((ForwardPageTable{kLog2_4K, 10, 3}),
+                ::testing::ExitedWithCode(1), "must exceed");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,96 @@
+/** @file Unit tests for vm/page.h and the single-size policy. */
+
+#include "vm/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace tps
+{
+namespace
+{
+
+TEST(PageIdTest, BaseAddrAndSize)
+{
+    PageId page{0x5, kLog2_32K};
+    EXPECT_EQ(page.baseAddr(), 0x5ull << 15);
+    EXPECT_EQ(page.sizeBytes(), 32u * 1024);
+}
+
+TEST(PageIdTest, Containment)
+{
+    PageId page = pageOf(0x2000'8123, kLog2_32K);
+    EXPECT_TRUE(page.contains(0x2000'8000));
+    EXPECT_TRUE(page.contains(0x2000'FFFF));
+    EXPECT_FALSE(page.contains(0x2001'0000));
+}
+
+TEST(PageIdTest, SameVpnDifferentSizeNotEqual)
+{
+    PageId small{0x10, kLog2_4K};
+    PageId large{0x10, kLog2_32K};
+    EXPECT_FALSE(small == large);
+}
+
+TEST(PageIdTest, HashDistinguishesSizes)
+{
+    PageIdHash hash;
+    EXPECT_NE(hash(PageId{0x10, kLog2_4K}), hash(PageId{0x10, kLog2_32K}));
+}
+
+TEST(PageIdTest, HashSpreads)
+{
+    PageIdHash hash;
+    std::unordered_set<std::size_t> values;
+    for (Addr vpn = 0; vpn < 1000; ++vpn)
+        values.insert(hash(PageId{vpn, kLog2_4K}));
+    EXPECT_GT(values.size(), 990u); // near-perfect for small sets
+}
+
+TEST(SingleSizePolicyTest, ClassifiesByShift)
+{
+    SingleSizePolicy policy(kLog2_4K);
+    const PageId page = policy.classify(0x12345678, 1);
+    EXPECT_EQ(page.vpn, 0x12345u);
+    EXPECT_EQ(page.sizeLog2, kLog2_4K);
+}
+
+TEST(SingleSizePolicyTest, NeverMultiSize)
+{
+    SingleSizePolicy policy(kLog2_8K);
+    EXPECT_FALSE(policy.isMultiSize());
+}
+
+TEST(SingleSizePolicyTest, StatsCountRefs)
+{
+    SingleSizePolicy policy(kLog2_4K);
+    for (RefTime t = 1; t <= 10; ++t)
+        policy.classify(0x1000 * t, t);
+    EXPECT_EQ(policy.stats().refsSmall, 10u);
+    EXPECT_EQ(policy.stats().refsLarge, 0u);
+    EXPECT_DOUBLE_EQ(policy.stats().largeFraction(), 0.0);
+}
+
+TEST(SingleSizePolicyTest, ResetClearsStats)
+{
+    SingleSizePolicy policy(kLog2_4K);
+    policy.classify(0x1000, 1);
+    policy.reset();
+    EXPECT_EQ(policy.stats().refsSmall, 0u);
+}
+
+TEST(SingleSizePolicyTest, NameIsHumanReadable)
+{
+    EXPECT_EQ(SingleSizePolicy(kLog2_4K).name(), "4KB");
+    EXPECT_EQ(SingleSizePolicy(kLog2_32K).name(), "32KB");
+}
+
+TEST(SingleSizePolicyDeathTest, RejectsAbsurdSizes)
+{
+    EXPECT_EXIT(SingleSizePolicy{31}, ::testing::ExitedWithCode(1),
+                "implausible");
+}
+
+} // namespace
+} // namespace tps

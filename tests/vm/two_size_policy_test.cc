@@ -1,0 +1,287 @@
+/** @file Unit tests for the Section 3.4 page-size assignment policy. */
+
+#include "vm/two_size_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tps
+{
+namespace
+{
+
+/** Records invalidations for inspection. */
+class RecordingSink : public InvalidationSink
+{
+  public:
+    void
+    invalidatePage(const PageId &page) override
+    {
+        invalidated.push_back(page);
+    }
+
+    void
+    onChunkRemap(Addr chunk, bool to_large) override
+    {
+        remaps.emplace_back(chunk, to_large);
+    }
+
+    std::vector<PageId> invalidated;
+    std::vector<std::pair<Addr, bool>> remaps;
+};
+
+TwoSizeConfig
+testConfig(RefTime window = 1000)
+{
+    TwoSizeConfig config;
+    config.smallLog2 = kLog2_4K;
+    config.largeLog2 = kLog2_32K;
+    config.window = window;
+    return config;
+}
+
+TEST(TwoSizeConfigTest, Defaults)
+{
+    TwoSizeConfig config = testConfig();
+    EXPECT_EQ(config.blocksPerChunk(), 8u);
+    EXPECT_EQ(config.resolvedPromote(), 4u); // "half or more"
+}
+
+TEST(TwoSizeConfigTest, ExplicitThresholdWins)
+{
+    TwoSizeConfig config = testConfig();
+    config.promoteThreshold = 6;
+    EXPECT_EQ(config.resolvedPromote(), 6u);
+}
+
+TEST(TwoSizePolicyTest, StartsSmall)
+{
+    TwoSizePolicy policy(testConfig());
+    const PageId page = policy.classify(0x2000'0000, 1);
+    EXPECT_EQ(page.sizeLog2, kLog2_4K);
+    EXPECT_FALSE(policy.isLargeMapped(0x2000'0000));
+}
+
+TEST(TwoSizePolicyTest, PromotesAtHalfTheBlocks)
+{
+    TwoSizePolicy policy(testConfig());
+    RefTime now = 0;
+    // Touch blocks 0..2: three distinct blocks -> still small.
+    for (unsigned b = 0; b < 3; ++b) {
+        const PageId page =
+            policy.classify(0x2000'0000 + b * 0x1000, ++now);
+        EXPECT_EQ(page.sizeLog2, kLog2_4K);
+    }
+    // Fourth block reaches the threshold: promoted.
+    const PageId page = policy.classify(0x2000'3000, ++now);
+    EXPECT_EQ(page.sizeLog2, kLog2_32K);
+    EXPECT_TRUE(policy.isLargeMapped(0x2000'0000));
+    EXPECT_EQ(policy.stats().promotions, 1u);
+}
+
+TEST(TwoSizePolicyTest, RepeatTouchesOfOneBlockNeverPromote)
+{
+    TwoSizePolicy policy(testConfig());
+    for (RefTime t = 1; t <= 500; ++t) {
+        const PageId page = policy.classify(0x2000'0000 + (t % 64) * 8,
+                                            t);
+        ASSERT_EQ(page.sizeLog2, kLog2_4K);
+    }
+    EXPECT_EQ(policy.stats().promotions, 0u);
+}
+
+TEST(TwoSizePolicyTest, ExpiredBlocksDoNotCount)
+{
+    TwoSizePolicy policy(testConfig(100));
+    RefTime now = 0;
+    // Three blocks long ago...
+    for (unsigned b = 0; b < 3; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    // ...expire, then one more recent block: 2 active, no promotion.
+    now += 200;
+    policy.classify(0x2000'3000, ++now);
+    PageId page = policy.classify(0x2000'4000, ++now);
+    EXPECT_EQ(page.sizeLog2, kLog2_4K);
+    EXPECT_EQ(policy.stats().promotions, 0u);
+}
+
+TEST(TwoSizePolicyTest, PromotionInvalidatesSmallPagesAndRemaps)
+{
+    RecordingSink sink;
+    TwoSizePolicy policy(testConfig());
+    policy.setInvalidationSink(&sink);
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    // All 8 small-page translations of the chunk are shot down.
+    ASSERT_EQ(sink.invalidated.size(), 8u);
+    for (unsigned b = 0; b < 8; ++b) {
+        EXPECT_EQ(sink.invalidated[b].vpn, (0x2000'0000u >> 12) + b);
+        EXPECT_EQ(sink.invalidated[b].sizeLog2, kLog2_4K);
+    }
+    ASSERT_EQ(sink.remaps.size(), 1u);
+    EXPECT_EQ(sink.remaps[0].first, 0x2000'0000u >> 15);
+    EXPECT_TRUE(sink.remaps[0].second);
+}
+
+TEST(TwoSizePolicyTest, NoDemotionByDefault)
+{
+    TwoSizePolicy policy(testConfig(100));
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    ASSERT_TRUE(policy.isLargeMapped(0x2000'0000));
+    // Return long after everything expired: stays large.
+    now += 10'000;
+    const PageId page = policy.classify(0x2000'0000, ++now);
+    EXPECT_EQ(page.sizeLog2, kLog2_32K);
+    EXPECT_EQ(policy.stats().demotions, 0u);
+}
+
+TEST(TwoSizePolicyTest, DemotionWhenEnabled)
+{
+    RecordingSink sink;
+    TwoSizeConfig config = testConfig(100);
+    config.demoteThreshold = 4; // symmetric with promote
+    TwoSizePolicy policy(config);
+    policy.setInvalidationSink(&sink);
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    ASSERT_TRUE(policy.isLargeMapped(0x2000'0000));
+    sink.invalidated.clear();
+
+    now += 10'000; // window empties
+    const PageId page = policy.classify(0x2000'0000, ++now);
+    EXPECT_EQ(page.sizeLog2, kLog2_4K);
+    EXPECT_EQ(policy.stats().demotions, 1u);
+    // The large-page translation was shot down.
+    ASSERT_EQ(sink.invalidated.size(), 1u);
+    EXPECT_EQ(sink.invalidated[0].sizeLog2, kLog2_32K);
+    ASSERT_EQ(sink.remaps.size(), 2u);
+    EXPECT_FALSE(sink.remaps[1].second);
+}
+
+TEST(TwoSizePolicyTest, ChunksIndependent)
+{
+    TwoSizePolicy policy(testConfig());
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    EXPECT_TRUE(policy.isLargeMapped(0x2000'0000));
+    EXPECT_FALSE(policy.isLargeMapped(0x2000'8000));
+    const PageId other = policy.classify(0x2000'8000, ++now);
+    EXPECT_EQ(other.sizeLog2, kLog2_4K);
+}
+
+TEST(TwoSizePolicyTest, StatsTrackSizeMix)
+{
+    TwoSizePolicy policy(testConfig());
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now); // 4 small
+    policy.classify(0x2000'0000, ++now);                  // 1 large
+    // The promoting reference itself is classified large.
+    EXPECT_EQ(policy.stats().refsSmall, 3u);
+    EXPECT_EQ(policy.stats().refsLarge, 2u);
+    EXPECT_DOUBLE_EQ(policy.stats().largeFraction(), 0.4);
+}
+
+TEST(TwoSizePolicyTest, ResetForgetsEverything)
+{
+    TwoSizePolicy policy(testConfig());
+    RefTime now = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        policy.classify(0x2000'0000 + b * 0x1000, ++now);
+    policy.reset();
+    EXPECT_FALSE(policy.isLargeMapped(0x2000'0000));
+    EXPECT_EQ(policy.stats().promotions, 0u);
+    EXPECT_EQ(policy.trackedChunks(), 0u);
+}
+
+TEST(TwoSizePolicyTest, OtherSizeRatios)
+{
+    // 4KB/64KB: 16 blocks, promote at 8.
+    TwoSizeConfig config = testConfig();
+    config.largeLog2 = kLog2_64K;
+    EXPECT_EQ(config.blocksPerChunk(), 16u);
+    TwoSizePolicy policy(config);
+    RefTime now = 0;
+    for (unsigned b = 0; b < 7; ++b)
+        EXPECT_EQ(policy.classify(0x10000 * 5 + b * 0x1000, ++now)
+                      .sizeLog2,
+                  kLog2_4K);
+    EXPECT_EQ(policy.classify(0x10000 * 5 + 7 * 0x1000, ++now).sizeLog2,
+              kLog2_64K);
+}
+
+TEST(TwoSizePolicyTest, WorstCaseDoublingBound)
+{
+    // Paper Section 3.4: promoting at half the blocks at most doubles
+    // the memory mapped for the chunk (4 blocks * 4KB -> 32KB).
+    TwoSizeConfig config = testConfig();
+    const std::uint64_t small_bytes =
+        config.resolvedPromote() *
+        (std::uint64_t{1} << config.smallLog2);
+    const std::uint64_t large_bytes = std::uint64_t{1}
+                                      << config.largeLog2;
+    EXPECT_LE(large_bytes, 2 * small_bytes);
+}
+
+TEST(TwoSizePolicyDeathTest, RejectsInvertedSizes)
+{
+    TwoSizeConfig config;
+    config.smallLog2 = kLog2_32K;
+    config.largeLog2 = kLog2_4K;
+    EXPECT_EXIT(TwoSizePolicy{config}, ::testing::ExitedWithCode(1),
+                "must exceed");
+}
+
+TEST(TwoSizePolicyDeathTest, RejectsZeroWindow)
+{
+    TwoSizeConfig config = testConfig();
+    config.window = 0;
+    EXPECT_EXIT(TwoSizePolicy{config}, ::testing::ExitedWithCode(1),
+                "window");
+}
+
+TEST(TwoSizePolicyDeathTest, RejectsOversizedRatio)
+{
+    TwoSizeConfig config = testConfig();
+    config.smallLog2 = 12;
+    config.largeLog2 = 20; // 256 blocks > 64 supported
+    EXPECT_EXIT(TwoSizePolicy{config}, ::testing::ExitedWithCode(1),
+                "blocks per chunk");
+}
+
+/** Parameterized sweep: promotion happens exactly at the threshold. */
+class ThresholdTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThresholdTest, PromotesExactlyAtThreshold)
+{
+    const unsigned threshold = GetParam();
+    TwoSizeConfig config = testConfig();
+    config.promoteThreshold = threshold;
+    TwoSizePolicy policy(config);
+    RefTime now = 0;
+    for (unsigned b = 0; b + 1 < threshold; ++b) {
+        ASSERT_EQ(
+            policy.classify(0x4000'0000 + b * 0x1000, ++now).sizeLog2,
+            kLog2_4K);
+    }
+    EXPECT_EQ(policy
+                  .classify(0x4000'0000 + (threshold - 1) * 0x1000,
+                            ++now)
+                  .sizeLog2,
+              kLog2_32K);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThresholds, ThresholdTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Per-workload structural contracts: each generator's distinguishing
+ * memory behaviour — the property that earns it its role in the
+ * paper's story — is asserted directly, so future tuning can't
+ * silently erase the contrasts the figures depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/trace_stats.h"
+#include "vm/page.h"
+#include "workloads/registry.h"
+
+namespace tps::workloads
+{
+namespace
+{
+
+TraceStats
+statsOf(const char *name, std::uint64_t refs)
+{
+    auto workload = findWorkload(name).instantiate();
+    return collectTraceStats(*workload, refs);
+}
+
+/** Distinct 4KB blocks touched per 32KB chunk over a window. */
+std::map<Addr, std::set<unsigned>>
+chunkDensity(const char *name, std::uint64_t refs, bool data_only)
+{
+    auto workload = findWorkload(name).instantiate();
+    std::map<Addr, std::set<unsigned>> density;
+    MemRef ref;
+    for (std::uint64_t n = 0; n < refs && workload->next(ref); ++n) {
+        if (data_only && ref.isInstruction())
+            continue;
+        density[ref.vaddr >> kLog2_32K].insert(
+            static_cast<unsigned>((ref.vaddr >> kLog2_4K) & 7));
+    }
+    return density;
+}
+
+TEST(BehaviourTest, WormChunksStaySparse)
+{
+    // worm's defining property: <= 3 blocks per data chunk, ever.
+    const auto density = chunkDensity("worm", 500'000, true);
+    EXPECT_GT(density.size(), 20u);
+    for (const auto &[chunk, blocks] : density)
+        EXPECT_LE(blocks.size(), 3u) << "chunk " << std::hex << chunk;
+}
+
+TEST(BehaviourTest, EspressoCoverChunksStaySparse)
+{
+    // The cover-table excursions must never reach the promotion
+    // threshold (4 blocks); the hot region and code may be dense.
+    auto workload = findWorkload("espresso").instantiate();
+    std::map<Addr, std::set<unsigned>> density;
+    MemRef ref;
+    for (std::uint64_t n = 0; n < 500'000 && workload->next(ref);
+         ++n) {
+        if (ref.vaddr < 0x2010'0000) // hot region + text
+            continue;
+        density[ref.vaddr >> kLog2_32K].insert(
+            static_cast<unsigned>((ref.vaddr >> kLog2_4K) & 7));
+    }
+    EXPECT_GT(density.size(), 10u); // excursions do happen
+    for (const auto &[chunk, blocks] : density)
+        EXPECT_LE(blocks.size(), 3u);
+}
+
+TEST(BehaviourTest, FppppIsCodeHeavy)
+{
+    const TraceStats stats = statsOf("fpppp", 300'000);
+    // Huge text: instruction fetches dominate and code pages are a
+    // large share of the footprint.
+    EXPECT_GT(stats.instructions, stats.loads + stats.stores);
+    EXPECT_GT(stats.codePages4k, 40u);
+    EXPECT_GT(stats.codePages4k, stats.dataPages4k);
+}
+
+TEST(BehaviourTest, X11perfIsStoreHeavy)
+{
+    const TraceStats stats = statsOf("x11perf", 300'000);
+    EXPECT_GT(stats.stores, stats.loads); // framebuffer blitting
+}
+
+TEST(BehaviourTest, LiHeapIsSparse)
+{
+    // Pools sit in every other 32KB chunk: consecutive touched data
+    // chunks should show gaps.
+    const auto density = chunkDensity("li", 400'000, true);
+    std::size_t heap_chunks = 0;
+    for (const auto &[chunk, blocks] : density) {
+        const Addr addr = chunk << kLog2_32K;
+        if (addr >= 0x2000'0000 && addr < 0x3000'0000)
+            ++heap_chunks;
+    }
+    // 20 pools at 64KB spacing = 20 used chunks out of 40 covered.
+    EXPECT_GE(heap_chunks, 10u);
+    EXPECT_LE(heap_chunks, 22u);
+}
+
+TEST(BehaviourTest, Matrix300HasLargeStrideOperand)
+{
+    // The B operand strides 2400 bytes: consecutive loads to the B
+    // region must frequently cross 4KB pages.
+    auto workload = findWorkload("matrix300").instantiate();
+    MemRef ref;
+    Addr prev_b = 0;
+    std::uint64_t b_loads = 0, b_page_changes = 0;
+    for (std::uint64_t n = 0; n < 300'000 && workload->next(ref);
+         ++n) {
+        if (ref.type != RefType::Load)
+            continue;
+        if (ref.vaddr >= 0x200C'0000 && ref.vaddr < 0x2018'0000) {
+            if (prev_b != 0 &&
+                (ref.vaddr >> kLog2_4K) != (prev_b >> kLog2_4K))
+                ++b_page_changes;
+            prev_b = ref.vaddr;
+            ++b_loads;
+        }
+    }
+    ASSERT_GT(b_loads, 10'000u);
+    // 2400B stride: a page boundary every ~1.7 accesses.
+    EXPECT_GT(static_cast<double>(b_page_changes) /
+                  static_cast<double>(b_loads),
+              0.4);
+}
+
+TEST(BehaviourTest, TomcatvStreamsShareThePitch)
+{
+    // All arrays live in one common block at fixed pitch; the paper's
+    // anomaly requires lockstep streams.  Verify accesses to at least
+    // 3 distinct arrays occur within short windows.
+    auto workload = findWorkload("tomcatv").instantiate();
+    MemRef ref;
+    std::set<Addr> arrays_in_window;
+    std::size_t windows_with_3 = 0, windows = 0;
+    std::uint64_t n = 0;
+    while (n < 200'000 && workload->next(ref)) {
+        ++n;
+        if (ref.isData())
+            arrays_in_window.insert((ref.vaddr - 0x2000'0000) /
+                                    528'392);
+        if (n % 64 == 0) {
+            ++windows;
+            windows_with_3 += arrays_in_window.size() >= 3 ? 1 : 0;
+            arrays_in_window.clear();
+        }
+    }
+    EXPECT_GT(windows_with_3, windows / 4);
+}
+
+TEST(BehaviourTest, VerilogActivityClusters)
+{
+    // 85% of gate evaluations stay inside the rotating clock domain:
+    // within a short window, data accesses should concentrate in few
+    // chunks, yet the long-run footprint is the whole netlist.
+    const TraceStats long_run = statsOf("verilog", 1'000'000);
+    EXPECT_GT(long_run.footprintBytes(), 1'500'000u);
+
+    auto workload = findWorkload("verilog").instantiate();
+    MemRef ref;
+    std::set<Addr> chunks;
+    std::uint64_t n = 0;
+    while (n < 2'000 && workload->next(ref)) {
+        ++n;
+        if (ref.isData())
+            chunks.insert(ref.vaddr >> kLog2_32K);
+    }
+    EXPECT_LT(chunks.size(), 55u); // clustered (uniform would cover ~69)
+}
+
+TEST(BehaviourTest, EqntottScansDominate)
+{
+    // Outside the quicksort phase, loads walk the two vectors
+    // sequentially: the median inter-access delta within the vector
+    // regions is the element size.
+    auto workload = findWorkload("eqntott").instantiate();
+    MemRef ref;
+    Addr prev_a = 0;
+    std::uint64_t seq = 0, total = 0;
+    for (std::uint64_t n = 0; n < 200'000 && workload->next(ref);
+         ++n) {
+        if (ref.type != RefType::Load || ref.vaddr >= 0x2011'D000)
+            continue;
+        if (prev_a != 0) {
+            ++total;
+            seq += (ref.vaddr - prev_a) == 8 ? 1 : 0;
+        }
+        prev_a = ref.vaddr;
+    }
+    ASSERT_GT(total, 20'000u);
+    EXPECT_GT(static_cast<double>(seq) / static_cast<double>(total),
+              0.7);
+}
+
+TEST(BehaviourTest, DoducRegionsStraddleThreshold)
+{
+    // Region sizes 8-24KB = 2..6 blocks: some chunks promotable, some
+    // not — the "mixed" program by construction.
+    const auto density = chunkDensity("doduc", 600'000, true);
+    std::size_t below = 0, at_or_above = 0;
+    for (const auto &[chunk, blocks] : density) {
+        if (blocks.size() >= 4)
+            ++at_or_above;
+        else
+            ++below;
+    }
+    EXPECT_GT(below, 5u);
+    EXPECT_GT(at_or_above, 5u);
+}
+
+TEST(BehaviourTest, XnewsHasFocusLocality)
+{
+    // 60% of widget accesses hit the focused widget: short windows of
+    // widget-region accesses should concentrate on few pages.
+    auto workload = findWorkload("xnews").instantiate();
+    MemRef ref;
+    std::map<Addr, unsigned> page_counts;
+    std::uint64_t widget_refs = 0;
+    for (std::uint64_t n = 0; n < 30'000 && workload->next(ref);
+         ++n) {
+        if (!ref.isData() || ref.vaddr >= 0x2020'0000 ||
+            ref.vaddr < 0x2000'0000)
+            continue;
+        ++page_counts[ref.vaddr >> kLog2_4K];
+        ++widget_refs;
+    }
+    ASSERT_GT(widget_refs, 3'000u);
+    unsigned max_count = 0;
+    for (const auto &[page, count] : page_counts)
+        max_count = std::max(max_count, count);
+    // The hottest page holds far more than a uniform share.
+    EXPECT_GT(max_count, widget_refs / 50);
+}
+
+TEST(BehaviourTest, Nasa7HasDistinctPhases)
+{
+    // Phase footprints differ: the FFT phase touches the 1MB array
+    // region, the mxm phase the matrix regions.
+    auto workload = findWorkload("nasa7").instantiate();
+    MemRef ref;
+    std::set<Addr> first_phase, second_phase;
+    std::uint64_t n = 0;
+    // Phase length is 60k behave-steps ~ 200k refs.
+    while (n < 420'000 && workload->next(ref)) {
+        ++n;
+        if (!ref.isData())
+            continue;
+        (n < 190'000 ? first_phase : second_phase)
+            .insert(ref.vaddr >> kLog2_32K);
+    }
+    std::size_t overlap = 0;
+    for (Addr chunk : first_phase)
+        overlap += second_phase.count(chunk);
+    // Mostly disjoint chunk sets across phases.
+    EXPECT_LT(overlap * 2, first_phase.size() + second_phase.size());
+}
+
+} // namespace
+} // namespace tps::workloads

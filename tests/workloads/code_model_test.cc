@@ -1,0 +1,101 @@
+/** @file Unit tests for workloads/code_model.h. */
+
+#include "workloads/code_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tps::workloads
+{
+namespace
+{
+
+CodeModelConfig
+smallConfig()
+{
+    CodeModelConfig config;
+    config.functions = 8;
+    config.avgFuncBytes = 512;
+    return config;
+}
+
+TEST(CodeModelTest, FetchesStayInText)
+{
+    CodeModel code(smallConfig());
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr pc = code.nextFetch(rng);
+        EXPECT_GE(pc, kTextBase);
+        EXPECT_LT(pc, kTextBase + code.textBytes());
+    }
+}
+
+TEST(CodeModelTest, FetchesAreInstructionAligned)
+{
+    CodeModel code(smallConfig());
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(code.nextFetch(rng) & 3, 0u);
+}
+
+TEST(CodeModelTest, DeterministicGivenSameRngStream)
+{
+    CodeModel a(smallConfig()), b(smallConfig());
+    Rng rng_a(3), rng_b(3);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_EQ(a.nextFetch(rng_a), b.nextFetch(rng_b));
+}
+
+TEST(CodeModelTest, ResetRestartsAtEntry)
+{
+    CodeModel code(smallConfig());
+    Rng rng1(4);
+    const Addr first = code.nextFetch(rng1);
+    for (int i = 0; i < 100; ++i)
+        code.nextFetch(rng1);
+    code.reset();
+    Rng rng2(4);
+    EXPECT_EQ(code.nextFetch(rng2), first);
+}
+
+TEST(CodeModelTest, TextBytesScalesWithFunctions)
+{
+    CodeModelConfig small = smallConfig();
+    CodeModelConfig big = smallConfig();
+    big.functions = 64;
+    EXPECT_GT(CodeModel(big).textBytes(), CodeModel(small).textBytes());
+}
+
+TEST(CodeModelTest, MultiplePagesVisitedWithManyFunctions)
+{
+    CodeModelConfig config;
+    config.functions = 32;
+    config.avgFuncBytes = 2048;
+    config.callRate = 0.05;
+    CodeModel code(config);
+    Rng rng(5);
+    std::set<Addr> pages;
+    for (int i = 0; i < 50000; ++i)
+        pages.insert(code.nextFetch(rng) >> 12);
+    EXPECT_GT(pages.size(), 4u);
+}
+
+TEST(CodeModelTest, HotFunctionDominatesWithSkew)
+{
+    CodeModelConfig config = smallConfig();
+    config.zipfSkew = 1.5;
+    config.callRate = 0.1;
+    CodeModel code(config);
+    Rng rng(6);
+    // Function 0 is rank 0: its first page should see the most
+    // fetches.
+    std::uint64_t first_page = kTextBase >> 12;
+    int hits = 0, total = 30000;
+    for (int i = 0; i < total; ++i)
+        hits += (code.nextFetch(rng) >> 12) == first_page ? 1 : 0;
+    EXPECT_GT(hits, total / 8);
+}
+
+} // namespace
+} // namespace tps::workloads

@@ -1,0 +1,137 @@
+/** @file Unit tests for workloads/patterns.h. */
+
+#include "workloads/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tps::workloads
+{
+namespace
+{
+
+TEST(SweepTest, SequentialAndWraps)
+{
+    Sweep sweep(0x1000, 32, 8);
+    EXPECT_EQ(sweep.next(), 0x1000u);
+    EXPECT_EQ(sweep.next(), 0x1008u);
+    EXPECT_EQ(sweep.next(), 0x1010u);
+    EXPECT_FALSE(sweep.wrapped());
+    EXPECT_EQ(sweep.next(), 0x1018u);
+    EXPECT_TRUE(sweep.wrapped());
+    EXPECT_EQ(sweep.next(), 0x1000u); // wrapped to start
+}
+
+TEST(SweepTest, NegativeStrideNormalized)
+{
+    Sweep sweep(0x1000, 32, -8);
+    EXPECT_EQ(sweep.next(), 0x1000u);
+    EXPECT_EQ(sweep.next(), 0x1018u); // -8 mod 32 = 24
+}
+
+TEST(SweepTest, ZeroStrideStillAdvances)
+{
+    Sweep sweep(0x1000, 32, 0);
+    const Addr first = sweep.next();
+    const Addr second = sweep.next();
+    EXPECT_NE(first, second);
+}
+
+TEST(SweepTest, RestartRewinds)
+{
+    Sweep sweep(0x2000, 64, 16);
+    sweep.next();
+    sweep.next();
+    sweep.restart();
+    EXPECT_EQ(sweep.next(), 0x2000u);
+}
+
+TEST(SweepTest, LargeStrideCoversAllPagesOfRegion)
+{
+    // The matrix300 B-operand pattern: stride 2400 over 64KB.
+    Sweep sweep(0x0, 64 * 1024, 2400);
+    std::set<Addr> pages;
+    for (int i = 0; i < 10000; ++i)
+        pages.insert(sweep.next() >> 12);
+    EXPECT_EQ(pages.size(), 16u); // every 4KB page touched
+}
+
+TEST(PointerChaseTest, VisitsEveryCellOncePerCycle)
+{
+    Rng rng(5);
+    PointerChase chase(0x10000, 1024, 64, rng);
+    ASSERT_EQ(chase.cells(), 16u);
+    std::set<Addr> seen;
+    for (unsigned i = 0; i < chase.cells(); ++i)
+        seen.insert(chase.next());
+    EXPECT_EQ(seen.size(), chase.cells()); // single full cycle
+}
+
+TEST(PointerChaseTest, CycleRepeatsIdentically)
+{
+    Rng rng(6);
+    PointerChase chase(0x0, 512, 32, rng);
+    std::vector<Addr> first, second;
+    for (unsigned i = 0; i < chase.cells(); ++i)
+        first.push_back(chase.next());
+    for (unsigned i = 0; i < chase.cells(); ++i)
+        second.push_back(chase.next());
+    EXPECT_EQ(first, second);
+}
+
+TEST(PointerChaseTest, AddressesInRegion)
+{
+    Rng rng(7);
+    PointerChase chase(0x40000, 4096, 16, rng);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = chase.next();
+        EXPECT_GE(addr, 0x40000u);
+        EXPECT_LT(addr, 0x41000u);
+    }
+}
+
+TEST(ZipfObjectsTest, AddressesInRegion)
+{
+    ZipfObjects objects(0x100000, 64, 2048, 1.0);
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = objects.next(rng);
+        EXPECT_GE(addr, 0x100000u);
+        EXPECT_LT(addr, 0x100000u + objects.regionBytes());
+    }
+}
+
+TEST(ZipfObjectsTest, HotObjectDominates)
+{
+    ZipfObjects objects(0x0, 32, 4096, 1.5);
+    Rng rng(9);
+    const Addr hot_base = objects.objectBase(0);
+    int hot = 0;
+    const int draws = 5000;
+    for (int i = 0; i < draws; ++i) {
+        const Addr addr = objects.next(rng);
+        hot += (addr >= hot_base && addr < hot_base + 4096) ? 1 : 0;
+    }
+    EXPECT_GT(hot, draws / 8); // far above the uniform 1/32 share
+}
+
+TEST(ZipfObjectsTest, PlacementScattersHotRanks)
+{
+    // Popularity rank 0 and 1 should usually not be adjacent in
+    // memory thanks to the placement shuffle.
+    int adjacent = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ZipfObjects objects(0x0, 256, 1024, 1.0, seed);
+        const Addr delta = objects.objectBase(0) > objects.objectBase(1)
+                               ? objects.objectBase(0) -
+                                     objects.objectBase(1)
+                               : objects.objectBase(1) -
+                                     objects.objectBase(0);
+        adjacent += delta == 1024 ? 1 : 0;
+    }
+    EXPECT_LT(adjacent, 5);
+}
+
+} // namespace
+} // namespace tps::workloads

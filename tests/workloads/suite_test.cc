@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Parameterized conformance tests over the entire Table 3.1 workload
+ * suite: every generator must be deterministic, resettable, infinite,
+ * emit a plausible instruction mix, and keep its documented footprint
+ * scale.
+ */
+
+#include "workloads/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/trace_stats.h"
+#include "trace/vector_trace.h"
+#include "vm/two_size_policy.h"
+
+namespace tps::workloads
+{
+namespace
+{
+
+class SuiteTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<SyntheticWorkload>
+    make()
+    {
+        return findWorkload(GetParam()).instantiate();
+    }
+};
+
+TEST_P(SuiteTest, IsInfiniteSource)
+{
+    auto workload = make();
+    MemRef ref;
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_TRUE(workload->next(ref));
+}
+
+TEST_P(SuiteTest, DeterministicAcrossInstances)
+{
+    auto a = make();
+    auto b = make();
+    MemRef ra, rb;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(a->next(ra));
+        ASSERT_TRUE(b->next(rb));
+        ASSERT_EQ(ra, rb) << "diverged at ref " << i;
+    }
+}
+
+TEST_P(SuiteTest, ResetReplaysExactly)
+{
+    auto workload = make();
+    VectorTrace first = materialize(*workload, 30000);
+    workload->reset();
+    VectorTrace second = materialize(*workload, 30000);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first.refs(), second.refs());
+}
+
+TEST_P(SuiteTest, DifferentSeedsProduceDifferentStreams)
+{
+    const auto &info = findWorkload(GetParam());
+    auto a = info.make(1);
+    auto b = info.make(2);
+    MemRef ra, rb;
+    int same = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        a->next(ra);
+        b->next(rb);
+        same += ra == rb ? 1 : 0;
+    }
+    // Deterministic phase structure may coincide, but not everywhere.
+    EXPECT_LT(same, n);
+}
+
+TEST_P(SuiteTest, InstructionMixPlausible)
+{
+    auto workload = make();
+    const TraceStats stats = collectTraceStats(*workload, 200000);
+    EXPECT_GT(stats.instructions, 0u);
+    // RPI in a plausible band: >1 (there is data traffic) and <4
+    // (not absurdly data-heavy).
+    EXPECT_GT(stats.rpi(), 1.05);
+    EXPECT_LT(stats.rpi(), 4.0);
+    EXPECT_GT(stats.loads, 0u);
+}
+
+TEST_P(SuiteTest, FootprintInStudyBand)
+{
+    auto workload = make();
+    const TraceStats stats = collectTraceStats(*workload, 1000000);
+    // The paper's programs touch 0.1MB..8MB; generators must stay in
+    // a band where 16-64 entry TLBs are meaningfully exercised.
+    EXPECT_GE(stats.footprintBytes(), 64u * 1024);
+    EXPECT_LE(stats.footprintBytes(), 8u * 1024 * 1024);
+}
+
+TEST_P(SuiteTest, TouchesBothCodeAndData)
+{
+    auto workload = make();
+    const TraceStats stats = collectTraceStats(*workload, 100000);
+    EXPECT_GT(stats.codePages4k, 0u);
+    EXPECT_GT(stats.dataPages4k, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SuiteTest, ::testing::ValuesIn(suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(RegistryTest, HasTwelveWorkloads)
+{
+    EXPECT_EQ(suite().size(), 12u);
+}
+
+TEST(RegistryTest, NamesUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (const auto &info : suite()) {
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_TRUE(names.insert(info.name).second)
+            << "duplicate " << info.name;
+    }
+}
+
+TEST(RegistryTest, FindWorkloadRoundTrips)
+{
+    for (const auto &info : suite())
+        EXPECT_EQ(findWorkload(info.name).name, info.name);
+}
+
+TEST(RegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findWorkload("no-such-program"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+/**
+ * Paper-specific behavioural contracts: worm must underuse large
+ * pages, matrix300/nasa7 must promote heavily (Section 5.2's
+ * explanation of who wins and who loses).
+ */
+TEST(SuiteBehaviourTest, WormAvoidsPromotion)
+{
+    auto workload = findWorkload("worm").instantiate();
+    TwoSizeConfig config;
+    config.window = 100000;
+    TwoSizePolicy policy(config);
+    MemRef ref;
+    RefTime now = 0;
+    while (now < 500000 && workload->next(ref))
+        policy.classify(ref.vaddr, ++now);
+    EXPECT_LT(policy.stats().largeFraction(), 0.05);
+}
+
+TEST(SuiteBehaviourTest, Nasa7PromotesHeavily)
+{
+    auto workload = findWorkload("nasa7").instantiate();
+    TwoSizeConfig config;
+    config.window = 100000;
+    TwoSizePolicy policy(config);
+    MemRef ref;
+    RefTime now = 0;
+    while (now < 500000 && workload->next(ref))
+        policy.classify(ref.vaddr, ++now);
+    EXPECT_GT(policy.stats().largeFraction(), 0.5);
+}
+
+} // namespace
+} // namespace tps::workloads

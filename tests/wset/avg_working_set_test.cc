@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the gap-based average working-set analyzer, including a
+ * brute-force cross-validation of the Slutz-Traiger identity.
+ */
+
+#include "wset/avg_working_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+#include "vm/page.h"
+
+namespace tps
+{
+namespace
+{
+
+/** Brute force: recompute w(t) from scratch at every t. */
+double
+bruteForceAvgBytes(const std::vector<Addr> &addrs, unsigned size_log2,
+                   RefTime window)
+{
+    double total = 0.0;
+    for (std::size_t t = 1; t <= addrs.size(); ++t) {
+        std::set<Addr> pages;
+        const std::size_t begin =
+            t > window ? t - static_cast<std::size_t>(window) : 0;
+        for (std::size_t i = begin; i < t; ++i)
+            pages.insert(addrs[i] >> size_log2);
+        total += static_cast<double>(pages.size()) *
+                 static_cast<double>(std::uint64_t{1} << size_log2);
+    }
+    return total / static_cast<double>(addrs.size());
+}
+
+std::vector<Addr>
+randomTrace(std::size_t refs, Addr page_span, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> addrs;
+    addrs.reserve(refs);
+    for (std::size_t i = 0; i < refs; ++i)
+        addrs.push_back(rng.below(page_span * 4096));
+    return addrs;
+}
+
+TEST(AvgWorkingSetTest, SinglePageAlwaysResident)
+{
+    AvgWorkingSet wset({kLog2_4K}, {10});
+    for (int i = 0; i < 100; ++i)
+        wset.observe(0x1000);
+    wset.finish();
+    EXPECT_DOUBLE_EQ(wset.averageBytes(0, 0), 4096.0);
+    EXPECT_EQ(wset.distinctPages(0), 1u);
+}
+
+TEST(AvgWorkingSetTest, DisjointPagesWideWindow)
+{
+    // Window larger than the trace: every touched page stays resident
+    // from its first touch on.
+    AvgWorkingSet wset({kLog2_4K}, {1000});
+    wset.observe(0x1000); // w=1 for t=1..
+    wset.observe(0x2000); // w=2
+    wset.observe(0x3000); // w=3
+    wset.finish();
+    EXPECT_DOUBLE_EQ(wset.averageBytes(0, 0), (1 + 2 + 3) / 3.0 * 4096);
+}
+
+TEST(AvgWorkingSetTest, WindowOneIsAlwaysOnePage)
+{
+    AvgWorkingSet wset({kLog2_4K}, {1});
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        wset.observe(rng.below(1 << 20));
+    wset.finish();
+    EXPECT_DOUBLE_EQ(wset.averageBytes(0, 0), 4096.0);
+}
+
+TEST(AvgWorkingSetTest, MatchesBruteForceRandomTraces)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto addrs = randomTrace(600, 16, seed);
+        for (RefTime window : {5ull, 37ull, 200ull, 1000ull}) {
+            AvgWorkingSet wset({kLog2_4K}, {window});
+            for (Addr addr : addrs)
+                wset.observe(addr);
+            wset.finish();
+            EXPECT_NEAR(wset.averageBytes(0, 0),
+                        bruteForceAvgBytes(addrs, kLog2_4K, window),
+                        1e-6)
+                << "seed " << seed << " T " << window;
+        }
+    }
+}
+
+TEST(AvgWorkingSetTest, MultiSizeMatchesIndividualRuns)
+{
+    const auto addrs = randomTrace(800, 64, 7);
+    AvgWorkingSet multi({kLog2_4K, kLog2_16K, kLog2_64K}, {50, 400});
+    for (Addr addr : addrs)
+        multi.observe(addr);
+    multi.finish();
+
+    const std::vector<unsigned> sizes = {kLog2_4K, kLog2_16K,
+                                         kLog2_64K};
+    const std::vector<RefTime> windows = {50, 400};
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        for (std::size_t w = 0; w < windows.size(); ++w) {
+            AvgWorkingSet single({sizes[s]}, {windows[w]});
+            for (Addr addr : addrs)
+                single.observe(addr);
+            single.finish();
+            EXPECT_DOUBLE_EQ(multi.averageBytes(s, w),
+                             single.averageBytes(0, 0));
+        }
+    }
+}
+
+TEST(AvgWorkingSetTest, LargerPagesNeverShrinkWorkingSetBytes)
+{
+    // Monotonicity: doubling the page size can only merge pages, and
+    // the byte total never decreases (each merged pair costs at most
+    // one page size but is at least one page).
+    const auto addrs = randomTrace(1000, 128, 9);
+    AvgWorkingSet wset({kLog2_4K, kLog2_8K, kLog2_16K, kLog2_32K,
+                        kLog2_64K},
+                       {100});
+    for (Addr addr : addrs)
+        wset.observe(addr);
+    wset.finish();
+    for (std::size_t s = 1; s < 5; ++s)
+        EXPECT_GE(wset.averageBytes(s, 0) * 1.0000001,
+                  wset.averageBytes(s - 1, 0));
+}
+
+TEST(AvgWorkingSetTest, LargerWindowNeverShrinksWorkingSet)
+{
+    const auto addrs = randomTrace(1000, 64, 11);
+    AvgWorkingSet wset({kLog2_4K}, {10, 50, 250, 1250});
+    for (Addr addr : addrs)
+        wset.observe(addr);
+    wset.finish();
+    for (std::size_t w = 1; w < 4; ++w)
+        EXPECT_GE(wset.averageBytes(0, w), wset.averageBytes(0, w - 1));
+}
+
+TEST(AvgWorkingSetTest, EmptyTraceSafe)
+{
+    AvgWorkingSet wset({kLog2_4K}, {10});
+    wset.finish();
+    EXPECT_DOUBLE_EQ(wset.averageBytes(0, 0), 0.0);
+}
+
+TEST(AvgWorkingSetDeathTest, ObserveAfterFinishPanics)
+{
+    AvgWorkingSet wset({kLog2_4K}, {10});
+    wset.finish();
+    EXPECT_DEATH(wset.observe(0x1000), "finish");
+}
+
+TEST(AvgWorkingSetDeathTest, RejectsEmptyConfig)
+{
+    EXPECT_EXIT((AvgWorkingSet{{}, {10}}), ::testing::ExitedWithCode(1),
+                "at least one");
+}
+
+} // namespace
+} // namespace tps

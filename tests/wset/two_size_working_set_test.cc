@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the exact two-size working-set analyzer, including a
+ * brute-force recomputation of the paper's w(t,T,ps) definition.
+ */
+
+#include "wset/two_size_working_set.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tps
+{
+namespace
+{
+
+TwoSizeConfig
+testConfig(RefTime window)
+{
+    TwoSizeConfig config;
+    config.smallLog2 = kLog2_4K;
+    config.largeLog2 = kLog2_32K;
+    config.window = window;
+    return config;
+}
+
+/** Brute force per the paper's definition. */
+double
+bruteForceAvg(const std::vector<Addr> &addrs, const TwoSizeConfig &cfg)
+{
+    const unsigned threshold = cfg.resolvedPromote();
+    double total = 0.0;
+    for (std::size_t t = 1; t <= addrs.size(); ++t) {
+        const std::size_t begin =
+            t > cfg.window ? t - static_cast<std::size_t>(cfg.window)
+                           : 0;
+        std::map<Addr, std::set<unsigned>> chunk_blocks;
+        for (std::size_t i = begin; i < t; ++i) {
+            const Addr chunk = addrs[i] >> cfg.largeLog2;
+            const unsigned block = static_cast<unsigned>(
+                (addrs[i] >> cfg.smallLog2) &
+                (cfg.blocksPerChunk() - 1));
+            chunk_blocks[chunk].insert(block);
+        }
+        std::uint64_t bytes = 0;
+        for (const auto &[chunk, blocks] : chunk_blocks) {
+            if (blocks.size() >= threshold)
+                bytes += std::uint64_t{1} << cfg.largeLog2;
+            else
+                bytes += std::uint64_t{blocks.size()} << cfg.smallLog2;
+        }
+        total += static_cast<double>(bytes);
+    }
+    return total / static_cast<double>(addrs.size());
+}
+
+TEST(TwoSizeWorkingSetTest, SingleBlockCountsSmall)
+{
+    TwoSizeWorkingSet wset(testConfig(100));
+    for (int i = 0; i < 10; ++i)
+        wset.observe(0x2000'0000);
+    EXPECT_EQ(wset.currentBytes(), 4096u);
+    EXPECT_EQ(wset.largeChunks(), 0u);
+}
+
+TEST(TwoSizeWorkingSetTest, PromotionAtThreshold)
+{
+    TwoSizeWorkingSet wset(testConfig(100));
+    for (unsigned b = 0; b < 3; ++b)
+        wset.observe(0x2000'0000 + b * 0x1000);
+    EXPECT_EQ(wset.currentBytes(), 3u * 4096);
+    wset.observe(0x2000'3000); // fourth block: whole chunk counts 32KB
+    EXPECT_EQ(wset.currentBytes(), 32768u);
+    EXPECT_EQ(wset.largeChunks(), 1u);
+}
+
+TEST(TwoSizeWorkingSetTest, DemotesWhenBlocksExpire)
+{
+    TwoSizeWorkingSet wset(testConfig(8));
+    for (unsigned b = 0; b < 4; ++b)
+        wset.observe(0x2000'0000 + b * 0x1000);
+    EXPECT_EQ(wset.largeChunks(), 1u);
+    // Push the window past the old touches with one distant block.
+    for (int i = 0; i < 10; ++i)
+        wset.observe(0x9000'0000);
+    EXPECT_EQ(wset.largeChunks(), 0u);
+    EXPECT_EQ(wset.currentBytes(), 4096u); // just the distant block
+}
+
+TEST(TwoSizeWorkingSetTest, NeverMoreThanDoubleSmallPages)
+{
+    // Paper Section 3.4: "at worst we only double the working set".
+    Rng rng(31);
+    TwoSizeConfig cfg = testConfig(200);
+    TwoSizeWorkingSet two(cfg);
+    // Companion exact 4KB-only window tracker.
+    std::deque<Addr> window;
+    std::map<Addr, int> counts;
+    for (int i = 0; i < 4000; ++i) {
+        const Addr addr = rng.below(64 * 32768);
+        two.observe(addr);
+        window.push_back(addr >> kLog2_4K);
+        counts[addr >> kLog2_4K]++;
+        if (window.size() > 200) {
+            if (--counts[window.front()] == 0)
+                counts.erase(window.front());
+            window.pop_front();
+        }
+        const std::uint64_t small_bytes = counts.size() * 4096;
+        ASSERT_LE(two.currentBytes(), 2 * small_bytes);
+        ASSERT_GE(two.currentBytes(), small_bytes);
+    }
+}
+
+TEST(TwoSizeWorkingSetTest, MatchesBruteForce)
+{
+    Rng rng(33);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 1500; ++i)
+        addrs.push_back(rng.below(16 * 32768));
+    for (RefTime window : {7ull, 50ull, 300ull}) {
+        TwoSizeConfig cfg = testConfig(window);
+        TwoSizeWorkingSet wset(cfg);
+        for (Addr addr : addrs)
+            wset.observe(addr);
+        EXPECT_NEAR(wset.averageBytes(), bruteForceAvg(addrs, cfg),
+                    1e-6)
+            << "window " << window;
+    }
+}
+
+TEST(TwoSizeWorkingSetTest, CustomThresholdRespected)
+{
+    TwoSizeConfig cfg = testConfig(100);
+    cfg.promoteThreshold = 2;
+    TwoSizeWorkingSet wset(cfg);
+    wset.observe(0x2000'0000);
+    EXPECT_EQ(wset.currentBytes(), 4096u);
+    wset.observe(0x2000'1000);
+    EXPECT_EQ(wset.currentBytes(), 32768u);
+}
+
+TEST(TwoSizeWorkingSetTest, ResetClears)
+{
+    TwoSizeWorkingSet wset(testConfig(10));
+    wset.observe(0x2000'0000);
+    wset.reset();
+    EXPECT_EQ(wset.currentBytes(), 0u);
+    EXPECT_EQ(wset.refs(), 0u);
+    EXPECT_DOUBLE_EQ(wset.averageBytes(), 0.0);
+}
+
+} // namespace
+} // namespace tps

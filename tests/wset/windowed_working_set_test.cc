@@ -1,0 +1,99 @@
+/** @file Tests for the sliding-window working-set tracker. */
+
+#include "wset/windowed_working_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "wset/avg_working_set.h"
+
+namespace tps
+{
+namespace
+{
+
+TEST(WindowedWorkingSetTest, SinglePage)
+{
+    WindowedWorkingSet wset(10);
+    for (int i = 0; i < 50; ++i)
+        wset.observe(PageId{0x1, kLog2_4K});
+    EXPECT_EQ(wset.currentBytes(), 4096u);
+    EXPECT_EQ(wset.currentPages(), 1u);
+    EXPECT_DOUBLE_EQ(wset.averageBytes(), 4096.0);
+}
+
+TEST(WindowedWorkingSetTest, EvictsAfterWindow)
+{
+    WindowedWorkingSet wset(3);
+    wset.observe(PageId{0x1, kLog2_4K});
+    wset.observe(PageId{0x2, kLog2_4K});
+    wset.observe(PageId{0x3, kLog2_4K});
+    EXPECT_EQ(wset.currentPages(), 3u);
+    wset.observe(PageId{0x4, kLog2_4K}); // 0x1 falls out
+    EXPECT_EQ(wset.currentPages(), 3u);
+    EXPECT_EQ(wset.currentBytes(), 3u * 4096);
+}
+
+TEST(WindowedWorkingSetTest, MixedSizesSumBytes)
+{
+    WindowedWorkingSet wset(10);
+    wset.observe(PageId{0x1, kLog2_4K});
+    wset.observe(PageId{0x2, kLog2_32K});
+    EXPECT_EQ(wset.currentBytes(), 4096u + 32768u);
+}
+
+TEST(WindowedWorkingSetTest, SamePageDifferentSizesDistinct)
+{
+    WindowedWorkingSet wset(10);
+    wset.observe(PageId{0x1, kLog2_4K});
+    wset.observe(PageId{0x1, kLog2_32K});
+    EXPECT_EQ(wset.currentPages(), 2u);
+}
+
+TEST(WindowedWorkingSetTest, RepeatedTouchesRefreshResidency)
+{
+    WindowedWorkingSet wset(4);
+    for (int i = 0; i < 20; ++i) {
+        wset.observe(PageId{0x1, kLog2_4K});
+        wset.observe(PageId{static_cast<Addr>(0x100 + i), kLog2_4K});
+    }
+    // 0x1 is re-touched every other ref, so it never leaves.
+    EXPECT_GE(wset.currentPages(), 2u);
+    EXPECT_LE(wset.currentPages(), 4u);
+}
+
+TEST(WindowedWorkingSetTest, AgreesWithGapAnalyzerOnStaticSizes)
+{
+    // For a fixed page size, the windowed tracker and the gap-based
+    // analyzer compute the same average (two independent algorithms).
+    Rng rng(21);
+    const RefTime window = 64;
+    WindowedWorkingSet windowed(window);
+    AvgWorkingSet gap({kLog2_4K}, {window});
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(96 * 4096);
+        windowed.observe(pageOf(addr, kLog2_4K));
+        gap.observe(addr);
+    }
+    gap.finish();
+    EXPECT_NEAR(windowed.averageBytes(), gap.averageBytes(0, 0), 1e-6);
+}
+
+TEST(WindowedWorkingSetTest, ResetClears)
+{
+    WindowedWorkingSet wset(5);
+    wset.observe(PageId{0x1, kLog2_4K});
+    wset.reset();
+    EXPECT_EQ(wset.currentBytes(), 0u);
+    EXPECT_EQ(wset.currentPages(), 0u);
+    EXPECT_EQ(wset.refs(), 0u);
+}
+
+TEST(WindowedWorkingSetDeathTest, ZeroWindowFatal)
+{
+    EXPECT_EXIT(WindowedWorkingSet{0}, ::testing::ExitedWithCode(1),
+                "window");
+}
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Converter: Valgrind lackey / cachegrind-style memory-trace text to
+ * the .tps binary trace format.
+ *
+ * The paper consumed SPARC traces captured with Sun's shade/shadow;
+ * the accessible modern equivalent is
+ *
+ *     valgrind --tool=lackey --trace-mem=yes ./prog 2> prog.lackey
+ *
+ * whose output lines look like
+ *
+ *     I  0023C790,2      (instruction fetch)
+ *      L 04EDF54C,4      (data load)
+ *      S 04EDF550,8      (data store)
+ *      M 0425F4D0,4      (modify = load + store)
+ *
+ * Usage: lackey2tps <input.lackey|-> <output.tps> [trace-name]
+ *
+ * Unparseable lines (lackey banners, etc.) are skipped with a count
+ * reported at the end.  'M' records expand to a load followed by a
+ * store, matching how a TLB sees a read-modify-write.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace/trace_file.h"
+#include "util/format.h"
+
+namespace
+{
+
+using namespace tps;
+
+struct ParsedLine
+{
+    char kind = 0; // 'I', 'L', 'S', 'M'
+    Addr addr = 0;
+    std::uint8_t size = 4;
+};
+
+/** Parse one lackey line; false if it is not a memory record. */
+bool
+parseLackeyLine(const std::string &line, ParsedLine &out)
+{
+    std::size_t pos = 0;
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+    if (pos >= line.size())
+        return false;
+    const char kind = line[pos];
+    if (kind != 'I' && kind != 'L' && kind != 'S' && kind != 'M')
+        return false;
+    ++pos;
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])))
+        ++pos;
+
+    // Hex address.
+    Addr addr = 0;
+    std::size_t digits = 0;
+    while (pos < line.size() &&
+           std::isxdigit(static_cast<unsigned char>(line[pos]))) {
+        const char c = line[pos];
+        addr = (addr << 4) |
+               static_cast<Addr>(c <= '9' ? c - '0'
+                                          : (c | 0x20) - 'a' + 10);
+        ++pos;
+        ++digits;
+    }
+    if (digits == 0 || digits > 16)
+        return false;
+    if (pos >= line.size() || line[pos] != ',')
+        return false;
+    ++pos;
+
+    unsigned size = 0;
+    std::size_t size_digits = 0;
+    while (pos < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        size = size * 10 + static_cast<unsigned>(line[pos] - '0');
+        ++pos;
+        ++size_digits;
+    }
+    if (size_digits == 0 || size == 0 || size > 255)
+        return false;
+
+    out.kind = kind;
+    out.addr = addr;
+    out.size = static_cast<std::uint8_t>(size);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tps;
+
+    if (argc < 3) {
+        std::cerr << "usage: lackey2tps <input.lackey|-> <output.tps>"
+                     " [trace-name]\n";
+        return 1;
+    }
+    const std::string input_path = argv[1];
+    const std::string output_path = argv[2];
+    const std::string trace_name =
+        argc > 3 ? argv[3] : input_path == "-" ? "stdin" : input_path;
+
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (input_path != "-") {
+        file.open(input_path);
+        if (!file) {
+            std::cerr << "cannot open " << input_path << "\n";
+            return 1;
+        }
+        in = &file;
+    }
+
+    TraceFileWriter writer(output_path, trace_name);
+    std::uint64_t skipped = 0;
+    std::string line;
+    ParsedLine parsed;
+    while (std::getline(*in, line)) {
+        if (!parseLackeyLine(line, parsed)) {
+            ++skipped;
+            continue;
+        }
+        switch (parsed.kind) {
+          case 'I':
+            writer.write({parsed.addr, RefType::Ifetch, parsed.size});
+            break;
+          case 'L':
+            writer.write({parsed.addr, RefType::Load, parsed.size});
+            break;
+          case 'S':
+            writer.write({parsed.addr, RefType::Store, parsed.size});
+            break;
+          case 'M': // read-modify-write
+            writer.write({parsed.addr, RefType::Load, parsed.size});
+            writer.write({parsed.addr, RefType::Store, parsed.size});
+            break;
+          default:
+            break;
+        }
+    }
+    writer.finish();
+
+    std::cerr << "wrote " << withCommas(writer.refsWritten())
+              << " refs to " << output_path << " (" << skipped
+              << " non-record lines skipped)\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CLI: print the header and descriptive statistics of a .tps trace
+ * file (the Table 3.1 columns for an external trace).
+ *
+ * Usage: tpstrace_info <trace.tps>
+ */
+
+#include <iostream>
+
+#include "trace/trace_file.h"
+#include "trace/trace_stats.h"
+#include "util/format.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tps;
+
+    if (argc != 2) {
+        std::cerr << "usage: tpstrace_info <trace.tps>\n";
+        return 1;
+    }
+
+    TraceFileReader reader(argv[1]);
+    std::cout << "name:        " << reader.name() << "\n"
+              << "refs:        " << withCommas(reader.refCount())
+              << "\n";
+
+    const TraceStats stats = collectTraceStats(reader);
+    std::cout << "instructions " << withCommas(stats.instructions)
+              << "\n"
+              << "loads:       " << withCommas(stats.loads) << "\n"
+              << "stores:      " << withCommas(stats.stores) << "\n"
+              << "rpi:         " << formatFixed(stats.rpi(), 3) << "\n"
+              << "footprint:   " << formatBytes(stats.footprintBytes())
+              << " (" << stats.codePages4k << " code + "
+              << stats.dataPages4k << " data 4KB pages)\n";
+    return 0;
+}
