@@ -10,48 +10,50 @@
 
 #include "bench/bench_common.h"
 
+#include "core/sweep.h"
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Ablation (Sec 2.2c/5.2)", "associativity sweep, 32 entries");
+        argc, argv, "Ablation (Sec 2.2c/5.2)",
+        "associativity sweep, 32 entries");
 
     const std::size_t way_options[] = {1, 2, 4, 8, 16};
-
-    auto run = [&](const std::string &workload_name,
-                   const core::PolicySpec &policy, IndexScheme scheme,
-                   std::size_t ways) {
-        auto workload =
-            workloads::findWorkload(workload_name).instantiate();
-        TlbConfig tlb;
-        tlb.organization = TlbOrganization::SetAssociative;
-        tlb.entries = 32;
-        tlb.ways = ways;
-        tlb.scheme = scheme;
-        core::RunOptions options;
-        options.maxRefs = scale.refs;
-        options.warmupRefs = scale.warmupRefs;
-        return core::runExperiment(*workload, policy, tlb, options)
-            .cpiTlb;
-    };
 
     std::cout << "-- (a) two-size scheme, large-page index: "
                  "associativity absorbs chunk-block collisions --\n";
     {
+        // 3 workloads x 5 associativities as one parallel sweep grid.
+        core::RunOptions options;
+        options.maxRefs = scale.refs;
+        options.warmupRefs = scale.warmupRefs;
+        core::SweepRunner sweep;
+        sweep.workloads({"li", "worm", "xnews"})
+            .options(options)
+            .threads(scale.threads);
+        for (std::size_t ways : way_options) {
+            TlbConfig tlb;
+            tlb.organization = TlbOrganization::SetAssociative;
+            tlb.entries = 32;
+            tlb.ways = ways;
+            tlb.scheme = IndexScheme::LargePage;
+            sweep.configuration(
+                tlb,
+                core::PolicySpec::twoSizes(core::paperPolicy(scale)),
+                std::to_string(ways) + "-way");
+        }
+        const auto cells = sweep.run();
+
         stats::TextTable table({"Program", "1-way", "2-way", "4-way",
                                 "8-way", "16-way"});
-        for (const char *name : {"li", "worm", "xnews"}) {
-            std::vector<std::string> row = {name};
-            for (std::size_t ways : way_options) {
-                row.push_back(bench::cpi(run(
-                    name,
-                    core::PolicySpec::twoSizes(
-                        core::paperPolicy(scale)),
-                    IndexScheme::LargePage, ways)));
-            }
+        const std::size_t nways = std::size(way_options);
+        for (std::size_t w = 0; w < cells.size(); w += nways) {
+            std::vector<std::string> row = {cells[w].workload};
+            for (std::size_t c = 0; c < nways; ++c)
+                row.push_back(bench::cpi(cells[w + c].result.cpiTlb));
             table.addRow(std::move(row));
         }
         table.print(std::cout);

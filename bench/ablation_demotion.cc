@@ -14,11 +14,10 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
-    const auto scale = bench::banner(
-        "Ablation (Sec 3.4)",
+    const auto scale = bench::banner(argc, argv, "Ablation (Sec 3.4)",
         "demotion threshold: churn at scaled-down T");
 
     // Two-way set-associative: the organization where re-promotion's
@@ -42,18 +41,21 @@ main()
     stats::TextTable table({"Demotion", "mean CPI_TLB", "promotions",
                             "demotions", "invalidations"});
     for (const Variant &variant : variants) {
+        const auto results = core::forEachSuiteWorkload(
+            scale, [&](const auto &info) {
+                auto workload = info.instantiate();
+                TwoSizeConfig policy = core::paperPolicy(scale);
+                policy.demoteThreshold = variant.demoteThreshold;
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                return core::runExperiment(
+                    *workload, core::PolicySpec::twoSizes(policy), tlb,
+                    options);
+            });
         double cpi_sum = 0.0;
         std::uint64_t promotions = 0, demotions = 0, invalidations = 0;
-        for (const auto &info : workloads::suite()) {
-            auto workload = info.instantiate();
-            TwoSizeConfig policy = core::paperPolicy(scale);
-            policy.demoteThreshold = variant.demoteThreshold;
-            core::RunOptions options;
-            options.maxRefs = scale.refs;
-            options.warmupRefs = scale.warmupRefs;
-            const auto result = core::runExperiment(
-                *workload, core::PolicySpec::twoSizes(policy), tlb,
-                options);
+        for (const auto &result : results) {
             cpi_sum += result.cpiTlb;
             promotions += result.policy.promotions;
             demotions += result.policy.demotions;

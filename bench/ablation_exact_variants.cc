@@ -16,63 +16,66 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
-    const auto scale = bench::banner(
-        "Ablation (Sec 2.2 a/b/c)",
+    const auto scale = bench::banner(argc, argv, "Ablation (Sec 2.2 a/b/c)",
         "exact-index implementation variants, 32 entries 2-way");
 
     const TwoSizeConfig policy = core::paperPolicy(scale);
 
     stats::TextTable table({"Program", "parallel", "seq +1cy",
                             "seq +2cy", "split 24+8", "split 16+16"});
-    for (const auto &info : workloads::suite()) {
-        std::vector<std::string> row = {info.name};
+    const auto rows = core::forEachSuiteWorkload(
+        scale, [&](const auto &info) {
+            std::vector<std::string> row = {info.name};
 
-        // (a)+(b): one set-associative run, three cost models.
-        {
-            auto workload = info.instantiate();
-            TlbConfig tlb;
-            tlb.organization = TlbOrganization::SetAssociative;
-            tlb.entries = 32;
-            tlb.ways = 2;
-            tlb.scheme = IndexScheme::Exact;
-            core::RunOptions options;
-            options.maxRefs = scale.refs;
-            options.warmupRefs = scale.warmupRefs;
-            const auto result = core::runExperiment(
-                *workload, core::PolicySpec::twoSizes(policy), tlb,
-                options);
-            row.push_back(bench::cpi(result.cpiTlb));
-            for (double reprobe : {1.0, 2.0}) {
-                core::CpiModel model;
-                model.reprobeCycles = reprobe;
-                row.push_back(bench::cpi(model.cpiTlb(
-                    result.tlb, result.policy, result.instructions,
-                    true, ProbeStrategy::Sequential)));
+            // (a)+(b): one set-associative run, three cost models.
+            {
+                auto workload = info.instantiate();
+                TlbConfig tlb;
+                tlb.organization = TlbOrganization::SetAssociative;
+                tlb.entries = 32;
+                tlb.ways = 2;
+                tlb.scheme = IndexScheme::Exact;
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                const auto result = core::runExperiment(
+                    *workload, core::PolicySpec::twoSizes(policy), tlb,
+                    options);
+                row.push_back(bench::cpi(result.cpiTlb));
+                for (double reprobe : {1.0, 2.0}) {
+                    core::CpiModel model;
+                    model.reprobeCycles = reprobe;
+                    row.push_back(bench::cpi(model.cpiTlb(
+                        result.tlb, result.policy,
+                        result.instructions, true,
+                        ProbeStrategy::Sequential)));
+                }
             }
-        }
 
-        // (c): split TLBs at two capacity partitions.
-        for (std::size_t large_entries : {std::size_t{8},
-                                          std::size_t{16}}) {
-            auto workload = info.instantiate();
-            TlbConfig tlb;
-            tlb.organization = TlbOrganization::Split;
-            tlb.entries = 32;
-            tlb.splitLargeEntries = large_entries;
-            core::RunOptions options;
-            options.maxRefs = scale.refs;
-            options.warmupRefs = scale.warmupRefs;
-            row.push_back(bench::cpi(
-                core::runExperiment(*workload,
-                                    core::PolicySpec::twoSizes(policy),
-                                    tlb, options)
-                    .cpiTlb));
-        }
+            // (c): split TLBs at two capacity partitions.
+            for (std::size_t large_entries : {std::size_t{8},
+                                              std::size_t{16}}) {
+                auto workload = info.instantiate();
+                TlbConfig tlb;
+                tlb.organization = TlbOrganization::Split;
+                tlb.entries = 32;
+                tlb.splitLargeEntries = large_entries;
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                row.push_back(bench::cpi(
+                    core::runExperiment(
+                        *workload, core::PolicySpec::twoSizes(policy),
+                        tlb, options)
+                        .cpiTlb));
+            }
+            return row;
+        });
+    for (auto row : rows)
         table.addRow(std::move(row));
-    }
     table.print(std::cout);
     std::cout << "\npaper: (a) is fastest but near fully-associative "
                  "cost; (b) taxes large-page hits, eroding the reason "

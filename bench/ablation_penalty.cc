@@ -19,11 +19,11 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Ablation (Sec 2.3/3.2)", "miss-penalty sensitivity");
+        argc, argv, "Ablation (Sec 2.3/3.2)", "miss-penalty sensitivity");
 
     TlbConfig tlb;
     tlb.organization = TlbOrganization::SetAssociative;
@@ -37,24 +37,24 @@ main()
         core::ExperimentResult base4k;
         core::ExperimentResult two;
     };
-    std::vector<Cell> cells;
-    for (const auto &info : workloads::suite()) {
-        Cell cell;
-        auto workload = info.instantiate();
-        core::RunOptions options;
-        options.maxRefs = scale.refs;
-        options.warmupRefs = scale.warmupRefs;
-        TlbConfig tlb4 = tlb;
-        tlb4.largeLog2 = kLog2_4K + 3;
-        cell.base4k = core::runExperiment(
-            *workload, core::PolicySpec::single(kLog2_4K), tlb4,
-            options);
-        cell.two = core::runExperiment(
-            *workload,
-            core::PolicySpec::twoSizes(core::paperPolicy(scale)), tlb,
-            options);
-        cells.push_back(std::move(cell));
-    }
+    const std::vector<Cell> cells = core::forEachSuiteWorkload(
+        scale, [&](const auto &info) {
+            Cell cell;
+            auto workload = info.instantiate();
+            core::RunOptions options;
+            options.maxRefs = scale.refs;
+            options.warmupRefs = scale.warmupRefs;
+            TlbConfig tlb4 = tlb;
+            tlb4.largeLog2 = kLog2_4K + 3;
+            cell.base4k = core::runExperiment(
+                *workload, core::PolicySpec::single(kLog2_4K), tlb4,
+                options);
+            cell.two = core::runExperiment(
+                *workload,
+                core::PolicySpec::twoSizes(core::paperPolicy(scale)),
+                tlb, options);
+            return cell;
+        });
 
     std::cout << "-- two-size penalty factor sweep --\n";
     stats::TextTable table({"Factor", "penalty", "mean CPI(4K/32K)",
@@ -82,30 +82,35 @@ main()
                  "walker model --\n";
     stats::TextTable measured({"Program", "single-size cy/miss",
                                "two-size cy/miss", "ratio"});
-    for (const auto &info : workloads::suite()) {
-        core::RunOptions options;
-        options.maxRefs = scale.refs / 4; // the walker model is slower
-        options.warmupRefs = 0;
-        options.modelPageTables = true;
+    const auto measured_rows = core::forEachSuiteWorkload(
+        scale, [&](const auto &info) {
+            core::RunOptions options;
+            // the walker model is slower
+            options.maxRefs = scale.refs / 4;
+            options.warmupRefs = 0;
+            options.modelPageTables = true;
 
-        auto workload = info.instantiate();
-        const auto single = core::runExperiment(
-            *workload, core::PolicySpec::single(kLog2_4K), tlb,
-            options);
-        workload->reset();
-        const auto two = core::runExperiment(
-            *workload,
-            core::PolicySpec::twoSizes(core::paperPolicy(scale)), tlb,
-            options);
-        const double ratio =
-            single.measuredMissCycles > 0
-                ? two.measuredMissCycles / single.measuredMissCycles
-                : 0.0;
-        measured.addRow({info.name,
-                         formatFixed(single.measuredMissCycles, 1),
-                         formatFixed(two.measuredMissCycles, 1),
-                         formatFixed(ratio, 2) + "x"});
-    }
+            auto workload = info.instantiate();
+            const auto single = core::runExperiment(
+                *workload, core::PolicySpec::single(kLog2_4K), tlb,
+                options);
+            workload->reset();
+            const auto two = core::runExperiment(
+                *workload,
+                core::PolicySpec::twoSizes(core::paperPolicy(scale)),
+                tlb, options);
+            const double ratio =
+                single.measuredMissCycles > 0
+                    ? two.measuredMissCycles /
+                          single.measuredMissCycles
+                    : 0.0;
+            return std::vector<std::string>{
+                info.name, formatFixed(single.measuredMissCycles, 1),
+                formatFixed(two.measuredMissCycles, 1),
+                formatFixed(ratio, 2) + "x"};
+        });
+    for (auto row : measured_rows)
+        measured.addRow(std::move(row));
     measured.print(std::cout);
     std::cout << "\npaper estimate: two-size handlers ~25% slower "
                  "(Section 2.3); the walker model shows where that "

@@ -12,11 +12,12 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Ablation", "replacement policy, 16-entry fully associative");
+        argc, argv, "Ablation",
+        "replacement policy, 16-entry fully associative");
 
     const ReplPolicy policies[] = {ReplPolicy::LRU, ReplPolicy::FIFO,
                                    ReplPolicy::Random,
@@ -29,27 +30,36 @@ main()
         stats::TextTable table({"Program", "LRU", "FIFO", "random",
                                 "tree-PLRU"});
         std::vector<double> sums(4, 0.0);
-        for (const auto &info : workloads::suite()) {
-            std::vector<std::string> row = {info.name};
+        const auto cpis = core::forEachSuiteWorkload(
+            scale, [&](const auto &info) {
+                std::vector<double> per_policy;
+                for (std::size_t p = 0; p < 4; ++p) {
+                    auto workload = info.instantiate();
+                    TlbConfig tlb;
+                    tlb.organization =
+                        TlbOrganization::FullyAssociative;
+                    tlb.entries = 16;
+                    tlb.replacement = policies[p];
+                    core::RunOptions options;
+                    options.maxRefs = scale.refs;
+                    options.warmupRefs = scale.warmupRefs;
+                    const auto policy =
+                        two_sizes ? core::PolicySpec::twoSizes(
+                                        core::paperPolicy(scale))
+                                  : core::PolicySpec::single(kLog2_4K);
+                    per_policy.push_back(
+                        core::runExperiment(*workload, policy, tlb,
+                                            options)
+                            .cpiTlb);
+                }
+                return per_policy;
+            });
+        for (std::size_t w = 0; w < cpis.size(); ++w) {
+            std::vector<std::string> row = {
+                workloads::suite()[w].name};
             for (std::size_t p = 0; p < 4; ++p) {
-                auto workload = info.instantiate();
-                TlbConfig tlb;
-                tlb.organization = TlbOrganization::FullyAssociative;
-                tlb.entries = 16;
-                tlb.replacement = policies[p];
-                core::RunOptions options;
-                options.maxRefs = scale.refs;
-                options.warmupRefs = scale.warmupRefs;
-                const auto policy =
-                    two_sizes ? core::PolicySpec::twoSizes(
-                                    core::paperPolicy(scale))
-                              : core::PolicySpec::single(kLog2_4K);
-                const double cpi =
-                    core::runExperiment(*workload, policy, tlb,
-                                        options)
-                        .cpiTlb;
-                sums[p] += cpi;
-                row.push_back(bench::cpi(cpi));
+                sums[p] += cpis[w][p];
+                row.push_back(bench::cpi(cpis[w][p]));
             }
             table.addRow(std::move(row));
         }

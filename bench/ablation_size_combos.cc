@@ -13,11 +13,11 @@
 #include "wset/two_size_working_set.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Ablation (Sec 3.2)", "4K/16K vs 4K/32K vs 4K/64K");
+        argc, argv, "Ablation (Sec 3.2)", "4K/16K vs 4K/32K vs 4K/64K");
 
     TlbConfig tlb;
     tlb.organization = TlbOrganization::FullyAssociative;
@@ -28,52 +28,70 @@ main()
 
     // 4KB single-size baseline.
     double base_cpi = 0.0;
-    for (const auto &info : workloads::suite()) {
-        auto workload = info.instantiate();
-        core::RunOptions options;
-        options.maxRefs = scale.refs;
-        options.warmupRefs = scale.warmupRefs;
-        base_cpi += core::runExperiment(
-                        *workload, core::PolicySpec::single(kLog2_4K),
-                        tlb, options)
-                        .cpiTlb;
-    }
+    for (double cpi : core::forEachSuiteWorkload(
+             scale, [&](const auto &info) {
+                 auto workload = info.instantiate();
+                 core::RunOptions options;
+                 options.maxRefs = scale.refs;
+                 options.warmupRefs = scale.warmupRefs;
+                 return core::runExperiment(
+                            *workload,
+                            core::PolicySpec::single(kLog2_4K), tlb,
+                            options)
+                     .cpiTlb;
+             }))
+        base_cpi += cpi;
     table.addRow({"4KB only", bench::cpi(base_cpi / 12), "1.00x",
                   "1.00", "0.0"});
 
+    struct Cell
+    {
+        double cpi = 0.0;
+        double wsNorm = 0.0;
+        double largeFraction = 0.0;
+    };
     for (unsigned large_log2 : {kLog2_16K, kLog2_32K, kLog2_64K}) {
+        const auto cells = core::forEachSuiteWorkload(
+            scale, [&](const auto &info) {
+                auto workload = info.instantiate();
+
+                TwoSizeConfig policy = core::paperPolicy(scale);
+                policy.largeLog2 = large_log2;
+
+                TlbConfig combo_tlb = tlb;
+                combo_tlb.largeLog2 = large_log2;
+
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                const auto result = core::runExperiment(
+                    *workload, core::PolicySpec::twoSizes(policy),
+                    combo_tlb, options);
+
+                Cell cell;
+                cell.cpi = result.cpiTlb;
+                cell.largeFraction = result.policy.largeFraction();
+
+                workload->reset();
+                TwoSizeWorkingSet two_ws(policy);
+                AvgWorkingSet base_ws({kLog2_4K}, {scale.window});
+                MemRef ref;
+                for (std::uint64_t n = 0;
+                     n < scale.refs / 2 && workload->next(ref); ++n) {
+                    two_ws.observe(ref.vaddr);
+                    base_ws.observe(ref.vaddr);
+                }
+                base_ws.finish();
+                if (base_ws.averageBytes(0, 0) > 0)
+                    cell.wsNorm = two_ws.averageBytes() /
+                                  base_ws.averageBytes(0, 0);
+                return cell;
+            });
         double cpi_sum = 0.0, ws_sum = 0.0, large_sum = 0.0;
-        for (const auto &info : workloads::suite()) {
-            auto workload = info.instantiate();
-
-            TwoSizeConfig policy = core::paperPolicy(scale);
-            policy.largeLog2 = large_log2;
-
-            TlbConfig combo_tlb = tlb;
-            combo_tlb.largeLog2 = large_log2;
-
-            core::RunOptions options;
-            options.maxRefs = scale.refs;
-            options.warmupRefs = scale.warmupRefs;
-            const auto result = core::runExperiment(
-                *workload, core::PolicySpec::twoSizes(policy),
-                combo_tlb, options);
-            cpi_sum += result.cpiTlb;
-            large_sum += result.policy.largeFraction();
-
-            workload->reset();
-            TwoSizeWorkingSet two_ws(policy);
-            AvgWorkingSet base_ws({kLog2_4K}, {scale.window});
-            MemRef ref;
-            for (std::uint64_t n = 0;
-                 n < scale.refs / 2 && workload->next(ref); ++n) {
-                two_ws.observe(ref.vaddr);
-                base_ws.observe(ref.vaddr);
-            }
-            base_ws.finish();
-            if (base_ws.averageBytes(0, 0) > 0)
-                ws_sum += two_ws.averageBytes() /
-                          base_ws.averageBytes(0, 0);
+        for (const Cell &cell : cells) {
+            cpi_sum += cell.cpi;
+            ws_sum += cell.wsNorm;
+            large_sum += cell.largeFraction;
         }
         const double n = 12.0;
         const double cpi = cpi_sum / n;

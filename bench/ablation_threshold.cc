@@ -15,11 +15,11 @@
 #include "wset/two_size_working_set.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Ablation (Sec 3.4)", "promotion threshold sweep");
+        argc, argv, "Ablation (Sec 3.4)", "promotion threshold sweep");
 
     TlbConfig tlb;
     tlb.organization = TlbOrganization::FullyAssociative;
@@ -28,39 +28,56 @@ main()
     stats::TextTable table({"Threshold", "mean CPI_TLB",
                             "mean WS_norm", "large-ref%",
                             "promotions"});
+    struct Cell
+    {
+        double cpi = 0.0;
+        double wsNorm = 0.0;
+        double largeFraction = 0.0;
+        std::uint64_t promotions = 0;
+    };
     for (unsigned threshold = 1; threshold <= 8; ++threshold) {
+        const auto cells = core::forEachSuiteWorkload(
+            scale, [&](const auto &info) {
+                auto workload = info.instantiate();
+
+                TwoSizeConfig policy = core::paperPolicy(scale);
+                policy.promoteThreshold = threshold;
+
+                core::RunOptions options;
+                options.maxRefs = scale.refs;
+                options.warmupRefs = scale.warmupRefs;
+                const auto result = core::runExperiment(
+                    *workload, core::PolicySpec::twoSizes(policy), tlb,
+                    options);
+
+                Cell cell;
+                cell.cpi = result.cpiTlb;
+                cell.largeFraction = result.policy.largeFraction();
+                cell.promotions = result.policy.promotions;
+
+                // Exact two-size working set vs the 4KB baseline.
+                workload->reset();
+                TwoSizeWorkingSet two_ws(policy);
+                AvgWorkingSet base_ws({kLog2_4K}, {scale.window});
+                MemRef ref;
+                for (std::uint64_t n = 0;
+                     n < scale.refs / 2 && workload->next(ref); ++n) {
+                    two_ws.observe(ref.vaddr);
+                    base_ws.observe(ref.vaddr);
+                }
+                base_ws.finish();
+                if (base_ws.averageBytes(0, 0) > 0)
+                    cell.wsNorm = two_ws.averageBytes() /
+                                  base_ws.averageBytes(0, 0);
+                return cell;
+            });
         double cpi_sum = 0.0, ws_sum = 0.0, large_sum = 0.0;
         std::uint64_t promotions = 0;
-        for (const auto &info : workloads::suite()) {
-            auto workload = info.instantiate();
-
-            TwoSizeConfig policy = core::paperPolicy(scale);
-            policy.promoteThreshold = threshold;
-
-            core::RunOptions options;
-            options.maxRefs = scale.refs;
-            options.warmupRefs = scale.warmupRefs;
-            const auto result = core::runExperiment(
-                *workload, core::PolicySpec::twoSizes(policy), tlb,
-                options);
-            cpi_sum += result.cpiTlb;
-            large_sum += result.policy.largeFraction();
-            promotions += result.policy.promotions;
-
-            // Exact two-size working set vs the 4KB baseline.
-            workload->reset();
-            TwoSizeWorkingSet two_ws(policy);
-            AvgWorkingSet base_ws({kLog2_4K}, {scale.window});
-            MemRef ref;
-            for (std::uint64_t n = 0;
-                 n < scale.refs / 2 && workload->next(ref); ++n) {
-                two_ws.observe(ref.vaddr);
-                base_ws.observe(ref.vaddr);
-            }
-            base_ws.finish();
-            if (base_ws.averageBytes(0, 0) > 0)
-                ws_sum += two_ws.averageBytes() /
-                          base_ws.averageBytes(0, 0);
+        for (const Cell &cell : cells) {
+            cpi_sum += cell.cpi;
+            ws_sum += cell.wsNorm;
+            large_sum += cell.largeFraction;
+            promotions += cell.promotions;
         }
         const double n = 12.0;
         table.addRow({std::to_string(threshold),

@@ -19,22 +19,72 @@
 #include "stats/csv.h"
 #include "stats/table.h"
 #include "util/format.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tps::bench
 {
 
-/** Print the standard banner and return the active scale. */
-inline core::StudyScale
-banner(const char *experiment, const char *what)
+/**
+ * Extract a `--threads N` (or `--threads=N`) option from argv.
+ * Returns @p fallback when absent; 0 means auto (TPS_THREADS, else
+ * hardware concurrency).  Unknown arguments are left for the caller.
+ */
+inline unsigned
+threadsFromArgs(int argc, char **argv, unsigned fallback = 0)
 {
-    const core::StudyScale scale = core::defaultScale();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--threads" && i + 1 < argc)
+            value = argv[i + 1];
+        else if (arg.rfind("--threads=", 0) == 0)
+            value = arg.substr(10);
+        else
+            continue;
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0')
+            tps_fatal("--threads expects a number, got '", value, "'");
+        return static_cast<unsigned>(parsed);
+    }
+    return fallback;
+}
+
+/** Worker count a scale resolves to (0 = auto). */
+inline unsigned
+resolvedThreads(const core::StudyScale &scale)
+{
+    return scale.threads != 0 ? scale.threads
+                              : util::ThreadPool::defaultThreads();
+}
+
+/**
+ * Command-line-aware banner: parses `--threads N` into the returned
+ * scale so every bench can be pinned (1 = serial) or widened without
+ * touching TPS_THREADS.
+ */
+inline core::StudyScale
+banner(int argc, char **argv, const char *experiment, const char *what)
+{
+    core::StudyScale scale = core::defaultScale();
+    scale.threads = threadsFromArgs(argc, argv, scale.threads);
     std::cout << "== " << experiment << ": " << what << " ==\n"
               << "   refs/workload = " << withCommas(scale.refs)
               << ", window T = " << withCommas(scale.window)
-              << " refs (override: TPS_REFS / TPS_WINDOW)\n"
+              << " refs (override: TPS_REFS / TPS_WINDOW), threads = "
+              << resolvedThreads(scale)
+              << " (--threads N / TPS_THREADS)\n"
               << "   paper scale: refs 1e8..4e9, T = 1e7; shapes, not "
                  "absolute values, are the reproduction target\n\n";
     return scale;
+}
+
+/** Argument-free banner for callers with no command line. */
+inline core::StudyScale
+banner(const char *experiment, const char *what)
+{
+    return banner(0, nullptr, experiment, what);
 }
 
 /** Format a CPI value the way the paper's tables do (3 decimals). */

@@ -14,11 +14,10 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
-    const auto scale = bench::banner(
-        "Sec 5.2 delta-mp",
+    const auto scale = bench::banner(argc, argv, "Sec 5.2 delta-mp",
         "tolerable miss-penalty increase for two page sizes");
 
     TlbConfig base;

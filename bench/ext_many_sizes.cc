@@ -15,16 +15,22 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Extension", "three page sizes (4K/32K/256K), 16-entry FA");
+        argc, argv, "Extension", "three page sizes (4K/32K/256K), 16-entry FA");
 
     stats::TextTable table({"Program", "4KB", "4K/32K", "4K/32K/256K",
                             "256K-mapped refs%"});
-    double sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
-    for (const auto &info : workloads::suite()) {
+    struct Cell
+    {
+        std::string name;
+        double cpi1 = 0.0, cpi2 = 0.0, cpi3 = 0.0;
+        double pct256 = 0.0;
+    };
+    const auto cells = core::forEachSuiteWorkload(
+        scale, [&](const auto &info) {
         TlbConfig tlb;
         tlb.organization = TlbOrganization::FullyAssociative;
         tlb.entries = 16;
@@ -68,11 +74,16 @@ main()
                        : 100.0 * static_cast<double>(per_level[2]) /
                              static_cast<double>(total);
 
-        sum1 += cpi1;
-        sum2 += cpi2;
-        sum3 += cpi3;
-        table.addRow({info.name, bench::cpi(cpi1), bench::cpi(cpi2),
-                      bench::cpi(cpi3), formatFixed(pct256, 1)});
+        return Cell{info.name, cpi1, cpi2, cpi3, pct256};
+    });
+    double sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+    for (const Cell &cell : cells) {
+        sum1 += cell.cpi1;
+        sum2 += cell.cpi2;
+        sum3 += cell.cpi3;
+        table.addRow({cell.name, bench::cpi(cell.cpi1),
+                      bench::cpi(cell.cpi2), bench::cpi(cell.cpi3),
+                      formatFixed(cell.pct256, 1)});
     }
     table.addRule();
     table.addRow({"mean", bench::cpi(sum1 / 12), bench::cpi(sum2 / 12),

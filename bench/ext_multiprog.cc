@@ -15,11 +15,11 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Extension", "multiprogrammed workloads sharing one TLB");
+        argc, argv, "Extension", "multiprogrammed workloads sharing one TLB");
 
     const char *mix[] = {"espresso", "xnews", "matrix300", "li"};
 

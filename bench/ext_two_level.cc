@@ -22,11 +22,11 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale =
-        bench::banner("Extension", "two-level TLB hierarchies");
+        bench::banner(argc, argv, "Extension", "two-level TLB hierarchies");
 
     constexpr double kL2HitCycles = 2.0;
     constexpr double kMissCycles4K = 20.0;
@@ -49,7 +49,8 @@ main()
         stats::TextTable table({"Program", "flat 16-entry",
                                 "L1 4 + L2 64", "L2-hit% (4+64)",
                                 "L1 8 + L2 64"});
-        for (const auto &info : workloads::suite()) {
+        const auto rows = core::forEachSuiteWorkload(
+            scale, [&](const auto &info) {
             std::vector<std::string> row = {info.name};
 
             auto run_flat = [&] {
@@ -117,8 +118,10 @@ main()
                     row.push_back(bench::cpi(cpi));
                 }
             }
+            return row;
+        });
+        for (auto row : rows)
             table.addRow(std::move(row));
-        }
         table.print(std::cout);
         std::cout << "\n";
     }

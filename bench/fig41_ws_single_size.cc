@@ -11,11 +11,11 @@
 #include "vm/page.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Figure 4.1", "normalized working set vs single page size");
+        argc, argv, "Figure 4.1", "normalized working set vs single page size");
 
     const std::vector<unsigned> sizes = {kLog2_8K, kLog2_16K, kLog2_32K,
                                          kLog2_64K};

@@ -9,11 +9,10 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
-    const auto scale = bench::banner(
-        "Figure 4.2",
+    const auto scale = bench::banner(argc, argv, "Figure 4.2",
         "working set: single sizes vs two-page-size scheme");
 
     const auto rows =

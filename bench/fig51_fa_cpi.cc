@@ -12,11 +12,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Figure 5.1", "CPI_TLB, 16-entry fully associative TLB");
+        argc, argv, "Figure 5.1", "CPI_TLB, 16-entry fully associative TLB");
 
     TlbConfig base;
     base.organization = TlbOrganization::FullyAssociative;

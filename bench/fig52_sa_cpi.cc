@@ -13,11 +13,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Figure 5.2", "CPI_TLB, two-way set-associative TLBs");
+        argc, argv, "Figure 5.2", "CPI_TLB, two-way set-associative TLBs");
 
     for (const std::size_t entries : {std::size_t{16}, std::size_t{32}}) {
         TlbConfig base;

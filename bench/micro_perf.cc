@@ -10,6 +10,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/sweep.h"
+#include "util/format.h"
 #include "stacksim/all_assoc.h"
 #include "stacksim/lru_stack.h"
 #include "tlb/factory.h"
@@ -141,6 +150,46 @@ BM_AllAssocObserve(benchmark::State &state)
 BENCHMARK(BM_AllAssocObserve)->Arg(2)->Arg(4)->Arg(6);
 
 void
+BM_ReplayPerRef(benchmark::State &state)
+{
+    // One virtual next() per reference: the pre-batching replay cost.
+    VectorTrace trace = capturedTrace(); // private cursor
+    MemRef ref;
+    for (auto _ : state) {
+        if (!trace.next(ref))
+            trace.reset();
+        benchmark::DoNotOptimize(ref.vaddr);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_ReplayPerRef);
+
+void
+BM_ReplayBatch(benchmark::State &state)
+{
+    // fill() into a stack chunk: what core::runExperiment now does.
+    VectorTrace trace = capturedTrace();
+    constexpr std::size_t kBatch = 4096;
+    static MemRef buffer[kBatch];
+    std::size_t pos = kBatch, got = kBatch;
+    for (auto _ : state) {
+        if (pos >= got) {
+            got = trace.fill(buffer, kBatch);
+            if (got == 0) {
+                trace.reset();
+                got = trace.fill(buffer, kBatch);
+            }
+            pos = 0;
+        }
+        benchmark::DoNotOptimize(buffer[pos++].vaddr);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_ReplayBatch);
+
+void
 BM_AvgWorkingSetObserve(benchmark::State &state)
 {
     AvgWorkingSet wset({kLog2_4K, kLog2_8K, kLog2_16K, kLog2_32K},
@@ -156,6 +205,154 @@ BM_AvgWorkingSetObserve(benchmark::State &state)
 }
 BENCHMARK(BM_AvgWorkingSetObserve);
 
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Headline numbers for the PR-over-PR perf trajectory, written as
+ * BENCH_micro_perf.json (path override: TPS_BENCH_JSON).  Two
+ * contrasts: batched fill() vs per-ref next() replay, and a
+ * multi-config sweep run serially vs on 4 worker threads.
+ */
+void
+writePerfJson()
+{
+    // --- replay: per-ref next() vs batched fill() ------------------
+    const std::uint64_t replay_refs = 2'000'000;
+    VectorTrace trace = capturedTrace();
+    double per_ref_s = 0.0;
+    {
+        const auto start = Clock::now();
+        MemRef ref;
+        for (std::uint64_t n = 0; n < replay_refs; ++n) {
+            if (!trace.next(ref))
+                trace.reset();
+            benchmark::DoNotOptimize(ref.vaddr);
+        }
+        per_ref_s = secondsSince(start);
+    }
+    double batch_s = 0.0;
+    {
+        trace.reset();
+        constexpr std::size_t kBatch = 4096;
+        static MemRef buffer[kBatch];
+        const auto start = Clock::now();
+        std::uint64_t n = 0;
+        while (n < replay_refs) {
+            std::size_t got = trace.fill(buffer, kBatch);
+            if (got == 0) {
+                trace.reset();
+                got = trace.fill(buffer, kBatch);
+            }
+            for (std::size_t i = 0; i < got; ++i)
+                benchmark::DoNotOptimize(buffer[i].vaddr);
+            n += got;
+        }
+        batch_s = secondsSince(start);
+    }
+
+    // --- sweep: serial vs 4 threads --------------------------------
+    const std::uint64_t cell_refs = envOr("TPS_REFS", 200'000);
+    const unsigned par_threads = 4;
+    core::RunOptions options;
+    options.maxRefs = cell_refs;
+    core::SweepRunner sweep;
+    sweep.workloads({"li", "espresso", "doduc", "worm"})
+        .options(options);
+    for (std::size_t entries : {16, 32, 64}) {
+        TlbConfig tlb;
+        tlb.organization = TlbOrganization::FullyAssociative;
+        tlb.entries = entries;
+        sweep.configuration(tlb, core::PolicySpec::single(kLog2_4K));
+        sweep.configuration(
+            tlb, core::PolicySpec::twoSizes(TwoSizeConfig{}));
+    }
+    const double total_refs =
+        static_cast<double>(cell_refs) * static_cast<double>(sweep.cells());
+
+    sweep.threads(1);
+    auto start = Clock::now();
+    const auto serial_cells = sweep.run();
+    const double serial_s = secondsSince(start);
+
+    sweep.threads(par_threads);
+    start = Clock::now();
+    const auto parallel_cells = sweep.run();
+    const double parallel_s = secondsSince(start);
+
+    // Guard: the two runs must agree bit-for-bit (the determinism
+    // test asserts this too; recheck here since we just ran both).
+    bool identical = serial_cells.size() == parallel_cells.size();
+    for (std::size_t i = 0; identical && i < serial_cells.size(); ++i)
+        identical = serial_cells[i].result.tlb.misses ==
+                        parallel_cells[i].result.tlb.misses &&
+                    serial_cells[i].result.cpiTlb ==
+                        parallel_cells[i].result.cpiTlb;
+
+    const char *path_env = std::getenv("TPS_BENCH_JSON");
+    const std::string path =
+        path_env != nullptr && path_env[0] != '\0'
+            ? path_env
+            : "BENCH_micro_perf.json";
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"experiment\": \"micro_perf\",\n"
+        "  \"replay\": {\n"
+        "    \"refs\": %llu,\n"
+        "    \"per_ref_refs_per_sec\": %.0f,\n"
+        "    \"batch_refs_per_sec\": %.0f,\n"
+        "    \"batch_speedup\": %.3f\n"
+        "  },\n"
+        "  \"sweep\": {\n"
+        "    \"cells\": %zu,\n"
+        "    \"refs_per_cell\": %llu,\n"
+        "    \"threads\": %u,\n"
+        "    \"serial_seconds\": %.4f,\n"
+        "    \"parallel_seconds\": %.4f,\n"
+        "    \"serial_refs_per_sec\": %.0f,\n"
+        "    \"parallel_refs_per_sec\": %.0f,\n"
+        "    \"parallel_speedup\": %.3f,\n"
+        "    \"hardware_threads\": %u,\n"
+        "    \"results_identical\": %s\n"
+        "  }\n"
+        "}\n",
+        static_cast<unsigned long long>(replay_refs),
+        per_ref_s > 0 ? static_cast<double>(replay_refs) / per_ref_s
+                      : 0.0,
+        batch_s > 0 ? static_cast<double>(replay_refs) / batch_s : 0.0,
+        batch_s > 0 ? per_ref_s / batch_s : 0.0, sweep.cells(),
+        static_cast<unsigned long long>(cell_refs), par_threads,
+        serial_s, parallel_s,
+        serial_s > 0 ? total_refs / serial_s : 0.0,
+        parallel_s > 0 ? total_refs / parallel_s : 0.0,
+        parallel_s > 0 ? serial_s / parallel_s : 0.0,
+        std::thread::hardware_concurrency(),
+        identical ? "true" : "false");
+    std::fclose(out);
+    std::fprintf(stderr, "info: wrote %s\n", path.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writePerfJson();
+    return 0;
+}

@@ -8,11 +8,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale =
-        bench::banner("Table 3.1", "workload characteristics");
+        bench::banner(argc, argv, "Table 3.1", "workload characteristics");
 
     stats::TextTable table({"Program", "Description", "Refs",
                             "Instrs", "RPI", "Footprint", "WS(4KB,T)"});

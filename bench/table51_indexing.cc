@@ -16,11 +16,11 @@
 #include "bench/bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        "Table 5.1", "CPI_TLB by set-associative indexing scheme");
+        argc, argv, "Table 5.1", "CPI_TLB by set-associative indexing scheme");
 
     for (const std::size_t entries : {std::size_t{16}, std::size_t{32}}) {
         const auto rows = core::runIndexingStudy(scale, entries, 2);

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "vm/page_table.h"
 #include "wset/windowed_working_set.h"
@@ -121,33 +123,52 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                   ") must be below maxRefs (", options.maxRefs, ")");
     }
 
-    MemRef ref;
+    // Drain the source in batches through TraceSource::fill() rather
+    // than one virtual next() per reference; the chunk lives on the
+    // stack so the hot loop reads refs out of L1.
+    constexpr std::size_t kReplayBatch = 4096;
+    MemRef batch[kReplayBatch];
     RefTime now = 0;
     std::uint64_t instructions = 0;
     std::uint64_t measured_refs = 0;
-    while ((options.maxRefs == 0 || now < options.maxRefs) &&
-           trace.next(ref)) {
-        ++now;
-        if (now == options.warmupRefs + 1 && options.warmupRefs != 0) {
-            // Warmup ends: zero the counters, keep the state.
-            tlb.resetStats();
-            policy.resetStats();
-            instructions = 0;
+    for (;;) {
+        std::size_t want = kReplayBatch;
+        if (options.maxRefs != 0) {
+            const std::uint64_t remaining = options.maxRefs - now;
+            if (remaining == 0)
+                break;
+            want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(want, remaining));
         }
-        if (now > options.warmupRefs)
-            ++measured_refs;
-        if (ref.type == RefType::Ifetch)
-            ++instructions;
-        const PageId page = policy.classify(ref.vaddr, now);
-        const bool hit = tlb.access(page, ref.vaddr);
-        if (!hit && address_space) {
-            if (two_sizes)
-                address_space->handleMiss(page, ProbeOrder::SmallFirst);
-            else
-                address_space->handleMissSingleSize(page);
+        const std::size_t got = trace.fill(batch, want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i) {
+            const MemRef &ref = batch[i];
+            ++now;
+            if (now == options.warmupRefs + 1 &&
+                options.warmupRefs != 0) {
+                // Warmup ends: zero the counters, keep the state.
+                tlb.resetStats();
+                policy.resetStats();
+                instructions = 0;
+            }
+            if (now > options.warmupRefs)
+                ++measured_refs;
+            if (ref.type == RefType::Ifetch)
+                ++instructions;
+            const PageId page = policy.classify(ref.vaddr, now);
+            const bool hit = tlb.access(page, ref.vaddr);
+            if (!hit && address_space) {
+                if (two_sizes)
+                    address_space->handleMiss(page,
+                                              ProbeOrder::SmallFirst);
+                else
+                    address_space->handleMissSingleSize(page);
+            }
+            if (wset)
+                wset->observe(page);
         }
-        if (wset)
-            wset->observe(page);
     }
     policy.setInvalidationSink(nullptr);
 

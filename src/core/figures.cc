@@ -3,6 +3,7 @@
 #include "trace/trace_stats.h"
 #include "trace/transforms.h"
 #include "util/format.h"
+#include "util/thread_pool.h"
 #include "workloads/registry.h"
 #include "wset/avg_working_set.h"
 #include "wset/two_size_working_set.h"
@@ -35,8 +36,7 @@ paperPolicy(const StudyScale &scale)
 std::vector<WorkloadRow>
 runWorkloadTable(const StudyScale &scale)
 {
-    std::vector<WorkloadRow> rows;
-    for (const auto &info : workloads::suite()) {
+    return forEachSuiteWorkload(scale, [&](const auto &info) {
         auto workload = info.instantiate();
 
         // One pass collects both descriptive stats and the 4KB
@@ -60,17 +60,15 @@ runWorkloadTable(const StudyScale &scale)
         row.rpi = stats.rpi();
         row.footprintBytes = stats.footprintBytes();
         row.avgWs4kBytes = wset.averageBytes(0, 0);
-        rows.push_back(std::move(row));
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::vector<WsSingleRow>
 runWsSingleStudy(const StudyScale &scale,
                  const std::vector<unsigned> &size_log2s)
 {
-    std::vector<WsSingleRow> rows;
-    for (const auto &info : workloads::suite()) {
+    return forEachSuiteWorkload(scale, [&](const auto &info) {
         auto workload = info.instantiate();
 
         // All sizes in one pass (the Slutz-Traiger property the
@@ -93,16 +91,14 @@ runWsSingleStudy(const StudyScale &scale,
                     ? 0.0
                     : wset.averageBytes(s, 0) / row.ws4kBytes);
         }
-        rows.push_back(std::move(row));
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::vector<WsTwoRow>
 runWsTwoStudy(const StudyScale &scale, const TwoSizeConfig &policy_config)
 {
-    std::vector<WsTwoRow> rows;
-    for (const auto &info : workloads::suite()) {
+    return forEachSuiteWorkload(scale, [&](const auto &info) {
         auto workload = info.instantiate();
 
         AvgWorkingSet wset_static(
@@ -135,9 +131,8 @@ runWsTwoStudy(const StudyScale &scale, const TwoSizeConfig &policy_config)
                 wset_dynamic.averageBytes() / row.ws4kBytes;
         }
         row.largeFraction = policy.stats().largeFraction();
-        rows.push_back(std::move(row));
-    }
-    return rows;
+        return row;
+    });
 }
 
 namespace
@@ -173,9 +168,8 @@ std::vector<CpiRow>
 runCpiStudy(const StudyScale &scale, const TlbConfig &base,
             const CpiModel &cpi)
 {
-    std::vector<CpiRow> rows;
     const TwoSizeConfig policy2 = paperPolicy(scale);
-    for (const auto &info : workloads::suite()) {
+    return forEachSuiteWorkload(scale, [&](const auto &info) {
         auto workload = info.instantiate();
 
         CpiRow row;
@@ -204,16 +198,14 @@ runCpiStudy(const StudyScale &scale, const TlbConfig &base,
         row.largeFraction = r2.policy.largeFraction();
         row.promotions = r2.policy.promotions;
 
-        rows.push_back(std::move(row));
-    }
-    return rows;
+        return row;
+    });
 }
 
 std::vector<IndexingRow>
 runIndexingStudy(const StudyScale &scale, std::size_t entries,
                  std::size_t ways, const CpiModel &cpi)
 {
-    std::vector<IndexingRow> rows;
     const TwoSizeConfig policy2 = paperPolicy(scale);
 
     TlbConfig base;
@@ -223,7 +215,7 @@ runIndexingStudy(const StudyScale &scale, std::size_t entries,
     base.smallLog2 = policy2.smallLog2;
     base.largeLog2 = policy2.largeLog2;
 
-    for (const auto &info : workloads::suite()) {
+    return forEachSuiteWorkload(scale, [&](const auto &info) {
         auto workload = info.instantiate();
 
         IndexingRow row;
@@ -253,9 +245,8 @@ runIndexingStudy(const StudyScale &scale, std::size_t entries,
                     cpi)
                 .cpiTlb;
 
-        rows.push_back(std::move(row));
-    }
-    return rows;
+        return row;
+    });
 }
 
 } // namespace tps::core

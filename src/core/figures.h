@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "util/thread_pool.h"
+#include "workloads/registry.h"
 
 namespace tps::core
 {
@@ -39,6 +41,14 @@ struct StudyScale
      * does).  Default: refs / 4.
      */
     std::uint64_t warmupRefs = 500'000;
+
+    /**
+     * Worker threads for the study runners (each workload row is an
+     * independent task; row order and results are identical at any
+     * thread count).  0 = auto: TPS_THREADS when set, else
+     * std::thread::hardware_concurrency(); 1 = serial.
+     */
+    unsigned threads = 0;
 };
 
 /**
@@ -46,6 +56,27 @@ struct StudyScale
  * overrides so benches can be run at paper scale.
  */
 StudyScale defaultScale();
+
+/**
+ * Map one row-builder over the whole suite, one task per workload,
+ * on the scale's worker threads.  Every task must instantiate its own
+ * generator and analyzers (tasks share no mutable state); results
+ * come back in suite order no matter how many threads ran them.  All
+ * the study runners below and the per-workload bench loops go through
+ * this.
+ */
+template <typename Fn>
+auto
+forEachSuiteWorkload(const StudyScale &scale, Fn &&fn)
+{
+    const auto &suite = workloads::suite();
+    const unsigned threads = scale.threads != 0
+                                 ? scale.threads
+                                 : util::ThreadPool::defaultThreads();
+    return util::parallelMapIndex(
+        threads, suite.size(),
+        [&](std::size_t i) { return fn(suite[i]); });
+}
 
 // ---------------------------------------------------------------- 3.1
 

@@ -1,15 +1,91 @@
 #include "core/sweep.h"
 
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "stats/csv.h"
 #include "stats/table.h"
+#include "trace/vector_trace.h"
 #include "util/format.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "workloads/registry.h"
 
 namespace tps::core
 {
+
+namespace
+{
+
+/**
+ * Above this per-workload trace length the automatic cache mode
+ * declines to materialize (16 bytes/ref: 4M refs = 64MB/workload).
+ */
+constexpr std::uint64_t kTraceCacheMaxRefs = 4'000'000;
+
+/**
+ * Generate-once storage for materialized workload traces, safe for
+ * concurrent cells.  The first requester of a workload synthesizes it
+ * under a per-entry future; every other requester (any thread) blocks
+ * on that future and then replays the shared immutable vector through
+ * its own SharedTraceView cursor.
+ */
+class MaterializedTraceCache
+{
+  public:
+    using Stored = std::shared_ptr<const std::vector<MemRef>>;
+
+    explicit MaterializedTraceCache(std::uint64_t max_refs)
+        : max_refs_(max_refs)
+    {
+    }
+
+    Stored
+    get(const std::string &name)
+    {
+        std::promise<Stored> promise;
+        std::shared_future<Stored> future;
+        bool builder = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(name);
+            if (it == entries_.end()) {
+                future = promise.get_future().share();
+                entries_.emplace(name, future);
+                builder = true;
+            } else {
+                future = it->second;
+            }
+        }
+        if (builder) {
+            try {
+                auto workload =
+                    workloads::findWorkload(name).instantiate();
+                auto refs = std::make_shared<std::vector<MemRef>>(
+                    static_cast<std::size_t>(max_refs_));
+                const std::size_t got =
+                    workload->fill(refs->data(), refs->size());
+                refs->resize(got);
+                promise.set_value(std::move(refs));
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+            }
+        }
+        return future.get();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<Stored>> entries_;
+    std::uint64_t max_refs_;
+};
+
+} // namespace
 
 std::string
 describePolicy(const PolicySpec &spec)
@@ -43,6 +119,20 @@ SweepRunner::options(const RunOptions &options)
     return *this;
 }
 
+SweepRunner &
+SweepRunner::threads(unsigned n)
+{
+    threads_ = n;
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::cacheTraces(bool enabled)
+{
+    cache_mode_ = enabled ? CacheMode::On : CacheMode::Off;
+    return *this;
+}
+
 std::size_t
 SweepRunner::cells() const
 {
@@ -62,20 +152,55 @@ SweepRunner::run() const
     if (names.empty())
         names = workloads::suiteNames();
 
-    std::vector<SweepCell> cells;
-    cells.reserve(names.size() * configs_.size());
-    for (const std::string &name : names) {
-        auto workload = workloads::findWorkload(name).instantiate();
-        for (const Config &config : configs_) {
-            SweepCell cell;
-            cell.workload = name;
-            cell.configLabel = config.label;
-            cell.result = runExperiment(*workload, config.policy,
-                                        config.tlb, options_);
-            cells.push_back(std::move(cell));
-        }
+    const unsigned nthreads =
+        threads_ != 0 ? threads_ : util::ThreadPool::defaultThreads();
+
+    // Materialized-trace cache: generate each workload once, replay
+    // it from memory for every configuration.  Requires a bounded
+    // reference budget (the generators are infinite).
+    bool use_cache;
+    switch (cache_mode_) {
+      case CacheMode::On:
+        use_cache = true;
+        break;
+      case CacheMode::Off:
+        use_cache = false;
+        break;
+      case CacheMode::Auto:
+      default: {
+        const std::uint64_t env = envOr("TPS_TRACE_CACHE", 2);
+        use_cache = env == 2 ? options_.maxRefs <= kTraceCacheMaxRefs
+                             : env != 0;
+        break;
+      }
     }
-    return cells;
+    if (use_cache && options_.maxRefs == 0) {
+        if (cache_mode_ == CacheMode::On)
+            tps_warn("trace cache disabled: maxRefs == 0 means "
+                     "unbounded sources, which cannot be materialized");
+        use_cache = false;
+    }
+
+    MaterializedTraceCache cache(options_.maxRefs);
+    auto runCell = [&](std::size_t index) {
+        const std::string &name = names[index / configs_.size()];
+        const Config &config = configs_[index % configs_.size()];
+        SweepCell cell;
+        cell.workload = name;
+        cell.configLabel = config.label;
+        std::unique_ptr<TraceSource> trace;
+        if (use_cache)
+            trace = std::make_unique<SharedTraceView>(cache.get(name),
+                                                      name);
+        else
+            trace = workloads::findWorkload(name).instantiate();
+        cell.result = runExperiment(*trace, config.policy, config.tlb,
+                                    options_);
+        return cell;
+    };
+    return util::parallelMapIndex(nthreads,
+                                  names.size() * configs_.size(),
+                                  runCell);
 }
 
 void
@@ -84,11 +209,9 @@ SweepRunner::printCpiTable(std::ostream &os,
 {
     // Column order = first-seen order of config labels.
     std::vector<std::string> columns;
+    std::unordered_set<std::string> seen_columns;
     for (const SweepCell &cell : cells) {
-        bool known = false;
-        for (const std::string &column : columns)
-            known |= column == cell.configLabel;
-        if (!known)
+        if (seen_columns.insert(cell.configLabel).second)
             columns.push_back(cell.configLabel);
     }
 
@@ -98,12 +221,10 @@ SweepRunner::printCpiTable(std::ostream &os,
 
     // Row order = first-seen order of workloads.
     std::vector<std::string> rows;
+    std::unordered_set<std::string> seen_rows;
     std::map<std::pair<std::string, std::string>, double> grid;
     for (const SweepCell &cell : cells) {
-        bool known = false;
-        for (const std::string &row : rows)
-            known |= row == cell.workload;
-        if (!known)
+        if (seen_rows.insert(cell.workload).second)
             rows.push_back(cell.workload);
         grid[{cell.workload, cell.configLabel}] = cell.result.cpiTlb;
     }

@@ -49,8 +49,31 @@ class SweepRunner
     SweepRunner &options(const RunOptions &options);
 
     /**
-     * Execute the grid (row-major: all configs of one workload before
-     * the next, so each workload's generator state is reused).
+     * Worker threads for run().  0 (the default) resolves to
+     * TPS_THREADS when set, else std::thread::hardware_concurrency();
+     * 1 forces the fully serial in-thread path.
+     */
+    SweepRunner &threads(unsigned n);
+
+    /**
+     * Force the shared materialized-trace cache on or off.  When on,
+     * each workload is generated once into an immutable in-memory
+     * trace and every configuration replays it through its own
+     * cursor; when off, each cell re-runs the generator.  The default
+     * (without calling this) is automatic: cached when options().
+     * maxRefs is bounded and small enough to hold in memory,
+     * overridable via TPS_TRACE_CACHE=0/1.  Either way the replayed
+     * stream is identical — sources are deterministic across reset().
+     */
+    SweepRunner &cacheTraces(bool enabled);
+
+    /**
+     * Execute the grid.  Cells are scheduled across the configured
+     * worker threads — each cell instantiates its own workload,
+     * policy and TLB, so cells share no mutable state — and the
+     * returned vector is always in serial row-major order (all
+     * configs of one workload before the next) with bit-identical
+     * results regardless of thread count.
      */
     std::vector<SweepCell> run() const;
 
@@ -72,9 +95,18 @@ class SweepRunner
         std::string label;
     };
 
+    enum class CacheMode
+    {
+        Auto,
+        On,
+        Off,
+    };
+
     std::vector<std::string> workload_names_;
     std::vector<Config> configs_;
     RunOptions options_;
+    unsigned threads_ = 0;
+    CacheMode cache_mode_ = CacheMode::Auto;
 };
 
 /** Human-readable label for a PolicySpec ("4KB", "4KB/32KB"). */

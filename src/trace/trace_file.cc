@@ -213,6 +213,21 @@ TraceFileReader::TraceFileReader(const std::string &path)
 bool
 TraceFileReader::next(MemRef &ref)
 {
+    return decodeNext(ref);
+}
+
+std::size_t
+TraceFileReader::fill(MemRef *out, std::size_t n)
+{
+    std::size_t produced = 0;
+    while (produced < n && decodeNext(out[produced]))
+        ++produced;
+    return produced;
+}
+
+bool
+TraceFileReader::decodeNext(MemRef &ref)
+{
     if (delivered_ >= ref_count_)
         return false;
     const int control = in_.get();

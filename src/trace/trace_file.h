@@ -72,6 +72,7 @@ class TraceFileReader : public TraceSource
     explicit TraceFileReader(const std::string &path);
 
     bool next(MemRef &ref) override;
+    std::size_t fill(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override { return name_; }
 
@@ -79,6 +80,8 @@ class TraceFileReader : public TraceSource
     std::uint64_t refCount() const { return ref_count_; }
 
   private:
+    bool decodeNext(MemRef &ref);
+
     std::ifstream in_;
     std::string path_;
     std::string name_;

@@ -6,6 +6,7 @@
 #ifndef TPS_TRACE_TRACE_SOURCE_H_
 #define TPS_TRACE_TRACE_SOURCE_H_
 
+#include <cstddef>
 #include <string>
 
 #include "trace/memref.h"
@@ -32,6 +33,25 @@ class TraceSource
      * @return false when the stream is exhausted (@p ref untouched).
      */
     virtual bool next(MemRef &ref) = 0;
+
+    /**
+     * Produce up to @p n references into @p out, returning how many
+     * were written; fewer than @p n (including 0) means the stream is
+     * exhausted.  Exactly equivalent to @p n repeated next() calls —
+     * callers may freely mix fill() and next() — but implementations
+     * override it to amortize the per-reference virtual dispatch
+     * (e.g. an in-memory trace answers with one memcpy).  The replay
+     * loop in core::runExperiment drains sources exclusively through
+     * this interface.
+     */
+    virtual std::size_t
+    fill(MemRef *out, std::size_t n)
+    {
+        std::size_t produced = 0;
+        while (produced < n && next(out[produced]))
+            ++produced;
+        return produced;
+    }
 
     /** Rewind to the first reference, replaying identically. */
     virtual void reset() = 0;

@@ -23,6 +23,17 @@ LimitSource::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+LimitSource::fill(MemRef *out, std::size_t n)
+{
+    const std::uint64_t remaining = max_refs_ - delivered_;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, remaining));
+    const std::size_t got = inner_.fill(out, want);
+    delivered_ += got;
+    return got;
+}
+
 void
 LimitSource::reset()
 {

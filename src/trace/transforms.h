@@ -27,6 +27,8 @@ class LimitSource : public TraceSource
     LimitSource(TraceSource &inner, std::uint64_t max_refs);
 
     bool next(MemRef &ref) override;
+    /** Clamps to the remaining budget, then batches into the inner. */
+    std::size_t fill(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override;
 

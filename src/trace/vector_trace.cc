@@ -1,5 +1,9 @@
 #include "trace/vector_trace.h"
 
+#include <algorithm>
+
+#include "util/logging.h"
+
 namespace tps
 {
 
@@ -15,6 +19,41 @@ VectorTrace::next(MemRef &ref)
         return false;
     ref = refs_[pos_++];
     return true;
+}
+
+std::size_t
+VectorTrace::fill(MemRef *out, std::size_t n)
+{
+    const std::size_t got = std::min(n, refs_.size() - pos_);
+    std::copy_n(refs_.data() + pos_, got, out);
+    pos_ += got;
+    return got;
+}
+
+SharedTraceView::SharedTraceView(
+    std::shared_ptr<const std::vector<MemRef>> refs, std::string name)
+    : refs_(std::move(refs)), name_(std::move(name))
+{
+    if (refs_ == nullptr)
+        tps_panic("SharedTraceView over null storage");
+}
+
+bool
+SharedTraceView::next(MemRef &ref)
+{
+    if (pos_ >= refs_->size())
+        return false;
+    ref = (*refs_)[pos_++];
+    return true;
+}
+
+std::size_t
+SharedTraceView::fill(MemRef *out, std::size_t n)
+{
+    const std::size_t got = std::min(n, refs_->size() - pos_);
+    std::copy_n(refs_->data() + pos_, got, out);
+    pos_ += got;
+    return got;
 }
 
 VectorTrace

@@ -6,6 +6,7 @@
 #ifndef TPS_TRACE_VECTOR_TRACE_H_
 #define TPS_TRACE_VECTOR_TRACE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@ class VectorTrace : public TraceSource
     void append(const MemRef &ref) { refs_.push_back(ref); }
 
     bool next(MemRef &ref) override;
+    std::size_t fill(MemRef *out, std::size_t n) override;
     void reset() override { pos_ = 0; }
     std::string name() const override { return name_; }
 
@@ -37,6 +39,31 @@ class VectorTrace : public TraceSource
   private:
     std::vector<MemRef> refs_;
     std::string name_ = "vector";
+    std::size_t pos_ = 0;
+};
+
+/**
+ * A cursor over reference storage owned elsewhere (shared_ptr).
+ *
+ * This is what the sweep runner's materialized-trace cache hands to
+ * concurrent experiment cells: one immutable MemRef vector, many
+ * independent read positions.  The underlying storage is never
+ * mutated, so any number of views may replay it simultaneously.
+ */
+class SharedTraceView : public TraceSource
+{
+  public:
+    SharedTraceView(std::shared_ptr<const std::vector<MemRef>> refs,
+                    std::string name);
+
+    bool next(MemRef &ref) override;
+    std::size_t fill(MemRef *out, std::size_t n) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+  private:
+    std::shared_ptr<const std::vector<MemRef>> refs_;
+    std::string name_;
     std::size_t pos_ = 0;
 };
 

@@ -1,0 +1,56 @@
+#include "util/thread_pool.h"
+
+#include "util/format.h"
+
+namespace tps::util
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) // stopping_ and nothing queued
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task(); // exceptions land in the packaged_task's future
+    }
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const std::uint64_t env = envOr("TPS_THREADS", 0);
+    if (env > 0)
+        return static_cast<unsigned>(env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace tps::util

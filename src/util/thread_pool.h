@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A fixed-size worker pool with exception-propagating futures.
+ *
+ * The sweep harness replays every (workload x configuration) cell as
+ * an independent task: each cell owns its workload generator, policy
+ * and TLB, so the only shared state is the task queue itself.  The
+ * pool is deliberately minimal — submit() hands back a std::future,
+ * and parallelMapIndex() preserves submission order so parallel sweeps
+ * emit cells in exactly the serial order.
+ */
+
+#ifndef TPS_UTIL_THREAD_POOL_H_
+#define TPS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tps::util
+{
+
+/** Fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn for execution on a worker.  The returned future
+     * yields fn's result; if fn throws, the exception is rethrown from
+     * future::get() on the caller's thread.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /**
+     * Worker count to use when the caller does not care: TPS_THREADS
+     * when set and positive, else std::thread::hardware_concurrency()
+     * (at least 1).
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * Evaluate fn(0) .. fn(n-1) and return the results in index order.
+ *
+ * With @p threads <= 1 (or fewer than two items) everything runs
+ * inline on the calling thread — the forced-serial path of
+ * `--threads 1`.  Otherwise a private pool of min(threads, n) workers
+ * executes the calls concurrently; the first exception thrown by any
+ * call is rethrown here (remaining tasks still run to completion so
+ * the pool can shut down cleanly).
+ */
+template <typename Fn>
+auto
+parallelMapIndex(unsigned threads, std::size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>>
+{
+    using Result = std::invoke_result_t<Fn, std::size_t>;
+    std::vector<Result> results;
+    results.reserve(n);
+    if (threads <= 1 || n < 2) {
+        for (std::size_t i = 0; i < n; ++i)
+            results.push_back(fn(i));
+        return results;
+    }
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads, n));
+    ThreadPool pool(workers);
+    std::vector<std::future<Result>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+    for (auto &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+} // namespace tps::util
+
+#endif // TPS_UTIL_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "workloads/synthetic_workload.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace tps::workloads
@@ -19,6 +21,24 @@ SyntheticWorkload::next(MemRef &ref)
     ref = queue_.front();
     queue_.pop_front();
     return true;
+}
+
+std::size_t
+SyntheticWorkload::fill(MemRef *out, std::size_t n)
+{
+    // Generators are infinite: always produces exactly n references.
+    std::size_t produced = 0;
+    while (produced < n) {
+        while (queue_.empty())
+            behave();
+        const std::size_t take =
+            std::min(n - produced, queue_.size());
+        std::copy_n(queue_.begin(), take, out + produced);
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(take));
+        produced += take;
+    }
+    return produced;
 }
 
 void

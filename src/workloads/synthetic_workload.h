@@ -28,6 +28,7 @@ class SyntheticWorkload : public TraceSource
 {
   public:
     bool next(MemRef &ref) final;
+    std::size_t fill(MemRef *out, std::size_t n) final;
     void reset() final;
     std::string name() const final { return name_; }
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The acceptance property of the parallel sweep runner: a sweep run
+ * on worker threads is cell-for-cell bit-identical to the serial run,
+ * and the materialized-trace cache changes nothing.  Exercised with
+ * two-size policies (promotion state), random replacement (seeded
+ * RNG per cell) and warmup, the three places nondeterminism would
+ * creep in first.
+ */
+
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tps::core
+{
+namespace
+{
+
+SweepRunner
+referenceSweep()
+{
+    TwoSizeConfig two_size;
+    two_size.window = 10'000;
+
+    TlbConfig fa;
+    fa.organization = TlbOrganization::FullyAssociative;
+    fa.entries = 16;
+
+    TlbConfig sa_random;
+    sa_random.organization = TlbOrganization::SetAssociative;
+    sa_random.entries = 32;
+    sa_random.ways = 2;
+    sa_random.replacement = ReplPolicy::Random;
+    sa_random.rngSeed = 17;
+
+    RunOptions options;
+    options.maxRefs = 60'000;
+    options.warmupRefs = 10'000;
+    options.wsWindow = 10'000;
+
+    SweepRunner sweep;
+    sweep.workloads({"li", "worm", "xnews"})
+        .configuration(fa, PolicySpec::single(kLog2_4K))
+        .configuration(fa, PolicySpec::twoSizes(two_size))
+        .configuration(sa_random, PolicySpec::twoSizes(two_size))
+        .options(options);
+    return sweep;
+}
+
+void
+expectCellsIdentical(const std::vector<SweepCell> &a,
+                     const std::vector<SweepCell> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i) + ": " +
+                     a[i].workload + " / " + a[i].configLabel);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].configLabel, b[i].configLabel);
+
+        const ExperimentResult &x = a[i].result;
+        const ExperimentResult &y = b[i].result;
+        EXPECT_EQ(x.workload, y.workload);
+        EXPECT_EQ(x.tlbName, y.tlbName);
+        EXPECT_EQ(x.policyName, y.policyName);
+        EXPECT_EQ(x.refs, y.refs);
+        EXPECT_EQ(x.instructions, y.instructions);
+
+        EXPECT_EQ(x.tlb.accesses, y.tlb.accesses);
+        EXPECT_EQ(x.tlb.hits, y.tlb.hits);
+        EXPECT_EQ(x.tlb.misses, y.tlb.misses);
+        EXPECT_EQ(x.tlb.hitsSmall, y.tlb.hitsSmall);
+        EXPECT_EQ(x.tlb.hitsLarge, y.tlb.hitsLarge);
+        EXPECT_EQ(x.tlb.missesSmall, y.tlb.missesSmall);
+        EXPECT_EQ(x.tlb.missesLarge, y.tlb.missesLarge);
+        EXPECT_EQ(x.tlb.fills, y.tlb.fills);
+        EXPECT_EQ(x.tlb.evictions, y.tlb.evictions);
+        EXPECT_EQ(x.tlb.invalidations, y.tlb.invalidations);
+
+        EXPECT_EQ(x.policy.refsSmall, y.policy.refsSmall);
+        EXPECT_EQ(x.policy.refsLarge, y.policy.refsLarge);
+        EXPECT_EQ(x.policy.promotions, y.policy.promotions);
+        EXPECT_EQ(x.policy.demotions, y.policy.demotions);
+
+        // Bit-identical doubles, not nearly-equal: the parallel path
+        // must perform the exact same arithmetic as the serial one.
+        EXPECT_EQ(x.cpiTlb, y.cpiTlb);
+        EXPECT_EQ(x.mpi, y.mpi);
+        EXPECT_EQ(x.missRatio, y.missRatio);
+        EXPECT_EQ(x.rpi, y.rpi);
+        EXPECT_EQ(x.avgWsBytes, y.avgWsBytes);
+    }
+}
+
+TEST(ParallelSweepTest, FourThreadsBitIdenticalToSerial)
+{
+    SweepRunner sweep = referenceSweep();
+    sweep.threads(1);
+    const auto serial = sweep.run();
+    sweep.threads(4);
+    const auto parallel = sweep.run();
+    expectCellsIdentical(serial, parallel);
+}
+
+TEST(ParallelSweepTest, RepeatedParallelRunsAgree)
+{
+    SweepRunner sweep = referenceSweep();
+    sweep.threads(4);
+    const auto first = sweep.run();
+    const auto second = sweep.run();
+    expectCellsIdentical(first, second);
+}
+
+TEST(ParallelSweepTest, TraceCacheDoesNotChangeResults)
+{
+    SweepRunner sweep = referenceSweep();
+    sweep.threads(2).cacheTraces(false);
+    const auto uncached = sweep.run();
+    sweep.cacheTraces(true);
+    const auto cached = sweep.run();
+    expectCellsIdentical(uncached, cached);
+}
+
+TEST(ParallelSweepTest, CachedCellsKeepWorkloadNames)
+{
+    SweepRunner sweep = referenceSweep();
+    sweep.threads(2).cacheTraces(true);
+    const auto cells = sweep.run();
+    ASSERT_EQ(cells.size(), 9u);
+    EXPECT_EQ(cells[0].result.workload, "li");
+    EXPECT_EQ(cells[3].result.workload, "worm");
+    EXPECT_EQ(cells[6].result.workload, "xnews");
+}
+
+TEST(ParallelSweepTest, ZeroThreadsResolvesAndRuns)
+{
+    // 0 = auto (TPS_THREADS / hardware_concurrency); must still give
+    // the serial answer on any machine.
+    SweepRunner sweep = referenceSweep();
+    sweep.threads(1);
+    const auto serial = sweep.run();
+    sweep.threads(0);
+    const auto automatic = sweep.run();
+    expectCellsIdentical(serial, automatic);
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Batch-fill equivalence: for every TraceSource, fill(out, n) must
+ * deliver exactly the stream n repeated next() calls would, including
+ * short reads at end-of-trace and arbitrary interleaving of the two
+ * APIs.  The batched experiment loop depends on this contract.
+ */
+
+#include "trace/trace_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_file.h"
+#include "trace/transforms.h"
+#include "trace/vector_trace.h"
+#include "util/random.h"
+#include "workloads/registry.h"
+
+namespace tps
+{
+namespace
+{
+
+std::vector<MemRef>
+syntheticRefs(std::size_t count)
+{
+    Rng rng(99);
+    std::vector<MemRef> refs;
+    refs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        MemRef ref;
+        ref.vaddr = rng.next64() & 0xFFFF'FFFF;
+        ref.type = i % 3 == 0 ? RefType::Ifetch
+                              : (i % 3 == 1 ? RefType::Load
+                                            : RefType::Store);
+        refs.push_back(ref);
+    }
+    return refs;
+}
+
+std::vector<MemRef>
+drainViaNext(TraceSource &source, std::size_t cap)
+{
+    std::vector<MemRef> out;
+    MemRef ref;
+    while (out.size() < cap && source.next(ref))
+        out.push_back(ref);
+    return out;
+}
+
+std::vector<MemRef>
+drainViaFill(TraceSource &source, std::size_t cap, std::size_t chunk)
+{
+    std::vector<MemRef> out;
+    std::vector<MemRef> buffer(chunk);
+    while (out.size() < cap) {
+        const std::size_t want =
+            std::min(chunk, cap - out.size());
+        const std::size_t got = source.fill(buffer.data(), want);
+        out.insert(out.end(), buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(got));
+        if (got == 0)
+            break;
+    }
+    return out;
+}
+
+/**
+ * Core contract check: after reset(), draining via fill (odd chunk
+ * size) matches draining via next.  @p cap bounds infinite sources.
+ */
+void
+expectFillMatchesNext(TraceSource &source, std::size_t cap)
+{
+    source.reset();
+    const auto via_next = drainViaNext(source, cap);
+    source.reset();
+    const auto via_fill = drainViaFill(source, cap, 7);
+    EXPECT_EQ(via_next, via_fill);
+    source.reset();
+    const auto via_big_fill = drainViaFill(source, cap, cap + 13);
+    EXPECT_EQ(via_next, via_big_fill);
+}
+
+TEST(FillTest, VectorTraceMatchesNext)
+{
+    VectorTrace trace(syntheticRefs(1000));
+    expectFillMatchesNext(trace, 2000);
+}
+
+TEST(FillTest, VectorTraceShortReadAtEnd)
+{
+    VectorTrace trace(syntheticRefs(10));
+    MemRef buffer[64];
+    EXPECT_EQ(trace.fill(buffer, 64), 10u);
+    EXPECT_EQ(trace.fill(buffer, 64), 0u);
+    MemRef ref;
+    EXPECT_FALSE(trace.next(ref));
+    trace.reset();
+    EXPECT_EQ(trace.fill(buffer, 4), 4u);
+}
+
+TEST(FillTest, SharedTraceViewMatchesNextAndSharesStorage)
+{
+    auto storage = std::make_shared<const std::vector<MemRef>>(
+        syntheticRefs(500));
+    SharedTraceView view(storage, "shared");
+    expectFillMatchesNext(view, 1000);
+
+    // Two views over one storage advance independently.
+    SharedTraceView a(storage, "a");
+    SharedTraceView b(storage, "b");
+    MemRef ref;
+    ASSERT_TRUE(a.next(ref));
+    ASSERT_TRUE(a.next(ref));
+    const auto from_a = drainViaFill(a, 1000, 9);
+    const auto from_b = drainViaNext(b, 1000);
+    EXPECT_EQ(from_a.size(), 498u);
+    EXPECT_EQ(from_b.size(), 500u);
+    EXPECT_EQ(std::vector<MemRef>(from_b.begin() + 2, from_b.end()),
+              from_a);
+}
+
+TEST(FillTest, TraceFileReaderMatchesNext)
+{
+    const std::string path =
+        ::testing::TempDir() + "tps_fill_test.tps";
+    const auto refs = syntheticRefs(300);
+    {
+        TraceFileWriter writer(path, "fill");
+        for (const MemRef &ref : refs)
+            writer.write(ref);
+    }
+    TraceFileReader reader(path);
+    expectFillMatchesNext(reader, 600);
+    reader.reset();
+    EXPECT_EQ(drainViaFill(reader, 600, 11), refs);
+    std::remove(path.c_str());
+}
+
+TEST(FillTest, LimitSourceClampsToBudget)
+{
+    VectorTrace inner(syntheticRefs(100));
+    LimitSource limited(inner, 37);
+    expectFillMatchesNext(limited, 100);
+
+    limited.reset();
+    MemRef buffer[64];
+    EXPECT_EQ(limited.fill(buffer, 64), 37u);
+    EXPECT_EQ(limited.fill(buffer, 64), 0u);
+}
+
+TEST(FillTest, TypeFilterSourceMatchesNext)
+{
+    VectorTrace inner(syntheticRefs(400));
+    TypeFilterSource data_only(inner, false, true, true);
+    expectFillMatchesNext(data_only, 800);
+}
+
+TEST(FillTest, InterleaveSourceMatchesNext)
+{
+    VectorTrace a(syntheticRefs(120));
+    VectorTrace b(syntheticRefs(80));
+    InterleaveSource merged({&a, &b}, 16);
+    expectFillMatchesNext(merged, 400);
+}
+
+TEST(FillTest, SyntheticWorkloadsMatchNext)
+{
+    // Generators are infinite and deterministic across instantiate();
+    // two fresh instances must produce identical streams regardless
+    // of the API used to drain them.
+    for (const char *name : {"li", "worm", "matrix300", "verilog"}) {
+        auto via_next_source =
+            workloads::findWorkload(name).instantiate();
+        auto via_fill_source =
+            workloads::findWorkload(name).instantiate();
+        const auto via_next = drainViaNext(*via_next_source, 20'000);
+        const auto via_fill =
+            drainViaFill(*via_fill_source, 20'000, 513);
+        ASSERT_EQ(via_next.size(), 20'000u) << name;
+        EXPECT_EQ(via_next, via_fill) << name;
+    }
+}
+
+TEST(FillTest, MixedFillAndNextIsOneStream)
+{
+    auto reference = workloads::findWorkload("espresso").instantiate();
+    auto mixed = workloads::findWorkload("espresso").instantiate();
+    const auto expected = drainViaNext(*reference, 5'000);
+
+    std::vector<MemRef> got;
+    MemRef buffer[256];
+    MemRef one;
+    while (got.size() < 5'000) {
+        // Alternate single next() calls with odd-size batches.
+        ASSERT_TRUE(mixed->next(one));
+        got.push_back(one);
+        const std::size_t want = std::min<std::size_t>(
+            173, 5'000 - got.size());
+        const std::size_t n = mixed->fill(buffer, want);
+        got.insert(got.end(), buffer, buffer + n);
+    }
+    got.resize(5'000);
+    EXPECT_EQ(got, expected);
+}
+
+} // namespace
+} // namespace tps

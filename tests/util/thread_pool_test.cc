@@ -1,0 +1,118 @@
+/** @file Unit tests for the worker pool behind parallel sweeps. */
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tps::util
+{
+namespace
+{
+
+TEST(ThreadPoolTest, ZeroTasksConstructDestroy)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    // Destructor must join cleanly with an empty queue.
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return std::string("done"); });
+    EXPECT_EQ(future.get(), "done");
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futures;
+    futures.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        futures.push_back(pool.submit([i, &ran] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            return i;
+        }));
+    long long sum = 0;
+    for (auto &future : futures)
+        sum += future.get();
+    EXPECT_EQ(ran.load(), 1000);
+    EXPECT_EQ(sum, 999LL * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    auto good = pool.submit([] { return 1; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(good.get(), 1);
+    EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsEnv)
+{
+    ::setenv("TPS_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    ::unsetenv("TPS_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ParallelMapIndexTest, PreservesIndexOrder)
+{
+    const auto squares = parallelMapIndex(
+        4, 100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMapIndexTest, SerialAndParallelAgree)
+{
+    auto fn = [](std::size_t i) { return 3 * i + 1; };
+    EXPECT_EQ(parallelMapIndex(1, 64, fn), parallelMapIndex(8, 64, fn));
+}
+
+TEST(ParallelMapIndexTest, EmptyAndSingleton)
+{
+    auto fn = [](std::size_t i) { return i; };
+    EXPECT_TRUE(parallelMapIndex(4, 0, fn).empty());
+    EXPECT_EQ(parallelMapIndex(4, 1, fn),
+              std::vector<std::size_t>{0});
+}
+
+TEST(ParallelMapIndexTest, PropagatesTaskException)
+{
+    EXPECT_THROW(parallelMapIndex(4, 16,
+                                  [](std::size_t i) -> int {
+                                      if (i == 5)
+                                          throw std::runtime_error(
+                                              "cell failed");
+                                      return 0;
+                                  }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace tps::util
