@@ -46,16 +46,28 @@ main(int argc, char **argv)
                 std::to_string(ways) + "-way");
         }
         const auto cells = sweep.run();
+        core::SweepRunner::exportStats(cells, bench::registry(),
+                                       "sweep.assoc_large_index");
 
         stats::TextTable table({"Program", "1-way", "2-way", "4-way",
                                 "8-way", "16-way"});
+        std::vector<std::vector<std::string>> csv_rows;
         const std::size_t nways = std::size(way_options);
         for (std::size_t w = 0; w < cells.size(); w += nways) {
             std::vector<std::string> row = {cells[w].workload};
-            for (std::size_t c = 0; c < nways; ++c)
+            std::vector<std::string> csv_row = {cells[w].workload};
+            for (std::size_t c = 0; c < nways; ++c) {
                 row.push_back(bench::cpi(cells[w + c].result.cpiTlb));
+                csv_row.push_back(
+                    formatFixed(cells[w + c].result.cpiTlb, 6));
+            }
             table.addRow(std::move(row));
+            csv_rows.push_back(std::move(csv_row));
         }
+        bench::record("ablation_assoc_large_index",
+                      {"program", "cpi_1way", "cpi_2way", "cpi_4way",
+                       "cpi_8way", "cpi_16way"},
+                      csv_rows);
         table.print(std::cout);
     }
 
@@ -64,6 +76,7 @@ main(int argc, char **argv)
     {
         stats::TextTable table({"Pages", "1-way", "2-way", "4-way",
                                 "8-way", "16-way"});
+        std::vector<std::vector<std::string>> csv_rows;
         for (unsigned size_log2 : {kLog2_4K, kLog2_32K}) {
             std::vector<std::string> row = {
                 formatBytes(std::uint64_t{1} << size_log2)};
@@ -87,8 +100,17 @@ main(int argc, char **argv)
                         options)
                         .cpiTlb));
             }
+            csv_rows.push_back(row);
+            csv_rows.back().front() =
+                "size_" + std::to_string(
+                              (std::uint64_t{1} << size_log2) / 1024) +
+                "k";
             table.addRow(std::move(row));
         }
+        bench::record("ablation_assoc_tomcatv",
+                      {"pages", "cpi_1way", "cpi_2way", "cpi_4way",
+                       "cpi_8way", "cpi_16way"},
+                      csv_rows);
         table.print(std::cout);
     }
     return 0;

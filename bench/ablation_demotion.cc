@@ -40,6 +40,7 @@ main(int argc, char **argv)
 
     stats::TextTable table({"Demotion", "mean CPI_TLB", "promotions",
                             "demotions", "invalidations"});
+    std::vector<std::vector<std::string>> csv_rows;
     for (const Variant &variant : variants) {
         const auto results = core::forEachSuiteWorkload(
             scale, [&](const auto &info) {
@@ -64,7 +65,16 @@ main(int argc, char **argv)
         table.addRow({variant.label, bench::cpi(cpi_sum / 12),
                       withCommas(promotions), withCommas(demotions),
                       withCommas(invalidations)});
+        csv_rows.push_back({variant.label,
+                            formatFixed(cpi_sum / 12, 6),
+                            std::to_string(promotions),
+                            std::to_string(demotions),
+                            std::to_string(invalidations)});
     }
+    bench::record("ablation_demotion",
+                  {"variant", "mean_cpi_tlb", "promotions", "demotions",
+                   "invalidations"},
+                  csv_rows);
     table.print(std::cout);
     std::cout << "\nreading: demotion roughly triples shootdown "
                  "traffic for a small miss-count saving; CPI_TLB "

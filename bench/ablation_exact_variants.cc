@@ -74,6 +74,10 @@ main(int argc, char **argv)
             }
             return row;
         });
+    bench::record("ablation_exact_variants",
+                  {"program", "cpi_parallel", "cpi_seq_1cy",
+                   "cpi_seq_2cy", "cpi_split_24_8", "cpi_split_16_16"},
+                  rows);
     for (auto row : rows)
         table.addRow(std::move(row));
     table.print(std::cout);

@@ -59,6 +59,7 @@ main(int argc, char **argv)
     std::cout << "-- two-size penalty factor sweep --\n";
     stats::TextTable table({"Factor", "penalty", "mean CPI(4K/32K)",
                             "programs improving"});
+    std::vector<std::vector<std::string>> csv_rows;
     for (double factor : {1.0, 1.1, 1.25, 1.5, 1.75, 2.0}) {
         core::CpiModel model;
         model.twoSizeFactor = factor;
@@ -75,7 +76,15 @@ main(int argc, char **argv)
                       formatFixed(20.0 * factor, 0) + "cy",
                       bench::cpi(cpi_sum / 12),
                       std::to_string(improving) + "/12"});
+        csv_rows.push_back({"factor_" + formatFixed(factor, 2),
+                            formatFixed(20.0 * factor, 1),
+                            formatFixed(cpi_sum / 12, 6),
+                            std::to_string(improving)});
     }
+    bench::record("ablation_penalty_sweep",
+                  {"factor", "penalty_cycles", "mean_cpi_two_size",
+                   "programs_improving"},
+                  csv_rows);
     table.print(std::cout);
 
     std::cout << "\n-- measured handler cost from the page-table "
@@ -109,6 +118,10 @@ main(int argc, char **argv)
                 formatFixed(two.measuredMissCycles, 1),
                 formatFixed(ratio, 2) + "x"};
         });
+    bench::record("ablation_penalty_measured",
+                  {"program", "single_size_cy_per_miss",
+                   "two_size_cy_per_miss", "ratio"},
+                  measured_rows);
     for (auto row : measured_rows)
         measured.addRow(std::move(row));
     measured.print(std::cout);

@@ -54,15 +54,24 @@ main(int argc, char **argv)
                 }
                 return per_policy;
             });
+        std::vector<std::vector<std::string>> csv_rows;
         for (std::size_t w = 0; w < cpis.size(); ++w) {
             std::vector<std::string> row = {
                 workloads::suite()[w].name};
+            std::vector<std::string> csv_row = {row.front()};
             for (std::size_t p = 0; p < 4; ++p) {
                 sums[p] += cpis[w][p];
                 row.push_back(bench::cpi(cpis[w][p]));
+                csv_row.push_back(formatFixed(cpis[w][p], 6));
             }
             table.addRow(std::move(row));
+            csv_rows.push_back(std::move(csv_row));
         }
+        bench::record(two_sizes ? "ablation_replacement_two_size"
+                                : "ablation_replacement_4k",
+                      {"program", "cpi_lru", "cpi_fifo", "cpi_random",
+                       "cpi_tree_plru"},
+                      csv_rows);
         std::vector<std::string> avg = {"mean"};
         for (double sum : sums)
             avg.push_back(bench::cpi(sum / 12));

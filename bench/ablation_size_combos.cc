@@ -43,6 +43,9 @@ main(int argc, char **argv)
         base_cpi += cpi;
     table.addRow({"4KB only", bench::cpi(base_cpi / 12), "1.00x",
                   "1.00", "0.0"});
+    std::vector<std::vector<std::string>> csv_rows;
+    csv_rows.push_back({"4k_only", formatFixed(base_cpi / 12, 6),
+                        "1.0", "1.0", "0.0"});
 
     struct Cell
     {
@@ -103,7 +106,18 @@ main(int argc, char **argv)
                           "x",
                       bench::ratio(ws_sum / n),
                       formatFixed(large_sum / n * 100.0, 1)});
+        csv_rows.push_back(
+            {"4k_" + std::to_string((std::uint64_t{1} << large_log2) /
+                                    1024) +
+                 "k",
+             formatFixed(cpi, 6),
+             formatFixed(cpi > 0 ? base_cpi / 12 / cpi : 0.0, 4),
+             formatFixed(ws_sum / n, 4), formatFixed(large_sum / n, 6)});
     }
+    bench::record("ablation_size_combos",
+                  {"combo", "mean_cpi_tlb", "speedup_vs_4k",
+                   "mean_ws_norm", "large_fraction"},
+                  csv_rows);
     table.print(std::cout);
     std::cout << "\nexpected shape: bigger large pages map more per "
                  "entry (better CPI) but cost more working set; "

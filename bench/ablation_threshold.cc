@@ -35,6 +35,7 @@ main(int argc, char **argv)
         double largeFraction = 0.0;
         std::uint64_t promotions = 0;
     };
+    std::vector<std::vector<std::string>> csv_rows;
     for (unsigned threshold = 1; threshold <= 8; ++threshold) {
         const auto cells = core::forEachSuiteWorkload(
             scale, [&](const auto &info) {
@@ -85,7 +86,16 @@ main(int argc, char **argv)
                       bench::ratio(ws_sum / n),
                       formatFixed(large_sum / n * 100.0, 1),
                       withCommas(promotions)});
+        csv_rows.push_back({"t" + std::to_string(threshold),
+                            formatFixed(cpi_sum / n, 6),
+                            formatFixed(ws_sum / n, 4),
+                            formatFixed(large_sum / n, 6),
+                            std::to_string(promotions)});
     }
+    bench::record("ablation_threshold",
+                  {"threshold", "mean_cpi_tlb", "mean_ws_norm",
+                   "large_fraction", "promotions"},
+                  csv_rows);
     table.print(std::cout);
     std::cout << "\npaper's choice is threshold 4 (half the blocks): "
                  "WS inflation provably capped at 2x\n";

@@ -16,6 +16,10 @@
 #include <vector>
 
 #include "core/figures.h"
+#include "obs/manifest.h"
+#include "obs/progress.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_profiler.h"
 #include "stats/csv.h"
 #include "stats/table.h"
 #include "util/format.h"
@@ -60,15 +64,218 @@ resolvedThreads(const core::StudyScale &scale)
 }
 
 /**
+ * Extract `--<flag> VALUE` or `--<flag>=VALUE` from argv.
+ * @return true and set @p value when present.
+ */
+inline bool
+flagValue(int argc, char **argv, const std::string &flag,
+          std::string &value)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) {
+            value = argv[i + 1];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            value = arg.substr(flag.size() + 1);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** True when the bare flag appears in argv. */
+inline bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
+namespace detail
+{
+
+/** Per-process observability state shared by every bench helper. */
+struct ObsState
+{
+    obs::StatRegistry registry;
+    obs::RunManifest manifest;
+    std::string statsOut;
+    std::string traceOut;
+};
+
+inline ObsState &
+obsState()
+{
+    static ObsState state;
+    return state;
+}
+
+/** atexit hook: write --stats-out / --trace-out files. */
+inline void
+flushObs()
+{
+    ObsState &state = obsState();
+    if (!state.statsOut.empty()) {
+        std::ofstream out(state.statsOut);
+        if (!out) {
+            std::fprintf(stderr, "warn: cannot write %s\n",
+                         state.statsOut.c_str());
+        } else {
+            state.registry.writeJson(out, &state.manifest);
+            std::fprintf(stderr, "info: wrote %s\n",
+                         state.statsOut.c_str());
+        }
+    }
+    if (!state.traceOut.empty()) {
+        const obs::TraceProfiler *profiler = obs::TraceProfiler::global();
+        if (profiler != nullptr) {
+            std::ofstream out(state.traceOut);
+            if (!out) {
+                std::fprintf(stderr, "warn: cannot write %s\n",
+                             state.traceOut.c_str());
+            } else {
+                profiler->writeJson(out);
+                std::fprintf(stderr, "info: wrote %s\n",
+                             state.traceOut.c_str());
+            }
+        }
+    }
+}
+
+} // namespace detail
+
+/**
+ * The process-wide stats registry.  Everything a bench records here
+ * (plus the run manifest) lands in the `--stats-out` JSON, written at
+ * exit.
+ */
+inline obs::StatRegistry &
+registry()
+{
+    return detail::obsState().registry;
+}
+
+/** The manifest attached to this run's stats dump (set by banner()). */
+inline obs::RunManifest &
+manifest()
+{
+    return detail::obsState().manifest;
+}
+
+/** Record one named statistic (see obs::StatRegistry naming rules). */
+inline void
+stat(const std::string &name, std::uint64_t value)
+{
+    registry().addCounter(name, value);
+}
+
+inline void
+stat(const std::string &name, double value)
+{
+    registry().addValue(name, value);
+}
+
+inline void
+stat(const std::string &name, const std::string &value)
+{
+    registry().addText(name, value);
+}
+
+/**
+ * Remove the observability/thread options banner() consumes from an
+ * argv that is about to be handed to a stricter parser (micro_perf
+ * gives its argv to google-benchmark, which exits on anything it
+ * does not recognize).
+ */
+inline void
+stripObsArgs(int &argc, char **argv)
+{
+    const std::vector<std::string> value_flags = {
+        "--threads", "--stats-out", "--trace-out"};
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--progress")
+            continue;
+        bool strip = false;
+        for (const std::string &flag : value_flags) {
+            if (arg == flag) {
+                ++i; // also skip the value
+                strip = true;
+                break;
+            }
+            if (arg.rfind(flag + "=", 0) == 0) {
+                strip = true;
+                break;
+            }
+        }
+        if (!strip)
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+}
+
+/**
  * Command-line-aware banner: parses `--threads N` into the returned
  * scale so every bench can be pinned (1 = serial) or widened without
- * touching TPS_THREADS.
+ * touching TPS_THREADS, and wires up the observability options every
+ * bench shares:
+ *
+ *   --stats-out FILE   dump the stats registry (with run manifest)
+ *                      as tps-stats-v1 JSON at exit
+ *   --trace-out FILE   enable the global span profiler and write
+ *                      Chrome trace_event JSON at exit (load in
+ *                      chrome://tracing or ui.perfetto.dev)
+ *   --progress         rate-limited progress lines on stderr
+ *                      (TPS_PROGRESS=1 equivalent)
  */
 inline core::StudyScale
 banner(int argc, char **argv, const char *experiment, const char *what)
 {
     core::StudyScale scale = core::defaultScale();
     scale.threads = threadsFromArgs(argc, argv, scale.threads);
+
+    detail::ObsState &state = detail::obsState();
+    std::string value;
+    if (flagValue(argc, argv, "--stats-out", value))
+        state.statsOut = value;
+    if (flagValue(argc, argv, "--trace-out", value)) {
+        state.traceOut = value;
+        obs::TraceProfiler::enableGlobal();
+    }
+    const char *progress_env = std::getenv("TPS_PROGRESS");
+    if (hasFlag(argc, argv, "--progress") ||
+        (progress_env != nullptr && progress_env[0] != '\0' &&
+         std::string(progress_env) != "0")) {
+        obs::setProgressEnabled(true);
+    }
+
+    state.manifest = obs::RunManifest::capture(experiment, argc, argv);
+    state.manifest.refs = scale.refs;
+    state.manifest.window = scale.window;
+    state.manifest.warmupRefs = scale.warmupRefs;
+    state.manifest.threads = resolvedThreads(scale);
+    const char *cache_env = std::getenv("TPS_TRACE_CACHE");
+    if (cache_env != nullptr && cache_env[0] != '\0') {
+        state.manifest.traceCacheMode =
+            std::string(cache_env) == "0"
+                ? "off"
+                : (std::string(cache_env) == "1" ? "on" : "auto");
+    }
+
+    // One registration is enough; flushing with nothing requested is
+    // a no-op.
+    static const bool registered = [] {
+        std::atexit(&detail::flushObs);
+        return true;
+    }();
+    (void)registered;
+
     std::cout << "== " << experiment << ": " << what << " ==\n"
               << "   refs/workload = " << withCommas(scale.refs)
               << ", window T = " << withCommas(scale.window)
@@ -125,6 +332,56 @@ maybeWriteCsv(const std::string &experiment,
     for (const auto &row : rows)
         csv.writeRow(row);
     std::cerr << "info: wrote " << path << "\n";
+}
+
+/**
+ * Record one result table under both sinks at once: the TPS_CSV_DIR
+ * dump (as before) and the stats registry, as
+ * "bench.<table>.<row[0]>.<header>" with numeric-looking cells parsed
+ * into counters/values and everything else kept as text.  Every bench
+ * routes its tables through here so `--stats-out` captures the same
+ * numbers the printed table shows.
+ */
+inline void
+record(const std::string &table,
+       const std::vector<std::string> &headers,
+       const std::vector<std::vector<std::string>> &rows)
+{
+    maybeWriteCsv(table, headers, rows);
+
+    obs::StatRegistry &reg = registry();
+    const std::string base = "bench." + obs::slugify(table);
+    for (const auto &row : rows) {
+        if (row.empty())
+            continue;
+        const std::string row_base =
+            base + "." + obs::slugify(row.front());
+        for (std::size_t c = 1; c < row.size() && c < headers.size();
+             ++c) {
+            const std::string name =
+                row_base + "." + obs::slugify(headers[c]);
+            if (reg.has(name)) {
+                tps_warn("bench stat '", name,
+                         "' recorded twice; keeping the first");
+                continue;
+            }
+            const std::string &cell = row[c];
+            char *end = nullptr;
+            const long long as_int =
+                std::strtoll(cell.c_str(), &end, 10);
+            if (end != cell.c_str() && *end == '\0' && as_int >= 0) {
+                reg.addCounter(name,
+                               static_cast<std::uint64_t>(as_int));
+                continue;
+            }
+            end = nullptr;
+            const double as_double = std::strtod(cell.c_str(), &end);
+            if (end != cell.c_str() && *end == '\0')
+                reg.addValue(name, as_double);
+            else
+                reg.addText(name, cell);
+        }
+    }
 }
 
 } // namespace tps::bench

@@ -30,6 +30,7 @@ main(int argc, char **argv)
 
     stats::TextTable table({"Program", "MPI(4KB)", "MPI(4K/32K)",
                             "delta-mp", "improves?"});
+    std::vector<std::vector<std::string>> csv_rows;
     for (const auto &row : rows) {
         const double dmp = row.deltaMp();
         table.addRow(
@@ -37,7 +38,16 @@ main(int argc, char **argv)
              formatFixed(row.mpiTwoSize * 1000.0, 3) + "e-3",
              std::isinf(dmp) ? "inf" : formatFixed(dmp, 0) + "%",
              row.cpiTwoSize < row.cpi4k ? "yes" : "no"});
+        csv_rows.push_back(
+            {row.name, formatFixed(row.mpi4k, 8),
+             formatFixed(row.mpiTwoSize, 8),
+             std::isinf(dmp) ? "inf" : formatFixed(dmp, 2),
+             row.cpiTwoSize < row.cpi4k ? "yes" : "no"});
     }
+    bench::record("delta_mp",
+                  {"program", "mpi_4k", "mpi_two_size", "delta_mp_pct",
+                   "improves"},
+                  csv_rows);
     table.print(std::cout);
     std::cout << "\npaper: delta-mp spans ~30%..1200% for improving "
                  "programs (32-entry two-way)\n";

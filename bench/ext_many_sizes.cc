@@ -77,6 +77,7 @@ main(int argc, char **argv)
         return Cell{info.name, cpi1, cpi2, cpi3, pct256};
     });
     double sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+    std::vector<std::vector<std::string>> csv_rows;
     for (const Cell &cell : cells) {
         sum1 += cell.cpi1;
         sum2 += cell.cpi2;
@@ -84,7 +85,15 @@ main(int argc, char **argv)
         table.addRow({cell.name, bench::cpi(cell.cpi1),
                       bench::cpi(cell.cpi2), bench::cpi(cell.cpi3),
                       formatFixed(cell.pct256, 1)});
+        csv_rows.push_back({cell.name, formatFixed(cell.cpi1, 6),
+                            formatFixed(cell.cpi2, 6),
+                            formatFixed(cell.cpi3, 6),
+                            formatFixed(cell.pct256, 4)});
     }
+    bench::record("ext_many_sizes",
+                  {"program", "cpi_4k", "cpi_two_size",
+                   "cpi_three_size", "pct_refs_256k"},
+                  csv_rows);
     table.addRule();
     table.addRow({"mean", bench::cpi(sum1 / 12), bench::cpi(sum2 / 12),
                   bench::cpi(sum3 / 12), ""});

@@ -25,6 +25,7 @@ main(int argc, char **argv)
 
     stats::TextTable table({"Quantum", "TLB", "CPI 4KB", "CPI 4K/32K",
                             "two-size wins?"});
+    std::vector<std::vector<std::string>> csv_rows;
     for (std::uint64_t quantum : {5'000ull, 20'000ull, 100'000ull}) {
         for (std::size_t entries : {std::size_t{32}, std::size_t{64}}) {
             auto run = [&](const core::PolicySpec &policy) {
@@ -59,8 +60,17 @@ main(int argc, char **argv)
                           bench::cpi(base.cpiTlb),
                           bench::cpi(two.cpiTlb),
                           two.cpiTlb < base.cpiTlb ? "yes" : "no"});
+            csv_rows.push_back({"q" + std::to_string(quantum) + "_" +
+                                    std::to_string(entries) + "entry",
+                                formatFixed(base.cpiTlb, 6),
+                                formatFixed(two.cpiTlb, 6),
+                                two.cpiTlb < base.cpiTlb ? "yes"
+                                                         : "no"});
         }
     }
+    bench::record("ext_multiprog",
+                  {"config", "cpi_4k", "cpi_two_size", "two_size_wins"},
+                  csv_rows);
     table.print(std::cout);
     std::cout << "\nshorter quanta = more context switches = each "
                  "process finds less of its state resident; large "

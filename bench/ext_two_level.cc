@@ -120,6 +120,11 @@ main(int argc, char **argv)
             }
             return row;
         });
+        bench::record(two_sizes ? "ext_two_level_two_size"
+                                : "ext_two_level_4k",
+                      {"program", "cpi_flat_16", "cpi_l1_4_l2_64",
+                       "l2_hit_pct_4_64", "cpi_l1_8_l2_64"},
+                      rows);
         for (auto row : rows)
             table.addRow(std::move(row));
         table.print(std::cout);

@@ -39,7 +39,7 @@ main(int argc, char **argv)
         table.addRow(std::move(cells));
         csv_rows.push_back(std::move(csv_row));
     }
-    bench::maybeWriteCsv("fig41",
+    bench::record("fig41",
                          {"program", "ws4k_bytes", "norm_8k",
                           "norm_16k", "norm_32k", "norm_64k"},
                          csv_rows);

@@ -42,7 +42,7 @@ main(int argc, char **argv)
         min_two = std::min(min_two, row.normTwoSize);
         max_two = std::max(max_two, row.normTwoSize);
     }
-    bench::maybeWriteCsv("fig42",
+    bench::record("fig42",
                          {"program", "ws4k_bytes", "norm_8k",
                           "norm_16k", "norm_32k", "norm_two_size",
                           "large_fraction"},

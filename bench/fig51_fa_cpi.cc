@@ -41,7 +41,7 @@ main(int argc, char **argv)
                             formatFixed(row.cpiTwoSize, 6),
                             formatFixed(row.largeFraction, 4)});
     }
-    bench::maybeWriteCsv("fig51",
+    bench::record("fig51",
                          {"program", "cpi_4k", "cpi_8k", "cpi_32k",
                           "cpi_two_size", "large_fraction"},
                          csv_rows);

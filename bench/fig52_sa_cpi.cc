@@ -45,7 +45,7 @@ main(int argc, char **argv)
                                 formatFixed(row.cpi32k, 6),
                                 formatFixed(row.cpiTwoSize, 6)});
         }
-        bench::maybeWriteCsv("fig52_" + std::to_string(entries) +
+        bench::record("fig52_" + std::to_string(entries) +
                                  "entry",
                              {"program", "cpi_4k", "cpi_8k", "cpi_32k",
                               "cpi_two_size"},

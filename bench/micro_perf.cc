@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 
+#include "bench/bench_common.h"
 #include "core/sweep.h"
 #include "util/format.h"
 #include "stacksim/all_assoc.h"
@@ -215,9 +217,10 @@ secondsSince(Clock::time_point start)
 
 /**
  * Headline numbers for the PR-over-PR perf trajectory, written as
- * BENCH_micro_perf.json (path override: TPS_BENCH_JSON).  Two
- * contrasts: batched fill() vs per-ref next() replay, and a
- * multi-config sweep run serially vs on 4 worker threads.
+ * BENCH_micro_perf.json (path override: TPS_BENCH_JSON) in the same
+ * tps-stats-v1 registry schema `--stats-out` uses.  Two contrasts:
+ * batched fill() vs per-ref next() replay, and a multi-config sweep
+ * run serially vs on 4 worker threads.
  */
 void
 writePerfJson()
@@ -294,52 +297,49 @@ writePerfJson()
                     serial_cells[i].result.cpiTlb ==
                         parallel_cells[i].result.cpiTlb;
 
+    obs::StatRegistry reg;
+    reg.addCounter("micro_perf.replay.refs", replay_refs);
+    reg.addValue("micro_perf.replay.per_ref_refs_per_sec",
+                 per_ref_s > 0
+                     ? static_cast<double>(replay_refs) / per_ref_s
+                     : 0.0);
+    reg.addValue("micro_perf.replay.batch_refs_per_sec",
+                 batch_s > 0
+                     ? static_cast<double>(replay_refs) / batch_s
+                     : 0.0);
+    reg.addValue("micro_perf.replay.batch_speedup",
+                 batch_s > 0 ? per_ref_s / batch_s : 0.0);
+    reg.addCounter("micro_perf.sweep.cells", sweep.cells());
+    reg.addCounter("micro_perf.sweep.refs_per_cell", cell_refs);
+    reg.addCounter("micro_perf.sweep.threads", par_threads);
+    reg.addValue("micro_perf.sweep.serial_seconds", serial_s);
+    reg.addValue("micro_perf.sweep.parallel_seconds", parallel_s);
+    reg.addValue("micro_perf.sweep.serial_refs_per_sec",
+                 serial_s > 0 ? total_refs / serial_s : 0.0);
+    reg.addValue("micro_perf.sweep.parallel_refs_per_sec",
+                 parallel_s > 0 ? total_refs / parallel_s : 0.0);
+    reg.addValue("micro_perf.sweep.parallel_speedup",
+                 parallel_s > 0 ? serial_s / parallel_s : 0.0);
+    reg.addCounter("micro_perf.sweep.hardware_threads",
+                   std::thread::hardware_concurrency());
+    reg.addText("micro_perf.sweep.results_identical",
+                identical ? "true" : "false");
+
+    // The same numbers land in --stats-out (if requested)...
+    bench::registry().merge(reg);
+
+    // ...and always in the headline BENCH json.
     const char *path_env = std::getenv("TPS_BENCH_JSON");
     const std::string path =
         path_env != nullptr && path_env[0] != '\0'
             ? path_env
             : "BENCH_micro_perf.json";
-    std::FILE *out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
+    std::ofstream out(path);
+    if (!out) {
         std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
         return;
     }
-    std::fprintf(
-        out,
-        "{\n"
-        "  \"experiment\": \"micro_perf\",\n"
-        "  \"replay\": {\n"
-        "    \"refs\": %llu,\n"
-        "    \"per_ref_refs_per_sec\": %.0f,\n"
-        "    \"batch_refs_per_sec\": %.0f,\n"
-        "    \"batch_speedup\": %.3f\n"
-        "  },\n"
-        "  \"sweep\": {\n"
-        "    \"cells\": %zu,\n"
-        "    \"refs_per_cell\": %llu,\n"
-        "    \"threads\": %u,\n"
-        "    \"serial_seconds\": %.4f,\n"
-        "    \"parallel_seconds\": %.4f,\n"
-        "    \"serial_refs_per_sec\": %.0f,\n"
-        "    \"parallel_refs_per_sec\": %.0f,\n"
-        "    \"parallel_speedup\": %.3f,\n"
-        "    \"hardware_threads\": %u,\n"
-        "    \"results_identical\": %s\n"
-        "  }\n"
-        "}\n",
-        static_cast<unsigned long long>(replay_refs),
-        per_ref_s > 0 ? static_cast<double>(replay_refs) / per_ref_s
-                      : 0.0,
-        batch_s > 0 ? static_cast<double>(replay_refs) / batch_s : 0.0,
-        batch_s > 0 ? per_ref_s / batch_s : 0.0, sweep.cells(),
-        static_cast<unsigned long long>(cell_refs), par_threads,
-        serial_s, parallel_s,
-        serial_s > 0 ? total_refs / serial_s : 0.0,
-        parallel_s > 0 ? total_refs / parallel_s : 0.0,
-        parallel_s > 0 ? serial_s / parallel_s : 0.0,
-        std::thread::hardware_concurrency(),
-        identical ? "true" : "false");
-    std::fclose(out);
+    reg.writeJson(out, &bench::manifest());
     std::fprintf(stderr, "info: wrote %s\n", path.c_str());
 }
 
@@ -348,6 +348,11 @@ writePerfJson()
 int
 main(int argc, char **argv)
 {
+    // Wire up --stats-out/--trace-out/--progress/--threads, then strip
+    // them: google-benchmark exits on arguments it does not recognize.
+    tps::bench::banner(argc, argv, "micro_perf",
+                       "simulator micro-benchmarks");
+    tps::bench::stripObsArgs(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -16,6 +16,7 @@ main(int argc, char **argv)
 
     stats::TextTable table({"Program", "Description", "Refs",
                             "Instrs", "RPI", "Footprint", "WS(4KB,T)"});
+    std::vector<std::vector<std::string>> csv_rows;
     for (const auto &row : core::runWorkloadTable(scale)) {
         table.addRow({row.name, row.description, withCommas(row.refs),
                       withCommas(row.instructions),
@@ -23,7 +24,16 @@ main(int argc, char **argv)
                       formatBytes(row.footprintBytes),
                       formatBytes(static_cast<std::uint64_t>(
                           row.avgWs4kBytes))});
+        csv_rows.push_back({row.name, std::to_string(row.refs),
+                            std::to_string(row.instructions),
+                            formatFixed(row.rpi, 4),
+                            std::to_string(row.footprintBytes),
+                            formatFixed(row.avgWs4kBytes, 0)});
     }
+    bench::record("table31",
+                  {"program", "refs", "instructions", "rpi",
+                   "footprint_bytes", "avg_ws4k_bytes"},
+                  csv_rows);
     table.print(std::cout);
     return 0;
 }

@@ -40,7 +40,7 @@ main(int argc, char **argv)
                  formatFixed(row.cpiTwoLargeIndex, 6),
                  formatFixed(row.cpiTwoExactIndex, 6)});
         }
-        bench::maybeWriteCsv("table51_" + std::to_string(entries) +
+        bench::record("table51_" + std::to_string(entries) +
                                  "entry",
                              {"program", "cpi_4k", "cpi_4k_large_idx",
                               "cpi_two_large_idx", "cpi_two_exact"},

@@ -5,6 +5,16 @@
 namespace tps::core
 {
 
+void
+CpiModel::exportTo(obs::StatRegistry &registry,
+                   const std::string &prefix) const
+{
+    registry.addValue(prefix + ".base_penalty", basePenalty);
+    registry.addValue(prefix + ".two_size_factor", twoSizeFactor);
+    registry.addValue(prefix + ".reprobe_cycles", reprobeCycles);
+    registry.addValue(prefix + ".promotion_cycles", promotionCycles);
+}
+
 double
 criticalMissPenaltyIncrease(double mpi_4k, double mpi_ps)
 {

@@ -83,6 +83,11 @@ struct CpiModel
                                       policy.demotions);
         return cycles / instrs;
     }
+
+    /** Register the model parameters under "<prefix>." so dumps carry
+     *  the cost assumptions alongside the results they produced. */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix = "cpi_model") const;
 };
 
 /**

@@ -2,12 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/trace_profiler.h"
 #include "util/logging.h"
 #include "vm/page_table.h"
 #include "wset/windowed_working_set.h"
 
 namespace tps::core
 {
+
+void
+ExperimentResult::exportTo(obs::StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addText(prefix + ".workload", workload);
+    registry.addText(prefix + ".tlb_name", tlbName);
+    registry.addText(prefix + ".policy_name", policyName);
+    registry.addCounter(prefix + ".refs", refs);
+    registry.addCounter(prefix + ".instructions", instructions);
+    tlb.exportTo(registry, prefix + ".tlb");
+    policy.exportTo(registry, prefix + ".policy");
+    registry.addValue(prefix + ".cpi_tlb", cpiTlb);
+    registry.addValue(prefix + ".mpi", mpi);
+    registry.addValue(prefix + ".miss_ratio", missRatio);
+    registry.addValue(prefix + ".rpi", rpi);
+    if (avgWsBytes != 0.0)
+        registry.addValue(prefix + ".avg_ws_bytes", avgWsBytes);
+    if (measuredMissCycles != 0.0) {
+        registry.addValue(prefix + ".measured_miss_cycles",
+                          measuredMissCycles);
+        registry.addValue(prefix + ".cpi_tlb_measured", cpiTlbMeasured);
+    }
+}
 
 PolicySpec
 PolicySpec::single(unsigned size_log2)
@@ -125,7 +150,10 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
 
     // Drain the source in batches through TraceSource::fill() rather
     // than one virtual next() per reference; the chunk lives on the
-    // stack so the hot loop reads refs out of L1.
+    // stack so the hot loop reads refs out of L1.  With --trace-out,
+    // every chunk becomes one span on the worker's timeline (~2 clock
+    // reads per 4096 refs; the null check is all it costs otherwise).
+    obs::TraceProfiler *profiler = obs::TraceProfiler::global();
     constexpr std::size_t kReplayBatch = 4096;
     MemRef batch[kReplayBatch];
     RefTime now = 0;
@@ -143,6 +171,7 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         const std::size_t got = trace.fill(batch, want);
         if (got == 0)
             break;
+        obs::ScopedSpan chunk_span(profiler, "chunk", "replay");
         for (std::size_t i = 0; i < got; ++i) {
             const MemRef &ref = batch[i];
             ++now;

@@ -97,6 +97,16 @@ struct ExperimentResult
     double measuredMissCycles = 0.0;
     /** CPI_TLB recomputed with the measured penalty. */
     double cpiTlbMeasured = 0.0;
+
+    /**
+     * Register everything measured under "<prefix>.": run counters
+     * ("<prefix>.refs"), the TLB counters ("<prefix>.tlb.miss"), the
+     * policy counters ("<prefix>.policy.promotions") and the derived
+     * metrics ("<prefix>.cpi_tlb", ...), with the workload/TLB/policy
+     * names as text entries.
+     */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
 };
 
 /**

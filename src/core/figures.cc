@@ -1,5 +1,6 @@
 #include "core/figures.h"
 
+#include "core/sweep.h"
 #include "trace/trace_stats.h"
 #include "trace/transforms.h"
 #include "util/format.h"
@@ -143,6 +144,15 @@ ExperimentResult
 runCell(TraceSource &trace, const PolicySpec &policy, TlbConfig tlb,
         const StudyScale &scale, const CpiModel &cpi)
 {
+    // Label construction instantiates a throwaway policy for its
+    // name, so skip it entirely unless tracing is on.
+    obs::TraceProfiler *profiler = obs::TraceProfiler::global();
+    obs::ScopedSpan span(profiler,
+                         profiler != nullptr
+                             ? trace.name() + " | " + tlb.describe() +
+                                   " / " + describePolicy(policy)
+                             : std::string(),
+                         "cell");
     RunOptions options;
     options.maxRefs = scale.refs;
     options.warmupRefs =

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/progress.h"
+#include "obs/trace_profiler.h"
 #include "util/thread_pool.h"
 #include "workloads/registry.h"
 
@@ -73,9 +75,16 @@ forEachSuiteWorkload(const StudyScale &scale, Fn &&fn)
     const unsigned threads = scale.threads != 0
                                  ? scale.threads
                                  : util::ThreadPool::defaultThreads();
-    return util::parallelMapIndex(
-        threads, suite.size(),
-        [&](std::size_t i) { return fn(suite[i]); });
+    obs::ProgressReporter progress(suite.size(), "workloads");
+    auto rows = util::parallelMapIndex(
+        threads, suite.size(), [&](std::size_t i) {
+            obs::ScopedSpan span(suite[i].name, "workload");
+            auto row = fn(suite[i]);
+            progress.tick(scale.refs);
+            return row;
+        });
+    progress.finish();
+    return rows;
 }
 
 // ---------------------------------------------------------------- 3.1

@@ -8,6 +8,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/progress.h"
+#include "obs/trace_profiler.h"
 #include "stats/csv.h"
 #include "stats/table.h"
 #include "trace/vector_trace.h"
@@ -64,6 +66,7 @@ class MaterializedTraceCache
         }
         if (builder) {
             try {
+                obs::ScopedSpan span("materialize " + name, "cache");
                 auto workload =
                     workloads::findWorkload(name).instantiate();
                 auto refs = std::make_shared<std::vector<MemRef>>(
@@ -182,12 +185,15 @@ SweepRunner::run() const
     }
 
     MaterializedTraceCache cache(options_.maxRefs);
+    obs::ProgressReporter progress(names.size() * configs_.size(),
+                                   "cells");
     auto runCell = [&](std::size_t index) {
         const std::string &name = names[index / configs_.size()];
         const Config &config = configs_[index % configs_.size()];
         SweepCell cell;
         cell.workload = name;
         cell.configLabel = config.label;
+        obs::ScopedSpan span(name + " | " + config.label, "cell");
         std::unique_ptr<TraceSource> trace;
         if (use_cache)
             trace = std::make_unique<SharedTraceView>(cache.get(name),
@@ -196,11 +202,14 @@ SweepRunner::run() const
             trace = workloads::findWorkload(name).instantiate();
         cell.result = runExperiment(*trace, config.policy, config.tlb,
                                     options_);
+        progress.tick(cell.result.refs);
         return cell;
     };
-    return util::parallelMapIndex(nthreads,
-                                  names.size() * configs_.size(),
-                                  runCell);
+    auto cells = util::parallelMapIndex(nthreads,
+                                        names.size() * configs_.size(),
+                                        runCell);
+    progress.finish();
+    return cells;
 }
 
 void
@@ -219,26 +228,46 @@ SweepRunner::printCpiTable(std::ostream &os,
     headers.insert(headers.end(), columns.begin(), columns.end());
     stats::TextTable table(std::move(headers));
 
-    // Row order = first-seen order of workloads.
+    // Row order = first-seen order of workloads.  A cell that
+    // measured no references has no CPI (0/0), which must render as
+    // "-" rather than masquerade as a perfect 0.000.
     std::vector<std::string> rows;
     std::unordered_set<std::string> seen_rows;
-    std::map<std::pair<std::string, std::string>, double> grid;
+    struct GridCell
+    {
+        double cpi = 0.0;
+        std::uint64_t refs = 0;
+    };
+    std::map<std::pair<std::string, std::string>, GridCell> grid;
     for (const SweepCell &cell : cells) {
         if (seen_rows.insert(cell.workload).second)
             rows.push_back(cell.workload);
-        grid[{cell.workload, cell.configLabel}] = cell.result.cpiTlb;
+        grid[{cell.workload, cell.configLabel}] = {cell.result.cpiTlb,
+                                                   cell.result.refs};
     }
     for (const std::string &row : rows) {
         std::vector<std::string> line = {row};
         for (const std::string &column : columns) {
             const auto it = grid.find({row, column});
-            line.push_back(it == grid.end()
+            line.push_back(it == grid.end() || it->second.refs == 0
                                ? "-"
-                               : formatFixed(it->second, 3));
+                               : formatFixed(it->second.cpi, 3));
         }
         table.addRow(std::move(line));
     }
     table.print(os);
+}
+
+void
+SweepRunner::exportStats(const std::vector<SweepCell> &cells,
+                         obs::StatRegistry &registry,
+                         const std::string &prefix)
+{
+    for (const SweepCell &cell : cells) {
+        cell.result.exportTo(registry,
+                             prefix + "." + obs::slugify(cell.workload) +
+                                 "." + obs::slugify(cell.configLabel));
+    }
 }
 
 void

@@ -74,18 +74,34 @@ class SweepRunner
      * returned vector is always in serial row-major order (all
      * configs of one workload before the next) with bit-identical
      * results regardless of thread count.
+     *
+     * Observability: when the global trace profiler is enabled each
+     * cell emits one "cell" span (plus one "replay" span per chunk
+     * underneath), and when progress reporting is on a rate-limited
+     * cells-done/refs-per-second line goes to stderr.
      */
     std::vector<SweepCell> run() const;
 
     std::size_t cells() const;
 
-    /** Render CPI_TLB as a workload x configuration table. */
+    /** Render CPI_TLB as a workload x configuration table.  Cells
+     *  that measured no references print "-" rather than a fake 0
+     *  CPI (see stats::Counter::perOr). */
     static void printCpiTable(std::ostream &os,
                               const std::vector<SweepCell> &cells);
 
     /** Dump every cell's key metrics as CSV. */
     static void writeCsv(std::ostream &os,
                          const std::vector<SweepCell> &cells);
+
+    /**
+     * Register every cell's full counter set under
+     * "<prefix>.<workload>.<config>." (labels are slugified:
+     * lower-cased, runs of non-alphanumerics collapsed to '_').
+     */
+    static void exportStats(const std::vector<SweepCell> &cells,
+                            obs::StatRegistry &registry,
+                            const std::string &prefix = "sweep");
 
   private:
     struct Config

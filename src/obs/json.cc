@@ -1,0 +1,503 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tps::obs
+{
+
+// ------------------------------------------------------------ writer
+
+JsonWriter::JsonWriter(std::ostream &os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+std::string
+JsonWriter::quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    if (!pretty_)
+        return;
+    os_.put('\n');
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (have_key_) {
+        // key() already positioned us; the value follows the colon.
+        have_key_ = false;
+        return;
+    }
+    if (!stack_.empty() && stack_.back() == Scope::Object)
+        throw std::logic_error("JsonWriter: value in object needs key()");
+    if (need_comma_)
+        os_.put(',');
+    if (!stack_.empty())
+        newline();
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (stack_.empty() || stack_.back() != Scope::Object)
+        throw std::logic_error("JsonWriter: key() outside object");
+    if (have_key_)
+        throw std::logic_error("JsonWriter: key() after key()");
+    if (need_comma_)
+        os_.put(',');
+    newline();
+    os_ << quote(name) << (pretty_ ? ": " : ":");
+    have_key_ = true;
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_.put('{');
+    stack_.push_back(Scope::Object);
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Scope::Object || have_key_)
+        throw std::logic_error("JsonWriter: unbalanced endObject()");
+    const bool empty = !need_comma_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_.put('}');
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_.put('[');
+    stack_.push_back(Scope::Array);
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Scope::Array)
+        throw std::logic_error("JsonWriter: unbalanced endArray()");
+    const bool empty = !need_comma_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_.put(']');
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    os_ << quote(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return value(v != v ? "nan" : (v > 0 ? "inf" : "-inf"));
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    need_comma_ = true;
+    return *this;
+}
+
+void
+JsonWriter::finish()
+{
+    if (!stack_.empty() || have_key_)
+        throw std::logic_error("JsonWriter: finish() with open scopes");
+    if (pretty_)
+        os_.put('\n');
+    os_.flush();
+}
+
+// ------------------------------------------------------------ parser
+
+JsonParseError::JsonParseError(const std::string &what, std::size_t offset)
+    : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+      offset_(offset)
+{
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonParseError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        JsonValue v;
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            v.type = JsonValue::Type::String;
+            v.text = parseString();
+            return v;
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            v.type = JsonValue::Type::Null;
+            return v;
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string name = parseString();
+            skipWs();
+            expect(':');
+            v.object[std::move(name)] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(e);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Encode as UTF-8 (surrogate pairs unsupported; the
+                // writer never emits them).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected value");
+        const std::string token = text_.substr(start, pos_ - start);
+        JsonValue v;
+        char *end = nullptr;
+        if (token.find_first_of(".eE") == std::string::npos) {
+            errno = 0;
+            const long long i = std::strtoll(token.c_str(), &end, 10);
+            if (end == token.c_str() + token.size() && errno == 0) {
+                v.type = JsonValue::Type::Int;
+                v.integer = i;
+                v.number = static_cast<double>(i);
+                return v;
+            }
+        }
+        end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("malformed number");
+        v.type = JsonValue::Type::Double;
+        v.number = d;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace tps::obs

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming
+ * writer (stats dumps, run manifests, trace-event files) and a
+ * recursive-descent parser (the stats-diff tool and round-trip
+ * tests).
+ *
+ * Deliberately self-contained — tps::obs sits below tps::util in the
+ * library stack so even the thread pool can emit trace events, which
+ * means nothing here may depend on logging/formatting helpers.
+ */
+
+#ifndef TPS_OBS_JSON_H_
+#define TPS_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tps::obs
+{
+
+/**
+ * Streaming JSON writer with automatic comma/indent management.
+ *
+ * Usage follows the document structure: beginObject()/key()/value
+ * pairs, endObject(); arrays likewise.  Misuse (a key outside an
+ * object, unbalanced end calls) throws std::logic_error — writer
+ * bugs should fail loudly in tests, not emit invalid files.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    /**
+     * Doubles are written with enough digits to round-trip exactly
+     * (%.17g); non-finite values, which JSON cannot represent as
+     * numbers, are written as the strings "inf"/"-inf"/"nan".
+     */
+    JsonWriter &value(double v);
+
+    /** Call after the root value; verifies the document is closed. */
+    void finish();
+
+    /** Escape @p s into a quoted JSON string literal. */
+    static std::string quote(const std::string &s);
+
+  private:
+    enum class Scope
+    {
+        Object,
+        Array,
+    };
+
+    void beforeValue();
+    void newline();
+
+    std::ostream &os_;
+    bool pretty_;
+    bool have_key_ = false;  ///< a key was emitted, value pending
+    bool need_comma_ = false;
+    std::vector<Scope> stack_;
+};
+
+/** Parsed JSON value (tagged union, object keys sorted). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,    ///< integral literal that fits std::int64_t
+        Double, ///< any other numeric literal
+        String,
+        Object,
+        Array,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::int64_t integer = 0;
+    double number = 0.0; ///< also set for Type::Int
+    std::string text;
+    std::map<std::string, JsonValue> object;
+    std::vector<JsonValue> array;
+
+    bool isNumber() const { return type == Type::Int || type == Type::Double; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+};
+
+/** Thrown by parseJson on malformed input, with a byte offset. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t offset);
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** Parse one JSON document (trailing garbage is an error). */
+JsonValue parseJson(const std::string &text);
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_JSON_H_

@@ -1,0 +1,83 @@
+#include "obs/manifest.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace tps::obs
+{
+
+std::string
+RunManifest::buildGitDescribe()
+{
+#ifdef TPS_GIT_DESCRIBE
+    return TPS_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+RunManifest::currentHostname()
+{
+    char buf[256] = {0};
+    if (gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown";
+    return buf;
+}
+
+std::string
+RunManifest::currentTimestampUtc()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+RunManifest
+RunManifest::capture(const std::string &experiment, int argc, char **argv)
+{
+    RunManifest m;
+    m.experiment = experiment;
+    for (int i = 0; i < argc && argv != nullptr; ++i) {
+        if (i != 0)
+            m.command += ' ';
+        m.command += argv[i];
+    }
+    m.gitDescribe = buildGitDescribe();
+    m.hostname = currentHostname();
+    m.timestampUtc = currentTimestampUtc();
+    return m;
+}
+
+void
+RunManifest::writeJson(JsonWriter &writer) const
+{
+    writer.beginObject();
+    writer.key("experiment").value(experiment);
+    writer.key("command").value(command);
+    writer.key("git_describe").value(gitDescribe);
+    writer.key("hostname").value(hostname);
+    writer.key("timestamp_utc").value(timestampUtc);
+    writer.key("refs").value(refs);
+    writer.key("window").value(window);
+    writer.key("warmup_refs").value(warmupRefs);
+    writer.key("seed").value(seed);
+    writer.key("threads").value(threads);
+    writer.key("trace_cache").value(traceCacheMode);
+    if (!extra.empty()) {
+        writer.key("extra").beginObject();
+        for (const auto &[name, value] : extra)
+            writer.key(name).value(value);
+        writer.endObject();
+    }
+    writer.endObject();
+}
+
+} // namespace tps::obs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Run manifest: the configuration provenance attached to every stats
+ * dump so two runs can be compared knowing exactly what produced them
+ * (gem5 embeds the same information at the head of stats.txt).
+ */
+
+#ifndef TPS_OBS_MANIFEST_H_
+#define TPS_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+
+namespace tps::obs
+{
+
+/** Identifies the stats-dump format; bump on breaking changes. */
+inline constexpr const char *kStatsSchema = "tps-stats-v1";
+
+/**
+ * Everything needed to attribute and reproduce one run.  Timing and
+ * host fields vary between runs of the same configuration; the diff
+ * tool compares only the "stats" section, never the manifest.
+ */
+struct RunManifest
+{
+    std::string experiment;   ///< e.g. "Figure 5.2"
+    std::string command;      ///< argv joined with spaces
+    std::string gitDescribe;  ///< from the build, "unknown" if absent
+    std::string hostname;
+    std::string timestampUtc; ///< ISO-8601, manifest creation time
+
+    std::uint64_t refs = 0;       ///< per-workload reference budget
+    std::uint64_t window = 0;     ///< working-set / assignment window
+    std::uint64_t warmupRefs = 0;
+    std::uint64_t seed = 0;       ///< base PRNG seed (workload seeds
+                                  ///< derive deterministically from it)
+    unsigned threads = 0;         ///< resolved worker count
+    std::string traceCacheMode = "auto"; ///< auto/on/off
+
+    /** Free-form extras (env overrides in effect, bench knobs...). */
+    std::map<std::string, std::string> extra;
+
+    /** Capture command line, git describe, hostname and timestamp. */
+    static RunManifest capture(const std::string &experiment, int argc,
+                               char **argv);
+
+    /** The git describe string baked into this build. */
+    static std::string buildGitDescribe();
+    static std::string currentHostname();
+    static std::string currentTimestampUtc();
+
+    /** Emit as one JSON object value (caller provides the key). */
+    void writeJson(JsonWriter &writer) const;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_MANIFEST_H_

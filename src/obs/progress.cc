@@ -1,0 +1,119 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+
+namespace tps::obs
+{
+
+namespace
+{
+
+std::atomic<bool> progress_enabled{false};
+
+} // namespace
+
+void
+setProgressEnabled(bool enabled)
+{
+    progress_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+progressEnabled()
+{
+    return progress_enabled.load(std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(std::uint64_t total, std::string label)
+    : total_(total), label_(std::move(label)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+bool
+ProgressReporter::enabled() const
+{
+    return forced_ >= 0 ? forced_ != 0 : progressEnabled();
+}
+
+void
+ProgressReporter::tick(std::uint64_t refs)
+{
+    done_.fetch_add(1, std::memory_order_relaxed);
+    if (refs != 0)
+        refs_.fetch_add(refs, std::memory_order_relaxed);
+    if (!enabled())
+        return;
+
+    const std::uint64_t now_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    std::uint64_t last = last_emit_us_.load(std::memory_order_relaxed);
+    if (now_us - last < interval_us_)
+        return;
+    // One thread wins the right to emit this interval's line; losers
+    // simply skip (their update is covered by a later line).
+    if (!last_emit_us_.compare_exchange_strong(last, now_us,
+                                               std::memory_order_relaxed))
+        return;
+    emitLine(false);
+}
+
+void
+ProgressReporter::finish()
+{
+    if (!enabled())
+        return;
+    emitLine(true);
+}
+
+void
+ProgressReporter::emitLine(bool final)
+{
+    const std::uint64_t done = done_.load(std::memory_order_relaxed);
+    const std::uint64_t refs = refs_.load(std::memory_order_relaxed);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+
+    char line[256];
+    int n = std::snprintf(line, sizeof(line),
+                          "progress: %" PRIu64 " %s", done,
+                          label_.c_str());
+    auto append = [&](const char *fmt, auto... args) {
+        if (n < 0 || static_cast<std::size_t>(n) >= sizeof(line))
+            return;
+        const int m = std::snprintf(line + n, sizeof(line) -
+                                        static_cast<std::size_t>(n),
+                                    fmt, args...);
+        if (m > 0)
+            n += m;
+    };
+    if (total_ != 0) {
+        append("/%" PRIu64 " (%.0f%%)", total_,
+               100.0 * static_cast<double>(done) /
+                   static_cast<double>(total_));
+    }
+    if (refs != 0 && elapsed > 0.0) {
+        append(", %.2fM refs/s",
+               static_cast<double>(refs) / elapsed / 1e6);
+    }
+    append(", elapsed %.1fs", elapsed);
+    if (!final && total_ != 0 && done != 0 && done < total_) {
+        append(", eta %.1fs",
+               elapsed * static_cast<double>(total_ - done) /
+                   static_cast<double>(done));
+    }
+    if (final)
+        append(" [done]");
+
+    // Single fprintf call so concurrent finishers cannot interleave
+    // mid-line.
+    std::fprintf(stream_, "%s\n", line);
+    std::fflush(stream_);
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace tps::obs

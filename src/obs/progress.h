@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Rate-limited progress reporting for long sweeps: a single stderr
+ * line every ~250ms with items done/total, reference throughput and
+ * an ETA, safe to tick from any worker thread.
+ *
+ * Reporting is globally gated (benches enable it with `--progress`
+ * or TPS_PROGRESS=1); a disabled reporter costs two relaxed atomic
+ * increments per tick.
+ */
+
+#ifndef TPS_OBS_PROGRESS_H_
+#define TPS_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tps::obs
+{
+
+/** Global gate (default off); see also TPS_PROGRESS handling in
+ *  bench_common.h. */
+void setProgressEnabled(bool enabled);
+bool progressEnabled();
+
+class ProgressReporter
+{
+  public:
+    /**
+     * @param total total number of items (cells, workloads...) that
+     *              will be ticked; 0 when unknown (no ETA).
+     * @param label what an item is, e.g. "cells".
+     */
+    explicit ProgressReporter(std::uint64_t total,
+                              std::string label = "items");
+
+    /** Report one finished item plus the references it simulated. */
+    void tick(std::uint64_t refs = 0);
+
+    /** Unconditionally emit a final line (when reporting is on). */
+    void finish();
+
+    /** Items ticked so far. */
+    std::uint64_t done() const
+    {
+        return done_.load(std::memory_order_relaxed);
+    }
+
+    /** Progress lines emitted so far (rate-limiting test hook). */
+    std::uint64_t emitted() const
+    {
+        return emitted_.load(std::memory_order_relaxed);
+    }
+
+    /** Minimum milliseconds between lines (default 250; test hook). */
+    void setMinIntervalMs(std::uint64_t ms) { interval_us_ = ms * 1000; }
+
+    /** Redirect output (default stderr; test hook). */
+    void setStream(std::FILE *stream) { stream_ = stream; }
+
+    /** Per-instance override of the global gate (test hook). */
+    void forceEnabled(bool enabled) { forced_ = enabled ? 1 : 0; }
+
+  private:
+    bool enabled() const;
+    void emitLine(bool final);
+
+    const std::uint64_t total_;
+    const std::string label_;
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<std::uint64_t> refs_{0};
+    std::atomic<std::uint64_t> emitted_{0};
+    std::atomic<std::uint64_t> last_emit_us_{0};
+    std::uint64_t interval_us_ = 250'000;
+    int forced_ = -1; ///< -1 = follow global gate
+    std::FILE *stream_ = stderr;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_PROGRESS_H_

@@ -1,0 +1,309 @@
+#include "obs/stat_registry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tps::obs
+{
+
+bool
+isValidStatName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (const char c : name) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+slugify(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    bool pending_sep = false;
+    for (const char c : label) {
+        const bool alnum = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9');
+        if (!alnum) {
+            pending_sep = !out.empty();
+            continue;
+        }
+        if (pending_sep) {
+            out.push_back('_');
+            pending_sep = false;
+        }
+        out.push_back(c >= 'A' && c <= 'Z'
+                          ? static_cast<char>(c - 'A' + 'a')
+                          : c);
+    }
+    return out.empty() ? std::string("_") : out;
+}
+
+StatRegistry::StatRegistry(const StatRegistry &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    entries_ = other.entries_;
+}
+
+StatRegistry &
+StatRegistry::operator=(const StatRegistry &other)
+{
+    if (this == &other)
+        return *this;
+    std::map<std::string, StatEntry> copy;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        copy = other.entries_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_ = std::move(copy);
+    return *this;
+}
+
+void
+StatRegistry::addEntry(const std::string &name, StatEntry entry)
+{
+    if (!isValidStatName(name))
+        throw std::invalid_argument("invalid stat name: '" + name + "'");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+    (void)it;
+    if (!inserted)
+        throw std::invalid_argument("duplicate stat name: '" + name + "'");
+}
+
+void
+StatRegistry::addCounter(const std::string &name, std::uint64_t value)
+{
+    StatEntry entry;
+    entry.kind = StatEntry::Kind::Counter;
+    entry.counter = value;
+    addEntry(name, std::move(entry));
+}
+
+void
+StatRegistry::addValue(const std::string &name, double value)
+{
+    StatEntry entry;
+    entry.kind = StatEntry::Kind::Value;
+    entry.value = value;
+    addEntry(name, std::move(entry));
+}
+
+void
+StatRegistry::addText(const std::string &name, const std::string &value)
+{
+    StatEntry entry;
+    entry.kind = StatEntry::Kind::Text;
+    entry.text = value;
+    addEntry(name, std::move(entry));
+}
+
+void
+StatRegistry::addHistogram(const std::string &name,
+                           std::vector<std::uint64_t> buckets)
+{
+    StatEntry entry;
+    entry.kind = StatEntry::Kind::Histogram;
+    entry.buckets = std::move(buckets);
+    addEntry(name, std::move(entry));
+}
+
+void
+StatRegistry::incrCounter(const std::string &name, std::uint64_t delta)
+{
+    if (!isValidStatName(name))
+        throw std::invalid_argument("invalid stat name: '" + name + "'");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        StatEntry entry;
+        entry.kind = StatEntry::Kind::Counter;
+        entry.counter = delta;
+        entries_.emplace(name, std::move(entry));
+        return;
+    }
+    if (it->second.kind != StatEntry::Kind::Counter)
+        throw std::invalid_argument("stat '" + name +
+                                    "' is not a counter");
+    it->second.counter += delta;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(name) != 0;
+}
+
+std::size_t
+StatRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+StatRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const StatEntry &entry = entries_.at(name);
+    if (entry.kind != StatEntry::Kind::Counter)
+        throw std::out_of_range("stat '" + name + "' is not a counter");
+    return entry.counter;
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const StatEntry &entry = entries_.at(name);
+    if (entry.kind == StatEntry::Kind::Value)
+        return entry.value;
+    if (entry.kind == StatEntry::Kind::Counter)
+        return static_cast<double>(entry.counter);
+    throw std::out_of_range("stat '" + name + "' is not numeric");
+}
+
+const std::string &
+StatRegistry::text(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const StatEntry &entry = entries_.at(name);
+    if (entry.kind != StatEntry::Kind::Text)
+        throw std::out_of_range("stat '" + name + "' is not text");
+    return entry.text;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+void
+StatRegistry::merge(const StatRegistry &other, const std::string &prefix)
+{
+    // Snapshot the source first so self-merge or concurrent writers
+    // on `other` cannot deadlock against our own lock.
+    std::map<std::string, StatEntry> source;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        source = other.entries_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, entry] : source) {
+        const std::string full =
+            prefix.empty() ? name : prefix + "." + name;
+        if (!isValidStatName(full))
+            throw std::invalid_argument("invalid stat name: '" + full +
+                                        "'");
+        const auto [it, inserted] = entries_.emplace(full,
+                                                     std::move(entry));
+        (void)it;
+        if (!inserted)
+            throw std::invalid_argument("duplicate stat name: '" + full +
+                                        "'");
+    }
+}
+
+void
+StatRegistry::writeJson(std::ostream &os,
+                        const RunManifest *manifest) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter writer(os);
+    writer.beginObject();
+    writer.key("schema").value(kStatsSchema);
+    if (manifest != nullptr) {
+        writer.key("manifest");
+        manifest->writeJson(writer);
+    }
+
+    writer.key("stats").beginObject();
+    for (const auto &[name, entry] : entries_) {
+        if (entry.kind == StatEntry::Kind::Counter)
+            writer.key(name).value(entry.counter);
+        else if (entry.kind == StatEntry::Kind::Value)
+            writer.key(name).value(entry.value);
+    }
+    writer.endObject();
+
+    writer.key("text").beginObject();
+    for (const auto &[name, entry] : entries_) {
+        if (entry.kind == StatEntry::Kind::Text)
+            writer.key(name).value(entry.text);
+    }
+    writer.endObject();
+
+    writer.key("histograms").beginObject();
+    for (const auto &[name, entry] : entries_) {
+        if (entry.kind != StatEntry::Kind::Histogram)
+            continue;
+        writer.key(name).beginArray();
+        for (const std::uint64_t bucket : entry.buckets)
+            writer.value(bucket);
+        writer.endArray();
+    }
+    writer.endObject();
+
+    writer.endObject();
+    writer.finish();
+}
+
+void
+StatRegistry::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "name,kind,value\n";
+    for (const auto &[name, entry] : entries_) {
+        os << name << ',';
+        switch (entry.kind) {
+          case StatEntry::Kind::Counter:
+            os << "counter," << entry.counter;
+            break;
+          case StatEntry::Kind::Value: {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", entry.value);
+            os << "value," << buf;
+            break;
+          }
+          case StatEntry::Kind::Text:
+            os << "text," << entry.text;
+            break;
+          case StatEntry::Kind::Histogram: {
+            os << "histogram,";
+            bool first = true;
+            for (const std::uint64_t bucket : entry.buckets) {
+                if (!first)
+                    os << ' ';
+                first = false;
+                os << bucket;
+            }
+            break;
+          }
+        }
+        os << '\n';
+    }
+}
+
+} // namespace tps::obs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hierarchical statistics registry: every counter, derived value and
+ * histogram a run produces, addressed by a dotted name such as
+ * "tlb.l1.miss" or "policy.promotions", dumpable to JSON/CSV with a
+ * run manifest attached (gem5's stats dump is the model).
+ *
+ * Threading model: each simulation cell fills its own registry (or a
+ * disjoint name subtree) and parents aggregate with merge(); all
+ * mutating and reading operations are internally locked, so a shared
+ * registry may also be written from worker threads directly as long
+ * as names are distinct.  Output is sorted by name, making dumps
+ * deterministic regardless of registration order or thread count.
+ */
+
+#ifndef TPS_OBS_STAT_REGISTRY_H_
+#define TPS_OBS_STAT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.h"
+
+namespace tps::obs
+{
+
+/**
+ * Valid stat names are non-empty dot-separated paths whose segments
+ * use [A-Za-z0-9_-] only (no empty segments).
+ */
+bool isValidStatName(const std::string &name);
+
+/**
+ * Turn an arbitrary label ("64-entry FA / 4KB/32KB") into one valid
+ * name segment: lower-cased, runs of non-alphanumerics collapsed to a
+ * single '_', "_" when nothing survives.
+ */
+std::string slugify(const std::string &label);
+
+/** One registered statistic. */
+struct StatEntry
+{
+    enum class Kind
+    {
+        Counter,   ///< exact 64-bit event count
+        Value,     ///< derived floating-point metric
+        Text,      ///< provenance strings (workload/tlb names...)
+        Histogram, ///< bucket weights, semantics owned by the producer
+    };
+
+    Kind kind = Kind::Counter;
+    std::uint64_t counter = 0;
+    double value = 0.0;
+    std::string text;
+    std::vector<std::uint64_t> buckets;
+};
+
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+
+    /** Registries are value types so cells can return them. */
+    StatRegistry(const StatRegistry &other);
+    StatRegistry &operator=(const StatRegistry &other);
+
+    /**
+     * Register one statistic.  Throws std::invalid_argument when the
+     * name is malformed or already registered — colliding names mean
+     * two components believe they own the same stat, which would
+     * silently corrupt dumps.
+     */
+    void addCounter(const std::string &name, std::uint64_t value);
+    void addValue(const std::string &name, double value);
+    void addText(const std::string &name, const std::string &value);
+    void addHistogram(const std::string &name,
+                      std::vector<std::uint64_t> buckets);
+
+    /** Add to an existing counter, registering it on first use. */
+    void incrCounter(const std::string &name, std::uint64_t delta);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const;
+
+    /** Typed lookups; throw std::out_of_range on missing/wrong kind. */
+    std::uint64_t counter(const std::string &name) const;
+    double value(const std::string &name) const;
+    const std::string &text(const std::string &name) const;
+
+    /** Sorted snapshot of all names (tests, table drivers). */
+    std::vector<std::string> names() const;
+
+    /**
+     * Fold @p other into this registry, prefixing every name with
+     * "@p prefix." when a prefix is given.  Thread-safe on the
+     * destination; collisions throw as in add*().
+     */
+    void merge(const StatRegistry &other, const std::string &prefix = "");
+
+    /**
+     * Dump as a tps-stats-v1 JSON document:
+     * {
+     *   "schema": "tps-stats-v1",
+     *   "manifest": {...},          // when provided
+     *   "stats": {name: number},    // counters + values, sorted
+     *   "text": {name: string},
+     *   "histograms": {name: [..]}
+     * }
+     * Counters are emitted as exact integers; values with enough
+     * digits to round-trip bit-identically.
+     */
+    void writeJson(std::ostream &os,
+                   const RunManifest *manifest = nullptr) const;
+
+    /** Flat CSV dump: name,kind,value (histograms space-separated). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void addEntry(const std::string &name, StatEntry entry);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, StatEntry> entries_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_STAT_REGISTRY_H_

@@ -1,0 +1,174 @@
+#include "obs/trace_profiler.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+
+#include "obs/json.h"
+
+namespace tps::obs
+{
+
+namespace
+{
+
+std::atomic<TraceProfiler *> global_profiler{nullptr};
+std::mutex global_mutex;
+
+} // namespace
+
+TraceProfiler::TraceProfiler() : start_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t
+TraceProfiler::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+std::uint32_t
+TraceProfiler::threadId()
+{
+    // Dense per-profiler thread ids in first-emission order; the
+    // thread_local caches the assignment per (profiler, thread).
+    struct Assignment
+    {
+        const TraceProfiler *owner = nullptr;
+        std::uint32_t tid = 0;
+    };
+    thread_local Assignment assignment;
+    if (assignment.owner != this) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        assignment.owner = this;
+        assignment.tid = next_tid_++;
+    }
+    return assignment.tid;
+}
+
+void
+TraceProfiler::record(Event event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceProfiler::begin(std::string name, const char *cat)
+{
+    Event event;
+    event.name = std::move(name);
+    event.cat = cat;
+    event.ph = 'B';
+    event.tsUs = nowUs();
+    event.tid = threadId();
+    record(std::move(event));
+}
+
+void
+TraceProfiler::end()
+{
+    Event event;
+    event.cat = nullptr;
+    event.ph = 'E';
+    event.tsUs = nowUs();
+    event.tid = threadId();
+    record(std::move(event));
+}
+
+void
+TraceProfiler::instant(std::string name, const char *cat)
+{
+    Event event;
+    event.name = std::move(name);
+    event.cat = cat;
+    event.ph = 'i';
+    event.tsUs = nowUs();
+    event.tid = threadId();
+    record(std::move(event));
+}
+
+std::size_t
+TraceProfiler::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceProfiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+void
+TraceProfiler::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t pid = static_cast<std::uint64_t>(getpid());
+    JsonWriter writer(os, /*pretty=*/false);
+    writer.beginObject();
+    writer.key("traceEvents").beginArray();
+    // Name the process so Perfetto shows something meaningful.
+    writer.beginObject();
+    writer.key("ph").value("M");
+    writer.key("pid").value(pid);
+    writer.key("tid").value(std::uint64_t{0});
+    writer.key("name").value("process_name");
+    writer.key("args").beginObject();
+    writer.key("name").value("tps");
+    writer.endObject();
+    writer.endObject();
+    for (const Event &event : events_) {
+        writer.beginObject();
+        writer.key("ph").value(std::string(1, event.ph));
+        writer.key("pid").value(pid);
+        writer.key("tid").value(
+            static_cast<std::uint64_t>(event.tid));
+        writer.key("ts").value(event.tsUs);
+        if (event.ph != 'E') {
+            writer.key("name").value(event.name);
+            writer.key("cat").value(event.cat != nullptr ? event.cat
+                                                         : "default");
+        }
+        if (event.ph == 'i')
+            writer.key("s").value("t"); // thread-scoped instant
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+    writer.finish();
+}
+
+TraceProfiler *
+TraceProfiler::global()
+{
+    return global_profiler.load(std::memory_order_acquire);
+}
+
+TraceProfiler *
+TraceProfiler::enableGlobal()
+{
+    std::lock_guard<std::mutex> lock(global_mutex);
+    TraceProfiler *existing =
+        global_profiler.load(std::memory_order_acquire);
+    if (existing != nullptr)
+        return existing;
+    // Leaked deliberately: worker threads may still emit spans while
+    // the process exits, and the profiler must outlive them all.
+    TraceProfiler *created = new TraceProfiler();
+    global_profiler.store(created, std::memory_order_release);
+    return created;
+}
+
+void
+TraceProfiler::disableGlobal()
+{
+    std::lock_guard<std::mutex> lock(global_mutex);
+    global_profiler.store(nullptr, std::memory_order_release);
+}
+
+} // namespace tps::obs

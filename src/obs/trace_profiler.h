@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Phase/span profiler emitting Chrome trace_event JSON, loadable in
+ * chrome://tracing or https://ui.perfetto.dev.  One span per sweep
+ * cell, thread-pool task and replay chunk makes parallel-sweep load
+ * imbalance directly visible on a timeline.
+ *
+ * Spans are recorded as B/E duration-event pairs with a per-thread
+ * microsecond timestamp; nesting is per thread (Chrome's model), so
+ * begin()/end() must balance on each thread — use ScopedSpan.
+ *
+ * The profiler is normally reached through the process-global
+ * instance: benches enable it with `--trace-out=FILE` (see
+ * bench_common.h), instrumented code emits null-safe ScopedSpans,
+ * and the file is written at exit.  When the global profiler is
+ * disabled (the default) a ScopedSpan is a single pointer load.
+ */
+
+#ifndef TPS_OBS_TRACE_PROFILER_H_
+#define TPS_OBS_TRACE_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tps::obs
+{
+
+class TraceProfiler
+{
+  public:
+    TraceProfiler();
+
+    /** Open a span on the calling thread.  @p cat must be a literal
+     *  (or otherwise outlive the profiler). */
+    void begin(std::string name, const char *cat);
+
+    /** Close the innermost span opened by this thread. */
+    void end();
+
+    /** Record an instant event (a point on the timeline). */
+    void instant(std::string name, const char *cat);
+
+    /** Number of recorded events (B and E count separately). */
+    std::size_t eventCount() const;
+
+    /** Drop all recorded events (tests). */
+    void clear();
+
+    /**
+     * Emit the Chrome trace: {"traceEvents": [...]}.  Events carry
+     * pid/tid/ts/ph/name/cat; tids are small dense integers in
+     * first-emission order.
+     */
+    void writeJson(std::ostream &os) const;
+
+    // ------------------------------------------------- global access
+
+    /** The process-global profiler, nullptr until enabled. */
+    static TraceProfiler *global();
+
+    /** Idempotently create the global profiler. */
+    static TraceProfiler *enableGlobal();
+
+    /** Detach the global profiler again (tests). */
+    static void disableGlobal();
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *cat;
+        char ph; ///< 'B', 'E' or 'i'
+        std::uint64_t tsUs;
+        std::uint32_t tid;
+    };
+
+    void record(Event event);
+    std::uint64_t nowUs() const;
+    std::uint32_t threadId();
+
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::uint32_t next_tid_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * RAII span on the global profiler; a no-op when tracing is off.
+ * The explicit-profiler constructor is for tests.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(std::string name, const char *cat)
+        : ScopedSpan(TraceProfiler::global(), std::move(name), cat)
+    {
+    }
+
+    ScopedSpan(TraceProfiler *profiler, std::string name, const char *cat)
+        : profiler_(profiler)
+    {
+        if (profiler_ != nullptr)
+            profiler_->begin(std::move(name), cat);
+    }
+
+    ~ScopedSpan()
+    {
+        if (profiler_ != nullptr)
+            profiler_->end();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceProfiler *profiler_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_TRACE_PROFILER_H_

@@ -29,11 +29,25 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
-    /** Ratio of this counter to @p denom; 0 when denom is 0. */
+    /**
+     * Ratio of this counter to @p denom; 0 when denom is 0.
+     *
+     * Note the 0/0 convention: "no events" reads as a 0.0 rate, which
+     * table printers can mistake for a measured 0% (e.g. "no refs" as
+     * "0% miss rate").  Callers that must distinguish the two should
+     * use perOr() with a sentinel fallback (NaN renders as "-").
+     */
     double
     per(std::uint64_t denom) const
     {
-        return denom == 0 ? 0.0
+        return perOr(denom, 0.0);
+    }
+
+    /** Ratio of this counter to @p denom; @p fallback when denom is 0. */
+    double
+    perOr(std::uint64_t denom, double fallback) const
+    {
+        return denom == 0 ? fallback
                           : static_cast<double>(value_) /
                                 static_cast<double>(denom);
     }

@@ -2,6 +2,28 @@
 
 #include "tlb/tlb_detail.h"
 
+namespace tps
+{
+
+void
+TlbStats::exportTo(obs::StatRegistry &registry,
+                   const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".access", accesses);
+    registry.addCounter(prefix + ".hit", hits);
+    registry.addCounter(prefix + ".miss", misses);
+    registry.addCounter(prefix + ".hit_small", hitsSmall);
+    registry.addCounter(prefix + ".hit_large", hitsLarge);
+    registry.addCounter(prefix + ".miss_small", missesSmall);
+    registry.addCounter(prefix + ".miss_large", missesLarge);
+    registry.addCounter(prefix + ".fill", fills);
+    registry.addCounter(prefix + ".eviction", evictions);
+    registry.addCounter(prefix + ".invalidation", invalidations);
+    registry.addValue(prefix + ".miss_ratio", missRatio());
+}
+
+} // namespace tps
+
 namespace tps::detail
 {
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/stat_registry.h"
 #include "vm/page.h"
 #include "vm/policy.h"
 
@@ -45,6 +46,13 @@ struct TlbStats
                              : static_cast<double>(misses) /
                                    static_cast<double>(accesses);
     }
+
+    /**
+     * Register every counter under "<prefix>." ("tlb.miss",
+     * "tlb.hit_large", ...) plus the derived miss ratio.
+     */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix = "tlb") const;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace tps
 {
@@ -16,21 +17,38 @@ namespace
 std::atomic<std::uint64_t> warn_count{0};
 std::atomic<bool> quiet_flag{false};
 
+/**
+ * Serializes message emission: worker threads call tps_warn/tps_inform
+ * concurrently (parallel sweeps), and although a single fprintf of a
+ * full line is atomic on glibc, POSIX does not promise it — without
+ * the lock, lines can interleave mid-message on other platforms.
+ * panic/fatal take it too so a crash message is never torn.
+ */
+std::mutex output_mutex;
+
 } // namespace
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(output_mutex);
+        std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(),
+                     file, line);
+        std::fflush(stderr);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(output_mutex);
+        std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(),
+                     file, line);
+        std::fflush(stderr);
+    }
     std::exit(1);
 }
 
@@ -38,14 +56,17 @@ void
 warnImpl(const std::string &msg)
 {
     warn_count.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(output_mutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet_flag.load(std::memory_order_relaxed))
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(output_mutex);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 std::uint64_t

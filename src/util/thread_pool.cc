@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include "obs/trace_profiler.h"
 #include "util/format.h"
 
 namespace tps::util
@@ -39,7 +40,13 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop_front();
         }
-        task(); // exceptions land in the packaged_task's future
+        {
+            // One span per task on the worker's timeline; shows pool
+            // load imbalance in --trace-out dumps.  No-op when the
+            // global profiler is off.
+            obs::ScopedSpan span("task", "pool");
+            task(); // exceptions land in the packaged_task's future
+        }
     }
 }
 

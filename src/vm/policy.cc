@@ -6,6 +6,17 @@
 namespace tps
 {
 
+void
+PolicyStats::exportTo(obs::StatRegistry &registry,
+                      const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".refs_small", refsSmall);
+    registry.addCounter(prefix + ".refs_large", refsLarge);
+    registry.addCounter(prefix + ".promotions", promotions);
+    registry.addCounter(prefix + ".demotions", demotions);
+    registry.addValue(prefix + ".large_fraction", largeFraction());
+}
+
 SingleSizePolicy::SingleSizePolicy(unsigned size_log2)
     : size_log2_(size_log2)
 {

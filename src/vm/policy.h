@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/stat_registry.h"
 #include "vm/page.h"
 
 namespace tps
@@ -60,6 +61,13 @@ struct PolicyStats
                           : static_cast<double>(refsLarge) /
                                 static_cast<double>(total);
     }
+
+    /**
+     * Register every counter under "<prefix>."
+     * ("policy.promotions", ...) plus the derived large fraction.
+     */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix = "policy") const;
 };
 
 /** Per-reference page-size assignment. */

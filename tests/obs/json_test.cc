@@ -1,0 +1,118 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tps::obs
+{
+namespace
+{
+
+TEST(JsonWriter, EmitsNestedDocument)
+{
+    std::ostringstream os;
+    JsonWriter writer(os, /*pretty=*/false);
+    writer.beginObject();
+    writer.key("name").value("tps");
+    writer.key("count").value(std::uint64_t{42});
+    writer.key("items").beginArray();
+    writer.value(std::uint64_t{1});
+    writer.value(std::uint64_t{2});
+    writer.endArray();
+    writer.endObject();
+    writer.finish();
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"tps\",\"count\":42,\"items\":[1,2]}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    EXPECT_EQ(JsonWriter::quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, MisuseThrows)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    EXPECT_THROW(writer.key("k"), std::logic_error); // key outside object
+    JsonWriter writer2(os);
+    writer2.beginObject();
+    EXPECT_THROW(writer2.endArray(), std::logic_error);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeStrings)
+{
+    std::ostringstream os;
+    JsonWriter writer(os, /*pretty=*/false);
+    writer.beginArray();
+    writer.value(std::numeric_limits<double>::infinity());
+    writer.value(-std::numeric_limits<double>::infinity());
+    writer.value(std::nan(""));
+    writer.endArray();
+    writer.finish();
+    EXPECT_EQ(os.str(), "[\"inf\",\"-inf\",\"nan\"]");
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers)
+{
+    const JsonValue doc = parseJson(
+        R"({"i": -3, "d": 0.5, "s": "x", "b": true, "n": null,
+            "a": [1, 2.5], "o": {"k": "v"}})");
+    ASSERT_EQ(doc.type, JsonValue::Type::Object);
+    EXPECT_EQ(doc.find("i")->integer, -3);
+    EXPECT_EQ(doc.find("d")->type, JsonValue::Type::Double);
+    EXPECT_DOUBLE_EQ(doc.find("d")->number, 0.5);
+    EXPECT_EQ(doc.find("s")->text, "x");
+    EXPECT_TRUE(doc.find("b")->boolean);
+    EXPECT_EQ(doc.find("n")->type, JsonValue::Type::Null);
+    ASSERT_EQ(doc.find("a")->array.size(), 2u);
+    EXPECT_EQ(doc.find("a")->array[0].integer, 1);
+    EXPECT_EQ(doc.find("o")->find("k")->text, "v");
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, DecodesEscapes)
+{
+    const JsonValue doc = parseJson(R"(["a\nb", "\u0041"])");
+    EXPECT_EQ(doc.array[0].text, "a\nb");
+    EXPECT_EQ(doc.array[1].text, "A");
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), JsonParseError);
+    EXPECT_THROW(parseJson("{"), JsonParseError);
+    EXPECT_THROW(parseJson("[1,]"), JsonParseError);
+    EXPECT_THROW(parseJson("{} trailing"), JsonParseError);
+    try {
+        parseJson("[1, oops]");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &error) {
+        EXPECT_GT(error.offset(), 0u);
+    }
+}
+
+TEST(JsonRoundTrip, DoublesSurviveExactly)
+{
+    // %.17g must reproduce the exact bits through a parse cycle.
+    const double values[] = {1.0 / 3.0, 0.1, 6.0221407599999999e23,
+                             -2.2250738585072014e-308, 12345.6789};
+    for (const double v : values) {
+        std::ostringstream os;
+        JsonWriter writer(os, /*pretty=*/false);
+        writer.beginArray();
+        writer.value(v);
+        writer.endArray();
+        writer.finish();
+        const JsonValue doc = parseJson(os.str());
+        ASSERT_EQ(doc.array.size(), 1u);
+        EXPECT_EQ(doc.array[0].number, v) << os.str();
+    }
+}
+
+} // namespace
+} // namespace tps::obs

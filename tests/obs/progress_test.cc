@@ -1,0 +1,136 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tps::obs
+{
+namespace
+{
+
+/** Temp FILE* whose contents can be read back after the test. */
+class CaptureStream
+{
+  public:
+    CaptureStream() : file_(std::tmpfile()) {}
+    ~CaptureStream()
+    {
+        if (file_ != nullptr)
+            std::fclose(file_);
+    }
+
+    std::FILE *get() { return file_; }
+
+    std::string
+    contents()
+    {
+        std::string out;
+        std::fflush(file_);
+        std::rewind(file_);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), file_)) > 0)
+            out.append(buf, n);
+        return out;
+    }
+
+  private:
+    std::FILE *file_;
+};
+
+TEST(Progress, DisabledByDefault)
+{
+    ASSERT_FALSE(progressEnabled());
+    CaptureStream capture;
+    ProgressReporter progress(10, "cells");
+    progress.setStream(capture.get());
+    progress.setMinIntervalMs(0);
+    for (int i = 0; i < 10; ++i)
+        progress.tick(100);
+    progress.finish();
+    EXPECT_EQ(progress.emitted(), 0u);
+    EXPECT_EQ(progress.done(), 10u);
+    EXPECT_TRUE(capture.contents().empty());
+}
+
+TEST(Progress, GlobalGate)
+{
+    setProgressEnabled(true);
+    EXPECT_TRUE(progressEnabled());
+    CaptureStream capture;
+    ProgressReporter progress(2, "cells");
+    progress.setStream(capture.get());
+    progress.finish();
+    EXPECT_EQ(progress.emitted(), 1u);
+    setProgressEnabled(false);
+    EXPECT_FALSE(progressEnabled());
+}
+
+TEST(Progress, RateLimitSwallowsBursts)
+{
+    CaptureStream capture;
+    ProgressReporter progress(1000, "cells");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    // A 10-minute interval: a fast burst of ticks must stay silent...
+    progress.setMinIntervalMs(600'000);
+    for (int i = 0; i < 1000; ++i)
+        progress.tick(10);
+    EXPECT_EQ(progress.emitted(), 0u);
+    // ...while finish() always reports.
+    progress.finish();
+    EXPECT_EQ(progress.emitted(), 1u);
+}
+
+TEST(Progress, ZeroIntervalEmitsEveryTick)
+{
+    CaptureStream capture;
+    ProgressReporter progress(3, "cells");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    progress.setMinIntervalMs(0);
+    progress.tick(50);
+    progress.tick(50);
+    progress.tick(50);
+    EXPECT_EQ(progress.emitted(), 3u);
+}
+
+TEST(Progress, LineFormat)
+{
+    CaptureStream capture;
+    ProgressReporter progress(4, "cells");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    progress.setMinIntervalMs(0);
+    progress.tick(1'000'000);
+    progress.tick(1'000'000);
+    progress.finish();
+
+    const std::string out = capture.contents();
+    EXPECT_NE(out.find("progress: 1 cells/4 (25%)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("progress: 2 cells/4 (50%)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("refs/s"), std::string::npos) << out;
+    EXPECT_NE(out.find("eta"), std::string::npos) << out;
+    EXPECT_NE(out.find("[done]"), std::string::npos) << out;
+}
+
+TEST(Progress, UnknownTotalOmitsEta)
+{
+    CaptureStream capture;
+    ProgressReporter progress(0, "items");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    progress.setMinIntervalMs(0);
+    progress.tick();
+    const std::string out = capture.contents();
+    EXPECT_NE(out.find("progress: 1 items"), std::string::npos) << out;
+    EXPECT_EQ(out.find("eta"), std::string::npos) << out;
+    EXPECT_EQ(out.find("%"), std::string::npos) << out;
+}
+
+} // namespace
+} // namespace tps::obs

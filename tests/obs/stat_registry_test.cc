@@ -1,0 +1,195 @@
+#include "obs/stat_registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace tps::obs
+{
+namespace
+{
+
+TEST(StatName, Validation)
+{
+    EXPECT_TRUE(isValidStatName("tlb.l1.miss"));
+    EXPECT_TRUE(isValidStatName("policy.promotions"));
+    EXPECT_TRUE(isValidStatName("a-b_c.d0"));
+    EXPECT_FALSE(isValidStatName(""));
+    EXPECT_FALSE(isValidStatName(".leading"));
+    EXPECT_FALSE(isValidStatName("trailing."));
+    EXPECT_FALSE(isValidStatName("double..dot"));
+    EXPECT_FALSE(isValidStatName("spa ce"));
+    EXPECT_FALSE(isValidStatName("sla/sh"));
+}
+
+TEST(Slugify, NormalizesLabels)
+{
+    EXPECT_EQ(slugify("64-entry FA / 4KB/32KB"), "64_entry_fa_4kb_32kb");
+    EXPECT_EQ(slugify("matrix300"), "matrix300");
+    EXPECT_EQ(slugify("  "), "_");
+    EXPECT_TRUE(isValidStatName(slugify("any ! label (here)")));
+}
+
+TEST(StatRegistry, RegistersAndReadsBack)
+{
+    StatRegistry registry;
+    registry.addCounter("tlb.miss", 7);
+    registry.addValue("cpi", 1.25);
+    registry.addText("workload", "li");
+    registry.addHistogram("hist", {1, 2, 3});
+    EXPECT_EQ(registry.size(), 4u);
+    EXPECT_EQ(registry.counter("tlb.miss"), 7u);
+    EXPECT_DOUBLE_EQ(registry.value("cpi"), 1.25);
+    EXPECT_EQ(registry.text("workload"), "li");
+    EXPECT_TRUE(registry.has("hist"));
+    // Counters read as values too (table drivers want doubles).
+    EXPECT_DOUBLE_EQ(registry.value("tlb.miss"), 7.0);
+}
+
+TEST(StatRegistry, RejectsCollisionsAndBadNames)
+{
+    StatRegistry registry;
+    registry.addCounter("tlb.miss", 1);
+    EXPECT_THROW(registry.addCounter("tlb.miss", 2),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.addValue("tlb.miss", 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.addCounter("bad name", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.addText("", "x"), std::invalid_argument);
+    // The original registration is untouched.
+    EXPECT_EQ(registry.counter("tlb.miss"), 1u);
+}
+
+TEST(StatRegistry, IncrCounterAccumulates)
+{
+    StatRegistry registry;
+    registry.incrCounter("n", 2);
+    registry.incrCounter("n", 3);
+    EXPECT_EQ(registry.counter("n"), 5u);
+    registry.addText("t", "x");
+    EXPECT_THROW(registry.incrCounter("t", 1), std::invalid_argument);
+}
+
+TEST(StatRegistry, MergePrefixesAndDetectsCollisions)
+{
+    StatRegistry cell;
+    cell.addCounter("tlb.miss", 3);
+    cell.addValue("cpi", 2.0);
+
+    StatRegistry parent;
+    parent.merge(cell, "sweep.li.fa16");
+    EXPECT_EQ(parent.counter("sweep.li.fa16.tlb.miss"), 3u);
+    EXPECT_DOUBLE_EQ(parent.value("sweep.li.fa16.cpi"), 2.0);
+
+    EXPECT_THROW(parent.merge(cell, "sweep.li.fa16"),
+                 std::invalid_argument);
+    // No-prefix merge keeps names as-is.
+    StatRegistry flat;
+    flat.merge(cell);
+    EXPECT_EQ(flat.counter("tlb.miss"), 3u);
+}
+
+TEST(StatRegistry, JsonRoundTrip)
+{
+    StatRegistry registry;
+    registry.addCounter("a.refs", 123456789012345ull);
+    registry.addValue("a.cpi", 1.0 / 3.0);
+    registry.addValue("a.zero", 0.0);
+    registry.addText("a.name", "two-size \"exact\"");
+    registry.addHistogram("a.hist", {0, 5, 9});
+
+    std::ostringstream os;
+    registry.writeJson(os);
+    const JsonValue doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.find("schema")->text, kStatsSchema);
+    const JsonValue *stats = doc.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("a.refs")->integer, 123456789012345ll);
+    EXPECT_EQ(stats->find("a.cpi")->number, 1.0 / 3.0); // exact
+    EXPECT_EQ(stats->find("a.zero")->number, 0.0);
+    EXPECT_EQ(doc.find("text")->find("a.name")->text,
+              "two-size \"exact\"");
+    const JsonValue *hist = doc.find("histograms")->find("a.hist");
+    ASSERT_NE(hist, nullptr);
+    ASSERT_EQ(hist->array.size(), 3u);
+    EXPECT_EQ(hist->array[2].integer, 9);
+    // No manifest requested, none emitted.
+    EXPECT_EQ(doc.find("manifest"), nullptr);
+}
+
+TEST(StatRegistry, DumpIsSortedRegardlessOfInsertionOrder)
+{
+    StatRegistry forward, backward;
+    forward.addCounter("a", 1);
+    forward.addCounter("b", 2);
+    forward.addValue("c", 3.0);
+    backward.addValue("c", 3.0);
+    backward.addCounter("b", 2);
+    backward.addCounter("a", 1);
+
+    std::ostringstream os1, os2;
+    forward.writeJson(os1);
+    backward.writeJson(os2);
+    EXPECT_EQ(os1.str(), os2.str());
+}
+
+TEST(StatRegistry, ManifestAppearsInDump)
+{
+    RunManifest manifest;
+    manifest.experiment = "unit-test";
+    manifest.refs = 1000;
+    manifest.threads = 4;
+    manifest.extra["note"] = "hello";
+
+    StatRegistry registry;
+    registry.addCounter("x", 1);
+    std::ostringstream os;
+    registry.writeJson(os, &manifest);
+
+    const JsonValue doc = parseJson(os.str());
+    const JsonValue *m = doc.find("manifest");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->find("experiment")->text, "unit-test");
+    EXPECT_EQ(m->find("refs")->integer, 1000);
+    EXPECT_EQ(m->find("threads")->integer, 4);
+    EXPECT_EQ(m->find("extra")->find("note")->text, "hello");
+}
+
+TEST(StatRegistry, CopyIsIndependent)
+{
+    StatRegistry a;
+    a.addCounter("n", 1);
+    StatRegistry b = a;
+    b.incrCounter("n", 10);
+    EXPECT_EQ(a.counter("n"), 1u);
+    EXPECT_EQ(b.counter("n"), 11u);
+}
+
+TEST(StatRegistry, CsvDump)
+{
+    StatRegistry registry;
+    registry.addCounter("n", 2);
+    registry.addText("t", "x");
+    std::ostringstream os;
+    registry.writeCsv(os);
+    EXPECT_EQ(os.str(), "name,kind,value\nn,counter,2\nt,text,x\n");
+}
+
+TEST(RunManifest, CaptureRecordsCommandLine)
+{
+    const char *argv[] = {"prog", "--threads", "4", nullptr};
+    const RunManifest manifest = RunManifest::capture(
+        "Figure 5.2", 3, const_cast<char **>(argv));
+    EXPECT_EQ(manifest.experiment, "Figure 5.2");
+    EXPECT_EQ(manifest.command, "prog --threads 4");
+    EXPECT_FALSE(manifest.gitDescribe.empty());
+    EXPECT_FALSE(manifest.timestampUtc.empty());
+}
+
+} // namespace
+} // namespace tps::obs

@@ -1,0 +1,124 @@
+#include "obs/trace_profiler.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace tps::obs
+{
+namespace
+{
+
+TEST(TraceProfiler, ScopedSpansBalance)
+{
+    TraceProfiler profiler;
+    {
+        ScopedSpan outer(&profiler, "outer", "test");
+        ScopedSpan inner(&profiler, "inner", "test");
+    }
+    EXPECT_EQ(profiler.eventCount(), 4u); // 2 B + 2 E
+    profiler.clear();
+    EXPECT_EQ(profiler.eventCount(), 0u);
+}
+
+TEST(TraceProfiler, NullProfilerSpanIsNoop)
+{
+    // The disabled-global path: must not crash or record anything.
+    ScopedSpan span(nullptr, "nothing", "test");
+    ScopedSpan global_span("nothing", "test"); // global() is off
+    SUCCEED();
+}
+
+TEST(TraceProfiler, WriteJsonIsValidAndBalanced)
+{
+    TraceProfiler profiler;
+    {
+        ScopedSpan a(&profiler, "cell alpha", "cell");
+        { ScopedSpan b(&profiler, "chunk", "replay"); }
+        profiler.instant("note", "test");
+    }
+
+    std::ostringstream os;
+    profiler.writeJson(os);
+    const JsonValue doc = parseJson(os.str()); // throws if invalid
+
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type, JsonValue::Type::Array);
+
+    std::size_t begins = 0, ends = 0, instants = 0, metadata = 0;
+    std::vector<std::string> open;
+    for (const JsonValue &event : events->array) {
+        const std::string ph = event.find("ph")->text;
+        if (ph == "M") {
+            ++metadata;
+            continue;
+        }
+        ASSERT_NE(event.find("ts"), nullptr);
+        ASSERT_NE(event.find("pid"), nullptr);
+        ASSERT_NE(event.find("tid"), nullptr);
+        if (ph == "B") {
+            ++begins;
+            open.push_back(event.find("name")->text);
+            EXPECT_NE(event.find("cat"), nullptr);
+        } else if (ph == "E") {
+            ++ends;
+            ASSERT_FALSE(open.empty()) << "E without matching B";
+            open.pop_back();
+        } else if (ph == "i") {
+            ++instants;
+            EXPECT_EQ(event.find("s")->text, "t");
+        }
+    }
+    EXPECT_EQ(metadata, 1u); // process_name
+    EXPECT_EQ(begins, 2u);
+    EXPECT_EQ(ends, 2u);
+    EXPECT_EQ(instants, 1u);
+    EXPECT_TRUE(open.empty()); // every B closed
+}
+
+TEST(TraceProfiler, TimestampsAreMonotonicPerThread)
+{
+    TraceProfiler profiler;
+    {
+        ScopedSpan a(&profiler, "first", "t");
+    }
+    {
+        ScopedSpan b(&profiler, "second", "t");
+    }
+    std::ostringstream os;
+    profiler.writeJson(os);
+    const JsonValue doc = parseJson(os.str());
+    std::int64_t last = -1;
+    for (const JsonValue &event : doc.find("traceEvents")->array) {
+        if (event.find("ph")->text == "M")
+            continue;
+        const std::int64_t ts = event.find("ts")->integer;
+        EXPECT_GE(ts, last);
+        last = ts;
+    }
+}
+
+TEST(TraceProfiler, GlobalEnableIsIdempotent)
+{
+    EXPECT_EQ(TraceProfiler::global(), nullptr);
+    TraceProfiler *first = TraceProfiler::enableGlobal();
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(TraceProfiler::enableGlobal(), first);
+    EXPECT_EQ(TraceProfiler::global(), first);
+
+    {
+        ScopedSpan span("global span", "test");
+    }
+    EXPECT_EQ(first->eventCount(), 2u);
+
+    TraceProfiler::disableGlobal();
+    EXPECT_EQ(TraceProfiler::global(), nullptr);
+}
+
+} // namespace
+} // namespace tps::obs

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Compare two tps-stats-v1 JSON dumps (see obs/stat_registry.h) and
+ * exit nonzero when they drift.  The regression gate behind the
+ * determinism guarantee: a serial and a 4-thread run of the same
+ * experiment must produce byte-identical stats sections.
+ *
+ * Usage: tps_stats_diff [--tol REL] a.json b.json
+ *
+ * Compares the "stats" section numerically (|a-b| <= tol * max(|a|,
+ * |b|); the default tolerance 0 demands exact equality), the "text"
+ * and "histograms" sections exactly, and ignores the manifest —
+ * hostname, timestamp and command line legitimately differ between
+ * runs of the same configuration.
+ *
+ * Exit codes: 0 = match, 1 = drift (details on stderr), 2 = usage or
+ * I/O or parse error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace
+{
+
+using tps::obs::JsonValue;
+
+int drift_count = 0;
+
+void
+drift(const std::string &what)
+{
+    ++drift_count;
+    std::fprintf(stderr, "drift: %s\n", what.c_str());
+}
+
+std::string
+numberToString(const JsonValue &v)
+{
+    char buf[40];
+    if (v.type == JsonValue::Type::Int)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v.integer));
+    else
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+    return buf;
+}
+
+/** Compare one section ("stats", "text" or "histograms") key by key. */
+void
+diffSection(const char *section, const JsonValue *a, const JsonValue *b,
+            double tol)
+{
+    static const JsonValue empty_object = [] {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        return v;
+    }();
+    if (a == nullptr)
+        a = &empty_object;
+    if (b == nullptr)
+        b = &empty_object;
+
+    std::set<std::string> names;
+    for (const auto &[name, value] : a->object)
+        names.insert(name);
+    for (const auto &[name, value] : b->object)
+        names.insert(name);
+
+    for (const std::string &name : names) {
+        const JsonValue *va = a->find(name);
+        const JsonValue *vb = b->find(name);
+        const std::string label = std::string(section) + "." + name;
+        if (va == nullptr) {
+            drift(label + " only in second file");
+            continue;
+        }
+        if (vb == nullptr) {
+            drift(label + " only in first file");
+            continue;
+        }
+        if (va->isNumber() && vb->isNumber()) {
+            // Exact integers compare exactly regardless of tolerance.
+            if (va->type == JsonValue::Type::Int &&
+                vb->type == JsonValue::Type::Int) {
+                if (va->integer != vb->integer)
+                    drift(label + ": " + numberToString(*va) + " vs " +
+                          numberToString(*vb));
+                continue;
+            }
+            const double da = va->number;
+            const double db = vb->number;
+            const double scale =
+                std::max(std::fabs(da), std::fabs(db));
+            if (std::fabs(da - db) > tol * scale)
+                drift(label + ": " + numberToString(*va) + " vs " +
+                      numberToString(*vb));
+            continue;
+        }
+        if (va->type != vb->type) {
+            drift(label + ": type mismatch");
+            continue;
+        }
+        if (va->type == JsonValue::Type::String) {
+            if (va->text != vb->text)
+                drift(label + ": \"" + va->text + "\" vs \"" + vb->text +
+                      "\"");
+            continue;
+        }
+        if (va->type == JsonValue::Type::Array) {
+            bool equal = va->array.size() == vb->array.size();
+            for (std::size_t i = 0; equal && i < va->array.size(); ++i) {
+                const JsonValue &ea = va->array[i];
+                const JsonValue &eb = vb->array[i];
+                equal = ea.isNumber() && eb.isNumber() &&
+                        ea.number == eb.number && ea.integer == eb.integer;
+            }
+            if (!equal)
+                drift(label + ": histograms differ");
+            continue;
+        }
+        drift(label + ": unsupported value type");
+    }
+}
+
+JsonValue
+load(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n", path);
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return tps::obs::parseJson(text.str());
+    } catch (const tps::obs::JsonParseError &error) {
+        std::fprintf(stderr, "error: %s: %s (offset %zu)\n", path,
+                     error.what(), error.offset());
+        std::exit(2);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double tol = 0.0;
+    int arg = 1;
+    if (arg < argc && std::string(argv[arg]).rfind("--tol", 0) == 0) {
+        const std::string opt = argv[arg];
+        std::string value;
+        if (opt.rfind("--tol=", 0) == 0) {
+            value = opt.substr(6);
+            ++arg;
+        } else if (arg + 1 < argc) {
+            value = argv[arg + 1];
+            arg += 2;
+        }
+        char *end = nullptr;
+        tol = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || tol < 0.0) {
+            std::fprintf(stderr, "error: --tol expects a non-negative "
+                                 "number, got '%s'\n",
+                         value.c_str());
+            return 2;
+        }
+    }
+    if (argc - arg != 2) {
+        std::fprintf(stderr,
+                     "usage: tps_stats_diff [--tol REL] a.json b.json\n");
+        return 2;
+    }
+
+    const JsonValue a = load(argv[arg]);
+    const JsonValue b = load(argv[arg + 1]);
+
+    const JsonValue *schema_a = a.find("schema");
+    const JsonValue *schema_b = b.find("schema");
+    if (schema_a == nullptr || schema_b == nullptr ||
+        schema_a->type != JsonValue::Type::String ||
+        schema_b->type != JsonValue::Type::String) {
+        std::fprintf(stderr, "error: missing \"schema\" field (not a "
+                             "tps-stats dump?)\n");
+        return 2;
+    }
+    if (schema_a->text != schema_b->text) {
+        std::fprintf(stderr, "error: schema mismatch: %s vs %s\n",
+                     schema_a->text.c_str(), schema_b->text.c_str());
+        return 2;
+    }
+
+    diffSection("stats", a.find("stats"), b.find("stats"), tol);
+    diffSection("text", a.find("text"), b.find("text"), tol);
+    diffSection("histograms", a.find("histograms"), b.find("histograms"),
+                tol);
+
+    if (drift_count != 0) {
+        std::fprintf(stderr, "%d stat(s) drifted\n", drift_count);
+        return 1;
+    }
+    std::printf("stats match (%zu/%zu entries compared)\n",
+                a.find("stats") ? a.find("stats")->object.size() : 0,
+                b.find("stats") ? b.find("stats")->object.size() : 0);
+    return 0;
+}
