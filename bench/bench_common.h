@@ -19,6 +19,7 @@
 #include "obs/manifest.h"
 #include "obs/progress.h"
 #include "obs/stat_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace_profiler.h"
 #include "stats/csv.h"
 #include "stats/table.h"
@@ -105,7 +106,20 @@ struct ObsState
     obs::RunManifest manifest;
     std::string statsOut;
     std::string traceOut;
+    std::string timeseriesOut;
 };
+
+/** Parse a non-negative integer flag value or die with context. */
+inline std::uint64_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        tps_fatal(flag, " expects a number, got '", value, "'");
+    return parsed;
+}
 
 inline ObsState &
 obsState()
@@ -141,6 +155,21 @@ flushObs()
                 profiler->writeJson(out);
                 std::fprintf(stderr, "info: wrote %s\n",
                              state.traceOut.c_str());
+            }
+        }
+    }
+    if (!state.timeseriesOut.empty()) {
+        const obs::TimeSeriesSink *sink = obs::TimeSeriesSink::global();
+        if (sink != nullptr) {
+            std::ofstream out(state.timeseriesOut);
+            if (!out) {
+                std::fprintf(stderr, "warn: cannot write %s\n",
+                             state.timeseriesOut.c_str());
+            } else {
+                sink->writeJson(out, &state.manifest);
+                std::fprintf(stderr, "info: wrote %s (%zu cells)\n",
+                             state.timeseriesOut.c_str(),
+                             sink->cellCount());
             }
         }
     }
@@ -195,7 +224,8 @@ inline void
 stripObsArgs(int &argc, char **argv)
 {
     const std::vector<std::string> value_flags = {
-        "--threads", "--stats-out", "--trace-out"};
+        "--threads",        "--stats-out",           "--trace-out",
+        "--timeseries-out", "--timeseries-interval", "--miss-sample"};
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -233,6 +263,14 @@ stripObsArgs(int &argc, char **argv)
  *                      chrome://tracing or ui.perfetto.dev)
  *   --progress         rate-limited progress lines on stderr
  *                      (TPS_PROGRESS=1 equivalent)
+ *   --timeseries-out FILE      enable interval telemetry and write a
+ *                              tps-timeseries-v1 document at exit
+ *                              (render with tools/tps_report)
+ *   --timeseries-interval N    measured refs per interval
+ *                              (default 100000)
+ *   --miss-sample K            reservoir-sample up to K miss events
+ *                              per cell into the time series
+ *                              (default 0 = off)
  */
 inline core::StudyScale
 banner(int argc, char **argv, const char *experiment, const char *what)
@@ -248,6 +286,31 @@ banner(int argc, char **argv, const char *experiment, const char *what)
         state.traceOut = value;
         obs::TraceProfiler::enableGlobal();
     }
+    {
+        obs::TimeSeriesConfig ts;
+        ts.intervalRefs = 100'000;
+        bool requested = false;
+        if (flagValue(argc, argv, "--timeseries-out", value)) {
+            state.timeseriesOut = value;
+            requested = true;
+        }
+        if (flagValue(argc, argv, "--timeseries-interval", value)) {
+            ts.intervalRefs =
+                detail::parseCount("--timeseries-interval", value);
+            if (ts.intervalRefs == 0)
+                tps_fatal("--timeseries-interval must be > 0");
+            requested = true;
+        }
+        if (flagValue(argc, argv, "--miss-sample", value)) {
+            ts.missSampleCapacity = static_cast<std::size_t>(
+                detail::parseCount("--miss-sample", value));
+            requested = true;
+        }
+        if (requested) {
+            scale.timeseries = ts;
+            obs::TimeSeriesSink::enableGlobal(ts);
+        }
+    }
     const char *progress_env = std::getenv("TPS_PROGRESS");
     if (hasFlag(argc, argv, "--progress") ||
         (progress_env != nullptr && progress_env[0] != '\0' &&
@@ -260,6 +323,12 @@ banner(int argc, char **argv, const char *experiment, const char *what)
     state.manifest.window = scale.window;
     state.manifest.warmupRefs = scale.warmupRefs;
     state.manifest.threads = resolvedThreads(scale);
+    if (scale.timeseries.enabled()) {
+        state.manifest.extra["timeseries_interval"] =
+            std::to_string(scale.timeseries.intervalRefs);
+        state.manifest.extra["miss_sample"] =
+            std::to_string(scale.timeseries.missSampleCapacity);
+    }
     const char *cache_env = std::getenv("TPS_TRACE_CACHE");
     if (cache_env != nullptr && cache_env[0] != '\0') {
         state.manifest.traceCacheMode =

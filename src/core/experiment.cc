@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "obs/trace_profiler.h"
 #include "util/logging.h"
@@ -25,9 +26,13 @@ ExperimentResult::exportTo(obs::StatRegistry &registry,
     registry.addValue(prefix + ".mpi", mpi);
     registry.addValue(prefix + ".miss_ratio", missRatio);
     registry.addValue(prefix + ".rpi", rpi);
-    if (avgWsBytes != 0.0)
+    // Gate on the feature, not the measured value: a run that tracked
+    // the working set and measured 0 bytes must still register the
+    // key, or dumps from identical configurations would disagree on
+    // their key sets.
+    if (wsTracked)
         registry.addValue(prefix + ".avg_ws_bytes", avgWsBytes);
-    if (measuredMissCycles != 0.0) {
+    if (pageTablesModeled) {
         registry.addValue(prefix + ".measured_miss_cycles",
                           measuredMissCycles);
         registry.addValue(prefix + ".cpi_tlb_measured", cpiTlbMeasured);
@@ -69,13 +74,16 @@ namespace
 
 /**
  * Fans invalidation events out to the TLB and, optionally, mirrors
- * chunk remaps into the modeled page tables.
+ * chunk remaps into the modeled page tables.  When the miss-event
+ * sampler is on it also remembers shot-down pages so a later re-miss
+ * on one can be attributed to the shootdown rather than to capacity.
  */
 class SinkTee : public InvalidationSink
 {
   public:
-    SinkTee(Tlb &tlb, AddressSpace *address_space)
-        : tlb_(tlb), address_space_(address_space)
+    SinkTee(Tlb &tlb, AddressSpace *address_space,
+            std::unordered_set<PageId, PageIdHash> *shot_down = nullptr)
+        : tlb_(tlb), address_space_(address_space), shot_down_(shot_down)
     {
     }
 
@@ -83,6 +91,8 @@ class SinkTee : public InvalidationSink
     invalidatePage(const PageId &page) override
     {
         tlb_.invalidatePage(page);
+        if (shot_down_ != nullptr)
+            shot_down_->insert(page);
     }
 
     void
@@ -95,6 +105,24 @@ class SinkTee : public InvalidationSink
   private:
     Tlb &tlb_;
     AddressSpace *address_space_;
+    std::unordered_set<PageId, PageIdHash> *shot_down_;
+};
+
+/** Column names of the interval telemetry (order matters: the
+ *  recorder stores rows positionally against these lists). */
+const std::vector<std::string> kTsCounterNames = {
+    "refs",           "instructions",   "tlb_access",
+    "tlb_hit",        "tlb_miss",       "tlb_hit_small",
+    "tlb_hit_large",  "tlb_miss_small", "tlb_miss_large",
+    "tlb_fill",       "tlb_eviction",   "tlb_invalidation",
+    "refs_small",     "refs_large",     "promotions",
+    "demotions",
+};
+
+const std::vector<std::string> kTsValueNames = {
+    "miss_rate",
+    "mpi",
+    "large_fraction",
 };
 
 } // namespace
@@ -134,7 +162,35 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         }
     }
 
-    SinkTee sink(tlb, address_space ? &*address_space : nullptr);
+    // Interval telemetry: a per-cell recorder fed with counter deltas
+    // every intervalRefs measured references.  The ws_bytes column
+    // exists only when the working set is tracked, so column lists
+    // always describe exactly what was measured.  A process-global
+    // sink (--timeseries-out) acts as the default config so every
+    // bench records telemetry without plumbing it through its own
+    // RunOptions; an explicitly enabled options.timeseries overrides.
+    obs::TimeSeriesConfig ts_config = options.timeseries;
+    if (!ts_config.enabled()) {
+        if (const obs::TimeSeriesSink *sink =
+                obs::TimeSeriesSink::global())
+            ts_config = sink->config();
+    }
+    std::optional<obs::TimeSeriesRecorder> ts;
+    if (ts_config.enabled()) {
+        std::vector<std::string> value_names = kTsValueNames;
+        if (wset)
+            value_names.push_back("ws_bytes");
+        ts.emplace(ts_config, kTsCounterNames,
+                   std::move(value_names));
+    }
+    const bool sample_misses = ts && ts->samplingMisses();
+    // Miss-cause attribution (sampling only): every page identity ever
+    // accessed, and identities invalidated since their last access.
+    std::unordered_set<PageId, PageIdHash> seen_pages;
+    std::unordered_set<PageId, PageIdHash> shot_down;
+
+    SinkTee sink(tlb, address_space ? &*address_space : nullptr,
+                 sample_misses ? &shot_down : nullptr);
     policy.setInvalidationSink(&sink);
 
     ExperimentResult result;
@@ -159,6 +215,44 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     RefTime now = 0;
     std::uint64_t instructions = 0;
     std::uint64_t measured_refs = 0;
+
+    // Snapshots at the last interval close (all-zero at the warmup
+    // boundary, where the stats themselves are reset); sums of the
+    // recorded deltas therefore reproduce the aggregates exactly.
+    TlbStats ts_prev_tlb;
+    PolicyStats ts_prev_policy;
+    std::uint64_t ts_prev_instructions = 0;
+    std::uint64_t ts_last_close = 0;
+    auto closeInterval = [&] {
+        const TlbStats tlb_d = tlb.stats().deltaSince(ts_prev_tlb);
+        const PolicyStats pol_d =
+            policy.stats().deltaSince(ts_prev_policy);
+        const std::uint64_t refs_d = measured_refs - ts_last_close;
+        const std::uint64_t instr_d = instructions - ts_prev_instructions;
+        std::vector<std::uint64_t> counters = {
+            refs_d,          instr_d,          tlb_d.accesses,
+            tlb_d.hits,      tlb_d.misses,     tlb_d.hitsSmall,
+            tlb_d.hitsLarge, tlb_d.missesSmall, tlb_d.missesLarge,
+            tlb_d.fills,     tlb_d.evictions,  tlb_d.invalidations,
+            pol_d.refsSmall, pol_d.refsLarge,  pol_d.promotions,
+            pol_d.demotions};
+        std::vector<double> values = {
+            tlb_d.missRatio(),
+            instr_d == 0 ? 0.0
+                         : static_cast<double>(tlb_d.misses) /
+                               static_cast<double>(instr_d),
+            pol_d.largeFraction()};
+        if (wset)
+            values.push_back(
+                static_cast<double>(wset->currentBytes()));
+        ts->endInterval(ts_last_close, refs_d, std::move(counters),
+                        std::move(values));
+        ts_prev_tlb = tlb.stats();
+        ts_prev_policy = policy.stats();
+        ts_prev_instructions = instructions;
+        ts_last_close = measured_refs;
+    };
+
     for (;;) {
         std::size_t want = kReplayBatch;
         if (options.maxRefs != 0) {
@@ -197,9 +291,53 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
             }
             if (wset)
                 wset->observe(page);
+            if (ts) {
+                if (sample_misses && !hit) {
+                    // Seen-set updates only at misses: a hit implies
+                    // an earlier fill of the same page identity,
+                    // which implies an earlier (inserted) miss — so
+                    // membership at miss time matches a per-access
+                    // set, without hashing on the hit path.  Warmup
+                    // misses insert too, so a post-warmup re-miss on
+                    // a warmed page is not misattributed as cold.
+                    const bool first =
+                        seen_pages.insert(page).second;
+                    if (now > options.warmupRefs) {
+                        obs::MissCause cause;
+                        if (shot_down.erase(page) != 0)
+                            cause = obs::MissCause::Shootdown;
+                        else if (first)
+                            cause = obs::MissCause::Cold;
+                        else
+                            cause = obs::MissCause::Capacity;
+                        ts->offerMiss(measured_refs, page.vpn,
+                                      page.sizeLog2, cause);
+                    } else {
+                        shot_down.erase(page);
+                    }
+                }
+                if (now > options.warmupRefs &&
+                    measured_refs - ts_last_close ==
+                        ts->intervalRefs()) {
+                    closeInterval();
+                }
+            }
         }
     }
     policy.setInvalidationSink(nullptr);
+
+    if (ts) {
+        // Flush the final partial interval so per-interval sums equal
+        // the whole-run aggregates exactly.
+        if (measured_refs > ts_last_close)
+            closeInterval();
+        auto series = std::make_shared<obs::TimeSeries>(
+            ts->finish(result.workload, result.tlbName,
+                       result.policyName));
+        result.timeseries = series;
+        if (obs::TimeSeriesSink *global = obs::TimeSeriesSink::global())
+            global->add(*series);
+    }
 
     result.refs = measured_refs;
     result.instructions = instructions;
@@ -216,9 +354,12 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                      ? 0.0
                      : static_cast<double>(measured_refs) /
                            static_cast<double>(instructions);
-    if (wset)
+    if (wset) {
         result.avgWsBytes = wset->averageBytes();
+        result.wsTracked = true;
+    }
     if (address_space) {
+        result.pageTablesModeled = true;
         result.measuredMissCycles = address_space->averageMissCycles();
         result.cpiTlbMeasured =
             instructions == 0

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/cpi_model.h"
+#include "obs/timeseries.h"
 #include "tlb/factory.h"
 #include "trace/trace_source.h"
 #include "vm/policy.h"
@@ -70,6 +71,19 @@ struct RunOptions
      * empirical miss penalty alongside the constant-model CPI.
      */
     bool modelPageTables = false;
+
+    /**
+     * Interval telemetry (off unless intervalRefs != 0): snapshot
+     * every counter each intervalRefs measured references and
+     * reservoir-sample miss events, producing the result's
+     * tps-timeseries-v1 series.  The finished series also lands in
+     * obs::TimeSeriesSink::global() when one is enabled
+     * (`--timeseries-out`, see bench_common.h).  When this config is
+     * left disabled but a global sink exists, the sink's config is
+     * used instead, so `--timeseries-out` covers benches that build
+     * their RunOptions by hand.
+     */
+    obs::TimeSeriesConfig timeseries;
 };
 
 /** Everything measured in one run. */
@@ -92,11 +106,19 @@ struct ExperimentResult
 
     /** Average working set in bytes (0 unless wsWindow was set). */
     double avgWsBytes = 0.0;
+    /** True when wsWindow was set (avg_ws_bytes is meaningful). */
+    bool wsTracked = false;
 
     /** Measured mean handler cycles (0 unless modelPageTables). */
     double measuredMissCycles = 0.0;
     /** CPI_TLB recomputed with the measured penalty. */
     double cpiTlbMeasured = 0.0;
+    /** True when modelPageTables was set. */
+    bool pageTablesModeled = false;
+
+    /** Interval telemetry (null unless options.timeseries enabled).
+     *  Shared so results stay cheap to copy through sweep plumbing. */
+    std::shared_ptr<const obs::TimeSeries> timeseries;
 
     /**
      * Register everything measured under "<prefix>.": run counters

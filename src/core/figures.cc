@@ -158,6 +158,7 @@ runCell(TraceSource &trace, const PolicySpec &policy, TlbConfig tlb,
     options.warmupRefs =
         scale.warmupRefs < scale.refs ? scale.warmupRefs : 0;
     options.cpi = cpi;
+    options.timeseries = scale.timeseries;
     return runExperiment(trace, policy, tlb, options);
 }
 

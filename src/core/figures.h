@@ -51,6 +51,14 @@ struct StudyScale
      * std::thread::hardware_concurrency(); 1 = serial.
      */
     unsigned threads = 0;
+
+    /**
+     * Interval-telemetry controls applied to every experiment cell
+     * the study runners execute (off unless intervalRefs != 0; see
+     * RunOptions::timeseries and `--timeseries-out` in
+     * bench_common.h).
+     */
+    obs::TimeSeriesConfig timeseries;
 };
 
 /**

@@ -123,6 +123,13 @@ SweepRunner::options(const RunOptions &options)
 }
 
 SweepRunner &
+SweepRunner::timeseries(const obs::TimeSeriesConfig &config)
+{
+    options_.timeseries = config;
+    return *this;
+}
+
+SweepRunner &
 SweepRunner::threads(unsigned n)
 {
     threads_ = n;

@@ -49,6 +49,14 @@ class SweepRunner
     SweepRunner &options(const RunOptions &options);
 
     /**
+     * Interval-telemetry controls for every cell (shorthand for
+     * mutating options().timeseries): each cell's ExperimentResult
+     * carries its series and the global TimeSeriesSink, when enabled,
+     * collects them all.
+     */
+    SweepRunner &timeseries(const obs::TimeSeriesConfig &config);
+
+    /**
      * Worker threads for run().  0 (the default) resolves to
      * TPS_THREADS when set, else std::thread::hardware_concurrency();
      * 1 forces the fully serial in-thread path.

@@ -78,6 +78,26 @@ ProgressReporter::emitLine(bool final)
                                       start_)
             .count();
 
+    // Windowed rates: progress since the previously emitted line.  A
+    // cumulative refs/s average is dominated by a slow warm-up cell
+    // long after throughput recovers; the ETA extrapolates from the
+    // last window instead, falling back to the cumulative rate when
+    // the window is empty (first line, or finish() right after an
+    // emitting tick).
+    const std::uint64_t win_done =
+        done - window_done_.load(std::memory_order_relaxed);
+    const std::uint64_t win_refs =
+        refs - window_refs_.load(std::memory_order_relaxed);
+    const double win_elapsed =
+        elapsed -
+        static_cast<double>(
+            window_start_us_.load(std::memory_order_relaxed)) /
+            1e6;
+    window_done_.store(done, std::memory_order_relaxed);
+    window_refs_.store(refs, std::memory_order_relaxed);
+    window_start_us_.store(static_cast<std::uint64_t>(elapsed * 1e6),
+                           std::memory_order_relaxed);
+
     char line[256];
     int n = std::snprintf(line, sizeof(line),
                           "progress: %" PRIu64 " %s", done,
@@ -96,15 +116,21 @@ ProgressReporter::emitLine(bool final)
                100.0 * static_cast<double>(done) /
                    static_cast<double>(total_));
     }
-    if (refs != 0 && elapsed > 0.0) {
+    if (win_refs != 0 && win_elapsed > 0.0) {
+        append(", %.2fM refs/s",
+               static_cast<double>(win_refs) / win_elapsed / 1e6);
+    } else if (refs != 0 && elapsed > 0.0) {
         append(", %.2fM refs/s",
                static_cast<double>(refs) / elapsed / 1e6);
     }
     append(", elapsed %.1fs", elapsed);
     if (!final && total_ != 0 && done != 0 && done < total_) {
+        const double per_item =
+            win_done != 0 && win_elapsed > 0.0
+                ? win_elapsed / static_cast<double>(win_done)
+                : elapsed / static_cast<double>(done);
         append(", eta %.1fs",
-               elapsed * static_cast<double>(total_ - done) /
-                   static_cast<double>(done));
+               per_item * static_cast<double>(total_ - done));
     }
     if (final)
         append(" [done]");

@@ -74,6 +74,13 @@ class ProgressReporter
     std::atomic<std::uint64_t> refs_{0};
     std::atomic<std::uint64_t> emitted_{0};
     std::atomic<std::uint64_t> last_emit_us_{0};
+    /** Snapshot at the previously emitted line, so rates and the ETA
+     *  reflect the last reporting window rather than the cumulative
+     *  average (which overestimates the ETA after a slow warm-up
+     *  cell).  Written only by the thread that wins the emit CAS. */
+    std::atomic<std::uint64_t> window_done_{0};
+    std::atomic<std::uint64_t> window_refs_{0};
+    std::atomic<std::uint64_t> window_start_us_{0};
     std::uint64_t interval_us_ = 250'000;
     int forced_ = -1; ///< -1 = follow global gate
     std::FILE *stream_ = stderr;

@@ -1,0 +1,313 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/stat_registry.h"
+
+namespace tps::obs
+{
+
+const char *
+missCauseName(MissCause cause)
+{
+    switch (cause) {
+      case MissCause::Cold:
+        return "cold";
+      case MissCause::Capacity:
+        return "capacity";
+      case MissCause::Shootdown:
+        return "shootdown";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+TimeSeries::counterSum(const std::string &name) const
+{
+    const auto it =
+        std::find(counterNames.begin(), counterNames.end(), name);
+    if (it == counterNames.end())
+        throw std::out_of_range("no time-series counter '" + name + "'");
+    const std::size_t column =
+        static_cast<std::size_t>(it - counterNames.begin());
+    std::uint64_t sum = 0;
+    for (const IntervalRow &row : intervals)
+        sum += row.counters[column];
+    return sum;
+}
+
+void
+TimeSeries::writeJson(JsonWriter &writer) const
+{
+    writer.beginObject();
+    writer.key("workload").value(workload);
+    writer.key("tlb").value(tlbName);
+    writer.key("policy").value(policyName);
+    writer.key("interval_refs").value(intervalRefs);
+
+    writer.key("counter_names").beginArray();
+    for (const std::string &name : counterNames)
+        writer.value(name);
+    writer.endArray();
+    writer.key("value_names").beginArray();
+    for (const std::string &name : valueNames)
+        writer.value(name);
+    writer.endArray();
+
+    writer.key("intervals").beginArray();
+    for (const IntervalRow &row : intervals) {
+        writer.beginObject();
+        writer.key("start").value(row.startRef);
+        writer.key("refs").value(row.refs);
+        writer.key("counters").beginArray();
+        for (const std::uint64_t c : row.counters)
+            writer.value(c);
+        writer.endArray();
+        writer.key("values").beginArray();
+        for (const double v : row.values)
+            writer.value(v);
+        writer.endArray();
+        writer.endObject();
+    }
+    writer.endArray();
+
+    // Whole-run aggregates recomputed from the rows: the redundancy is
+    // the point — consumers can cross-check against a tps-stats-v1
+    // dump without re-summing columns.
+    writer.key("totals").beginObject();
+    for (std::size_t c = 0; c < counterNames.size(); ++c) {
+        std::uint64_t sum = 0;
+        for (const IntervalRow &row : intervals)
+            sum += row.counters[c];
+        writer.key(counterNames[c]).value(sum);
+    }
+    writer.endObject();
+
+    if (missSampleCapacity != 0) {
+        writer.key("miss_samples").beginObject();
+        writer.key("capacity")
+            .value(static_cast<std::uint64_t>(missSampleCapacity));
+        writer.key("seen").value(missSeen);
+        writer.key("events").beginArray();
+        for (const MissEvent &event : missSamples) {
+            writer.beginObject();
+            writer.key("ref").value(event.ref);
+            writer.key("vpn").value(event.vpn);
+            writer.key("size_log2").value(
+                static_cast<std::uint64_t>(event.sizeLog2));
+            writer.key("cause").value(missCauseName(event.cause));
+            writer.endObject();
+        }
+        writer.endArray();
+        writer.endObject();
+    }
+    writer.endObject();
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(
+    const TimeSeriesConfig &config,
+    std::vector<std::string> counter_names,
+    std::vector<std::string> value_names)
+    : config_(config), rng_state_(config.missSampleSeed)
+{
+    if (config_.intervalRefs == 0)
+        throw std::invalid_argument(
+            "TimeSeriesRecorder needs intervalRefs > 0");
+    series_.intervalRefs = config_.intervalRefs;
+    series_.counterNames = std::move(counter_names);
+    series_.valueNames = std::move(value_names);
+    series_.missSampleCapacity = config_.missSampleCapacity;
+}
+
+std::uint64_t
+TimeSeriesRecorder::nextRandom()
+{
+    // SplitMix64: tiny, seedable, and private to this recorder so
+    // sampling never perturbs (or is perturbed by) workload PRNGs.
+    std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+void
+TimeSeriesRecorder::endInterval(std::uint64_t start_ref,
+                                std::uint64_t refs,
+                                std::vector<std::uint64_t> counters,
+                                std::vector<double> values)
+{
+    if (counters.size() != series_.counterNames.size() ||
+        values.size() != series_.valueNames.size()) {
+        throw std::invalid_argument(
+            "time-series interval column count mismatch");
+    }
+    IntervalRow row;
+    row.startRef = start_ref;
+    row.refs = refs;
+    row.counters = std::move(counters);
+    row.values = std::move(values);
+    series_.intervals.push_back(std::move(row));
+}
+
+void
+TimeSeriesRecorder::offerMiss(std::uint64_t ref, std::uint64_t vpn,
+                              std::uint8_t size_log2, MissCause cause)
+{
+    if (config_.missSampleCapacity == 0)
+        return;
+    ++miss_seen_;
+    const MissEvent event{ref, vpn, size_log2, cause};
+    if (series_.missSamples.size() < config_.missSampleCapacity) {
+        series_.missSamples.push_back(event);
+        return;
+    }
+    // Algorithm R: keep each of the n seen events with probability
+    // capacity/n.  The modulo bias is negligible against 2^64 and the
+    // draw sequence is deterministic for a fixed seed.
+    const std::uint64_t j = nextRandom() % miss_seen_;
+    if (j < config_.missSampleCapacity)
+        series_.missSamples[static_cast<std::size_t>(j)] = event;
+}
+
+TimeSeries
+TimeSeriesRecorder::finish(std::string workload, std::string tlb_name,
+                           std::string policy_name)
+{
+    series_.workload = std::move(workload);
+    series_.tlbName = std::move(tlb_name);
+    series_.policyName = std::move(policy_name);
+    series_.missSeen = miss_seen_;
+    std::sort(series_.missSamples.begin(), series_.missSamples.end(),
+              [](const MissEvent &a, const MissEvent &b) {
+                  return a.ref < b.ref;
+              });
+    return std::move(series_);
+}
+
+// ------------------------------------------------------------- sink
+
+TimeSeriesSink::TimeSeriesSink(TimeSeriesConfig config)
+    : config_(config)
+{
+}
+
+void
+TimeSeriesSink::add(TimeSeries series)
+{
+    const std::string key = slugify(series.workload) + "." +
+                            slugify(series.tlbName) + "." +
+                            slugify(series.policyName);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_[key].push_back(std::move(series));
+}
+
+std::size_t
+TimeSeriesSink::cellCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[key, list] : cells_)
+        n += list.size();
+    return n;
+}
+
+namespace
+{
+
+std::string
+serializeSeries(const TimeSeries &series)
+{
+    std::ostringstream out;
+    JsonWriter writer(out, /*pretty=*/false);
+    series.writeJson(writer);
+    writer.finish();
+    return out.str();
+}
+
+} // namespace
+
+void
+TimeSeriesSink::writeJson(std::ostream &os,
+                          const RunManifest *manifest) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter writer(os);
+    writer.beginObject();
+    writer.key("schema").value(kTimeSeriesSchema);
+    if (manifest != nullptr) {
+        writer.key("manifest");
+        manifest->writeJson(writer);
+    }
+    writer.key("interval_refs").value(config_.intervalRefs);
+    writer.key("miss_sample_capacity")
+        .value(static_cast<std::uint64_t>(config_.missSampleCapacity));
+    writer.key("cells").beginObject();
+    for (const auto &[key, list] : cells_) {
+        if (list.size() == 1) {
+            writer.key(key);
+            list.front().writeJson(writer);
+            continue;
+        }
+        // Identical configurations run more than once: completion
+        // order is thread-dependent, so order duplicates by content
+        // before numbering them.
+        std::vector<std::pair<std::string, const TimeSeries *>> dups;
+        for (const TimeSeries &series : list)
+            dups.emplace_back(serializeSeries(series), &series);
+        std::sort(dups.begin(), dups.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (std::size_t i = 0; i < dups.size(); ++i) {
+            writer.key(i == 0 ? key
+                              : key + "_" + std::to_string(i + 1));
+            dups[i].second->writeJson(writer);
+        }
+    }
+    writer.endObject();
+    writer.endObject();
+    writer.finish();
+    os << "\n";
+}
+
+namespace
+{
+
+std::atomic<TimeSeriesSink *> global_sink{nullptr};
+
+} // namespace
+
+TimeSeriesSink *
+TimeSeriesSink::global()
+{
+    return global_sink.load(std::memory_order_acquire);
+}
+
+TimeSeriesSink *
+TimeSeriesSink::enableGlobal(const TimeSeriesConfig &config)
+{
+    TimeSeriesSink *sink = global_sink.load(std::memory_order_acquire);
+    if (sink != nullptr)
+        return sink;
+    auto *fresh = new TimeSeriesSink(config);
+    TimeSeriesSink *expected = nullptr;
+    if (global_sink.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel)) {
+        return fresh;
+    }
+    delete fresh;
+    return expected;
+}
+
+void
+TimeSeriesSink::disableGlobal()
+{
+    TimeSeriesSink *sink =
+        global_sink.exchange(nullptr, std::memory_order_acq_rel);
+    delete sink;
+}
+
+} // namespace tps::obs

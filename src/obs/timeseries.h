@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Interval telemetry: phase-resolved time series of simulation
+ * counters plus a reservoir-sampled miss-event log, emitted as the
+ * `tps-timeseries-v1` JSON schema.
+ *
+ * Whole-run aggregates hide *when* a workload earns its superpages —
+ * promotions cluster at phase boundaries and tomcatv's set-associative
+ * thrashing is invisible in end-of-run averages.  A TimeSeriesRecorder
+ * is fed by the experiment driver every `intervalRefs` measured
+ * references with the *delta* of every counter since the previous
+ * snapshot, so summing a column over all intervals reproduces the
+ * whole-run aggregate exactly (the invariant the determinism gate
+ * checks).
+ *
+ * Layering: like the rest of tps::obs this sits below tps::util, so
+ * the recorder is column-oriented and domain-agnostic — the experiment
+ * driver owns the column meaning (TLB misses, promotions, ...) and the
+ * recorder owns storage, sampling and serialization.
+ */
+
+#ifndef TPS_OBS_TIMESERIES_H_
+#define TPS_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+namespace tps::obs
+{
+
+/** Identifies the time-series dump format; bump on breaking changes. */
+inline constexpr const char *kTimeSeriesSchema = "tps-timeseries-v1";
+
+/** Per-run interval-telemetry controls (see core::RunOptions). */
+struct TimeSeriesConfig
+{
+    /** Measured references per interval (0 = recording disabled). */
+    std::uint64_t intervalRefs = 0;
+
+    /** Reservoir capacity of the miss-event log (0 = no sampling). */
+    std::size_t missSampleCapacity = 0;
+
+    /** Seed of the reservoir's private PRNG (sampling is
+     *  deterministic for a fixed seed and reference stream). */
+    std::uint64_t missSampleSeed = 0x9E3779B97F4A7C15ULL;
+
+    bool enabled() const { return intervalRefs != 0; }
+};
+
+/** Why a sampled reference missed. */
+enum class MissCause : std::uint8_t
+{
+    Cold,      ///< first access to this page identity
+    Capacity,  ///< page was seen before (capacity/conflict re-miss)
+    Shootdown, ///< page was invalidated since its last access
+};
+
+const char *missCauseName(MissCause cause);
+
+/** One reservoir-sampled TLB miss. */
+struct MissEvent
+{
+    std::uint64_t ref = 0; ///< measured-reference index (1-based)
+    std::uint64_t vpn = 0;
+    std::uint8_t sizeLog2 = 0;
+    MissCause cause = MissCause::Cold;
+};
+
+/** One closed interval: counter deltas and instantaneous values. */
+struct IntervalRow
+{
+    std::uint64_t startRef = 0; ///< first measured ref of the interval
+    std::uint64_t refs = 0;     ///< references in this interval
+    std::vector<std::uint64_t> counters; ///< deltas, per counter name
+    std::vector<double> values;          ///< per value name
+};
+
+/** The finished series of one experiment cell. */
+struct TimeSeries
+{
+    std::string workload;
+    std::string tlbName;
+    std::string policyName;
+
+    std::uint64_t intervalRefs = 0;
+    std::vector<std::string> counterNames;
+    std::vector<std::string> valueNames;
+    std::vector<IntervalRow> intervals;
+
+    std::size_t missSampleCapacity = 0;
+    std::uint64_t missSeen = 0; ///< misses offered to the reservoir
+    std::vector<MissEvent> missSamples; ///< sorted by ref
+
+    /** Sum of one counter column over all intervals. */
+    std::uint64_t counterSum(const std::string &name) const;
+
+    /** Emit as one JSON object value (caller provides the key). */
+    void writeJson(JsonWriter &writer) const;
+};
+
+/**
+ * Per-cell recorder: the experiment driver closes an interval every
+ * `intervalRefs` measured references by handing over the counter
+ * deltas since the last close, and offers every miss to the sampler.
+ * Not thread-safe — each simulation cell owns its recorder.
+ */
+class TimeSeriesRecorder
+{
+  public:
+    TimeSeriesRecorder(const TimeSeriesConfig &config,
+                       std::vector<std::string> counter_names,
+                       std::vector<std::string> value_names);
+
+    std::uint64_t intervalRefs() const { return config_.intervalRefs; }
+    bool samplingMisses() const { return config_.missSampleCapacity != 0; }
+
+    /**
+     * Close one interval.  @p counters and @p values must match the
+     * construction-time name lists in length and order; counters are
+     * deltas since the previous endInterval call.
+     */
+    void endInterval(std::uint64_t start_ref, std::uint64_t refs,
+                     std::vector<std::uint64_t> counters,
+                     std::vector<double> values);
+
+    /** Offer one miss to the reservoir (Vitter's algorithm R). */
+    void offerMiss(std::uint64_t ref, std::uint64_t vpn,
+                   std::uint8_t size_log2, MissCause cause);
+
+    std::uint64_t missSeen() const { return miss_seen_; }
+    const std::vector<IntervalRow> &intervals() const
+    {
+        return series_.intervals;
+    }
+
+    /** Finish: label the series and hand it over (recorder is spent).
+     *  Miss samples come back sorted by reference time so the output
+     *  is canonical regardless of replacement order. */
+    TimeSeries finish(std::string workload, std::string tlb_name,
+                      std::string policy_name);
+
+  private:
+    std::uint64_t nextRandom();
+
+    TimeSeriesConfig config_;
+    TimeSeries series_;
+    std::uint64_t miss_seen_ = 0;
+    std::uint64_t rng_state_;
+};
+
+/**
+ * Process-global collection point for finished series, one per
+ * experiment cell, written as one `tps-timeseries-v1` document at
+ * exit (benches enable it with `--timeseries-out FILE`; see
+ * bench_common.h).  Cells are keyed by slugified
+ * "<workload>.<tlb>.<policy>"; add() is thread-safe and output order
+ * is sorted, so the cells section is byte-identical at any worker
+ * thread count.
+ */
+class TimeSeriesSink
+{
+  public:
+    explicit TimeSeriesSink(TimeSeriesConfig config);
+
+    const TimeSeriesConfig &config() const { return config_; }
+
+    /** Record one finished cell (any thread). */
+    void add(TimeSeries series);
+
+    std::size_t cellCount() const;
+
+    /**
+     * Emit the document:
+     * { "schema": "tps-timeseries-v1",
+     *   "manifest": {...},              // when provided
+     *   "interval_refs": N,
+     *   "cells": { "<key>": {...} } }   // sorted keys
+     * Duplicate cell keys (the same configuration run twice) are
+     * disambiguated with a "_2" suffix after sorting the duplicates
+     * by serialized content, keeping output deterministic regardless
+     * of completion order.
+     */
+    void writeJson(std::ostream &os,
+                   const RunManifest *manifest = nullptr) const;
+
+    // ------------------------------------------------- global access
+
+    /** The process-global sink, nullptr until enabled. */
+    static TimeSeriesSink *global();
+
+    /** Idempotently create the global sink (first config wins). */
+    static TimeSeriesSink *enableGlobal(const TimeSeriesConfig &config);
+
+    /** Detach the global sink again (tests). */
+    static void disableGlobal();
+
+  private:
+    TimeSeriesConfig config_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<TimeSeries>> cells_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_TIMESERIES_H_

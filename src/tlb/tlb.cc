@@ -22,6 +22,23 @@ TlbStats::exportTo(obs::StatRegistry &registry,
     registry.addValue(prefix + ".miss_ratio", missRatio());
 }
 
+TlbStats
+TlbStats::deltaSince(const TlbStats &since) const
+{
+    TlbStats delta;
+    delta.accesses = accesses - since.accesses;
+    delta.hits = hits - since.hits;
+    delta.misses = misses - since.misses;
+    delta.hitsSmall = hitsSmall - since.hitsSmall;
+    delta.hitsLarge = hitsLarge - since.hitsLarge;
+    delta.missesSmall = missesSmall - since.missesSmall;
+    delta.missesLarge = missesLarge - since.missesLarge;
+    delta.fills = fills - since.fills;
+    delta.evictions = evictions - since.evictions;
+    delta.invalidations = invalidations - since.invalidations;
+    return delta;
+}
+
 } // namespace tps
 
 namespace tps::detail

@@ -53,6 +53,14 @@ struct TlbStats
      */
     void exportTo(obs::StatRegistry &registry,
                   const std::string &prefix = "tlb") const;
+
+    /**
+     * Counter deltas accumulated since @p since was snapshotted
+     * (interval telemetry: every field of the result is this-minus-
+     * since, so summing successive diffs reproduces the aggregate).
+     * @p since must be an earlier snapshot of the same stats stream.
+     */
+    TlbStats deltaSince(const TlbStats &since) const;
 };
 
 /**

@@ -17,6 +17,17 @@ PolicyStats::exportTo(obs::StatRegistry &registry,
     registry.addValue(prefix + ".large_fraction", largeFraction());
 }
 
+PolicyStats
+PolicyStats::deltaSince(const PolicyStats &since) const
+{
+    PolicyStats delta;
+    delta.refsSmall = refsSmall - since.refsSmall;
+    delta.refsLarge = refsLarge - since.refsLarge;
+    delta.promotions = promotions - since.promotions;
+    delta.demotions = demotions - since.demotions;
+    return delta;
+}
+
 SingleSizePolicy::SingleSizePolicy(unsigned size_log2)
     : size_log2_(size_log2)
 {

@@ -68,6 +68,13 @@ struct PolicyStats
      */
     void exportTo(obs::StatRegistry &registry,
                   const std::string &prefix = "policy") const;
+
+    /**
+     * Counter deltas accumulated since @p since was snapshotted (see
+     * TlbStats::deltaSince; interval telemetry relies on sums of
+     * successive diffs reproducing the aggregate exactly).
+     */
+    PolicyStats deltaSince(const PolicyStats &since) const;
 };
 
 /** Per-reference page-size assignment. */

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Interval-telemetry integration tests: the per-interval counter
+ * deltas recorded by runExperiment must sum to the whole-run
+ * aggregates exactly (with and without warmup), sampled miss events
+ * must carry plausible cause attribution, and exportTo must register
+ * a key set that depends only on the enabled features.
+ */
+
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/stat_registry.h"
+#include "trace/vector_trace.h"
+
+namespace tps::core
+{
+namespace
+{
+
+/** Trace touching `pages` 4KB pages cyclically, one ifetch each. */
+VectorTrace
+cyclicTrace(unsigned pages, unsigned rounds)
+{
+    std::vector<MemRef> refs;
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (unsigned page = 0; page < pages; ++page) {
+            refs.push_back(MemRef{0x100000 + Addr{page} * 4096,
+                                  RefType::Ifetch, 4});
+        }
+    }
+    return VectorTrace(std::move(refs), "cyclic");
+}
+
+TEST(TimeSeriesExperiment, DisabledByDefault)
+{
+    VectorTrace trace = cyclicTrace(4, 4);
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 0;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_EQ(result.timeseries, nullptr);
+}
+
+TEST(TimeSeriesExperiment, IntervalSumsMatchAggregates)
+{
+    VectorTrace trace = cyclicTrace(64, 8); // 512 refs, thrashes
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.timeseries.intervalRefs = 100;
+    options.timeseries.missSampleCapacity = 8;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+
+    ASSERT_NE(result.timeseries, nullptr);
+    const obs::TimeSeries &series = *result.timeseries;
+    // 5 full intervals plus the flushed 12-ref tail.
+    ASSERT_EQ(series.intervals.size(), 6u);
+    EXPECT_EQ(series.intervals.back().refs, 12u);
+
+    EXPECT_EQ(series.counterSum("refs"), result.refs);
+    EXPECT_EQ(series.counterSum("instructions"), result.instructions);
+    EXPECT_EQ(series.counterSum("tlb_access"), result.tlb.accesses);
+    EXPECT_EQ(series.counterSum("tlb_hit"), result.tlb.hits);
+    EXPECT_EQ(series.counterSum("tlb_miss"), result.tlb.misses);
+    EXPECT_EQ(series.counterSum("tlb_fill"), result.tlb.fills);
+    EXPECT_EQ(series.counterSum("tlb_eviction"),
+              result.tlb.evictions);
+    EXPECT_EQ(series.counterSum("tlb_invalidation"),
+              result.tlb.invalidations);
+    EXPECT_EQ(series.counterSum("refs_small"),
+              result.policy.refsSmall);
+    EXPECT_EQ(series.counterSum("refs_large"),
+              result.policy.refsLarge);
+    EXPECT_EQ(series.counterSum("promotions"),
+              result.policy.promotions);
+    EXPECT_EQ(series.counterSum("demotions"),
+              result.policy.demotions);
+
+    // Intervals tile the measured stream contiguously.
+    std::uint64_t expect_start = 0;
+    for (const obs::IntervalRow &row : series.intervals) {
+        EXPECT_EQ(row.startRef, expect_start);
+        expect_start += row.refs;
+    }
+    EXPECT_EQ(expect_start, result.refs);
+}
+
+TEST(TimeSeriesExperiment, WarmupResetsSnapshotsToo)
+{
+    VectorTrace trace = cyclicTrace(64, 8);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.warmupRefs = 100;
+    options.timeseries.intervalRefs = 128;
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+
+    ASSERT_NE(result.timeseries, nullptr);
+    const obs::TimeSeries &series = *result.timeseries;
+    EXPECT_EQ(result.refs, 412u);
+    // The aggregates were zeroed at the warmup boundary; interval
+    // sums must land on the *measured* aggregates, not the raw ones.
+    EXPECT_EQ(series.counterSum("refs"), result.refs);
+    EXPECT_EQ(series.counterSum("tlb_miss"), result.tlb.misses);
+    EXPECT_EQ(series.counterSum("tlb_fill"), result.tlb.fills);
+}
+
+TEST(TimeSeriesExperiment, TwoSizePolicyCountersRecorded)
+{
+    VectorTrace trace = cyclicTrace(4, 10);
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.timeseries.intervalRefs = 10;
+    TwoSizeConfig policy;
+    policy.window = 1000;
+    const auto result = runExperiment(
+        trace, PolicySpec::twoSizes(policy), tlb, options);
+
+    ASSERT_NE(result.timeseries, nullptr);
+    const obs::TimeSeries &series = *result.timeseries;
+    EXPECT_EQ(result.policy.promotions, 1u);
+    EXPECT_EQ(series.counterSum("promotions"), 1u);
+    EXPECT_EQ(series.counterSum("tlb_invalidation"),
+              result.tlb.invalidations);
+}
+
+TEST(TimeSeriesExperiment, MissSamplesAttributeColdVsCapacity)
+{
+    VectorTrace trace = cyclicTrace(64, 4); // every access misses
+    TlbConfig tlb;
+    tlb.entries = 8;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.timeseries.intervalRefs = 64;
+    options.timeseries.missSampleCapacity = 4096; // keep everything
+    const auto result = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+
+    ASSERT_NE(result.timeseries, nullptr);
+    const obs::TimeSeries &series = *result.timeseries;
+    ASSERT_EQ(series.missSeen, result.tlb.misses);
+    ASSERT_EQ(series.missSamples.size(), result.tlb.misses);
+    std::uint64_t cold = 0, capacity = 0, shootdown = 0;
+    std::uint64_t last_ref = 0;
+    for (const obs::MissEvent &event : series.missSamples) {
+        EXPECT_GT(event.ref, last_ref); // sorted, 1-based, unique
+        last_ref = event.ref;
+        EXPECT_EQ(event.sizeLog2, kLog2_4K);
+        switch (event.cause) {
+          case obs::MissCause::Cold:
+            ++cold;
+            break;
+          case obs::MissCause::Capacity:
+            ++capacity;
+            break;
+          case obs::MissCause::Shootdown:
+            ++shootdown;
+            break;
+        }
+    }
+    // 64 distinct pages: the first touch of each is cold, every
+    // re-miss is a capacity miss; nothing was shot down.
+    EXPECT_EQ(cold, 64u);
+    EXPECT_EQ(capacity, result.tlb.misses - 64u);
+    EXPECT_EQ(shootdown, 0u);
+}
+
+TEST(TimeSeriesExperiment, WsBytesColumnOnlyWhenTracked)
+{
+    VectorTrace trace = cyclicTrace(8, 8);
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 0;
+    options.timeseries.intervalRefs = 16;
+
+    VectorTrace plain = trace;
+    const auto without = runExperiment(
+        plain, PolicySpec::single(kLog2_4K), tlb, options);
+    ASSERT_NE(without.timeseries, nullptr);
+    const auto &names = without.timeseries->valueNames;
+    EXPECT_EQ(std::count(names.begin(), names.end(), "ws_bytes"), 0);
+
+    options.wsWindow = 100;
+    const auto with = runExperiment(
+        trace, PolicySpec::single(kLog2_4K), tlb, options);
+    ASSERT_NE(with.timeseries, nullptr);
+    const auto &ws_names = with.timeseries->valueNames;
+    ASSERT_EQ(std::count(ws_names.begin(), ws_names.end(), "ws_bytes"),
+              1);
+    // The tracked working set is live by the first interval close.
+    const std::size_t column = static_cast<std::size_t>(
+        std::find(ws_names.begin(), ws_names.end(), "ws_bytes") -
+        ws_names.begin());
+    EXPECT_GT(with.timeseries->intervals.front().values[column], 0.0);
+}
+
+/** The exported key set must be a function of the enabled features,
+ *  never of the measured values (satellite: dumps from identical
+ *  configurations must agree on their key sets). */
+TEST(TimeSeriesExperiment, ExportToKeySetTracksFeatures)
+{
+    VectorTrace trace = cyclicTrace(8, 4);
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 0;
+
+    const std::vector<std::string> base_keys = {
+        "x.workload",          "x.tlb_name",
+        "x.policy_name",       "x.refs",
+        "x.instructions",      "x.tlb.access",
+        "x.tlb.hit",           "x.tlb.miss",
+        "x.tlb.hit_small",     "x.tlb.hit_large",
+        "x.tlb.miss_small",    "x.tlb.miss_large",
+        "x.tlb.fill",          "x.tlb.eviction",
+        "x.tlb.invalidation",  "x.tlb.miss_ratio",
+        "x.policy.refs_small", "x.policy.refs_large",
+        "x.policy.promotions", "x.policy.demotions",
+        "x.policy.large_fraction",
+        "x.cpi_tlb",           "x.mpi",
+        "x.miss_ratio",        "x.rpi",
+    };
+
+    {
+        VectorTrace copy = trace;
+        const auto result = runExperiment(
+            copy, PolicySpec::single(kLog2_4K), tlb, options);
+        obs::StatRegistry registry;
+        result.exportTo(registry, "x");
+        for (const std::string &key : base_keys)
+            EXPECT_TRUE(registry.has(key)) << key;
+        EXPECT_FALSE(registry.has("x.avg_ws_bytes"));
+        EXPECT_FALSE(registry.has("x.measured_miss_cycles"));
+        EXPECT_FALSE(registry.has("x.cpi_tlb_measured"));
+        EXPECT_EQ(registry.size(), base_keys.size());
+    }
+
+    options.wsWindow = 1000;
+    options.modelPageTables = true;
+    {
+        VectorTrace copy = trace;
+        const auto result = runExperiment(
+            copy, PolicySpec::single(kLog2_4K), tlb, options);
+        EXPECT_TRUE(result.wsTracked);
+        EXPECT_TRUE(result.pageTablesModeled);
+        obs::StatRegistry registry;
+        result.exportTo(registry, "x");
+        for (const std::string &key : base_keys)
+            EXPECT_TRUE(registry.has(key)) << key;
+        // Registered because the feature ran, even if the measured
+        // value happens to be 0.0.
+        EXPECT_TRUE(registry.has("x.avg_ws_bytes"));
+        EXPECT_TRUE(registry.has("x.measured_miss_cycles"));
+        EXPECT_TRUE(registry.has("x.cpi_tlb_measured"));
+        EXPECT_EQ(registry.size(), base_keys.size() + 3);
+    }
+}
+
+TEST(StatsDelta, TlbStatsDeltaSince)
+{
+    TlbStats earlier;
+    earlier.accesses = 10;
+    earlier.hits = 7;
+    earlier.misses = 3;
+    earlier.hitsSmall = 6;
+    earlier.hitsLarge = 1;
+    earlier.missesSmall = 2;
+    earlier.missesLarge = 1;
+    earlier.fills = 3;
+    earlier.evictions = 1;
+    earlier.invalidations = 1;
+
+    TlbStats later = earlier;
+    later.accesses = 25;
+    later.hits = 18;
+    later.misses = 7;
+    later.hitsSmall = 15;
+    later.hitsLarge = 3;
+    later.missesSmall = 5;
+    later.missesLarge = 2;
+    later.fills = 7;
+    later.evictions = 4;
+    later.invalidations = 2;
+
+    const TlbStats delta = later.deltaSince(earlier);
+    EXPECT_EQ(delta.accesses, 15u);
+    EXPECT_EQ(delta.hits, 11u);
+    EXPECT_EQ(delta.misses, 4u);
+    EXPECT_EQ(delta.hitsSmall, 9u);
+    EXPECT_EQ(delta.hitsLarge, 2u);
+    EXPECT_EQ(delta.missesSmall, 3u);
+    EXPECT_EQ(delta.missesLarge, 1u);
+    EXPECT_EQ(delta.fills, 4u);
+    EXPECT_EQ(delta.evictions, 3u);
+    EXPECT_EQ(delta.invalidations, 1u);
+    // since + delta == now, field by field: the identity the interval
+    // sums rely on.
+    EXPECT_EQ(earlier.accesses + delta.accesses, later.accesses);
+    // A zero-length window is an all-zero delta.
+    const TlbStats none = later.deltaSince(later);
+    EXPECT_EQ(none.accesses, 0u);
+    EXPECT_EQ(none.misses, 0u);
+}
+
+TEST(StatsDelta, PolicyStatsDeltaSince)
+{
+    PolicyStats earlier;
+    earlier.refsSmall = 100;
+    earlier.refsLarge = 50;
+    earlier.promotions = 2;
+    earlier.demotions = 1;
+
+    PolicyStats later;
+    later.refsSmall = 160;
+    later.refsLarge = 90;
+    later.promotions = 5;
+    later.demotions = 1;
+
+    const PolicyStats delta = later.deltaSince(earlier);
+    EXPECT_EQ(delta.refsSmall, 60u);
+    EXPECT_EQ(delta.refsLarge, 40u);
+    EXPECT_EQ(delta.promotions, 3u);
+    EXPECT_EQ(delta.demotions, 0u);
+    EXPECT_DOUBLE_EQ(delta.largeFraction(), 0.4);
+}
+
+} // namespace
+} // namespace tps::core

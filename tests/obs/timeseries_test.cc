@@ -1,0 +1,216 @@
+#include "obs/timeseries.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace tps::obs
+{
+namespace
+{
+
+TimeSeriesConfig
+makeConfig(std::uint64_t interval, std::size_t capacity = 0,
+           std::uint64_t seed = 1234)
+{
+    TimeSeriesConfig config;
+    config.intervalRefs = interval;
+    config.missSampleCapacity = capacity;
+    config.missSampleSeed = seed;
+    return config;
+}
+
+TEST(TimeSeriesConfig, EnabledOnlyWithInterval)
+{
+    EXPECT_FALSE(TimeSeriesConfig{}.enabled());
+    EXPECT_TRUE(makeConfig(100).enabled());
+}
+
+TEST(TimeSeriesRecorder, RejectsZeroInterval)
+{
+    EXPECT_THROW(TimeSeriesRecorder(TimeSeriesConfig{}, {"a"}, {}),
+                 std::invalid_argument);
+}
+
+TEST(TimeSeriesRecorder, RejectsColumnCountMismatch)
+{
+    TimeSeriesRecorder recorder(makeConfig(10), {"a", "b"}, {"v"});
+    EXPECT_THROW(recorder.endInterval(0, 10, {1}, {0.5}),
+                 std::invalid_argument);
+    EXPECT_THROW(recorder.endInterval(0, 10, {1, 2}, {}),
+                 std::invalid_argument);
+}
+
+TEST(TimeSeriesRecorder, SumsOfDeltasReproduceAggregates)
+{
+    TimeSeriesRecorder recorder(makeConfig(10), {"miss", "fill"},
+                                {"rate"});
+    recorder.endInterval(0, 10, {3, 2}, {0.3});
+    recorder.endInterval(10, 10, {5, 1}, {0.5});
+    recorder.endInterval(20, 4, {2, 2}, {0.5}); // partial tail
+    const TimeSeries series =
+        recorder.finish("wl", "tlb", "policy");
+    EXPECT_EQ(series.intervals.size(), 3u);
+    EXPECT_EQ(series.counterSum("miss"), 10u);
+    EXPECT_EQ(series.counterSum("fill"), 5u);
+    EXPECT_THROW(series.counterSum("absent"), std::out_of_range);
+    EXPECT_EQ(series.intervals[2].startRef, 20u);
+    EXPECT_EQ(series.intervals[2].refs, 4u);
+}
+
+TEST(TimeSeriesRecorder, ReservoirKeepsEverythingUnderCapacity)
+{
+    TimeSeriesRecorder recorder(makeConfig(10, 8), {}, {});
+    ASSERT_TRUE(recorder.samplingMisses());
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        recorder.offerMiss(i, 100 + i, 12, MissCause::Cold);
+    const TimeSeries series = recorder.finish("w", "t", "p");
+    EXPECT_EQ(series.missSeen, 5u);
+    ASSERT_EQ(series.missSamples.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(series.missSamples[i].ref, i + 1);
+}
+
+TEST(TimeSeriesRecorder, ReservoirIsDeterministicAndBounded)
+{
+    auto run = [] {
+        TimeSeriesRecorder recorder(makeConfig(10, 16), {}, {});
+        for (std::uint64_t i = 1; i <= 1000; ++i)
+            recorder.offerMiss(i, i * 7, 12,
+                               i % 3 == 0 ? MissCause::Capacity
+                                          : MissCause::Cold);
+        return recorder.finish("w", "t", "p");
+    };
+    const TimeSeries a = run();
+    const TimeSeries b = run();
+    EXPECT_EQ(a.missSeen, 1000u);
+    ASSERT_EQ(a.missSamples.size(), 16u);
+    ASSERT_EQ(b.missSamples.size(), 16u);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(a.missSamples[i].ref, b.missSamples[i].ref);
+        EXPECT_EQ(a.missSamples[i].vpn, b.missSamples[i].vpn);
+        EXPECT_EQ(a.missSamples[i].cause, b.missSamples[i].cause);
+    }
+    // finish() sorts by reference time.
+    for (std::size_t i = 1; i < a.missSamples.size(); ++i)
+        EXPECT_LT(a.missSamples[i - 1].ref, a.missSamples[i].ref);
+    // A different seed picks a different sample (overwhelmingly).
+    TimeSeriesRecorder other(makeConfig(10, 16, 999), {}, {});
+    for (std::uint64_t i = 1; i <= 1000; ++i)
+        other.offerMiss(i, i * 7, 12, MissCause::Cold);
+    const TimeSeries c = other.finish("w", "t", "p");
+    bool same = true;
+    for (std::size_t i = 0; i < 16 && same; ++i)
+        same = a.missSamples[i].ref == c.missSamples[i].ref;
+    EXPECT_FALSE(same);
+}
+
+TEST(TimeSeries, JsonRoundTripsThroughParser)
+{
+    TimeSeriesRecorder recorder(makeConfig(100, 4), {"miss"},
+                                {"rate"});
+    recorder.endInterval(0, 100, {7}, {0.07});
+    recorder.endInterval(100, 100, {3}, {0.03});
+    recorder.offerMiss(42, 0xABC, 12, MissCause::Shootdown);
+    const TimeSeries series = recorder.finish("li", "16-entry FA",
+                                              "4KB only");
+    std::ostringstream out;
+    JsonWriter writer(out);
+    series.writeJson(writer);
+    writer.finish();
+
+    const JsonValue doc = parseJson(out.str());
+    EXPECT_EQ(doc.find("workload")->text, "li");
+    EXPECT_EQ(doc.find("interval_refs")->integer, 100);
+    EXPECT_EQ(doc.find("totals")->find("miss")->integer, 10);
+    ASSERT_EQ(doc.find("intervals")->array.size(), 2u);
+    const JsonValue &first = doc.find("intervals")->array[0];
+    EXPECT_EQ(first.find("refs")->integer, 100);
+    EXPECT_EQ(first.find("counters")->array[0].integer, 7);
+    const JsonValue *samples = doc.find("miss_samples");
+    ASSERT_NE(samples, nullptr);
+    EXPECT_EQ(samples->find("seen")->integer, 1);
+    ASSERT_EQ(samples->find("events")->array.size(), 1u);
+    EXPECT_EQ(samples->find("events")->array[0].find("cause")->text,
+              "shootdown");
+}
+
+TEST(MissCause, Names)
+{
+    EXPECT_STREQ(missCauseName(MissCause::Cold), "cold");
+    EXPECT_STREQ(missCauseName(MissCause::Capacity), "capacity");
+    EXPECT_STREQ(missCauseName(MissCause::Shootdown), "shootdown");
+}
+
+TimeSeries
+tinySeries(const std::string &workload, std::uint64_t misses)
+{
+    TimeSeriesRecorder recorder(makeConfig(10), {"miss"}, {});
+    recorder.endInterval(0, 10, {misses}, {});
+    return recorder.finish(workload, "tlb", "pol");
+}
+
+TEST(TimeSeriesSink, CollectsAndEmitsSortedCells)
+{
+    TimeSeriesSink sink(makeConfig(10));
+    sink.add(tinySeries("zeta", 1));
+    sink.add(tinySeries("alpha", 2));
+    EXPECT_EQ(sink.cellCount(), 2u);
+
+    std::ostringstream out;
+    sink.writeJson(out);
+    const JsonValue doc = parseJson(out.str());
+    EXPECT_EQ(doc.find("schema")->text, kTimeSeriesSchema);
+    ASSERT_NE(doc.find("cells"), nullptr);
+    const auto &cells = doc.find("cells")->object;
+    ASSERT_EQ(cells.size(), 2u);
+    // std::map order == sorted keys.
+    EXPECT_EQ(cells.begin()->first, "alpha.tlb.pol");
+    EXPECT_EQ(std::next(cells.begin())->first, "zeta.tlb.pol");
+}
+
+TEST(TimeSeriesSink, DisambiguatesDuplicateKeysDeterministically)
+{
+    // Same configuration added twice in both orders must serialize
+    // identically: duplicates are sorted by content before numbering.
+    auto emit = [](bool flip) {
+        TimeSeriesSink sink(makeConfig(10));
+        if (flip) {
+            sink.add(tinySeries("li", 9));
+            sink.add(tinySeries("li", 1));
+        } else {
+            sink.add(tinySeries("li", 1));
+            sink.add(tinySeries("li", 9));
+        }
+        std::ostringstream out;
+        sink.writeJson(out);
+        return out.str();
+    };
+    const std::string a = emit(false);
+    const std::string b = emit(true);
+    EXPECT_EQ(a, b);
+    const JsonValue doc = parseJson(a);
+    const auto &cells = doc.find("cells")->object;
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_NE(cells.find("li.tlb.pol"), cells.end());
+    EXPECT_NE(cells.find("li.tlb.pol_2"), cells.end());
+}
+
+TEST(TimeSeriesSink, GlobalIsIdempotent)
+{
+    TimeSeriesSink::disableGlobal();
+    EXPECT_EQ(TimeSeriesSink::global(), nullptr);
+    TimeSeriesSink *first = TimeSeriesSink::enableGlobal(makeConfig(50));
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(TimeSeriesSink::enableGlobal(makeConfig(99)), first);
+    EXPECT_EQ(first->config().intervalRefs, 50u);
+    EXPECT_EQ(TimeSeriesSink::global(), first);
+    TimeSeriesSink::disableGlobal();
+    EXPECT_EQ(TimeSeriesSink::global(), nullptr);
+}
+
+} // namespace
+} // namespace tps::obs

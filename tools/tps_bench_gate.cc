@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Compare a freshly produced BENCH_*.json (tps-stats-v1, written by
+ * the perf benches) against a committed baseline under
+ * bench/baselines/ and fail when performance or invariants drift.
+ *
+ * Usage:
+ *   tps_bench_gate --baseline bench/baselines/BENCH_micro_perf.json
+ *                  [--tol-default REL] [--tol SUBSTR=REL]...
+ *                  [--ignore SUBSTR]... candidate.json
+ *
+ * Comparison rules, per stats key (union of both files):
+ *   - keys matching any --ignore substring are skipped entirely;
+ *   - a key present in only one file is drift (the gate also guards
+ *     the exported key *set*, not just the values);
+ *   - integer counters must match exactly unless a --tol SUBSTR=REL
+ *     names them (drift of a deterministic counter is a functional
+ *     regression, not noise);
+ *   - floating-point metrics must satisfy |cand - base| <= REL *
+ *     |base|, REL being the first matching --tol pattern, else
+ *     --tol-default (default 0.5, i.e. a 1.5x band — perf metrics are
+ *     noisy on shared CI hardware, so baselines gate order-of-
+ *     magnitude regressions, not percent-level ones).
+ * The "text" section must match exactly (modulo --ignore).  The
+ * manifest is never compared.
+ *
+ * Exit codes: 0 = within tolerance, 1 = drift (details on stderr),
+ * 2 = usage error or malformed input.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace
+{
+
+using tps::obs::JsonValue;
+
+struct GateOptions
+{
+    std::string baselinePath;
+    std::string candidatePath;
+    double tolDefault = 0.5;
+    std::vector<std::pair<std::string, double>> tolOverrides;
+    std::vector<std::string> ignores;
+};
+
+int drift_count = 0;
+
+void
+drift(const std::string &what)
+{
+    ++drift_count;
+    std::fprintf(stderr, "gate: %s\n", what.c_str());
+}
+
+bool
+ignored(const GateOptions &options, const std::string &key)
+{
+    for (const std::string &pattern : options.ignores)
+        if (key.find(pattern) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** First matching --tol override, or nullptr. */
+const double *
+tolOverride(const GateOptions &options, const std::string &key)
+{
+    for (const auto &[pattern, rel] : options.tolOverrides)
+        if (key.find(pattern) != std::string::npos)
+            return &rel;
+    return nullptr;
+}
+
+std::string
+numberToString(const JsonValue &v)
+{
+    char buf[40];
+    if (v.type == JsonValue::Type::Int)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v.integer));
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v.number);
+    return buf;
+}
+
+void
+gateStats(const GateOptions &options, const JsonValue *base,
+          const JsonValue *cand)
+{
+    static const JsonValue empty = [] {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        return v;
+    }();
+    if (base == nullptr)
+        base = &empty;
+    if (cand == nullptr)
+        cand = &empty;
+
+    std::set<std::string> names;
+    for (const auto &[name, value] : base->object)
+        names.insert(name);
+    for (const auto &[name, value] : cand->object)
+        names.insert(name);
+
+    for (const std::string &name : names) {
+        if (ignored(options, name))
+            continue;
+        const JsonValue *vb = base->find(name);
+        const JsonValue *vc = cand->find(name);
+        if (vb == nullptr) {
+            drift(name + " missing from baseline (refresh it?)");
+            continue;
+        }
+        if (vc == nullptr) {
+            drift(name + " missing from candidate");
+            continue;
+        }
+        if (!vb->isNumber() || !vc->isNumber()) {
+            drift(name + ": non-numeric stats entry");
+            continue;
+        }
+        const double *override_rel = tolOverride(options, name);
+        const bool counters = vb->type == JsonValue::Type::Int &&
+                              vc->type == JsonValue::Type::Int;
+        if (counters && override_rel == nullptr) {
+            if (vb->integer != vc->integer)
+                drift(name + ": counter " + numberToString(*vb) +
+                      " -> " + numberToString(*vc) + " (exact match "
+                      "required; --tol '" + name + "=REL' to relax)");
+            continue;
+        }
+        const double rel =
+            override_rel != nullptr ? *override_rel : options.tolDefault;
+        const double db = vb->number;
+        const double dc = vc->number;
+        // Baseline-relative band: symmetric max-relative bands let a
+        // huge candidate value excuse itself, which is exactly the
+        // regression this gate exists to catch.
+        const bool ok = db == 0.0 ? dc == 0.0
+                                  : std::fabs(dc - db) <=
+                                        rel * std::fabs(db);
+        if (!ok) {
+            char detail[128];
+            std::snprintf(detail, sizeof(detail),
+                          " (|%+.3g| > %.3g rel tol)",
+                          db != 0.0 ? (dc - db) / db : dc, rel);
+            drift(name + ": " + numberToString(*vb) + " -> " +
+                  numberToString(*vc) + detail);
+        }
+    }
+}
+
+void
+gateText(const GateOptions &options, const JsonValue *base,
+         const JsonValue *cand)
+{
+    static const JsonValue empty = [] {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        return v;
+    }();
+    if (base == nullptr)
+        base = &empty;
+    if (cand == nullptr)
+        cand = &empty;
+
+    std::set<std::string> names;
+    for (const auto &[name, value] : base->object)
+        names.insert(name);
+    for (const auto &[name, value] : cand->object)
+        names.insert(name);
+    for (const std::string &name : names) {
+        if (ignored(options, name))
+            continue;
+        const JsonValue *vb = base->find(name);
+        const JsonValue *vc = cand->find(name);
+        if (vb == nullptr || vc == nullptr) {
+            drift("text." + name + " present in only one file");
+            continue;
+        }
+        if (vb->text != vc->text)
+            drift("text." + name + ": \"" + vb->text + "\" -> \"" +
+                  vc->text + "\"");
+    }
+}
+
+JsonValue
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return tps::obs::parseJson(text.str());
+    } catch (const tps::obs::JsonParseError &error) {
+        std::fprintf(stderr, "error: %s: %s (offset %zu)\n",
+                     path.c_str(), error.what(), error.offset());
+        std::exit(2);
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tps_bench_gate --baseline FILE [--tol-default REL]\n"
+        "                      [--tol SUBSTR=REL]... [--ignore "
+        "SUBSTR]... candidate.json\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    GateOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            options.baselinePath = next();
+        } else if (arg == "--tol-default") {
+            const std::string value = next();
+            char *end = nullptr;
+            options.tolDefault = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                options.tolDefault < 0.0) {
+                std::fprintf(stderr,
+                             "error: --tol-default expects a "
+                             "non-negative number, got '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg == "--tol") {
+            const std::string value = next();
+            const std::size_t eq = value.rfind('=');
+            char *end = nullptr;
+            const double rel =
+                eq == std::string::npos
+                    ? -1.0
+                    : std::strtod(value.c_str() + eq + 1, &end);
+            if (eq == std::string::npos || eq == 0 ||
+                end == value.c_str() + eq + 1 || *end != '\0' ||
+                rel < 0.0) {
+                std::fprintf(stderr,
+                             "error: --tol expects SUBSTR=REL, got "
+                             "'%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            options.tolOverrides.emplace_back(value.substr(0, eq), rel);
+        } else if (arg == "--ignore") {
+            options.ignores.emplace_back(next());
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (options.candidatePath.empty()) {
+            options.candidatePath = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (options.baselinePath.empty() || options.candidatePath.empty())
+        return usage();
+
+    const JsonValue base = load(options.baselinePath);
+    const JsonValue cand = load(options.candidatePath);
+    for (const auto &[doc, path] :
+         std::vector<std::pair<const JsonValue *, std::string>>{
+             {&base, options.baselinePath},
+             {&cand, options.candidatePath}}) {
+        const JsonValue *schema = doc->find("schema");
+        if (schema == nullptr ||
+            schema->type != JsonValue::Type::String ||
+            schema->text != "tps-stats-v1") {
+            std::fprintf(stderr,
+                         "error: %s is not a tps-stats-v1 dump\n",
+                         path.c_str());
+            return 2;
+        }
+    }
+
+    gateStats(options, base.find("stats"), cand.find("stats"));
+    gateText(options, base.find("text"), cand.find("text"));
+
+    if (drift_count != 0) {
+        std::fprintf(stderr,
+                     "%d metric(s) outside tolerance vs %s\n",
+                     drift_count, options.baselinePath.c_str());
+        return 1;
+    }
+    std::printf("bench gate: %s within tolerance of %s\n",
+                options.candidatePath.c_str(),
+                options.baselinePath.c_str());
+    return 0;
+}

@@ -1,17 +1,25 @@
 /**
  * @file
- * Compare two tps-stats-v1 JSON dumps (see obs/stat_registry.h) and
- * exit nonzero when they drift.  The regression gate behind the
- * determinism guarantee: a serial and a 4-thread run of the same
- * experiment must produce byte-identical stats sections.
+ * Compare two tps JSON dumps and exit nonzero when they drift.  The
+ * regression gate behind the determinism guarantee: a serial and a
+ * 4-thread run of the same experiment must produce byte-identical
+ * stats sections.
  *
- * Usage: tps_stats_diff [--tol REL] a.json b.json
+ * Usage: tps_stats_diff [--tol REL] [--prefix P] [--max-print N]
+ *                       a.json b.json
  *
- * Compares the "stats" section numerically (|a-b| <= tol * max(|a|,
- * |b|); the default tolerance 0 demands exact equality), the "text"
- * and "histograms" sections exactly, and ignores the manifest —
- * hostname, timestamp and command line legitimately differ between
- * runs of the same configuration.
+ * For tps-stats-v1 dumps, compares the "stats" section numerically
+ * (|a-b| <= tol * max(|a|, |b|); the default tolerance 0 demands
+ * exact equality) and the "text" and "histograms" sections exactly.
+ * For tps-timeseries-v1 dumps, recursively compares every top-level
+ * key.  Both schemas ignore the manifest — hostname, timestamp and
+ * command line legitimately differ between runs of the same
+ * configuration.
+ *
+ * --prefix P restricts the comparison to keys whose dotted path (with
+ * or without the leading section name) starts with P; --max-print N
+ * prints only the first N diverging keys, then a one-line count of
+ * the rest (the exit code still reflects all of them).
  *
  * Exit codes: 0 = match, 1 = drift (details on stderr), 2 = usage or
  * I/O or parse error.
@@ -22,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -34,12 +43,32 @@ namespace
 using tps::obs::JsonValue;
 
 int drift_count = 0;
+std::size_t max_print = std::numeric_limits<std::size_t>::max();
+std::string key_prefix;
 
 void
 drift(const std::string &what)
 {
     ++drift_count;
-    std::fprintf(stderr, "drift: %s\n", what.c_str());
+    if (static_cast<std::size_t>(drift_count) <= max_print)
+        std::fprintf(stderr, "drift: %s\n", what.c_str());
+}
+
+/**
+ * True when @p label survives --prefix.  The prefix may or may not
+ * include the section name: "stats.micro" and "micro" both select
+ * "stats.micro_perf.replay.refs".
+ */
+bool
+selected(const std::string &label)
+{
+    if (key_prefix.empty())
+        return true;
+    if (label.rfind(key_prefix, 0) == 0)
+        return true;
+    const std::size_t dot = label.find('.');
+    return dot != std::string::npos &&
+           label.compare(dot + 1, key_prefix.size(), key_prefix) == 0;
 }
 
 std::string
@@ -52,6 +81,87 @@ numberToString(const JsonValue &v)
     else
         std::snprintf(buf, sizeof(buf), "%.17g", v.number);
     return buf;
+}
+
+bool
+numbersEqual(const JsonValue &a, const JsonValue &b, double tol)
+{
+    // Exact integers compare exactly regardless of tolerance.
+    if (a.type == JsonValue::Type::Int && b.type == JsonValue::Type::Int)
+        return a.integer == b.integer;
+    const double scale = std::max(std::fabs(a.number),
+                                  std::fabs(b.number));
+    return std::fabs(a.number - b.number) <= tol * scale;
+}
+
+/**
+ * Recursive structural diff used for tps-timeseries-v1 documents.
+ * Every leaf divergence is reported with its full dotted path (array
+ * elements as [i]), so a diverging interval pinpoints the cell,
+ * interval index and column.
+ */
+void
+diffValue(const std::string &label, const JsonValue &a,
+          const JsonValue &b, double tol)
+{
+    if (a.isNumber() && b.isNumber()) {
+        if (selected(label) && !numbersEqual(a, b, tol))
+            drift(label + ": " + numberToString(a) + " vs " +
+                  numberToString(b));
+        return;
+    }
+    if (a.type != b.type) {
+        if (selected(label))
+            drift(label + ": type mismatch");
+        return;
+    }
+    switch (a.type) {
+      case JsonValue::Type::Object: {
+        std::set<std::string> names;
+        for (const auto &[name, value] : a.object)
+            names.insert(name);
+        for (const auto &[name, value] : b.object)
+            names.insert(name);
+        for (const std::string &name : names) {
+            const std::string child =
+                label.empty() ? name : label + "." + name;
+            const JsonValue *va = a.find(name);
+            const JsonValue *vb = b.find(name);
+            if (va == nullptr || vb == nullptr) {
+                if (selected(child))
+                    drift(child + " only in " +
+                          (va == nullptr ? "second" : "first") +
+                          " file");
+                continue;
+            }
+            diffValue(child, *va, *vb, tol);
+        }
+        return;
+      }
+      case JsonValue::Type::Array: {
+        if (a.array.size() != b.array.size()) {
+            if (selected(label))
+                drift(label + ": length " +
+                      std::to_string(a.array.size()) + " vs " +
+                      std::to_string(b.array.size()));
+            return;
+        }
+        for (std::size_t i = 0; i < a.array.size(); ++i)
+            diffValue(label + "[" + std::to_string(i) + "]",
+                      a.array[i], b.array[i], tol);
+        return;
+      }
+      case JsonValue::Type::String:
+        if (selected(label) && a.text != b.text)
+            drift(label + ": \"" + a.text + "\" vs \"" + b.text + "\"");
+        return;
+      case JsonValue::Type::Bool:
+        if (selected(label) && a.boolean != b.boolean)
+            drift(label + ": boolean mismatch");
+        return;
+      default:
+        return; // both null
+    }
 }
 
 /** Compare one section ("stats", "text" or "histograms") key by key. */
@@ -76,9 +186,11 @@ diffSection(const char *section, const JsonValue *a, const JsonValue *b,
         names.insert(name);
 
     for (const std::string &name : names) {
+        const std::string label = std::string(section) + "." + name;
+        if (!selected(label))
+            continue;
         const JsonValue *va = a->find(name);
         const JsonValue *vb = b->find(name);
-        const std::string label = std::string(section) + "." + name;
         if (va == nullptr) {
             drift(label + " only in second file");
             continue;
@@ -88,19 +200,7 @@ diffSection(const char *section, const JsonValue *a, const JsonValue *b,
             continue;
         }
         if (va->isNumber() && vb->isNumber()) {
-            // Exact integers compare exactly regardless of tolerance.
-            if (va->type == JsonValue::Type::Int &&
-                vb->type == JsonValue::Type::Int) {
-                if (va->integer != vb->integer)
-                    drift(label + ": " + numberToString(*va) + " vs " +
-                          numberToString(*vb));
-                continue;
-            }
-            const double da = va->number;
-            const double db = vb->number;
-            const double scale =
-                std::max(std::fabs(da), std::fabs(db));
-            if (std::fabs(da - db) > tol * scale)
+            if (!numbersEqual(*va, *vb, tol))
                 drift(label + ": " + numberToString(*va) + " vs " +
                       numberToString(*vb));
             continue;
@@ -150,6 +250,15 @@ load(const char *path)
     }
 }
 
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tps_stats_diff [--tol REL] [--prefix P] "
+                 "[--max-print N] a.json b.json\n");
+    return 2;
+}
+
 } // namespace
 
 int
@@ -157,30 +266,49 @@ main(int argc, char **argv)
 {
     double tol = 0.0;
     int arg = 1;
-    if (arg < argc && std::string(argv[arg]).rfind("--tol", 0) == 0) {
-        const std::string opt = argv[arg];
+    while (arg < argc && argv[arg][0] == '-') {
+        const std::string opt = argv[arg++];
+        std::string flag = opt;
         std::string value;
-        if (opt.rfind("--tol=", 0) == 0) {
-            value = opt.substr(6);
-            ++arg;
-        } else if (arg + 1 < argc) {
-            value = argv[arg + 1];
-            arg += 2;
+        const std::size_t eq = opt.find('=');
+        if (eq != std::string::npos) {
+            flag = opt.substr(0, eq);
+            value = opt.substr(eq + 1);
+        } else {
+            if (arg >= argc)
+                return usage();
+            value = argv[arg++];
         }
-        char *end = nullptr;
-        tol = std::strtod(value.c_str(), &end);
-        if (end == value.c_str() || *end != '\0' || tol < 0.0) {
-            std::fprintf(stderr, "error: --tol expects a non-negative "
-                                 "number, got '%s'\n",
-                         value.c_str());
-            return 2;
+        if (flag == "--tol") {
+            char *end = nullptr;
+            tol = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' || tol < 0.0) {
+                std::fprintf(stderr,
+                             "error: --tol expects a non-negative "
+                             "number, got '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (flag == "--prefix") {
+            key_prefix = value;
+        } else if (flag == "--max-print") {
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr,
+                             "error: --max-print expects a count, "
+                             "got '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            max_print = static_cast<std::size_t>(n);
+        } else {
+            return usage();
         }
     }
-    if (argc - arg != 2) {
-        std::fprintf(stderr,
-                     "usage: tps_stats_diff [--tol REL] a.json b.json\n");
-        return 2;
-    }
+    if (argc - arg != 2)
+        return usage();
 
     const JsonValue a = load(argv[arg]);
     const JsonValue b = load(argv[arg + 1]);
@@ -200,17 +328,46 @@ main(int argc, char **argv)
         return 2;
     }
 
-    diffSection("stats", a.find("stats"), b.find("stats"), tol);
-    diffSection("text", a.find("text"), b.find("text"), tol);
-    diffSection("histograms", a.find("histograms"), b.find("histograms"),
-                tol);
+    std::size_t compared = 0;
+    if (schema_a->text == "tps-timeseries-v1") {
+        // Whole-document structural diff, manifest excepted.
+        std::set<std::string> names;
+        for (const auto &[name, value] : a.object)
+            names.insert(name);
+        for (const auto &[name, value] : b.object)
+            names.insert(name);
+        names.erase("manifest");
+        names.erase("schema");
+        for (const std::string &name : names) {
+            const JsonValue *va = a.find(name);
+            const JsonValue *vb = b.find(name);
+            if (va == nullptr || vb == nullptr) {
+                if (selected(name))
+                    drift(name + " only in " +
+                          (va == nullptr ? "second" : "first") +
+                          " file");
+                continue;
+            }
+            diffValue(name, *va, *vb, tol);
+        }
+        const JsonValue *cells = a.find("cells");
+        compared = cells != nullptr ? cells->object.size() : 0;
+    } else {
+        diffSection("stats", a.find("stats"), b.find("stats"), tol);
+        diffSection("text", a.find("text"), b.find("text"), tol);
+        diffSection("histograms", a.find("histograms"),
+                    b.find("histograms"), tol);
+        compared = a.find("stats") ? a.find("stats")->object.size() : 0;
+    }
 
     if (drift_count != 0) {
+        if (static_cast<std::size_t>(drift_count) > max_print)
+            std::fprintf(stderr, "...and %zu more diverging key(s)\n",
+                         static_cast<std::size_t>(drift_count) -
+                             max_print);
         std::fprintf(stderr, "%d stat(s) drifted\n", drift_count);
         return 1;
     }
-    std::printf("stats match (%zu/%zu entries compared)\n",
-                a.find("stats") ? a.find("stats")->object.size() : 0,
-                b.find("stats") ? b.find("stats")->object.size() : 0);
+    std::printf("match (%zu entries compared)\n", compared);
     return 0;
 }
