@@ -21,6 +21,7 @@
 #include "obs/stat_registry.h"
 #include "obs/timeseries.h"
 #include "obs/trace_profiler.h"
+#include "phys/memory_model.h"
 #include "stats/csv.h"
 #include "stats/table.h"
 #include "util/format.h"
@@ -178,6 +179,45 @@ flushObs()
 } // namespace detail
 
 /**
+ * Parse the physical-memory-model flags into a phys::PhysConfig for
+ * RunOptions::phys (see DESIGN.md §9):
+ *
+ *   --phys-mem MIB       modeled physical memory in MiB
+ *                        (@p default_mib when absent; 0 = model off)
+ *   --frag-pressure P    background frame occupancy in [0,1)
+ *   --reservation on|off reservation-based superpage allocation vs
+ *                        the paper's copy-based promotion
+ */
+inline phys::PhysConfig
+physFromArgs(int argc, char **argv, std::uint64_t default_mib = 0)
+{
+    phys::PhysConfig config;
+    std::uint64_t mib = default_mib;
+    std::string value;
+    if (flagValue(argc, argv, "--phys-mem", value))
+        mib = detail::parseCount("--phys-mem", value);
+    config.memBytes = mib << 20;
+    if (flagValue(argc, argv, "--frag-pressure", value)) {
+        char *end = nullptr;
+        config.fragPressure = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' ||
+            config.fragPressure < 0.0 || config.fragPressure >= 1.0)
+            tps_fatal("--frag-pressure expects a number in [0,1), "
+                      "got '", value, "'");
+    }
+    if (flagValue(argc, argv, "--reservation", value)) {
+        if (value == "on")
+            config.reservation = true;
+        else if (value == "off")
+            config.reservation = false;
+        else
+            tps_fatal("--reservation expects on|off, got '", value,
+                      "'");
+    }
+    return config;
+}
+
+/**
  * The process-wide stats registry.  Everything a bench records here
  * (plus the run manifest) lands in the `--stats-out` JSON, written at
  * exit.
@@ -225,7 +265,8 @@ stripObsArgs(int &argc, char **argv)
 {
     const std::vector<std::string> value_flags = {
         "--threads",        "--stats-out",           "--trace-out",
-        "--timeseries-out", "--timeseries-interval", "--miss-sample"};
+        "--timeseries-out", "--timeseries-interval", "--miss-sample",
+        "--phys-mem",       "--frag-pressure",       "--reservation"};
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];

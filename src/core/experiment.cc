@@ -5,6 +5,7 @@
 
 #include "obs/trace_profiler.h"
 #include "util/logging.h"
+#include "vm/multi_size_policy.h"
 #include "vm/page_table.h"
 #include "wset/windowed_working_set.h"
 
@@ -36,6 +37,11 @@ ExperimentResult::exportTo(obs::StatRegistry &registry,
         registry.addValue(prefix + ".measured_miss_cycles",
                           measuredMissCycles);
         registry.addValue(prefix + ".cpi_tlb_measured", cpiTlbMeasured);
+    }
+    if (physModeled) {
+        phys.exportTo(registry, prefix + ".phys");
+        physFrag.exportTo(registry, prefix + ".phys.frag");
+        registry.addValue(prefix + ".cpi_phys", cpiPhys);
     }
 }
 
@@ -82,8 +88,10 @@ class SinkTee : public InvalidationSink
 {
   public:
     SinkTee(Tlb &tlb, AddressSpace *address_space,
+            phys::MemoryModel *phys_model,
             std::unordered_set<PageId, PageIdHash> *shot_down = nullptr)
-        : tlb_(tlb), address_space_(address_space), shot_down_(shot_down)
+        : tlb_(tlb), address_space_(address_space),
+          phys_model_(phys_model), shot_down_(shot_down)
     {
     }
 
@@ -98,6 +106,14 @@ class SinkTee : public InvalidationSink
     void
     onChunkRemap(Addr chunk_number, bool to_large) override
     {
+        // Physical backing first: a subsequent page-table remap asks
+        // the model for the superpage's pfn.
+        if (phys_model_ != nullptr) {
+            if (to_large)
+                phys_model_->promoteChunk(chunk_number);
+            else
+                phys_model_->demoteChunk(chunk_number);
+        }
         if (address_space_ != nullptr)
             address_space_->remapChunk(chunk_number, to_large);
     }
@@ -105,6 +121,7 @@ class SinkTee : public InvalidationSink
   private:
     Tlb &tlb_;
     AddressSpace *address_space_;
+    phys::MemoryModel *phys_model_;
     std::unordered_set<PageId, PageIdHash> *shot_down_;
 };
 
@@ -123,6 +140,20 @@ const std::vector<std::string> kTsValueNames = {
     "miss_rate",
     "mpi",
     "large_fraction",
+};
+
+/** Extra columns recorded when the physical memory model is on (like
+ *  ws_bytes, the lists grow only with the features in play so output
+ *  without the model is unchanged byte for byte). */
+const std::vector<std::string> kTsPhysCounterNames = {
+    "phys_frames_alloc",    "phys_superpage_fail",
+    "phys_promos_in_place", "phys_promos_copied",
+    "phys_pages_copied",
+};
+
+const std::vector<std::string> kTsPhysValueNames = {
+    "frag_index",
+    "phys_free_bytes",
 };
 
 } // namespace
@@ -162,6 +193,31 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         }
     }
 
+    // Physical memory model: frame/superpage exponents follow the
+    // policy in play (a single-size policy still gets a superpage
+    // ladder above it so fragmentation is measured against something).
+    std::optional<phys::MemoryModel> phys_model;
+    if (options.phys.enabled()) {
+        phys::PhysConfig phys_config = options.phys;
+        if (const auto *policy2 =
+                dynamic_cast<const TwoSizePolicy *>(&policy)) {
+            phys_config.frameLog2 = policy2->config().smallLog2;
+            phys_config.superLog2 = policy2->config().largeLog2;
+        } else if (const auto *policyn =
+                       dynamic_cast<const MultiSizePolicy *>(&policy)) {
+            phys_config.frameLog2 = policyn->config().sizeLog2s.at(0);
+            phys_config.superLog2 = policyn->config().sizeLog2s.at(1);
+        } else if (const auto *policy1 =
+                       dynamic_cast<const SingleSizePolicy *>(
+                           &policy)) {
+            phys_config.frameLog2 = policy1->sizeLog2();
+            phys_config.superLog2 = policy1->sizeLog2() + 3;
+        }
+        phys_model.emplace(phys_config);
+        if (address_space)
+            address_space->setAllocator(&*phys_model);
+    }
+
     // Interval telemetry: a per-cell recorder fed with counter deltas
     // every intervalRefs measured references.  The ws_bytes column
     // exists only when the working set is tracked, so column lists
@@ -177,10 +233,19 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     }
     std::optional<obs::TimeSeriesRecorder> ts;
     if (ts_config.enabled()) {
+        std::vector<std::string> counter_names = kTsCounterNames;
         std::vector<std::string> value_names = kTsValueNames;
         if (wset)
             value_names.push_back("ws_bytes");
-        ts.emplace(ts_config, kTsCounterNames,
+        if (phys_model) {
+            counter_names.insert(counter_names.end(),
+                                 kTsPhysCounterNames.begin(),
+                                 kTsPhysCounterNames.end());
+            value_names.insert(value_names.end(),
+                               kTsPhysValueNames.begin(),
+                               kTsPhysValueNames.end());
+        }
+        ts.emplace(ts_config, std::move(counter_names),
                    std::move(value_names));
     }
     const bool sample_misses = ts && ts->samplingMisses();
@@ -190,6 +255,7 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     std::unordered_set<PageId, PageIdHash> shot_down;
 
     SinkTee sink(tlb, address_space ? &*address_space : nullptr,
+                 phys_model ? &*phys_model : nullptr,
                  sample_misses ? &shot_down : nullptr);
     policy.setInvalidationSink(&sink);
 
@@ -221,6 +287,7 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     // recorded deltas therefore reproduce the aggregates exactly.
     TlbStats ts_prev_tlb;
     PolicyStats ts_prev_policy;
+    phys::PhysCounters ts_prev_phys;
     std::uint64_t ts_prev_instructions = 0;
     std::uint64_t ts_last_close = 0;
     auto closeInterval = [&] {
@@ -245,6 +312,20 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         if (wset)
             values.push_back(
                 static_cast<double>(wset->currentBytes()));
+        if (phys_model) {
+            const phys::PhysCounters phys_d =
+                phys_model->counters().deltaSince(ts_prev_phys);
+            counters.insert(counters.end(),
+                            {phys_d.framesAllocated,
+                             phys_d.superpageFailures,
+                             phys_d.promotionsInPlace,
+                             phys_d.promotionsCopied,
+                             phys_d.pagesCopied});
+            const phys::FragSnapshot snap = phys_model->snapshot();
+            values.push_back(snap.fragIndex);
+            values.push_back(static_cast<double>(snap.freeBytes));
+            ts_prev_phys = phys_model->counters();
+        }
         ts->endInterval(ts_last_close, refs_d, std::move(counters),
                         std::move(values));
         ts_prev_tlb = tlb.stats();
@@ -274,6 +355,8 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                 // Warmup ends: zero the counters, keep the state.
                 tlb.resetStats();
                 policy.resetStats();
+                if (phys_model)
+                    phys_model->resetCounters();
                 instructions = 0;
             }
             if (now > options.warmupRefs)
@@ -282,6 +365,12 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                 ++instructions;
             const PageId page = policy.classify(ref.vaddr, now);
             const bool hit = tlb.access(page, ref.vaddr);
+            if (!hit && phys_model) {
+                // Every first access to a page identity is a cold TLB
+                // miss, so backing work is observed here without
+                // taxing the hit path.
+                phys_model->touch(page.vpn, page.sizeLog2);
+            }
             if (!hit && address_space) {
                 if (two_sizes)
                     address_space->handleMiss(page,
@@ -367,6 +456,18 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                 : static_cast<double>(result.tlb.misses) *
                       result.measuredMissCycles /
                       static_cast<double>(instructions);
+    }
+    if (phys_model) {
+        result.physModeled = true;
+        result.phys = phys_model->counters();
+        result.physFrag = phys_model->snapshot();
+        result.cpiPhys =
+            result.cpiTlb +
+            (instructions == 0
+                 ? 0.0
+                 : static_cast<double>(result.phys.pagesCopied) *
+                       phys_model->config().copyCyclesPerPage /
+                       static_cast<double>(instructions));
     }
     return result;
 }

@@ -14,6 +14,7 @@
 
 #include "core/cpi_model.h"
 #include "obs/timeseries.h"
+#include "phys/memory_model.h"
 #include "tlb/factory.h"
 #include "trace/trace_source.h"
 #include "vm/policy.h"
@@ -73,6 +74,18 @@ struct RunOptions
     bool modelPageTables = false;
 
     /**
+     * Physical memory model (off unless phys.memBytes != 0): a buddy
+     * allocator backs every classified page, reservation or copy-based
+     * promotion is simulated per chunk, and fragmentation telemetry is
+     * recorded (see phys/memory_model.h).  The frame/superpage
+     * exponents are re-derived from the policy in play; when page
+     * tables are also modeled their pfns come from this model.  Off,
+     * nothing changes — the null allocator preserves today's output
+     * bit for bit.
+     */
+    phys::PhysConfig phys;
+
+    /**
      * Interval telemetry (off unless intervalRefs != 0): snapshot
      * every counter each intervalRefs measured references and
      * reservoir-sample miss events, producing the result's
@@ -115,6 +128,14 @@ struct ExperimentResult
     double cpiTlbMeasured = 0.0;
     /** True when modelPageTables was set. */
     bool pageTablesModeled = false;
+
+    /** Physical memory model outputs (meaningful iff physModeled). */
+    bool physModeled = false;
+    phys::PhysCounters phys;     ///< whole-run (post-warmup) counters
+    phys::FragSnapshot physFrag; ///< end-of-run free-memory snapshot
+    /** CPI_TLB plus the modeled copy cost of copy-based promotions
+     *  (phys.pagesCopied * copyCyclesPerPage per instruction). */
+    double cpiPhys = 0.0;
 
     /** Interval telemetry (null unless options.timeseries enabled).
      *  Shared so results stay cheap to copy through sweep plumbing. */

@@ -125,12 +125,19 @@ ProgressReporter::emitLine(bool final)
     }
     append(", elapsed %.1fs", elapsed);
     if (!final && total_ != 0 && done != 0 && done < total_) {
-        const double per_item =
-            win_done != 0 && win_elapsed > 0.0
-                ? win_elapsed / static_cast<double>(win_done)
-                : elapsed / static_cast<double>(done);
-        append(", eta %.1fs",
-               per_item * static_cast<double>(total_ - done));
+        // A window (or whole run) with zero elapsed time or zero items
+        // yields a 0/inf/NaN per-item estimate; print a placeholder
+        // rather than extrapolating from it.
+        double per_item = 0.0;
+        if (win_done != 0 && win_elapsed > 0.0)
+            per_item = win_elapsed / static_cast<double>(win_done);
+        else if (elapsed > 0.0)
+            per_item = elapsed / static_cast<double>(done);
+        if (per_item > 0.0)
+            append(", eta %.1fs",
+                   per_item * static_cast<double>(total_ - done));
+        else
+            append(", eta --:--");
     }
     if (final)
         append(" [done]");

@@ -64,6 +64,13 @@ class ProgressReporter
     /** Per-instance override of the global gate (test hook). */
     void forceEnabled(bool enabled) { forced_ = enabled ? 1 : 0; }
 
+    /** Pretend the run started at @p start (test hook: exercises the
+     *  zero/negative-elapsed ETA guard deterministically). */
+    void setStartForTest(std::chrono::steady_clock::time_point start)
+    {
+        start_ = start;
+    }
+
   private:
     bool enabled() const;
     void emitLine(bool final);

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The frame-acquisition interface the vm layer consumes.
+ *
+ * Page tables historically minted physical frame numbers from a
+ * per-table counter ("out of thin air"); with a phys::Allocator
+ * attached they ask the physical memory model instead, so the pfn a
+ * PTE holds is the frame the buddy allocator really assigned.  A
+ * null allocator (no pointer attached) preserves the historical
+ * counter behavior bit for bit.
+ *
+ * Lives below vm in the layering: vm links phys, never the reverse,
+ * so the interface speaks raw (vpn, sizeLog2) pairs rather than
+ * vm::PageId.
+ */
+
+#ifndef TPS_PHYS_ALLOCATOR_H_
+#define TPS_PHYS_ALLOCATOR_H_
+
+#include "util/types.h"
+
+namespace tps::phys
+{
+
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * Physical frame number backing the page (@p vpn at @p size_log2
+     * granularity), allocating backing on first use.  The returned
+     * pfn has the same granularity as the page (physical address =
+     * pfn << size_log2 when the backing is contiguous).  Must be
+     * deterministic for a given call sequence; repeated calls for the
+     * same page return the same frame while its backing lasts.
+     */
+    virtual Addr frameFor(Addr vpn, unsigned size_log2) = 0;
+};
+
+} // namespace tps::phys
+
+#endif // TPS_PHYS_ALLOCATOR_H_

@@ -1,0 +1,131 @@
+#include "phys/buddy_allocator.h"
+
+#include "util/logging.h"
+
+namespace tps::phys
+{
+
+BuddyAllocator::BuddyAllocator(std::uint64_t mem_bytes,
+                               unsigned frame_log2, unsigned max_order)
+    : frame_log2_(frame_log2), max_order_(max_order),
+      total_frames_(mem_bytes >> frame_log2)
+{
+    if (frame_log2 >= 63)
+        tps_fatal("buddy: frame_log2 (", frame_log2, ") out of range");
+    if (total_frames_ == 0)
+        tps_fatal("buddy: memory (", mem_bytes,
+                  " bytes) holds no frame of 2^", frame_log2, " bytes");
+    while (max_order_ > 0 && blockFrames(max_order_) > total_frames_)
+        --max_order_;
+    free_.resize(max_order_ + 1);
+
+    // Seed the free lists greedily: from the bottom of memory up, add
+    // the largest aligned block that still fits.  A power-of-two
+    // memory becomes a handful of max-order blocks; odd sizes leave a
+    // tail of smaller blocks, exactly like a real memory map.
+    std::uint64_t frame = 0;
+    while (frame < total_frames_) {
+        unsigned order = max_order_;
+        while (order > 0 && ((frame & (blockFrames(order) - 1)) != 0 ||
+                             frame + blockFrames(order) > total_frames_))
+            --order;
+        free_[order].insert(frame);
+        free_frames_ += blockFrames(order);
+        frame += blockFrames(order);
+    }
+}
+
+std::optional<std::uint64_t>
+BuddyAllocator::allocate(unsigned order)
+{
+    if (order > max_order_) {
+        ++counters_.fails;
+        return std::nullopt;
+    }
+    unsigned have = order;
+    while (have <= max_order_ && free_[have].empty())
+        ++have;
+    if (have > max_order_) {
+        ++counters_.fails;
+        return std::nullopt;
+    }
+    const std::uint64_t frame = *free_[have].begin();
+    free_[have].erase(free_[have].begin());
+    // Split down to the requested order, keeping the lower half and
+    // freeing the upper one — lowest-address-first at every step.
+    while (have > order) {
+        --have;
+        free_[have].insert(frame + blockFrames(have));
+        ++counters_.splits;
+    }
+    free_frames_ -= blockFrames(order);
+    ++counters_.allocs;
+    return frame;
+}
+
+void
+BuddyAllocator::release(std::uint64_t frame, unsigned order)
+{
+    if (order > max_order_ || (frame & (blockFrames(order) - 1)) != 0 ||
+        frame + blockFrames(order) > total_frames_)
+        tps_fatal("buddy: bad release of frame ", frame, " order ",
+                  order);
+    ++counters_.frees;
+    free_frames_ += blockFrames(order);
+    while (order < max_order_) {
+        const std::uint64_t buddy = frame ^ blockFrames(order);
+        const auto it = free_[order].find(buddy);
+        if (it == free_[order].end())
+            break;
+        free_[order].erase(it);
+        frame &= ~blockFrames(order); // merged block starts at the pair
+        ++order;
+        ++counters_.coalesces;
+    }
+    free_[order].insert(frame);
+}
+
+bool
+BuddyAllocator::claim(std::uint64_t frame, unsigned order)
+{
+    if (order > max_order_ || (frame & (blockFrames(order) - 1)) != 0 ||
+        frame + blockFrames(order) > total_frames_)
+        return false;
+    // Find the free block containing the request: its aligned ancestor
+    // at some order >= `order` must be on a free list.
+    for (unsigned have = order; have <= max_order_; ++have) {
+        std::uint64_t block = frame & ~(blockFrames(have) - 1);
+        const auto it = free_[have].find(block);
+        if (it == free_[have].end())
+            continue;
+        free_[have].erase(it);
+        // Split toward the target, freeing the halves that miss it.
+        for (unsigned cur = have; cur > order; --cur) {
+            const std::uint64_t lower = block;
+            const std::uint64_t upper = block + blockFrames(cur - 1);
+            if (frame >= upper) {
+                free_[cur - 1].insert(lower);
+                block = upper;
+            } else {
+                free_[cur - 1].insert(upper);
+                block = lower;
+            }
+            ++counters_.splits;
+        }
+        free_frames_ -= blockFrames(order);
+        ++counters_.claims;
+        return true;
+    }
+    return false;
+}
+
+std::optional<unsigned>
+BuddyAllocator::largestFreeOrder() const
+{
+    for (unsigned order = max_order_ + 1; order-- > 0;)
+        if (!free_[order].empty())
+            return order;
+    return std::nullopt;
+}
+
+} // namespace tps::phys

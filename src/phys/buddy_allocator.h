@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Binary buddy allocator over a modeled physical memory.
+ *
+ * The paper mints physical frames out of thin air; everything real
+ * about superpages starts with the question "are 8 contiguous,
+ * aligned 4KB frames actually available?".  This allocator answers
+ * it the way kernels do (Knuth's buddy system, as in BSD/Linux):
+ * free memory is kept as power-of-two blocks on per-order free
+ * lists, allocations split larger blocks on demand and frees
+ * coalesce buddy pairs back up.
+ *
+ * Addresses are frame indices (byte address >> frameLog2()).  Every
+ * operation is deterministic: allocations take the lowest-addressed
+ * block of the smallest sufficient order, so identical request
+ * sequences yield identical placements at any thread count (each
+ * experiment cell owns a private allocator).
+ */
+
+#ifndef TPS_PHYS_BUDDY_ALLOCATOR_H_
+#define TPS_PHYS_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tps::phys
+{
+
+/** Event counts of one allocator's lifetime. */
+struct BuddyCounters
+{
+    std::uint64_t allocs = 0;    ///< successful allocate() calls
+    std::uint64_t fails = 0;     ///< allocate() calls that found no block
+    std::uint64_t frees = 0;     ///< release() calls
+    std::uint64_t splits = 0;    ///< block splits (alloc + claim paths)
+    std::uint64_t coalesces = 0; ///< buddy merges on release()
+    std::uint64_t claims = 0;    ///< successful claim() carve-outs
+};
+
+class BuddyAllocator
+{
+  public:
+    /**
+     * @param mem_bytes  modeled physical memory size
+     * @param frame_log2 order-0 block (frame) size exponent
+     * @param max_order  largest block order kept on a free list;
+     *                   clamped down so a max-order block fits memory
+     */
+    BuddyAllocator(std::uint64_t mem_bytes, unsigned frame_log2,
+                   unsigned max_order);
+
+    /**
+     * Allocate an aligned block of 2^order frames.
+     * @return its first frame index, or nullopt when no block of a
+     *         sufficient order is free (external fragmentation or
+     *         genuine exhaustion).
+     */
+    std::optional<std::uint64_t> allocate(unsigned order);
+
+    /** Return a block obtained from allocate()/claim() at the same
+     *  order (or a sub-block of it at a smaller order). */
+    void release(std::uint64_t frame, unsigned order);
+
+    /**
+     * Carve a *specific* aligned block out of free memory (memblock-
+     * style: background occupancy, firmware holes).
+     * @return false when any part of it is already allocated.
+     */
+    bool claim(std::uint64_t frame, unsigned order);
+
+    unsigned frameLog2() const { return frame_log2_; }
+    unsigned maxOrder() const { return max_order_; }
+    std::uint64_t totalFrames() const { return total_frames_; }
+    std::uint64_t totalBytes() const
+    {
+        return total_frames_ << frame_log2_;
+    }
+
+    std::uint64_t freeFrames() const { return free_frames_; }
+    std::uint64_t freeBytes() const { return free_frames_ << frame_log2_; }
+
+    /** Free blocks currently listed at @p order. */
+    std::uint64_t freeBlocksAt(unsigned order) const
+    {
+        return free_[order].size();
+    }
+
+    /** Order of the largest free block, or nullopt when full. */
+    std::optional<unsigned> largestFreeOrder() const;
+
+    const BuddyCounters &counters() const { return counters_; }
+
+  private:
+    std::uint64_t blockFrames(unsigned order) const
+    {
+        return std::uint64_t{1} << order;
+    }
+
+    unsigned frame_log2_;
+    unsigned max_order_;
+    std::uint64_t total_frames_;
+    std::uint64_t free_frames_ = 0;
+    /** free_[order] holds the first frame index of each free block;
+     *  std::set gives the lowest-address-first policy for free. */
+    std::vector<std::set<std::uint64_t>> free_;
+    BuddyCounters counters_;
+};
+
+} // namespace tps::phys
+
+#endif // TPS_PHYS_BUDDY_ALLOCATOR_H_

@@ -1,0 +1,45 @@
+#include "phys/frag_telemetry.h"
+
+namespace tps::phys
+{
+
+void
+FragSnapshot::exportTo(obs::StatRegistry &registry,
+                       const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".free_bytes", freeBytes);
+    registry.addCounter(prefix + ".largest_free_bytes",
+                        largestFreeBytes);
+    registry.addValue(prefix + ".frag_index", fragIndex);
+    registry.addHistogram(prefix + ".free_blocks_by_order",
+                          freeBlocksByOrder);
+}
+
+FragSnapshot
+snapshotOf(const BuddyAllocator &buddy, unsigned super_order)
+{
+    FragSnapshot snap;
+    snap.totalBytes = buddy.totalBytes();
+    snap.freeBytes = buddy.freeBytes();
+    snap.freeBlocksByOrder.resize(buddy.maxOrder() + 1, 0);
+    std::uint64_t satisfying_bytes = 0;
+    for (unsigned order = 0; order <= buddy.maxOrder(); ++order) {
+        const std::uint64_t blocks = buddy.freeBlocksAt(order);
+        snap.freeBlocksByOrder[order] = blocks;
+        const std::uint64_t bytes =
+            blocks << (order + buddy.frameLog2());
+        if (blocks != 0)
+            snap.largestFreeBytes = std::uint64_t{1}
+                                    << (order + buddy.frameLog2());
+        if (order >= super_order)
+            satisfying_bytes += bytes;
+    }
+    snap.fragIndex =
+        snap.freeBytes == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(satisfying_bytes) /
+                        static_cast<double>(snap.freeBytes);
+    return snap;
+}
+
+} // namespace tps::phys

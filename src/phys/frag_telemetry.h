@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fragmentation telemetry over a BuddyAllocator: the free-space
+ * histogram by order, the largest free block, and an external-
+ * fragmentation index in the style of the kernel's fragmentation
+ * metric — the fraction of free memory that is *unusable* for a
+ * request of the superpage order:
+ *
+ *     index(o) = 1 - freeBytesInBlocksOfOrderAtLeast(o) / freeBytes
+ *
+ * 0 means every free byte could serve a superpage allocation; 1
+ * means none can (all free memory is shattered below the superpage
+ * size).  Defined as 0 when nothing is free at all: a full memory is
+ * exhausted, not fragmented, and the failed-allocation counters
+ * already tell that story.
+ */
+
+#ifndef TPS_PHYS_FRAG_TELEMETRY_H_
+#define TPS_PHYS_FRAG_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stat_registry.h"
+#include "phys/buddy_allocator.h"
+
+namespace tps::phys
+{
+
+/** One instant's view of free physical memory. */
+struct FragSnapshot
+{
+    std::uint64_t totalBytes = 0;
+    std::uint64_t freeBytes = 0;
+    std::uint64_t largestFreeBytes = 0;
+    /** External-fragmentation index vs the superpage order (see file
+     *  comment); in [0,1]. */
+    double fragIndex = 0.0;
+    /** Free blocks listed at each order, 0..maxOrder. */
+    std::vector<std::uint64_t> freeBlocksByOrder;
+
+    /**
+     * Register under "<prefix>.": free_bytes, largest_free_bytes,
+     * frag_index, plus the histogram as "<prefix>.free_blocks_by_order"
+     * (bucket i = free blocks of 2^i frames).
+     */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
+};
+
+/** Snapshot @p buddy, scoring fragmentation against @p super_order. */
+FragSnapshot snapshotOf(const BuddyAllocator &buddy,
+                        unsigned super_order);
+
+} // namespace tps::phys
+
+#endif // TPS_PHYS_FRAG_TELEMETRY_H_

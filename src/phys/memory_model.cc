@@ -1,0 +1,300 @@
+#include "phys/memory_model.h"
+
+#include "util/logging.h"
+
+namespace tps::phys
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: the per-frame pressure coin flip.  Hashing
+ *  (seed, frame) — rather than drawing from a sequential RNG — makes
+ *  the occupancy map a pure function of the config, identical no
+ *  matter how many cells run concurrently or in what order. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** Synthetic pfn space for pages with no (contiguous) physical
+ *  backing; far above any modeled frame so they never collide. */
+constexpr Addr kSyntheticPfnBase = Addr{1} << 52;
+
+} // namespace
+
+PhysCounters
+PhysCounters::deltaSince(const PhysCounters &prev) const
+{
+    PhysCounters d;
+    d.framesAllocated = framesAllocated - prev.framesAllocated;
+    d.framesFreed = framesFreed - prev.framesFreed;
+    d.frameExhaustions = frameExhaustions - prev.frameExhaustions;
+    d.reservationsOpened =
+        reservationsOpened - prev.reservationsOpened;
+    d.reservationFallbacks =
+        reservationFallbacks - prev.reservationFallbacks;
+    d.superpageAllocs = superpageAllocs - prev.superpageAllocs;
+    d.superpageFailures = superpageFailures - prev.superpageFailures;
+    d.promotionsInPlace = promotionsInPlace - prev.promotionsInPlace;
+    d.promotionsCopied = promotionsCopied - prev.promotionsCopied;
+    d.promotionFailures = promotionFailures - prev.promotionFailures;
+    d.pagesCopied = pagesCopied - prev.pagesCopied;
+    d.demotions = demotions - prev.demotions;
+    return d;
+}
+
+void
+PhysCounters::exportTo(obs::StatRegistry &registry,
+                       const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".frames_allocated", framesAllocated);
+    registry.addCounter(prefix + ".frames_freed", framesFreed);
+    registry.addCounter(prefix + ".frame_exhaustions",
+                        frameExhaustions);
+    registry.addCounter(prefix + ".reservations_opened",
+                        reservationsOpened);
+    registry.addCounter(prefix + ".reservation_fallbacks",
+                        reservationFallbacks);
+    registry.addCounter(prefix + ".superpage_allocs", superpageAllocs);
+    registry.addCounter(prefix + ".superpage_failures",
+                        superpageFailures);
+    registry.addCounter(prefix + ".promotions_in_place",
+                        promotionsInPlace);
+    registry.addCounter(prefix + ".promotions_copied",
+                        promotionsCopied);
+    registry.addCounter(prefix + ".promotion_failures",
+                        promotionFailures);
+    registry.addCounter(prefix + ".pages_copied", pagesCopied);
+    registry.addCounter(prefix + ".demotions", demotions);
+}
+
+MemoryModel::MemoryModel(const PhysConfig &config)
+    : config_(config),
+      buddy_(config.memBytes, config.frameLog2,
+             config.superLog2 - config.frameLog2 + 3)
+{
+    if (config_.superLog2 <= config_.frameLog2)
+        tps_fatal("phys: superLog2 (", config_.superLog2,
+                  ") must exceed frameLog2 (", config_.frameLog2, ")");
+    if (config_.superOrder() > 6)
+        tps_fatal("phys: superpage/frame ratio above 64 blocks "
+                  "(superOrder ", config_.superOrder(), ")");
+    if (buddy_.totalFrames() < config_.blocksPerChunk())
+        tps_fatal("phys: memory (", config_.memBytes,
+                  " bytes) smaller than one superpage");
+    if (config_.fragPressure < 0.0 || config_.fragPressure >= 1.0)
+        tps_fatal("phys: fragPressure must be in [0,1), got ",
+                  config_.fragPressure);
+    const unsigned blocks =
+        static_cast<unsigned>(config_.blocksPerChunk());
+    full_mask_ = blocks >= 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << blocks) - 1;
+    seedPressure();
+}
+
+void
+MemoryModel::seedPressure()
+{
+    if (config_.fragPressure == 0.0)
+        return;
+    // Per-frame coin flip at probability fragPressure; claimed frames
+    // model memory held by other processes.  claim() of a fresh
+    // allocator cannot fail.
+    for (std::uint64_t frame = 0; frame < buddy_.totalFrames();
+         ++frame) {
+        const double u =
+            static_cast<double>(
+                mix64(config_.pressureSeed * 0x2545F4914F6CDD1DULL +
+                      frame) >>
+                11) *
+            0x1.0p-53;
+        if (u < config_.fragPressure) {
+            if (buddy_.claim(frame, 0))
+                ++pressure_frames_;
+        }
+    }
+}
+
+MemoryModel::ChunkState &
+MemoryModel::state(Addr chunk)
+{
+    return chunks_[chunk];
+}
+
+void
+MemoryModel::backBlocks(ChunkState &st, unsigned first_block,
+                        unsigned order)
+{
+    const unsigned count = 1u << order;
+    const std::uint64_t bits =
+        (count >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << count) - 1)
+        << first_block;
+    if ((st.backedMask & bits) == bits)
+        return;
+
+    if (st.contiguousBase == kNoFrame && !st.reservationTried &&
+        config_.reservation) {
+        // First touch of the chunk: try to reserve the whole aligned
+        // superpage region so a later promotion is free.
+        st.reservationTried = true;
+        if (const auto base = buddy_.allocate(config_.superOrder())) {
+            st.contiguousBase = *base;
+            ++counters_.reservationsOpened;
+        } else {
+            ++counters_.superpageFailures;
+            ++counters_.reservationFallbacks;
+        }
+    }
+    if (st.contiguousBase != kNoFrame) {
+        st.backedMask |= bits;
+        return;
+    }
+
+    // Scattered backing: the page gets its own (page-sized) block.
+    if (st.frames.empty())
+        st.frames.assign(
+            static_cast<std::size_t>(config_.blocksPerChunk()),
+            kNoFrame);
+    if (const auto frame = buddy_.allocate(order)) {
+        counters_.framesAllocated += count;
+        for (unsigned b = 0; b < count; ++b)
+            st.frames[first_block + b] = *frame + b;
+    } else {
+        // Oversubscribed: the page exists virtually but the model has
+        // no frame for it; pfns fall back to the synthetic space.
+        ++counters_.frameExhaustions;
+    }
+    st.backedMask |= bits;
+}
+
+void
+MemoryModel::touch(Addr vpn, unsigned size_log2)
+{
+    if (size_log2 >= config_.superLog2) {
+        // A chunk-sized (or bigger) page: its chunks must be fully
+        // backed; promotion bookkeeping handles each one.
+        const unsigned span = size_log2 - config_.superLog2;
+        const Addr first = vpn << span;
+        for (Addr i = 0; i < (Addr{1} << span); ++i)
+            promoteChunk(first + i);
+        return;
+    }
+    if (size_log2 < config_.frameLog2)
+        tps_fatal("phys: page size 2^", size_log2,
+                  " below the frame size 2^", config_.frameLog2);
+    const unsigned order = size_log2 - config_.frameLog2;
+    const Addr block_vpn = vpn << order;
+    const Addr chunk = block_vpn >> config_.superOrder();
+    const unsigned first_block = static_cast<unsigned>(
+        block_vpn & (config_.blocksPerChunk() - 1));
+    backBlocks(state(chunk), first_block, order);
+}
+
+void
+MemoryModel::promoteChunk(Addr chunk)
+{
+    ChunkState &st = state(chunk);
+    if (st.promoted)
+        return;
+    st.promoted = true;
+
+    if (st.contiguousBase != kNoFrame) {
+        // Reservation (or an earlier copy target) already holds the
+        // region: promotion is a pure mapping change.
+        ++counters_.promotionsInPlace;
+        st.backedMask = full_mask_;
+        return;
+    }
+
+    // Copy-based promotion: find a fresh contiguous region and move
+    // the resident blocks into it.
+    st.reservationTried = true;
+    if (const auto base = buddy_.allocate(config_.superOrder())) {
+        ++counters_.superpageAllocs;
+        ++counters_.promotionsCopied;
+        const unsigned blocks =
+            static_cast<unsigned>(config_.blocksPerChunk());
+        for (unsigned b = 0; b < blocks; ++b) {
+            if ((st.backedMask & (std::uint64_t{1} << b)) == 0)
+                continue;
+            if (st.frames.empty() || st.frames[b] == kNoFrame)
+                continue;
+            ++counters_.pagesCopied;
+            buddy_.release(st.frames[b], 0);
+            ++counters_.framesFreed;
+        }
+        st.contiguousBase = *base;
+        st.frames.clear();
+        st.backedMask = full_mask_;
+        return;
+    }
+
+    // No contiguous region exists.  The policy has already promoted
+    // (this model observes, it does not veto), so record the failure
+    // — that count is the "how often would copy-promotion have been
+    // impossible" answer — and back the rest of the chunk with
+    // scattered frames.
+    ++counters_.superpageFailures;
+    ++counters_.promotionFailures;
+    const unsigned blocks =
+        static_cast<unsigned>(config_.blocksPerChunk());
+    if (st.frames.empty())
+        st.frames.assign(blocks, kNoFrame);
+    for (unsigned b = 0; b < blocks; ++b) {
+        if ((st.backedMask & (std::uint64_t{1} << b)) != 0)
+            continue;
+        if (const auto frame = buddy_.allocate(0)) {
+            st.frames[b] = *frame;
+            ++counters_.framesAllocated;
+        } else {
+            ++counters_.frameExhaustions;
+        }
+    }
+    st.backedMask = full_mask_;
+}
+
+void
+MemoryModel::demoteChunk(Addr chunk)
+{
+    ChunkState &st = state(chunk);
+    if (!st.promoted)
+        return;
+    // Keep the backing either way: a contiguous region acts as a
+    // reservation again (re-promotion will be in place), and
+    // scattered frames keep serving the small pages.
+    st.promoted = false;
+    ++counters_.demotions;
+}
+
+Addr
+MemoryModel::frameFor(Addr vpn, unsigned size_log2)
+{
+    touch(vpn, size_log2);
+    if (size_log2 >= config_.superLog2) {
+        const unsigned span = size_log2 - config_.superLog2;
+        const ChunkState &st = state(vpn << span);
+        if (span == 0 && st.contiguousBase != kNoFrame)
+            return st.contiguousBase >> config_.superOrder();
+        return kSyntheticPfnBase + vpn;
+    }
+    const unsigned order = size_log2 - config_.frameLog2;
+    const Addr block_vpn = vpn << order;
+    const ChunkState &st = state(block_vpn >> config_.superOrder());
+    const unsigned first_block = static_cast<unsigned>(
+        block_vpn & (config_.blocksPerChunk() - 1));
+    if (st.contiguousBase != kNoFrame)
+        return (st.contiguousBase + first_block) >> order;
+    const std::uint64_t frame =
+        st.frames.empty() ? kNoFrame : st.frames[first_block];
+    if (frame == kNoFrame)
+        return kSyntheticPfnBase + vpn;
+    return frame >> order;
+}
+
+} // namespace tps::phys

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The physical memory model: a buddy allocator plus the OS-side
+ * superpage machinery the paper assumes away.
+ *
+ * Two ways to assemble a 32KB page out of 4KB frames:
+ *
+ *  - Reservation (Navarro et al., and FreeBSD since): at a chunk's
+ *    first touch, reserve a whole aligned superpage-sized region;
+ *    blocks fill in place, and promotion is a pure mapping change —
+ *    no copy.  Costs nothing when it works, but holds back memory
+ *    and fails outright under fragmentation.
+ *  - Copy-based promotion (the paper's Section 3.4 reality): back
+ *    blocks with whatever scattered frames are at hand; when the
+ *    policy promotes, allocate a fresh contiguous superpage and copy
+ *    the resident blocks into it.  Always possible while any
+ *    superpage block is free, but charges a real copy cost
+ *    (PhysConfig::copyCyclesPerPage per resident block, surfaced in
+ *    the experiment's cpi_phys).
+ *
+ * `fragPressure` models a busy machine: each frame is pre-claimed
+ * with that probability by a hash of (seed, frame), so the free map
+ * is deterministic and identical at any thread count.  At pressure p
+ * the chance an aligned 8-block superpage region is entirely free is
+ * (1-p)^8 — ~0.4% at p=0.5 — which is what makes reservation and
+ * promotion fail in exactly the ways Trident/Mosaic fight.
+ *
+ * The model is an *observer* of the classified reference stream: it
+ * never feeds back into policy or TLB decisions, so enabling it
+ * cannot perturb the paper-facing results; it adds cost accounting
+ * (copies) and feasibility accounting (failed superpage
+ * allocations, fallbacks) on top.
+ */
+
+#ifndef TPS_PHYS_MEMORY_MODEL_H_
+#define TPS_PHYS_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/stat_registry.h"
+#include "phys/allocator.h"
+#include "phys/buddy_allocator.h"
+#include "phys/frag_telemetry.h"
+
+namespace tps::phys
+{
+
+/** Knobs of the physical memory model (RunOptions::phys). */
+struct PhysConfig
+{
+    /** Modeled physical memory size; 0 = model disabled entirely
+     *  (the null allocator: today's behavior, bit for bit). */
+    std::uint64_t memBytes = 0;
+
+    /** Frame (small page) and superpage size exponents; the
+     *  experiment driver re-derives both from the policy in play. */
+    unsigned frameLog2 = 12;
+    unsigned superLog2 = 15;
+
+    /** Reserve an aligned superpage region at first chunk touch
+     *  (promote in place) instead of scattering frames (promote by
+     *  copy). */
+    bool reservation = false;
+
+    /** Background occupancy in [0,1): each frame is pre-claimed with
+     *  this probability (deterministic in pressureSeed). */
+    double fragPressure = 0.0;
+    std::uint64_t pressureSeed = 0x7C15'A227;
+
+    /** Modeled cycles to copy one small page during a copy-based
+     *  promotion (4KB at 8 bytes/cycle = 512). */
+    double copyCyclesPerPage = 512.0;
+
+    bool enabled() const { return memBytes != 0; }
+    unsigned superOrder() const { return superLog2 - frameLog2; }
+    std::uint64_t blocksPerChunk() const
+    {
+        return std::uint64_t{1} << superOrder();
+    }
+};
+
+/** Event counts of the model; deltas drive the interval telemetry. */
+struct PhysCounters
+{
+    std::uint64_t framesAllocated = 0;      ///< scattered frames handed out
+    std::uint64_t framesFreed = 0;          ///< scattered frames returned
+    std::uint64_t frameExhaustions = 0;     ///< small allocation failed
+    std::uint64_t reservationsOpened = 0;   ///< superpage regions reserved
+    std::uint64_t reservationFallbacks = 0; ///< reservation denied -> scatter
+    std::uint64_t superpageAllocs = 0;      ///< contiguous superpage allocs
+    std::uint64_t superpageFailures = 0;    ///< failed superpage-order allocs
+    std::uint64_t promotionsInPlace = 0;    ///< promoted within a reservation
+    std::uint64_t promotionsCopied = 0;     ///< promoted via copy to new region
+    std::uint64_t promotionFailures = 0;    ///< no contiguous region to copy to
+    std::uint64_t pagesCopied = 0;          ///< small pages copied by promotions
+    std::uint64_t demotions = 0;            ///< chunk demotions observed
+
+    PhysCounters deltaSince(const PhysCounters &prev) const;
+
+    /** Register every counter under "<prefix>.". */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
+};
+
+/**
+ * Buddy allocator + per-chunk backing state + reservation manager.
+ * One instance per experiment cell; not thread-safe (cells share no
+ * state, which is what keeps sweeps deterministic).
+ */
+class MemoryModel : public Allocator
+{
+  public:
+    explicit MemoryModel(const PhysConfig &config);
+
+    /**
+     * Record the first-touch/backing work for a page the TLB just
+     * missed on.  Every first access to a page identity is a cold TLB
+     * miss, so calling this only on misses observes all first
+     * touches without taxing the hit path.
+     */
+    void touch(Addr vpn, unsigned size_log2);
+
+    /** The policy promoted @p chunk (its superLog2-sized number). */
+    void promoteChunk(Addr chunk);
+
+    /** The policy demoted @p chunk; its backing is kept (a
+     *  reservation-like hold — re-promotion is free again). */
+    void demoteChunk(Addr chunk);
+
+    /** Allocator: pfn for the page tables (see phys/allocator.h).
+     *  Chunks promoted without contiguous backing get synthetic pfns
+     *  above the modeled memory. */
+    Addr frameFor(Addr vpn, unsigned size_log2) override;
+
+    /** Zero the counters (warmup boundary); backing state is kept,
+     *  exactly like TLB/policy resetStats(). */
+    void resetCounters() { counters_ = PhysCounters{}; }
+
+    const PhysCounters &counters() const { return counters_; }
+    const BuddyAllocator &buddy() const { return buddy_; }
+    const PhysConfig &config() const { return config_; }
+
+    /** Frames pre-claimed by fragPressure at construction. */
+    std::uint64_t pressureFrames() const { return pressure_frames_; }
+
+    FragSnapshot snapshot() const
+    {
+        return snapshotOf(buddy_, config_.superOrder());
+    }
+
+  private:
+    static constexpr std::uint64_t kNoFrame = ~std::uint64_t{0};
+
+    /** Backing state of one superpage-sized chunk. */
+    struct ChunkState
+    {
+        std::uint64_t backedMask = 0; ///< blocks with physical backing
+        /** First frame of the contiguous region (reservation or
+         *  copied-to superpage); kNoFrame when scattered. */
+        std::uint64_t contiguousBase = kNoFrame;
+        bool reservationTried = false;
+        bool promoted = false;
+        /** Per-block frame when scattered (kNoFrame = none). */
+        std::vector<std::uint64_t> frames;
+    };
+
+    ChunkState &state(Addr chunk);
+    void backBlocks(ChunkState &st, unsigned first_block,
+                    unsigned order);
+    void seedPressure();
+
+    PhysConfig config_;
+    BuddyAllocator buddy_;
+    std::uint64_t full_mask_;
+    std::uint64_t pressure_frames_ = 0;
+    std::unordered_map<Addr, ChunkState> chunks_;
+    PhysCounters counters_;
+};
+
+} // namespace tps::phys
+
+#endif // TPS_PHYS_MEMORY_MODEL_H_

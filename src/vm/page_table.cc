@@ -71,7 +71,9 @@ ForwardPageTable::map(Addr vpn)
     PageTableEntry &pte = node->leaves[indexAt(vpn, levels() - 1)];
     if (!pte.valid) {
         pte.valid = true;
-        pte.pfn = next_pfn_++;
+        pte.pfn = allocator_ != nullptr
+                      ? allocator_->frameFor(vpn, size_log2_)
+                      : next_pfn_++;
         ++mapped_;
     }
 }

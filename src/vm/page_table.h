@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "phys/allocator.h"
 #include "vm/page.h"
 
 namespace tps
@@ -51,6 +52,16 @@ class ForwardPageTable
 
     /** Install a translation (allocating a physical frame). */
     void map(Addr vpn);
+
+    /**
+     * Acquire pfns from @p allocator instead of the internal counter
+     * (nullptr restores the counter — the null-allocator behavior).
+     * Existing translations keep the pfn they were minted with.
+     */
+    void setAllocator(phys::Allocator *allocator)
+    {
+        allocator_ = allocator;
+    }
 
     /** Remove a translation; harmless if absent. */
     void unmap(Addr vpn);
@@ -89,6 +100,7 @@ class ForwardPageTable
     std::vector<unsigned> bits_;   ///< index bits per level, top-down
     std::vector<unsigned> shifts_; ///< shift per level, top-down
     NodePtr root_;
+    phys::Allocator *allocator_ = nullptr;
     Addr next_pfn_ = 1;
     std::uint64_t mapped_ = 0;
     std::uint64_t nodes_allocated_ = 0;
@@ -155,6 +167,15 @@ class AddressSpace
      * chunk.
      */
     void remapChunk(Addr chunk_number, bool to_large);
+
+    /** Route both tables' frame acquisition through @p allocator
+     *  (nullptr = the historical per-table counters). */
+    void
+    setAllocator(phys::Allocator *allocator)
+    {
+        small_.setAllocator(allocator);
+        large_.setAllocator(allocator);
+    }
 
     const ForwardPageTable &smallTable() const { return small_; }
     const ForwardPageTable &largeTable() const { return large_; }

@@ -244,6 +244,7 @@ TEST(TimeSeriesExperiment, ExportToKeySetTracksFeatures)
         EXPECT_FALSE(registry.has("x.avg_ws_bytes"));
         EXPECT_FALSE(registry.has("x.measured_miss_cycles"));
         EXPECT_FALSE(registry.has("x.cpi_tlb_measured"));
+        EXPECT_FALSE(registry.has("x.cpi_phys"));
         EXPECT_EQ(registry.size(), base_keys.size());
     }
 
@@ -264,7 +265,27 @@ TEST(TimeSeriesExperiment, ExportToKeySetTracksFeatures)
         EXPECT_TRUE(registry.has("x.avg_ws_bytes"));
         EXPECT_TRUE(registry.has("x.measured_miss_cycles"));
         EXPECT_TRUE(registry.has("x.cpi_tlb_measured"));
+        EXPECT_FALSE(registry.has("x.cpi_phys"));
         EXPECT_EQ(registry.size(), base_keys.size() + 3);
+    }
+
+    options.phys.memBytes = 1u << 20;
+    {
+        VectorTrace copy = trace;
+        const auto result = runExperiment(
+            copy, PolicySpec::single(kLog2_4K), tlb, options);
+        EXPECT_TRUE(result.physModeled);
+        obs::StatRegistry registry;
+        result.exportTo(registry, "x");
+        for (const std::string &key : base_keys)
+            EXPECT_TRUE(registry.has(key)) << key;
+        // 12 phys counters + 4 fragmentation entries + cpi_phys.
+        EXPECT_TRUE(registry.has("x.phys.frames_allocated"));
+        EXPECT_TRUE(registry.has("x.phys.superpage_failures"));
+        EXPECT_TRUE(registry.has("x.phys.frag.frag_index"));
+        EXPECT_TRUE(registry.has("x.phys.frag.free_blocks_by_order"));
+        EXPECT_TRUE(registry.has("x.cpi_phys"));
+        EXPECT_EQ(registry.size(), base_keys.size() + 3 + 17);
     }
 }
 

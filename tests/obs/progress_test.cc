@@ -118,6 +118,26 @@ TEST(Progress, LineFormat)
     EXPECT_NE(out.find("[done]"), std::string::npos) << out;
 }
 
+TEST(Progress, EtaGuardedWhenNoTimeHasPassed)
+{
+    CaptureStream capture;
+    ProgressReporter progress(4, "cells");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    progress.setMinIntervalMs(0);
+    // A start timestamp in the future makes both the window and the
+    // cumulative elapsed time non-positive — the degenerate case a
+    // zero-elapsed or zero-work window produces.  The ETA must fall
+    // back to a placeholder instead of extrapolating 0/inf/NaN.
+    progress.setStartForTest(std::chrono::steady_clock::now() +
+                             std::chrono::hours(1));
+    progress.tick(1'000'000);
+    const std::string out = capture.contents();
+    EXPECT_NE(out.find("eta --:--"), std::string::npos) << out;
+    EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+    EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+}
+
 TEST(Progress, UnknownTotalOmitsEta)
 {
     CaptureStream capture;

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Buddy allocator invariants: greedy seeding, lowest-address-first
+ * splits, buddy coalescing, memblock-style claims — plus the
+ * fragmentation-index math on crafted free-list layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/buddy_allocator.h"
+#include "phys/frag_telemetry.h"
+
+namespace tps::phys
+{
+namespace
+{
+
+constexpr unsigned kFrameLog2 = 12; // 4KB frames
+constexpr std::uint64_t kFrame = 1u << kFrameLog2;
+
+TEST(BuddyAllocator, SeedsPowerOfTwoMemoryAsMaxOrderBlocks)
+{
+    // 16 frames, max order 2: four order-2 blocks, nothing smaller.
+    BuddyAllocator buddy(16 * kFrame, kFrameLog2, 2);
+    EXPECT_EQ(buddy.totalFrames(), 16u);
+    EXPECT_EQ(buddy.freeFrames(), 16u);
+    EXPECT_EQ(buddy.freeBlocksAt(2), 4u);
+    EXPECT_EQ(buddy.freeBlocksAt(1), 0u);
+    EXPECT_EQ(buddy.freeBlocksAt(0), 0u);
+    EXPECT_EQ(buddy.largestFreeOrder(), 2u);
+}
+
+TEST(BuddyAllocator, SeedsOddMemoryGreedily)
+{
+    // 13 frames: order-2 blocks at 0, 4, 8 and an order-0 tail at 12.
+    BuddyAllocator buddy(13 * kFrame, kFrameLog2, 2);
+    EXPECT_EQ(buddy.totalFrames(), 13u);
+    EXPECT_EQ(buddy.freeFrames(), 13u);
+    EXPECT_EQ(buddy.freeBlocksAt(2), 3u);
+    EXPECT_EQ(buddy.freeBlocksAt(1), 0u);
+    EXPECT_EQ(buddy.freeBlocksAt(0), 1u);
+}
+
+TEST(BuddyAllocator, ClampsMaxOrderToMemory)
+{
+    // 8 frames cannot hold an order-6 block; the ctor clamps to 3.
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 6);
+    EXPECT_EQ(buddy.maxOrder(), 3u);
+    EXPECT_EQ(buddy.freeBlocksAt(3), 1u);
+    // ...and a request above the clamped max order fails cleanly.
+    EXPECT_FALSE(buddy.allocate(4).has_value());
+    EXPECT_EQ(buddy.counters().fails, 1u);
+}
+
+TEST(BuddyAllocator, SplitKeepsLowerHalfListsUpperHalves)
+{
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 3);
+    const auto frame = buddy.allocate(0);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(*frame, 0u);
+    // Splitting 8 -> 4+4 -> 2+2 -> 1+1 leaves the upper halves free:
+    // frame 1 (order 0), frames 2-3 (order 1), frames 4-7 (order 2).
+    EXPECT_EQ(buddy.counters().splits, 3u);
+    EXPECT_EQ(buddy.freeBlocksAt(0), 1u);
+    EXPECT_EQ(buddy.freeBlocksAt(1), 1u);
+    EXPECT_EQ(buddy.freeBlocksAt(2), 1u);
+    EXPECT_EQ(buddy.freeBlocksAt(3), 0u);
+    EXPECT_EQ(buddy.freeFrames(), 7u);
+}
+
+TEST(BuddyAllocator, AllocatesLowestAddressFirst)
+{
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 3);
+    EXPECT_EQ(buddy.allocate(0), 0u);
+    EXPECT_EQ(buddy.allocate(0), 1u);
+    EXPECT_EQ(buddy.allocate(0), 2u);
+    EXPECT_EQ(buddy.allocate(1), 4u); // frame 3 is too small a block
+    EXPECT_EQ(buddy.allocate(0), 3u);
+}
+
+TEST(BuddyAllocator, ReleaseCoalescesBackToMaxOrder)
+{
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 3);
+    const auto a = buddy.allocate(0);
+    const auto b = buddy.allocate(0);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+
+    // Frame 1 still allocated: releasing frame 0 cannot merge.
+    buddy.release(*a, 0);
+    EXPECT_EQ(buddy.counters().coalesces, 0u);
+    EXPECT_EQ(buddy.freeBlocksAt(0), 1u);
+
+    // Releasing frame 1 cascades 0+1 -> 2-3 -> 4-7 back to order 3.
+    buddy.release(*b, 0);
+    EXPECT_EQ(buddy.counters().coalesces, 3u);
+    EXPECT_EQ(buddy.freeBlocksAt(3), 1u);
+    EXPECT_EQ(buddy.freeBlocksAt(0), 0u);
+    EXPECT_EQ(buddy.freeFrames(), 8u);
+}
+
+TEST(BuddyAllocator, ReleaseOfSubBlocksRecoalesces)
+{
+    // Frames allocated as one order-2 block may come back one at a
+    // time (the copy-promotion path frees order-0 sub-frames).
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 3);
+    const auto block = buddy.allocate(2);
+    ASSERT_TRUE(block.has_value());
+    for (std::uint64_t b = 0; b < 4; ++b)
+        buddy.release(*block + b, 0);
+    EXPECT_EQ(buddy.freeBlocksAt(3), 1u);
+    EXPECT_EQ(buddy.freeFrames(), 8u);
+}
+
+TEST(BuddyAllocator, ClaimCarvesSpecificBlock)
+{
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 3);
+    EXPECT_TRUE(buddy.claim(4, 2));
+    EXPECT_EQ(buddy.freeBlocksAt(2), 1u); // frames 0-3 remain
+    EXPECT_EQ(buddy.freeFrames(), 4u);
+    // Anything overlapping the claimed block is refused.
+    EXPECT_FALSE(buddy.claim(4, 0));
+    EXPECT_FALSE(buddy.claim(4, 2));
+    // Misaligned and out-of-range claims are refused, not fatal.
+    EXPECT_FALSE(buddy.claim(1, 1));
+    EXPECT_FALSE(buddy.claim(8, 0));
+    EXPECT_EQ(buddy.counters().claims, 1u);
+}
+
+TEST(BuddyAllocator, FragmentationBlocksLargeAllocations)
+{
+    // Claim frame 2 of every order-2 group: 12 of 16 frames stay free
+    // but no order-2 block survives.
+    BuddyAllocator buddy(16 * kFrame, kFrameLog2, 2);
+    for (std::uint64_t group = 0; group < 4; ++group)
+        ASSERT_TRUE(buddy.claim(group * 4 + 2, 0));
+    EXPECT_EQ(buddy.freeFrames(), 12u);
+    EXPECT_FALSE(buddy.allocate(2).has_value());
+    EXPECT_TRUE(buddy.allocate(1).has_value());
+    EXPECT_TRUE(buddy.allocate(0).has_value());
+}
+
+TEST(BuddyAllocator, IdenticalRequestStreamsYieldIdenticalPlacements)
+{
+    auto run = [] {
+        BuddyAllocator buddy(64 * kFrame, kFrameLog2, 3);
+        std::vector<std::uint64_t> placements;
+        std::vector<std::pair<std::uint64_t, unsigned>> held;
+        for (unsigned i = 0; i < 40; ++i) {
+            const unsigned order = i % 3;
+            if (const auto frame = buddy.allocate(order)) {
+                placements.push_back(*frame);
+                held.emplace_back(*frame, order);
+            }
+            if (i % 5 == 4) {
+                buddy.release(held.front().first, held.front().second);
+                held.erase(held.begin());
+            }
+        }
+        return placements;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(FragTelemetry, IndexIsZeroOnFreshMemory)
+{
+    BuddyAllocator buddy(16 * kFrame, kFrameLog2, 2);
+    const FragSnapshot snap = snapshotOf(buddy, 2);
+    EXPECT_EQ(snap.totalBytes, 16 * kFrame);
+    EXPECT_EQ(snap.freeBytes, 16 * kFrame);
+    EXPECT_EQ(snap.largestFreeBytes, 4 * kFrame);
+    EXPECT_DOUBLE_EQ(snap.fragIndex, 0.0);
+    ASSERT_EQ(snap.freeBlocksByOrder.size(), 3u);
+    EXPECT_EQ(snap.freeBlocksByOrder[2], 4u);
+}
+
+TEST(FragTelemetry, IndexIsOneWhenNoSuperpageBlockSurvives)
+{
+    BuddyAllocator buddy(16 * kFrame, kFrameLog2, 2);
+    for (std::uint64_t group = 0; group < 4; ++group)
+        ASSERT_TRUE(buddy.claim(group * 4 + 2, 0));
+    const FragSnapshot snap = snapshotOf(buddy, 2);
+    EXPECT_EQ(snap.freeBytes, 12 * kFrame);
+    EXPECT_EQ(snap.largestFreeBytes, 2 * kFrame);
+    EXPECT_DOUBLE_EQ(snap.fragIndex, 1.0);
+}
+
+TEST(FragTelemetry, IndexOnMixedLayoutMatchesHandMath)
+{
+    // Shatter three groups, keep one whole: 4 of 13 free frames sit
+    // in a superpage-order block, so index = 1 - 4/13.
+    BuddyAllocator buddy(16 * kFrame, kFrameLog2, 2);
+    for (std::uint64_t group = 1; group < 4; ++group)
+        ASSERT_TRUE(buddy.claim(group * 4 + 2, 0));
+    const FragSnapshot snap = snapshotOf(buddy, 2);
+    EXPECT_EQ(snap.freeBytes, 13 * kFrame);
+    EXPECT_EQ(snap.largestFreeBytes, 4 * kFrame);
+    EXPECT_DOUBLE_EQ(snap.fragIndex, 1.0 - 4.0 / 13.0);
+}
+
+TEST(FragTelemetry, ExhaustedMemoryScoresZeroNotOne)
+{
+    BuddyAllocator buddy(8 * kFrame, kFrameLog2, 3);
+    ASSERT_TRUE(buddy.allocate(3).has_value());
+    const FragSnapshot snap = snapshotOf(buddy, 3);
+    EXPECT_EQ(snap.freeBytes, 0u);
+    EXPECT_EQ(snap.largestFreeBytes, 0u);
+    EXPECT_DOUBLE_EQ(snap.fragIndex, 0.0);
+}
+
+} // namespace
+} // namespace tps::phys

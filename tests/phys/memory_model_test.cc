@@ -1,0 +1,192 @@
+/**
+ * @file
+ * MemoryModel semantics: reservation-based promotion in place vs the
+ * paper's copy-based promotion, fallback and failure accounting under
+ * crafted memory layouts, deterministic pressure seeding, and the
+ * pfn contract of frameFor().
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/memory_model.h"
+
+namespace tps::phys
+{
+namespace
+{
+
+/** 4K frames, 32KB superpages (8 blocks/chunk), 1 MiB memory. */
+PhysConfig
+baseConfig()
+{
+    PhysConfig config;
+    config.memBytes = 1u << 20;
+    config.frameLog2 = 12;
+    config.superLog2 = 15;
+    return config;
+}
+
+TEST(MemoryModel, CopyPromotionAllocatesFreshRegionAndCopies)
+{
+    PhysConfig config = baseConfig();
+    config.reservation = false;
+    MemoryModel model(config);
+
+    // Touch 4 of chunk 0's 8 blocks: scattered order-0 frames.
+    for (Addr vpn = 0; vpn < 4; ++vpn)
+        model.touch(vpn, 12);
+    EXPECT_EQ(model.counters().framesAllocated, 4u);
+    EXPECT_EQ(model.counters().reservationsOpened, 0u);
+
+    model.promoteChunk(0);
+    EXPECT_EQ(model.counters().promotionsCopied, 1u);
+    EXPECT_EQ(model.counters().promotionsInPlace, 0u);
+    EXPECT_EQ(model.counters().superpageAllocs, 1u);
+    EXPECT_EQ(model.counters().pagesCopied, 4u);
+    EXPECT_EQ(model.counters().framesFreed, 4u);
+
+    // The whole chunk is now backed by one contiguous region: the
+    // large page's pfn is its superpage frame number.
+    EXPECT_LT(model.frameFor(0, 15), Addr{1} << 52);
+}
+
+TEST(MemoryModel, ReservationPromotesInPlaceForFree)
+{
+    PhysConfig config = baseConfig();
+    config.reservation = true;
+    MemoryModel model(config);
+
+    for (Addr vpn = 0; vpn < 4; ++vpn)
+        model.touch(vpn, 12);
+    EXPECT_EQ(model.counters().reservationsOpened, 1u);
+    EXPECT_EQ(model.counters().framesAllocated, 0u);
+
+    model.promoteChunk(0);
+    EXPECT_EQ(model.counters().promotionsInPlace, 1u);
+    EXPECT_EQ(model.counters().promotionsCopied, 0u);
+    EXPECT_EQ(model.counters().pagesCopied, 0u);
+}
+
+TEST(MemoryModel, ReservationFallsBackToScatterWhenNoContiguity)
+{
+    // 12 frames: one aligned superpage region (frames 0-7) plus an
+    // order-2 tail.  The second chunk's reservation must fail.
+    PhysConfig config = baseConfig();
+    config.memBytes = 12u << 12;
+    config.reservation = true;
+    MemoryModel model(config);
+
+    model.touch(0, 12); // chunk 0 reserves frames 0-7
+    EXPECT_EQ(model.counters().reservationsOpened, 1u);
+
+    model.touch(8, 12); // chunk 1: no superpage region left
+    EXPECT_EQ(model.counters().reservationFallbacks, 1u);
+    EXPECT_EQ(model.counters().superpageFailures, 1u);
+    EXPECT_EQ(model.counters().framesAllocated, 1u);
+
+    // Copy-promotion of chunk 1 is impossible too: the policy's
+    // promotion is recorded as a failure and the chunk scatter-fills.
+    model.promoteChunk(1);
+    EXPECT_EQ(model.counters().promotionFailures, 1u);
+    EXPECT_EQ(model.counters().superpageFailures, 2u);
+    EXPECT_EQ(model.counters().promotionsCopied, 0u);
+    // 7 remaining blocks wanted frames; only 3 tail frames existed.
+    EXPECT_EQ(model.counters().framesAllocated, 4u);
+    EXPECT_EQ(model.counters().frameExhaustions, 4u);
+
+    // A block with no frame gets a synthetic pfn above modeled memory.
+    EXPECT_GE(model.frameFor(15, 12), Addr{1} << 52);
+}
+
+TEST(MemoryModel, DemotionKeepsBackingSoRepromotionIsFree)
+{
+    PhysConfig config = baseConfig();
+    config.reservation = true;
+    MemoryModel model(config);
+
+    model.touch(0, 12);
+    model.promoteChunk(0);
+    model.demoteChunk(0);
+    EXPECT_EQ(model.counters().demotions, 1u);
+
+    model.promoteChunk(0);
+    EXPECT_EQ(model.counters().promotionsInPlace, 2u);
+    EXPECT_EQ(model.counters().superpageAllocs, 0u);
+}
+
+TEST(MemoryModel, TouchOfLargePagePromotesItsChunk)
+{
+    PhysConfig config = baseConfig();
+    MemoryModel model(config);
+    // A 32KB page touch is a promotion observation for its chunk.
+    model.touch(3, 15);
+    EXPECT_EQ(model.counters().promotionsCopied, 1u);
+    EXPECT_LT(model.frameFor(3, 15), Addr{1} << 52);
+}
+
+TEST(MemoryModel, SmallPagePfnsLandInsideTheirRegion)
+{
+    PhysConfig config = baseConfig();
+    config.reservation = true;
+    MemoryModel model(config);
+    // Chunk 0 reserves frames 0-7: vpn b maps to frame b exactly.
+    for (Addr vpn = 0; vpn < 8; ++vpn)
+        EXPECT_EQ(model.frameFor(vpn, 12), vpn);
+    // The promoted large page covers the same region as one pfn.
+    model.promoteChunk(0);
+    EXPECT_EQ(model.frameFor(0, 15), 0u);
+}
+
+TEST(MemoryModel, PressureSeedingIsDeterministicAndScalesWithP)
+{
+    PhysConfig config = baseConfig();
+    config.fragPressure = 0.5;
+    MemoryModel a(config);
+    MemoryModel b(config);
+    EXPECT_EQ(a.pressureFrames(), b.pressureFrames());
+    // 256 frames at p=0.5: a wildly improbable bound, not a flake.
+    EXPECT_GT(a.pressureFrames(), 64u);
+    EXPECT_LT(a.pressureFrames(), 192u);
+
+    PhysConfig zero = baseConfig();
+    MemoryModel c(zero);
+    EXPECT_EQ(c.pressureFrames(), 0u);
+
+    // A different seed yields a different (but again deterministic)
+    // occupancy map.
+    config.pressureSeed = 1234;
+    MemoryModel d(config);
+    EXPECT_NE(d.pressureFrames(), 0u);
+}
+
+TEST(MemoryModel, HighPressureMakesSuperpageAllocationFail)
+{
+    PhysConfig config = baseConfig();
+    config.fragPressure = 0.75;
+    config.reservation = true;
+    MemoryModel model(config);
+
+    // Touch 16 chunks; at p=0.75 the chance any aligned 8-frame run
+    // is free is (0.25)^8 ~ 1.5e-5 — failures are certain.
+    for (Addr chunk = 0; chunk < 16; ++chunk)
+        model.touch(chunk * 8, 12);
+    EXPECT_GT(model.counters().superpageFailures, 0u);
+    EXPECT_GT(model.counters().reservationFallbacks, 0u);
+    EXPECT_GT(model.snapshot().fragIndex, 0.5);
+}
+
+TEST(MemoryModel, ResetCountersKeepsBackingState)
+{
+    PhysConfig config = baseConfig();
+    config.reservation = true;
+    MemoryModel model(config);
+    model.touch(0, 12);
+    model.resetCounters();
+    EXPECT_EQ(model.counters().reservationsOpened, 0u);
+    // The reservation itself survives: promotion is still in place.
+    model.promoteChunk(0);
+    EXPECT_EQ(model.counters().promotionsInPlace, 1u);
+}
+
+} // namespace
+} // namespace tps::phys

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The phys model wired through runExperiment: the observer property
+ * (enabling the model never perturbs the simulation it watches), the
+ * CPI copy charge, the fragmentation-pressure acceptance criteria, and
+ * determinism of phys counters across sweep thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "trace/vector_trace.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+/**
+ * A cyclic instruction sweep over @p pages 4KB pages: every chunk sees
+ * all of its blocks each round, so the two-size policy promotes every
+ * chunk once the window fills.
+ */
+VectorTrace
+cyclicTrace(unsigned pages, unsigned rounds)
+{
+    std::vector<MemRef> refs;
+    refs.reserve(std::size_t{pages} * rounds);
+    for (unsigned round = 0; round < rounds; ++round)
+        for (unsigned page = 0; page < pages; ++page)
+            refs.push_back(
+                MemRef{0x100000 + Addr{page} * 4096, RefType::Ifetch, 4});
+    return VectorTrace(std::move(refs), "cyclic");
+}
+
+RunOptions
+promotingOptions()
+{
+    RunOptions opts;
+    opts.maxRefs = 64u * 400u;
+    opts.warmupRefs = 0;
+    return opts;
+}
+
+PolicySpec
+promotingPolicy()
+{
+    TwoSizeConfig config;
+    config.window = 10'000;
+    return PolicySpec::twoSizes(config);
+}
+
+TEST(PhysExperiment, ModelIsAnObserverOfTheSimulation)
+{
+    // The acceptance bar for the null allocator is byte-identical
+    // output; the model itself must also never feed back into the
+    // TLB/policy stream it watches.
+    RunOptions base;
+    base.maxRefs = 120'000;
+    base.warmupRefs = 30'000;
+    base.wsWindow = 20'000;
+
+    RunOptions with_phys = base;
+    with_phys.phys.memBytes = 64u << 20;
+    with_phys.phys.reservation = true;
+
+    TwoSizeConfig policy;
+    policy.window = 20'000;
+    for (const char *name : {"li", "tomcatv"}) {
+        auto w1 = workloads::findWorkload(name).instantiate();
+        auto w2 = workloads::findWorkload(name).instantiate();
+        const auto off = runExperiment(
+            *w1, PolicySpec::twoSizes(policy), TlbConfig{}, base);
+        const auto on = runExperiment(
+            *w2, PolicySpec::twoSizes(policy), TlbConfig{}, with_phys);
+
+        EXPECT_FALSE(off.physModeled) << name;
+        EXPECT_TRUE(on.physModeled) << name;
+        EXPECT_EQ(off.tlb.misses, on.tlb.misses) << name;
+        EXPECT_EQ(off.tlb.hits, on.tlb.hits) << name;
+        EXPECT_EQ(off.tlb.invalidations, on.tlb.invalidations) << name;
+        EXPECT_EQ(off.policy.promotions, on.policy.promotions) << name;
+        EXPECT_EQ(off.instructions, on.instructions) << name;
+        EXPECT_EQ(off.cpiTlb, on.cpiTlb) << name;
+        EXPECT_EQ(off.avgWsBytes, on.avgWsBytes) << name;
+    }
+}
+
+TEST(PhysExperiment, CopyPromotionChargesCpiButReservationIsFree)
+{
+    auto trace = cyclicTrace(64, 400);
+    RunOptions copy_mode = promotingOptions();
+    copy_mode.phys.memBytes = 1u << 20;
+    copy_mode.phys.reservation = false;
+
+    const auto copied =
+        runExperiment(trace, promotingPolicy(), TlbConfig{}, copy_mode);
+    ASSERT_TRUE(copied.physModeled);
+    EXPECT_GT(copied.policy.promotions, 0u);
+    EXPECT_GT(copied.phys.promotionsCopied, 0u);
+    EXPECT_GT(copied.phys.pagesCopied, 0u);
+    EXPECT_EQ(copied.phys.promotionsInPlace, 0u);
+    EXPECT_GT(copied.cpiPhys, copied.cpiTlb);
+
+    RunOptions resv_mode = copy_mode;
+    resv_mode.phys.reservation = true;
+    const auto reserved =
+        runExperiment(trace, promotingPolicy(), TlbConfig{}, resv_mode);
+    ASSERT_TRUE(reserved.physModeled);
+    EXPECT_GT(reserved.phys.promotionsInPlace, 0u);
+    EXPECT_EQ(reserved.phys.pagesCopied, 0u);
+    // In-place promotion costs nothing: the copy charge is the only
+    // difference between cpiPhys and cpiTlb.
+    EXPECT_DOUBLE_EQ(reserved.cpiPhys, reserved.cpiTlb);
+}
+
+TEST(PhysExperiment, FragPressureDrivesSuperpageFailures)
+{
+    // The PR's acceptance criterion: zero failed superpage allocations
+    // at pressure 0, a nonzero count at pressure >= 0.5.
+    // 4 MiB: roomy enough that pressure fragments memory rather than
+    // exhausting it outright (an exhausted allocator scores 0, not 1).
+    auto trace = cyclicTrace(64, 400);
+    for (const bool reservation : {false, true}) {
+        RunOptions calm = promotingOptions();
+        calm.phys.memBytes = 4u << 20;
+        calm.phys.reservation = reservation;
+        calm.phys.fragPressure = 0.0;
+        const auto easy =
+            runExperiment(trace, promotingPolicy(), TlbConfig{}, calm);
+        EXPECT_EQ(easy.phys.superpageFailures, 0u) << reservation;
+        EXPECT_EQ(easy.phys.promotionFailures, 0u) << reservation;
+        EXPECT_DOUBLE_EQ(easy.physFrag.fragIndex, 0.0) << reservation;
+
+        RunOptions tight = calm;
+        tight.phys.fragPressure = 0.75;
+        const auto hard =
+            runExperiment(trace, promotingPolicy(), TlbConfig{}, tight);
+        EXPECT_GT(hard.phys.superpageFailures, 0u) << reservation;
+        EXPECT_GT(hard.phys.promotionFailures, 0u) << reservation;
+        EXPECT_GT(hard.physFrag.fragIndex, 0.5) << reservation;
+    }
+}
+
+TEST(PhysExperiment, SweepCountersAreIdenticalAcrossThreadCounts)
+{
+    RunOptions opts;
+    opts.maxRefs = 120'000;
+    opts.warmupRefs = 30'000;
+    opts.phys.memBytes = 8u << 20;
+    opts.phys.reservation = true;
+    opts.phys.fragPressure = 0.5;
+
+    TwoSizeConfig policy;
+    policy.window = 20'000;
+    auto run = [&](unsigned threads) {
+        return SweepRunner()
+            .workloads({"li", "espresso", "tomcatv", "worm"})
+            .configuration(TlbConfig{}, PolicySpec::twoSizes(policy),
+                           "fa16 / two-size")
+            .options(opts)
+            .threads(threads)
+            .run();
+    };
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const auto &a = serial[i].result;
+        const auto &b = parallel[i].result;
+        EXPECT_EQ(serial[i].workload, parallel[i].workload);
+        EXPECT_EQ(a.tlb.misses, b.tlb.misses) << serial[i].workload;
+        EXPECT_EQ(a.phys.framesAllocated, b.phys.framesAllocated)
+            << serial[i].workload;
+        EXPECT_EQ(a.phys.superpageFailures, b.phys.superpageFailures)
+            << serial[i].workload;
+        EXPECT_EQ(a.phys.promotionsInPlace, b.phys.promotionsInPlace)
+            << serial[i].workload;
+        EXPECT_EQ(a.phys.pagesCopied, b.phys.pagesCopied)
+            << serial[i].workload;
+        EXPECT_DOUBLE_EQ(a.cpiPhys, b.cpiPhys) << serial[i].workload;
+        EXPECT_DOUBLE_EQ(a.physFrag.fragIndex, b.physFrag.fragIndex)
+            << serial[i].workload;
+    }
+}
+
+} // namespace
+} // namespace tps::core

@@ -8,6 +8,12 @@
  *   tps_bench_gate --baseline bench/baselines/BENCH_micro_perf.json
  *                  [--tol-default REL] [--tol SUBSTR=REL]...
  *                  [--ignore SUBSTR]... candidate.json
+ *   tps_bench_gate --baseline FILE --update-baseline candidate.json
+ *
+ * --update-baseline validates the candidate and rewrites the baseline
+ * file from it in canonical form (sorted keys, stable number
+ * formatting), so refreshed baselines produce minimal diffs; see
+ * README.md "Refreshing a perf baseline".
  *
  * Comparison rules, per stats key (union of both files):
  *   - keys matching any --ignore substring are skipped entirely;
@@ -49,6 +55,7 @@ struct GateOptions
 {
     std::string baselinePath;
     std::string candidatePath;
+    bool updateBaseline = false;
     double tolDefault = 0.5;
     std::vector<std::pair<std::string, double>> tolOverrides;
     std::vector<std::string> ignores;
@@ -196,6 +203,46 @@ gateText(const GateOptions &options, const JsonValue *base,
     }
 }
 
+/** Re-emit a parsed document canonically: object keys sorted (the
+ *  parse already holds them in a std::map) and numbers in JsonWriter's
+ *  stable formats, so regenerated baselines diff minimally. */
+void
+writeValue(tps::obs::JsonWriter &writer, const JsonValue &v)
+{
+    switch (v.type) {
+    case JsonValue::Type::Object:
+        writer.beginObject();
+        for (const auto &[name, member] : v.object) {
+            writer.key(name);
+            writeValue(writer, member);
+        }
+        writer.endObject();
+        break;
+    case JsonValue::Type::Array:
+        writer.beginArray();
+        for (const JsonValue &item : v.array)
+            writeValue(writer, item);
+        writer.endArray();
+        break;
+    case JsonValue::Type::String:
+        writer.value(v.text);
+        break;
+    case JsonValue::Type::Bool:
+        writer.value(v.boolean);
+        break;
+    case JsonValue::Type::Int:
+        writer.value(v.integer);
+        break;
+    case JsonValue::Type::Double:
+        writer.value(v.number);
+        break;
+    case JsonValue::Type::Null:
+        std::fprintf(stderr, "error: null value has no canonical "
+                             "baseline form\n");
+        std::exit(2);
+    }
+}
+
 JsonValue
 load(const std::string &path)
 {
@@ -222,7 +269,9 @@ usage()
         stderr,
         "usage: tps_bench_gate --baseline FILE [--tol-default REL]\n"
         "                      [--tol SUBSTR=REL]... [--ignore "
-        "SUBSTR]... candidate.json\n");
+        "SUBSTR]... candidate.json\n"
+        "       tps_bench_gate --baseline FILE --update-baseline "
+        "candidate.json\n");
     return 2;
 }
 
@@ -276,6 +325,8 @@ main(int argc, char **argv)
             options.tolOverrides.emplace_back(value.substr(0, eq), rel);
         } else if (arg == "--ignore") {
             options.ignores.emplace_back(next());
+        } else if (arg == "--update-baseline") {
+            options.updateBaseline = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else if (options.candidatePath.empty()) {
@@ -286,6 +337,32 @@ main(int argc, char **argv)
     }
     if (options.baselinePath.empty() || options.candidatePath.empty())
         return usage();
+
+    if (options.updateBaseline) {
+        const JsonValue cand = load(options.candidatePath);
+        const JsonValue *schema = cand.find("schema");
+        if (schema == nullptr ||
+            schema->type != JsonValue::Type::String ||
+            schema->text != "tps-stats-v1") {
+            std::fprintf(stderr,
+                         "error: %s is not a tps-stats-v1 dump\n",
+                         options.candidatePath.c_str());
+            return 2;
+        }
+        std::ofstream out(options.baselinePath);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         options.baselinePath.c_str());
+            return 2;
+        }
+        tps::obs::JsonWriter writer(out);
+        writeValue(writer, cand);
+        writer.finish();
+        std::printf("bench gate: rewrote %s from %s\n",
+                    options.baselinePath.c_str(),
+                    options.candidatePath.c_str());
+        return 0;
+    }
 
     const JsonValue base = load(options.baselinePath);
     const JsonValue cand = load(options.candidatePath);

@@ -336,6 +336,46 @@ writeTimeSeriesCell(std::ostream &os, const std::string &key,
                             {ws}, 0.0, interval, "refs");
     }
 
+    // Chart 4: physical-memory fragmentation, when the phys model ran
+    // (columns exist only under --phys-mem, so absence = skip).
+    {
+        ChartSeries frag{"fragmentation index", 1,
+                         column(cell, "values", "value_names",
+                                "frag_index")};
+        if (!frag.points.empty())
+            os << lineChart("External fragmentation index at "
+                            "interval end",
+                            {frag}, 0.0, interval, "refs");
+        ChartSeries free_bytes{"free bytes", 1,
+                               column(cell, "values", "value_names",
+                                      "phys_free_bytes")};
+        if (!free_bytes.points.empty())
+            os << lineChart("Free physical memory at interval end",
+                            {free_bytes}, 0.0, interval, "refs");
+    }
+
+    // Chart 5: phys allocation events per interval (counts).
+    {
+        std::vector<ChartSeries> events;
+        ChartSeries in_place{"in-place promotions", 1,
+                             column(cell, "counters", "counter_names",
+                                    "phys_promos_in_place")};
+        ChartSeries copied{"copy promotions", 2,
+                           column(cell, "counters", "counter_names",
+                                  "phys_promos_copied")};
+        ChartSeries sp_fail{"superpage alloc failures", 3,
+                            column(cell, "counters", "counter_names",
+                                   "phys_superpage_fail")};
+        for (auto *s : {&in_place, &copied, &sp_fail}) {
+            if (std::any_of(s->points.begin(), s->points.end(),
+                            [](double v) { return v != 0.0; }))
+                events.push_back(std::move(*s));
+        }
+        if (!events.empty())
+            os << lineChart("Superpage allocation events per interval",
+                            events, 0.0, interval, "refs");
+    }
+
     // Totals table (the whole-run aggregates, table view of the data).
     if (totals != nullptr) {
         os << "<details><summary>whole-run totals</summary>"
