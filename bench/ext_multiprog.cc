@@ -3,76 +3,156 @@
  * Extension (paper future work, Sections 3.1/6): multiprogramming.
  * The paper's traces were uniprogrammed and it repeatedly flags the
  * absence of multiprogrammed behaviour as the main threat to its
- * conclusions.  This bench interleaves four workloads in fixed
- * context-switch quanta through one shared (ASID-tagged, flush-free)
- * TLB and asks whether the two-page-size advantage survives the
- * extra capacity pressure — and how it depends on quantum length.
+ * conclusions.  This bench runs several workloads as real processes
+ * through core::runMultiprogExperiment — each with its own address
+ * space, page-size policy state and page tables, time-sharing one
+ * ASID-tagged TLB and one physical memory under a round-robin
+ * scheduler — and asks whether the two-page-size advantage survives
+ * context switches and cross-process capacity pressure, and how it
+ * depends on quantum length.
+ *
+ * Flags (beyond the shared observability set; see DESIGN.md §10):
+ *   --procs N              processes from the mix, 1..4 (default 4)
+ *   --quantum N            scheduler quantum in refs (default: sweep
+ *                          5000/20000/100000)
+ *   --switch-mode M        flush | tagged | tagged+limit
+ *                          (default tagged)
+ *   --shootdown-cycles C   per-sharer broadcast cost of a promotion/
+ *                          demotion shootdown (default 0)
  */
 
 #include "bench/bench_common.h"
 
-#include "trace/transforms.h"
-#include "workloads/registry.h"
+#include "core/multiprog.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace tps;
     const auto scale = bench::banner(
-        argc, argv, "Extension", "multiprogrammed workloads sharing one TLB");
+        argc, argv, "Extension",
+        "multiprogrammed processes sharing one TLB");
 
     const char *mix[] = {"espresso", "xnews", "matrix300", "li"};
 
+    std::size_t procs = 4;
+    std::string value;
+    if (bench::flagValue(argc, argv, "--procs", value)) {
+        procs = static_cast<std::size_t>(
+            bench::detail::parseCount("--procs", value));
+        if (procs < 1 || procs > 4)
+            tps_fatal("--procs expects 1..4, got ", procs);
+    }
+    os::SwitchMode mode = os::SwitchMode::Tagged;
+    if (bench::flagValue(argc, argv, "--switch-mode", value))
+        mode = os::parseSwitchMode(value);
+    double shootdown_cycles = 0.0;
+    if (bench::flagValue(argc, argv, "--shootdown-cycles", value)) {
+        char *end = nullptr;
+        shootdown_cycles = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' ||
+            shootdown_cycles < 0.0)
+            tps_fatal("--shootdown-cycles expects a non-negative "
+                      "number, got '", value, "'");
+    }
+    std::vector<std::uint64_t> quanta = {5'000, 20'000, 100'000};
+    if (bench::flagValue(argc, argv, "--quantum", value))
+        quanta = {bench::detail::parseCount("--quantum", value)};
+    const phys::PhysConfig phys = bench::physFromArgs(argc, argv);
+
+    struct Cell
+    {
+        std::uint64_t quantum;
+        std::size_t entries;
+    };
+    std::vector<Cell> cells;
+    for (std::uint64_t quantum : quanta)
+        for (std::size_t entries : {std::size_t{32}, std::size_t{64}})
+            cells.push_back({quantum, entries});
+
+    struct CellResult
+    {
+        core::MultiprogResult base;
+        core::MultiprogResult two;
+    };
+    const unsigned threads = bench::resolvedThreads(scale);
+    obs::ProgressReporter progress(cells.size(), "cells");
+    auto results = util::parallelMapIndex(
+        threads, cells.size(), [&](std::size_t c) {
+            const Cell &cell = cells[c];
+            auto run = [&](const core::PolicySpec &policy) {
+                std::vector<core::ProcessSpec> specs;
+                for (std::size_t p = 0; p < procs; ++p) {
+                    core::ProcessSpec spec;
+                    spec.workload = mix[p];
+                    spec.policy = policy;
+                    specs.push_back(spec);
+                }
+                TlbConfig tlb;
+                tlb.organization = TlbOrganization::FullyAssociative;
+                tlb.entries = cell.entries;
+
+                core::MultiprogOptions options;
+                options.run.maxRefs = scale.refs;
+                options.run.warmupRefs = scale.warmupRefs;
+                options.run.phys = phys;
+                options.sched.quantumRefs = cell.quantum;
+                options.sched.switchMode = mode;
+                options.shootdownCycles = shootdown_cycles;
+                options.perProcessSeries = true;
+                options.label =
+                    "multiprog-q" + std::to_string(cell.quantum);
+                return core::runMultiprogExperiment(specs, tlb,
+                                                    options);
+            };
+            CellResult out{run(core::PolicySpec::single(kLog2_4K)),
+                           run(core::PolicySpec::twoSizes(
+                               core::paperPolicy(scale)))};
+            progress.tick(2 * scale.refs);
+            return out;
+        });
+    progress.finish();
+
     stats::TextTable table({"Quantum", "TLB", "CPI 4KB", "CPI 4K/32K",
+                            "switches", "shootdowns",
                             "two-size wins?"});
     std::vector<std::vector<std::string>> csv_rows;
-    for (std::uint64_t quantum : {5'000ull, 20'000ull, 100'000ull}) {
-        for (std::size_t entries : {std::size_t{32}, std::size_t{64}}) {
-            auto run = [&](const core::PolicySpec &policy) {
-                std::vector<std::unique_ptr<
-                    workloads::SyntheticWorkload>> sources;
-                std::vector<TraceSource *> raw;
-                for (const char *name : mix) {
-                    sources.push_back(
-                        workloads::findWorkload(name).instantiate());
-                    raw.push_back(sources.back().get());
-                }
-                InterleaveSource merged(raw, quantum);
-
-                TlbConfig tlb;
-                tlb.organization =
-                    TlbOrganization::FullyAssociative;
-                tlb.entries = entries;
-
-                core::RunOptions options;
-                options.maxRefs = scale.refs;
-                options.warmupRefs = scale.warmupRefs;
-                return core::runExperiment(merged, policy, tlb,
-                                           options);
-            };
-
-            const auto base =
-                run(core::PolicySpec::single(kLog2_4K));
-            const auto two = run(core::PolicySpec::twoSizes(
-                core::paperPolicy(scale)));
-            table.addRow({withCommas(quantum),
-                          std::to_string(entries) + "-entry FA",
-                          bench::cpi(base.cpiTlb),
-                          bench::cpi(two.cpiTlb),
-                          two.cpiTlb < base.cpiTlb ? "yes" : "no"});
-            csv_rows.push_back({"q" + std::to_string(quantum) + "_" +
-                                    std::to_string(entries) + "entry",
-                                formatFixed(base.cpiTlb, 6),
-                                formatFixed(two.cpiTlb, 6),
-                                two.cpiTlb < base.cpiTlb ? "yes"
-                                                         : "no"});
-        }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const Cell &cell = cells[c];
+        const auto &base = results[c].base;
+        const auto &two = results[c].two;
+        const bool wins = two.cpiTlb + two.cpiOs <
+                          base.cpiTlb + base.cpiOs;
+        table.addRow({withCommas(cell.quantum),
+                      std::to_string(cell.entries) + "-entry FA",
+                      bench::cpi(base.cpiTlb), bench::cpi(two.cpiTlb),
+                      withCommas(two.os.contextSwitches),
+                      withCommas(two.os.shootdowns),
+                      wins ? "yes" : "no"});
+        const std::string key = "q" + std::to_string(cell.quantum) +
+                                "_" + std::to_string(cell.entries) +
+                                "entry";
+        csv_rows.push_back({key, formatFixed(base.cpiTlb, 6),
+                            formatFixed(two.cpiTlb, 6),
+                            formatFixed(two.cpiOs, 6),
+                            std::to_string(two.os.contextSwitches),
+                            wins ? "yes" : "no"});
+        // Full merged + per-process counters, one registry subtree
+        // per cell (serial-vs-parallel identical: exports happen here
+        // on the main thread, in cell order).
+        base.exportTo(bench::registry(),
+                      "os.ext_multiprog." + key + ".base");
+        two.exportTo(bench::registry(),
+                     "os.ext_multiprog." + key + ".two_size");
     }
     bench::record("ext_multiprog",
-                  {"config", "cpi_4k", "cpi_two_size", "two_size_wins"},
+                  {"config", "cpi_4k", "cpi_two_size", "cpi_os",
+                   "ctx_switches", "two_size_wins"},
                   csv_rows);
     table.print(std::cout);
-    std::cout << "\nshorter quanta = more context switches = each "
+    std::cout << "\nmode = " << os::switchModeName(mode) << ", procs = "
+              << procs
+              << "; shorter quanta = more context switches = each "
                  "process finds less of its state resident; large "
                  "pages let the shared TLB re-cover working sets "
                  "faster after a switch\n";

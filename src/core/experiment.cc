@@ -125,8 +125,15 @@ class SinkTee : public InvalidationSink
     std::unordered_set<PageId, PageIdHash> *shot_down_;
 };
 
-/** Column names of the interval telemetry (order matters: the
- *  recorder stores rows positionally against these lists). */
+} // namespace
+
+namespace detail
+{
+
+// Column names of the interval telemetry (order matters: the recorder
+// stores rows positionally against these lists).  Shared with the
+// multiprogrammed driver (core/multiprog.cc) so merged cells carry
+// the same base columns as single-process cells.
 const std::vector<std::string> kTsCounterNames = {
     "refs",           "instructions",   "tlb_access",
     "tlb_hit",        "tlb_miss",       "tlb_hit_small",
@@ -142,9 +149,9 @@ const std::vector<std::string> kTsValueNames = {
     "large_fraction",
 };
 
-/** Extra columns recorded when the physical memory model is on (like
- *  ws_bytes, the lists grow only with the features in play so output
- *  without the model is unchanged byte for byte). */
+// Extra columns recorded when the physical memory model is on (like
+// ws_bytes, the lists grow only with the features in play so output
+// without the model is unchanged byte for byte).
 const std::vector<std::string> kTsPhysCounterNames = {
     "phys_frames_alloc",    "phys_superpage_fail",
     "phys_promos_in_place", "phys_promos_copied",
@@ -156,6 +163,14 @@ const std::vector<std::string> kTsPhysValueNames = {
     "phys_free_bytes",
 };
 
+} // namespace detail
+
+namespace
+{
+using detail::kTsCounterNames;
+using detail::kTsPhysCounterNames;
+using detail::kTsPhysValueNames;
+using detail::kTsValueNames;
 } // namespace
 
 ExperimentResult

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cpi_model.h"
 #include "obs/timeseries.h"
@@ -22,6 +23,18 @@
 
 namespace tps::core
 {
+
+namespace detail
+{
+/** Interval-telemetry column names shared by the single-process and
+ *  multiprogrammed drivers (defined in experiment.cc; the recorder
+ *  stores rows positionally against these lists, so both drivers must
+ *  agree on the base layout). */
+extern const std::vector<std::string> kTsCounterNames;
+extern const std::vector<std::string> kTsValueNames;
+extern const std::vector<std::string> kTsPhysCounterNames;
+extern const std::vector<std::string> kTsPhysValueNames;
+} // namespace detail
 
 /** Which page-size assignment to simulate. */
 struct PolicySpec

@@ -1,0 +1,661 @@
+#include "core/multiprog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "obs/trace_profiler.h"
+#include "util/logging.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+
+OsCounters
+OsCounters::deltaSince(const OsCounters &since) const
+{
+    OsCounters delta;
+    delta.contextSwitches = contextSwitches - since.contextSwitches;
+    delta.switchFlushes = switchFlushes - since.switchFlushes;
+    delta.asidRecycles = asidRecycles - since.asidRecycles;
+    delta.shootdowns = shootdowns - since.shootdowns;
+    delta.shootdownCycleTotal =
+        shootdownCycleTotal - since.shootdownCycleTotal;
+    return delta;
+}
+
+void
+OsCounters::exportTo(obs::StatRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".ctx_switches", contextSwitches);
+    registry.addCounter(prefix + ".switch_flushes", switchFlushes);
+    registry.addCounter(prefix + ".asid_recycles", asidRecycles);
+    registry.addCounter(prefix + ".shootdowns", shootdowns);
+    registry.addValue(prefix + ".shootdown_cycles",
+                      shootdownCycleTotal);
+}
+
+void
+MultiprogResult::exportTo(obs::StatRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.addText(prefix + ".workload", workload);
+    registry.addText(prefix + ".tlb_name", tlbName);
+    registry.addText(prefix + ".policy_name", policyName);
+    registry.addCounter(prefix + ".refs", refs);
+    registry.addCounter(prefix + ".instructions", instructions);
+    tlb.exportTo(registry, prefix + ".tlb");
+    policy.exportTo(registry, prefix + ".policy");
+    registry.addValue(prefix + ".cpi_tlb", cpiTlb);
+    registry.addValue(prefix + ".mpi", mpi);
+    registry.addValue(prefix + ".miss_ratio", missRatio);
+    os.exportTo(registry, prefix + ".os");
+    registry.addValue(prefix + ".os.cpi_os", cpiOs);
+    registry.addCounter(prefix + ".os.procs", processes.size());
+    // Process keys carry the dispatch index so two instances of the
+    // same workload stay distinct.
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+        const ProcessResult &proc = processes[i];
+        const std::string sub = prefix + ".proc." + std::to_string(i) +
+                                "." + proc.name;
+        registry.addCounter(sub + ".refs", proc.refs);
+        registry.addCounter(sub + ".instructions", proc.instructions);
+        proc.tlb.exportTo(registry, sub + ".tlb");
+        proc.policy.exportTo(registry, sub + ".policy");
+        registry.addCounter(sub + ".shootdowns", proc.shootdowns);
+        registry.addValue(sub + ".cpi_tlb", proc.cpiTlb);
+        registry.addValue(sub + ".cpi_os", proc.cpiOs);
+    }
+    if (physModeled) {
+        phys.exportTo(registry, prefix + ".phys");
+        physFrag.exportTo(registry, prefix + ".phys.frag");
+        registry.addValue(prefix + ".cpi_phys", cpiPhys);
+    }
+}
+
+namespace
+{
+
+void
+accumulate(TlbStats &into, const TlbStats &delta)
+{
+    into.accesses += delta.accesses;
+    into.hits += delta.hits;
+    into.misses += delta.misses;
+    into.hitsSmall += delta.hitsSmall;
+    into.hitsLarge += delta.hitsLarge;
+    into.missesSmall += delta.missesSmall;
+    into.missesLarge += delta.missesLarge;
+    into.fills += delta.fills;
+    into.evictions += delta.evictions;
+    into.invalidations += delta.invalidations;
+}
+
+void
+accumulate(PolicyStats &into, const PolicyStats &delta)
+{
+    into.refsSmall += delta.refsSmall;
+    into.refsLarge += delta.refsLarge;
+    into.promotions += delta.promotions;
+    into.demotions += delta.demotions;
+}
+
+/**
+ * Per-process invalidation sink: forwards page shootdowns to the
+ * shared TLB, mirrors chunk remaps into the process's page tables and
+ * the shared physical model, and charges the broadcast cost
+ * (cycles x sharing contexts) to both the process and the run.
+ */
+class ProcSink : public InvalidationSink
+{
+  public:
+    ProcSink() = default;
+
+    Tlb *tlb = nullptr;
+    os::AddressSpace *space = nullptr;
+    double costPerRemap = 0.0; ///< shootdownCycles x process count
+    std::uint64_t *procShootdowns = nullptr;
+    double *procCycles = nullptr;
+    std::uint64_t *runShootdowns = nullptr;
+    double *runCycles = nullptr;
+    /** Global-page identities shot down (miss sampling); null off. */
+    std::unordered_set<PageId, PageIdHash> *shotDown = nullptr;
+
+    void
+    invalidatePage(const PageId &page) override
+    {
+        tlb->invalidatePage(page);
+        if (shotDown != nullptr)
+            shotDown->insert(space->globalPage(page));
+    }
+
+    void
+    onChunkRemap(Addr chunk_number, bool to_large) override
+    {
+        // Physical backing first: a subsequent page-table remap asks
+        // the model for the superpage's pfn.
+        space->remapPhysChunk(chunk_number, to_large);
+        if (tps::AddressSpace *tables = space->pageTables())
+            tables->remapChunk(chunk_number, to_large);
+        ++*procShootdowns;
+        ++*runShootdowns;
+        *procCycles += costPerRemap;
+        *runCycles += costPerRemap;
+    }
+};
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string joined;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0)
+            joined += "+";
+        joined += names[i];
+    }
+    return joined;
+}
+
+} // namespace
+
+MultiprogResult
+runMultiprogExperiment(std::vector<ProcessSetup> processes, Tlb &tlb,
+                       const MultiprogOptions &options,
+                       ProbeStrategy probe)
+{
+    if (processes.empty())
+        tps_fatal("multiprogrammed run needs at least one process");
+    const RunOptions &run = options.run;
+    if (run.warmupRefs != 0 && run.maxRefs != 0 &&
+        run.warmupRefs >= run.maxRefs) {
+        tps_fatal("warmupRefs (", run.warmupRefs,
+                  ") must be below maxRefs (", run.maxRefs, ")");
+    }
+    if (run.wsWindow != 0)
+        tps_fatal("working-set tracking is per-process; it is not "
+                  "supported by the multiprogrammed driver");
+
+    const std::size_t n = processes.size();
+    std::vector<std::unique_ptr<os::AddressSpace>> spaces;
+    spaces.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ProcessSetup &setup = processes[i];
+        if (setup.trace == nullptr)
+            tps_fatal("process ", i, " ('", setup.name,
+                      "') has no trace");
+        spaces.push_back(std::make_unique<os::AddressSpace>(
+            static_cast<std::uint16_t>(i), setup.name, *setup.trace,
+            std::move(setup.policy), run.modelPageTables));
+    }
+
+    tlb.reset();
+    for (auto &space : spaces)
+        space->reset();
+
+    // One machine-wide physical memory: geometry follows the (single)
+    // page-size pair the processes agree on.
+    std::optional<phys::MemoryModel> phys_model;
+    if (run.phys.enabled()) {
+        for (const auto &space : spaces) {
+            if (space->smallLog2() != spaces[0]->smallLog2() ||
+                space->largeLog2() != spaces[0]->largeLog2()) {
+                tps_fatal("shared physical memory requires one "
+                          "page-size pair across processes (process ",
+                          space->name(), " disagrees with ",
+                          spaces[0]->name(), ")");
+            }
+        }
+        phys::PhysConfig phys_config = run.phys;
+        phys_config.frameLog2 = spaces[0]->smallLog2();
+        phys_config.superLog2 = spaces[0]->largeLog2();
+        phys_model.emplace(phys_config);
+        for (auto &space : spaces)
+            space->setPhysModel(&*phys_model);
+    }
+
+    os::SchedulerConfig sched_config = options.sched;
+    std::vector<os::ProcessSlot> slots(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        slots[i].weight = processes[i].weight;
+        slots[i].budgetRefs = processes[i].budgetRefs;
+    }
+    os::Scheduler sched(sched_config, std::move(slots));
+    os::AsidManager asids(sched_config.switchMode,
+                          sched_config.hwAsids, n);
+
+    MultiprogResult result;
+    {
+        std::vector<std::string> names;
+        std::vector<std::string> policy_names;
+        for (const auto &space : spaces) {
+            names.push_back(space->name());
+            policy_names.push_back(space->policy().name());
+        }
+        result.workload = options.label.empty() ? joinNames(names)
+                                                : options.label;
+        result.policyName = joinNames(policy_names);
+    }
+    result.tlbName = tlb.name();
+
+    // Interval telemetry, with runExperiment's global-sink fallback.
+    obs::TimeSeriesConfig ts_config = run.timeseries;
+    if (!ts_config.enabled()) {
+        if (const obs::TimeSeriesSink *sink =
+                obs::TimeSeriesSink::global())
+            ts_config = sink->config();
+    }
+    std::optional<obs::TimeSeriesRecorder> ts;
+    if (ts_config.enabled()) {
+        std::vector<std::string> counter_names =
+            detail::kTsCounterNames;
+        counter_names.insert(counter_names.end(),
+                             {"ctx_switches", "switch_flushes",
+                              "asid_recycles", "shootdowns"});
+        std::vector<std::string> value_names = detail::kTsValueNames;
+        if (phys_model) {
+            counter_names.insert(counter_names.end(),
+                                 detail::kTsPhysCounterNames.begin(),
+                                 detail::kTsPhysCounterNames.end());
+            value_names.insert(value_names.end(),
+                               detail::kTsPhysValueNames.begin(),
+                               detail::kTsPhysValueNames.end());
+        }
+        ts.emplace(ts_config, std::move(counter_names),
+                   std::move(value_names));
+    }
+    std::vector<obs::TimeSeriesRecorder> proc_ts;
+    if (ts && options.perProcessSeries) {
+        proc_ts.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Per-process cells carry the base columns only; miss
+            // sampling stays with the merged cell.
+            obs::TimeSeriesConfig proc_config = ts_config;
+            proc_config.missSampleCapacity = 0;
+            proc_ts.emplace_back(proc_config,
+                                 detail::kTsCounterNames,
+                                 detail::kTsValueNames);
+        }
+    }
+    const bool sample_misses = ts && ts->samplingMisses();
+    // Miss-cause attribution keys use global (per-process biased) page
+    // identities so equal native pages of different processes stay
+    // distinct.
+    std::unordered_set<PageId, PageIdHash> seen_pages;
+    std::unordered_set<PageId, PageIdHash> shot_down;
+
+    // Per-process accounting.  The sinks write through raw pointers
+    // into these arrays, so they must not reallocate during the run.
+    std::vector<TlbStats> proc_tlb(n);
+    std::vector<std::uint64_t> proc_refs(n, 0);
+    std::vector<std::uint64_t> proc_instr(n, 0);
+    std::vector<std::uint64_t> proc_shootdowns(n, 0);
+    std::vector<double> proc_sd_cycles(n, 0.0);
+    std::uint64_t shootdowns_total = 0;
+    double sd_cycles_total = 0.0;
+
+    std::vector<ProcSink> sinks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sinks[i].tlb = &tlb;
+        sinks[i].space = spaces[i].get();
+        sinks[i].costPerRemap =
+            options.shootdownCycles * static_cast<double>(n);
+        sinks[i].procShootdowns = &proc_shootdowns[i];
+        sinks[i].procCycles = &proc_sd_cycles[i];
+        sinks[i].runShootdowns = &shootdowns_total;
+        sinks[i].runCycles = &sd_cycles_total;
+        sinks[i].shotDown = sample_misses ? &shot_down : nullptr;
+        spaces[i]->policy().setInvalidationSink(&sinks[i]);
+    }
+
+    obs::TraceProfiler *profiler = obs::TraceProfiler::global();
+    constexpr std::size_t kReplayBatch = 4096;
+    MemRef batch[kReplayBatch];
+    RefTime now = 0;
+    std::uint64_t measured_refs = 0;
+    std::uint64_t instructions = 0;
+
+    // Warmup bases for the monotone scheduler/ASID counters (their
+    // owners are not reset at the warmup boundary; reporting is
+    // relative to the boundary snapshot instead).
+    std::uint64_t ctx_base = 0;
+    std::uint64_t sflush_base = 0;
+    std::uint64_t recycle_base = 0;
+    auto currentOs = [&] {
+        OsCounters counters;
+        counters.contextSwitches = sched.contextSwitches() - ctx_base;
+        counters.switchFlushes = asids.switchFlushes() - sflush_base;
+        counters.asidRecycles = asids.recycleFlushes() - recycle_base;
+        counters.shootdowns = shootdowns_total;
+        counters.shootdownCycleTotal = sd_cycles_total;
+        return counters;
+    };
+    auto sumPolicies = [&] {
+        PolicyStats sum;
+        for (const auto &space : spaces)
+            accumulate(sum, space->policy().stats());
+        return sum;
+    };
+
+    // Per-process TLB attribution: everything the shared TLB counted
+    // since this snapshot belongs to the currently running process
+    // (including the incoming flush/recycle invalidations of its own
+    // dispatch).  Folding at every quantum end, interval close and
+    // the warmup boundary makes the per-process stats sum to the
+    // merged stats exactly, by construction.
+    TlbStats attr_start;
+    auto foldInto = [&](std::size_t p) {
+        const TlbStats current = tlb.stats();
+        accumulate(proc_tlb[p], current.deltaSince(attr_start));
+        attr_start = current;
+    };
+
+    // Snapshots at the last interval close (all-zero at the warmup
+    // boundary, where the stats themselves are reset).
+    TlbStats ts_prev_tlb;
+    PolicyStats ts_prev_policy;
+    OsCounters ts_prev_os;
+    phys::PhysCounters ts_prev_phys;
+    std::uint64_t ts_prev_instructions = 0;
+    std::uint64_t ts_last_close = 0;
+    std::vector<TlbStats> ts_prev_proc_tlb(n);
+    std::vector<PolicyStats> ts_prev_proc_policy(n);
+    std::vector<std::uint64_t> ts_prev_proc_refs(n, 0);
+    std::vector<std::uint64_t> ts_prev_proc_instr(n, 0);
+
+    auto closeInterval = [&](std::size_t running) {
+        foldInto(running);
+        const TlbStats tlb_d = tlb.stats().deltaSince(ts_prev_tlb);
+        const PolicyStats merged_policy = sumPolicies();
+        const PolicyStats pol_d =
+            merged_policy.deltaSince(ts_prev_policy);
+        const OsCounters os_now = currentOs();
+        const OsCounters os_d = os_now.deltaSince(ts_prev_os);
+        const std::uint64_t refs_d = measured_refs - ts_last_close;
+        const std::uint64_t instr_d =
+            instructions - ts_prev_instructions;
+        std::vector<std::uint64_t> counters = {
+            refs_d,          instr_d,           tlb_d.accesses,
+            tlb_d.hits,      tlb_d.misses,      tlb_d.hitsSmall,
+            tlb_d.hitsLarge, tlb_d.missesSmall, tlb_d.missesLarge,
+            tlb_d.fills,     tlb_d.evictions,   tlb_d.invalidations,
+            pol_d.refsSmall, pol_d.refsLarge,   pol_d.promotions,
+            pol_d.demotions, os_d.contextSwitches,
+            os_d.switchFlushes, os_d.asidRecycles, os_d.shootdowns};
+        std::vector<double> values = {
+            tlb_d.missRatio(),
+            instr_d == 0 ? 0.0
+                         : static_cast<double>(tlb_d.misses) /
+                               static_cast<double>(instr_d),
+            pol_d.largeFraction()};
+        if (phys_model) {
+            const phys::PhysCounters phys_d =
+                phys_model->counters().deltaSince(ts_prev_phys);
+            counters.insert(counters.end(),
+                            {phys_d.framesAllocated,
+                             phys_d.superpageFailures,
+                             phys_d.promotionsInPlace,
+                             phys_d.promotionsCopied,
+                             phys_d.pagesCopied});
+            const phys::FragSnapshot snap = phys_model->snapshot();
+            values.push_back(snap.fragIndex);
+            values.push_back(static_cast<double>(snap.freeBytes));
+            ts_prev_phys = phys_model->counters();
+        }
+        ts->endInterval(ts_last_close, refs_d, std::move(counters),
+                        std::move(values));
+        for (std::size_t i = 0; i < proc_ts.size(); ++i) {
+            const TlbStats ptlb_d =
+                proc_tlb[i].deltaSince(ts_prev_proc_tlb[i]);
+            const PolicyStats ppol_d =
+                spaces[i]->policy().stats().deltaSince(
+                    ts_prev_proc_policy[i]);
+            const std::uint64_t prefs_d =
+                proc_refs[i] - ts_prev_proc_refs[i];
+            const std::uint64_t pinstr_d =
+                proc_instr[i] - ts_prev_proc_instr[i];
+            std::vector<std::uint64_t> pcounters = {
+                prefs_d,          pinstr_d,
+                ptlb_d.accesses,  ptlb_d.hits,
+                ptlb_d.misses,    ptlb_d.hitsSmall,
+                ptlb_d.hitsLarge, ptlb_d.missesSmall,
+                ptlb_d.missesLarge, ptlb_d.fills,
+                ptlb_d.evictions, ptlb_d.invalidations,
+                ppol_d.refsSmall, ppol_d.refsLarge,
+                ppol_d.promotions, ppol_d.demotions};
+            std::vector<double> pvalues = {
+                ptlb_d.missRatio(),
+                pinstr_d == 0 ? 0.0
+                              : static_cast<double>(ptlb_d.misses) /
+                                    static_cast<double>(pinstr_d),
+                ppol_d.largeFraction()};
+            proc_ts[i].endInterval(ts_last_close, prefs_d,
+                                   std::move(pcounters),
+                                   std::move(pvalues));
+            ts_prev_proc_tlb[i] = proc_tlb[i];
+            ts_prev_proc_policy[i] = spaces[i]->policy().stats();
+            ts_prev_proc_refs[i] = proc_refs[i];
+            ts_prev_proc_instr[i] = proc_instr[i];
+        }
+        ts_prev_tlb = tlb.stats();
+        ts_prev_policy = merged_policy;
+        ts_prev_os = os_now;
+        ts_prev_instructions = instructions;
+        ts_last_close = measured_refs;
+    };
+
+    std::size_t last_p = 0;
+    for (;;) {
+        if (run.maxRefs != 0 && now >= run.maxRefs)
+            break;
+        const std::optional<os::Quantum> quantum = sched.nextQuantum();
+        if (!quantum)
+            break;
+        const std::size_t p = quantum->process;
+        last_p = p;
+        os::AddressSpace &space = *spaces[p];
+        asids.activate(p, quantum->switched, tlb);
+        const bool multi = space.policy().isMultiSize();
+        tps::AddressSpace *tables = space.pageTables();
+
+        std::uint64_t slice = quantum->sliceRefs;
+        if (run.maxRefs != 0)
+            slice = std::min(slice, run.maxRefs - now);
+        std::uint64_t ran = 0;
+        bool drained = false;
+        while (ran < slice) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kReplayBatch, slice - ran));
+            const std::size_t got = space.trace().fill(batch, want);
+            if (got == 0) {
+                drained = true;
+                break;
+            }
+            obs::ScopedSpan chunk_span(profiler, "chunk", "replay");
+            for (std::size_t i = 0; i < got; ++i) {
+                const MemRef &ref = batch[i];
+                ++now;
+                if (now == run.warmupRefs + 1 &&
+                    run.warmupRefs != 0) {
+                    // Warmup ends: zero the counters, keep all state
+                    // (TLB contents, policy state, ASID assignments,
+                    // physical backing).
+                    tlb.resetStats();
+                    for (auto &sp : spaces)
+                        sp->policy().resetStats();
+                    if (phys_model)
+                        phys_model->resetCounters();
+                    instructions = 0;
+                    std::fill(proc_tlb.begin(), proc_tlb.end(),
+                              TlbStats{});
+                    std::fill(proc_refs.begin(), proc_refs.end(), 0);
+                    std::fill(proc_instr.begin(), proc_instr.end(),
+                              0);
+                    std::fill(proc_shootdowns.begin(),
+                              proc_shootdowns.end(), 0);
+                    std::fill(proc_sd_cycles.begin(),
+                              proc_sd_cycles.end(), 0.0);
+                    shootdowns_total = 0;
+                    sd_cycles_total = 0.0;
+                    ctx_base = sched.contextSwitches();
+                    sflush_base = asids.switchFlushes();
+                    recycle_base = asids.recycleFlushes();
+                    attr_start = tlb.stats();
+                }
+                if (now > run.warmupRefs) {
+                    ++measured_refs;
+                    ++proc_refs[p];
+                }
+                if (ref.type == RefType::Ifetch) {
+                    ++instructions;
+                    ++proc_instr[p];
+                }
+                const PageId page =
+                    space.policy().classify(ref.vaddr, now);
+                const bool hit = tlb.access(page, ref.vaddr);
+                if (!hit && phys_model)
+                    space.touchPhys(page);
+                if (!hit && tables != nullptr) {
+                    if (multi)
+                        tables->handleMiss(page,
+                                           ProbeOrder::SmallFirst);
+                    else
+                        tables->handleMissSingleSize(page);
+                }
+                if (ts) {
+                    if (sample_misses && !hit) {
+                        // Same seen-set-at-misses trick as
+                        // runExperiment, on global page identities.
+                        const PageId global = space.globalPage(page);
+                        const bool first =
+                            seen_pages.insert(global).second;
+                        if (now > run.warmupRefs) {
+                            obs::MissCause cause;
+                            if (shot_down.erase(global) != 0)
+                                cause = obs::MissCause::Shootdown;
+                            else if (first)
+                                cause = obs::MissCause::Cold;
+                            else
+                                cause = obs::MissCause::Capacity;
+                            ts->offerMiss(measured_refs, global.vpn,
+                                          global.sizeLog2, cause);
+                        } else {
+                            shot_down.erase(global);
+                        }
+                    }
+                    if (now > run.warmupRefs &&
+                        measured_refs - ts_last_close ==
+                            ts->intervalRefs()) {
+                        closeInterval(p);
+                    }
+                }
+            }
+            ran += got;
+        }
+        foldInto(p);
+        sched.accountRun(p, ran, drained);
+    }
+    for (auto &space : spaces)
+        space->policy().setInvalidationSink(nullptr);
+
+    if (ts) {
+        if (measured_refs > ts_last_close)
+            closeInterval(last_p);
+        auto series = std::make_shared<obs::TimeSeries>(
+            ts->finish(result.workload, result.tlbName,
+                       result.policyName));
+        result.timeseries = series;
+        obs::TimeSeriesSink *global = obs::TimeSeriesSink::global();
+        if (global != nullptr)
+            global->add(*series);
+        for (std::size_t i = 0; i < proc_ts.size(); ++i) {
+            obs::TimeSeries proc_series = proc_ts[i].finish(
+                result.workload + "/" + spaces[i]->name(),
+                result.tlbName, spaces[i]->policy().name());
+            if (global != nullptr)
+                global->add(std::move(proc_series));
+        }
+    }
+
+    bool any_multi = false;
+    for (const auto &space : spaces)
+        any_multi = any_multi || space->policy().isMultiSize();
+
+    result.refs = measured_refs;
+    result.instructions = instructions;
+    result.tlb = tlb.stats();
+    result.policy = sumPolicies();
+    result.os = currentOs();
+    result.cpiTlb = run.cpi.cpiTlb(result.tlb, result.policy,
+                                   instructions, any_multi, probe);
+    result.cpiOs = instructions == 0
+                       ? 0.0
+                       : sd_cycles_total /
+                             static_cast<double>(instructions);
+    result.mpi = instructions == 0
+                     ? 0.0
+                     : static_cast<double>(result.tlb.misses) /
+                           static_cast<double>(instructions);
+    result.missRatio = result.tlb.missRatio();
+    result.processes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ProcessResult proc;
+        proc.name = spaces[i]->name();
+        proc.policyName = spaces[i]->policy().name();
+        proc.refs = proc_refs[i];
+        proc.instructions = proc_instr[i];
+        proc.tlb = proc_tlb[i];
+        proc.policy = spaces[i]->policy().stats();
+        proc.shootdowns = proc_shootdowns[i];
+        proc.cpiTlb = run.cpi.cpiTlb(proc.tlb, proc.policy,
+                                     proc.instructions,
+                                     spaces[i]->policy().isMultiSize(),
+                                     probe);
+        proc.cpiOs = proc.instructions == 0
+                         ? 0.0
+                         : proc_sd_cycles[i] /
+                               static_cast<double>(proc.instructions);
+        proc.missRatio = proc.tlb.missRatio();
+        result.processes.push_back(std::move(proc));
+    }
+    if (phys_model) {
+        result.physModeled = true;
+        result.phys = phys_model->counters();
+        result.physFrag = phys_model->snapshot();
+        result.cpiPhys =
+            result.cpiTlb +
+            (instructions == 0
+                 ? 0.0
+                 : static_cast<double>(result.phys.pagesCopied) *
+                       phys_model->config().copyCyclesPerPage /
+                       static_cast<double>(instructions));
+    }
+    return result;
+}
+
+MultiprogResult
+runMultiprogExperiment(const std::vector<ProcessSpec> &specs,
+                       const TlbConfig &tlb_config,
+                       const MultiprogOptions &options)
+{
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> traces;
+    std::vector<ProcessSetup> setups;
+    traces.reserve(specs.size());
+    setups.reserve(specs.size());
+    for (const ProcessSpec &spec : specs) {
+        const workloads::WorkloadInfo &info =
+            workloads::findWorkload(spec.workload);
+        traces.push_back(info.instantiate());
+        ProcessSetup setup;
+        setup.name = spec.workload;
+        setup.trace = traces.back().get();
+        setup.policy = spec.policy.instantiate();
+        setup.weight = spec.weight;
+        setup.budgetRefs = spec.budgetRefs;
+        setups.push_back(std::move(setup));
+    }
+    auto tlb = makeTlb(tlb_config);
+    return runMultiprogExperiment(std::move(setups), *tlb, options,
+                                  tlb_config.probe);
+}
+
+} // namespace tps::core

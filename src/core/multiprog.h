@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The multiprogrammed experiment driver: several processes — each
+ * with its own trace, page-size policy state and page tables — time-
+ * share one TLB and one physical memory under a deterministic
+ * round-robin scheduler (os/scheduler.h).
+ *
+ * This is the study the paper could not run (its traces are
+ * uniprogrammed; Section 6 names multiprogramming as the main open
+ * threat): how much of the two-page-size win survives context
+ * switches, ASID pressure and cross-process TLB competition, and what
+ * promotion shootdowns cost once several processors/processes share
+ * translations (the cpi_os term).
+ *
+ * Accounting invariants (the os determinism gate checks both):
+ *  - per-process TlbStats are attributed by snapshot deltas at
+ *    quantum and interval boundaries, so they sum to the merged
+ *    (whole-TLB) stats field for field, exactly;
+ *  - interval rows are counter deltas, so column sums reproduce the
+ *    merged aggregates exactly.
+ */
+
+#ifndef TPS_CORE_MULTIPROG_H_
+#define TPS_CORE_MULTIPROG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "os/address_space.h"
+#include "os/scheduler.h"
+
+namespace tps::core
+{
+
+/** One process, by workload-registry name (the convenience form). */
+struct ProcessSpec
+{
+    std::string workload;
+    PolicySpec policy;
+    /** Quantum multiplier (os::ProcessSlot::weight). */
+    std::uint64_t weight = 1;
+    /** Per-process reference budget; 0 = unlimited. */
+    std::uint64_t budgetRefs = 0;
+};
+
+/** One process, pre-built (tests and custom traces).  The trace is
+ *  caller-owned and must outlive the run; the policy is consumed. */
+struct ProcessSetup
+{
+    std::string name;
+    TraceSource *trace = nullptr;
+    std::unique_ptr<PageSizePolicy> policy;
+    std::uint64_t weight = 1;
+    std::uint64_t budgetRefs = 0;
+};
+
+/** Controls of a multiprogrammed run. */
+struct MultiprogOptions
+{
+    /** maxRefs is the TOTAL across processes; warmupRefs likewise
+     *  counts merged references.  With maxRefs = 0 every process runs
+     *  until its trace drains or its budget is spent. */
+    RunOptions run;
+
+    os::SchedulerConfig sched;
+
+    /**
+     * Cycles one promotion/demotion shootdown broadcast costs per
+     * sharing context.  Each onChunkRemap event is charged
+     * shootdownCycles x (number of processes) cycles into cpi_os —
+     * every context sharing the TLB must be interrupted whether or
+     * not it maps the chunk, which is what makes shootdowns scale
+     * badly.  0 (default) keeps cpi_os at zero, making the
+     * multiprogrammed driver cost-neutral relative to runExperiment.
+     */
+    double shootdownCycles = 0.0;
+
+    /** Also emit one interval-telemetry cell per process (keyed
+     *  "<merged workload>/<process>") next to the merged cell. */
+    bool perProcessSeries = false;
+
+    /**
+     * Merged-cell workload label; empty = the "+"-joined process
+     * names.  Sweeps that vary parameters outside the workload/TLB/
+     * policy names (quantum, switch mode) set this so their
+     * time-series cells stay distinct.
+     */
+    std::string label;
+};
+
+/** OS-layer event counters of one run (post-warmup). */
+struct OsCounters
+{
+    std::uint64_t contextSwitches = 0; ///< dispatches of a new process
+    std::uint64_t switchFlushes = 0;   ///< flush-mode invalidateAll()s
+    std::uint64_t asidRecycles = 0;    ///< tagged+limit tag recycles
+    std::uint64_t shootdowns = 0;      ///< chunk remap broadcasts
+    double shootdownCycleTotal = 0.0;  ///< cycles charged for them
+
+    OsCounters deltaSince(const OsCounters &since) const;
+
+    /** Register every counter under "<prefix>.". */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
+};
+
+/** Per-process slice of the merged result. */
+struct ProcessResult
+{
+    std::string name;
+    std::string policyName;
+
+    std::uint64_t refs = 0;         ///< measured refs it retired
+    std::uint64_t instructions = 0; ///< its ifetches (post-warmup)
+
+    /** TLB events that happened while this process ran (snapshot
+     *  deltas; sums to MultiprogResult::tlb exactly). */
+    TlbStats tlb;
+    PolicyStats policy;
+
+    std::uint64_t shootdowns = 0; ///< remaps this process initiated
+
+    double cpiTlb = 0.0;
+    double cpiOs = 0.0;
+    double missRatio = 0.0;
+};
+
+/** Everything measured in one multiprogrammed run. */
+struct MultiprogResult
+{
+    std::string workload; ///< "+"-joined process names
+    std::string tlbName;
+    std::string policyName; ///< "+"-joined per-process policy names
+
+    std::uint64_t refs = 0;
+    std::uint64_t instructions = 0;
+
+    TlbStats tlb;       ///< the shared TLB's whole-run counters
+    PolicyStats policy; ///< sum over the per-process policies
+    OsCounters os;
+
+    double cpiTlb = 0.0;
+    double cpiOs = 0.0; ///< shootdown cycles per instruction
+    double mpi = 0.0;
+    double missRatio = 0.0;
+
+    std::vector<ProcessResult> processes;
+
+    /** Physical memory model outputs (meaningful iff physModeled). */
+    bool physModeled = false;
+    phys::PhysCounters phys;
+    phys::FragSnapshot physFrag;
+    double cpiPhys = 0.0;
+
+    /** Merged-cell interval telemetry (null unless enabled). */
+    std::shared_ptr<const obs::TimeSeries> timeseries;
+
+    /**
+     * Register everything under "<prefix>.": the merged counters use
+     * runExperiment's layout ("<prefix>.tlb.miss", ...), OS-layer
+     * counters go under "<prefix>.os." and each process under
+     * "<prefix>.proc.<name>." — all keys are feature-gated by being
+     * multiprog-only, so single-process dumps are unchanged.
+     */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
+};
+
+/**
+ * Run one multiprogrammed experiment over caller-built processes
+ * sharing @p tlb.  Traces are reset; policies are owned and reset.
+ */
+MultiprogResult
+runMultiprogExperiment(std::vector<ProcessSetup> processes, Tlb &tlb,
+                       const MultiprogOptions &options,
+                       ProbeStrategy probe = ProbeStrategy::Parallel);
+
+/** Convenience wrapper: instantiate workloads (registry defaults),
+ *  policies and the TLB from specs, then run. */
+MultiprogResult
+runMultiprogExperiment(const std::vector<ProcessSpec> &specs,
+                       const TlbConfig &tlb_config,
+                       const MultiprogOptions &options);
+
+} // namespace tps::core
+
+#endif // TPS_CORE_MULTIPROG_H_

@@ -1,0 +1,106 @@
+#include "os/address_space.h"
+
+#include "util/logging.h"
+#include "vm/two_size_policy.h"
+
+namespace tps::os
+{
+
+AddressSpace::AddressSpace(std::uint16_t id, std::string name,
+                           TraceSource &trace,
+                           std::unique_ptr<PageSizePolicy> policy,
+                           bool model_page_tables)
+    : id_(id), name_(std::move(name)), trace_(trace),
+      policy_(std::move(policy)), model_page_tables_(model_page_tables)
+{
+    if (!policy_)
+        tps_fatal("os::AddressSpace '", name_, "' needs a policy");
+    // Small/large exponents mirror runExperiment's derivation: a
+    // single-size policy walks only the "small" table, so pair it with
+    // an unused larger size.
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(policy_.get())) {
+        small_log2_ = policy2->config().smallLog2;
+        large_log2_ = policy2->config().largeLog2;
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(
+                       policy_.get())) {
+        small_log2_ = policy1->sizeLog2();
+        large_log2_ = policy1->sizeLog2() + 3;
+    } else {
+        tps_fatal("multiprogramming supports single- and two-size "
+                  "policies only (got ", policy_->name(), ")");
+    }
+    if (large_log2_ >= kPhysBiasLog2)
+        tps_fatal("page size 2^", large_log2_,
+                  " does not fit below the per-process bias 2^",
+                  kPhysBiasLog2);
+    rebuildTables();
+}
+
+void
+AddressSpace::rebuildTables()
+{
+    if (!model_page_tables_) {
+        tables_.reset();
+        return;
+    }
+    tables_ = std::make_unique<tps::AddressSpace>(small_log2_,
+                                                  large_log2_);
+    if (phys_ != nullptr)
+        tables_->setAllocator(this);
+}
+
+void
+AddressSpace::setPhysModel(phys::MemoryModel *model)
+{
+    phys_ = model;
+    if (tables_)
+        tables_->setAllocator(phys_ != nullptr ? this : nullptr);
+}
+
+PageId
+AddressSpace::globalPage(const PageId &page) const
+{
+    PageId global = page;
+    global.vpn = biasedVpn(page.vpn, page.sizeLog2);
+    return global;
+}
+
+void
+AddressSpace::touchPhys(const PageId &page)
+{
+    if (phys_ != nullptr)
+        phys_->touch(biasedVpn(page.vpn, page.sizeLog2), page.sizeLog2);
+}
+
+void
+AddressSpace::remapPhysChunk(Addr chunk, bool to_large)
+{
+    if (phys_ == nullptr)
+        return;
+    const Addr biased =
+        chunk + (static_cast<Addr>(id_) << (kPhysBiasLog2 - large_log2_));
+    if (to_large)
+        phys_->promoteChunk(biased);
+    else
+        phys_->demoteChunk(biased);
+}
+
+Addr
+AddressSpace::frameFor(Addr vpn, unsigned size_log2)
+{
+    if (phys_ == nullptr)
+        tps_fatal("os::AddressSpace::frameFor without a phys model");
+    return phys_->frameFor(biasedVpn(vpn, size_log2), size_log2);
+}
+
+void
+AddressSpace::reset()
+{
+    trace_.reset();
+    policy_->reset();
+    rebuildTables();
+}
+
+} // namespace tps::os

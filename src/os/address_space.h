@@ -1,0 +1,120 @@
+/**
+ * @file
+ * One process's view of memory in a multiprogrammed machine.
+ *
+ * The paper's traces are uniprogrammed (Sections 3.1/6) and it flags
+ * that as the main threat to its conclusions.  This class supplies the
+ * per-process half of the multiprogramming model: each process keeps
+ * its *native* virtual addresses (two processes may both touch vaddr
+ * 0x1000 — distinguishing them is exactly what the TLB's ASID tag is
+ * for), owns its own page-size policy state and forward page tables,
+ * and mints physical frames from the one machine-wide
+ * phys::MemoryModel it shares with every other process.
+ *
+ * Shared-model key bias: the physical memory model indexes backing
+ * state by (vpn, chunk) numbers, so identical virtual pages of
+ * different processes must not collide there.  Every key handed to the
+ * shared model is offset by `id << (kPhysBiasLog2 - sizeLog2)` —
+ * equivalent to placing process i's address space at
+ * `i << kPhysBiasLog2` in a single global virtual space.  Only the
+ * phys-model keys are biased; the TLB and the policy see native
+ * addresses.
+ */
+
+#ifndef TPS_OS_ADDRESS_SPACE_H_
+#define TPS_OS_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "phys/memory_model.h"
+#include "trace/trace_source.h"
+#include "vm/page_table.h"
+#include "vm/policy.h"
+
+namespace tps::os
+{
+
+/** log2 of the per-process slice in the global (biased) key space.
+ *  48 bits clears every workload footprint by orders of magnitude. */
+inline constexpr unsigned kPhysBiasLog2 = 48;
+
+/** Per-process address space: trace + policy + page tables + biased
+ *  access to the shared physical memory model. */
+class AddressSpace : public phys::Allocator
+{
+  public:
+    /**
+     * @param id     process index; doubles as the ASID in tagged mode
+     *               and as the phys-key bias slot
+     * @param trace  the process's reference stream (caller-owned)
+     * @param policy the process's own page-size policy (its promotion
+     *               state must not be shared across processes)
+     * @param model_page_tables build per-process forward page tables
+     *               and route their pfns through the shared allocator
+     */
+    AddressSpace(std::uint16_t id, std::string name, TraceSource &trace,
+                 std::unique_ptr<PageSizePolicy> policy,
+                 bool model_page_tables);
+
+    std::uint16_t id() const { return id_; }
+    const std::string &name() const { return name_; }
+    TraceSource &trace() { return trace_; }
+    PageSizePolicy &policy() { return *policy_; }
+    const PageSizePolicy &policy() const { return *policy_; }
+
+    /** This process's page tables; nullptr unless modeled. */
+    tps::AddressSpace *pageTables() { return tables_.get(); }
+
+    unsigned smallLog2() const { return small_log2_; }
+    unsigned largeLog2() const { return large_log2_; }
+
+    /** Attach the machine-wide physical memory model (may be null);
+     *  page-table pfns then come from it, biased per process. */
+    void setPhysModel(phys::MemoryModel *model);
+    phys::MemoryModel *physModel() const { return phys_; }
+
+    /** The page's identity in the global (biased) key space — distinct
+     *  across processes even for equal native PageIds. */
+    PageId globalPage(const PageId &page) const;
+
+    /** Record first-touch backing for a missed page (no-op without a
+     *  shared model attached). */
+    void touchPhys(const PageId &page);
+
+    /** Mirror a promotion/demotion of a native chunk number into the
+     *  shared model (no-op without a model). */
+    void remapPhysChunk(Addr chunk, bool to_large);
+
+    /** phys::Allocator — page tables mint pfns here; the native vpn is
+     *  biased before the shared model sees it. */
+    Addr frameFor(Addr vpn, unsigned size_log2) override;
+
+    /** Rewind for a fresh run: trace and policy reset, page tables
+     *  rebuilt empty (their allocator attachment is kept). */
+    void reset();
+
+  private:
+    Addr biasedVpn(Addr vpn, unsigned size_log2) const
+    {
+        return vpn + (static_cast<Addr>(id_)
+                      << (kPhysBiasLog2 - size_log2));
+    }
+
+    void rebuildTables();
+
+    std::uint16_t id_;
+    std::string name_;
+    TraceSource &trace_;
+    std::unique_ptr<PageSizePolicy> policy_;
+    unsigned small_log2_;
+    unsigned large_log2_;
+    bool model_page_tables_;
+    std::unique_ptr<tps::AddressSpace> tables_;
+    phys::MemoryModel *phys_ = nullptr;
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_ADDRESS_SPACE_H_

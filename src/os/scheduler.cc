@@ -1,0 +1,162 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tps::os
+{
+
+const char *
+switchModeName(SwitchMode mode)
+{
+    switch (mode) {
+      case SwitchMode::Flush:
+        return "flush";
+      case SwitchMode::Tagged:
+        return "tagged";
+      case SwitchMode::TaggedLimit:
+        return "tagged+limit";
+    }
+    tps_panic("unreachable switch mode");
+}
+
+SwitchMode
+parseSwitchMode(const std::string &text)
+{
+    if (text == "flush")
+        return SwitchMode::Flush;
+    if (text == "tagged")
+        return SwitchMode::Tagged;
+    if (text == "tagged+limit")
+        return SwitchMode::TaggedLimit;
+    tps_fatal("unknown switch mode '", text,
+              "' (expected flush, tagged, or tagged+limit)");
+}
+
+Scheduler::Scheduler(const SchedulerConfig &config,
+                     std::vector<ProcessSlot> slots)
+    : config_(config), slots_(std::move(slots)),
+      delivered_(slots_.size(), 0), runnable_(slots_.size(), true)
+{
+    if (slots_.empty())
+        tps_fatal("Scheduler needs at least one process");
+    if (config_.quantumRefs == 0)
+        tps_fatal("Scheduler quantum must be positive");
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].weight == 0)
+            tps_fatal("process ", i, " has zero scheduling weight");
+    }
+}
+
+std::optional<Quantum>
+Scheduler::nextQuantum()
+{
+    const std::size_t n = slots_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t candidate = (cursor_ + step) % n;
+        if (!runnable_[candidate])
+            continue;
+        Quantum quantum;
+        quantum.process = candidate;
+        quantum.sliceRefs =
+            slots_[candidate].weight * config_.quantumRefs;
+        if (slots_[candidate].budgetRefs != 0) {
+            const std::uint64_t left =
+                slots_[candidate].budgetRefs - delivered_[candidate];
+            quantum.sliceRefs = std::min(quantum.sliceRefs, left);
+        }
+        quantum.switched = last_ != SIZE_MAX && last_ != candidate;
+        if (quantum.switched)
+            ++switches_;
+        last_ = candidate;
+        cursor_ = (candidate + 1) % n;
+        return quantum;
+    }
+    return std::nullopt;
+}
+
+void
+Scheduler::accountRun(std::size_t process, std::uint64_t ran,
+                      bool drained)
+{
+    delivered_[process] += ran;
+    if (drained)
+        runnable_[process] = false;
+    if (slots_[process].budgetRefs != 0 &&
+        delivered_[process] >= slots_[process].budgetRefs)
+        runnable_[process] = false;
+}
+
+AsidManager::AsidManager(SwitchMode mode, std::uint16_t hw_asids,
+                         std::size_t processes)
+    : mode_(mode), hw_asids_(hw_asids)
+{
+    if (mode_ == SwitchMode::TaggedLimit) {
+        if (hw_asids_ == 0)
+            tps_fatal("tagged+limit needs at least one hardware ASID");
+        tag_of_.assign(processes, 0);
+        slot_owner_.assign(hw_asids_, SIZE_MAX);
+        slot_last_.assign(hw_asids_, 0);
+    }
+}
+
+std::uint16_t
+AsidManager::activate(std::size_t process, bool switched, Tlb &tlb)
+{
+    switch (mode_) {
+      case SwitchMode::Flush:
+        // An untagged TLB holds only the running process's entries;
+        // tag 0 throughout, paying a full flush per switch instead.
+        if (switched) {
+            tlb.invalidateAll();
+            ++switch_flushes_;
+        }
+        tlb.setAsid(0);
+        return 0;
+      case SwitchMode::Tagged:
+        // Unbounded tag space: the process id is its ASID forever.
+        tlb.setAsid(static_cast<std::uint16_t>(process));
+        return static_cast<std::uint16_t>(process);
+      case SwitchMode::TaggedLimit:
+        break;
+    }
+
+    ++tick_;
+    if (tag_of_[process] != 0) {
+        const std::uint16_t tag =
+            static_cast<std::uint16_t>(tag_of_[process] - 1);
+        slot_last_[tag] = tick_;
+        tlb.setAsid(tag);
+        return tag;
+    }
+    // Claim a free tag, else recycle the least-recently-activated one
+    // (flushing its surviving entries — the recycling cost the mode
+    // exists to measure).
+    std::uint16_t tag = 0;
+    bool found = false;
+    for (std::uint16_t i = 0; i < hw_asids_; ++i) {
+        if (slot_owner_[i] == SIZE_MAX) {
+            tag = i;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        tag = 0;
+        for (std::uint16_t i = 1; i < hw_asids_; ++i) {
+            if (slot_last_[i] < slot_last_[tag])
+                tag = i;
+        }
+        tlb.invalidateAsid(tag);
+        ++recycles_;
+        tag_of_[slot_owner_[tag]] = 0;
+    }
+    slot_owner_[tag] = process;
+    slot_last_[tag] = tick_;
+    tag_of_[process] = static_cast<std::uint32_t>(tag) + 1;
+    tlb.setAsid(tag);
+    return tag;
+}
+
+} // namespace tps::os

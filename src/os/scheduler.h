@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic round-robin scheduler and ASID management for the
+ * multiprogrammed machine (core::runMultiprogExperiment).
+ *
+ * The paper's traces are uniprogrammed, so its miss ratios never pay
+ * for context switches.  This models the three ways real hardware
+ * handles the TLB across a switch:
+ *
+ *  - flush:        untagged TLB; every context switch empties it
+ *                  (VAX/i386 style).  Charged as invalidations.
+ *  - tagged:       unbounded ASID space; entries of all processes
+ *                  compete for capacity but survive switches
+ *                  (the MIPS R4000 ideal with enough tag bits).
+ *  - tagged+limit: a bounded hardware tag file.  When all tags are
+ *                  in use, activating an untagged process recycles
+ *                  the least-recently-activated tag and flushes just
+ *                  that tag's entries (Tlb::invalidateAsid) — how
+ *                  real OSes run more processes than ASID bits allow.
+ *
+ * Everything is deterministic: dispatch order is round-robin over the
+ * runnable set, quantum lengths are weight multiples of a fixed ref
+ * count, and tag recycling breaks ties by activation order.
+ */
+
+#ifndef TPS_OS_SCHEDULER_H_
+#define TPS_OS_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tlb/tlb.h"
+
+namespace tps::os
+{
+
+/** TLB handling across a context switch (see file comment). */
+enum class SwitchMode : std::uint8_t
+{
+    Flush,       ///< invalidateAll() on every switch
+    Tagged,      ///< unbounded ASIDs; entries survive switches
+    TaggedLimit, ///< bounded hardware tags with recycling flushes
+};
+
+const char *switchModeName(SwitchMode mode);
+
+/** Parse "flush" | "tagged" | "tagged+limit" (fatal otherwise). */
+SwitchMode parseSwitchMode(const std::string &text);
+
+/** Scheduler knobs. */
+struct SchedulerConfig
+{
+    /** References a weight-1 process runs per dispatch. */
+    std::uint64_t quantumRefs = 50'000;
+
+    SwitchMode switchMode = SwitchMode::Tagged;
+
+    /** Hardware tag-file size for TaggedLimit (>= 1); ignored by the
+     *  other modes.  Fewer tags than processes forces recycling. */
+    std::uint16_t hwAsids = 2;
+};
+
+/** Per-process scheduling parameters. */
+struct ProcessSlot
+{
+    /** Quantum multiplier: this process runs weight * quantumRefs
+     *  references per dispatch. */
+    std::uint64_t weight = 1;
+
+    /** Total references this process may retire; 0 = unlimited (runs
+     *  until its trace drains or the experiment's maxRefs is hit). */
+    std::uint64_t budgetRefs = 0;
+};
+
+/** One dispatch decision. */
+struct Quantum
+{
+    std::size_t process = 0;
+    /** References to deliver this dispatch (weight * quantumRefs,
+     *  clamped to the process's remaining budget). */
+    std::uint64_t sliceRefs = 0;
+    /** True when this dispatch switches away from a different
+     *  previously-running process (the first dispatch is not a
+     *  switch, and neither is re-dispatching the sole survivor). */
+    bool switched = false;
+};
+
+/**
+ * Deterministic weighted round-robin over a fixed process set.
+ * Processes leave the runnable set when their trace drains or their
+ * budget is spent; the run ends when none remain (or the driver's
+ * global maxRefs is reached).
+ */
+class Scheduler
+{
+  public:
+    Scheduler(const SchedulerConfig &config,
+              std::vector<ProcessSlot> slots);
+
+    /** Next dispatch, or nullopt when no process is runnable. */
+    std::optional<Quantum> nextQuantum();
+
+    /**
+     * Report the outcome of the last dispatch: @p ran references were
+     * actually delivered; @p drained marks the trace as exhausted
+     * (ran < slice also implies it, but the driver knows directly).
+     */
+    void accountRun(std::size_t process, std::uint64_t ran,
+                    bool drained);
+
+    std::uint64_t contextSwitches() const { return switches_; }
+    std::size_t processCount() const { return slots_.size(); }
+    bool runnable(std::size_t process) const
+    {
+        return runnable_[process];
+    }
+
+  private:
+    SchedulerConfig config_;
+    std::vector<ProcessSlot> slots_;
+    std::vector<std::uint64_t> delivered_;
+    std::vector<bool> runnable_;
+    std::size_t cursor_ = 0;               ///< next index to consider
+    std::size_t last_ = SIZE_MAX;          ///< last dispatched process
+    std::uint64_t switches_ = 0;
+};
+
+/**
+ * Maps processes to hardware ASID tags per SwitchMode and applies the
+ * per-switch TLB actions (flush / tag switch / recycling flush).
+ */
+class AsidManager
+{
+  public:
+    AsidManager(SwitchMode mode, std::uint16_t hw_asids,
+                std::size_t processes);
+
+    /**
+     * Make @p process the active context on @p tlb.  @p switched is
+     * the Quantum::switched bit; flush mode only flushes on actual
+     * switches.  Returns the hardware tag now active.
+     */
+    std::uint16_t activate(std::size_t process, bool switched,
+                           Tlb &tlb);
+
+    /** invalidateAll() calls issued by flush mode. */
+    std::uint64_t switchFlushes() const { return switch_flushes_; }
+    /** invalidateAsid() recycling flushes issued by tagged+limit. */
+    std::uint64_t recycleFlushes() const { return recycles_; }
+
+  private:
+    SwitchMode mode_;
+    std::uint16_t hw_asids_;
+    /** process -> tag + 1 (0 = no tag held); TaggedLimit only. */
+    std::vector<std::uint32_t> tag_of_;
+    /** tag -> owning process (SIZE_MAX = free); TaggedLimit only. */
+    std::vector<std::size_t> slot_owner_;
+    /** tag -> activation tick of last use (recycling order). */
+    std::vector<std::uint64_t> slot_last_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t switch_flushes_ = 0;
+    std::uint64_t recycles_ = 0;
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_SCHEDULER_H_

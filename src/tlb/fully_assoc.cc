@@ -30,7 +30,7 @@ FullyAssocTlb::access(const PageId &page, Addr vaddr)
 
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         TlbEntry &entry = entries_[i];
-        if (entry.matches(page)) {
+        if (entry.matches(page, asid_)) {
             entry.lastUse = clock_;
             if (policy_ == ReplPolicy::TreePLRU)
                 plru_.touch(i, entries_.size());
@@ -46,6 +46,7 @@ FullyAssocTlb::access(const PageId &page, Addr vaddr)
     if (slot.valid)
         ++stats_.evictions;
     slot.page = page;
+    slot.asid = asid_;
     slot.valid = true;
     slot.lastUse = clock_;
     slot.inserted = clock_;
@@ -59,7 +60,18 @@ void
 FullyAssocTlb::invalidatePage(const PageId &page)
 {
     for (TlbEntry &entry : entries_) {
-        if (entry.matches(page)) {
+        if (entry.matches(page, asid_)) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+FullyAssocTlb::invalidateAsid(std::uint16_t asid)
+{
+    for (TlbEntry &entry : entries_) {
+        if (entry.valid && entry.asid == asid) {
             entry.valid = false;
             ++stats_.invalidations;
         }
@@ -86,6 +98,7 @@ FullyAssocTlb::reset()
     stats_ = TlbStats{};
     rng_ = Rng(rng_seed_);
     plru_ = PlruTree{};
+    asid_ = 0;
 }
 
 std::string
@@ -108,7 +121,7 @@ bool
 FullyAssocTlb::contains(const PageId &page) const
 {
     for (const TlbEntry &entry : entries_)
-        if (entry.matches(page))
+        if (entry.matches(page, asid_))
             return true;
     return false;
 }

@@ -37,6 +37,7 @@ class FullyAssocTlb : public Tlb
     bool access(const PageId &page, Addr vaddr) override;
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
+    void invalidateAsid(std::uint16_t asid) override;
     void reset() override;
     void resetStats() override { stats_ = TlbStats{}; }
     std::size_t capacity() const override { return entries_.size(); }
@@ -48,7 +49,7 @@ class FullyAssocTlb : public Tlb
     /** Count of currently valid entries (for tests). */
     std::size_t validCount() const;
 
-    /** Is @p page currently resident (for tests)? */
+    /** Is @p page resident under the current ASID (for tests)? */
     bool contains(const PageId &page) const;
 
   private:

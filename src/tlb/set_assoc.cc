@@ -63,7 +63,7 @@ SetAssocTlb::access(const PageId &page, Addr vaddr)
     TlbEntry *base = setBase(set);
 
     for (std::size_t way = 0; way < ways_; ++way) {
-        if (base[way].matches(page)) {
+        if (base[way].matches(page, asid_)) {
             base[way].lastUse = clock_;
             if (policy_ == ReplPolicy::TreePLRU)
                 plru_[set].touch(way, ways_);
@@ -79,6 +79,7 @@ SetAssocTlb::access(const PageId &page, Addr vaddr)
     if (slot.valid)
         ++stats_.evictions;
     slot.page = page;
+    slot.asid = asid_;
     slot.valid = true;
     slot.lastUse = clock_;
     slot.inserted = clock_;
@@ -96,7 +97,18 @@ SetAssocTlb::invalidatePage(const PageId &page)
     // shootdown must search the whole array.  Invalidations are rare
     // (only promotions/demotions), so the full scan is acceptable.
     for (TlbEntry &entry : entries_) {
-        if (entry.matches(page)) {
+        if (entry.matches(page, asid_)) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+SetAssocTlb::invalidateAsid(std::uint16_t asid)
+{
+    for (TlbEntry &entry : entries_) {
+        if (entry.valid && entry.asid == asid) {
             entry.valid = false;
             ++stats_.invalidations;
         }
@@ -123,6 +135,7 @@ SetAssocTlb::reset()
     stats_ = TlbStats{};
     rng_ = Rng(rng_seed_);
     std::fill(plru_.begin(), plru_.end(), PlruTree{});
+    asid_ = 0;
 }
 
 std::string
@@ -138,7 +151,7 @@ SetAssocTlb::residentCopies(const PageId &page) const
 {
     std::size_t count = 0;
     for (const TlbEntry &entry : entries_)
-        count += entry.matches(page) ? 1 : 0;
+        count += entry.matches(page, asid_) ? 1 : 0;
     return count;
 }
 

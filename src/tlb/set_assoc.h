@@ -73,6 +73,7 @@ class SetAssocTlb : public Tlb
     bool access(const PageId &page, Addr vaddr) override;
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
+    void invalidateAsid(std::uint16_t asid) override;
     void reset() override;
     void resetStats() override { stats_ = TlbStats{}; }
     std::size_t capacity() const override { return entries_.size(); }

@@ -36,10 +36,26 @@ SplitTlb::invalidateAll()
 }
 
 void
+SplitTlb::invalidateAsid(std::uint16_t asid)
+{
+    small_->invalidateAsid(asid);
+    large_->invalidateAsid(asid);
+}
+
+void
+SplitTlb::setAsid(std::uint16_t asid)
+{
+    asid_ = asid;
+    small_->setAsid(asid);
+    large_->setAsid(asid);
+}
+
+void
 SplitTlb::reset()
 {
     small_->reset();
     large_->reset();
+    asid_ = 0;
 }
 
 void

@@ -34,6 +34,8 @@ class SplitTlb : public Tlb
     bool access(const PageId &page, Addr vaddr) override;
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
+    void invalidateAsid(std::uint16_t asid) override;
+    void setAsid(std::uint16_t asid) override;
     void reset() override;
     void resetStats() override;
     std::size_t capacity() const override;

@@ -85,6 +85,23 @@ class Tlb : public InvalidationSink
     /** Remove every entry (context-switch flush). */
     virtual void invalidateAll() = 0;
 
+    /**
+     * Remove every entry tagged with @p asid (the "recycling flush" a
+     * bounded hardware ASID file performs when it reassigns a tag to a
+     * new context; see os/scheduler.h).  Removed entries count as
+     * invalidations, exactly like invalidateAll().
+     */
+    virtual void invalidateAsid(std::uint16_t asid) = 0;
+
+    /**
+     * Switch the active address-space context: subsequent lookups,
+     * fills and invalidatePage() calls carry this tag.  Composite TLBs
+     * forward the switch to their sub-TLBs.  The default tag is 0, so
+     * a single-context simulation never observes ASIDs at all.
+     */
+    virtual void setAsid(std::uint16_t asid) { asid_ = asid; }
+    std::uint16_t currentAsid() const { return asid_; }
+
     /** Clear contents and statistics. */
     virtual void reset() = 0;
 
@@ -100,6 +117,9 @@ class Tlb : public InvalidationSink
 
     virtual const TlbStats &stats() const = 0;
     virtual std::string name() const = 0;
+
+  protected:
+    std::uint16_t asid_ = 0; ///< active context tag (see setAsid)
 };
 
 } // namespace tps

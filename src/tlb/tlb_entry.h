@@ -16,19 +16,24 @@ namespace tps
 /**
  * A TLB entry: tag (PageId: vpn + page size, per Section 2.1 — the tag
  * must include the page size so hit detection can select the right
- * comparison width) plus replacement bookkeeping.
+ * comparison width) plus an address-space identifier and replacement
+ * bookkeeping.  The ASID extends the tag the same way the page size
+ * does: a hit requires the entry to belong to the looking-up context,
+ * which is what lets a tagged TLB survive context switches without
+ * flushing (see os/scheduler.h for the three switch modes).
  */
 struct TlbEntry
 {
     PageId page;
+    std::uint16_t asid = 0; ///< owning address-space context
     bool valid = false;
     std::uint64_t lastUse = 0;  ///< access clock at last hit/fill (LRU)
     std::uint64_t inserted = 0; ///< access clock at fill (FIFO)
 
     bool
-    matches(const PageId &lookup) const
+    matches(const PageId &lookup, std::uint16_t lookup_asid) const
     {
-        return valid && page == lookup;
+        return valid && asid == lookup_asid && page == lookup;
     }
 };
 

@@ -63,12 +63,30 @@ TwoLevelTlb::invalidateAll()
 }
 
 void
+TwoLevelTlb::invalidateAsid(std::uint16_t asid)
+{
+    l1_->invalidateAsid(asid);
+    l2_->invalidateAsid(asid);
+    stats_.invalidations =
+        l1_->stats().invalidations + l2_->stats().invalidations;
+}
+
+void
+TwoLevelTlb::setAsid(std::uint16_t asid)
+{
+    asid_ = asid;
+    l1_->setAsid(asid);
+    l2_->setAsid(asid);
+}
+
+void
 TwoLevelTlb::reset()
 {
     l1_->reset();
     l2_->reset();
     level_stats_ = TwoLevelStats{};
     stats_ = TlbStats{};
+    asid_ = 0;
 }
 
 void

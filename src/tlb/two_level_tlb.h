@@ -45,6 +45,8 @@ class TwoLevelTlb : public Tlb
 
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
+    void invalidateAsid(std::uint16_t asid) override;
+    void setAsid(std::uint16_t asid) override;
     void reset() override;
     void resetStats() override;
     std::size_t capacity() const override;

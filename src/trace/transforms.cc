@@ -107,6 +107,25 @@ InterleaveSource::InterleaveSource(std::vector<TraceSource *> sources,
         if (src == nullptr)
             tps_fatal("InterleaveSource given a null source");
     }
+    // Slice capacity check: source i is offset to i << slice_log2, so
+    // the address space above slice_log2 must hold one distinct slice
+    // per source.  With more sources than 2^(64 - slice_log2) the
+    // offsets wrap mod 2^64 and distinct sources silently alias the
+    // same slice — a correctness bug, not a degraded mode.
+    constexpr unsigned kAddrBits = 64;
+    if (slice_log2_ >= kAddrBits) {
+        tps_fatal("InterleaveSource slice_log2 (", slice_log2_,
+                  ") must be below the ", kAddrBits,
+                  "-bit address width");
+    }
+    const unsigned slice_bits = kAddrBits - slice_log2_;
+    if (slice_bits < kAddrBits &&
+        sources_.size() > (std::uint64_t{1} << slice_bits)) {
+        tps_fatal("InterleaveSource: ", sources_.size(),
+                  " sources do not fit in the 2^", slice_bits,
+                  " address slices left above slice_log2 ",
+                  slice_log2_, "; sources would alias");
+    }
 }
 
 bool
@@ -144,6 +163,56 @@ InterleaveSource::next(MemRef &ref)
         exhausted_[current_] = true;
     }
     return false;
+}
+
+std::size_t
+InterleaveSource::fill(MemRef *out, std::size_t n)
+{
+    const std::size_t count = sources_.size();
+    std::size_t produced = 0;
+    while (produced < n) {
+        // Resolve the source to draw from, exactly like next():
+        // rotate at quantum boundaries, skip exhausted sources.
+        if (in_quantum_ >= quantum_) {
+            current_ = (current_ + 1) % count;
+            in_quantum_ = 0;
+        }
+        if (exhausted_[current_]) {
+            bool found = false;
+            for (std::size_t step = 1; step <= count; ++step) {
+                const std::size_t candidate = (current_ + step) % count;
+                if (!exhausted_[candidate]) {
+                    current_ = candidate;
+                    in_quantum_ = 0;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                break;
+        }
+        // Batch the rest of the running quantum in one inner fill();
+        // a short answer means that source is exhausted (fill
+        // contract), which is what next() would have discovered one
+        // reference later.
+        const std::uint64_t quantum_left = quantum_ - in_quantum_;
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n - produced, quantum_left));
+        const std::size_t got =
+            sources_[current_]->fill(out + produced, want);
+        if (got < want)
+            exhausted_[current_] = true;
+        if (got == 0)
+            continue;
+        const Addr offset = static_cast<Addr>(current_) << slice_log2_;
+        if (offset != 0) {
+            for (std::size_t i = 0; i < got; ++i)
+                out[produced + i].vaddr += offset;
+        }
+        produced += got;
+        in_quantum_ += got;
+    }
+    return produced;
 }
 
 void

@@ -74,12 +74,21 @@ class InterleaveSource : public TraceSource
      * @param slice_log2 log2 of the per-source address slice;
      *                   source i's addresses are placed at
      *                   i << slice_log2.  Must exceed every source's
-     *                   address range.
+     *                   address range, and must leave enough address
+     *                   bits above it for one slice per source —
+     *                   more than 2^(64 - slice_log2) sources would
+     *                   silently wrap onto each other's slices, so
+     *                   the constructor rejects that configuration.
      */
     InterleaveSource(std::vector<TraceSource *> sources,
                      std::uint64_t quantum, unsigned slice_log2 = 36);
 
     bool next(MemRef &ref) override;
+    /** Batches whole quantum remainders out of the inner sources'
+     *  fill() (one virtual call + one vectorized offset pass per
+     *  quantum chunk) instead of one virtual next() per reference;
+     *  the delivered stream is identical to repeated next(). */
+    std::size_t fill(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override;
 

@@ -1,0 +1,144 @@
+/** @file ASID tagging: context isolation, selective flushes, and the
+ *  AsidManager's three switch modes. */
+
+#include "os/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "tlb/fully_assoc.h"
+#include "tlb/set_assoc.h"
+
+namespace tps::os
+{
+namespace
+{
+
+PageId
+small(Addr vpn)
+{
+    return PageId{vpn, kLog2_4K};
+}
+
+TEST(AsidTlbTest, FullyAssocEntriesAreContextLocal)
+{
+    FullyAssocTlb tlb(8);
+    EXPECT_FALSE(tlb.access(small(1), 0x1000));
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+
+    // Same vpn under a different context must not hit.
+    tlb.setAsid(1);
+    EXPECT_FALSE(tlb.access(small(1), 0x1000));
+
+    // Both translations are now resident under their own tags.
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+    tlb.setAsid(0);
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+}
+
+TEST(AsidTlbTest, SetAssocEntriesAreContextLocal)
+{
+    SetAssocTlb tlb(16, 2, IndexScheme::Exact);
+    EXPECT_FALSE(tlb.access(small(5), 0x5000));
+    EXPECT_TRUE(tlb.access(small(5), 0x5000));
+    tlb.setAsid(3);
+    EXPECT_FALSE(tlb.access(small(5), 0x5000));
+    tlb.setAsid(0);
+    EXPECT_TRUE(tlb.access(small(5), 0x5000));
+}
+
+TEST(AsidTlbTest, InvalidateAsidIsSelective)
+{
+    FullyAssocTlb tlb(8);
+    tlb.access(small(1), 0x1000); // asid 0
+    tlb.setAsid(1);
+    tlb.access(small(2), 0x2000); // asid 1
+    tlb.access(small(3), 0x3000); // asid 1
+
+    tlb.invalidateAsid(1);
+    EXPECT_EQ(tlb.stats().invalidations, 2u);
+
+    // Context 1 entries are gone; context 0's survive.
+    EXPECT_FALSE(tlb.access(small(2), 0x2000));
+    tlb.setAsid(0);
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+}
+
+TEST(AsidTlbTest, ResetRestoresDefaultContext)
+{
+    FullyAssocTlb tlb(4);
+    tlb.setAsid(7);
+    tlb.reset();
+    EXPECT_EQ(tlb.currentAsid(), 0u);
+}
+
+TEST(AsidManagerTest, FlushModeFlushesOnlyOnActualSwitches)
+{
+    FullyAssocTlb tlb(8);
+    AsidManager asids(SwitchMode::Flush, 1, 2);
+
+    EXPECT_EQ(asids.activate(0, /*switched=*/false, tlb), 0u);
+    tlb.access(small(1), 0x1000);
+    EXPECT_EQ(asids.switchFlushes(), 0u);
+
+    // Re-dispatching the same process keeps the TLB warm.
+    asids.activate(0, /*switched=*/false, tlb);
+    EXPECT_TRUE(tlb.access(small(1), 0x1000));
+
+    // A real switch empties it; everything runs untagged (tag 0).
+    EXPECT_EQ(asids.activate(1, /*switched=*/true, tlb), 0u);
+    EXPECT_EQ(asids.switchFlushes(), 1u);
+    EXPECT_FALSE(tlb.access(small(1), 0x1000));
+}
+
+TEST(AsidManagerTest, TaggedAssignsOneTagPerProcess)
+{
+    FullyAssocTlb tlb(8);
+    AsidManager asids(SwitchMode::Tagged, 2, 4);
+    EXPECT_EQ(asids.activate(0, false, tlb), 0u);
+    EXPECT_EQ(asids.activate(3, true, tlb), 3u);
+    EXPECT_EQ(tlb.currentAsid(), 3u);
+    EXPECT_EQ(asids.switchFlushes(), 0u);
+    EXPECT_EQ(asids.recycleFlushes(), 0u);
+}
+
+TEST(AsidManagerTest, TaggedLimitRecyclesLeastRecentTag)
+{
+    FullyAssocTlb tlb(8);
+    AsidManager asids(SwitchMode::TaggedLimit, /*hw_asids=*/2,
+                      /*processes=*/3);
+
+    const std::uint16_t tag0 = asids.activate(0, false, tlb);
+    tlb.access(small(1), 0x1000); // process 0's entry
+    const std::uint16_t tag1 = asids.activate(1, true, tlb);
+    EXPECT_NE(tag0, tag1);
+    EXPECT_EQ(asids.recycleFlushes(), 0u);
+
+    // Third process overflows the tag file: process 0's tag (least
+    // recently activated) is recycled and its entries flushed.
+    const std::uint16_t tag2 = asids.activate(2, true, tlb);
+    EXPECT_EQ(tag2, tag0);
+    EXPECT_EQ(asids.recycleFlushes(), 1u);
+    EXPECT_EQ(tlb.stats().invalidations, 1u);
+    EXPECT_FALSE(tlb.access(small(1), 0x1000));
+
+    // Process 0 returns: it lost its tag, so process 1's (now the
+    // least recent) is recycled in turn.
+    const std::uint16_t again = asids.activate(0, true, tlb);
+    EXPECT_EQ(again, tag1);
+    EXPECT_EQ(asids.recycleFlushes(), 2u);
+}
+
+TEST(AsidManagerTest, TaggedLimitKeepsOwnedTagsStable)
+{
+    FullyAssocTlb tlb(8);
+    AsidManager asids(SwitchMode::TaggedLimit, 2, 2);
+    const std::uint16_t a = asids.activate(0, false, tlb);
+    const std::uint16_t b = asids.activate(1, true, tlb);
+    // Enough tags for everyone: ping-pong never recycles.
+    EXPECT_EQ(asids.activate(0, true, tlb), a);
+    EXPECT_EQ(asids.activate(1, true, tlb), b);
+    EXPECT_EQ(asids.recycleFlushes(), 0u);
+}
+
+} // namespace
+} // namespace tps::os

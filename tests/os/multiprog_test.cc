@@ -1,0 +1,258 @@
+/** @file End-to-end tests of the multiprogrammed experiment driver:
+ *  additivity against runExperiment, per-process/merged reconciliation,
+ *  switch-mode CPI ordering, and interval-sum invariants. */
+
+#include "core/multiprog.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+/** Small window so promotions (and thus shootdowns) happen at the
+ *  few-thousand-reference scale these tests run at. */
+TwoSizeConfig
+testPolicy()
+{
+    TwoSizeConfig config;
+    config.window = 4'000;
+    return config;
+}
+
+TlbConfig
+smallFaTlb(std::size_t entries = 32)
+{
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = entries;
+    return tlb;
+}
+
+std::vector<ProcessSpec>
+mixSpecs(std::size_t procs, const PolicySpec &policy)
+{
+    const char *mix[] = {"espresso", "xnews", "matrix300", "li"};
+    std::vector<ProcessSpec> specs;
+    for (std::size_t p = 0; p < procs; ++p) {
+        ProcessSpec spec;
+        spec.workload = mix[p];
+        spec.policy = policy;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+void
+expectTlbStatsEq(const TlbStats &a, const TlbStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.hitsSmall, b.hitsSmall);
+    EXPECT_EQ(a.hitsLarge, b.hitsLarge);
+    EXPECT_EQ(a.missesSmall, b.missesSmall);
+    EXPECT_EQ(a.missesLarge, b.missesLarge);
+    EXPECT_EQ(a.fills, b.fills);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.invalidations, b.invalidations);
+}
+
+/** Acceptance: one process under tagged mode with zero shootdown cost
+ *  is exactly runExperiment — the OS layer must be strictly additive. */
+TEST(MultiprogTest, SingleProcessMatchesRunExperiment)
+{
+    RunOptions run;
+    run.maxRefs = 24'000;
+    run.warmupRefs = 6'000;
+    const PolicySpec policy = PolicySpec::twoSizes(testPolicy());
+
+    auto trace = workloads::findWorkload("espresso").instantiate();
+    const ExperimentResult uni =
+        runExperiment(*trace, policy, smallFaTlb(), run);
+
+    MultiprogOptions options;
+    options.run = run;
+    options.sched.switchMode = os::SwitchMode::Tagged;
+    options.shootdownCycles = 0.0;
+    const MultiprogResult multi = runMultiprogExperiment(
+        mixSpecs(1, policy), smallFaTlb(), options);
+
+    EXPECT_EQ(multi.refs, uni.refs);
+    EXPECT_EQ(multi.instructions, uni.instructions);
+    expectTlbStatsEq(multi.tlb, uni.tlb);
+    EXPECT_EQ(multi.policy.promotions, uni.policy.promotions);
+    EXPECT_EQ(multi.policy.demotions, uni.policy.demotions);
+    EXPECT_EQ(multi.policy.refsSmall, uni.policy.refsSmall);
+    EXPECT_EQ(multi.policy.refsLarge, uni.policy.refsLarge);
+    EXPECT_DOUBLE_EQ(multi.cpiTlb, uni.cpiTlb);
+    EXPECT_DOUBLE_EQ(multi.missRatio, uni.missRatio);
+    EXPECT_DOUBLE_EQ(multi.cpiOs, 0.0);
+    EXPECT_EQ(multi.os.contextSwitches, 0u);
+
+    ASSERT_EQ(multi.processes.size(), 1u);
+    EXPECT_EQ(multi.processes[0].refs, uni.refs);
+    expectTlbStatsEq(multi.processes[0].tlb, uni.tlb);
+}
+
+void
+expectProcessSumsReconcile(const MultiprogResult &result)
+{
+    TlbStats tlb_sum;
+    PolicyStats policy_sum;
+    std::uint64_t refs = 0, instructions = 0, shootdowns = 0;
+    for (const ProcessResult &proc : result.processes) {
+        refs += proc.refs;
+        instructions += proc.instructions;
+        shootdowns += proc.shootdowns;
+        tlb_sum.accesses += proc.tlb.accesses;
+        tlb_sum.hits += proc.tlb.hits;
+        tlb_sum.misses += proc.tlb.misses;
+        tlb_sum.hitsSmall += proc.tlb.hitsSmall;
+        tlb_sum.hitsLarge += proc.tlb.hitsLarge;
+        tlb_sum.missesSmall += proc.tlb.missesSmall;
+        tlb_sum.missesLarge += proc.tlb.missesLarge;
+        tlb_sum.fills += proc.tlb.fills;
+        tlb_sum.evictions += proc.tlb.evictions;
+        tlb_sum.invalidations += proc.tlb.invalidations;
+        policy_sum.promotions += proc.policy.promotions;
+        policy_sum.demotions += proc.policy.demotions;
+        policy_sum.refsSmall += proc.policy.refsSmall;
+        policy_sum.refsLarge += proc.policy.refsLarge;
+    }
+    EXPECT_EQ(refs, result.refs);
+    EXPECT_EQ(instructions, result.instructions);
+    EXPECT_EQ(shootdowns, result.os.shootdowns);
+    expectTlbStatsEq(tlb_sum, result.tlb);
+    EXPECT_EQ(policy_sum.promotions, result.policy.promotions);
+    EXPECT_EQ(policy_sum.demotions, result.policy.demotions);
+    EXPECT_EQ(policy_sum.refsSmall, result.policy.refsSmall);
+    EXPECT_EQ(policy_sum.refsLarge, result.policy.refsLarge);
+}
+
+/** Acceptance: per-process slices sum to the merged result exactly,
+ *  field for field — with and without a warmup boundary. */
+TEST(MultiprogTest, PerProcessStatsSumToMerged)
+{
+    MultiprogOptions options;
+    options.run.maxRefs = 24'000;
+    options.run.warmupRefs = 0;
+    options.sched.quantumRefs = 3'000;
+    options.sched.switchMode = os::SwitchMode::TaggedLimit;
+    options.sched.hwAsids = 2;
+    options.shootdownCycles = 25.0;
+
+    const MultiprogResult result = runMultiprogExperiment(
+        mixSpecs(4, PolicySpec::twoSizes(testPolicy())),
+        smallFaTlb(), options);
+
+    // Not vacuous: switches, recycles and shootdowns all happened.
+    EXPECT_GT(result.os.contextSwitches, 0u);
+    EXPECT_GT(result.os.asidRecycles, 0u);
+    EXPECT_GT(result.os.shootdowns, 0u);
+    ASSERT_EQ(result.processes.size(), 4u);
+    expectProcessSumsReconcile(result);
+    EXPECT_DOUBLE_EQ(result.cpiOs,
+                     result.os.shootdownCycleTotal /
+                         static_cast<double>(result.instructions));
+}
+
+TEST(MultiprogTest, PerProcessStatsSumToMergedAcrossWarmup)
+{
+    MultiprogOptions options;
+    options.run.maxRefs = 24'000;
+    options.run.warmupRefs = 7'000; // lands mid-quantum on purpose
+    options.sched.quantumRefs = 3'000;
+    options.sched.switchMode = os::SwitchMode::Tagged;
+    options.shootdownCycles = 25.0;
+
+    const MultiprogResult result = runMultiprogExperiment(
+        mixSpecs(3, PolicySpec::twoSizes(testPolicy())),
+        smallFaTlb(), options);
+    EXPECT_EQ(result.refs, 17'000u);
+    expectProcessSumsReconcile(result);
+}
+
+/** Acceptance: flush pays at least as much as a bounded tag file,
+ *  which pays at least as much as unbounded tags. */
+TEST(MultiprogTest, SwitchModeCpiOrdering)
+{
+    auto cpiFor = [](os::SwitchMode mode) {
+        MultiprogOptions options;
+        options.run.maxRefs = 40'000;
+        options.run.warmupRefs = 8'000;
+        options.sched.quantumRefs = 2'000;
+        options.sched.switchMode = mode;
+        options.sched.hwAsids = 2;
+        // The TLB must be big enough that tagged entries actually
+        // survive a full rotation — with a tiny TLB capacity evicts
+        // everything before re-dispatch and all modes tie.
+        return runMultiprogExperiment(
+                   mixSpecs(4, PolicySpec::twoSizes(testPolicy())),
+                   smallFaTlb(256), options)
+            .cpiTlb;
+    };
+    const double flush = cpiFor(os::SwitchMode::Flush);
+    const double limited = cpiFor(os::SwitchMode::TaggedLimit);
+    const double tagged = cpiFor(os::SwitchMode::Tagged);
+    EXPECT_GE(flush, limited);
+    EXPECT_GE(limited, tagged);
+    EXPECT_GT(flush, tagged); // flushing 4 procs must actually hurt
+}
+
+/** Interval rows are counter deltas: their sums must reproduce the
+ *  merged aggregates exactly, including the OS-layer columns. */
+TEST(MultiprogTest, IntervalSumsReproduceAggregates)
+{
+    MultiprogOptions options;
+    options.run.maxRefs = 20'000;
+    options.run.warmupRefs = 4'000;
+    options.run.timeseries.intervalRefs = 4'000;
+    options.sched.quantumRefs = 3'000;
+    options.sched.switchMode = os::SwitchMode::TaggedLimit;
+    options.sched.hwAsids = 2;
+    options.shootdownCycles = 10.0;
+
+    const MultiprogResult result = runMultiprogExperiment(
+        mixSpecs(3, PolicySpec::twoSizes(testPolicy())),
+        smallFaTlb(), options);
+    ASSERT_NE(result.timeseries, nullptr);
+    const obs::TimeSeries &series = *result.timeseries;
+    EXPECT_EQ(series.counterSum("refs"), result.refs);
+    EXPECT_EQ(series.counterSum("instructions"), result.instructions);
+    EXPECT_EQ(series.counterSum("tlb_access"), result.tlb.accesses);
+    EXPECT_EQ(series.counterSum("tlb_miss"), result.tlb.misses);
+    EXPECT_EQ(series.counterSum("tlb_invalidation"),
+              result.tlb.invalidations);
+    EXPECT_EQ(series.counterSum("promotions"),
+              result.policy.promotions);
+    EXPECT_EQ(series.counterSum("ctx_switches"),
+              result.os.contextSwitches);
+    EXPECT_EQ(series.counterSum("asid_recycles"),
+              result.os.asidRecycles);
+    EXPECT_EQ(series.counterSum("shootdowns"), result.os.shootdowns);
+}
+
+/** Weights and budgets flow through the convenience spec form. */
+TEST(MultiprogTest, BudgetsRetireProcessesEarly)
+{
+    MultiprogOptions options;
+    options.run.maxRefs = 0; // run until budgets drain everything
+    options.sched.quantumRefs = 1'000;
+
+    auto specs = mixSpecs(2, PolicySpec::single(kLog2_4K));
+    specs[0].budgetRefs = 3'000;
+    specs[1].budgetRefs = 5'000;
+    const MultiprogResult result = runMultiprogExperiment(
+        specs, smallFaTlb(), options);
+    EXPECT_EQ(result.refs, 8'000u);
+    ASSERT_EQ(result.processes.size(), 2u);
+    EXPECT_EQ(result.processes[0].refs, 3'000u);
+    EXPECT_EQ(result.processes[1].refs, 5'000u);
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,108 @@
+/** @file Unit tests for the deterministic round-robin scheduler. */
+
+#include "os/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace tps::os
+{
+namespace
+{
+
+SchedulerConfig
+quantumOf(std::uint64_t refs)
+{
+    SchedulerConfig config;
+    config.quantumRefs = refs;
+    return config;
+}
+
+TEST(SchedulerTest, RoundRobinOrder)
+{
+    Scheduler sched(quantumOf(100), {{}, {}, {}});
+    const std::size_t expected[] = {0, 1, 2, 0, 1, 2};
+    for (std::size_t want : expected) {
+        auto quantum = sched.nextQuantum();
+        ASSERT_TRUE(quantum.has_value());
+        EXPECT_EQ(quantum->process, want);
+        EXPECT_EQ(quantum->sliceRefs, 100u);
+        sched.accountRun(quantum->process, quantum->sliceRefs, false);
+    }
+}
+
+TEST(SchedulerTest, FirstDispatchIsNotASwitch)
+{
+    Scheduler sched(quantumOf(10), {{}, {}});
+    auto first = sched.nextQuantum();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(first->switched);
+    EXPECT_EQ(sched.contextSwitches(), 0u);
+    sched.accountRun(first->process, 10, false);
+    auto second = sched.nextQuantum();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->switched);
+    EXPECT_EQ(sched.contextSwitches(), 1u);
+}
+
+TEST(SchedulerTest, WeightsScaleSlices)
+{
+    Scheduler sched(quantumOf(100), {{/*weight=*/1}, {/*weight=*/3}});
+    auto a = sched.nextQuantum();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->sliceRefs, 100u);
+    sched.accountRun(a->process, a->sliceRefs, false);
+    auto b = sched.nextQuantum();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->process, 1u);
+    EXPECT_EQ(b->sliceRefs, 300u);
+}
+
+TEST(SchedulerTest, BudgetClampsThenRetires)
+{
+    Scheduler sched(quantumOf(100),
+                    {{/*weight=*/1, /*budgetRefs=*/150}});
+    auto first = sched.nextQuantum();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->sliceRefs, 100u);
+    sched.accountRun(0, 100, false);
+    auto second = sched.nextQuantum();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->sliceRefs, 50u); // clamped to remaining budget
+    sched.accountRun(0, 50, false);
+    EXPECT_FALSE(sched.runnable(0));
+    EXPECT_FALSE(sched.nextQuantum().has_value());
+}
+
+TEST(SchedulerTest, DrainedProcessLeavesTheRotation)
+{
+    Scheduler sched(quantumOf(10), {{}, {}});
+    auto first = sched.nextQuantum();
+    ASSERT_TRUE(first.has_value());
+    sched.accountRun(first->process, 4, /*drained=*/true);
+    EXPECT_FALSE(sched.runnable(0));
+
+    // The survivor is re-dispatched forever; only the first handoff
+    // counts as a switch.
+    for (int i = 0; i < 3; ++i) {
+        auto quantum = sched.nextQuantum();
+        ASSERT_TRUE(quantum.has_value());
+        EXPECT_EQ(quantum->process, 1u);
+        sched.accountRun(1, 10, false);
+    }
+    EXPECT_EQ(sched.contextSwitches(), 1u);
+}
+
+TEST(SchedulerTest, ParseAndNameRoundTrip)
+{
+    EXPECT_EQ(parseSwitchMode("flush"), SwitchMode::Flush);
+    EXPECT_EQ(parseSwitchMode("tagged"), SwitchMode::Tagged);
+    EXPECT_EQ(parseSwitchMode("tagged+limit"), SwitchMode::TaggedLimit);
+    for (SwitchMode mode : {SwitchMode::Flush, SwitchMode::Tagged,
+                            SwitchMode::TaggedLimit}) {
+        EXPECT_EQ(parseSwitchMode(switchModeName(mode)), mode);
+    }
+    EXPECT_DEATH(parseSwitchMode("bogus"), "switch mode");
+}
+
+} // namespace
+} // namespace tps::os

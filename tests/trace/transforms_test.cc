@@ -104,6 +104,17 @@ TEST(InterleaveTest, ResetReplays)
     EXPECT_EQ(first.refs(), second.refs());
 }
 
+TEST(InterleaveTest, RejectsSliceTooSmallForSources)
+{
+    VectorTrace a({}, "a");
+    VectorTrace b({}, "b");
+    VectorTrace c({}, "c");
+    // slice_log2 at or above the address width can't offset anything.
+    EXPECT_DEATH(InterleaveSource({&a, &b}, 1, 64), "address width");
+    // Three sources need more than the 2^1 slices left above bit 63.
+    EXPECT_DEATH(InterleaveSource({&a, &b, &c}, 1, 63), "alias");
+}
+
 TEST(InterleaveTest, NameMentionsAllSources)
 {
     VectorTrace a({}, "alpha");

@@ -7,7 +7,8 @@
  * Usage:
  *   tps_bench_gate --baseline bench/baselines/BENCH_micro_perf.json
  *                  [--tol-default REL] [--tol SUBSTR=REL]...
- *                  [--ignore SUBSTR]... candidate.json
+ *                  [--ignore SUBSTR]... [--allow-new SUBSTR]...
+ *                  candidate.json
  *   tps_bench_gate --baseline FILE --update-baseline candidate.json
  *
  * --update-baseline validates the candidate and rewrites the baseline
@@ -18,7 +19,13 @@
  * Comparison rules, per stats key (union of both files):
  *   - keys matching any --ignore substring are skipped entirely;
  *   - a key present in only one file is drift (the gate also guards
- *     the exported key *set*, not just the values);
+ *     the exported key *set*, not just the values) — except that a
+ *     *candidate-only* key matching an --allow-new substring is
+ *     accepted: feature-gated subtrees (e.g. "os." from the
+ *     multiprogramming extension) may appear before the committed
+ *     baseline is refreshed, without loosening any other check
+ *     (values of keys present in both files are still gated, and
+ *     keys *missing from the candidate* are still drift);
  *   - integer counters must match exactly unless a --tol SUBSTR=REL
  *     names them (drift of a deterministic counter is a functional
  *     regression, not noise);
@@ -59,6 +66,7 @@ struct GateOptions
     double tolDefault = 0.5;
     std::vector<std::pair<std::string, double>> tolOverrides;
     std::vector<std::string> ignores;
+    std::vector<std::string> allowNew;
 };
 
 int drift_count = 0;
@@ -74,6 +82,16 @@ bool
 ignored(const GateOptions &options, const std::string &key)
 {
     for (const std::string &pattern : options.ignores)
+        if (key.find(pattern) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** Candidate-only keys matching --allow-new are not drift. */
+bool
+allowedNew(const GateOptions &options, const std::string &key)
+{
+    for (const std::string &pattern : options.allowNew)
         if (key.find(pattern) != std::string::npos)
             return true;
     return false;
@@ -127,7 +145,8 @@ gateStats(const GateOptions &options, const JsonValue *base,
         const JsonValue *vb = base->find(name);
         const JsonValue *vc = cand->find(name);
         if (vb == nullptr) {
-            drift(name + " missing from baseline (refresh it?)");
+            if (!allowedNew(options, name))
+                drift(name + " missing from baseline (refresh it?)");
             continue;
         }
         if (vc == nullptr) {
@@ -194,6 +213,8 @@ gateText(const GateOptions &options, const JsonValue *base,
         const JsonValue *vb = base->find(name);
         const JsonValue *vc = cand->find(name);
         if (vb == nullptr || vc == nullptr) {
+            if (vb == nullptr && allowedNew(options, name))
+                continue;
             drift("text." + name + " present in only one file");
             continue;
         }
@@ -269,7 +290,9 @@ usage()
         stderr,
         "usage: tps_bench_gate --baseline FILE [--tol-default REL]\n"
         "                      [--tol SUBSTR=REL]... [--ignore "
-        "SUBSTR]... candidate.json\n"
+        "SUBSTR]...\n"
+        "                      [--allow-new SUBSTR]... "
+        "candidate.json\n"
         "       tps_bench_gate --baseline FILE --update-baseline "
         "candidate.json\n");
     return 2;
@@ -325,6 +348,8 @@ main(int argc, char **argv)
             options.tolOverrides.emplace_back(value.substr(0, eq), rel);
         } else if (arg == "--ignore") {
             options.ignores.emplace_back(next());
+        } else if (arg == "--allow-new") {
+            options.allowNew.emplace_back(next());
         } else if (arg == "--update-baseline") {
             options.updateBaseline = true;
         } else if (!arg.empty() && arg[0] == '-') {

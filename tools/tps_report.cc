@@ -376,6 +376,35 @@ writeTimeSeriesCell(std::ostream &os, const std::string &key,
                             events, 0.0, interval, "refs");
     }
 
+    // Chart 6: OS-layer events per interval (columns exist only for
+    // multiprogrammed cells — core::runMultiprogExperiment — so
+    // absence = skip).
+    {
+        std::vector<ChartSeries> events;
+        ChartSeries switches{"context switches", 1,
+                             column(cell, "counters", "counter_names",
+                                    "ctx_switches")};
+        ChartSeries flushes{"switch flushes", 2,
+                            column(cell, "counters", "counter_names",
+                                   "switch_flushes")};
+        ChartSeries recycles{"ASID recycles", 3,
+                             column(cell, "counters", "counter_names",
+                                    "asid_recycles")};
+        ChartSeries shootdowns{"shootdown broadcasts", 4,
+                               column(cell, "counters",
+                                      "counter_names", "shootdowns")};
+        for (auto *s : {&switches, &flushes, &recycles, &shootdowns}) {
+            if (!s->points.empty() &&
+                std::any_of(s->points.begin(), s->points.end(),
+                            [](double v) { return v != 0.0; }))
+                events.push_back(std::move(*s));
+        }
+        if (!events.empty())
+            os << lineChart("Context switches / ASID events "
+                            "per interval",
+                            events, 0.0, interval, "refs");
+    }
+
     // Totals table (the whole-run aggregates, table view of the data).
     if (totals != nullptr) {
         os << "<details><summary>whole-run totals</summary>"
@@ -453,13 +482,13 @@ const char *kStyle = R"css(
   color-scheme: light dark;
   --surface: #fcfcfb; --surface-2: #f4f3f0;
   --text: #0b0b0b; --text-2: #52514e; --grid: #e4e2dc;
-  --c1: #2a78d6; --c2: #eb6834; --c3: #1baf7a;
+  --c1: #2a78d6; --c2: #eb6834; --c3: #1baf7a; --c4: #8950c7;
 }
 @media (prefers-color-scheme: dark) {
   :root {
     --surface: #1a1a19; --surface-2: #242423;
     --text: #ffffff; --text-2: #c3c2b7; --grid: #383835;
-    --c1: #3987e5; --c2: #d95926; --c3: #199e70;
+    --c1: #3987e5; --c2: #d95926; --c3: #199e70; --c4: #9a66d8;
   }
 }
 body { background: var(--surface); color: var(--text);
@@ -483,13 +512,13 @@ svg.chart { display: block; max-width: 40rem; margin: .7rem 0; }
 .grid { stroke: var(--grid); stroke-width: 1; }
 polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
 polyline.s1 { stroke: var(--c1); } polyline.s2 { stroke: var(--c2); }
-polyline.s3 { stroke: var(--c3); }
+polyline.s3 { stroke: var(--c3); } polyline.s4 { stroke: var(--c4); }
 rect.chip.s1 { fill: var(--c1); } rect.chip.s2 { fill: var(--c2); }
-rect.chip.s3 { fill: var(--c3); }
+rect.chip.s3 { fill: var(--c3); } rect.chip.s4 { fill: var(--c4); }
 circle.pt { fill: transparent; }
 circle.pt:hover { fill: currentColor; r: 3.5; }
 circle.pt.s1 { color: var(--c1); } circle.pt.s2 { color: var(--c2); }
-circle.pt.s3 { color: var(--c3); }
+circle.pt.s3 { color: var(--c3); } circle.pt.s4 { color: var(--c4); }
 )css";
 
 JsonValue
