@@ -266,7 +266,8 @@ stripObsArgs(int &argc, char **argv)
     const std::vector<std::string> value_flags = {
         "--threads",        "--stats-out",           "--trace-out",
         "--timeseries-out", "--timeseries-interval", "--miss-sample",
-        "--phys-mem",       "--frag-pressure",       "--reservation"};
+        "--phys-mem",       "--frag-pressure",       "--reservation",
+        "--chunk-refs"};
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -312,6 +313,10 @@ stripObsArgs(int &argc, char **argv)
  *   --miss-sample K            reservoir-sample up to K miss events
  *                              per cell into the time series
  *                              (default 0 = off)
+ *   --chunk-refs N             references per chunk of the batched
+ *                              experiment engine (default 4096;
+ *                              TPS_CHUNK_REFS equivalent; results
+ *                              are identical at any value)
  */
 inline core::StudyScale
 banner(int argc, char **argv, const char *experiment, const char *what)
@@ -321,6 +326,12 @@ banner(int argc, char **argv, const char *experiment, const char *what)
 
     detail::ObsState &state = detail::obsState();
     std::string value;
+    if (flagValue(argc, argv, "--chunk-refs", value)) {
+        scale.chunkRefs = static_cast<std::size_t>(
+            detail::parseCount("--chunk-refs", value));
+        if (scale.chunkRefs == 0)
+            tps_fatal("--chunk-refs must be > 0");
+    }
     if (flagValue(argc, argv, "--stats-out", value))
         state.statsOut = value;
     if (flagValue(argc, argv, "--trace-out", value)) {

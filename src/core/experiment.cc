@@ -75,6 +75,20 @@ PolicySpec::instantiate() const
     tps_panic("unreachable policy kind");
 }
 
+bool
+operator==(const PolicySpec &a, const PolicySpec &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case PolicySpec::Kind::Single:
+        return a.singleLog2 == b.singleLog2;
+      case PolicySpec::Kind::TwoSize:
+        return a.twoSize == b.twoSize;
+    }
+    tps_panic("unreachable policy kind");
+}
+
 namespace
 {
 
@@ -125,6 +139,101 @@ class SinkTee : public InvalidationSink
     std::unordered_set<PageId, PageIdHash> *shot_down_;
 };
 
+/**
+ * Construct the modeled address space whose page-table layout matches
+ * @p policy (shared by the per-ref and batched engines).
+ */
+void
+emplaceAddressSpace(std::optional<AddressSpace> &slot,
+                    const PageSizePolicy &policy)
+{
+    // Small/large exponents: take them from the policy when it is
+    // multi-size; a single-size policy walks only the "small"
+    // table, so pair it with an unused larger size.
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(&policy)) {
+        slot.emplace(policy2->config().smallLog2,
+                     policy2->config().largeLog2);
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
+        slot.emplace(policy1->sizeLog2(), policy1->sizeLog2() + 3);
+    } else {
+        tps_fatal("page-table modeling supports single- and "
+                  "two-size policies only (got ", policy.name(), ")");
+    }
+}
+
+/**
+ * Physical memory model: frame/superpage exponents follow the policy
+ * in play (a single-size policy still gets a superpage ladder above it
+ * so fragmentation is measured against something).
+ */
+phys::PhysConfig
+resolvePhysConfig(const phys::PhysConfig &base,
+                  const PageSizePolicy &policy)
+{
+    phys::PhysConfig phys_config = base;
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(&policy)) {
+        phys_config.frameLog2 = policy2->config().smallLog2;
+        phys_config.superLog2 = policy2->config().largeLog2;
+    } else if (const auto *policyn =
+                   dynamic_cast<const MultiSizePolicy *>(&policy)) {
+        phys_config.frameLog2 = policyn->config().sizeLog2s.at(0);
+        phys_config.superLog2 = policyn->config().sizeLog2s.at(1);
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
+        phys_config.frameLog2 = policy1->sizeLog2();
+        phys_config.superLog2 = policy1->sizeLog2() + 3;
+    }
+    return phys_config;
+}
+
+/**
+ * The per-run interval-telemetry config: an explicitly enabled
+ * options.timeseries wins, else a process-global sink
+ * (--timeseries-out) acts as the default so every bench records
+ * telemetry without plumbing it through its own RunOptions.
+ */
+obs::TimeSeriesConfig
+resolveTsConfig(const RunOptions &options)
+{
+    obs::TimeSeriesConfig ts_config = options.timeseries;
+    if (!ts_config.enabled()) {
+        if (const obs::TimeSeriesSink *sink =
+                obs::TimeSeriesSink::global())
+            ts_config = sink->config();
+    }
+    return ts_config;
+}
+
+/**
+ * Interval-telemetry column names for one cell: the base layout plus
+ * the columns of the optional features in play (the lists grow only
+ * with the features, so output without them is unchanged byte for
+ * byte).
+ */
+void
+emplaceTsRecorder(std::optional<obs::TimeSeriesRecorder> &slot,
+                  const obs::TimeSeriesConfig &ts_config, bool has_wset,
+                  bool has_phys)
+{
+    std::vector<std::string> counter_names = detail::kTsCounterNames;
+    std::vector<std::string> value_names = detail::kTsValueNames;
+    if (has_wset)
+        value_names.push_back("ws_bytes");
+    if (has_phys) {
+        counter_names.insert(counter_names.end(),
+                             detail::kTsPhysCounterNames.begin(),
+                             detail::kTsPhysCounterNames.end());
+        value_names.insert(value_names.end(),
+                           detail::kTsPhysValueNames.begin(),
+                           detail::kTsPhysValueNames.end());
+    }
+    slot.emplace(ts_config, std::move(counter_names),
+                 std::move(value_names));
+}
+
 } // namespace
 
 namespace detail
@@ -173,9 +282,17 @@ using detail::kTsPhysValueNames;
 using detail::kTsValueNames;
 } // namespace
 
+namespace
+{
+
+/**
+ * The reference-at-a-time engine (ExecMode::PerRef): the oracle the
+ * batched engine is held bit-identical to by the perf equivalence
+ * tests (tests/perf/).
+ */
 ExperimentResult
-runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
-              const RunOptions &options, ProbeStrategy probe)
+runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
+          const RunOptions &options, ProbeStrategy probe)
 {
     trace.reset();
     policy.reset();
@@ -188,81 +305,23 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         wset.emplace(options.wsWindow);
 
     std::optional<AddressSpace> address_space;
-    if (options.modelPageTables) {
-        // Small/large exponents: take them from the policy when it is
-        // multi-size; a single-size policy walks only the "small"
-        // table, so pair it with an unused larger size.
-        if (const auto *policy2 =
-                dynamic_cast<const TwoSizePolicy *>(&policy)) {
-            address_space.emplace(policy2->config().smallLog2,
-                                  policy2->config().largeLog2);
-        } else if (const auto *policy1 =
-                       dynamic_cast<const SingleSizePolicy *>(
-                           &policy)) {
-            address_space.emplace(policy1->sizeLog2(),
-                                  policy1->sizeLog2() + 3);
-        } else {
-            tps_fatal("page-table modeling supports single- and "
-                      "two-size policies only (got ", policy.name(),
-                      ")");
-        }
-    }
+    if (options.modelPageTables)
+        emplaceAddressSpace(address_space, policy);
 
-    // Physical memory model: frame/superpage exponents follow the
-    // policy in play (a single-size policy still gets a superpage
-    // ladder above it so fragmentation is measured against something).
     std::optional<phys::MemoryModel> phys_model;
     if (options.phys.enabled()) {
-        phys::PhysConfig phys_config = options.phys;
-        if (const auto *policy2 =
-                dynamic_cast<const TwoSizePolicy *>(&policy)) {
-            phys_config.frameLog2 = policy2->config().smallLog2;
-            phys_config.superLog2 = policy2->config().largeLog2;
-        } else if (const auto *policyn =
-                       dynamic_cast<const MultiSizePolicy *>(&policy)) {
-            phys_config.frameLog2 = policyn->config().sizeLog2s.at(0);
-            phys_config.superLog2 = policyn->config().sizeLog2s.at(1);
-        } else if (const auto *policy1 =
-                       dynamic_cast<const SingleSizePolicy *>(
-                           &policy)) {
-            phys_config.frameLog2 = policy1->sizeLog2();
-            phys_config.superLog2 = policy1->sizeLog2() + 3;
-        }
-        phys_model.emplace(phys_config);
+        phys_model.emplace(resolvePhysConfig(options.phys, policy));
         if (address_space)
             address_space->setAllocator(&*phys_model);
     }
 
     // Interval telemetry: a per-cell recorder fed with counter deltas
-    // every intervalRefs measured references.  The ws_bytes column
-    // exists only when the working set is tracked, so column lists
-    // always describe exactly what was measured.  A process-global
-    // sink (--timeseries-out) acts as the default config so every
-    // bench records telemetry without plumbing it through its own
-    // RunOptions; an explicitly enabled options.timeseries overrides.
-    obs::TimeSeriesConfig ts_config = options.timeseries;
-    if (!ts_config.enabled()) {
-        if (const obs::TimeSeriesSink *sink =
-                obs::TimeSeriesSink::global())
-            ts_config = sink->config();
-    }
+    // every intervalRefs measured references.
+    const obs::TimeSeriesConfig ts_config = resolveTsConfig(options);
     std::optional<obs::TimeSeriesRecorder> ts;
-    if (ts_config.enabled()) {
-        std::vector<std::string> counter_names = kTsCounterNames;
-        std::vector<std::string> value_names = kTsValueNames;
-        if (wset)
-            value_names.push_back("ws_bytes");
-        if (phys_model) {
-            counter_names.insert(counter_names.end(),
-                                 kTsPhysCounterNames.begin(),
-                                 kTsPhysCounterNames.end());
-            value_names.insert(value_names.end(),
-                               kTsPhysValueNames.begin(),
-                               kTsPhysValueNames.end());
-        }
-        ts.emplace(ts_config, std::move(counter_names),
-                   std::move(value_names));
-    }
+    if (ts_config.enabled())
+        emplaceTsRecorder(ts, ts_config, wset.has_value(),
+                          phys_model.has_value());
     const bool sample_misses = ts && ts->samplingMisses();
     // Miss-cause attribution (sampling only): every page identity ever
     // accessed, and identities invalidated since their last access.
@@ -487,6 +546,475 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     return result;
 }
 
+/**
+ * One deferred policy-side effect, recorded during a chunk's
+ * classification phase at the index of the reference whose classify()
+ * emitted it.  Replaying the events at exactly that index restores the
+ * per-ref interleaving: everything classify(i) did reaches each cell
+ * after the miss work of reference i-1 and before the probe of
+ * reference i.
+ */
+struct PolicyEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Invalidate, ///< InvalidationSink::invalidatePage
+        Remap,      ///< InvalidationSink::onChunkRemap
+    };
+
+    std::uint32_t index = 0; ///< chunk-local reference index
+    Kind kind = Kind::Invalidate;
+    PageId page;           ///< Invalidate payload
+    Addr chunkNumber = 0;  ///< Remap payload
+    bool toLarge = false;  ///< Remap payload
+};
+
+/** Policy sink of the classification phase: record, don't apply. */
+class EventRecorder : public InvalidationSink
+{
+  public:
+    std::vector<PolicyEvent> events;
+    std::uint32_t index = 0; ///< set by the classify loop per ref
+
+    void
+    invalidatePage(const PageId &page) override
+    {
+        PolicyEvent event;
+        event.index = index;
+        event.kind = PolicyEvent::Kind::Invalidate;
+        event.page = page;
+        events.push_back(event);
+    }
+
+    void
+    onChunkRemap(Addr chunk_number, bool to_large) override
+    {
+        PolicyEvent event;
+        event.index = index;
+        event.kind = PolicyEvent::Kind::Remap;
+        event.chunkNumber = chunk_number;
+        event.toLarge = to_large;
+        events.push_back(event);
+    }
+};
+
+/** One TLB configuration sharing the batched pass. */
+struct BatchCellSetup
+{
+    Tlb *tlb = nullptr;
+    ProbeStrategy probe = ProbeStrategy::Parallel;
+};
+
+/**
+ * The chunked engine (ExecMode::Batched), generalized to N cells: one
+ * classification pass feeds any number of TLB configurations, each
+ * with its own downstream models (DESIGN.md §11).
+ *
+ * Bit-identity with runPerRef() rests on three invariants:
+ *  - policy state depends only on (vaddr, now), never on a TLB, so
+ *    classifying a chunk ahead of the probes (and sharing the result
+ *    across cells) yields the identical page stream;
+ *  - policy side effects are replayed into each cell at the recorded
+ *    reference index, and probes between two event indices carry no
+ *    ordering hazard (lookups never touch the page-table or physical
+ *    models, and miss work never touches the TLB);
+ *  - chunks split at every point where per-ref code reads or resets
+ *    mid-stream state (warmup boundary, interval closes, maxRefs), so
+ *    each observable is read at the same reference index.
+ */
+std::vector<ExperimentResult>
+runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
+                const std::vector<BatchCellSetup> &setups,
+                const RunOptions &options)
+{
+    trace.reset();
+    policy.reset();
+
+    if (options.chunkRefs == 0)
+        tps_fatal("chunkRefs must be positive");
+    if (options.warmupRefs != 0 && options.maxRefs != 0 &&
+        options.warmupRefs >= options.maxRefs) {
+        tps_fatal("warmupRefs (", options.warmupRefs,
+                  ") must be below maxRefs (", options.maxRefs, ")");
+    }
+
+    const bool two_sizes = policy.isMultiSize();
+    const obs::TimeSeriesConfig ts_config = resolveTsConfig(options);
+    const std::uint64_t interval_refs = ts_config.intervalRefs;
+
+    struct Cell
+    {
+        Cell(Tlb &tlb_ref, ProbeStrategy probe_kind)
+            : tlb(tlb_ref), probe(probe_kind)
+        {
+        }
+
+        Tlb &tlb;
+        ProbeStrategy probe;
+        std::optional<WindowedWorkingSet> wset;
+        std::optional<AddressSpace> addressSpace;
+        std::optional<phys::MemoryModel> physModel;
+        std::optional<obs::TimeSeriesRecorder> ts;
+        bool sampleMisses = false;
+        /** Anything to do per reference beyond the TLB probe? */
+        bool missWork = false;
+        std::unordered_set<PageId, PageIdHash> seenPages;
+        std::unordered_set<PageId, PageIdHash> shotDown;
+        std::optional<SinkTee> sink;
+        TlbStats tsPrevTlb;
+        phys::PhysCounters tsPrevPhys;
+    };
+
+    std::vector<std::unique_ptr<Cell>> cells;
+    cells.reserve(setups.size());
+    for (const BatchCellSetup &setup : setups) {
+        auto cell = std::make_unique<Cell>(*setup.tlb, setup.probe);
+        cell->tlb.reset();
+        if (options.wsWindow != 0)
+            cell->wset.emplace(options.wsWindow);
+        if (options.modelPageTables)
+            emplaceAddressSpace(cell->addressSpace, policy);
+        if (options.phys.enabled()) {
+            cell->physModel.emplace(
+                resolvePhysConfig(options.phys, policy));
+            if (cell->addressSpace)
+                cell->addressSpace->setAllocator(&*cell->physModel);
+        }
+        if (ts_config.enabled()) {
+            emplaceTsRecorder(cell->ts, ts_config,
+                              cell->wset.has_value(),
+                              cell->physModel.has_value());
+            cell->sampleMisses = cell->ts->samplingMisses();
+        }
+        cell->sink.emplace(
+            cell->tlb,
+            cell->addressSpace ? &*cell->addressSpace : nullptr,
+            cell->physModel ? &*cell->physModel : nullptr,
+            cell->sampleMisses ? &cell->shotDown : nullptr);
+        cell->missWork = cell->wset || cell->addressSpace ||
+                         cell->physModel || cell->sampleMisses;
+        cells.push_back(std::move(cell));
+    }
+
+    // The classification phase records side effects instead of
+    // applying them; each cell replays them through its own tee.
+    EventRecorder recorder;
+    policy.setInvalidationSink(&recorder);
+    auto *policy1 = dynamic_cast<SingleSizePolicy *>(&policy);
+    auto *policy2 = dynamic_cast<TwoSizePolicy *>(&policy);
+
+    obs::TraceProfiler *profiler = obs::TraceProfiler::global();
+    std::vector<MemRef> refs(options.chunkRefs);
+    std::vector<Tlb::BatchRef> brefs(options.chunkRefs);
+    Tlb::BatchResult probe_result;
+
+    RefTime now = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t measured_refs = 0;
+
+    // Interval bookkeeping shared by all cells: closes fall at the
+    // same measured-reference positions everywhere, and the policy and
+    // instruction streams are cell-independent.
+    PolicyStats ts_prev_policy;
+    std::uint64_t ts_prev_instructions = 0;
+    std::uint64_t ts_last_close = 0;
+    auto closeCell = [&](Cell &cell) {
+        const TlbStats tlb_d = cell.tlb.stats().deltaSince(cell.tsPrevTlb);
+        const PolicyStats pol_d =
+            policy.stats().deltaSince(ts_prev_policy);
+        const std::uint64_t refs_d = measured_refs - ts_last_close;
+        const std::uint64_t instr_d = instructions - ts_prev_instructions;
+        std::vector<std::uint64_t> counters = {
+            refs_d,          instr_d,          tlb_d.accesses,
+            tlb_d.hits,      tlb_d.misses,     tlb_d.hitsSmall,
+            tlb_d.hitsLarge, tlb_d.missesSmall, tlb_d.missesLarge,
+            tlb_d.fills,     tlb_d.evictions,  tlb_d.invalidations,
+            pol_d.refsSmall, pol_d.refsLarge,  pol_d.promotions,
+            pol_d.demotions};
+        std::vector<double> values = {
+            tlb_d.missRatio(),
+            instr_d == 0 ? 0.0
+                         : static_cast<double>(tlb_d.misses) /
+                               static_cast<double>(instr_d),
+            pol_d.largeFraction()};
+        if (cell.wset)
+            values.push_back(
+                static_cast<double>(cell.wset->currentBytes()));
+        if (cell.physModel) {
+            const phys::PhysCounters phys_d =
+                cell.physModel->counters().deltaSince(cell.tsPrevPhys);
+            counters.insert(counters.end(),
+                            {phys_d.framesAllocated,
+                             phys_d.superpageFailures,
+                             phys_d.promotionsInPlace,
+                             phys_d.promotionsCopied,
+                             phys_d.pagesCopied});
+            const phys::FragSnapshot snap = cell.physModel->snapshot();
+            values.push_back(snap.fragIndex);
+            values.push_back(static_cast<double>(snap.freeBytes));
+            cell.tsPrevPhys = cell.physModel->counters();
+        }
+        cell.ts->endInterval(ts_last_close, refs_d, std::move(counters),
+                             std::move(values));
+        cell.tsPrevTlb = cell.tlb.stats();
+    };
+    auto closeAll = [&] {
+        for (auto &cell : cells)
+            if (cell->ts)
+                closeCell(*cell);
+        ts_prev_policy = policy.stats();
+        ts_prev_instructions = instructions;
+        ts_last_close = measured_refs;
+    };
+
+    // Replay one chunk into one cell: apply the recorded policy events
+    // at their reference index, probe every event-free segment in one
+    // batched call, then run the per-reference miss work (which never
+    // touches the TLB, so running it after the segment's probes
+    // preserves per-ref semantics).
+    auto replayChunk = [&](Cell &cell, std::size_t got,
+                           std::uint64_t base_measured,
+                           bool measuring) {
+        std::size_t ev = 0;
+        std::size_t seg = 0;
+        while (seg < got) {
+            while (ev < recorder.events.size() &&
+                   recorder.events[ev].index == seg) {
+                const PolicyEvent &event = recorder.events[ev];
+                if (event.kind == PolicyEvent::Kind::Invalidate)
+                    cell.sink->invalidatePage(event.page);
+                else
+                    cell.sink->onChunkRemap(event.chunkNumber,
+                                            event.toLarge);
+                ++ev;
+            }
+            const std::size_t seg_end =
+                ev < recorder.events.size()
+                    ? recorder.events[ev].index
+                    : got;
+            cell.tlb.lookupBatch(brefs.data() + seg, seg_end - seg,
+                                 probe_result);
+            if (cell.missWork) {
+                for (std::size_t i = seg; i < seg_end; ++i) {
+                    const bool hit = probe_result.hit[i - seg] != 0;
+                    const PageId &page = brefs[i].page;
+                    if (!hit && cell.physModel) {
+                        // Every first access to a page identity is a
+                        // cold TLB miss, so backing work is observed
+                        // here without taxing the hit path.
+                        cell.physModel->touch(page.vpn, page.sizeLog2);
+                    }
+                    if (!hit && cell.addressSpace) {
+                        if (two_sizes)
+                            cell.addressSpace->handleMiss(
+                                page, ProbeOrder::SmallFirst);
+                        else
+                            cell.addressSpace->handleMissSingleSize(
+                                page);
+                    }
+                    if (cell.wset)
+                        cell.wset->observe(page);
+                    if (cell.sampleMisses && !hit) {
+                        // Same seen-at-miss bookkeeping as the
+                        // per-ref engine (see runPerRef for why
+                        // membership at miss time matches a
+                        // per-access set).
+                        const bool first =
+                            cell.seenPages.insert(page).second;
+                        if (measuring) {
+                            obs::MissCause cause;
+                            if (cell.shotDown.erase(page) != 0)
+                                cause = obs::MissCause::Shootdown;
+                            else if (first)
+                                cause = obs::MissCause::Cold;
+                            else
+                                cause = obs::MissCause::Capacity;
+                            cell.ts->offerMiss(base_measured + i + 1,
+                                               page.vpn, page.sizeLog2,
+                                               cause);
+                        } else {
+                            cell.shotDown.erase(page);
+                        }
+                    }
+                }
+            }
+            seg = seg_end;
+        }
+    };
+
+    for (;;) {
+        std::size_t want = options.chunkRefs;
+        if (options.maxRefs != 0) {
+            const std::uint64_t remaining = options.maxRefs - now;
+            if (remaining == 0)
+                break;
+            want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(want, remaining));
+        }
+        // Never cross the warmup boundary: stats reset there.
+        if (options.warmupRefs != 0 && now < options.warmupRefs)
+            want = static_cast<std::size_t>(std::min<std::uint64_t>(
+                want, options.warmupRefs - now));
+        const bool measuring = now >= options.warmupRefs;
+        // Never cross an interval close: counters are read there.
+        if (interval_refs != 0 && measuring)
+            want = static_cast<std::size_t>(std::min<std::uint64_t>(
+                want,
+                ts_last_close + interval_refs - measured_refs));
+        const std::size_t got = trace.fill(refs.data(), want);
+        if (got == 0)
+            break;
+        obs::ScopedSpan chunk_span(profiler, "chunk", "replay");
+        if (options.warmupRefs != 0 && now == options.warmupRefs) {
+            // Warmup ends: zero the counters, keep the state.
+            for (auto &cell : cells) {
+                cell->tlb.resetStats();
+                if (cell->physModel)
+                    cell->physModel->resetCounters();
+            }
+            policy.resetStats();
+            instructions = 0;
+        }
+
+        // Phase 1: classify the chunk once, recording side effects.
+        // The loop is specialized per concrete policy so classify
+        // inlines (the virtual call per reference was a measurable
+        // share of the replay cost).
+        const RefTime base_now = now;
+        recorder.events.clear();
+        std::uint64_t chunk_instr = 0;
+        if (policy1 != nullptr) {
+            // A single-size policy never emits events.
+            for (std::size_t i = 0; i < got; ++i) {
+                const MemRef &ref = refs[i];
+                if (ref.type == RefType::Ifetch)
+                    ++chunk_instr;
+                brefs[i].page = policy1->SingleSizePolicy::classify(
+                    ref.vaddr, base_now + i + 1);
+                brefs[i].vaddr = ref.vaddr;
+            }
+        } else if (policy2 != nullptr) {
+            for (std::size_t i = 0; i < got; ++i) {
+                const MemRef &ref = refs[i];
+                if (ref.type == RefType::Ifetch)
+                    ++chunk_instr;
+                recorder.index = static_cast<std::uint32_t>(i);
+                brefs[i].page =
+                    policy2->classifyFast(ref.vaddr, base_now + i + 1);
+                brefs[i].vaddr = ref.vaddr;
+            }
+        } else {
+            for (std::size_t i = 0; i < got; ++i) {
+                const MemRef &ref = refs[i];
+                if (ref.type == RefType::Ifetch)
+                    ++chunk_instr;
+                recorder.index = static_cast<std::uint32_t>(i);
+                brefs[i].page =
+                    policy.classify(ref.vaddr, base_now + i + 1);
+                brefs[i].vaddr = ref.vaddr;
+            }
+        }
+        instructions += chunk_instr;
+
+        // Phase 2: replay the classified chunk into every cell.
+        for (auto &cell : cells)
+            replayChunk(*cell, got, measured_refs, measuring);
+
+        now += got;
+        if (measuring)
+            measured_refs += got;
+        if (interval_refs != 0 && measuring &&
+            measured_refs - ts_last_close == interval_refs)
+            closeAll();
+    }
+    policy.setInvalidationSink(nullptr);
+
+    // Flush the final partial interval so per-interval sums equal the
+    // whole-run aggregates exactly.
+    if (interval_refs != 0 && measured_refs > ts_last_close)
+        closeAll();
+
+    std::vector<ExperimentResult> results;
+    results.reserve(cells.size());
+    for (auto &cell_ptr : cells) {
+        Cell &cell = *cell_ptr;
+        ExperimentResult result;
+        result.workload = trace.name();
+        result.tlbName = cell.tlb.name();
+        result.policyName = policy.name();
+        if (cell.ts) {
+            auto series = std::make_shared<obs::TimeSeries>(
+                cell.ts->finish(result.workload, result.tlbName,
+                                result.policyName));
+            result.timeseries = series;
+            if (obs::TimeSeriesSink *global =
+                    obs::TimeSeriesSink::global())
+                global->add(*series);
+        }
+        result.refs = measured_refs;
+        result.instructions = instructions;
+        result.tlb = cell.tlb.stats();
+        result.policy = policy.stats();
+        result.cpiTlb =
+            options.cpi.cpiTlb(result.tlb, result.policy, instructions,
+                               two_sizes, cell.probe);
+        result.mpi = instructions == 0
+                         ? 0.0
+                         : static_cast<double>(result.tlb.misses) /
+                               static_cast<double>(instructions);
+        result.missRatio = result.tlb.missRatio();
+        result.rpi = instructions == 0
+                         ? 0.0
+                         : static_cast<double>(measured_refs) /
+                               static_cast<double>(instructions);
+        if (cell.wset) {
+            result.avgWsBytes = cell.wset->averageBytes();
+            result.wsTracked = true;
+        }
+        if (cell.addressSpace) {
+            result.pageTablesModeled = true;
+            result.measuredMissCycles =
+                cell.addressSpace->averageMissCycles();
+            result.cpiTlbMeasured =
+                instructions == 0
+                    ? 0.0
+                    : static_cast<double>(result.tlb.misses) *
+                          result.measuredMissCycles /
+                          static_cast<double>(instructions);
+        }
+        if (cell.physModel) {
+            result.physModeled = true;
+            result.phys = cell.physModel->counters();
+            result.physFrag = cell.physModel->snapshot();
+            result.cpiPhys =
+                result.cpiTlb +
+                (instructions == 0
+                     ? 0.0
+                     : static_cast<double>(result.phys.pagesCopied) *
+                           cell.physModel->config().copyCyclesPerPage /
+                           static_cast<double>(instructions));
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
+              const RunOptions &options, ProbeStrategy probe)
+{
+    if (options.exec == ExecMode::PerRef)
+        return runPerRef(trace, policy, tlb, options, probe);
+    std::vector<BatchCellSetup> one(1);
+    one[0].tlb = &tlb;
+    one[0].probe = probe;
+    std::vector<ExperimentResult> results =
+        runBatchedCells(trace, policy, one, options);
+    return std::move(results.front());
+}
+
 ExperimentResult
 runExperiment(TraceSource &trace, const PolicySpec &policy_spec,
               const TlbConfig &tlb_config, const RunOptions &options)
@@ -495,6 +1023,25 @@ runExperiment(TraceSource &trace, const PolicySpec &policy_spec,
     auto tlb = makeTlb(tlb_config);
     return runExperiment(trace, *policy, *tlb, options,
                          tlb_config.probe);
+}
+
+std::vector<ExperimentResult>
+runSharedPass(TraceSource &trace, const PolicySpec &policy_spec,
+              const std::vector<TlbConfig> &tlb_configs,
+              const RunOptions &options)
+{
+    if (tlb_configs.empty())
+        return {};
+    auto policy = policy_spec.instantiate();
+    std::vector<std::unique_ptr<Tlb>> tlbs;
+    std::vector<BatchCellSetup> setups(tlb_configs.size());
+    tlbs.reserve(tlb_configs.size());
+    for (std::size_t i = 0; i < tlb_configs.size(); ++i) {
+        tlbs.push_back(makeTlb(tlb_configs[i]));
+        setups[i].tlb = tlbs.back().get();
+        setups[i].probe = tlb_configs[i].probe;
+    }
+    return runBatchedCells(trace, *policy, setups, options);
 }
 
 } // namespace tps::core

@@ -56,6 +56,39 @@ struct PolicySpec
     std::unique_ptr<PageSizePolicy> instantiate() const;
 };
 
+/**
+ * Specs are equal when they instantiate behaviourally identical
+ * policies (only the fields of the selected kind participate).  The
+ * sweep runner uses this to group cells that can share one trace pass.
+ */
+bool operator==(const PolicySpec &a, const PolicySpec &b);
+inline bool
+operator!=(const PolicySpec &a, const PolicySpec &b)
+{
+    return !(a == b);
+}
+
+/** How runExperiment walks the trace. */
+enum class ExecMode
+{
+    /**
+     * Chunked execution: classify a chunk of references up front
+     * (recording promotion/demotion events at their reference index),
+     * then probe the TLB through Tlb::lookupBatch() on the event-free
+     * segments.  Bit-identical to PerRef — the event indices restore
+     * the exact classify/invalidate/probe interleaving — but several
+     * times faster (DESIGN.md §11).
+     */
+    Batched,
+
+    /**
+     * Reference-at-a-time execution through the virtual per-ref path:
+     * classify, invalidate, probe for each reference in turn.  The
+     * oracle the equivalence tests hold Batched against.
+     */
+    PerRef,
+};
+
 /** Run controls independent of TLB/policy structure. */
 struct RunOptions
 {
@@ -110,6 +143,18 @@ struct RunOptions
      * their RunOptions by hand.
      */
     obs::TimeSeriesConfig timeseries;
+
+    /** Execution engine (results are bit-identical either way). */
+    ExecMode exec = ExecMode::Batched;
+
+    /**
+     * References classified per chunk under ExecMode::Batched.  Chunks
+     * additionally split at the warmup boundary and at interval-close
+     * positions so every observable is read at the same reference
+     * index as under PerRef.  Larger chunks amortize more per-chunk
+     * bookkeeping at the cost of a larger classified-page buffer.
+     */
+    std::size_t chunkRefs = 4096;
 };
 
 /** Everything measured in one run. */
@@ -183,6 +228,26 @@ ExperimentResult runExperiment(TraceSource &trace,
                                const PolicySpec &policy_spec,
                                const TlbConfig &tlb_config,
                                const RunOptions &options);
+
+/**
+ * Run several TLB configurations through ONE pass over @p trace,
+ * sharing the page-size classification work (stacksim's
+ * one-pass-many-configs trick applied to the full driver).
+ *
+ * Legality: the policy's evolution — and therefore the classified page
+ * stream, the promotion/demotion event sequence, the instruction count
+ * and the working set — depends only on (vaddr, now), never on any
+ * TLB's contents.  Everything downstream of classification (TLB,
+ * page tables, physical memory, telemetry) is instantiated per cell,
+ * so results[i] is bit-identical to
+ * runExperiment(trace, policy_spec, tlb_configs[i], options).
+ *
+ * Always executes batched; options.exec is ignored.
+ */
+std::vector<ExperimentResult>
+runSharedPass(TraceSource &trace, const PolicySpec &policy_spec,
+              const std::vector<TlbConfig> &tlb_configs,
+              const RunOptions &options);
 
 } // namespace tps::core
 

@@ -20,6 +20,8 @@ defaultScale()
     scale.refs = envOr("TPS_REFS", scale.refs);
     scale.window = envOr("TPS_WINDOW", scale.window);
     scale.warmupRefs = envOr("TPS_WARMUP", scale.refs / 4);
+    scale.chunkRefs = static_cast<std::size_t>(
+        envOr("TPS_CHUNK_REFS", scale.chunkRefs));
     return scale;
 }
 
@@ -159,6 +161,7 @@ runCell(TraceSource &trace, const PolicySpec &policy, TlbConfig tlb,
         scale.warmupRefs < scale.refs ? scale.warmupRefs : 0;
     options.cpi = cpi;
     options.timeseries = scale.timeseries;
+    options.chunkRefs = scale.chunkRefs;
     return runExperiment(trace, policy, tlb, options);
 }
 

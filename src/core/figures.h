@@ -59,6 +59,14 @@ struct StudyScale
      * bench_common.h).
      */
     obs::TimeSeriesConfig timeseries;
+
+    /**
+     * References classified per chunk by the batched experiment
+     * engine (RunOptions::chunkRefs; `--chunk-refs` in bench_common.h,
+     * TPS_CHUNK_REFS in the environment).  Results are identical at
+     * any value; only throughput changes.
+     */
+    std::size_t chunkRefs = 4096;
 };
 
 /**

@@ -32,33 +32,38 @@ constexpr std::uint64_t kTraceCacheMaxRefs = 4'000'000;
 
 /**
  * Generate-once storage for materialized workload traces, safe for
- * concurrent cells.  The first requester of a workload synthesizes it
- * under a per-entry future; every other requester (any thread) blocks
- * on that future and then replays the shared immutable vector through
- * its own SharedTraceView cursor.
+ * concurrent cells.  The first requester of a (workload, length)
+ * synthesizes it under a per-entry future; every other requester (any
+ * thread) blocks on that future and then replays the shared immutable
+ * vector through its own SharedTraceView cursor.
+ *
+ * There is one process-wide instance (globalTraceCache()): the
+ * generators are deterministic pure functions of (name, max_refs), so
+ * sharing across SweepRunner::run() calls cannot change results, and
+ * it keeps back-to-back sweeps (figure studies, the serial-vs-parallel
+ * micro_perf contrast) from re-synthesizing identical traces.  Entries
+ * are never evicted; the per-trace budget is bounded by
+ * kTraceCacheMaxRefs and a process sweeps a handful of scales at most.
  */
 class MaterializedTraceCache
 {
   public:
     using Stored = std::shared_ptr<const std::vector<MemRef>>;
 
-    explicit MaterializedTraceCache(std::uint64_t max_refs)
-        : max_refs_(max_refs)
-    {
-    }
-
     Stored
-    get(const std::string &name)
+    get(const std::string &name, std::uint64_t max_refs)
     {
+        const std::string key =
+            name + ":" + std::to_string(max_refs);
         std::promise<Stored> promise;
         std::shared_future<Stored> future;
         bool builder = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            auto it = entries_.find(name);
+            auto it = entries_.find(key);
             if (it == entries_.end()) {
                 future = promise.get_future().share();
-                entries_.emplace(name, future);
+                entries_.emplace(key, future);
                 builder = true;
             } else {
                 future = it->second;
@@ -70,7 +75,7 @@ class MaterializedTraceCache
                 auto workload =
                     workloads::findWorkload(name).instantiate();
                 auto refs = std::make_shared<std::vector<MemRef>>(
-                    static_cast<std::size_t>(max_refs_));
+                    static_cast<std::size_t>(max_refs));
                 const std::size_t got =
                     workload->fill(refs->data(), refs->size());
                 refs->resize(got);
@@ -85,8 +90,14 @@ class MaterializedTraceCache
   private:
     std::mutex mutex_;
     std::unordered_map<std::string, std::shared_future<Stored>> entries_;
-    std::uint64_t max_refs_;
 };
+
+MaterializedTraceCache &
+globalTraceCache()
+{
+    static MaterializedTraceCache cache;
+    return cache;
+}
 
 } // namespace
 
@@ -133,6 +144,13 @@ SweepRunner &
 SweepRunner::threads(unsigned n)
 {
     threads_ = n;
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::sharedPass(bool enabled)
+{
+    shared_pass_ = enabled;
     return *this;
 }
 
@@ -191,9 +209,75 @@ SweepRunner::run() const
         use_cache = false;
     }
 
-    MaterializedTraceCache cache(options_.maxRefs);
     obs::ProgressReporter progress(names.size() * configs_.size(),
                                    "cells");
+    auto makeTrace = [&](const std::string &name)
+        -> std::unique_ptr<TraceSource> {
+        if (use_cache) {
+            return std::make_unique<SharedTraceView>(
+                globalTraceCache().get(name, options_.maxRefs), name);
+        }
+        return workloads::findWorkload(name).instantiate();
+    };
+
+    if (shared_pass_) {
+        // Group columns by policy equality (first-seen order): one
+        // classification pass can feed every TLB geometry whose cells
+        // see the identical classified page stream.
+        std::vector<std::vector<std::size_t>> groups;
+        for (std::size_t c = 0; c < configs_.size(); ++c) {
+            bool placed = false;
+            for (auto &group : groups) {
+                if (configs_[group.front()].policy ==
+                    configs_[c].policy) {
+                    group.push_back(c);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed)
+                groups.push_back({c});
+        }
+        auto runGroup = [&](std::size_t unit) {
+            const std::string &name = names[unit / groups.size()];
+            const std::vector<std::size_t> &group =
+                groups[unit % groups.size()];
+            obs::ScopedSpan span(name + " | shared pass x" +
+                                     std::to_string(group.size()),
+                                 "cell");
+            std::unique_ptr<TraceSource> trace = makeTrace(name);
+            std::vector<TlbConfig> tlbs;
+            tlbs.reserve(group.size());
+            for (const std::size_t c : group)
+                tlbs.push_back(configs_[c].tlb);
+            std::vector<ExperimentResult> results = runSharedPass(
+                *trace, configs_[group.front()].policy, tlbs,
+                options_);
+            std::vector<SweepCell> unit_cells(group.size());
+            for (std::size_t j = 0; j < group.size(); ++j) {
+                unit_cells[j].workload = name;
+                unit_cells[j].configLabel = configs_[group[j]].label;
+                unit_cells[j].result = std::move(results[j]);
+                progress.tick(unit_cells[j].result.refs);
+            }
+            return unit_cells;
+        };
+        auto units = util::parallelMapIndex(
+            nthreads, names.size() * groups.size(), runGroup);
+        // Reassemble serial row-major order from the group units.
+        std::vector<SweepCell> cells(names.size() * configs_.size());
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            const std::size_t row = u / groups.size();
+            const std::vector<std::size_t> &group =
+                groups[u % groups.size()];
+            for (std::size_t j = 0; j < group.size(); ++j)
+                cells[row * configs_.size() + group[j]] =
+                    std::move(units[u][j]);
+        }
+        progress.finish();
+        return cells;
+    }
+
     auto runCell = [&](std::size_t index) {
         const std::string &name = names[index / configs_.size()];
         const Config &config = configs_[index % configs_.size()];
@@ -201,12 +285,7 @@ SweepRunner::run() const
         cell.workload = name;
         cell.configLabel = config.label;
         obs::ScopedSpan span(name + " | " + config.label, "cell");
-        std::unique_ptr<TraceSource> trace;
-        if (use_cache)
-            trace = std::make_unique<SharedTraceView>(cache.get(name),
-                                                      name);
-        else
-            trace = workloads::findWorkload(name).instantiate();
+        std::unique_ptr<TraceSource> trace = makeTrace(name);
         cell.result = runExperiment(*trace, config.policy, config.tlb,
                                     options_);
         progress.tick(cell.result.refs);

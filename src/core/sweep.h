@@ -64,6 +64,18 @@ class SweepRunner
     SweepRunner &threads(unsigned n);
 
     /**
+     * Share one trace pass among configuration columns with equal
+     * policies (stacksim's one-pass-many-configs trick, extended to
+     * the full driver via runSharedPass).  Columns are grouped by
+     * PolicySpec equality; each (workload, group) becomes one work
+     * unit classifying the trace once and probing every TLB geometry
+     * in the group.  Results stay bit-identical to independent cells
+     * — the tests/perf suite gates this — and the returned vector
+     * keeps serial row-major order.  Off by default.
+     */
+    SweepRunner &sharedPass(bool enabled = true);
+
+    /**
      * Force the shared materialized-trace cache on or off.  When on,
      * each workload is generated once into an immutable in-memory
      * trace and every configuration replays it through its own
@@ -131,6 +143,7 @@ class SweepRunner
     RunOptions options_;
     unsigned threads_ = 0;
     CacheMode cache_mode_ = CacheMode::Auto;
+    bool shared_pass_ = false;
 };
 
 /** Human-readable label for a PolicySpec ("4KB", "4KB/32KB"). */

@@ -9,6 +9,12 @@
  * 2^0 .. 2^max_set_bits side by side reproduces the paper's "84 TLB
  * configurations in one simulation at about double the cost of one"
  * (Section 3.3).
+ *
+ * The full experiment driver generalizes the same share-one-pass idea
+ * beyond LRU stacks: core::runSharedPass classifies a trace once and
+ * probes every TLB geometry in a policy-equal group against it
+ * (DESIGN.md §11), trading this module's exactness-per-organization
+ * restriction for arbitrary replacement/organization mixes.
  */
 
 #ifndef TPS_STACKSIM_ALL_ASSOC_H_

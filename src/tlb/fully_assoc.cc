@@ -1,5 +1,8 @@
 #include "tlb/fully_assoc.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "tlb/tlb_detail.h"
 #include "util/bitops.h"
 #include "util/logging.h"
@@ -9,9 +12,10 @@ namespace tps
 
 FullyAssocTlb::FullyAssocTlb(std::size_t entries, ReplPolicy policy,
                              unsigned large_log2, std::uint64_t rng_seed)
-    : entries_(entries), policy_(policy), large_log2_(large_log2),
+    : store_(entries), policy_(policy), large_log2_(large_log2),
       rng_(rng_seed), rng_seed_(rng_seed)
 {
+    lookup_.assign(std::bit_ceil(entries * 4), 0);
     if (entries == 0)
         tps_fatal("TLB must have at least one entry");
     if (policy == ReplPolicy::TreePLRU &&
@@ -21,47 +25,126 @@ FullyAssocTlb::FullyAssocTlb(std::size_t entries, ReplPolicy policy,
     }
 }
 
+inline bool
+FullyAssocTlb::probeOne(const PageId &page)
+{
+    ++clock_;
+    const bool is_large = page.sizeLog2 >= large_log2_;
+    const std::uint32_t want_meta =
+        detail::packMeta(asid_, page.sizeLog2);
+
+    // Probe-index cache first: a validated slot is the unique match
+    // (see lookup_'s declaration); a colliding or stale slot fails
+    // the store re-check and we fall through to the full scan.
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(page.vpn) & lookupMask();
+    const std::size_t cached = lookup_[slot];
+    if (store_.meta[cached] == want_meta &&
+        store_.vpn[cached] == page.vpn) {
+        store_.lastUse[cached] = clock_;
+        if (policy_ == ReplPolicy::TreePLRU)
+            plru_.touch(cached, store_.size());
+        detail::recordOutcome(stats_, true, is_large);
+        return true;
+    }
+
+    const long found =
+        detail::soaFindMatch(store_, 0, store_.size(), want_meta,
+                             page.vpn);
+    if (found >= 0) {
+        const auto i = static_cast<std::size_t>(found);
+        lookup_[slot] = static_cast<std::uint32_t>(i);
+        store_.lastUse[i] = clock_;
+        if (policy_ == ReplPolicy::TreePLRU)
+            plru_.touch(i, store_.size());
+        detail::recordOutcome(stats_, true, is_large);
+        return true;
+    }
+
+    detail::recordOutcome(stats_, false, is_large);
+    const std::size_t victim = detail::soaChooseVictim(
+        store_, 0, store_.size(), policy_, rng_, plru_);
+    if (store_.valid(victim))
+        ++stats_.evictions;
+    store_.fill(victim, page, asid_, clock_);
+    lookup_[slot] = static_cast<std::uint32_t>(victim);
+    if (policy_ == ReplPolicy::TreePLRU)
+        plru_.touch(victim, store_.size());
+    ++stats_.fills;
+    return false;
+}
+
 bool
 FullyAssocTlb::access(const PageId &page, Addr vaddr)
 {
     (void)vaddr; // fully associative: no index bits
-    ++clock_;
-    const bool is_large = page.sizeLog2 >= large_log2_;
+    return probeOne(page);
+}
 
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        TlbEntry &entry = entries_[i];
-        if (entry.matches(page, asid_)) {
-            entry.lastUse = clock_;
-            if (policy_ == ReplPolicy::TreePLRU)
-                plru_.touch(i, entries_.size());
-            detail::recordOutcome(stats_, true, is_large);
-            return true;
+void
+FullyAssocTlb::lookupBatch(const BatchRef *refs, std::size_t n,
+                           BatchResult &out)
+{
+    out.hit.resize(n);
+    // Specialized probeOne loop: the probe-index hit path keeps the
+    // clock in a local and defers its statistics to per-batch
+    // accumulators, so the common resident-page reference costs a
+    // handful of loads instead of five member read-modify-writes.
+    // Outcomes, entry state, replacement decisions and final stats
+    // are bit-identical to calling probeOne n times — only the order
+    // of commutative counter increments changes, and nothing observes
+    // stats_ mid-batch.
+    std::uint8_t *hit_out = out.hit.data();
+    const std::uint16_t asid = asid_;
+    const unsigned large_log2 = large_log2_;
+    const bool plru_on = policy_ == ReplPolicy::TreePLRU;
+    const std::uint32_t *entry_meta = store_.meta.data();
+    const Addr *entry_vpn = store_.vpn.data();
+    RefTime *entry_last = store_.lastUse.data();
+    const std::uint32_t *lookup = lookup_.data();
+    const std::uint32_t mask = lookupMask();
+    std::uint64_t clock = clock_;
+    std::uint64_t hits_small = 0;
+    std::uint64_t hits_large = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const PageId page = refs[i].page;
+        const std::uint32_t want_meta =
+            detail::packMeta(asid, page.sizeLog2);
+        const std::size_t cached =
+            lookup[static_cast<std::uint32_t>(page.vpn) & mask];
+        if (entry_meta[cached] == want_meta &&
+            entry_vpn[cached] == page.vpn) {
+            entry_last[cached] = ++clock;
+            if (plru_on)
+                plru_.touch(cached, store_.size());
+            if (page.sizeLog2 >= large_log2)
+                ++hits_large;
+            else
+                ++hits_small;
+            hit_out[i] = 1;
+            continue;
         }
+        clock_ = clock; // probeOne advances the clock + stats itself
+        hit_out[i] = probeOne(page) ? 1 : 0;
+        clock = clock_;
     }
 
-    detail::recordOutcome(stats_, false, is_large);
-    const std::size_t victim = chooseVictim(
-        entries_.data(), entries_.size(), policy_, rng_, plru_);
-    TlbEntry &slot = entries_[victim];
-    if (slot.valid)
-        ++stats_.evictions;
-    slot.page = page;
-    slot.asid = asid_;
-    slot.valid = true;
-    slot.lastUse = clock_;
-    slot.inserted = clock_;
-    if (policy_ == ReplPolicy::TreePLRU)
-        plru_.touch(victim, entries_.size());
-    ++stats_.fills;
-    return false;
+    clock_ = clock;
+    stats_.accesses += hits_small + hits_large;
+    stats_.hits += hits_small + hits_large;
+    stats_.hitsSmall += hits_small;
+    stats_.hitsLarge += hits_large;
 }
 
 void
 FullyAssocTlb::invalidatePage(const PageId &page)
 {
-    for (TlbEntry &entry : entries_) {
-        if (entry.matches(page, asid_)) {
-            entry.valid = false;
+    const std::uint32_t want_meta =
+        detail::packMeta(asid_, page.sizeLog2);
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (store_.meta[i] == want_meta && store_.vpn[i] == page.vpn) {
+            store_.invalidate(i);
             ++stats_.invalidations;
         }
     }
@@ -70,9 +153,9 @@ FullyAssocTlb::invalidatePage(const PageId &page)
 void
 FullyAssocTlb::invalidateAsid(std::uint16_t asid)
 {
-    for (TlbEntry &entry : entries_) {
-        if (entry.valid && entry.asid == asid) {
-            entry.valid = false;
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (store_.valid(i) && detail::metaAsid(store_.meta[i]) == asid) {
+            store_.invalidate(i);
             ++stats_.invalidations;
         }
     }
@@ -81,9 +164,9 @@ FullyAssocTlb::invalidateAsid(std::uint16_t asid)
 void
 FullyAssocTlb::invalidateAll()
 {
-    for (TlbEntry &entry : entries_) {
-        if (entry.valid) {
-            entry.valid = false;
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (store_.valid(i)) {
+            store_.invalidate(i);
             ++stats_.invalidations;
         }
     }
@@ -92,8 +175,8 @@ FullyAssocTlb::invalidateAll()
 void
 FullyAssocTlb::reset()
 {
-    for (TlbEntry &entry : entries_)
-        entry = TlbEntry{};
+    store_.clear();
+    std::fill(lookup_.begin(), lookup_.end(), 0);
     clock_ = 0;
     stats_ = TlbStats{};
     rng_ = Rng(rng_seed_);
@@ -104,7 +187,7 @@ FullyAssocTlb::reset()
 std::string
 FullyAssocTlb::name() const
 {
-    return std::to_string(entries_.size()) + "-entry fully assoc (" +
+    return std::to_string(store_.size()) + "-entry fully assoc (" +
            replPolicyName(policy_) + ")";
 }
 
@@ -112,18 +195,17 @@ std::size_t
 FullyAssocTlb::validCount() const
 {
     std::size_t count = 0;
-    for (const TlbEntry &entry : entries_)
-        count += entry.valid ? 1 : 0;
+    for (std::size_t i = 0; i < store_.size(); ++i)
+        count += store_.valid(i) ? 1 : 0;
     return count;
 }
 
 bool
 FullyAssocTlb::contains(const PageId &page) const
 {
-    for (const TlbEntry &entry : entries_)
-        if (entry.matches(page, asid_))
-            return true;
-    return false;
+    return detail::soaFindMatch(store_, 0, store_.size(),
+                                detail::packMeta(asid_, page.sizeLog2),
+                                page.vpn) >= 0;
 }
 
 } // namespace tps

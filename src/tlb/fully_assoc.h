@@ -5,14 +5,17 @@
  * The straightforward way to support multiple page sizes: every entry
  * carries the page size in its tag and (logically) has its own
  * comparator, so any page of any size can live in any entry.
+ *
+ * Entry state is stored structure-of-arrays (soa_store.h) so the
+ * all-entries tag compare vectorizes; lookupBatch() amortizes the
+ * per-reference virtual dispatch on top of that.
  */
 
 #ifndef TPS_TLB_FULLY_ASSOC_H_
 #define TPS_TLB_FULLY_ASSOC_H_
 
-#include <vector>
-
 #include "tlb/replacement.h"
+#include "tlb/soa_store.h"
 #include "tlb/tlb.h"
 #include "tlb/tlb_entry.h"
 #include "util/random.h"
@@ -35,12 +38,14 @@ class FullyAssocTlb : public Tlb
                   std::uint64_t rng_seed = 1);
 
     bool access(const PageId &page, Addr vaddr) override;
+    void lookupBatch(const BatchRef *refs, std::size_t n,
+                     BatchResult &out) override;
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
     void invalidateAsid(std::uint16_t asid) override;
     void reset() override;
     void resetStats() override { stats_ = TlbStats{}; }
-    std::size_t capacity() const override { return entries_.size(); }
+    std::size_t capacity() const override { return store_.size(); }
     const TlbStats &stats() const override { return stats_; }
     std::string name() const override;
 
@@ -53,7 +58,29 @@ class FullyAssocTlb : public Tlb
     bool contains(const PageId &page) const;
 
   private:
-    std::vector<TlbEntry> entries_;
+    /** One probe + fill, shared by access() and lookupBatch(). */
+    bool probeOne(const PageId &page);
+
+    /**
+     * Direct-mapped probe-index cache: lookup_[vpn & mask] remembers
+     * which entry a page last matched or filled.  Pure search-order
+     * optimization — a cached index is only trusted after
+     * re-validating the store at that index, and a resident
+     * (vpn, meta) pair is unique (fills only follow whole-store
+     * misses), so a validated match IS the unique match and hit/miss
+     * outcomes, replacement and statistics are bit-identical with or
+     * without it.  Colliding or stale slots simply fail validation
+     * and fall back to the full scan, which rewrites the slot
+     * (self-healing).  Sized 4x the entry count so live pages rarely
+     * collide.
+     */
+    std::uint32_t lookupMask() const
+    {
+        return static_cast<std::uint32_t>(lookup_.size() - 1);
+    }
+
+    detail::SoaStore store_;
+    std::vector<std::uint32_t> lookup_;
     ReplPolicy policy_;
     unsigned large_log2_;
     Rng rng_;

@@ -13,7 +13,7 @@ SetAssocTlb::SetAssocTlb(std::size_t entries, std::size_t ways,
                          IndexScheme scheme, unsigned small_log2,
                          unsigned large_log2, ReplPolicy policy,
                          std::uint64_t rng_seed)
-    : entries_(entries), sets_(ways == 0 ? 0 : entries / ways),
+    : store_(entries), sets_(ways == 0 ? 0 : entries / ways),
       ways_(ways), scheme_(scheme), small_log2_(small_log2),
       large_log2_(large_log2), policy_(policy), rng_(rng_seed),
       rng_seed_(rng_seed)
@@ -54,39 +54,52 @@ SetAssocTlb::indexFor(const PageId &page, Addr vaddr) const
     return static_cast<std::size_t>((vaddr >> shift) & mask(index_bits_));
 }
 
-bool
-SetAssocTlb::access(const PageId &page, Addr vaddr)
+inline bool
+SetAssocTlb::probeOne(const PageId &page, Addr vaddr)
 {
     ++clock_;
     const bool is_large = page.sizeLog2 >= large_log2_;
     const std::size_t set = indexFor(page, vaddr);
-    TlbEntry *base = setBase(set);
+    const std::size_t base = set * ways_;
+    const std::uint32_t want_meta =
+        detail::packMeta(asid_, page.sizeLog2);
 
-    for (std::size_t way = 0; way < ways_; ++way) {
-        if (base[way].matches(page, asid_)) {
-            base[way].lastUse = clock_;
-            if (policy_ == ReplPolicy::TreePLRU)
-                plru_[set].touch(way, ways_);
-            detail::recordOutcome(stats_, true, is_large);
-            return true;
-        }
+    const long found =
+        detail::soaFindMatch(store_, base, ways_, want_meta, page.vpn);
+    if (found >= 0) {
+        const auto way = static_cast<std::size_t>(found);
+        store_.lastUse[base + way] = clock_;
+        if (policy_ == ReplPolicy::TreePLRU)
+            plru_[set].touch(way, ways_);
+        detail::recordOutcome(stats_, true, is_large);
+        return true;
     }
 
     detail::recordOutcome(stats_, false, is_large);
-    const std::size_t victim =
-        chooseVictim(base, ways_, policy_, rng_, plru_[set]);
-    TlbEntry &slot = base[victim];
-    if (slot.valid)
+    const std::size_t victim = detail::soaChooseVictim(
+        store_, base, ways_, policy_, rng_, plru_[set]);
+    if (store_.valid(base + victim))
         ++stats_.evictions;
-    slot.page = page;
-    slot.asid = asid_;
-    slot.valid = true;
-    slot.lastUse = clock_;
-    slot.inserted = clock_;
+    store_.fill(base + victim, page, asid_, clock_);
     if (policy_ == ReplPolicy::TreePLRU)
         plru_[set].touch(victim, ways_);
     ++stats_.fills;
     return false;
+}
+
+bool
+SetAssocTlb::access(const PageId &page, Addr vaddr)
+{
+    return probeOne(page, vaddr);
+}
+
+void
+SetAssocTlb::lookupBatch(const BatchRef *refs, std::size_t n,
+                         BatchResult &out)
+{
+    out.hit.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.hit[i] = probeOne(refs[i].page, refs[i].vaddr) ? 1 : 0;
 }
 
 void
@@ -96,9 +109,11 @@ SetAssocTlb::invalidatePage(const PageId &page)
     // several sets (the pathology of Section 2.2), so a correct
     // shootdown must search the whole array.  Invalidations are rare
     // (only promotions/demotions), so the full scan is acceptable.
-    for (TlbEntry &entry : entries_) {
-        if (entry.matches(page, asid_)) {
-            entry.valid = false;
+    const std::uint32_t want_meta =
+        detail::packMeta(asid_, page.sizeLog2);
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (store_.meta[i] == want_meta && store_.vpn[i] == page.vpn) {
+            store_.invalidate(i);
             ++stats_.invalidations;
         }
     }
@@ -107,9 +122,9 @@ SetAssocTlb::invalidatePage(const PageId &page)
 void
 SetAssocTlb::invalidateAsid(std::uint16_t asid)
 {
-    for (TlbEntry &entry : entries_) {
-        if (entry.valid && entry.asid == asid) {
-            entry.valid = false;
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (store_.valid(i) && detail::metaAsid(store_.meta[i]) == asid) {
+            store_.invalidate(i);
             ++stats_.invalidations;
         }
     }
@@ -118,9 +133,9 @@ SetAssocTlb::invalidateAsid(std::uint16_t asid)
 void
 SetAssocTlb::invalidateAll()
 {
-    for (TlbEntry &entry : entries_) {
-        if (entry.valid) {
-            entry.valid = false;
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (store_.valid(i)) {
+            store_.invalidate(i);
             ++stats_.invalidations;
         }
     }
@@ -129,8 +144,7 @@ SetAssocTlb::invalidateAll()
 void
 SetAssocTlb::reset()
 {
-    for (TlbEntry &entry : entries_)
-        entry = TlbEntry{};
+    store_.clear();
     clock_ = 0;
     stats_ = TlbStats{};
     rng_ = Rng(rng_seed_);
@@ -141,7 +155,7 @@ SetAssocTlb::reset()
 std::string
 SetAssocTlb::name() const
 {
-    return std::to_string(entries_.size()) + "-entry " +
+    return std::to_string(store_.size()) + "-entry " +
            std::to_string(ways_) + "-way (" + indexSchemeName(scheme_) +
            ", " + replPolicyName(policy_) + ")";
 }
@@ -149,9 +163,14 @@ SetAssocTlb::name() const
 std::size_t
 SetAssocTlb::residentCopies(const PageId &page) const
 {
+    const std::uint32_t want_meta =
+        detail::packMeta(asid_, page.sizeLog2);
     std::size_t count = 0;
-    for (const TlbEntry &entry : entries_)
-        count += entry.matches(page, asid_) ? 1 : 0;
+    for (std::size_t i = 0; i < store_.size(); ++i)
+        count += (store_.meta[i] == want_meta &&
+                  store_.vpn[i] == page.vpn)
+                     ? 1
+                     : 0;
     return count;
 }
 

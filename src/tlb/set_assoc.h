@@ -17,6 +17,10 @@
  *    sequentially, or split the TLB (Section 2.2, options a/b/c).
  *    Miss behaviour is identical across those options; they differ in
  *    probe cost, which the CPI model charges (see core/cpi_model.h).
+ *
+ * Entries are stored structure-of-arrays (soa_store.h), set-major, so
+ * the per-set way compare is branch-free; lookupBatch() amortizes the
+ * per-reference virtual dispatch on top of that.
  */
 
 #ifndef TPS_TLB_SET_ASSOC_H_
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "tlb/replacement.h"
+#include "tlb/soa_store.h"
 #include "tlb/tlb.h"
 #include "tlb/tlb_entry.h"
 #include "util/random.h"
@@ -71,12 +76,14 @@ class SetAssocTlb : public Tlb
                 std::uint64_t rng_seed = 1);
 
     bool access(const PageId &page, Addr vaddr) override;
+    void lookupBatch(const BatchRef *refs, std::size_t n,
+                     BatchResult &out) override;
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
     void invalidateAsid(std::uint16_t asid) override;
     void reset() override;
     void resetStats() override { stats_ = TlbStats{}; }
-    std::size_t capacity() const override { return entries_.size(); }
+    std::size_t capacity() const override { return store_.size(); }
     const TlbStats &stats() const override { return stats_; }
     std::string name() const override;
 
@@ -92,14 +99,10 @@ class SetAssocTlb : public Tlb
     std::size_t residentCopies(const PageId &page) const;
 
   private:
-    TlbEntry *setBase(std::size_t set) { return &entries_[set * ways_]; }
-    const TlbEntry *
-    setBase(std::size_t set) const
-    {
-        return &entries_[set * ways_];
-    }
+    /** One probe + fill, shared by access() and lookupBatch(). */
+    bool probeOne(const PageId &page, Addr vaddr);
 
-    std::vector<TlbEntry> entries_; ///< sets_ x ways_, set-major
+    detail::SoaStore store_; ///< sets_ x ways_, set-major
     std::size_t sets_;
     std::size_t ways_;
     IndexScheme scheme_;

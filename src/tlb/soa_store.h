@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Structure-of-arrays entry storage shared by the associative TLB
+ * organizations (DESIGN.md §11).
+ *
+ * The array-of-structs TlbEntry layout costs 32 bytes per entry and a
+ * branchy compare per way; a 64-entry fully associative probe walks
+ * 2KB of memory per reference.  Splitting the entry into parallel
+ * arrays — one 64-bit vpn lane and one packed 32-bit meta word
+ * (valid bit | ASID | page-size exponent) — lets the match loop read
+ * 12 bytes per way with no data-dependent branches, which compilers
+ * vectorize.  Replacement metadata (lastUse/inserted) lives in its own
+ * arrays and is only touched on the hit/fill paths.
+ *
+ * Semantics are bit-identical to the TlbEntry path: the probe helpers
+ * mirror TlbEntry::matches() and chooseVictim() (replacement.h)
+ * exactly, including tie-breaking order and when the Random policy's
+ * rng is consumed.
+ */
+
+#ifndef TPS_TLB_SOA_STORE_H_
+#define TPS_TLB_SOA_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "tlb/replacement.h"
+#include "tlb/tlb_entry.h"
+#include "util/random.h"
+#include "vm/page.h"
+
+namespace tps::detail
+{
+
+/**
+ * Packed tag-extension word: valid bit 31, ASID in bits 8..23, page
+ * size exponent in bits 0..7.  An invalid entry is all-zero, so one
+ * 32-bit equality against packMeta(asid, sizeLog2) implements
+ * TlbEntry::matches() minus the vpn compare.
+ */
+inline std::uint32_t
+packMeta(std::uint16_t asid, std::uint8_t size_log2)
+{
+    return (std::uint32_t{1} << 31) | (std::uint32_t{asid} << 8) |
+           std::uint32_t{size_log2};
+}
+
+inline constexpr std::uint32_t kSoaValidBit = std::uint32_t{1} << 31;
+
+/** ASID field of a packed meta word. */
+inline std::uint16_t
+metaAsid(std::uint32_t meta)
+{
+    return static_cast<std::uint16_t>((meta >> 8) & 0xffff);
+}
+
+/** Parallel entry arrays for a group of `size()` entries. */
+struct SoaStore
+{
+    std::vector<Addr> vpn;
+    std::vector<std::uint32_t> meta; ///< 0 = invalid (see packMeta)
+    std::vector<RefTime> lastUse;
+    std::vector<RefTime> inserted;
+
+    explicit SoaStore(std::size_t entries = 0) { resize(entries); }
+
+    void
+    resize(std::size_t entries)
+    {
+        vpn.assign(entries, 0);
+        meta.assign(entries, 0);
+        lastUse.assign(entries, 0);
+        inserted.assign(entries, 0);
+    }
+
+    std::size_t size() const { return meta.size(); }
+
+    void
+    clear()
+    {
+        std::fill(vpn.begin(), vpn.end(), 0);
+        std::fill(meta.begin(), meta.end(), 0);
+        std::fill(lastUse.begin(), lastUse.end(), 0);
+        std::fill(inserted.begin(), inserted.end(), 0);
+    }
+
+    void
+    invalidate(std::size_t i)
+    {
+        meta[i] = 0;
+    }
+
+    bool valid(std::size_t i) const { return meta[i] != 0; }
+
+    void
+    fill(std::size_t i, const PageId &page, std::uint16_t asid,
+         RefTime clock)
+    {
+        vpn[i] = page.vpn;
+        meta[i] = packMeta(asid, page.sizeLog2);
+        lastUse[i] = clock;
+        inserted[i] = clock;
+    }
+
+    /** PageId stored at @p i (meaningful only while valid). */
+    PageId
+    pageAt(std::size_t i) const
+    {
+        return PageId{vpn[i],
+                      static_cast<std::uint8_t>(meta[i] & 0xff)};
+    }
+};
+
+/**
+ * Index of the entry matching (want_meta, want_vpn) in
+ * [first, first+count), or -1.  Branch-free over the candidates so the
+ * compiler can vectorize; correctness relies on at most one match,
+ * which every organization guarantees (a page is filled only after a
+ * whole-group probe missed, and shootdowns remove all copies).
+ */
+inline long
+soaFindMatch(const SoaStore &store, std::size_t first, std::size_t count,
+             std::uint32_t want_meta, Addr want_vpn)
+{
+    const std::uint32_t *meta = store.meta.data() + first;
+    const Addr *vpn = store.vpn.data() + first;
+    long found = -1;
+    for (std::size_t i = 0; i < count; ++i) {
+        const bool match = (meta[i] == want_meta) & (vpn[i] == want_vpn);
+        if (match)
+            found = static_cast<long>(i);
+    }
+    return found;
+}
+
+/**
+ * chooseVictim() (replacement.h) transliterated to the SoA layout:
+ * first invalid entry wins, then the policy decides.  The Random
+ * policy consumes its rng only when no invalid entry exists — the
+ * consumption order is part of the determinism contract.
+ */
+inline std::size_t
+soaChooseVictim(const SoaStore &store, std::size_t first,
+                std::size_t count, ReplPolicy policy, Rng &rng,
+                const PlruTree &plru)
+{
+    const std::uint32_t *meta = store.meta.data() + first;
+    for (std::size_t i = 0; i < count; ++i)
+        if (meta[i] == 0)
+            return i;
+
+    if (policy == ReplPolicy::TreePLRU)
+        return plru.victim(count);
+
+    switch (policy) {
+      case ReplPolicy::LRU: {
+          const RefTime *last = store.lastUse.data() + first;
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < count; ++i)
+              if (last[i] < last[victim])
+                  victim = i;
+          return victim;
+      }
+      case ReplPolicy::FIFO: {
+          const RefTime *ins = store.inserted.data() + first;
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < count; ++i)
+              if (ins[i] < ins[victim])
+                  victim = i;
+          return victim;
+      }
+      case ReplPolicy::Random:
+        return static_cast<std::size_t>(rng.below(count));
+      case ReplPolicy::TreePLRU:
+        break; // handled above
+    }
+    return 0;
+}
+
+} // namespace tps::detail
+
+#endif // TPS_TLB_SOA_STORE_H_

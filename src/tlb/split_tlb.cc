@@ -22,6 +22,34 @@ SplitTlb::access(const PageId &page, Addr vaddr)
 }
 
 void
+SplitTlb::lookupBatch(const BatchRef *refs, std::size_t n,
+                      BatchResult &out)
+{
+    // The two sub-TLBs share no state, so a stable partition by page
+    // size replayed through each sub-TLB in order is indistinguishable
+    // from the interleaved per-reference stream.
+    out.hit.resize(n);
+    part_refs_[0].clear();
+    part_refs_[1].clear();
+    part_index_[0].clear();
+    part_index_[1].clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        const int side = refs[i].page.sizeLog2 >= large_log2_ ? 1 : 0;
+        part_refs_[side].push_back(refs[i]);
+        part_index_[side].push_back(static_cast<std::uint32_t>(i));
+    }
+    for (int side = 0; side < 2; ++side) {
+        if (part_refs_[side].empty())
+            continue;
+        Tlb &target = side == 1 ? *large_ : *small_;
+        target.lookupBatch(part_refs_[side].data(),
+                           part_refs_[side].size(), part_result_);
+        for (std::size_t j = 0; j < part_index_[side].size(); ++j)
+            out.hit[part_index_[side][j]] = part_result_.hit[j];
+    }
+}
+
+void
 SplitTlb::invalidatePage(const PageId &page)
 {
     Tlb &target = page.sizeLog2 >= large_log2_ ? *large_ : *small_;

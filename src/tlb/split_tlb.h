@@ -14,6 +14,7 @@
 #define TPS_TLB_SPLIT_TLB_H_
 
 #include <memory>
+#include <vector>
 
 #include "tlb/tlb.h"
 
@@ -32,6 +33,8 @@ class SplitTlb : public Tlb
              unsigned large_log2 = kLog2_32K);
 
     bool access(const PageId &page, Addr vaddr) override;
+    void lookupBatch(const BatchRef *refs, std::size_t n,
+                     BatchResult &out) override;
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
     void invalidateAsid(std::uint16_t asid) override;
@@ -53,6 +56,12 @@ class SplitTlb : public Tlb
     std::unique_ptr<Tlb> large_;
     unsigned large_log2_;
     mutable TlbStats combined_;
+
+    // lookupBatch() scratch, reused across calls: the batch is stably
+    // partitioned per sub-TLB and outcomes scattered back by index.
+    std::vector<BatchRef> part_refs_[2];
+    std::vector<std::uint32_t> part_index_[2];
+    BatchResult part_result_;
 };
 
 } // namespace tps

@@ -6,6 +6,17 @@ namespace tps
 {
 
 void
+Tlb::lookupBatch(const BatchRef *refs, std::size_t n, BatchResult &out)
+{
+    // Reference semantics: one virtual access() per reference.  Batched
+    // organizations override this; equivalence is asserted by the perf
+    // test suite (tests/perf/batch_probe_test.cc).
+    out.hit.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.hit[i] = access(refs[i].page, refs[i].vaddr) ? 1 : 0;
+}
+
+void
 TlbStats::exportTo(obs::StatRegistry &registry,
                    const std::string &prefix) const
 {

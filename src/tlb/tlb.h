@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/stat_registry.h"
 #include "vm/page.h"
@@ -72,6 +73,20 @@ class Tlb : public InvalidationSink
   public:
     ~Tlb() override = default;
 
+    /** One pre-classified reference of a probe batch. */
+    struct BatchRef
+    {
+        PageId page; ///< translation unit assigned by the OS policy
+        Addr vaddr;  ///< full virtual address (drives set indexing)
+    };
+
+    /** Per-reference outcomes of one lookupBatch() call. */
+    struct BatchResult
+    {
+        /** hit[i] != 0 iff refs[i] hit; resized to n by the callee. */
+        std::vector<std::uint8_t> hit;
+    };
+
     /**
      * Simulate one translation.  On a miss the translation is filled
      * (trace-driven convention: the fill always succeeds).
@@ -81,6 +96,22 @@ class Tlb : public InvalidationSink
      * @return true on hit
      */
     virtual bool access(const PageId &page, Addr vaddr) = 0;
+
+    /**
+     * Probe @p n references in order, exactly as if access() had been
+     * called once per reference: identical hit/miss outcomes, fills,
+     * evictions, replacement-state evolution and statistics.  The base
+     * implementation *is* that per-reference loop and serves as the
+     * oracle the batched overrides are tested against; overrides exist
+     * purely to amortize dispatch and to probe structure-of-arrays
+     * entry state with vectorizable compares (DESIGN.md §11).
+     *
+     * Invalidations and ASID switches must not occur mid-batch; the
+     * caller splits its batches at such events (see the batched
+     * experiment engine in core/experiment.cc).
+     */
+    virtual void lookupBatch(const BatchRef *refs, std::size_t n,
+                             BatchResult &out);
 
     /** Remove every entry (context-switch flush). */
     virtual void invalidateAll() = 0;

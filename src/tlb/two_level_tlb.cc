@@ -44,6 +44,51 @@ TwoLevelTlb::access(const PageId &page, Addr vaddr)
 }
 
 void
+TwoLevelTlb::lookupBatch(const BatchRef *refs, std::size_t n,
+                         BatchResult &out)
+{
+    // The levels never exchange state during lookups (each refills
+    // itself on its own miss), so L1 may consume the whole batch first
+    // and L2 then replays exactly the L1-miss subsequence, in order —
+    // the same streams each level sees under per-reference access().
+    out.hit.resize(n);
+    l1_->lookupBatch(refs, n, l1_result_);
+    l2_refs_.clear();
+    l2_index_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        ++stats_.accesses;
+        if (l1_result_.hit[i]) {
+            const bool is_large = refs[i].page.sizeLog2 >= kLog2_32K;
+            ++level_stats_.l1Hits;
+            ++stats_.hits;
+            (is_large ? stats_.hitsLarge : stats_.hitsSmall) += 1;
+            out.hit[i] = 1;
+        } else {
+            l2_refs_.push_back(refs[i]);
+            l2_index_.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    if (l2_refs_.empty())
+        return;
+    l2_->lookupBatch(l2_refs_.data(), l2_refs_.size(), l2_result_);
+    for (std::size_t j = 0; j < l2_refs_.size(); ++j) {
+        const bool is_large = l2_refs_[j].page.sizeLog2 >= kLog2_32K;
+        if (l2_result_.hit[j]) {
+            ++level_stats_.l2Hits;
+            ++stats_.hits;
+            (is_large ? stats_.hitsLarge : stats_.hitsSmall) += 1;
+            out.hit[l2_index_[j]] = 1;
+        } else {
+            ++level_stats_.l2Misses;
+            ++stats_.misses;
+            (is_large ? stats_.missesLarge : stats_.missesSmall) += 1;
+            ++stats_.fills;
+            out.hit[l2_index_[j]] = 0;
+        }
+    }
+}
+
+void
 TwoLevelTlb::invalidatePage(const PageId &page)
 {
     l1_->invalidatePage(page);

@@ -16,6 +16,7 @@
 #define TPS_TLB_TWO_LEVEL_TLB_H_
 
 #include <memory>
+#include <vector>
 
 #include "tlb/tlb.h"
 
@@ -43,6 +44,9 @@ class TwoLevelTlb : public Tlb
      */
     bool access(const PageId &page, Addr vaddr) override;
 
+    void lookupBatch(const BatchRef *refs, std::size_t n,
+                     BatchResult &out) override;
+
     void invalidatePage(const PageId &page) override;
     void invalidateAll() override;
     void invalidateAsid(std::uint16_t asid) override;
@@ -62,6 +66,12 @@ class TwoLevelTlb : public Tlb
     std::unique_ptr<Tlb> l2_;
     TwoLevelStats level_stats_;
     TlbStats stats_;
+
+    // lookupBatch() scratch: the L1-miss subsequence forwarded to L2.
+    std::vector<BatchRef> l2_refs_;
+    std::vector<std::uint32_t> l2_index_;
+    BatchResult l1_result_;
+    BatchResult l2_result_;
 };
 
 } // namespace tps

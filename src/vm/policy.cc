@@ -35,14 +35,6 @@ SingleSizePolicy::SingleSizePolicy(unsigned size_log2)
         tps_fatal("implausible page size 2^", size_log2);
 }
 
-PageId
-SingleSizePolicy::classify(Addr vaddr, RefTime now)
-{
-    (void)now;
-    ++stats_.refsSmall;
-    return pageOf(vaddr, size_log2_);
-}
-
 void
 SingleSizePolicy::setInvalidationSink(InvalidationSink *sink)
 {

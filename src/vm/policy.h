@@ -114,7 +114,16 @@ class SingleSizePolicy : public PageSizePolicy
   public:
     explicit SingleSizePolicy(unsigned size_log2);
 
-    PageId classify(Addr vaddr, RefTime now) override;
+    // Defined inline so the batched experiment engine's devirtualized
+    // classification loop (core/experiment.cc) can inline it.
+    PageId
+    classify(Addr vaddr, RefTime now) override
+    {
+        (void)now;
+        ++stats_.refsSmall;
+        return pageOf(vaddr, size_log2_);
+    }
+
     void setInvalidationSink(InvalidationSink *sink) override;
     void reset() override;
     void resetStats() override { stats_ = PolicyStats{}; }

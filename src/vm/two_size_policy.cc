@@ -1,5 +1,7 @@
 #include "vm/two_size_policy.h"
 
+#include <algorithm>
+
 #include "util/format.h"
 #include "util/logging.h"
 
@@ -45,6 +47,26 @@ TwoSizePolicy::activeBlocks(const ChunkState &state, RefTime now) const
     return active;
 }
 
+unsigned
+TwoSizePolicy::rescanActive(ChunkState &state, RefTime now) const
+{
+    std::uint64_t active_mask = 0;
+    unsigned active = 0;
+    RefTime next_expiry = ~RefTime{0};
+    for (unsigned b = 0; b < blocks_per_chunk_; ++b) {
+        const RefTime last = state.lastRef[b];
+        if (last != 0 && now - last < config_.window) {
+            active_mask |= std::uint64_t{1} << b;
+            ++active;
+            next_expiry = std::min(next_expiry, last + config_.window);
+        }
+    }
+    state.activeMask = active_mask;
+    state.activeCount = active;
+    state.nextExpiry = next_expiry;
+    return active;
+}
+
 void
 TwoSizePolicy::promote(Addr chunk_number, ChunkState &state)
 {
@@ -80,26 +102,7 @@ TwoSizePolicy::demote(Addr chunk_number, ChunkState &state)
 PageId
 TwoSizePolicy::classify(Addr vaddr, RefTime now)
 {
-    const Addr chunk_number = vaddr >> config_.largeLog2;
-    ChunkState &state = chunks_[chunk_number];
-
-    const unsigned block = static_cast<unsigned>(
-        (vaddr >> config_.smallLog2) & (blocks_per_chunk_ - 1));
-    state.lastRef[block] = now;
-
-    const unsigned active = activeBlocks(state, now);
-    if (!state.large && active >= promote_threshold_)
-        promote(chunk_number, state);
-    else if (state.large && demote_threshold_ != 0 &&
-             active < demote_threshold_)
-        demote(chunk_number, state);
-
-    if (state.large) {
-        ++stats_.refsLarge;
-        return pageOf(vaddr, config_.largeLog2);
-    }
-    ++stats_.refsSmall;
-    return pageOf(vaddr, config_.smallLog2);
+    return classifyFast(vaddr, now);
 }
 
 void
@@ -112,6 +115,8 @@ void
 TwoSizePolicy::reset()
 {
     chunks_.clear();
+    cached_chunk_ = 0;
+    cached_state_ = nullptr;
     stats_ = PolicyStats{};
 }
 

@@ -67,6 +67,22 @@ struct TwoSizeConfig
     unsigned resolvedPromote() const;
 };
 
+/** Configs are equal iff they drive bit-identical policies. */
+inline bool
+operator==(const TwoSizeConfig &a, const TwoSizeConfig &b)
+{
+    return a.smallLog2 == b.smallLog2 && a.largeLog2 == b.largeLog2 &&
+           a.window == b.window &&
+           a.promoteThreshold == b.promoteThreshold &&
+           a.demoteThreshold == b.demoteThreshold;
+}
+
+inline bool
+operator!=(const TwoSizeConfig &a, const TwoSizeConfig &b)
+{
+    return !(a == b);
+}
+
 /** Maximum supported blocks per chunk (4KB small / 256KB large). */
 inline constexpr unsigned kMaxBlocksPerChunk = 64;
 
@@ -79,6 +95,17 @@ class TwoSizePolicy : public PageSizePolicy
     explicit TwoSizePolicy(const TwoSizeConfig &config);
 
     PageId classify(Addr vaddr, RefTime now) override;
+
+    /**
+     * Non-virtual classify for batch replay loops (the virtual
+     * classify() delegates here).  Bit-identical to the original
+     * per-reference recompute, but O(1) amortized: the active-block
+     * count is carried incrementally per chunk and only rescanned when
+     * the cached count could have expired (see activeMask/nextExpiry
+     * in ChunkState and DESIGN.md §11).
+     */
+    PageId classifyFast(Addr vaddr, RefTime now);
+
     void setInvalidationSink(InvalidationSink *sink) override;
     void reset() override;
     void resetStats() override { stats_ = PolicyStats{}; }
@@ -100,10 +127,27 @@ class TwoSizePolicy : public PageSizePolicy
     {
         std::array<RefTime, kMaxBlocksPerChunk> lastRef{}; // 0 = never
         bool large = false;
+
+        // Incremental active-count cache.  Invariant: at the last
+        // rescan time t0, activeMask/activeCount were the exact active
+        // set and nextExpiry = min(lastRef[b] + window) over it.  For
+        // any now < nextExpiry the count stays exact: cached blocks
+        // cannot have expired (touches only extend their deadline, so
+        // nextExpiry is a conservative lower bound), untouched
+        // inactive blocks stay inactive, and newly touched blocks are
+        // folded in as they are touched.  At now >= nextExpiry a full
+        // rescan re-establishes the invariant — the same O(blocks)
+        // walk the pre-cache code paid on every reference.
+        std::uint64_t activeMask = 0;
+        unsigned activeCount = 0;
+        RefTime nextExpiry = 0; ///< 0 forces a rescan on first touch
     };
 
     /** Blocks of @p state accessed within the window ending at @p now. */
     unsigned activeBlocks(const ChunkState &state, RefTime now) const;
+
+    /** Full rescan re-establishing the ChunkState cache invariant. */
+    unsigned rescanActive(ChunkState &state, RefTime now) const;
 
     void promote(Addr chunk_number, ChunkState &state);
     void demote(Addr chunk_number, ChunkState &state);
@@ -114,8 +158,56 @@ class TwoSizePolicy : public PageSizePolicy
     unsigned blocks_per_chunk_;
     InvalidationSink *sink_ = nullptr;
     std::unordered_map<Addr, ChunkState> chunks_;
+    // One-entry chunk cache for the common run of consecutive
+    // references into the same chunk (node-based unordered_map never
+    // invalidates element pointers; reset() clears the cache).
+    Addr cached_chunk_ = 0;
+    ChunkState *cached_state_ = nullptr;
     PolicyStats stats_;
 };
+
+inline PageId
+TwoSizePolicy::classifyFast(Addr vaddr, RefTime now)
+{
+    const Addr chunk_number = vaddr >> config_.largeLog2;
+    ChunkState *state;
+    if (cached_state_ != nullptr && chunk_number == cached_chunk_) {
+        state = cached_state_;
+    } else {
+        state = &chunks_[chunk_number];
+        cached_chunk_ = chunk_number;
+        cached_state_ = state;
+    }
+
+    const unsigned block = static_cast<unsigned>(
+        (vaddr >> config_.smallLog2) & (blocks_per_chunk_ - 1));
+    state->lastRef[block] = now;
+
+    unsigned active;
+    if (now >= state->nextExpiry) {
+        active = rescanActive(*state, now);
+    } else {
+        const std::uint64_t bit = std::uint64_t{1} << block;
+        if ((state->activeMask & bit) == 0) {
+            state->activeMask |= bit;
+            ++state->activeCount;
+        }
+        active = state->activeCount;
+    }
+
+    if (!state->large && active >= promote_threshold_)
+        promote(chunk_number, *state);
+    else if (state->large && demote_threshold_ != 0 &&
+             active < demote_threshold_)
+        demote(chunk_number, *state);
+
+    if (state->large) {
+        ++stats_.refsLarge;
+        return pageOf(vaddr, config_.largeLog2);
+    }
+    ++stats_.refsSmall;
+    return pageOf(vaddr, config_.smallLog2);
+}
 
 } // namespace tps
 

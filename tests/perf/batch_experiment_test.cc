@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Chunk-split property tests for the batched experiment engine:
+ * runExperiment(ExecMode::Batched) must produce bit-identical results
+ * to the per-ref oracle for ANY chunk size, because chunks split at
+ * policy-window boundaries, the warmup boundary, and interval-close
+ * positions.  The policy window here (5'000 refs) is deliberately
+ * coprime-ish with every chunk size under test so window boundaries
+ * land mid-chunk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+void
+expectSameResult(const ExperimentResult &a, const ExperimentResult &b,
+                 const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_EQ(a.instructions, b.instructions);
+
+    EXPECT_EQ(a.tlb.accesses, b.tlb.accesses);
+    EXPECT_EQ(a.tlb.hits, b.tlb.hits);
+    EXPECT_EQ(a.tlb.misses, b.tlb.misses);
+    EXPECT_EQ(a.tlb.hitsSmall, b.tlb.hitsSmall);
+    EXPECT_EQ(a.tlb.hitsLarge, b.tlb.hitsLarge);
+    EXPECT_EQ(a.tlb.missesSmall, b.tlb.missesSmall);
+    EXPECT_EQ(a.tlb.missesLarge, b.tlb.missesLarge);
+    EXPECT_EQ(a.tlb.fills, b.tlb.fills);
+    EXPECT_EQ(a.tlb.evictions, b.tlb.evictions);
+    EXPECT_EQ(a.tlb.invalidations, b.tlb.invalidations);
+
+    EXPECT_EQ(a.policy.refsSmall, b.policy.refsSmall);
+    EXPECT_EQ(a.policy.refsLarge, b.policy.refsLarge);
+    EXPECT_EQ(a.policy.promotions, b.policy.promotions);
+    EXPECT_EQ(a.policy.demotions, b.policy.demotions);
+
+    // Derived metrics are pure functions of the counters above, but
+    // compare them exactly anyway: they are what reports print.
+    EXPECT_EQ(a.cpiTlb, b.cpiTlb);
+    EXPECT_EQ(a.mpi, b.mpi);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.rpi, b.rpi);
+    EXPECT_EQ(a.wsTracked, b.wsTracked);
+    EXPECT_EQ(a.avgWsBytes, b.avgWsBytes);
+}
+
+RunOptions
+baseOptions()
+{
+    RunOptions options;
+    options.maxRefs = 60'000;
+    options.warmupRefs = 15'000;
+    options.wsWindow = 7'000;
+    return options;
+}
+
+ExperimentResult
+runOnce(const PolicySpec &policy, const TlbConfig &tlb,
+        const RunOptions &options)
+{
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    return runExperiment(*workload, policy, tlb, options);
+}
+
+/**
+ * Two-size policy with a 5'000-ref window: promotions/demotions (and
+ * their shootdowns) fire at stream positions that no chunk size under
+ * test divides.  Every chunk size must reproduce the per-ref result
+ * exactly — including chunk sizes larger than the whole trace and the
+ * degenerate chunk size 1.
+ */
+TEST(BatchExperiment, AnyChunkSizeMatchesPerRefOracle)
+{
+    TwoSizeConfig policy_config;
+    policy_config.window = 5'000;
+    policy_config.promoteThreshold = 2; // promote eagerly at this scale
+    policy_config.demoteThreshold = 2;  // and exercise demotion churn
+    const PolicySpec policy = PolicySpec::twoSizes(policy_config);
+
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = 32;
+
+    RunOptions oracle_options = baseOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    const ExperimentResult oracle =
+        runOnce(policy, tlb, oracle_options);
+    ASSERT_EQ(oracle.refs, 45'000u); // measured = maxRefs - warmup
+    ASSERT_GT(oracle.policy.promotions, 0u);
+
+    for (std::uint64_t chunk : {std::uint64_t{1}, std::uint64_t{64},
+                                std::uint64_t{257},
+                                std::uint64_t{4'096},
+                                std::uint64_t{100'000}}) {
+        RunOptions options = baseOptions();
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = chunk;
+        const ExperimentResult batched =
+            runOnce(policy, tlb, options);
+        expectSameResult(batched, oracle,
+                         "chunkRefs=" + std::to_string(chunk));
+    }
+}
+
+/** Same property for a single-size policy (no window events at all —
+ *  the chunk loop's only split points are warmup and end-of-trace). */
+TEST(BatchExperiment, SingleSizePolicyMatchesPerRefOracle)
+{
+    const PolicySpec policy = PolicySpec::single(kLog2_4K);
+
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::SetAssociative;
+    tlb.entries = 32;
+    tlb.ways = 2;
+
+    RunOptions oracle_options = baseOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    const ExperimentResult oracle =
+        runOnce(policy, tlb, oracle_options);
+
+    for (std::uint64_t chunk :
+         {std::uint64_t{97}, std::uint64_t{4'096}}) {
+        RunOptions options = baseOptions();
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = chunk;
+        const ExperimentResult batched =
+            runOnce(policy, tlb, options);
+        expectSameResult(batched, oracle,
+                         "chunkRefs=" + std::to_string(chunk));
+    }
+}
+
+/**
+ * Interval telemetry forces additional chunk splits at interval-close
+ * positions (7'000 measured refs — not a multiple of the 4'096 chunk).
+ * Scalar results must still match, and the per-interval counters must
+ * agree between batched and per-ref execution.
+ */
+TEST(BatchExperiment, IntervalSplitsPreserveTimeseries)
+{
+    TwoSizeConfig policy_config;
+    policy_config.window = 5'000;
+    policy_config.promoteThreshold = 2; // promote eagerly at this scale
+    policy_config.demoteThreshold = 2;  // and exercise demotion churn
+    const PolicySpec policy = PolicySpec::twoSizes(policy_config);
+
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = 32;
+
+    RunOptions oracle_options = baseOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    oracle_options.timeseries.intervalRefs = 7'000;
+    const ExperimentResult oracle =
+        runOnce(policy, tlb, oracle_options);
+    ASSERT_NE(oracle.timeseries, nullptr);
+
+    RunOptions options = baseOptions();
+    options.exec = ExecMode::Batched;
+    options.chunkRefs = 4'096;
+    options.timeseries.intervalRefs = 7'000;
+    const ExperimentResult batched = runOnce(policy, tlb, options);
+    ASSERT_NE(batched.timeseries, nullptr);
+
+    expectSameResult(batched, oracle, "timeseries run");
+    EXPECT_EQ(batched.timeseries->counterNames,
+              oracle.timeseries->counterNames);
+    ASSERT_EQ(batched.timeseries->intervals.size(),
+              oracle.timeseries->intervals.size());
+    for (std::size_t i = 0; i < oracle.timeseries->intervals.size();
+         ++i) {
+        SCOPED_TRACE("interval " + std::to_string(i));
+        const auto &a = batched.timeseries->intervals[i];
+        const auto &b = oracle.timeseries->intervals[i];
+        EXPECT_EQ(a.startRef, b.startRef);
+        EXPECT_EQ(a.refs, b.refs);
+        EXPECT_EQ(a.counters, b.counters);
+        EXPECT_EQ(a.values, b.values);
+    }
+}
+
+} // namespace
+} // namespace tps::core

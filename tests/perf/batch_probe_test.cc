@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Batch-vs-per-ref oracle: Tlb::lookupBatch() must be bit-identical
+ * to n calls of Tlb::access() for every organization x replacement
+ * combination, including across ASID switches and invalidateAsid()
+ * shootdowns.  The batch path is the production engine (ExecMode::
+ * Batched); the per-ref path is the oracle it is gated against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlb/factory.h"
+#include "vm/two_size_policy.h"
+#include "workloads/registry.h"
+
+namespace tps
+{
+namespace
+{
+
+struct BatchParam
+{
+    std::string label;
+    TlbConfig config;
+};
+
+std::vector<BatchParam>
+allConfigs()
+{
+    std::vector<BatchParam> params;
+    const ReplPolicy policies[] = {ReplPolicy::LRU, ReplPolicy::FIFO,
+                                   ReplPolicy::Random,
+                                   ReplPolicy::TreePLRU};
+    const char *policy_names[] = {"lru", "fifo", "random", "plru"};
+
+    for (std::size_t p = 0; p < 4; ++p) {
+        {
+            TlbConfig config;
+            config.organization = TlbOrganization::FullyAssociative;
+            config.entries = 16;
+            config.replacement = policies[p];
+            params.push_back({std::string("fa16_") + policy_names[p],
+                              config});
+        }
+        {
+            TlbConfig config;
+            config.organization = TlbOrganization::SetAssociative;
+            config.entries = 32;
+            config.ways = 2;
+            config.scheme = IndexScheme::Exact;
+            config.replacement = policies[p];
+            params.push_back({std::string("sa32x2_") +
+                                  policy_names[p],
+                              config});
+        }
+    }
+    for (IndexScheme scheme : {IndexScheme::SmallPage,
+                               IndexScheme::LargePage}) {
+        TlbConfig config;
+        config.organization = TlbOrganization::SetAssociative;
+        config.entries = 16;
+        config.ways = 4;
+        config.scheme = scheme;
+        params.push_back(
+            {std::string("sa16x4_") + indexSchemeName(scheme),
+             config});
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::Split;
+        config.entries = 24;
+        config.splitLargeEntries = 8;
+        params.push_back({"split24", config});
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::TwoLevel;
+        config.entries = 32;
+        config.l1Entries = 4;
+        params.push_back({"twolevel4_32", config});
+    }
+    return params;
+}
+
+void
+expectSameStats(const TlbStats &a, const TlbStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.hitsSmall, b.hitsSmall);
+    EXPECT_EQ(a.hitsLarge, b.hitsLarge);
+    EXPECT_EQ(a.missesSmall, b.missesSmall);
+    EXPECT_EQ(a.missesLarge, b.missesLarge);
+    EXPECT_EQ(a.fills, b.fills);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.invalidations, b.invalidations);
+}
+
+/**
+ * Pre-classify one reference stream so both TLB instances see the
+ * exact same PageId sequence (mixing small and large pages via the
+ * two-size policy's promotion windows).
+ */
+std::vector<Tlb::BatchRef>
+classifiedStream(std::size_t n)
+{
+    TwoSizeConfig policy_config;
+    policy_config.window = 7'000;
+    TwoSizePolicy policy(policy_config);
+
+    auto workload = workloads::findWorkload("doduc").instantiate();
+    std::vector<Tlb::BatchRef> refs;
+    refs.reserve(n);
+    MemRef ref;
+    RefTime now = 0;
+    while (refs.size() < n && workload->next(ref)) {
+        ++now;
+        refs.push_back({policy.classify(ref.vaddr, now), ref.vaddr});
+    }
+    return refs;
+}
+
+class BatchProbeTest : public ::testing::TestWithParam<BatchParam>
+{
+};
+
+/**
+ * Same classified stream, two identical TLBs: per-ref access() vs
+ * chunked lookupBatch() must agree on every per-ref outcome and on
+ * every final counter.  The chunk size (257) is deliberately odd so
+ * chunk boundaries land at unaligned stream positions.
+ */
+TEST_P(BatchProbeTest, BatchMatchesPerRefOracle)
+{
+    const auto refs = classifiedStream(40'000);
+    ASSERT_GE(refs.size(), 10'000u);
+
+    auto oracle = makeTlb(GetParam().config);
+    auto batched = makeTlb(GetParam().config);
+
+    std::vector<std::uint8_t> oracle_hits(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        oracle_hits[i] =
+            oracle->access(refs[i].page, refs[i].vaddr) ? 1 : 0;
+    }
+
+    constexpr std::size_t kChunk = 257;
+    Tlb::BatchResult out;
+    std::size_t first_mismatch = refs.size();
+    for (std::size_t base = 0; base < refs.size(); base += kChunk) {
+        const std::size_t n =
+            std::min(kChunk, refs.size() - base);
+        batched->lookupBatch(refs.data() + base, n, out);
+        ASSERT_EQ(out.hit.size(), n);
+        for (std::size_t i = 0; i < n && first_mismatch == refs.size();
+             ++i) {
+            if ((out.hit[i] != 0) != (oracle_hits[base + i] != 0))
+                first_mismatch = base + i;
+        }
+    }
+    EXPECT_EQ(first_mismatch, refs.size())
+        << "first diverging reference index";
+    expectSameStats(batched->stats(), oracle->stats());
+}
+
+/**
+ * ASID interleaving: both instances run the same schedule of
+ * setAsid() switches and invalidateAsid() shootdowns; the batch side
+ * applies them at chunk boundaries (how the experiment driver splits
+ * chunks at context switches), the per-ref side at the same stream
+ * positions.  Outcomes and counters must still match exactly.
+ */
+TEST_P(BatchProbeTest, AsidEventsMatchPerRefOracle)
+{
+    const auto refs = classifiedStream(30'000);
+    ASSERT_GE(refs.size(), 10'000u);
+
+    auto oracle = makeTlb(GetParam().config);
+    auto batched = makeTlb(GetParam().config);
+
+    // Event every kEvery refs: rotate between switching to ASID 1,
+    // shooting down ASID 0, and switching back to ASID 0.
+    constexpr std::size_t kEvery = 1'028; // 4 batch chunks of 257
+    const auto applyEvent = [](Tlb &tlb, std::size_t k) {
+        switch (k % 3) {
+        case 1:
+            tlb.setAsid(1);
+            break;
+        case 2:
+            tlb.invalidateAsid(0);
+            break;
+        default:
+            tlb.setAsid(0);
+            break;
+        }
+    };
+
+    std::vector<std::uint8_t> oracle_hits(refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (i != 0 && i % kEvery == 0)
+            applyEvent(*oracle, i / kEvery);
+        oracle_hits[i] =
+            oracle->access(refs[i].page, refs[i].vaddr) ? 1 : 0;
+    }
+
+    constexpr std::size_t kChunk = 257;
+    Tlb::BatchResult out;
+    std::size_t mismatches = 0;
+    for (std::size_t base = 0; base < refs.size(); base += kChunk) {
+        // Split the chunk wherever an event lands inside it so events
+        // fire at the exact same stream position as the oracle's.
+        std::size_t pos = base;
+        const std::size_t chunk_end =
+            std::min(base + kChunk, refs.size());
+        while (pos < chunk_end) {
+            if (pos != 0 && pos % kEvery == 0)
+                applyEvent(*batched, pos / kEvery);
+            const std::size_t next_event =
+                (pos / kEvery + 1) * kEvery;
+            const std::size_t seg_end =
+                std::min(chunk_end, next_event);
+            batched->lookupBatch(refs.data() + pos, seg_end - pos,
+                                 out);
+            for (std::size_t i = 0; i < seg_end - pos; ++i) {
+                if ((out.hit[i] != 0) !=
+                    (oracle_hits[pos + i] != 0))
+                    ++mismatches;
+            }
+            pos = seg_end;
+        }
+    }
+    EXPECT_EQ(mismatches, 0u);
+    expectSameStats(batched->stats(), oracle->stats());
+}
+
+/** reset() must clear batch-path acceleration state too: a reset
+ *  instance replays the stream with identical outcomes. */
+TEST_P(BatchProbeTest, ResetReplaysIdentically)
+{
+    const auto refs = classifiedStream(12'000);
+    ASSERT_GE(refs.size(), 4'000u);
+
+    auto tlb = makeTlb(GetParam().config);
+    Tlb::BatchResult first;
+    tlb->lookupBatch(refs.data(), refs.size(), first);
+    const TlbStats pass1 = tlb->stats();
+
+    tlb->reset();
+    Tlb::BatchResult second;
+    tlb->lookupBatch(refs.data(), refs.size(), second);
+    EXPECT_EQ(first.hit, second.hit);
+    expectSameStats(tlb->stats(), pass1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, BatchProbeTest,
+    ::testing::ValuesIn(allConfigs()),
+    [](const ::testing::TestParamInfo<BatchParam> &info) {
+        std::string name = info.param.label;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace tps

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Shared-pass determinism gate: runSharedPass() (one trace pass,
+ * one classification, many TLB geometries) and SweepRunner::
+ * sharedPass(true) must both reproduce independent per-cell
+ * runExperiment() results bit for bit, across mixed policy groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+void
+expectSameResult(const ExperimentResult &a, const ExperimentResult &b,
+                 const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.tlbName, b.tlbName);
+    EXPECT_EQ(a.policyName, b.policyName);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_EQ(a.instructions, b.instructions);
+
+    EXPECT_EQ(a.tlb.accesses, b.tlb.accesses);
+    EXPECT_EQ(a.tlb.hits, b.tlb.hits);
+    EXPECT_EQ(a.tlb.misses, b.tlb.misses);
+    EXPECT_EQ(a.tlb.hitsSmall, b.tlb.hitsSmall);
+    EXPECT_EQ(a.tlb.hitsLarge, b.tlb.hitsLarge);
+    EXPECT_EQ(a.tlb.missesSmall, b.tlb.missesSmall);
+    EXPECT_EQ(a.tlb.missesLarge, b.tlb.missesLarge);
+    EXPECT_EQ(a.tlb.fills, b.tlb.fills);
+    EXPECT_EQ(a.tlb.evictions, b.tlb.evictions);
+    EXPECT_EQ(a.tlb.invalidations, b.tlb.invalidations);
+
+    EXPECT_EQ(a.policy.refsSmall, b.policy.refsSmall);
+    EXPECT_EQ(a.policy.refsLarge, b.policy.refsLarge);
+    EXPECT_EQ(a.policy.promotions, b.policy.promotions);
+    EXPECT_EQ(a.policy.demotions, b.policy.demotions);
+
+    EXPECT_EQ(a.cpiTlb, b.cpiTlb);
+    EXPECT_EQ(a.mpi, b.mpi);
+    EXPECT_EQ(a.missRatio, b.missRatio);
+    EXPECT_EQ(a.rpi, b.rpi);
+    EXPECT_EQ(a.wsTracked, b.wsTracked);
+    EXPECT_EQ(a.avgWsBytes, b.avgWsBytes);
+}
+
+RunOptions
+baseOptions()
+{
+    RunOptions options;
+    options.maxRefs = 50'000;
+    options.warmupRefs = 10'000;
+    options.wsWindow = 5'000;
+    return options;
+}
+
+/**
+ * runSharedPass drives several TLB geometries through ONE pass of the
+ * trace; each result must equal the corresponding independent
+ * runExperiment cell (which replays the trace from scratch).
+ */
+TEST(SharedPass, MatchesIndependentCells)
+{
+    TwoSizeConfig policy_config;
+    policy_config.window = 5'000;
+    policy_config.promoteThreshold = 2; // ensure window events fire
+    const PolicySpec policy = PolicySpec::twoSizes(policy_config);
+
+    std::vector<TlbConfig> tlbs;
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::FullyAssociative;
+        config.entries = 16;
+        tlbs.push_back(config);
+        config.entries = 64;
+        tlbs.push_back(config);
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::SetAssociative;
+        config.entries = 32;
+        config.ways = 2;
+        tlbs.push_back(config);
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::Split;
+        config.entries = 24;
+        config.splitLargeEntries = 8;
+        tlbs.push_back(config);
+    }
+    {
+        TlbConfig config;
+        config.organization = TlbOrganization::TwoLevel;
+        config.entries = 32;
+        config.l1Entries = 4;
+        tlbs.push_back(config);
+    }
+
+    const RunOptions options = baseOptions();
+
+    auto shared_trace = workloads::findWorkload("doduc").instantiate();
+    const std::vector<ExperimentResult> shared =
+        runSharedPass(*shared_trace, policy, tlbs, options);
+    ASSERT_EQ(shared.size(), tlbs.size());
+
+    for (std::size_t i = 0; i < tlbs.size(); ++i) {
+        auto trace = workloads::findWorkload("doduc").instantiate();
+        const ExperimentResult independent =
+            runExperiment(*trace, policy, tlbs[i], options);
+        expectSameResult(shared[i], independent,
+                         "config " + std::to_string(i) + " (" +
+                             tlbs[i].describe() + ")");
+    }
+}
+
+/**
+ * SweepRunner::sharedPass(true) over a grid that mixes policy groups
+ * (two columns share a two-size policy, two run single-size) must
+ * return the exact cells — same order, labels, and results — as the
+ * independent-cells path.
+ */
+TEST(SharedPass, SweepRunnerSharedEqualsIndependent)
+{
+    TwoSizeConfig policy_config;
+    policy_config.window = 5'000;
+    policy_config.promoteThreshold = 2; // ensure window events fire
+
+    TlbConfig fa32;
+    fa32.organization = TlbOrganization::FullyAssociative;
+    fa32.entries = 32;
+    TlbConfig fa64 = fa32;
+    fa64.entries = 64;
+    TlbConfig sa32;
+    sa32.organization = TlbOrganization::SetAssociative;
+    sa32.entries = 32;
+    sa32.ways = 2;
+
+    const auto configureSweep = [&](SweepRunner &sweep) {
+        sweep.workloads({"li", "espresso"})
+            .configuration(fa32, PolicySpec::single(kLog2_4K))
+            .configuration(fa32,
+                           PolicySpec::twoSizes(policy_config))
+            .configuration(sa32,
+                           PolicySpec::twoSizes(policy_config))
+            .configuration(fa64, PolicySpec::single(kLog2_4K))
+            .options(baseOptions())
+            .threads(1);
+    };
+
+    SweepRunner shared;
+    configureSweep(shared);
+    shared.sharedPass(true);
+    const std::vector<SweepCell> shared_cells = shared.run();
+
+    SweepRunner independent;
+    configureSweep(independent);
+    independent.sharedPass(false);
+    const std::vector<SweepCell> independent_cells =
+        independent.run();
+
+    ASSERT_EQ(shared_cells.size(), independent_cells.size());
+    ASSERT_EQ(shared_cells.size(), 8u); // 2 workloads x 4 columns
+    for (std::size_t i = 0; i < shared_cells.size(); ++i) {
+        EXPECT_EQ(shared_cells[i].workload,
+                  independent_cells[i].workload);
+        EXPECT_EQ(shared_cells[i].configLabel,
+                  independent_cells[i].configLabel);
+        expectSameResult(shared_cells[i].result,
+                         independent_cells[i].result,
+                         "cell " + std::to_string(i) + " (" +
+                             shared_cells[i].workload + " / " +
+                             shared_cells[i].configLabel + ")");
+    }
+}
+
+} // namespace
+} // namespace tps::core

@@ -7,8 +7,8 @@
  * Usage:
  *   tps_bench_gate --baseline bench/baselines/BENCH_micro_perf.json
  *                  [--tol-default REL] [--tol SUBSTR=REL]...
- *                  [--ignore SUBSTR]... [--allow-new SUBSTR]...
- *                  candidate.json
+ *                  [--floor SUBSTR=FRAC]... [--ignore SUBSTR]...
+ *                  [--allow-new SUBSTR]... candidate.json
  *   tps_bench_gate --baseline FILE --update-baseline candidate.json
  *
  * --update-baseline validates the candidate and rewrites the baseline
@@ -26,6 +26,11 @@
  *     baseline is refreshed, without loosening any other check
  *     (values of keys present in both files are still gated, and
  *     keys *missing from the candidate* are still drift);
+ *   - keys matching a --floor SUBSTR=FRAC pattern are one-sided
+ *     throughput floors: the candidate must be >= FRAC * baseline,
+ *     with no upper bound (getting faster is never drift) — the
+ *     symmetric band below would fail a 4x speedup, which is exactly
+ *     what refs/s metrics are supposed to do over time;
  *   - integer counters must match exactly unless a --tol SUBSTR=REL
  *     names them (drift of a deterministic counter is a functional
  *     regression, not noise);
@@ -65,6 +70,7 @@ struct GateOptions
     bool updateBaseline = false;
     double tolDefault = 0.5;
     std::vector<std::pair<std::string, double>> tolOverrides;
+    std::vector<std::pair<std::string, double>> floors;
     std::vector<std::string> ignores;
     std::vector<std::string> allowNew;
 };
@@ -105,6 +111,25 @@ tolOverride(const GateOptions &options, const std::string &key)
         if (key.find(pattern) != std::string::npos)
             return &rel;
     return nullptr;
+}
+
+/** First matching --floor fraction, or nullptr. */
+const double *
+floorFraction(const GateOptions &options, const std::string &key)
+{
+    for (const auto &[pattern, frac] : options.floors)
+        if (key.find(pattern) != std::string::npos)
+            return &frac;
+    return nullptr;
+}
+
+/** Numeric value of an Int or Double JSON entry. */
+double
+asDouble(const JsonValue &v)
+{
+    return v.type == JsonValue::Type::Int
+               ? static_cast<double>(v.integer)
+               : v.number;
 }
 
 std::string
@@ -155,6 +180,20 @@ gateStats(const GateOptions &options, const JsonValue *base,
         }
         if (!vb->isNumber() || !vc->isNumber()) {
             drift(name + ": non-numeric stats entry");
+            continue;
+        }
+        const double *floor_frac = floorFraction(options, name);
+        if (floor_frac != nullptr) {
+            const double db = asDouble(*vb);
+            const double dc = asDouble(*vc);
+            if (dc < *floor_frac * db) {
+                char detail[128];
+                std::snprintf(detail, sizeof(detail),
+                              " (below %.3g x baseline floor)",
+                              *floor_frac);
+                drift(name + ": " + numberToString(*vb) + " -> " +
+                      numberToString(*vc) + detail);
+            }
             continue;
         }
         const double *override_rel = tolOverride(options, name);
@@ -289,10 +328,10 @@ usage()
     std::fprintf(
         stderr,
         "usage: tps_bench_gate --baseline FILE [--tol-default REL]\n"
-        "                      [--tol SUBSTR=REL]... [--ignore "
-        "SUBSTR]...\n"
-        "                      [--allow-new SUBSTR]... "
-        "candidate.json\n"
+        "                      [--tol SUBSTR=REL]... [--floor "
+        "SUBSTR=FRAC]...\n"
+        "                      [--ignore SUBSTR]... [--allow-new "
+        "SUBSTR]... candidate.json\n"
         "       tps_bench_gate --baseline FILE --update-baseline "
         "candidate.json\n");
     return 2;
@@ -346,6 +385,24 @@ main(int argc, char **argv)
                 return 2;
             }
             options.tolOverrides.emplace_back(value.substr(0, eq), rel);
+        } else if (arg == "--floor") {
+            const std::string value = next();
+            const std::size_t eq = value.rfind('=');
+            char *end = nullptr;
+            const double frac =
+                eq == std::string::npos
+                    ? -1.0
+                    : std::strtod(value.c_str() + eq + 1, &end);
+            if (eq == std::string::npos || eq == 0 ||
+                end == value.c_str() + eq + 1 || *end != '\0' ||
+                frac < 0.0) {
+                std::fprintf(stderr,
+                             "error: --floor expects SUBSTR=FRAC, got "
+                             "'%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            options.floors.emplace_back(value.substr(0, eq), frac);
         } else if (arg == "--ignore") {
             options.ignores.emplace_back(next());
         } else if (arg == "--allow-new") {
