@@ -18,6 +18,7 @@
 #include "core/figures.h"
 #include "obs/manifest.h"
 #include "obs/progress.h"
+#include "obs/signal_flush.h"
 #include "obs/stat_registry.h"
 #include "obs/timeseries.h"
 #include "obs/trace_profiler.h"
@@ -390,9 +391,12 @@ banner(int argc, char **argv, const char *experiment, const char *what)
     }
 
     // One registration is enough; flushing with nothing requested is
-    // a no-op.
+    // a no-op.  SIGINT/SIGTERM also flush (then exit 128+sig): an
+    // interrupted overnight bench keeps its partial stats dump rather
+    // than losing everything to a skipped atexit hook.
     static const bool registered = [] {
         std::atexit(&detail::flushObs);
+        obs::installSignalFlush([](int) { detail::flushObs(); });
         return true;
     }();
     (void)registered;

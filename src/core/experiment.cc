@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "obs/trace_profiler.h"
@@ -42,6 +43,25 @@ ExperimentResult::exportTo(obs::StatRegistry &registry,
         phys.exportTo(registry, prefix + ".phys");
         physFrag.exportTo(registry, prefix + ".phys.frag");
         registry.addValue(prefix + ".cpi_phys", cpiPhys);
+    }
+    if (harnessMeasured) {
+        registry.addValue(prefix + ".harness.wall_seconds",
+                          harness.wallSeconds);
+        registry.addValue(prefix + ".harness.refs_per_sec",
+                          harness.refsPerSec);
+        registry.addCounter(prefix + ".harness.chunks", harness.chunks);
+        registry.addCounter(prefix + ".harness.chunk_splits",
+                            harness.chunkSplits);
+        registry.addCounter(prefix + ".harness.probe_cache_lookups",
+                            harness.probeCacheLookups);
+        registry.addCounter(prefix + ".harness.probe_cache_hits",
+                            harness.probeCacheHits);
+        registry.addValue(prefix + ".harness.probe_cache_hit_rate",
+                          harness.probeCacheLookups == 0
+                              ? 0.0
+                              : static_cast<double>(harness.probeCacheHits) /
+                                    static_cast<double>(
+                                        harness.probeCacheLookups));
     }
 }
 
@@ -712,6 +732,12 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
     std::uint64_t instructions = 0;
     std::uint64_t measured_refs = 0;
 
+    // Harness self-telemetry: counted unconditionally (two integer
+    // increments per *chunk*), exported only under options.harnessStats.
+    const auto harness_start = std::chrono::steady_clock::now();
+    std::uint64_t harness_chunks = 0;
+    std::uint64_t harness_splits = 0;
+
     // Interval bookkeeping shared by all cells: closes fall at the
     // same measured-reference positions everywhere, and the policy and
     // instruction streams are cell-independent.
@@ -864,6 +890,9 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         const std::size_t got = trace.fill(refs.data(), want);
         if (got == 0)
             break;
+        ++harness_chunks;
+        if (want < options.chunkRefs)
+            ++harness_splits; // truncated at warmup/interval/maxRefs
         obs::ScopedSpan chunk_span(profiler, "chunk", "replay");
         if (options.warmupRefs != 0 && now == options.warmupRefs) {
             // Warmup ends: zero the counters, keep the state.
@@ -934,6 +963,13 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
     if (interval_refs != 0 && measured_refs > ts_last_close)
         closeAll();
 
+    // One wall clock for the whole pass: cells execute interleaved, so
+    // per-cell attribution of shared-pass time would be fiction.
+    const double harness_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      harness_start)
+            .count();
+
     std::vector<ExperimentResult> results;
     results.reserve(cells.size());
     for (auto &cell_ptr : cells) {
@@ -993,6 +1029,20 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
                      : static_cast<double>(result.phys.pagesCopied) *
                            cell.physModel->config().copyCyclesPerPage /
                            static_cast<double>(instructions));
+        }
+        if (options.harnessStats) {
+            result.harnessMeasured = true;
+            result.harness.wallSeconds = harness_wall;
+            // Replayed refs include warmup — that's real wall time.
+            result.harness.refsPerSec =
+                harness_wall > 0.0
+                    ? static_cast<double>(now) / harness_wall
+                    : 0.0;
+            result.harness.chunks = harness_chunks;
+            result.harness.chunkSplits = harness_splits;
+            const ProbeCacheCounters pc = cell.tlb.probeCacheCounters();
+            result.harness.probeCacheLookups = pc.lookups;
+            result.harness.probeCacheHits = pc.hits;
         }
         results.push_back(std::move(result));
     }

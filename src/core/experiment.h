@@ -155,6 +155,18 @@ struct RunOptions
      * bookkeeping at the cost of a larger classified-page buffer.
      */
     std::size_t chunkRefs = 4096;
+
+    /**
+     * Harness self-telemetry (off by default): measure the simulator's
+     * own performance per cell — wall seconds, refs/s, chunk/split
+     * counts, probe-index-cache hit rate — and export it under
+     * "<prefix>.harness.*".  Feature-gated because wall-clock keys are
+     * nondeterministic and must never appear in determinism diffs or
+     * resumable campaign aggregates (those skip "harness" segments).
+     * Only the batched engine measures it; under ExecMode::PerRef the
+     * result's harnessMeasured stays false.
+     */
+    bool harnessStats = false;
 };
 
 /** Everything measured in one run. */
@@ -198,6 +210,25 @@ struct ExperimentResult
     /** Interval telemetry (null unless options.timeseries enabled).
      *  Shared so results stay cheap to copy through sweep plumbing. */
     std::shared_ptr<const obs::TimeSeries> timeseries;
+
+    /**
+     * Harness self-telemetry (meaningful iff harnessMeasured): how
+     * fast the *simulator* ran this cell, not the simulated machine.
+     * Under runSharedPass the wall clock covers the whole shared pass
+     * (cells of one pass execute interleaved and are not separable).
+     */
+    struct HarnessStats
+    {
+        double wallSeconds = 0.0;
+        double refsPerSec = 0.0;  ///< replayed refs (incl. warmup) / wall
+        std::uint64_t chunks = 0; ///< batched chunks executed
+        /** Chunks truncated at a warmup/interval/maxRefs boundary. */
+        std::uint64_t chunkSplits = 0;
+        std::uint64_t probeCacheLookups = 0;
+        std::uint64_t probeCacheHits = 0;
+    };
+    bool harnessMeasured = false;
+    HarnessStats harness;
 
     /**
      * Register everything measured under "<prefix>.": run counters

@@ -1,5 +1,6 @@
 #include "core/sweep.h"
 
+#include <cstdio>
 #include <future>
 #include <map>
 #include <memory>
@@ -161,6 +162,130 @@ SweepRunner::cacheTraces(bool enabled)
     return *this;
 }
 
+SweepRunner &
+SweepRunner::onCellStart(
+    std::function<void(const std::string &, const std::string &)> fn)
+{
+    on_cell_start_ = std::move(fn);
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::onCellDone(
+    std::function<void(const std::string &, const std::string &,
+                       const ExperimentResult &)>
+        fn)
+{
+    on_cell_done_ = std::move(fn);
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::skipCells(
+    std::function<bool(const std::string &, const std::string &)> fn)
+{
+    skip_ = std::move(fn);
+    return *this;
+}
+
+SweepRunner &
+SweepRunner::resumed(std::uint64_t cells_done, std::uint64_t refs_done)
+{
+    resumed_cells_ = cells_done;
+    resumed_refs_ = refs_done;
+    return *this;
+}
+
+std::string
+SweepRunner::cellKey(const std::string &workload,
+                     const std::string &configLabel)
+{
+    return obs::slugify(workload) + "/" + obs::slugify(configLabel);
+}
+
+std::string
+SweepRunner::fingerprint() const
+{
+    // Canonical text first, then FNV-1a: the text form keeps the hash
+    // auditable (a test can assert which fields participate) and makes
+    // accidental field omission reviewable.
+    std::string canon = "tps-sweep-fingerprint-v1\n";
+    auto num = [&](const char *name, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s=%.17g\n", name, v);
+        canon += buf;
+    };
+    auto uns = [&](const char *name, std::uint64_t v) {
+        canon += name;
+        canon += '=';
+        canon += std::to_string(v);
+        canon += '\n';
+    };
+
+    std::vector<std::string> names = workload_names_;
+    if (names.empty())
+        names = workloads::suiteNames();
+    for (const std::string &name : names)
+        canon += "workload=" + name + "\n";
+
+    for (const Config &config : configs_) {
+        canon += "config=" + config.label + "\n";
+        canon += "tlb=" + config.tlb.describe() + "\n";
+        uns("tlb.organization",
+            static_cast<std::uint64_t>(config.tlb.organization));
+        uns("tlb.entries", config.tlb.entries);
+        uns("tlb.ways", config.tlb.ways);
+        uns("tlb.scheme", static_cast<std::uint64_t>(config.tlb.scheme));
+        uns("tlb.probe", static_cast<std::uint64_t>(config.tlb.probe));
+        uns("tlb.small_log2", config.tlb.smallLog2);
+        uns("tlb.large_log2", config.tlb.largeLog2);
+        uns("tlb.replacement",
+            static_cast<std::uint64_t>(config.tlb.replacement));
+        uns("tlb.rng_seed", config.tlb.rngSeed);
+        uns("tlb.split_large_entries", config.tlb.splitLargeEntries);
+        uns("tlb.l1_entries", config.tlb.l1Entries);
+        if (config.policy.kind == PolicySpec::Kind::Single) {
+            uns("policy.single_log2", config.policy.singleLog2);
+        } else {
+            const TwoSizeConfig &two = config.policy.twoSize;
+            uns("policy.two.small_log2", two.smallLog2);
+            uns("policy.two.large_log2", two.largeLog2);
+            uns("policy.two.window", two.window);
+            uns("policy.two.promote", two.promoteThreshold);
+            uns("policy.two.demote", two.demoteThreshold);
+        }
+    }
+
+    uns("opt.max_refs", options_.maxRefs);
+    uns("opt.warmup_refs", options_.warmupRefs);
+    uns("opt.ws_window", options_.wsWindow);
+    uns("opt.model_page_tables", options_.modelPageTables ? 1 : 0);
+    num("opt.cpi.base_penalty", options_.cpi.basePenalty);
+    num("opt.cpi.two_size_factor", options_.cpi.twoSizeFactor);
+    num("opt.cpi.reprobe_cycles", options_.cpi.reprobeCycles);
+    num("opt.cpi.promotion_cycles", options_.cpi.promotionCycles);
+    uns("opt.phys.mem_bytes", options_.phys.memBytes);
+    uns("opt.phys.frame_log2", options_.phys.frameLog2);
+    uns("opt.phys.super_log2", options_.phys.superLog2);
+    uns("opt.phys.reservation", options_.phys.reservation ? 1 : 0);
+    num("opt.phys.frag_pressure", options_.phys.fragPressure);
+    uns("opt.phys.pressure_seed", options_.phys.pressureSeed);
+    num("opt.phys.copy_cycles", options_.phys.copyCyclesPerPage);
+    uns("opt.ts.interval_refs", options_.timeseries.intervalRefs);
+    uns("opt.ts.miss_samples", options_.timeseries.missSampleCapacity);
+    uns("opt.ts.miss_seed", options_.timeseries.missSampleSeed);
+
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (const char c : canon) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
 std::size_t
 SweepRunner::cells() const
 {
@@ -211,6 +336,12 @@ SweepRunner::run() const
 
     obs::ProgressReporter progress(names.size() * configs_.size(),
                                    "cells");
+    if (resumed_cells_ != 0 || resumed_refs_ != 0)
+        progress.seedResumed(resumed_cells_, resumed_refs_);
+    auto skipped = [&](const std::string &workload,
+                       const std::string &label) {
+        return skip_ && skip_(workload, label);
+    };
     auto makeTrace = [&](const std::string &name)
         -> std::unique_ptr<TraceSource> {
         if (use_cache) {
@@ -242,23 +373,40 @@ SweepRunner::run() const
             const std::string &name = names[unit / groups.size()];
             const std::vector<std::size_t> &group =
                 groups[unit % groups.size()];
-            obs::ScopedSpan span(name + " | shared pass x" +
-                                     std::to_string(group.size()),
-                                 "cell");
-            std::unique_ptr<TraceSource> trace = makeTrace(name);
-            std::vector<TlbConfig> tlbs;
-            tlbs.reserve(group.size());
-            for (const std::size_t c : group)
-                tlbs.push_back(configs_[c].tlb);
-            std::vector<ExperimentResult> results = runSharedPass(
-                *trace, configs_[group.front()].policy, tlbs,
-                options_);
+            // Resume: the pass probes only the group's pending
+            // members.  Legal because cells of a pass share only the
+            // classified page stream, never downstream state.
             std::vector<SweepCell> unit_cells(group.size());
+            std::vector<std::size_t> pending; ///< indices into group
             for (std::size_t j = 0; j < group.size(); ++j) {
                 unit_cells[j].workload = name;
                 unit_cells[j].configLabel = configs_[group[j]].label;
-                unit_cells[j].result = std::move(results[j]);
-                progress.tick(unit_cells[j].result.refs);
+                if (!skipped(name, unit_cells[j].configLabel))
+                    pending.push_back(j);
+            }
+            if (pending.empty())
+                return unit_cells;
+            obs::ScopedSpan span(name + " | shared pass x" +
+                                     std::to_string(pending.size()),
+                                 "cell");
+            if (on_cell_start_) {
+                for (const std::size_t j : pending)
+                    on_cell_start_(name, unit_cells[j].configLabel);
+            }
+            std::unique_ptr<TraceSource> trace = makeTrace(name);
+            std::vector<TlbConfig> tlbs;
+            tlbs.reserve(pending.size());
+            for (const std::size_t j : pending)
+                tlbs.push_back(configs_[group[j]].tlb);
+            std::vector<ExperimentResult> results = runSharedPass(
+                *trace, configs_[group.front()].policy, tlbs,
+                options_);
+            for (std::size_t k = 0; k < pending.size(); ++k) {
+                SweepCell &cell = unit_cells[pending[k]];
+                cell.result = std::move(results[k]);
+                if (on_cell_done_)
+                    on_cell_done_(name, cell.configLabel, cell.result);
+                progress.tick(cell.result.refs);
             }
             return unit_cells;
         };
@@ -284,10 +432,16 @@ SweepRunner::run() const
         SweepCell cell;
         cell.workload = name;
         cell.configLabel = config.label;
+        if (skipped(name, config.label))
+            return cell; // resume placeholder: refs == 0
         obs::ScopedSpan span(name + " | " + config.label, "cell");
+        if (on_cell_start_)
+            on_cell_start_(name, config.label);
         std::unique_ptr<TraceSource> trace = makeTrace(name);
         cell.result = runExperiment(*trace, config.policy, config.tlb,
                                     options_);
+        if (on_cell_done_)
+            on_cell_done_(name, config.label, cell.result);
         progress.tick(cell.result.refs);
         return cell;
     };

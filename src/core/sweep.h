@@ -12,6 +12,7 @@
 #ifndef TPS_CORE_SWEEP_H_
 #define TPS_CORE_SWEEP_H_
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -88,6 +89,59 @@ class SweepRunner
     SweepRunner &cacheTraces(bool enabled);
 
     /**
+     * Per-cell lifecycle hooks (the campaign driver's heartbeat and
+     * journal).  Called from worker threads, possibly concurrently —
+     * the callee synchronizes.  onCellDone fires after the cell's
+     * result is complete; under sharedPass(), start/done fire per cell
+     * when its group's pass starts/completes.
+     */
+    SweepRunner &onCellStart(
+        std::function<void(const std::string &workload,
+                           const std::string &configLabel)> fn);
+    SweepRunner &onCellDone(
+        std::function<void(const std::string &workload,
+                           const std::string &configLabel,
+                           const ExperimentResult &result)> fn);
+
+    /**
+     * Resume support: cells for which @p fn returns true are not
+     * executed.  Their SweepCell keeps workload/label but a default
+     * result (refs == 0 marks it skipped); they fire no hooks and do
+     * not tick progress.  Under sharedPass() a group's pass probes
+     * only its pending members (legal because cells of a pass are
+     * downstream-independent; the perf suite gates this).
+     */
+    SweepRunner &skipCells(
+        std::function<bool(const std::string &workload,
+                           const std::string &configLabel)> fn);
+
+    /**
+     * Seed the progress reporter with checkpointed work from a
+     * resumed campaign: @p cells_done items and @p refs_done refs
+     * count toward displayed totals but not rates/ETA (see
+     * obs::ProgressReporter::seedResumed).
+     */
+    SweepRunner &resumed(std::uint64_t cells_done,
+                         std::uint64_t refs_done);
+
+    /**
+     * FNV-1a fingerprint of everything that determines cell *results*:
+     * resolved workload names, per-column labels + TLB + policy
+     * parameters, and the result-relevant RunOptions (reference
+     * budgets, CPI model, working-set window, page-table/phys
+     * modeling, interval-telemetry shape).  Deliberately excludes the
+     * bit-identical execution knobs — threads, chunkRefs, exec mode,
+     * harnessStats — so a campaign may legally resume with different
+     * parallelism.  The campaign journal stores this hash and refuses
+     * to resume across a mismatch.
+     */
+    std::string fingerprint() const;
+
+    /** Stable cell id: "<workload-slug>/<label-slug>" (journal key). */
+    static std::string cellKey(const std::string &workload,
+                               const std::string &configLabel);
+
+    /**
      * Execute the grid.  Cells are scheduled across the configured
      * worker threads — each cell instantiates its own workload,
      * policy and TLB, so cells share no mutable state — and the
@@ -144,6 +198,14 @@ class SweepRunner
     unsigned threads_ = 0;
     CacheMode cache_mode_ = CacheMode::Auto;
     bool shared_pass_ = false;
+    std::function<void(const std::string &, const std::string &)>
+        on_cell_start_;
+    std::function<void(const std::string &, const std::string &,
+                       const ExperimentResult &)>
+        on_cell_done_;
+    std::function<bool(const std::string &, const std::string &)> skip_;
+    std::uint64_t resumed_cells_ = 0;
+    std::uint64_t resumed_refs_ = 0;
 };
 
 /** Human-readable label for a PolicySpec ("4KB", "4KB/32KB"). */

@@ -1,0 +1,61 @@
+#include "obs/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tps::obs
+{
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                std::string &error)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0) {
+        error = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    const char *data = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = tmp + ": " + std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // The rename only publishes durable bytes if they reached the disk
+    // first; without the fsync a crash could surface a renamed-but-
+    // empty journal.
+    if (::fsync(fd) != 0) {
+        error = tmp + ": fsync: " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        error = tmp + ": close: " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = path + ": rename: " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace tps::obs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Crash-safe whole-file replacement: write to a sibling temp file,
+ * fsync, rename over the destination.  POSIX rename() is atomic, so a
+ * reader (or a reboot) sees either the previous complete file or the
+ * new complete file, never a torn mixture — the property the campaign
+ * journal and the heartbeat status file are built on.
+ */
+
+#ifndef TPS_OBS_ATOMIC_FILE_H_
+#define TPS_OBS_ATOMIC_FILE_H_
+
+#include <string>
+
+namespace tps::obs
+{
+
+/**
+ * Atomically replace @p path with @p content via "<path>.tmp".
+ * @return true on success; false with @p error filled on any IO
+ *         failure (the temp file is removed on a failed write, but a
+ *         crash can leave one behind — it is never read).
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content,
+                     std::string &error);
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_ATOMIC_FILE_H_

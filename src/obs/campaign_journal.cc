@@ -1,0 +1,339 @@
+#include "obs/campaign_journal.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/atomic_file.h"
+#include "obs/json.h"
+#include "obs/stat_registry.h"
+
+namespace tps::obs
+{
+
+namespace
+{
+
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+bool
+readFile(const std::string &path, std::string &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = path + ": cannot open";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+std::string
+requireString(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *v = doc.find(name);
+    if (v == nullptr || v->type != JsonValue::Type::String)
+        throw std::runtime_error("missing string field \"" + name + "\"");
+    return v->text;
+}
+
+std::uint64_t
+requireUint(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *v = doc.find(name);
+    if (v == nullptr || v->type != JsonValue::Type::Int || v->integer < 0)
+        throw std::runtime_error("missing integer field \"" + name + "\"");
+    return static_cast<std::uint64_t>(v->integer);
+}
+
+double
+requireNumber(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *v = doc.find(name);
+    if (v == nullptr || !v->isNumber())
+        throw std::runtime_error("missing number field \"" + name + "\"");
+    return v->number;
+}
+
+void
+writeCellLine(JsonWriter &w, const CampaignCellRecord &r)
+{
+    w.beginObject();
+    w.key("type").value("cell");
+    w.key("key").value(r.key);
+    w.key("workload").value(r.workload);
+    w.key("config").value(r.config);
+    w.key("refs").value(r.refs);
+    w.key("instructions").value(r.instructions);
+    w.key("cpi_tlb").value(r.cpiTlb);
+    w.key("wall_seconds").value(r.wallSeconds);
+    w.key("stats_file").value(r.statsFile);
+    w.key("timeseries_file").value(r.timeseriesFile);
+    w.endObject();
+}
+
+CampaignCellRecord
+parseCellLine(const JsonValue &doc)
+{
+    CampaignCellRecord r;
+    r.key = requireString(doc, "key");
+    r.workload = requireString(doc, "workload");
+    r.config = requireString(doc, "config");
+    r.refs = requireUint(doc, "refs");
+    r.instructions = requireUint(doc, "instructions");
+    r.cpiTlb = requireNumber(doc, "cpi_tlb");
+    r.wallSeconds = requireNumber(doc, "wall_seconds");
+    r.statsFile = requireString(doc, "stats_file");
+    r.timeseriesFile = requireString(doc, "timeseries_file");
+    return r;
+}
+
+/** Does the dotted stat name contain a "harness" segment? */
+bool
+hasHarnessSegment(const std::string &name)
+{
+    std::size_t pos = 0;
+    while (pos <= name.size()) {
+        std::size_t dot = name.find('.', pos);
+        if (dot == std::string::npos)
+            dot = name.size();
+        if (name.compare(pos, dot - pos, "harness") == 0)
+            return true;
+        pos = dot + 1;
+    }
+    return false;
+}
+
+/**
+ * Rebuild registry entries from a parsed tps-stats-v1 document.
+ * Numbers written as Int were counters, others were values; the
+ * non-finite values the writer spells as strings come back as such.
+ */
+void
+mergeStatsDocument(const JsonValue &doc, StatRegistry &into,
+                   const std::string &file)
+{
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || schema->text != "tps-stats-v1")
+        throw std::runtime_error(file + ": not a tps-stats-v1 document");
+    if (const JsonValue *stats = doc.find("stats")) {
+        for (const auto &[name, v] : stats->object) {
+            if (hasHarnessSegment(name))
+                continue;
+            if (v.type == JsonValue::Type::Int && v.integer >= 0)
+                into.addCounter(name,
+                                static_cast<std::uint64_t>(v.integer));
+            else if (v.isNumber())
+                into.addValue(name, v.number);
+            else if (v.type == JsonValue::Type::String) {
+                // value(double) writes non-finite doubles as strings.
+                double d = std::numeric_limits<double>::quiet_NaN();
+                if (v.text == "inf")
+                    d = std::numeric_limits<double>::infinity();
+                else if (v.text == "-inf")
+                    d = -std::numeric_limits<double>::infinity();
+                else if (v.text != "nan")
+                    throw std::runtime_error(file + ": bad stat " + name);
+                into.addValue(name, d);
+            } else {
+                throw std::runtime_error(file + ": bad stat " + name);
+            }
+        }
+    }
+    if (const JsonValue *text = doc.find("text")) {
+        for (const auto &[name, v] : text->object) {
+            if (hasHarnessSegment(name))
+                continue;
+            into.addText(name, v.text);
+        }
+    }
+    if (const JsonValue *histograms = doc.find("histograms")) {
+        for (const auto &[name, v] : histograms->object) {
+            if (hasHarnessSegment(name))
+                continue;
+            std::vector<std::uint64_t> buckets;
+            buckets.reserve(v.array.size());
+            for (const JsonValue &b : v.array)
+                buckets.push_back(static_cast<std::uint64_t>(b.integer));
+            into.addHistogram(name, std::move(buckets));
+        }
+    }
+}
+
+} // namespace
+
+CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {}
+
+void
+CampaignJournal::start(const std::string &configHash,
+                       std::uint64_t cellsTotal, const std::string &command,
+                       const std::string &createdUtc)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_hash_ = configHash;
+    cells_total_ = cellsTotal;
+    command_ = command;
+    created_utc_ = createdUtc;
+    records_.clear();
+    done_.clear();
+    commitLocked();
+}
+
+void
+CampaignJournal::resume(const Loaded &loaded)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_hash_ = loaded.configHash;
+    cells_total_ = loaded.cellsTotal;
+    command_ = loaded.command;
+    created_utc_ = loaded.createdUtc;
+    records_ = loaded.records;
+    done_.clear();
+    for (const CampaignCellRecord &r : records_)
+        done_.insert(r.key);
+}
+
+void
+CampaignJournal::append(const CampaignCellRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(record);
+    done_.insert(record.key);
+    commitLocked();
+}
+
+bool
+CampaignJournal::done(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.count(key) != 0;
+}
+
+std::vector<CampaignCellRecord>
+CampaignJournal::records() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+void
+CampaignJournal::commitLocked()
+{
+    std::ostringstream out;
+    {
+        JsonWriter w(out, /*pretty=*/false);
+        w.beginObject();
+        w.key("type").value("header");
+        w.key("schema").value(kCampaignSchema);
+        w.key("config_hash").value(config_hash_);
+        w.key("cells_total").value(cells_total_);
+        w.key("command").value(command_);
+        w.key("created_utc").value(created_utc_);
+        w.endObject();
+        w.finish();
+    }
+    out << '\n';
+    for (const CampaignCellRecord &r : records_) {
+        JsonWriter w(out, /*pretty=*/false);
+        writeCellLine(w, r);
+        w.finish();
+        out << '\n';
+    }
+    std::string error;
+    if (!atomicWriteFile(path_, out.str(), error))
+        throw std::runtime_error("campaign journal: " + error);
+}
+
+bool
+CampaignJournal::load(const std::string &path, Loaded &out,
+                      std::string &error)
+{
+    out = Loaded{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return true; // absent journal: fresh campaign
+    std::string line;
+    std::size_t lineno = 0;
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue doc;
+        try {
+            doc = parseJson(line);
+            const std::string type = requireString(doc, "type");
+            if (!sawHeader) {
+                if (type != "header")
+                    throw std::runtime_error("first line is not a header");
+                const std::string schema = requireString(doc, "schema");
+                if (schema != kCampaignSchema)
+                    throw std::runtime_error("unsupported schema \"" +
+                                             schema + "\"");
+                out.configHash = requireString(doc, "config_hash");
+                out.cellsTotal = requireUint(doc, "cells_total");
+                out.command = requireString(doc, "command");
+                out.createdUtc = requireString(doc, "created_utc");
+                sawHeader = true;
+            } else if (type == "cell") {
+                out.records.push_back(parseCellLine(doc));
+            } else {
+                throw std::runtime_error("unknown record type \"" + type +
+                                         "\"");
+            }
+        } catch (const std::exception &e) {
+            error = path + ":" + std::to_string(lineno) + ": " + e.what();
+            return false;
+        }
+    }
+    if (!sawHeader) {
+        error = path + ": empty journal (no header line)";
+        return false;
+    }
+    out.exists = true;
+    return true;
+}
+
+bool
+aggregateCampaignStats(const std::string &journal_path, std::ostream &os,
+                       std::string &error)
+{
+    CampaignJournal::Loaded loaded;
+    if (!CampaignJournal::load(journal_path, loaded, error))
+        return false;
+    if (!loaded.exists) {
+        error = journal_path + ": no such journal";
+        return false;
+    }
+    const std::string dir = dirnameOf(journal_path);
+    StatRegistry merged;
+    try {
+        for (const CampaignCellRecord &r : loaded.records) {
+            const std::string file = dir + "/" + r.statsFile;
+            std::string content;
+            if (!readFile(file, content, error))
+                return false;
+            mergeStatsDocument(parseJson(content), merged, r.statsFile);
+        }
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+    merged.writeJson(os);
+    return true;
+}
+
+} // namespace tps::obs

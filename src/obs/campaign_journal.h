@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Durable record of a multi-cell campaign: one JSONL file
+ * (tps-campaign-v1) holding a header that fingerprints the campaign
+ * configuration plus one line per completed workload×config cell.
+ * Every commit rewrites the whole file through an atomic
+ * write-temp-rename, so the journal on disk is always a complete,
+ * parseable document — a campaign killed at any instant resumes from
+ * exactly the set of cells whose completion lines made it to disk.
+ *
+ * Resume safety: the header carries a hash of the enumerated cells
+ * and run options.  `tps_campaign --resume` refuses a journal whose
+ * hash differs from the config it was asked to run, so stats from
+ * different experiments can never be silently merged.
+ */
+
+#ifndef TPS_OBS_CAMPAIGN_JOURNAL_H_
+#define TPS_OBS_CAMPAIGN_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tps::obs
+{
+
+inline constexpr const char *kCampaignSchema = "tps-campaign-v1";
+
+/** One journaled cell completion. */
+struct CampaignCellRecord
+{
+    std::string key;      ///< unique cell id, e.g. "matrix300/fa64_4k"
+    std::string workload; ///< workload name
+    std::string config;   ///< human-readable column label
+    std::uint64_t refs = 0;
+    std::uint64_t instructions = 0;
+    double cpiTlb = 0.0;
+    double wallSeconds = 0.0;
+    std::string statsFile;      ///< per-cell stats dump, relative to journal
+    std::string timeseriesFile; ///< per-cell timeseries ("" when disabled)
+};
+
+class CampaignJournal
+{
+  public:
+    /** A journal parsed back from disk. */
+    struct Loaded
+    {
+        bool exists = false; ///< file was present and parsed
+        std::string configHash;
+        std::string command;
+        std::string createdUtc;
+        std::uint64_t cellsTotal = 0;
+        std::vector<CampaignCellRecord> records;
+    };
+
+    explicit CampaignJournal(std::string path);
+
+    /**
+     * Begin a fresh campaign: records the header fields and commits a
+     * header-only journal.  Throws std::runtime_error on IO failure.
+     */
+    void start(const std::string &configHash, std::uint64_t cellsTotal,
+               const std::string &command, const std::string &createdUtc);
+
+    /**
+     * Continue a previously loaded campaign: seeds the in-memory state
+     * from @p loaded without touching the file (it already holds
+     * exactly these records).
+     */
+    void resume(const Loaded &loaded);
+
+    /**
+     * Append one completion and commit the journal.  Thread-safe.
+     * Throws std::runtime_error on IO failure — losing a completion
+     * record silently would make --resume recompute or, worse, skip.
+     */
+    void append(const CampaignCellRecord &record);
+
+    /** Has @p key already been journaled as complete? Thread-safe. */
+    bool done(const std::string &key) const;
+
+    std::vector<CampaignCellRecord> records() const;
+    const std::string &path() const { return path_; }
+    const std::string &configHash() const { return config_hash_; }
+
+    /**
+     * Parse @p path.  Returns false with @p error set on IO/parse
+     * problems; a missing file is not an error (exists=false).
+     */
+    static bool load(const std::string &path, Loaded &out,
+                     std::string &error);
+
+  private:
+    void commitLocked();
+
+    std::string path_;
+    std::string config_hash_;
+    std::string command_;
+    std::string created_utc_;
+    std::uint64_t cells_total_ = 0;
+
+    mutable std::mutex mutex_;
+    std::vector<CampaignCellRecord> records_;
+    std::set<std::string> done_;
+};
+
+/**
+ * Merge the per-cell stats files of every journaled cell into one
+ * tps-stats-v1 document on @p os (no manifest, names sorted).  Keys
+ * with a "harness" path segment — wall-clock self-telemetry — are
+ * skipped so the aggregate of a resumed campaign is byte-identical to
+ * an uninterrupted run.  Returns false with @p error set on failure.
+ */
+bool aggregateCampaignStats(const std::string &journal_path,
+                            std::ostream &os, std::string &error);
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_CAMPAIGN_JOURNAL_H_

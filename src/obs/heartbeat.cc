@@ -1,0 +1,124 @@
+#include "obs/heartbeat.h"
+
+#include <sstream>
+
+#include "obs/atomic_file.h"
+#include "obs/json.h"
+
+namespace tps::obs
+{
+
+namespace
+{
+
+std::string
+getString(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *v = doc.find(name);
+    return v != nullptr && v->type == JsonValue::Type::String ? v->text : "";
+}
+
+std::uint64_t
+getUint(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *v = doc.find(name);
+    if (v != nullptr && v->type == JsonValue::Type::Int && v->integer >= 0)
+        return static_cast<std::uint64_t>(v->integer);
+    return 0;
+}
+
+double
+getNumber(const JsonValue &doc, const std::string &name, double fallback)
+{
+    const JsonValue *v = doc.find(name);
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+} // namespace
+
+void
+Heartbeat::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.key("schema").value(kHeartbeatSchema);
+    w.key("state").value(state);
+    w.key("config_hash").value(configHash);
+    w.key("timestamp_utc").value(timestampUtc);
+    w.key("uptime_seconds").value(uptimeSeconds);
+    w.key("workers").value(workers);
+    w.key("workers_busy").value(workersBusy);
+    w.key("cells_total").value(cellsTotal);
+    w.key("cells_done").value(cellsDone);
+    w.key("cells_resumed").value(cellsResumed);
+    w.key("refs_done").value(refsDone);
+    w.key("refs_per_sec").value(refsPerSec);
+    w.key("eta_seconds").value(etaSeconds);
+    w.key("in_flight").beginArray();
+    for (const HeartbeatCell &c : inFlight) {
+        w.beginObject();
+        w.key("key").value(c.key);
+        w.key("workload").value(c.workload);
+        w.key("config").value(c.config);
+        w.key("elapsed_seconds").value(c.elapsedSeconds);
+        w.key("eta_seconds").value(c.etaSeconds);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.finish();
+}
+
+bool
+Heartbeat::fromJson(const std::string &text, Heartbeat &out,
+                    std::string &error)
+{
+    out = Heartbeat{};
+    JsonValue doc;
+    try {
+        doc = parseJson(text);
+    } catch (const JsonParseError &e) {
+        error = e.what();
+        return false;
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || schema->text != kHeartbeatSchema) {
+        error = "missing or wrong schema (want tps-heartbeat-v1)";
+        return false;
+    }
+    out.state = getString(doc, "state");
+    out.configHash = getString(doc, "config_hash");
+    out.timestampUtc = getString(doc, "timestamp_utc");
+    out.uptimeSeconds = getNumber(doc, "uptime_seconds", 0.0);
+    out.workers = getUint(doc, "workers");
+    out.workersBusy = getUint(doc, "workers_busy");
+    out.cellsTotal = getUint(doc, "cells_total");
+    out.cellsDone = getUint(doc, "cells_done");
+    out.cellsResumed = getUint(doc, "cells_resumed");
+    out.refsDone = getUint(doc, "refs_done");
+    out.refsPerSec = getNumber(doc, "refs_per_sec", 0.0);
+    out.etaSeconds = getNumber(doc, "eta_seconds", -1.0);
+    if (const JsonValue *cells = doc.find("in_flight")) {
+        for (const JsonValue &c : cells->array) {
+            HeartbeatCell cell;
+            cell.key = getString(c, "key");
+            cell.workload = getString(c, "workload");
+            cell.config = getString(c, "config");
+            cell.elapsedSeconds = getNumber(c, "elapsed_seconds", 0.0);
+            cell.etaSeconds = getNumber(c, "eta_seconds", -1.0);
+            out.inFlight.push_back(std::move(cell));
+        }
+    }
+    return true;
+}
+
+bool
+HeartbeatWriter::write(const Heartbeat &hb, std::string &error) const
+{
+    std::ostringstream out;
+    hb.writeJson(out);
+    out << '\n';
+    return atomicWriteFile(path_, out.str(), error);
+}
+
+} // namespace tps::obs

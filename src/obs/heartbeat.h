@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Live campaign status: a small JSON document (tps-heartbeat-v1)
+ * atomically rewritten every interval by the campaign driver and
+ * tailed by `tps_top`.  Because the writer goes through
+ * write-temp-rename, a reader polling the file never sees a torn
+ * document — it either gets the previous heartbeat or the next one.
+ *
+ * The struct is a plain value with symmetric writeJson/fromJson so
+ * the viewer, tests and any external tooling share one schema.
+ */
+
+#ifndef TPS_OBS_HEARTBEAT_H_
+#define TPS_OBS_HEARTBEAT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tps::obs
+{
+
+inline constexpr const char *kHeartbeatSchema = "tps-heartbeat-v1";
+
+/** One cell currently executing. */
+struct HeartbeatCell
+{
+    std::string key;
+    std::string workload;
+    std::string config;
+    double elapsedSeconds = 0.0;
+    /** Estimated remaining seconds; < 0 when no estimate exists yet. */
+    double etaSeconds = -1.0;
+};
+
+struct Heartbeat
+{
+    /** "starting" | "running" | "finished" | "interrupted". */
+    std::string state;
+    std::string configHash;
+    std::string timestampUtc;
+    double uptimeSeconds = 0.0;
+
+    std::uint64_t workers = 0;
+    std::uint64_t workersBusy = 0;
+
+    std::uint64_t cellsTotal = 0;
+    std::uint64_t cellsDone = 0;     ///< includes resumed cells
+    std::uint64_t cellsResumed = 0;  ///< skipped via --resume
+    std::uint64_t refsDone = 0;      ///< refs of completed cells
+    double refsPerSec = 0.0;         ///< windowed campaign throughput
+    /** Estimated remaining seconds; < 0 when no estimate exists yet. */
+    double etaSeconds = -1.0;
+
+    std::vector<HeartbeatCell> inFlight;
+
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Parse a heartbeat document.  Returns false with @p error set on
+     * malformed input or a schema mismatch.
+     */
+    static bool fromJson(const std::string &text, Heartbeat &out,
+                         std::string &error);
+};
+
+/**
+ * Publishes heartbeats to a file via atomic replacement.  Thread-safe;
+ * the campaign driver calls write() from its heartbeat thread and once
+ * more from signal/exit paths.
+ */
+class HeartbeatWriter
+{
+  public:
+    explicit HeartbeatWriter(std::string path) : path_(std::move(path)) {}
+
+    /** Serialize and atomically publish; false + error on IO failure. */
+    bool write(const Heartbeat &hb, std::string &error) const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_HEARTBEAT_H_

@@ -1,10 +1,12 @@
 #include "obs/manifest.h"
 
+#include <stdlib.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <thread>
 
 namespace tps::obs
 {
@@ -53,6 +55,13 @@ RunManifest::capture(const std::string &experiment, int argc, char **argv)
     m.gitDescribe = buildGitDescribe();
     m.hostname = currentHostname();
     m.timestampUtc = currentTimestampUtc();
+    m.hardwareConcurrency = std::thread::hardware_concurrency();
+    double load[1] = {-1.0};
+    if (getloadavg(load, 1) == 1)
+        m.loadAvg1m = load[0];
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page > 0)
+        m.pageSizeBytes = static_cast<std::uint64_t>(page);
     return m;
 }
 
@@ -71,6 +80,9 @@ RunManifest::writeJson(JsonWriter &writer) const
     writer.key("seed").value(seed);
     writer.key("threads").value(threads);
     writer.key("trace_cache").value(traceCacheMode);
+    writer.key("hardware_concurrency").value(hardwareConcurrency);
+    writer.key("loadavg_1m").value(loadAvg1m);
+    writer.key("page_size").value(pageSizeBytes);
     if (!extra.empty()) {
         writer.key("extra").beginObject();
         for (const auto &[name, value] : extra)

@@ -41,6 +41,12 @@ struct RunManifest
     unsigned threads = 0;         ///< resolved worker count
     std::string traceCacheMode = "auto"; ///< auto/on/off
 
+    // Machine context: without these, refs/s numbers from different
+    // hosts (or a loaded shared box) are uninterpretable.
+    unsigned hardwareConcurrency = 0; ///< std::thread::hardware_concurrency
+    double loadAvg1m = -1.0;          ///< 1-minute load average, -1 unknown
+    std::uint64_t pageSizeBytes = 0;  ///< sysconf(_SC_PAGESIZE)
+
     /** Free-form extras (env overrides in effect, bench knobs...). */
     std::map<std::string, std::string> extra;
 

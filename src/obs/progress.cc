@@ -61,6 +61,19 @@ ProgressReporter::tick(std::uint64_t refs)
 }
 
 void
+ProgressReporter::seedResumed(std::uint64_t done, std::uint64_t refs)
+{
+    seed_done_ = done;
+    seed_refs_ = refs;
+    done_.store(done, std::memory_order_relaxed);
+    refs_.store(refs, std::memory_order_relaxed);
+    // Also seed the window snapshot: the first emitted line's window
+    // must cover only work done by this process.
+    window_done_.store(done, std::memory_order_relaxed);
+    window_refs_.store(refs, std::memory_order_relaxed);
+}
+
+void
 ProgressReporter::finish()
 {
     if (!enabled())
@@ -116,12 +129,17 @@ ProgressReporter::emitLine(bool final)
                100.0 * static_cast<double>(done) /
                    static_cast<double>(total_));
     }
+    // Cumulative fallbacks must exclude checkpointed work too — a
+    // resumed campaign's seeded refs took zero seconds of *this*
+    // process's time.
+    const std::uint64_t new_done = done - seed_done_;
+    const std::uint64_t new_refs = refs - seed_refs_;
     if (win_refs != 0 && win_elapsed > 0.0) {
         append(", %.2fM refs/s",
                static_cast<double>(win_refs) / win_elapsed / 1e6);
-    } else if (refs != 0 && elapsed > 0.0) {
+    } else if (new_refs != 0 && elapsed > 0.0) {
         append(", %.2fM refs/s",
-               static_cast<double>(refs) / elapsed / 1e6);
+               static_cast<double>(new_refs) / elapsed / 1e6);
     }
     append(", elapsed %.1fs", elapsed);
     if (!final && total_ != 0 && done != 0 && done < total_) {
@@ -131,8 +149,8 @@ ProgressReporter::emitLine(bool final)
         double per_item = 0.0;
         if (win_done != 0 && win_elapsed > 0.0)
             per_item = win_elapsed / static_cast<double>(win_done);
-        else if (elapsed > 0.0)
-            per_item = elapsed / static_cast<double>(done);
+        else if (new_done != 0 && elapsed > 0.0)
+            per_item = elapsed / static_cast<double>(new_done);
         if (per_item > 0.0)
             append(", eta %.1fs",
                    per_item * static_cast<double>(total_ - done));

@@ -40,6 +40,15 @@ class ProgressReporter
     /** Report one finished item plus the references it simulated. */
     void tick(std::uint64_t refs = 0);
 
+    /**
+     * Seed checkpointed work from a resumed run: @p done items and
+     * @p refs references count toward the displayed totals but are
+     * excluded from every rate and ETA, so the first reporting window
+     * after `--resume` doesn't claim an absurd throughput for cells
+     * this process never executed.  Call before the first tick().
+     */
+    void seedResumed(std::uint64_t done, std::uint64_t refs);
+
     /** Unconditionally emit a final line (when reporting is on). */
     void finish();
 
@@ -88,6 +97,10 @@ class ProgressReporter
     std::atomic<std::uint64_t> window_done_{0};
     std::atomic<std::uint64_t> window_refs_{0};
     std::atomic<std::uint64_t> window_start_us_{0};
+    /** Checkpointed work counted in done_/refs_ but never in rates
+     *  (set once by seedResumed before any tick). */
+    std::uint64_t seed_done_ = 0;
+    std::uint64_t seed_refs_ = 0;
     std::uint64_t interval_us_ = 250'000;
     int forced_ = -1; ///< -1 = follow global gate
     std::FILE *stream_ = stderr;

@@ -1,0 +1,80 @@
+#include "obs/signal_flush.h"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace tps::obs
+{
+
+namespace
+{
+
+std::mutex &
+callbackMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<std::function<void(int)>> &
+callbacks()
+{
+    static std::vector<std::function<void(int)>> v;
+    return v;
+}
+
+std::atomic<bool> g_ran{false};
+
+extern "C" void
+signalFlushHandler(int signo)
+{
+    runSignalFlushCallbacks(signo);
+    std::_Exit(128 + signo);
+}
+
+void
+installHandlersOnce()
+{
+    static bool installed = false; // guarded by callbackMutex()
+    if (installed)
+        return;
+    installed = true;
+    struct sigaction sa = {};
+    sa.sa_handler = &signalFlushHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+} // namespace
+
+void
+installSignalFlush(std::function<void(int)> fn)
+{
+    std::lock_guard<std::mutex> lock(callbackMutex());
+    installHandlersOnce();
+    callbacks().push_back(std::move(fn));
+}
+
+int
+runSignalFlushCallbacks(int signo)
+{
+    if (g_ran.exchange(true))
+        return 0;
+    // No lock: if the signal interrupted a thread holding
+    // callbackMutex() we must not deadlock; registration happens at
+    // startup, long before any interesting signal.
+    int ran = 0;
+    for (auto &fn : callbacks()) {
+        fn(signo);
+        ++ran;
+    }
+    return ran;
+}
+
+} // namespace tps::obs

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Best-effort flush-on-signal: a small registry of callbacks run once
+ * when SIGINT/SIGTERM arrives, before the process exits with the
+ * conventional 128+signo status.  The bench harness registers its
+ * stats/trace/timeseries flush here, and `tps_campaign` registers a
+ * final heartbeat write — so an interrupted overnight run still leaves
+ * a readable status file instead of relying solely on `atexit` hooks,
+ * which fatal signals skip.
+ *
+ * Honesty note: the callbacks do stream IO and allocation, which is
+ * not async-signal-safe.  This is a deliberate pragmatic tradeoff for
+ * a terminal interrupt of a simulator — the worst case is a garbled
+ * *auxiliary* dump, never a corrupted journal, because journal and
+ * heartbeat commits go through atomic write-temp-rename and a rename
+ * either happened or it did not.
+ */
+
+#ifndef TPS_OBS_SIGNAL_FLUSH_H_
+#define TPS_OBS_SIGNAL_FLUSH_H_
+
+#include <functional>
+
+namespace tps::obs
+{
+
+/**
+ * Register @p fn to run when SIGINT or SIGTERM arrives (argument: the
+ * signal number).  The first call installs the handlers; callbacks run
+ * in registration order, at most once per process, after which the
+ * process _Exit()s with 128+signo.  Thread-safe.
+ */
+void installSignalFlush(std::function<void(int)> fn);
+
+/**
+ * Run the registered callbacks now (at most once) without exiting —
+ * for orderly shutdown paths that want the same flush behaviour, and
+ * for tests.  Returns the number of callbacks run (0 when a signal
+ * already consumed them).
+ */
+int runSignalFlushCallbacks(int signo);
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_SIGNAL_FLUSH_H_

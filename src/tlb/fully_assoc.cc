@@ -135,6 +135,11 @@ FullyAssocTlb::lookupBatch(const BatchRef *refs, std::size_t n,
     stats_.hits += hits_small + hits_large;
     stats_.hitsSmall += hits_small;
     stats_.hitsLarge += hits_large;
+    // Harness telemetry: every batched ref consulted the probe-index
+    // cache; exactly the fast-path hits were resolved by it (a ref
+    // that fell to probeOne re-fails the identical slot check there).
+    pc_.lookups += n;
+    pc_.hits += hits_small + hits_large;
 }
 
 void
@@ -179,6 +184,7 @@ FullyAssocTlb::reset()
     std::fill(lookup_.begin(), lookup_.end(), 0);
     clock_ = 0;
     stats_ = TlbStats{};
+    pc_ = ProbeCacheCounters{};
     rng_ = Rng(rng_seed_);
     plru_ = PlruTree{};
     asid_ = 0;

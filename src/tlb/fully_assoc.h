@@ -49,6 +49,17 @@ class FullyAssocTlb : public Tlb
     const TlbStats &stats() const override { return stats_; }
     std::string name() const override;
 
+    /**
+     * Probe-cache effectiveness over the batched path (the campaign
+     * engine's default).  Counted per lookupBatch() call, not per
+     * reference, so the hot loop is untouched; access() probes are
+     * not included.
+     */
+    ProbeCacheCounters probeCacheCounters() const override
+    {
+        return pc_;
+    }
+
     ReplPolicy policy() const { return policy_; }
 
     /** Count of currently valid entries (for tests). */
@@ -88,6 +99,7 @@ class FullyAssocTlb : public Tlb
     std::uint64_t clock_ = 0;
     PlruTree plru_; ///< used only under ReplPolicy::TreePLRU
     TlbStats stats_;
+    ProbeCacheCounters pc_; ///< batched-path cache telemetry
 };
 
 } // namespace tps

@@ -65,6 +65,19 @@ struct TlbStats
 };
 
 /**
+ * Probe-index-cache effectiveness counters (harness self-telemetry,
+ * DESIGN.md §11).  Deliberately *outside* TlbStats: these describe the
+ * simulator's own speed, not the simulated machine, so they must never
+ * leak into model-facing stats dumps or determinism diffs.  Models
+ * without such a cache report zeros.
+ */
+struct ProbeCacheCounters
+{
+    std::uint64_t lookups = 0; ///< probes that consulted the cache
+    std::uint64_t hits = 0;    ///< probes resolved by a validated slot
+};
+
+/**
  * Abstract TLB.  Implements InvalidationSink so a PageSizePolicy can
  * shoot down stale translations on promotion/demotion.
  */
@@ -148,6 +161,12 @@ class Tlb : public InvalidationSink
 
     virtual const TlbStats &stats() const = 0;
     virtual std::string name() const = 0;
+
+    /**
+     * Harness self-telemetry: probe-index-cache effectiveness since
+     * the last reset().  Zeros for models without such a cache.
+     */
+    virtual ProbeCacheCounters probeCacheCounters() const { return {}; }
 
   protected:
     std::uint16_t asid_ = 0; ///< active context tag (see setAsid)

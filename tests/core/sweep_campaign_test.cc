@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The sweep runner's campaign surface: cell keys, the config
+ * fingerprint the journal pins, lifecycle hooks, and skip/resume
+ * semantics (skipped cells stay placeholders and the rest stay
+ * bit-identical, including under shared passes).
+ */
+
+#include "core/sweep.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tps::core
+{
+namespace
+{
+
+RunOptions
+tinyOptions()
+{
+    RunOptions options;
+    options.maxRefs = 40'000;
+    return options;
+}
+
+TEST(SweepCampaign, CellKeySlugifiesBothHalves)
+{
+    EXPECT_EQ(SweepRunner::cellKey("li", "fa64 4K/32K"),
+              "li/fa64_4k_32k");
+    EXPECT_EQ(SweepRunner::cellKey("Matrix 300", "base"),
+              "matrix_300/base");
+}
+
+TEST(SweepCampaign, FingerprintPinsResultsNotExecution)
+{
+    auto makeRunner = [](std::uint64_t refs, unsigned threads,
+                         std::size_t chunk) {
+        auto runner = std::make_unique<SweepRunner>();
+        RunOptions options;
+        options.maxRefs = refs;
+        options.chunkRefs = chunk;
+        options.harnessStats = chunk % 2 == 0; // execution-only knob
+        runner->workloads({"li", "worm"})
+            .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K),
+                           "base")
+            .options(options)
+            .threads(threads);
+        return runner;
+    };
+
+    const std::string base = makeRunner(40'000, 1, 4096)->fingerprint();
+    EXPECT_EQ(base.size(), 16u); // 64-bit FNV-1a, hex
+
+    // Stable across identical configs.
+    EXPECT_EQ(base, makeRunner(40'000, 1, 4096)->fingerprint());
+    // Invariant to execution knobs: threads, chunkRefs, harnessStats.
+    EXPECT_EQ(base, makeRunner(40'000, 8, 1024)->fingerprint());
+    // Sensitive to anything result-relevant.
+    EXPECT_NE(base, makeRunner(50'000, 1, 4096)->fingerprint());
+
+    SweepRunner other;
+    other.workloads({"li", "worm"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_8K),
+                       "base")
+        .options(tinyOptions());
+    EXPECT_NE(base, other.fingerprint());
+}
+
+TEST(SweepCampaign, HooksFirePerCellWithResults)
+{
+    SweepRunner sweep;
+    sweep.workloads({"li"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K), "a")
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_32K), "b")
+        .options(tinyOptions());
+
+    std::mutex mutex;
+    std::set<std::string> started;
+    std::set<std::string> finished;
+    std::uint64_t done_refs = 0;
+    sweep.onCellStart([&](const std::string &w, const std::string &c) {
+        std::lock_guard<std::mutex> lock(mutex);
+        started.insert(SweepRunner::cellKey(w, c));
+    });
+    sweep.onCellDone([&](const std::string &w, const std::string &c,
+                         const ExperimentResult &r) {
+        std::lock_guard<std::mutex> lock(mutex);
+        finished.insert(SweepRunner::cellKey(w, c));
+        done_refs += r.refs;
+    });
+
+    const auto cells = sweep.run();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(started, (std::set<std::string>{"li/a", "li/b"}));
+    EXPECT_EQ(finished, started);
+    EXPECT_EQ(done_refs,
+              cells[0].result.refs + cells[1].result.refs);
+}
+
+TEST(SweepCampaign, SkippedCellsArePlaceholdersOthersIdentical)
+{
+    auto build = [](SweepRunner &sweep) {
+        sweep.workloads({"li"})
+            .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K),
+                           "a")
+            .configuration(TlbConfig{}, PolicySpec::single(kLog2_32K),
+                           "b")
+            .options(tinyOptions());
+    };
+    SweepRunner full;
+    build(full);
+    const auto all = full.run();
+
+    SweepRunner partial;
+    build(partial);
+    std::mutex mutex;
+    std::set<std::string> started;
+    partial.onCellStart([&](const std::string &w,
+                            const std::string &c) {
+        std::lock_guard<std::mutex> lock(mutex);
+        started.insert(SweepRunner::cellKey(w, c));
+    });
+    partial.skipCells([](const std::string &,
+                         const std::string &label) {
+        return label == "a";
+    });
+    partial.resumed(1, all[0].result.refs);
+    const auto rest = partial.run();
+
+    ASSERT_EQ(rest.size(), 2u);
+    // Skipped cell: placeholder (refs == 0), no hooks fired for it.
+    EXPECT_EQ(rest[0].configLabel, "a");
+    EXPECT_EQ(rest[0].result.refs, 0u);
+    EXPECT_EQ(started.count("li/a"), 0u);
+    EXPECT_EQ(started.count("li/b"), 1u);
+    // The pending cell is bit-identical to the full run's.
+    EXPECT_EQ(rest[1].result.refs, all[1].result.refs);
+    EXPECT_EQ(rest[1].result.tlb.misses, all[1].result.tlb.misses);
+    EXPECT_EQ(rest[1].result.cpiTlb, all[1].result.cpiTlb);
+}
+
+// Under sharedPass a group's single trace pass must probe only the
+// pending members; the surviving cell stays bit-identical to its
+// independent run.
+TEST(SweepCampaign, SharedPassSkipsOnlyPendingMembers)
+{
+    TlbConfig small;
+    small.entries = 16;
+    TlbConfig large;
+    large.entries = 64;
+
+    auto build = [&](SweepRunner &sweep) {
+        sweep.workloads({"worm"})
+            .configuration(small, PolicySpec::single(kLog2_4K), "s16")
+            .configuration(large, PolicySpec::single(kLog2_4K), "s64")
+            .options(tinyOptions())
+            .sharedPass(true);
+    };
+    SweepRunner full;
+    build(full);
+    const auto all = full.run();
+
+    SweepRunner partial;
+    build(partial);
+    partial.skipCells([](const std::string &,
+                         const std::string &label) {
+        return label == "s64";
+    });
+    const auto rest = partial.run();
+
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[1].result.refs, 0u); // skipped
+    EXPECT_EQ(rest[0].result.refs, all[0].result.refs);
+    EXPECT_EQ(rest[0].result.tlb.misses, all[0].result.tlb.misses);
+    EXPECT_EQ(rest[0].result.cpiTlb, all[0].result.cpiTlb);
+}
+
+// Harness self-telemetry is feature-gated and batched-only.
+TEST(SweepCampaign, HarnessStatsMeasuredOnlyWhenRequested)
+{
+    RunOptions options = tinyOptions();
+    SweepRunner off;
+    off.workloads({"li"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K))
+        .options(options);
+    EXPECT_FALSE(off.run()[0].result.harnessMeasured);
+
+    options.harnessStats = true;
+    SweepRunner on;
+    on.workloads({"li"})
+        .configuration(TlbConfig{}, PolicySpec::single(kLog2_4K))
+        .options(options);
+    const auto cells = on.run();
+    ASSERT_TRUE(cells[0].result.harnessMeasured);
+    EXPECT_GT(cells[0].result.harness.wallSeconds, 0.0);
+    EXPECT_GT(cells[0].result.harness.refsPerSec, 0.0);
+    EXPECT_GT(cells[0].result.harness.chunks, 0u);
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * CampaignJournal: tps-campaign-v1 golden schema, load/resume
+ * round-trips, refusal of malformed journals, and the harness-key
+ * exclusion that keeps resumed aggregates byte-identical.
+ */
+
+#include "obs/campaign_journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/atomic_file.h"
+#include "obs/stat_registry.h"
+
+namespace obs = tps::obs;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "tps_campaign_" + name;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+obs::CampaignCellRecord
+sampleRecord(const std::string &key)
+{
+    obs::CampaignCellRecord r;
+    r.key = key;
+    r.workload = "w";
+    r.config = "fa64 4K";
+    r.refs = 100;
+    r.instructions = 40;
+    r.cpiTlb = 1.5;
+    r.wallSeconds = 0.25;
+    r.statsFile = key == "w/a" ? "a.stats.json" : "b.stats.json";
+    r.timeseriesFile = "";
+    return r;
+}
+
+// The on-disk format IS the interface other tooling parses: pin it
+// byte for byte.  Any change here is a schema revision.
+TEST(CampaignJournal, GoldenSchema)
+{
+    const std::string path = tempPath("golden.jsonl");
+    std::remove(path.c_str());
+
+    obs::CampaignJournal journal(path);
+    journal.start("00c0ffee00c0ffee", 2, "tps_campaign --out d",
+                  "2026-01-01T00:00:00Z");
+    journal.append(sampleRecord("w/a"));
+    obs::CampaignCellRecord b = sampleRecord("w/b");
+    b.timeseriesFile = "b.ts.json";
+    journal.append(b);
+
+    const std::string expected =
+        "{\"type\":\"header\",\"schema\":\"tps-campaign-v1\","
+        "\"config_hash\":\"00c0ffee00c0ffee\",\"cells_total\":2,"
+        "\"command\":\"tps_campaign --out d\","
+        "\"created_utc\":\"2026-01-01T00:00:00Z\"}\n"
+        "{\"type\":\"cell\",\"key\":\"w/a\",\"workload\":\"w\","
+        "\"config\":\"fa64 4K\",\"refs\":100,\"instructions\":40,"
+        "\"cpi_tlb\":1.5,\"wall_seconds\":0.25,"
+        "\"stats_file\":\"a.stats.json\",\"timeseries_file\":\"\"}\n"
+        "{\"type\":\"cell\",\"key\":\"w/b\",\"workload\":\"w\","
+        "\"config\":\"fa64 4K\",\"refs\":100,\"instructions\":40,"
+        "\"cpi_tlb\":1.5,\"wall_seconds\":0.25,"
+        "\"stats_file\":\"b.stats.json\","
+        "\"timeseries_file\":\"b.ts.json\"}\n";
+    EXPECT_EQ(readAll(path), expected);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, LoadRoundTripAndResume)
+{
+    const std::string path = tempPath("roundtrip.jsonl");
+    std::remove(path.c_str());
+
+    {
+        obs::CampaignJournal journal(path);
+        journal.start("hash1", 3, "cmd", "2026-01-01T00:00:00Z");
+        journal.append(sampleRecord("w/a"));
+        EXPECT_TRUE(journal.done("w/a"));
+        EXPECT_FALSE(journal.done("w/b"));
+    }
+
+    obs::CampaignJournal::Loaded loaded;
+    std::string error;
+    ASSERT_TRUE(obs::CampaignJournal::load(path, loaded, error))
+        << error;
+    ASSERT_TRUE(loaded.exists);
+    EXPECT_EQ(loaded.configHash, "hash1");
+    EXPECT_EQ(loaded.cellsTotal, 3u);
+    EXPECT_EQ(loaded.command, "cmd");
+    EXPECT_EQ(loaded.createdUtc, "2026-01-01T00:00:00Z");
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.records[0].key, "w/a");
+    EXPECT_EQ(loaded.records[0].refs, 100u);
+    EXPECT_DOUBLE_EQ(loaded.records[0].cpiTlb, 1.5);
+
+    // Resume seeds done() and append keeps the prior records.
+    obs::CampaignJournal resumed(path);
+    resumed.resume(loaded);
+    EXPECT_TRUE(resumed.done("w/a"));
+    resumed.append(sampleRecord("w/b"));
+
+    obs::CampaignJournal::Loaded again;
+    ASSERT_TRUE(obs::CampaignJournal::load(path, again, error)) << error;
+    ASSERT_EQ(again.records.size(), 2u);
+    EXPECT_EQ(again.records[0].key, "w/a");
+    EXPECT_EQ(again.records[1].key, "w/b");
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, MissingFileIsAFreshCampaign)
+{
+    obs::CampaignJournal::Loaded loaded;
+    std::string error;
+    ASSERT_TRUE(obs::CampaignJournal::load(
+        tempPath("never_written.jsonl"), loaded, error));
+    EXPECT_FALSE(loaded.exists);
+    EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST(CampaignJournal, RejectsCorruptAndWrongSchema)
+{
+    const std::string path = tempPath("bad.jsonl");
+    std::string error;
+
+    ASSERT_TRUE(obs::atomicWriteFile(path, "not json\n", error));
+    obs::CampaignJournal::Loaded loaded;
+    EXPECT_FALSE(obs::CampaignJournal::load(path, loaded, error));
+    EXPECT_NE(error.find(path), std::string::npos);
+
+    ASSERT_TRUE(obs::atomicWriteFile(
+        path,
+        "{\"type\":\"header\",\"schema\":\"tps-campaign-v0\","
+        "\"config_hash\":\"x\",\"cells_total\":1,\"command\":\"c\","
+        "\"created_utc\":\"t\"}\n",
+        error));
+    EXPECT_FALSE(obs::CampaignJournal::load(path, loaded, error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+
+    // A cell line before any header is structural corruption too.
+    ASSERT_TRUE(obs::atomicWriteFile(
+        path, "{\"type\":\"cell\",\"key\":\"w/a\"}\n", error));
+    EXPECT_FALSE(obs::CampaignJournal::load(path, loaded, error));
+    std::remove(path.c_str());
+}
+
+// The aggregate of a campaign merges every journaled cell's stats but
+// drops any dotted name with a "harness" segment: those are wall-clock
+// self-telemetry, the one nondeterministic part of a cell's dump, and
+// keeping them out is what makes resumed-vs-uninterrupted aggregates
+// byte-identical.
+TEST(CampaignJournal, AggregateMergesCellsAndSkipsHarnessKeys)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "tps_campaign_agg.jsonl";
+    std::string error;
+
+    auto writeStats = [&](const std::string &file,
+                          const std::string &prefix) {
+        obs::StatRegistry reg;
+        reg.addCounter(prefix + ".refs", 100);
+        reg.addValue(prefix + ".cpi_tlb", 1.5);
+        reg.addValue(prefix + ".harness.wall_seconds", 0.123);
+        reg.addCounter(prefix + ".harness.chunks", 7);
+        std::ostringstream ss;
+        reg.writeJson(ss);
+        ASSERT_TRUE(obs::atomicWriteFile(dir + file, ss.str(), error))
+            << error;
+    };
+    writeStats("tps_campaign_agg_a.json", "campaign.w.a");
+    writeStats("tps_campaign_agg_b.json", "campaign.w.b");
+
+    obs::CampaignJournal journal(path);
+    journal.start("h", 2, "cmd", "t");
+    obs::CampaignCellRecord a = sampleRecord("w/a");
+    a.statsFile = "tps_campaign_agg_a.json";
+    obs::CampaignCellRecord b = sampleRecord("w/b");
+    b.statsFile = "tps_campaign_agg_b.json";
+    journal.append(a);
+    journal.append(b);
+
+    std::ostringstream merged;
+    ASSERT_TRUE(obs::aggregateCampaignStats(path, merged, error))
+        << error;
+    const std::string out = merged.str();
+    EXPECT_NE(out.find("campaign.w.a.refs"), std::string::npos);
+    EXPECT_NE(out.find("campaign.w.b.refs"), std::string::npos);
+    EXPECT_NE(out.find("campaign.w.a.cpi_tlb"), std::string::npos);
+    EXPECT_EQ(out.find("harness"), std::string::npos);
+
+    // A journal record pointing at a missing stats file is an error,
+    // not a silent hole in the aggregate.
+    obs::CampaignCellRecord c = sampleRecord("w/c");
+    c.statsFile = "tps_campaign_agg_missing.json";
+    journal.append(c);
+    std::ostringstream broken;
+    EXPECT_FALSE(obs::aggregateCampaignStats(path, broken, error));
+    std::remove(path.c_str());
+}
+
+} // namespace

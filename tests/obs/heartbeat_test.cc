@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Heartbeat: tps-heartbeat-v1 JSON round-trip, schema refusal, and
+ * the atomic file publication used by tps_campaign/tps_top.
+ */
+
+#include "obs/heartbeat.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace obs = tps::obs;
+
+namespace
+{
+
+obs::Heartbeat
+sampleHeartbeat()
+{
+    obs::Heartbeat hb;
+    hb.state = "running";
+    hb.configHash = "00c0ffee00c0ffee";
+    hb.timestampUtc = "2026-01-01T00:00:00Z";
+    hb.uptimeSeconds = 12.5;
+    hb.workers = 4;
+    hb.workersBusy = 2;
+    hb.cellsTotal = 96;
+    hb.cellsDone = 10;
+    hb.cellsResumed = 6;
+    hb.refsDone = 20'000'000;
+    hb.refsPerSec = 1.5e6;
+    hb.etaSeconds = 345.5;
+    obs::HeartbeatCell cell;
+    cell.key = "matrix300/fa64_4k";
+    cell.workload = "matrix300";
+    cell.config = "fa64 4K";
+    cell.elapsedSeconds = 2.25;
+    cell.etaSeconds = 1.75;
+    hb.inFlight.push_back(cell);
+    cell.key = "matrix300/fa64_4k_32k";
+    cell.config = "fa64 4K/32K";
+    cell.etaSeconds = -1.0; // no estimate yet
+    hb.inFlight.push_back(cell);
+    return hb;
+}
+
+TEST(Heartbeat, JsonRoundTrip)
+{
+    const obs::Heartbeat hb = sampleHeartbeat();
+    std::ostringstream ss;
+    hb.writeJson(ss);
+    ASSERT_NE(ss.str().find("tps-heartbeat-v1"), std::string::npos);
+
+    obs::Heartbeat back;
+    std::string error;
+    ASSERT_TRUE(obs::Heartbeat::fromJson(ss.str(), back, error))
+        << error;
+    EXPECT_EQ(back.state, "running");
+    EXPECT_EQ(back.configHash, hb.configHash);
+    EXPECT_EQ(back.timestampUtc, hb.timestampUtc);
+    EXPECT_DOUBLE_EQ(back.uptimeSeconds, 12.5);
+    EXPECT_EQ(back.workers, 4u);
+    EXPECT_EQ(back.workersBusy, 2u);
+    EXPECT_EQ(back.cellsTotal, 96u);
+    EXPECT_EQ(back.cellsDone, 10u);
+    EXPECT_EQ(back.cellsResumed, 6u);
+    EXPECT_EQ(back.refsDone, 20'000'000u);
+    EXPECT_DOUBLE_EQ(back.refsPerSec, 1.5e6);
+    EXPECT_DOUBLE_EQ(back.etaSeconds, 345.5);
+    ASSERT_EQ(back.inFlight.size(), 2u);
+    EXPECT_EQ(back.inFlight[0].key, "matrix300/fa64_4k");
+    EXPECT_EQ(back.inFlight[0].workload, "matrix300");
+    EXPECT_EQ(back.inFlight[0].config, "fa64 4K");
+    EXPECT_DOUBLE_EQ(back.inFlight[0].elapsedSeconds, 2.25);
+    EXPECT_DOUBLE_EQ(back.inFlight[0].etaSeconds, 1.75);
+    EXPECT_DOUBLE_EQ(back.inFlight[1].etaSeconds, -1.0);
+}
+
+TEST(Heartbeat, FromJsonRejectsGarbageAndWrongSchema)
+{
+    obs::Heartbeat hb;
+    std::string error;
+    EXPECT_FALSE(obs::Heartbeat::fromJson("not json", hb, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(obs::Heartbeat::fromJson(
+        "{\"schema\":\"tps-heartbeat-v0\",\"state\":\"running\"}", hb,
+        error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(HeartbeatWriter, PublishesParseableFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "tps_heartbeat_test.json";
+    std::remove(path.c_str());
+
+    obs::HeartbeatWriter writer(path);
+    std::string error;
+    ASSERT_TRUE(writer.write(sampleHeartbeat(), error)) << error;
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    obs::Heartbeat back;
+    ASSERT_TRUE(obs::Heartbeat::fromJson(ss.str(), back, error))
+        << error;
+    EXPECT_EQ(back.cellsTotal, 96u);
+
+    // Overwrite must replace, not append/merge.
+    obs::Heartbeat done = sampleHeartbeat();
+    done.state = "finished";
+    done.inFlight.clear();
+    ASSERT_TRUE(writer.write(done, error)) << error;
+    std::ifstream in2(path);
+    std::ostringstream ss2;
+    ss2 << in2.rdbuf();
+    ASSERT_TRUE(obs::Heartbeat::fromJson(ss2.str(), back, error))
+        << error;
+    EXPECT_EQ(back.state, "finished");
+    EXPECT_TRUE(back.inFlight.empty());
+    std::remove(path.c_str());
+}
+
+TEST(HeartbeatWriter, FailsCleanlyOnUnwritablePath)
+{
+    obs::HeartbeatWriter writer("/nonexistent-dir/heartbeat.json");
+    std::string error;
+    EXPECT_FALSE(writer.write(sampleHeartbeat(), error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace

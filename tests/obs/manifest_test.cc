@@ -1,0 +1,59 @@
+/**
+ * @file
+ * RunManifest machine-context capture: hardware concurrency, load
+ * average and page size must be populated and serialized, so refs/s
+ * numbers carry enough provenance to be compared across hosts.
+ */
+
+#include "obs/manifest.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace obs = tps::obs;
+
+namespace
+{
+
+TEST(RunManifest, CaptureRecordsMachineContext)
+{
+    char arg0[] = "manifest_test";
+    char *argv[] = {arg0, nullptr};
+    const obs::RunManifest m = obs::RunManifest::capture("test", 1, argv);
+
+    EXPECT_GE(m.hardwareConcurrency, 1u);
+    // Power-of-two page size, at least 4K on anything we target.
+    EXPECT_GE(m.pageSizeBytes, 4096u);
+    EXPECT_EQ(m.pageSizeBytes & (m.pageSizeBytes - 1), 0u);
+    // getloadavg can legitimately fail (-1 sentinel), but on Linux it
+    // reports a non-negative value.
+    EXPECT_GE(m.loadAvg1m, 0.0);
+    EXPECT_EQ(m.command, "manifest_test");
+    EXPECT_FALSE(m.timestampUtc.empty());
+}
+
+TEST(RunManifest, WriteJsonEmitsMachineContextKeys)
+{
+    char arg0[] = "manifest_test";
+    char *argv[] = {arg0, nullptr};
+    const obs::RunManifest m = obs::RunManifest::capture("test", 1, argv);
+
+    std::ostringstream ss;
+    {
+        obs::JsonWriter w(ss, /*pretty=*/false);
+        w.beginObject();
+        w.key("manifest");
+        m.writeJson(w);
+        w.endObject();
+        w.finish();
+    }
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("\"hardware_concurrency\""), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"loadavg_1m\""), std::string::npos) << out;
+    EXPECT_NE(out.find("\"page_size\""), std::string::npos) << out;
+}
+
+} // namespace

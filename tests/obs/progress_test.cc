@@ -138,6 +138,49 @@ TEST(Progress, EtaGuardedWhenNoTimeHasPassed)
     EXPECT_EQ(out.find("nan"), std::string::npos) << out;
 }
 
+// After --resume, checkpointed cells count toward the displayed
+// totals but must be invisible to every rate: the first window after
+// a resume would otherwise claim this process replayed 40M refs in
+// the microseconds since construction.
+TEST(Progress, SeedResumedExcludesCheckpointedWorkFromRates)
+{
+    CaptureStream capture;
+    ProgressReporter progress(10, "cells");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    progress.setMinIntervalMs(0);
+    progress.seedResumed(4, 40'000'000);
+    // Pretend 10s have elapsed so the rate math is deterministic:
+    // 1M new refs / 10s = 0.10M refs/s; counting the seeded refs
+    // would print 4.10M.
+    progress.setStartForTest(std::chrono::steady_clock::now() -
+                             std::chrono::seconds(10));
+    progress.tick(1'000'000);
+    const std::string out = capture.contents();
+    EXPECT_NE(out.find("progress: 5 cells/10 (50%)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("0.10M refs/s"), std::string::npos) << out;
+    EXPECT_EQ(out.find("4.10M"), std::string::npos) << out;
+}
+
+// The cumulative fallback (empty window) must exclude seeds too: a
+// resumed run that finishes without executing anything new has no
+// throughput to report, not 40M-refs-in-an-instant.
+TEST(Progress, SeedResumedExcludedFromCumulativeFallback)
+{
+    CaptureStream capture;
+    ProgressReporter progress(4, "cells");
+    progress.setStream(capture.get());
+    progress.forceEnabled(true);
+    progress.seedResumed(4, 40'000'000);
+    progress.finish();
+    const std::string out = capture.contents();
+    EXPECT_NE(out.find("progress: 4 cells/4 (100%)"), std::string::npos)
+        << out;
+    EXPECT_EQ(out.find("refs/s"), std::string::npos) << out;
+    EXPECT_NE(out.find("[done]"), std::string::npos) << out;
+}
+
 TEST(Progress, UnknownTotalOmitsEta)
 {
     CaptureStream capture;

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Crash-resume durability check for tps_campaign (ctest label:
+# campaign).
+#
+#   1. run an uninterrupted reference campaign;
+#   2. run the same campaign with slowed-down cells, kill -9 it after
+#      the first cell commits but before the last;
+#   3. --resume it and require the aggregated campaign_stats.json to
+#      be BYTE-IDENTICAL to the uninterrupted run's (possible because
+#      per-cell stats are deterministic and the aggregator skips the
+#      wall-clock harness.* keys);
+#   4. require a second --resume to be a no-op (journal untouched);
+#   5. require refusal without --resume and refusal on a config-hash
+#      mismatch (different --refs).
+#
+# Usage: campaign_crash_resume.sh <tps_campaign> <tps_top> <scratch>
+set -e
+
+CAMPAIGN=$1
+TOP=$2
+OUT=$3
+# Small but not trivial: enough refs that 4 smoke cells outlive the
+# kill window below, with per-cell start delays doing the stretching.
+ARGS="--preset smoke --refs 40000 --warmup 10000 --window 8000 \
+    --threads 1 --heartbeat-interval-ms 100"
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# 1. Uninterrupted reference run.
+"$CAMPAIGN" --out "$OUT/ref" $ARGS > /dev/null
+
+# 2. Interrupted run: each cell start sleeps, so the kill lands
+#    mid-campaign.  Wait for durable progress (a journal with at least
+#    one cell line beyond the header) before killing.
+"$CAMPAIGN" --out "$OUT/crash" $ARGS --test-cell-delay-ms 500 \
+    > /dev/null 2>&1 &
+PID=$!
+
+# Meanwhile prove tps_top renders the LIVE heartbeat of the running
+# campaign (written every 100ms from the very start).
+"$TOP" "$OUT/crash" --once --wait-ms 10000 \
+    | grep -q 'tps campaign' || exit 1
+
+i=0
+while [ $i -lt 200 ]; do
+    if [ -f "$OUT/crash/campaign.jsonl" ] \
+        && [ "$(wc -l < "$OUT/crash/campaign.jsonl")" -gt 1 ]; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# The kill must have landed mid-campaign: some cells journaled (>= 1
+# line past the header), some still pending (< 4 cell lines).
+DONE=$(($(wc -l < "$OUT/crash/campaign.jsonl") - 1))
+[ "$DONE" -ge 1 ] || { echo "no cell journaled before kill"; exit 1; }
+[ "$DONE" -lt 4 ] || { echo "campaign finished before kill"; exit 1; }
+
+# 3. Resume (full speed) and compare aggregates byte for byte.
+"$CAMPAIGN" --out "$OUT/crash" $ARGS --resume > /dev/null
+cmp "$OUT/ref/campaign_stats.json" "$OUT/crash/campaign_stats.json"
+
+# 4. Re-resume is a no-op: journal byte-identical, nothing executed.
+cp "$OUT/crash/campaign.jsonl" "$OUT/journal_before_rerun"
+"$CAMPAIGN" --out "$OUT/crash" $ARGS --resume | grep -q 'nothing to do'
+cmp "$OUT/journal_before_rerun" "$OUT/crash/campaign.jsonl"
+
+# 5a. A fresh run into the same directory must refuse (exit 2).
+if "$CAMPAIGN" --out "$OUT/crash" $ARGS > /dev/null 2>&1; then
+    echo "fresh run over existing journal did not refuse"
+    exit 1
+fi
+
+# 5b. Resuming with different result-relevant options must refuse.
+if "$CAMPAIGN" --out "$OUT/crash" --preset smoke --refs 50000 \
+    --warmup 10000 --window 8000 --threads 1 --resume \
+    > /dev/null 2>&1; then
+    echo "config-hash mismatch did not refuse"
+    exit 1
+fi
+
+echo "campaign-crash-resume-ok"

@@ -1,0 +1,725 @@
+/**
+ * @file
+ * Campaign driver: the overnight-run layer above the sweep engine.
+ *
+ * Enumerates workload x configuration cells (paper preset: all 12
+ * workloads against FA and set-assoc TLBs at 4K/8K/32K/two-size),
+ * schedules them on the thread pool via SweepRunner, and makes the
+ * run *durable* and *observable*:
+ *
+ *   - every cell completion is committed to an append-only JSONL
+ *     journal (tps-campaign-v1) through atomic write-temp-rename, so
+ *     `--resume` after any interruption — including kill -9 — re-runs
+ *     only the missing cells and the final aggregate is byte-identical
+ *     to an uninterrupted run;
+ *   - a heartbeat JSON (tps-heartbeat-v1) is atomically rewritten
+ *     every interval with in-flight cells, throughput and ETAs;
+ *     `tps_top` tails it;
+ *   - per-cell stats (+ optional timeseries) files feed
+ *     `tps_report --campaign`.
+ *
+ * Exit codes: 0 success / nothing to do, 2 usage or refusal (existing
+ * journal without --resume, config-hash mismatch on --resume).
+ */
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/figures.h"
+#include "core/sweep.h"
+#include "obs/atomic_file.h"
+#include "obs/campaign_journal.h"
+#include "obs/heartbeat.h"
+#include "obs/manifest.h"
+#include "obs/progress.h"
+#include "obs/signal_flush.h"
+#include "obs/stat_registry.h"
+#include "obs/timeseries.h"
+#include "util/thread_pool.h"
+#include "workloads/registry.h"
+
+namespace
+{
+
+using namespace tps;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --out DIR [options]\n"
+                 "\n"
+                 "  --out DIR                 campaign directory (journal, "
+                 "heartbeat, per-cell files)\n"
+                 "  --preset paper|smoke      cell grid (default paper: "
+                 "every workload x FA64/SA32x2 x 4K/8K/32K/two-size)\n"
+                 "  --workloads a,b,...       override the preset's "
+                 "workload list\n"
+                 "  --refs N                  references per cell "
+                 "(default: TPS_REFS or the preset)\n"
+                 "  --window N                two-size assignment window T\n"
+                 "  --warmup N                warmup references per cell\n"
+                 "  --threads N               worker threads (0 = auto)\n"
+                 "  --timeseries-interval N   per-cell interval telemetry "
+                 "(0 = off)\n"
+                 "  --miss-sample K           reservoir-sample K misses "
+                 "per cell\n"
+                 "  --heartbeat-interval-ms N heartbeat rewrite period "
+                 "(default 1000)\n"
+                 "  --shared-pass on|off      share classification passes "
+                 "(default on)\n"
+                 "  --resume                  skip cells already in the "
+                 "journal\n"
+                 "  --dry-run                 print the cell enumeration "
+                 "and exit\n"
+                 "  --progress                progress lines on stderr\n"
+                 "  --test-cell-delay-ms N    test hook: sleep N ms at "
+                 "each cell start\n",
+                 argv0);
+    return 2;
+}
+
+bool
+flagValue(int argc, char **argv, const std::string &flag,
+          std::string &value)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) {
+            value = argv[i + 1];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            value = arg.substr(flag.size() + 1);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                     flag.c_str(), value.c_str());
+        std::exit(2);
+    }
+    return parsed;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    std::string partial;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        std::size_t slash = path.find('/', pos);
+        if (slash == std::string::npos)
+            slash = path.size();
+        partial = path.substr(0, slash);
+        if (!partial.empty() && partial != "/" &&
+            mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+        pos = slash + 1;
+    }
+    return true;
+}
+
+/** Single-size column: index by that size's bits (cf. runCpiStudy). */
+TlbConfig
+singleSizeTlb(TlbConfig base, unsigned size_log2)
+{
+    base.scheme = IndexScheme::Exact;
+    base.smallLog2 = size_log2;
+    base.largeLog2 = size_log2 + 3;
+    return base;
+}
+
+/** One column of the campaign grid. */
+struct Column
+{
+    std::string label;
+    TlbConfig tlb;
+    core::PolicySpec policy;
+};
+
+std::vector<Column>
+presetColumns(const std::string &preset, const TwoSizeConfig &two)
+{
+    TlbConfig fa;
+    fa.organization = TlbOrganization::FullyAssociative;
+    fa.entries = 64;
+    fa.replacement = ReplPolicy::LRU;
+
+    TlbConfig sa;
+    sa.organization = TlbOrganization::SetAssociative;
+    sa.entries = 32;
+    sa.ways = 2;
+    sa.scheme = IndexScheme::Exact;
+
+    auto columnsFor = [&](const std::string &base_name,
+                          const TlbConfig &base,
+                          std::vector<Column> &out) {
+        out.push_back({base_name + " 4K",
+                       singleSizeTlb(base, kLog2_4K),
+                       core::PolicySpec::single(kLog2_4K)});
+        out.push_back({base_name + " 8K",
+                       singleSizeTlb(base, kLog2_8K),
+                       core::PolicySpec::single(kLog2_8K)});
+        out.push_back({base_name + " 32K",
+                       singleSizeTlb(base, kLog2_32K),
+                       core::PolicySpec::single(kLog2_32K)});
+        TlbConfig two_tlb = base;
+        two_tlb.smallLog2 = two.smallLog2;
+        two_tlb.largeLog2 = two.largeLog2;
+        out.push_back({base_name + " 4K/32K", two_tlb,
+                       core::PolicySpec::twoSizes(two)});
+    };
+
+    std::vector<Column> columns;
+    if (preset == "paper") {
+        columnsFor("fa64", fa, columns);
+        columnsFor("sa32x2", sa, columns);
+    } else if (preset == "smoke") {
+        columns.push_back({"fa64 4K", singleSizeTlb(fa, kLog2_4K),
+                           core::PolicySpec::single(kLog2_4K)});
+        TlbConfig two_tlb = fa;
+        two_tlb.smallLog2 = two.smallLog2;
+        two_tlb.largeLog2 = two.largeLog2;
+        columns.push_back({"fa64 4K/32K", two_tlb,
+                           core::PolicySpec::twoSizes(two)});
+    } else {
+        std::fprintf(stderr, "error: unknown preset '%s'\n",
+                     preset.c_str());
+        std::exit(2);
+    }
+    return columns;
+}
+
+/** Everything the heartbeat thread and hooks share. */
+struct CampaignState
+{
+    std::mutex mutex;
+    std::condition_variable cv; ///< wakes the heartbeat thread to stop
+    bool stop = false;
+
+    struct InFlight
+    {
+        std::string workload;
+        std::string config;
+        std::chrono::steady_clock::time_point start;
+    };
+    std::map<std::string, InFlight> inFlight; ///< keyed by cell key
+
+    std::uint64_t cellsTotal = 0;
+    std::uint64_t cellsResumed = 0;
+    std::uint64_t cellsDone = 0;    ///< journaled (includes resumed)
+    std::uint64_t refsDone = 0;     ///< journaled refs
+    std::uint64_t cellsDoneProc = 0; ///< completed by this process
+    double wallSumProc = 0.0;        ///< their summed wall seconds
+
+    unsigned workers = 1;
+    std::string configHash;
+    std::chrono::steady_clock::time_point started =
+        std::chrono::steady_clock::now();
+};
+
+obs::Heartbeat
+snapshotHeartbeat(CampaignState &state, const std::string &hb_state,
+                  std::deque<std::pair<double, std::uint64_t>> &window)
+{
+    obs::Heartbeat hb;
+    const auto now = std::chrono::steady_clock::now();
+    const double uptime =
+        std::chrono::duration<double>(now - state.started).count();
+
+    std::lock_guard<std::mutex> lock(state.mutex);
+    hb.state = hb_state;
+    hb.configHash = state.configHash;
+    hb.timestampUtc = obs::RunManifest::currentTimestampUtc();
+    hb.uptimeSeconds = uptime;
+    hb.workers = state.workers;
+    hb.workersBusy = state.inFlight.size();
+    hb.cellsTotal = state.cellsTotal;
+    hb.cellsDone = state.cellsDone;
+    hb.cellsResumed = state.cellsResumed;
+    hb.refsDone = state.refsDone;
+
+    // Windowed campaign throughput: refs journaled by this process
+    // over the trailing <= 30s of heartbeats (cumulative averages go
+    // stale over an overnight run's slow and fast phases).
+    window.emplace_back(uptime, state.refsDone);
+    while (window.size() > 2 && uptime - window.front().first > 30.0)
+        window.pop_front();
+    const double dt = uptime - window.front().first;
+    if (dt > 0.0 && state.refsDone >= window.front().second) {
+        hb.refsPerSec =
+            static_cast<double>(state.refsDone -
+                                window.front().second) /
+            dt;
+    }
+
+    const double avg_wall =
+        state.cellsDoneProc != 0
+            ? state.wallSumProc /
+                  static_cast<double>(state.cellsDoneProc)
+            : -1.0;
+    for (const auto &[key, cell] : state.inFlight) {
+        obs::HeartbeatCell out;
+        out.key = key;
+        out.workload = cell.workload;
+        out.config = cell.config;
+        out.elapsedSeconds =
+            std::chrono::duration<double>(now - cell.start).count();
+        if (avg_wall > 0.0) {
+            out.etaSeconds =
+                avg_wall > out.elapsedSeconds
+                    ? avg_wall - out.elapsedSeconds
+                    : 0.0;
+        }
+        hb.inFlight.push_back(std::move(out));
+    }
+    if (avg_wall > 0.0 && state.workers != 0 &&
+        state.cellsTotal >= state.cellsDone) {
+        const double remaining =
+            static_cast<double>(state.cellsTotal - state.cellsDone);
+        hb.etaSeconds = remaining * avg_wall /
+                        static_cast<double>(state.workers);
+    }
+    return hb;
+}
+
+// Shared with the signal handler: a final "interrupted" heartbeat is
+// best-effort evidence of where the campaign stood.
+CampaignState *g_state = nullptr;
+obs::HeartbeatWriter *g_heartbeat = nullptr;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string value;
+    std::string out_dir;
+    if (!flagValue(argc, argv, "--out", value))
+        return usage(argv[0]);
+    out_dir = value;
+
+    std::string preset = "paper";
+    if (flagValue(argc, argv, "--preset", value))
+        preset = value;
+
+    // Scale defaults honour TPS_REFS/TPS_WINDOW/TPS_WARMUP like every
+    // bench; the smoke preset shrinks them so CI finishes in seconds.
+    core::StudyScale scale = core::defaultScale();
+    if (preset == "smoke") {
+        scale.refs = 60'000;
+        scale.window = 10'000;
+        scale.warmupRefs = 15'000;
+    }
+    if (flagValue(argc, argv, "--refs", value))
+        scale.refs = parseCount("--refs", value);
+    if (flagValue(argc, argv, "--window", value))
+        scale.window = parseCount("--window", value);
+    if (flagValue(argc, argv, "--warmup", value))
+        scale.warmupRefs = parseCount("--warmup", value);
+
+    unsigned threads = 0;
+    if (flagValue(argc, argv, "--threads", value))
+        threads =
+            static_cast<unsigned>(parseCount("--threads", value));
+
+    obs::TimeSeriesConfig ts;
+    if (flagValue(argc, argv, "--timeseries-interval", value))
+        ts.intervalRefs = parseCount("--timeseries-interval", value);
+    if (flagValue(argc, argv, "--miss-sample", value))
+        ts.missSampleCapacity = static_cast<std::size_t>(
+            parseCount("--miss-sample", value));
+
+    std::uint64_t heartbeat_ms = 1000;
+    if (flagValue(argc, argv, "--heartbeat-interval-ms", value))
+        heartbeat_ms = parseCount("--heartbeat-interval-ms", value);
+
+    bool shared_pass = true;
+    if (flagValue(argc, argv, "--shared-pass", value)) {
+        if (value == "on")
+            shared_pass = true;
+        else if (value == "off")
+            shared_pass = false;
+        else {
+            std::fprintf(stderr,
+                         "error: --shared-pass expects on|off\n");
+            return 2;
+        }
+    }
+
+    std::uint64_t test_delay_ms = 0;
+    if (flagValue(argc, argv, "--test-cell-delay-ms", value))
+        test_delay_ms = parseCount("--test-cell-delay-ms", value);
+
+    const bool resume = hasFlag(argc, argv, "--resume");
+    const bool dry_run = hasFlag(argc, argv, "--dry-run");
+    if (hasFlag(argc, argv, "--progress"))
+        obs::setProgressEnabled(true);
+
+    std::vector<std::string> names;
+    if (flagValue(argc, argv, "--workloads", value))
+        names = splitCsv(value);
+    else if (preset == "smoke")
+        names = {workloads::suiteNames()[0],
+                 workloads::suiteNames()[1]};
+    else
+        names = workloads::suiteNames();
+
+    TwoSizeConfig two;
+    two.window = scale.window;
+    const std::vector<Column> columns = presetColumns(preset, two);
+
+    core::RunOptions options;
+    options.maxRefs = scale.refs;
+    options.warmupRefs =
+        scale.warmupRefs < scale.refs ? scale.warmupRefs : 0;
+    options.timeseries = ts;
+    options.chunkRefs = scale.chunkRefs;
+    options.harnessStats = true;
+
+    core::SweepRunner runner;
+    runner.workloads(names).options(options).threads(threads).sharedPass(
+        shared_pass);
+    for (const Column &column : columns)
+        runner.configuration(column.tlb, column.policy, column.label);
+    const std::string hash = runner.fingerprint();
+
+    // Row-major enumeration, mirroring SweepRunner::run()'s order.
+    struct Plan
+    {
+        std::string key;
+        std::string workload;
+        std::string config;
+    };
+    std::vector<Plan> plans;
+    plans.reserve(names.size() * columns.size());
+    for (const std::string &name : names)
+        for (const Column &column : columns)
+            plans.push_back(
+                {core::SweepRunner::cellKey(name, column.label), name,
+                 column.label});
+
+    const std::string journal_path = out_dir + "/campaign.jsonl";
+    obs::CampaignJournal::Loaded loaded;
+    std::string error;
+    if (!obs::CampaignJournal::load(journal_path, loaded, error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    if (loaded.exists && !resume) {
+        std::fprintf(stderr,
+                     "error: %s already holds a campaign (%zu cells "
+                     "journaled); pass --resume to continue it or use "
+                     "a fresh --out\n",
+                     journal_path.c_str(), loaded.records.size());
+        return 2;
+    }
+    if (loaded.exists && loaded.configHash != hash) {
+        std::fprintf(stderr,
+                     "error: refusing to resume %s: journal config "
+                     "hash %s does not match this invocation's %s "
+                     "(different cells or run options)\n",
+                     journal_path.c_str(), loaded.configHash.c_str(),
+                     hash.c_str());
+        return 2;
+    }
+
+    std::set<std::string> done_keys;
+    std::uint64_t resumed_refs = 0;
+    for (const obs::CampaignCellRecord &r : loaded.records) {
+        done_keys.insert(r.key);
+        resumed_refs += r.refs;
+    }
+
+    if (dry_run) {
+        std::printf("campaign: %zu cells (%zu workloads x %zu "
+                    "configs), config %s\n",
+                    plans.size(), names.size(), columns.size(),
+                    hash.c_str());
+        for (const Plan &plan : plans)
+            std::printf("  %-40s %-16s %-14s%s\n", plan.key.c_str(),
+                        plan.workload.c_str(), plan.config.c_str(),
+                        done_keys.count(plan.key) ? "  [done]" : "");
+        std::printf("dry run: nothing executed\n");
+        return 0;
+    }
+
+    if (!makeDirs(out_dir)) {
+        std::fprintf(stderr, "error: cannot create %s: %s\n",
+                     out_dir.c_str(), std::strerror(errno));
+        return 2;
+    }
+
+    std::string command;
+    for (int i = 0; i < argc; ++i) {
+        if (i != 0)
+            command += ' ';
+        command += argv[i];
+    }
+
+    obs::CampaignJournal journal(journal_path);
+    if (loaded.exists)
+        journal.resume(loaded);
+    else
+        journal.start(hash, plans.size(), command,
+                      obs::RunManifest::currentTimestampUtc());
+
+    const std::string aggregate_path = out_dir + "/campaign_stats.json";
+    auto writeAggregate = [&]() -> bool {
+        std::ostringstream agg;
+        std::string agg_error;
+        if (!obs::aggregateCampaignStats(journal_path, agg,
+                                         agg_error) ||
+            !obs::atomicWriteFile(aggregate_path, agg.str(),
+                                  agg_error)) {
+            std::fprintf(stderr, "error: aggregate: %s\n",
+                         agg_error.c_str());
+            return false;
+        }
+        return true;
+    };
+
+    if (done_keys.size() == plans.size()) {
+        // Re-resuming a completed campaign is a no-op: the journal is
+        // not rewritten, no cell runs.  (The aggregate is re-derived
+        // only if a crash between the last journal commit and the
+        // aggregate write left it missing.)
+        std::ifstream agg_in(aggregate_path);
+        if (!agg_in && !writeAggregate())
+            return 2;
+        std::printf("campaign: nothing to do (%zu/%zu cells already "
+                    "journaled in %s)\n",
+                    done_keys.size(), plans.size(),
+                    journal_path.c_str());
+        return 0;
+    }
+
+    CampaignState state;
+    state.cellsTotal = plans.size();
+    state.cellsResumed = done_keys.size();
+    state.cellsDone = done_keys.size();
+    state.refsDone = resumed_refs;
+    state.workers = threads != 0 ? threads
+                                 : util::ThreadPool::defaultThreads();
+    state.configHash = hash;
+
+    obs::HeartbeatWriter heartbeat(out_dir + "/heartbeat.json");
+    g_state = &state;
+    g_heartbeat = &heartbeat;
+    obs::installSignalFlush([](int) {
+        // Best-effort: the journal is already durable; this just
+        // leaves a final status file for tps_top / humans.
+        if (g_state != nullptr && g_heartbeat != nullptr) {
+            std::deque<std::pair<double, std::uint64_t>> w;
+            std::string e;
+            g_heartbeat->write(
+                snapshotHeartbeat(*g_state, "interrupted", w), e);
+        }
+    });
+
+    std::deque<std::pair<double, std::uint64_t>> hb_window;
+    {
+        std::string hb_error;
+        if (!heartbeat.write(
+                snapshotHeartbeat(state, "starting", hb_window),
+                hb_error))
+            std::fprintf(stderr, "warn: %s\n", hb_error.c_str());
+    }
+    std::thread hb_thread([&] {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        while (!state.cv.wait_for(
+            lock, std::chrono::milliseconds(heartbeat_ms),
+            [&] { return state.stop; })) {
+            lock.unlock();
+            std::string hb_error;
+            if (!heartbeat.write(
+                    snapshotHeartbeat(state, "running", hb_window),
+                    hb_error))
+                std::fprintf(stderr, "warn: %s\n", hb_error.c_str());
+            lock.lock();
+        }
+    });
+
+    auto fileStem = [](const std::string &workload,
+                       const std::string &config) {
+        return "cell_" + obs::slugify(workload) + "__" +
+               obs::slugify(config);
+    };
+
+    runner.resumed(done_keys.size(), resumed_refs);
+    runner.skipCells([&](const std::string &workload,
+                         const std::string &label) {
+        return done_keys.count(
+                   core::SweepRunner::cellKey(workload, label)) != 0;
+    });
+    runner.onCellStart([&](const std::string &workload,
+                           const std::string &label) {
+        if (test_delay_ms != 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(test_delay_ms));
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.inFlight[core::SweepRunner::cellKey(workload, label)] = {
+            workload, label, std::chrono::steady_clock::now()};
+    });
+    runner.onCellDone([&](const std::string &workload,
+                          const std::string &label,
+                          const core::ExperimentResult &result) {
+        const std::string key =
+            core::SweepRunner::cellKey(workload, label);
+        const std::string stem = fileStem(workload, label);
+
+        // Per-cell stats: deterministic content (no manifest), names
+        // prefixed campaign.<workload>.<config> so cells merge into
+        // one aggregate without collisions.  harness.* keys ride
+        // along; the aggregator skips them.
+        obs::StatRegistry cell_stats;
+        result.exportTo(cell_stats, "campaign." +
+                                        obs::slugify(workload) + "." +
+                                        obs::slugify(label));
+        std::ostringstream stats_ss;
+        cell_stats.writeJson(stats_ss);
+        const std::string stats_file = stem + ".stats.json";
+        std::string io_error;
+        if (!obs::atomicWriteFile(out_dir + "/" + stats_file,
+                                  stats_ss.str(), io_error)) {
+            std::fprintf(stderr, "error: %s\n", io_error.c_str());
+            std::exit(1);
+        }
+
+        std::string ts_file;
+        if (result.timeseries != nullptr) {
+            obs::TimeSeriesSink cell_sink(ts);
+            cell_sink.add(*result.timeseries);
+            std::ostringstream ts_ss;
+            cell_sink.writeJson(ts_ss);
+            ts_file = stem + ".ts.json";
+            if (!obs::atomicWriteFile(out_dir + "/" + ts_file,
+                                      ts_ss.str(), io_error)) {
+                std::fprintf(stderr, "error: %s\n", io_error.c_str());
+                std::exit(1);
+            }
+        }
+
+        // Stats file first, then the journal record that points at
+        // it: a record on disk always references a complete file.
+        obs::CampaignCellRecord record;
+        record.key = key;
+        record.workload = workload;
+        record.config = label;
+        record.refs = result.refs;
+        record.instructions = result.instructions;
+        record.cpiTlb = result.cpiTlb;
+        record.wallSeconds = result.harness.wallSeconds;
+        record.statsFile = stats_file;
+        record.timeseriesFile = ts_file;
+        journal.append(record);
+
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.inFlight.erase(key);
+        state.cellsDone += 1;
+        state.refsDone += result.refs;
+        state.cellsDoneProc += 1;
+        state.wallSumProc += result.harness.wallSeconds;
+    });
+
+    std::printf("campaign: %zu cells (%zu to run, %zu resumed), "
+                "config %s, %u workers\n",
+                plans.size(), plans.size() - done_keys.size(),
+                done_keys.size(), hash.c_str(), state.workers);
+
+    const auto run_start = std::chrono::steady_clock::now();
+    std::vector<core::SweepCell> cells = runner.run();
+    const double run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.stop = true;
+    }
+    state.cv.notify_all();
+    hb_thread.join();
+    {
+        std::string hb_error;
+        if (!heartbeat.write(
+                snapshotHeartbeat(state, "finished", hb_window),
+                hb_error))
+            std::fprintf(stderr, "warn: %s\n", hb_error.c_str());
+    }
+
+    if (!writeAggregate())
+        return 2;
+
+    std::uint64_t run_refs = 0;
+    std::size_t run_cells = 0;
+    for (const core::SweepCell &cell : cells) {
+        if (cell.result.refs != 0) {
+            run_refs += cell.result.refs;
+            ++run_cells;
+        }
+    }
+    std::printf("campaign: done — %zu cells this run (%.2fM measured "
+                "refs) in %.1fs; %llu/%llu journaled\n"
+                "  journal   %s\n"
+                "  aggregate %s\n"
+                "  heartbeat %s\n",
+                run_cells, static_cast<double>(run_refs) / 1e6,
+                run_seconds,
+                static_cast<unsigned long long>(state.cellsDone),
+                static_cast<unsigned long long>(state.cellsTotal),
+                journal_path.c_str(), aggregate_path.c_str(),
+                heartbeat.path().c_str());
+    return 0;
+}

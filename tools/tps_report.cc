@@ -8,9 +8,18 @@
  * external assets — the file opens anywhere, forever.
  *
  * Usage: tps_report [-o report.html] input.json [more.json...]
+ *        tps_report --campaign DIR|campaign.jsonl [-o report.html]
+ *
+ * --campaign renders a whole checkpointed campaign (tps-campaign-v1
+ * journal, see obs/campaign_journal.h) into one report: run header,
+ * a summary table spanning every journaled cell, then each cell's
+ * stats dump and interval charts pulled from the per-cell files the
+ * journal references.
  *
  * Exit codes: 0 = report written, 2 = usage/IO/parse error.
  */
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cmath>
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/campaign_journal.h"
 #include "obs/json.h"
 
 namespace
@@ -540,12 +550,90 @@ load(const std::string &path)
     }
 }
 
+/**
+ * Render one whole campaign from its journal: header, per-cell
+ * summary table, then each journaled cell's stats and interval
+ * charts.  Per-cell file paths in the journal are relative to the
+ * journal's directory.
+ */
+void
+writeCampaign(std::ostream &os, const std::string &journal_path)
+{
+    tps::obs::CampaignJournal::Loaded loaded;
+    std::string error;
+    if (!tps::obs::CampaignJournal::load(journal_path, loaded,
+                                         error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        std::exit(2);
+    }
+    if (!loaded.exists) {
+        std::fprintf(stderr, "error: no campaign journal at %s\n",
+                     journal_path.c_str());
+        std::exit(2);
+    }
+
+    const std::size_t slash = journal_path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string(".")
+                                   : journal_path.substr(0, slash);
+
+    os << "<h2>campaign " << htmlEscape(journal_path)
+       << " <span class=\"dim\">(tps-campaign-v1)</span></h2>\n";
+    os << "<table class=\"manifest\">\n"
+       << "<tr><th>config hash</th><td>"
+       << htmlEscape(loaded.configHash) << "</td></tr>\n"
+       << "<tr><th>created</th><td>" << htmlEscape(loaded.createdUtc)
+       << "</td></tr>\n"
+       << "<tr><th>command</th><td>" << htmlEscape(loaded.command)
+       << "</td></tr>\n"
+       << "<tr><th>cells journaled</th><td>" << loaded.records.size()
+       << " of " << loaded.cellsTotal << "</td></tr>\n</table>\n";
+
+    // Summary table across every journaled cell.
+    os << "<table class=\"stats\"><tr><th>cell</th><th>workload</th>"
+       << "<th>config</th><th>refs</th><th>instructions</th>"
+       << "<th>CPI_TLB</th><th>wall s</th><th>Mrefs/s</th></tr>\n";
+    for (const tps::obs::CampaignCellRecord &r : loaded.records) {
+        const double mrps =
+            r.wallSeconds > 0.0
+                ? static_cast<double>(r.refs) / r.wallSeconds / 1e6
+                : 0.0;
+        os << "<tr><td>" << htmlEscape(r.key) << "</td><td>"
+           << htmlEscape(r.workload) << "</td><td>"
+           << htmlEscape(r.config) << "</td><td>"
+           << htmlEscape(formatNumber(static_cast<double>(r.refs)))
+           << "</td><td>"
+           << htmlEscape(
+                  formatNumber(static_cast<double>(r.instructions)))
+           << "</td><td>" << htmlEscape(formatNumber(r.cpiTlb))
+           << "</td><td>" << htmlEscape(formatNumber(r.wallSeconds))
+           << "</td><td>" << htmlEscape(formatNumber(mrps))
+           << "</td></tr>\n";
+    }
+    os << "</table>\n";
+
+    // Per-cell detail: stats dump + interval charts when recorded.
+    for (const tps::obs::CampaignCellRecord &r : loaded.records) {
+        os << "<h2>" << htmlEscape(r.key) << "</h2>\n";
+        if (!r.statsFile.empty())
+            writeStatsFile(os, load(dir + "/" + r.statsFile));
+        if (!r.timeseriesFile.empty()) {
+            const JsonValue ts = load(dir + "/" + r.timeseriesFile);
+            if (const JsonValue *cells = find(ts, "cells")) {
+                for (const auto &[key, cell] : cells->object)
+                    writeTimeSeriesCell(os, key, cell);
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string out_path = "report.html";
+    std::string campaign;
     std::vector<std::string> inputs;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -558,20 +646,36 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (arg.rfind("-o=", 0) == 0) {
             out_path = arg.substr(3);
+        } else if (arg == "--campaign") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                return 2;
+            }
+            campaign = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: tps_report [-o report.html] "
+                         "[--campaign DIR|campaign.jsonl] "
                          "input.json [more.json...]\n");
             return 2;
         } else {
             inputs.push_back(arg);
         }
     }
-    if (inputs.empty()) {
+    if (inputs.empty() && campaign.empty()) {
         std::fprintf(stderr,
-                     "usage: tps_report [-o report.html] input.json "
+                     "usage: tps_report [-o report.html] "
+                     "[--campaign DIR|campaign.jsonl] input.json "
                      "[more.json...]\n");
         return 2;
+    }
+
+    // A directory argument means "the campaign dir".
+    if (!campaign.empty()) {
+        struct stat st;
+        if (stat(campaign.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+            campaign += "/campaign.jsonl";
     }
 
     std::ofstream os(out_path);
@@ -587,6 +691,9 @@ main(int argc, char **argv)
           "initial-scale=1\">\n"
        << "<title>tps run report</title>\n<style>" << kStyle
        << "</style></head>\n<body>\n<h1>tps run report</h1>\n";
+
+    if (!campaign.empty())
+        writeCampaign(os, campaign);
 
     for (const std::string &path : inputs) {
         const JsonValue doc = load(path);

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * tps_top: terminal viewer for a running campaign's heartbeat file.
+ *
+ * Polls the tps-heartbeat-v1 JSON that tps_campaign atomically
+ * rewrites and renders a one-screen status: campaign state, cell and
+ * reference progress, throughput, ETA, and the in-flight cells with
+ * their elapsed time and per-cell ETA.  Because the writer replaces
+ * the file by rename, a read never observes a torn document — a
+ * parse failure just means "between renames", and the viewer retries.
+ *
+ * Modes:
+ *   tps_top DIR|FILE              watch until the campaign finishes
+ *   tps_top DIR|FILE --once       render one frame and exit
+ *   --interval-ms N               poll period (default 500)
+ *   --wait-ms N                   wait up to N ms for the file to
+ *                                 appear / first parse (default 0)
+ *
+ * Exit codes: 0 rendered at least one frame, 2 usage or no heartbeat
+ * within the wait budget.
+ */
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/heartbeat.h"
+
+namespace
+{
+
+using tps::obs::Heartbeat;
+using tps::obs::HeartbeatCell;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s DIR|heartbeat.json [--once] "
+                 "[--interval-ms N] [--wait-ms N]\n",
+                 argv0);
+    return 2;
+}
+
+bool
+readHeartbeat(const std::string &path, Heartbeat &hb)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    return Heartbeat::fromJson(ss.str(), hb, error);
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[64];
+    if (s < 0.0)
+        return "-";
+    if (s >= 3600.0)
+        std::snprintf(buf, sizeof buf, "%.0fh%02.0fm", s / 3600.0,
+                      (s - 3600.0 * static_cast<int>(s / 3600.0)) /
+                          60.0);
+    else if (s >= 60.0)
+        std::snprintf(buf, sizeof buf, "%.0fm%02.0fs", s / 60.0,
+                      s - 60.0 * static_cast<int>(s / 60.0));
+    else
+        std::snprintf(buf, sizeof buf, "%.1fs", s);
+    return buf;
+}
+
+void
+render(const Heartbeat &hb, bool clear)
+{
+    if (clear)
+        std::printf("\033[H\033[J"); // home + clear, plain ANSI
+    std::printf("tps campaign — %-12s  %s\n", hb.state.c_str(),
+                hb.timestampUtc.c_str());
+    std::printf("  config %s   uptime %s\n", hb.configHash.c_str(),
+                fmtSeconds(hb.uptimeSeconds).c_str());
+    std::printf("  cells %llu/%llu done (%llu resumed)   refs %.2fM   "
+                "%.2fM refs/s   eta %s\n",
+                static_cast<unsigned long long>(hb.cellsDone),
+                static_cast<unsigned long long>(hb.cellsTotal),
+                static_cast<unsigned long long>(hb.cellsResumed),
+                static_cast<double>(hb.refsDone) / 1e6,
+                hb.refsPerSec / 1e6,
+                fmtSeconds(hb.etaSeconds).c_str());
+    std::printf("  workers %llu/%llu busy\n",
+                static_cast<unsigned long long>(hb.workersBusy),
+                static_cast<unsigned long long>(hb.workers));
+    if (!hb.inFlight.empty()) {
+        std::printf("  in flight:\n");
+        for (const HeartbeatCell &cell : hb.inFlight)
+            std::printf("    %-44s elapsed %-8s eta %s\n",
+                        cell.key.c_str(),
+                        fmtSeconds(cell.elapsedSeconds).c_str(),
+                        fmtSeconds(cell.etaSeconds).c_str());
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool once = false;
+    std::uint64_t interval_ms = 500;
+    std::uint64_t wait_ms = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--once") {
+            once = true;
+        } else if (arg == "--interval-ms" && i + 1 < argc) {
+            interval_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--wait-ms" && i + 1 < argc) {
+            wait_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+            path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    // A directory argument means "the campaign dir": look inside it.
+    // Re-resolved on every wait poll because under --wait-ms the
+    // campaign may not have created the directory yet.
+    const std::string arg_path = path;
+    const auto resolve = [](const std::string &p) {
+        struct stat st;
+        if (stat(p.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+            return p + "/heartbeat.json";
+        return p;
+    };
+    path = resolve(arg_path);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(wait_ms);
+    Heartbeat hb;
+    while (!readHeartbeat(path, hb)) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            std::fprintf(stderr, "error: no readable heartbeat at %s\n",
+                         path.c_str());
+            return 2;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        path = resolve(arg_path);
+    }
+
+    if (once) {
+        render(hb, false);
+        return 0;
+    }
+
+    render(hb, true);
+    while (hb.state != "finished" && hb.state != "interrupted") {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+        Heartbeat next;
+        if (readHeartbeat(path, next)) // parse gap = between renames
+            hb = next;
+        render(hb, true);
+    }
+    return 0;
+}
