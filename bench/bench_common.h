@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/figures.h"
+#include "obs/event_log.h"
 #include "obs/manifest.h"
 #include "obs/progress.h"
 #include "obs/signal_flush.h"
@@ -109,6 +110,7 @@ struct ObsState
     std::string statsOut;
     std::string traceOut;
     std::string timeseriesOut;
+    std::string eventsOut;
 };
 
 /** Parse a non-negative integer flag value or die with context. */
@@ -171,6 +173,21 @@ flushObs()
                 sink->writeJson(out, &state.manifest);
                 std::fprintf(stderr, "info: wrote %s (%zu cells)\n",
                              state.timeseriesOut.c_str(),
+                             sink->cellCount());
+            }
+        }
+    }
+    if (!state.eventsOut.empty()) {
+        const obs::EventLogSink *sink = obs::EventLogSink::global();
+        if (sink != nullptr) {
+            std::ofstream out(state.eventsOut);
+            if (!out) {
+                std::fprintf(stderr, "warn: cannot write %s\n",
+                             state.eventsOut.c_str());
+            } else {
+                sink->writeJson(out, &state.manifest);
+                std::fprintf(stderr, "info: wrote %s (%zu cells)\n",
+                             state.eventsOut.c_str(),
                              sink->cellCount());
             }
         }
@@ -268,7 +285,7 @@ stripObsArgs(int &argc, char **argv)
         "--threads",        "--stats-out",           "--trace-out",
         "--timeseries-out", "--timeseries-interval", "--miss-sample",
         "--phys-mem",       "--frag-pressure",       "--reservation",
-        "--chunk-refs"};
+        "--chunk-refs",     "--events-out",          "--events-sample"};
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -314,6 +331,15 @@ stripObsArgs(int &argc, char **argv)
  *   --miss-sample K            reservoir-sample up to K miss events
  *                              per cell into the time series
  *                              (default 0 = off)
+ *   --events-out FILE          enable structured event telemetry and
+ *                              write a tps-events-v1 document at exit
+ *                              (TPS_EVENTS_OUT equivalent; drill in
+ *                              with tools/tps_inspect).  Also turns on
+ *                              the lifecycle ledger, so the stats dump
+ *                              gains lifecycle.* / reach.* keys.
+ *   --events-sample N          keep every Nth event per stream
+ *                              (default 1 = all; sampling is counted,
+ *                              not random, so logs stay deterministic)
  *   --chunk-refs N             references per chunk of the batched
  *                              experiment engine (default 4096;
  *                              TPS_CHUNK_REFS equivalent; results
@@ -364,6 +390,32 @@ banner(int argc, char **argv, const char *experiment, const char *what)
             obs::TimeSeriesSink::enableGlobal(ts);
         }
     }
+    {
+        obs::EventLogConfig events;
+        bool requested = false;
+        if (flagValue(argc, argv, "--events-out", value)) {
+            state.eventsOut = value;
+            requested = true;
+        } else {
+            const char *env = std::getenv("TPS_EVENTS_OUT");
+            if (env != nullptr && env[0] != '\0') {
+                state.eventsOut = env;
+                requested = true;
+            }
+        }
+        if (flagValue(argc, argv, "--events-sample", value)) {
+            events.sampleEvery =
+                detail::parseCount("--events-sample", value);
+            if (events.sampleEvery == 0)
+                tps_fatal("--events-sample must be > 0");
+            requested = true;
+        }
+        if (requested) {
+            if (events.sampleEvery == 0)
+                events.sampleEvery = 1;
+            obs::EventLogSink::enableGlobal(events);
+        }
+    }
     const char *progress_env = std::getenv("TPS_PROGRESS");
     if (hasFlag(argc, argv, "--progress") ||
         (progress_env != nullptr && progress_env[0] != '\0' &&
@@ -381,6 +433,11 @@ banner(int argc, char **argv, const char *experiment, const char *what)
             std::to_string(scale.timeseries.intervalRefs);
         state.manifest.extra["miss_sample"] =
             std::to_string(scale.timeseries.missSampleCapacity);
+    }
+    if (const obs::EventLogSink *events = obs::EventLogSink::global();
+        events != nullptr) {
+        state.manifest.extra["events_sample"] =
+            std::to_string(events->config().sampleEvery);
     }
     const char *cache_env = std::getenv("TPS_TRACE_CACHE");
     if (cache_env != nullptr && cache_env[0] != '\0') {

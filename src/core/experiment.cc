@@ -44,6 +44,20 @@ ExperimentResult::exportTo(obs::StatRegistry &registry,
         physFrag.exportTo(registry, prefix + ".phys.frag");
         registry.addValue(prefix + ".cpi_phys", cpiPhys);
     }
+    if (lifecycleTracked) {
+        lifecycle.exportTo(registry, prefix);
+        registry.addValue(prefix + ".reach.tlb_bytes",
+                          static_cast<double>(reach.reachBytes));
+        registry.addValue(prefix + ".reach.open_bytes",
+                          static_cast<double>(reachOpenBytes));
+        registry.addValue(prefix + ".reach.utilization",
+                          reachUtilization);
+        registry.addCounter(prefix + ".reach.sets", reach.sets);
+        registry.addCounter(prefix + ".reach.full_sets",
+                            reach.fullSets);
+        registry.addHistogram(prefix + ".reach.set_occupancy",
+                              reach.setOccupancy);
+    }
     if (harnessMeasured) {
         registry.addValue(prefix + ".harness.wall_seconds",
                           harness.wallSeconds);
@@ -129,12 +143,26 @@ class SinkTee : public InvalidationSink
     {
     }
 
+    /** Emit each shootdown into @p events ("shootdown" stream handle
+     *  @p stream), timestamped from the driver-owned clock @p now. */
+    void
+    setEventSink(obs::EventLogRecorder *events, std::size_t stream,
+                 const RefTime *now)
+    {
+        events_ = events;
+        shootdown_stream_ = stream;
+        event_now_ = now;
+    }
+
     void
     invalidatePage(const PageId &page) override
     {
         tlb_.invalidatePage(page);
         if (shot_down_ != nullptr)
             shot_down_->insert(page);
+        if (events_ != nullptr)
+            events_->emit(shootdown_stream_, *event_now_, page.vpn,
+                          page.sizeLog2);
     }
 
     void
@@ -157,6 +185,9 @@ class SinkTee : public InvalidationSink
     AddressSpace *address_space_;
     phys::MemoryModel *phys_model_;
     std::unordered_set<PageId, PageIdHash> *shot_down_;
+    obs::EventLogRecorder *events_ = nullptr;
+    std::size_t shootdown_stream_ = 0;
+    const RefTime *event_now_ = nullptr;
 };
 
 /**
@@ -228,6 +259,122 @@ resolveTsConfig(const RunOptions &options)
 }
 
 /**
+ * The per-run event-log config: same fallback shape as
+ * resolveTsConfig — an explicitly enabled options.events wins, else a
+ * process-global sink (--events-out) acts as the default.
+ */
+obs::EventLogConfig
+resolveEventsConfig(const RunOptions &options)
+{
+    obs::EventLogConfig events_config = options.events;
+    if (!events_config.enabled()) {
+        if (const obs::EventLogSink *sink = obs::EventLogSink::global())
+            events_config = sink->config();
+    }
+    return events_config;
+}
+
+/**
+ * Lifecycle-ledger granularity follows the policy in play, exactly
+ * like resolvePhysConfig: the tracked transition is small -> large
+ * (the first transition of a multi-size ladder); a single-size policy
+ * gets a ladder above it so the ledger exists but stays empty.
+ */
+LifecycleConfig
+resolveLifecycleConfig(const PageSizePolicy &policy)
+{
+    LifecycleConfig config;
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(&policy)) {
+        config.smallLog2 = policy2->config().smallLog2;
+        config.largeLog2 = policy2->config().largeLog2;
+    } else if (const auto *policyn =
+                   dynamic_cast<const MultiSizePolicy *>(&policy)) {
+        config.smallLog2 = policyn->config().sizeLog2s.at(0);
+        config.largeLog2 = policyn->config().sizeLog2s.at(1);
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
+        config.smallLog2 = policy1->sizeLog2();
+        config.largeLog2 = policy1->sizeLog2() + 3;
+    }
+    return config;
+}
+
+/** Event-stream field layouts, shared by both engines. */
+constexpr const char *kPromoteStream = "promote";
+constexpr const char *kDemoteStream = "demote";
+constexpr const char *kShootdownStream = "shootdown";
+
+std::size_t
+registerPromoteStream(obs::EventLogRecorder &events)
+{
+    return events.stream(kPromoteStream,
+                         {"chunk", "from_log2", "to_log2"});
+}
+
+std::size_t
+registerDemoteStream(obs::EventLogRecorder &events)
+{
+    return events.stream(kDemoteStream,
+                         {"chunk", "from_log2", "to_log2"});
+}
+
+std::size_t
+registerShootdownStream(obs::EventLogRecorder &events)
+{
+    return events.stream(kShootdownStream, {"vpn", "size_log2"});
+}
+
+/**
+ * Per-ref-engine lifecycle sink: forwards the policy's promote/demote
+ * callbacks to the ledger and the event log, timestamped from the
+ * driver's measured-reference counter (0 during warmup — matching the
+ * batched engine, whose warmup chunks replay events at t = 0).
+ */
+class LifecycleTee : public LifecycleSink
+{
+  public:
+    LifecycleTee(const std::uint64_t *measured, LifecycleLedger *ledger,
+                 obs::EventLogRecorder *events,
+                 std::size_t promote_stream, std::size_t demote_stream)
+        : measured_(measured), ledger_(ledger), events_(events),
+          promote_stream_(promote_stream), demote_stream_(demote_stream)
+    {
+    }
+
+    void
+    onPromote(Addr chunk_number, unsigned from_log2,
+              unsigned to_log2) override
+    {
+        if (ledger_ != nullptr)
+            ledger_->onPromote(*measured_, chunk_number, from_log2,
+                               to_log2);
+        if (events_ != nullptr)
+            events_->emit(promote_stream_, *measured_, chunk_number,
+                          from_log2, to_log2);
+    }
+
+    void
+    onDemote(Addr chunk_number, unsigned from_log2,
+             unsigned to_log2) override
+    {
+        if (ledger_ != nullptr)
+            ledger_->onDemote(*measured_, chunk_number, from_log2,
+                              to_log2);
+        if (events_ != nullptr)
+            events_->emit(demote_stream_, *measured_, chunk_number,
+                          from_log2, to_log2);
+    }
+
+  private:
+    const std::uint64_t *measured_;
+    LifecycleLedger *ledger_;
+    obs::EventLogRecorder *events_;
+    std::size_t promote_stream_;
+    std::size_t demote_stream_;
+};
+
+/**
  * Interval-telemetry column names for one cell: the base layout plus
  * the columns of the optional features in play (the lists grow only
  * with the features, so output without them is unchanged byte for
@@ -236,12 +383,18 @@ resolveTsConfig(const RunOptions &options)
 void
 emplaceTsRecorder(std::optional<obs::TimeSeriesRecorder> &slot,
                   const obs::TimeSeriesConfig &ts_config, bool has_wset,
-                  bool has_phys)
+                  bool has_lifecycle, bool has_phys)
 {
     std::vector<std::string> counter_names = detail::kTsCounterNames;
     std::vector<std::string> value_names = detail::kTsValueNames;
     if (has_wset)
         value_names.push_back("ws_bytes");
+    if (has_lifecycle) {
+        // TLB reach (valid-entry coverage) and ledger reach
+        // utilization, sampled at each interval close.
+        value_names.push_back("reach_bytes");
+        value_names.push_back("reach_utilization");
+    }
     if (has_phys) {
         counter_names.insert(counter_names.end(),
                              detail::kTsPhysCounterNames.begin(),
@@ -338,10 +491,14 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     // Interval telemetry: a per-cell recorder fed with counter deltas
     // every intervalRefs measured references.
     const obs::TimeSeriesConfig ts_config = resolveTsConfig(options);
+    const obs::EventLogConfig events_config =
+        resolveEventsConfig(options);
+    const bool lifecycle_on =
+        options.lifecycle || events_config.enabled();
     std::optional<obs::TimeSeriesRecorder> ts;
     if (ts_config.enabled())
         emplaceTsRecorder(ts, ts_config, wset.has_value(),
-                          phys_model.has_value());
+                          lifecycle_on, phys_model.has_value());
     const bool sample_misses = ts && ts->samplingMisses();
     // Miss-cause attribution (sampling only): every page identity ever
     // accessed, and identities invalidated since their last access.
@@ -376,6 +533,34 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     std::uint64_t instructions = 0;
     std::uint64_t measured_refs = 0;
 
+    // Lifecycle ledger and event log, both timestamped from
+    // measured_refs (0 during warmup), which the batched engine
+    // reproduces exactly as base_measured + index + 1.
+    std::optional<LifecycleLedger> ledger;
+    if (lifecycle_on)
+        ledger.emplace(resolveLifecycleConfig(policy));
+    std::optional<obs::EventLogRecorder> events;
+    std::optional<LifecycleTee> life_tee;
+    if (events_config.enabled() || ledger) {
+        std::size_t promote_stream = 0;
+        std::size_t demote_stream = 0;
+        if (events_config.enabled()) {
+            events.emplace(events_config);
+            promote_stream = registerPromoteStream(*events);
+            demote_stream = registerDemoteStream(*events);
+            sink.setEventSink(&*events,
+                              registerShootdownStream(*events),
+                              &measured_refs);
+            tlb.setEventSink(&*events, "");
+            if (phys_model)
+                phys_model->setEventSink(&*events, &measured_refs);
+        }
+        life_tee.emplace(&measured_refs, ledger ? &*ledger : nullptr,
+                         events ? &*events : nullptr, promote_stream,
+                         demote_stream);
+        policy.setLifecycleSink(&*life_tee);
+    }
+
     // Snapshots at the last interval close (all-zero at the warmup
     // boundary, where the stats themselves are reset); sums of the
     // recorded deltas therefore reproduce the aggregates exactly.
@@ -406,6 +591,11 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         if (wset)
             values.push_back(
                 static_cast<double>(wset->currentBytes()));
+        if (ledger) {
+            values.push_back(static_cast<double>(
+                tlb.reachSnapshot().reachBytes));
+            values.push_back(ledger->reachUtilization());
+        }
         if (phys_model) {
             const phys::PhysCounters phys_d =
                 phys_model->counters().deltaSince(ts_prev_phys);
@@ -451,6 +641,8 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                 policy.resetStats();
                 if (phys_model)
                     phys_model->resetCounters();
+                if (ledger)
+                    ledger->resetStats(measured_refs);
                 instructions = 0;
             }
             if (now > options.warmupRefs)
@@ -458,6 +650,8 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
             if (ref.type == RefType::Ifetch)
                 ++instructions;
             const PageId page = policy.classify(ref.vaddr, now);
+            if (ledger)
+                ledger->touch(ref.vaddr);
             const bool hit = tlb.access(page, ref.vaddr);
             if (!hit && phys_model) {
                 // Every first access to a page identity is a cold TLB
@@ -508,6 +702,13 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
         }
     }
     policy.setInvalidationSink(nullptr);
+    policy.setLifecycleSink(nullptr);
+    if (events) {
+        // The TLB outlives this run; the recorder does not.
+        tlb.setEventSink(nullptr, "");
+        if (phys_model)
+            phys_model->setEventSink(nullptr, nullptr);
+    }
 
     if (ts) {
         // Flush the final partial interval so per-interval sums equal
@@ -540,6 +741,22 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     if (wset) {
         result.avgWsBytes = wset->averageBytes();
         result.wsTracked = true;
+    }
+    if (ledger) {
+        result.lifecycleTracked = true;
+        // End-of-run reach state, read before finish() closes the
+        // open episodes.
+        result.reachOpenBytes = ledger->openReachBytes();
+        result.reachUtilization = ledger->reachUtilization();
+        result.lifecycle = ledger->finish(measured_refs);
+        result.reach = tlb.reachSnapshot();
+    }
+    if (events) {
+        auto log = std::make_shared<obs::EventLog>(events->finish(
+            result.workload, result.tlbName, result.policyName));
+        result.events = log;
+        if (obs::EventLogSink *global = obs::EventLogSink::global())
+            global->add(*log);
     }
     if (address_space) {
         result.pageTablesModeled = true;
@@ -589,11 +806,28 @@ struct PolicyEvent
     bool toLarge = false;  ///< Remap payload
 };
 
+/**
+ * One promote/demote transition recorded during classification, at the
+ * chunk-local index of the reference whose classify() fired it.  The
+ * engine folds these into the (pass-shared) lifecycle ledger and each
+ * cell's event log at t = base_measured + index + 1, the measured
+ * index the per-ref engine stamps at the same point.
+ */
+struct LifeEvent
+{
+    std::uint32_t index = 0; ///< chunk-local reference index
+    bool promote = false;
+    Addr chunk = 0;
+    std::uint8_t fromLog2 = 0;
+    std::uint8_t toLog2 = 0;
+};
+
 /** Policy sink of the classification phase: record, don't apply. */
-class EventRecorder : public InvalidationSink
+class EventRecorder : public InvalidationSink, public LifecycleSink
 {
   public:
     std::vector<PolicyEvent> events;
+    std::vector<LifeEvent> lifeEvents;
     std::uint32_t index = 0; ///< set by the classify loop per ref
 
     void
@@ -615,6 +849,26 @@ class EventRecorder : public InvalidationSink
         event.chunkNumber = chunk_number;
         event.toLarge = to_large;
         events.push_back(event);
+    }
+
+    void
+    onPromote(Addr chunk_number, unsigned from_log2,
+              unsigned to_log2) override
+    {
+        lifeEvents.push_back(
+            LifeEvent{index, true, chunk_number,
+                      static_cast<std::uint8_t>(from_log2),
+                      static_cast<std::uint8_t>(to_log2)});
+    }
+
+    void
+    onDemote(Addr chunk_number, unsigned from_log2,
+             unsigned to_log2) override
+    {
+        lifeEvents.push_back(
+            LifeEvent{index, false, chunk_number,
+                      static_cast<std::uint8_t>(from_log2),
+                      static_cast<std::uint8_t>(to_log2)});
     }
 };
 
@@ -661,6 +915,16 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
     const bool two_sizes = policy.isMultiSize();
     const obs::TimeSeriesConfig ts_config = resolveTsConfig(options);
     const std::uint64_t interval_refs = ts_config.intervalRefs;
+    const obs::EventLogConfig events_config =
+        resolveEventsConfig(options);
+    const bool lifecycle_on =
+        options.lifecycle || events_config.enabled();
+
+    // The event clock for shootdown/resv_break emission: replayChunk
+    // keeps it at the measured index of the reference being replayed
+    // (0 during warmup), mirroring the per-ref engine's measured_refs.
+    // Declared before the cells so their sinks can hold its address.
+    RefTime event_now = 0;
 
     struct Cell
     {
@@ -683,6 +947,9 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         std::optional<SinkTee> sink;
         TlbStats tsPrevTlb;
         phys::PhysCounters tsPrevPhys;
+        std::optional<obs::EventLogRecorder> events;
+        std::size_t evPromote = 0;
+        std::size_t evDemote = 0;
     };
 
     std::vector<std::unique_ptr<Cell>> cells;
@@ -702,7 +969,7 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         }
         if (ts_config.enabled()) {
             emplaceTsRecorder(cell->ts, ts_config,
-                              cell->wset.has_value(),
+                              cell->wset.has_value(), lifecycle_on,
                               cell->physModel.has_value());
             cell->sampleMisses = cell->ts->samplingMisses();
         }
@@ -711,15 +978,36 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
             cell->addressSpace ? &*cell->addressSpace : nullptr,
             cell->physModel ? &*cell->physModel : nullptr,
             cell->sampleMisses ? &cell->shotDown : nullptr);
+        if (events_config.enabled()) {
+            cell->events.emplace(events_config);
+            cell->evPromote = registerPromoteStream(*cell->events);
+            cell->evDemote = registerDemoteStream(*cell->events);
+            cell->sink->setEventSink(
+                &*cell->events, registerShootdownStream(*cell->events),
+                &event_now);
+            cell->tlb.setEventSink(&*cell->events, "");
+            if (cell->physModel)
+                cell->physModel->setEventSink(&*cell->events,
+                                              &event_now);
+        }
         cell->missWork = cell->wset || cell->addressSpace ||
                          cell->physModel || cell->sampleMisses;
         cells.push_back(std::move(cell));
     }
 
+    // The lifecycle ledger folds the *policy's* promote/demote stream,
+    // which every cell of the pass shares — one ledger per pass, fed
+    // during the classification phase, never per cell.
+    std::optional<LifecycleLedger> ledger;
+    if (lifecycle_on)
+        ledger.emplace(resolveLifecycleConfig(policy));
+
     // The classification phase records side effects instead of
     // applying them; each cell replays them through its own tee.
     EventRecorder recorder;
     policy.setInvalidationSink(&recorder);
+    if (lifecycle_on)
+        policy.setLifecycleSink(&recorder);
     auto *policy1 = dynamic_cast<SingleSizePolicy *>(&policy);
     auto *policy2 = dynamic_cast<TwoSizePolicy *>(&policy);
 
@@ -766,6 +1054,11 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         if (cell.wset)
             values.push_back(
                 static_cast<double>(cell.wset->currentBytes()));
+        if (ledger) {
+            values.push_back(static_cast<double>(
+                cell.tlb.reachSnapshot().reachBytes));
+            values.push_back(ledger->reachUtilization());
+        }
         if (cell.physModel) {
             const phys::PhysCounters phys_d =
                 cell.physModel->counters().deltaSince(cell.tsPrevPhys);
@@ -801,9 +1094,24 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
     auto replayChunk = [&](Cell &cell, std::size_t got,
                            std::uint64_t base_measured,
                            bool measuring) {
+        // Cell-side promote/demote events: streams are serialized
+        // independently, so appending them chunk-at-a-time preserves
+        // byte-identity with the per-ref engine (within-stream order
+        // and timestamps match; cross-stream interleaving is not part
+        // of the format).
+        if (cell.events) {
+            for (const LifeEvent &life : recorder.lifeEvents) {
+                cell.events->emit(
+                    life.promote ? cell.evPromote : cell.evDemote,
+                    measuring ? base_measured + life.index + 1 : 0,
+                    life.chunk, life.fromLog2, life.toLog2);
+            }
+        }
         std::size_t ev = 0;
         std::size_t seg = 0;
         while (seg < got) {
+            if (cell.events)
+                event_now = measuring ? base_measured + seg + 1 : 0;
             while (ev < recorder.events.size() &&
                    recorder.events[ev].index == seg) {
                 const PolicyEvent &event = recorder.events[ev];
@@ -828,6 +1136,9 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
                         // Every first access to a page identity is a
                         // cold TLB miss, so backing work is observed
                         // here without taxing the hit path.
+                        if (cell.events)
+                            event_now =
+                                measuring ? base_measured + i + 1 : 0;
                         cell.physModel->touch(page.vpn, page.sizeLog2);
                     }
                     if (!hit && cell.addressSpace) {
@@ -902,6 +1213,8 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
                     cell->physModel->resetCounters();
             }
             policy.resetStats();
+            if (ledger)
+                ledger->resetStats(measured_refs);
             instructions = 0;
         }
 
@@ -911,6 +1224,7 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         // share of the replay cost).
         const RefTime base_now = now;
         recorder.events.clear();
+        recorder.lifeEvents.clear();
         std::uint64_t chunk_instr = 0;
         if (policy1 != nullptr) {
             // A single-size policy never emits events.
@@ -945,6 +1259,30 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         }
         instructions += chunk_instr;
 
+        // Phase 1.5: fold the chunk's promote/demote and reference
+        // streams into the pass-shared ledger, in the per-ref
+        // interleaving (the events of classify(i) land before the
+        // touch of reference i, at its measured index).
+        if (ledger) {
+            std::size_t le = 0;
+            for (std::size_t i = 0; i < got; ++i) {
+                while (le < recorder.lifeEvents.size() &&
+                       recorder.lifeEvents[le].index == i) {
+                    const LifeEvent &life = recorder.lifeEvents[le];
+                    const RefTime t =
+                        measuring ? measured_refs + i + 1 : 0;
+                    if (life.promote)
+                        ledger->onPromote(t, life.chunk, life.fromLog2,
+                                          life.toLog2);
+                    else
+                        ledger->onDemote(t, life.chunk, life.fromLog2,
+                                         life.toLog2);
+                    ++le;
+                }
+                ledger->touch(refs[i].vaddr);
+            }
+        }
+
         // Phase 2: replay the classified chunk into every cell.
         for (auto &cell : cells)
             replayChunk(*cell, got, measured_refs, measuring);
@@ -957,11 +1295,27 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
             closeAll();
     }
     policy.setInvalidationSink(nullptr);
+    if (lifecycle_on)
+        policy.setLifecycleSink(nullptr);
+    for (auto &cell : cells)
+        if (cell->events) // the TLBs outlive their recorders
+            cell->tlb.setEventSink(nullptr, "");
 
     // Flush the final partial interval so per-interval sums equal the
     // whole-run aggregates exactly.
     if (interval_refs != 0 && measured_refs > ts_last_close)
         closeAll();
+
+    // Close the pass-shared ledger once; every cell's result carries
+    // the same summary (lifecycle state is policy state).
+    std::uint64_t reach_open_bytes = 0;
+    double reach_utilization = 0.0;
+    LifecycleSummary lifecycle_summary;
+    if (ledger) {
+        reach_open_bytes = ledger->openReachBytes();
+        reach_utilization = ledger->reachUtilization();
+        lifecycle_summary = ledger->finish(measured_refs);
+    }
 
     // One wall clock for the whole pass: cells execute interleaved, so
     // per-cell attribution of shared-pass time would be fiction.
@@ -1006,6 +1360,22 @@ runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
         if (cell.wset) {
             result.avgWsBytes = cell.wset->averageBytes();
             result.wsTracked = true;
+        }
+        if (ledger) {
+            result.lifecycleTracked = true;
+            result.lifecycle = lifecycle_summary;
+            result.reachOpenBytes = reach_open_bytes;
+            result.reachUtilization = reach_utilization;
+            result.reach = cell.tlb.reachSnapshot();
+        }
+        if (cell.events) {
+            auto log = std::make_shared<obs::EventLog>(
+                cell.events->finish(result.workload, result.tlbName,
+                                    result.policyName));
+            result.events = log;
+            if (obs::EventLogSink *global =
+                    obs::EventLogSink::global())
+                global->add(*log);
         }
         if (cell.addressSpace) {
             result.pageTablesModeled = true;

@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "core/cpi_model.h"
+#include "obs/event_log.h"
 #include "obs/timeseries.h"
 #include "phys/memory_model.h"
 #include "tlb/factory.h"
 #include "trace/trace_source.h"
+#include "vm/lifecycle_ledger.h"
 #include "vm/policy.h"
 #include "vm/two_size_policy.h"
 
@@ -144,6 +146,30 @@ struct RunOptions
      */
     obs::TimeSeriesConfig timeseries;
 
+    /**
+     * Structured event telemetry (off unless events.sampleEvery != 0):
+     * record promotion/demotion/TLB-eviction/shootdown/reservation-
+     * break events into the result's tps-events-v1 log, sampled and
+     * capped per stream (see obs/event_log.h).  The finished log also
+     * lands in obs::EventLogSink::global() when one is enabled
+     * (`--events-out`, see bench_common.h); like the timeseries
+     * config, a global sink acts as the default when this config is
+     * left disabled.  Event logs are byte-identical under serial vs
+     * parallel sweeps and batched vs per-ref execution.
+     */
+    obs::EventLogConfig events;
+
+    /**
+     * Page-lifecycle accounting (implied by `events`, or on its own):
+     * fold the promotion/demotion stream into per-chunk dwell-time
+     * histograms, churn counts and the wasted-promotion metric, and
+     * add per-interval reach columns (reach_bytes, reach_utilization)
+     * to the timeseries.  Exported under "<prefix>.lifecycle.*" and
+     * "<prefix>.reach.*" — feature-gated so output without it is
+     * unchanged byte for byte.
+     */
+    bool lifecycle = false;
+
     /** Execution engine (results are bit-identical either way). */
     ExecMode exec = ExecMode::Batched;
 
@@ -210,6 +236,22 @@ struct ExperimentResult
     /** Interval telemetry (null unless options.timeseries enabled).
      *  Shared so results stay cheap to copy through sweep plumbing. */
     std::shared_ptr<const obs::TimeSeries> timeseries;
+
+    /** Lifecycle/reach telemetry (meaningful iff lifecycleTracked):
+     *  the ledger's whole-run summary — its promote/demote totals
+     *  reconcile exactly with the policy counters — plus end-of-run
+     *  reach state (ledger view and TLB-occupancy view). */
+    bool lifecycleTracked = false;
+    LifecycleSummary lifecycle;
+    /** Bytes mapped large at end of run (ledger view). */
+    std::uint64_t reachOpenBytes = 0;
+    /** touched/covered subpages over the open episodes at end. */
+    double reachUtilization = 0.0;
+    /** TLB occupancy at end of run (valid-entry reach, set pressure). */
+    Tlb::ReachSnapshot reach;
+
+    /** Structured event log (null unless options.events enabled). */
+    std::shared_ptr<const obs::EventLog> events;
 
     /**
      * Harness self-telemetry (meaningful iff harnessMeasured): how

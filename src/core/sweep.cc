@@ -274,6 +274,9 @@ SweepRunner::fingerprint() const
     uns("opt.ts.interval_refs", options_.timeseries.intervalRefs);
     uns("opt.ts.miss_samples", options_.timeseries.missSampleCapacity);
     uns("opt.ts.miss_seed", options_.timeseries.missSampleSeed);
+    uns("opt.events.sample_every", options_.events.sampleEvery);
+    uns("opt.events.capacity", options_.events.capacity);
+    uns("opt.lifecycle", options_.lifecycle ? 1 : 0);
 
     std::uint64_t hash = 14695981039346656037ULL;
     for (const char c : canon) {

@@ -1,0 +1,214 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/stat_registry.h"
+
+namespace tps::obs
+{
+
+void
+EventLog::writeJson(JsonWriter &writer) const
+{
+    writer.beginObject();
+    writer.key("workload").value(workload);
+    writer.key("tlb").value(tlbName);
+    writer.key("policy").value(policyName);
+    writer.key("sample_every").value(sampleEvery);
+    writer.key("capacity")
+        .value(static_cast<std::uint64_t>(capacity));
+    writer.key("streams").beginObject();
+    for (const auto &[name, stream] : streams) {
+        writer.key(name).beginObject();
+        writer.key("fields").beginArray();
+        writer.value(std::string("t"));
+        for (const std::string &field : stream.fields)
+            writer.value(field);
+        writer.endArray();
+        writer.key("seen").value(stream.seen);
+        // Events as flat [t, fields...] rows: compact, and the field
+        // list above names the columns (tps_inspect decodes by name).
+        writer.key("events").beginArray();
+        for (const Event &event : stream.events) {
+            writer.beginArray();
+            writer.value(event.t);
+            if (stream.fields.size() > 0)
+                writer.value(event.a);
+            if (stream.fields.size() > 1)
+                writer.value(event.b);
+            if (stream.fields.size() > 2)
+                writer.value(event.c);
+            writer.endArray();
+        }
+        writer.endArray();
+        writer.endObject();
+    }
+    writer.endObject();
+    writer.endObject();
+}
+
+EventLogRecorder::EventLogRecorder(const EventLogConfig &config)
+    : config_(config)
+{
+    if (config_.sampleEvery == 0)
+        throw std::invalid_argument(
+            "EventLogRecorder needs sampleEvery > 0");
+}
+
+std::size_t
+EventLogRecorder::stream(const std::string &name,
+                         std::vector<std::string> fields)
+{
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+        if (streams_[i].name == name)
+            return i;
+    if (fields.size() > 3)
+        throw std::invalid_argument("event streams carry at most 3 "
+                                    "operand fields");
+    Stream s;
+    s.name = name;
+    s.data.fields = std::move(fields);
+    streams_.push_back(std::move(s));
+    return streams_.size() - 1;
+}
+
+EventLog
+EventLogRecorder::finish(std::string workload, std::string tlb_name,
+                         std::string policy_name)
+{
+    EventLog log;
+    log.workload = std::move(workload);
+    log.tlbName = std::move(tlb_name);
+    log.policyName = std::move(policy_name);
+    log.sampleEvery = config_.sampleEvery;
+    log.capacity = config_.capacity;
+    for (Stream &s : streams_)
+        log.streams.emplace(std::move(s.name), std::move(s.data));
+    streams_.clear();
+    return log;
+}
+
+// ------------------------------------------------------------- sink
+
+EventLogSink::EventLogSink(EventLogConfig config) : config_(config) {}
+
+void
+EventLogSink::add(EventLog log)
+{
+    const std::string key = slugify(log.workload) + "." +
+                            slugify(log.tlbName) + "." +
+                            slugify(log.policyName);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_[key].push_back(std::move(log));
+}
+
+std::size_t
+EventLogSink::cellCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[key, list] : cells_)
+        n += list.size();
+    return n;
+}
+
+namespace
+{
+
+std::string
+serializeLog(const EventLog &log)
+{
+    std::ostringstream out;
+    JsonWriter writer(out, /*pretty=*/false);
+    log.writeJson(writer);
+    writer.finish();
+    return out.str();
+}
+
+} // namespace
+
+void
+EventLogSink::writeJson(std::ostream &os,
+                        const RunManifest *manifest) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter writer(os);
+    writer.beginObject();
+    writer.key("schema").value(kEventLogSchema);
+    if (manifest != nullptr) {
+        writer.key("manifest");
+        manifest->writeJson(writer);
+    }
+    writer.key("sample_every").value(config_.sampleEvery);
+    writer.key("capacity")
+        .value(static_cast<std::uint64_t>(config_.capacity));
+    writer.key("cells").beginObject();
+    for (const auto &[key, list] : cells_) {
+        if (list.size() == 1) {
+            writer.key(key);
+            list.front().writeJson(writer);
+            continue;
+        }
+        // Identical configurations run more than once: completion
+        // order is thread-dependent, so order duplicates by content
+        // before numbering them (the TimeSeriesSink convention).
+        std::vector<std::pair<std::string, const EventLog *>> dups;
+        for (const EventLog &log : list)
+            dups.emplace_back(serializeLog(log), &log);
+        std::sort(dups.begin(), dups.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (std::size_t i = 0; i < dups.size(); ++i) {
+            writer.key(i == 0 ? key
+                              : key + "_" + std::to_string(i + 1));
+            dups[i].second->writeJson(writer);
+        }
+    }
+    writer.endObject();
+    writer.endObject();
+    writer.finish();
+    os << "\n";
+}
+
+namespace
+{
+
+std::atomic<EventLogSink *> global_sink{nullptr};
+
+} // namespace
+
+EventLogSink *
+EventLogSink::global()
+{
+    return global_sink.load(std::memory_order_acquire);
+}
+
+EventLogSink *
+EventLogSink::enableGlobal(const EventLogConfig &config)
+{
+    EventLogSink *sink = global_sink.load(std::memory_order_acquire);
+    if (sink != nullptr)
+        return sink;
+    auto *fresh = new EventLogSink(config);
+    EventLogSink *expected = nullptr;
+    if (global_sink.compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel)) {
+        return fresh;
+    }
+    delete fresh;
+    return expected;
+}
+
+void
+EventLogSink::disableGlobal()
+{
+    EventLogSink *sink =
+        global_sink.exchange(nullptr, std::memory_order_acq_rel);
+    delete sink;
+}
+
+} // namespace tps::obs

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Causal event telemetry: a bounded, deterministically-sampled log of
+ * the discrete events behind the aggregate counters — promotions,
+ * demotions, TLB evictions (with entry dwell time), shootdowns and
+ * reservation breaks — emitted as the `tps-events-v1` JSON schema.
+ *
+ * Aggregates say *how many* promotions happened; the event log says
+ * *which chunk*, *when*, and what happened to it afterwards — the
+ * evidence `tps_inspect` drills into and the LifecycleLedger folds
+ * down.  Events are grouped into named streams ("promote",
+ * "tlb_evict.small", ...) registered up front with field names, so the
+ * document's stream set is a pure function of the configuration, never
+ * of what happened to fire.
+ *
+ * Determinism contract: within one stream, emission order and
+ * timestamps are identical under serial vs parallel sweeps and under
+ * batched vs per-reference execution (the experiment driver replays
+ * policy events at exact reference indices; composite TLBs register
+ * one stream per sub-TLB because batching partitions refs *across*
+ * subs but never reorders *within* one).  Sampling keeps every Nth
+ * event of a stream up to a hard capacity — counting, not random — so
+ * a sampled log is a deterministic subsequence of the full one.
+ */
+
+#ifndef TPS_OBS_EVENT_LOG_H_
+#define TPS_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+namespace tps::obs
+{
+
+/** Identifies the event-log dump format; bump on breaking changes. */
+inline constexpr const char *kEventLogSchema = "tps-events-v1";
+
+/** Per-run event-log controls (see core::RunOptions). */
+struct EventLogConfig
+{
+    /** Keep every Nth event per stream (1 = all; 0 = disabled). */
+    std::uint64_t sampleEvery = 0;
+
+    /** Hard cap on kept events per stream (later events are counted
+     *  but dropped; "seen" always reports the true total). */
+    std::size_t capacity = 65536;
+
+    bool enabled() const { return sampleEvery != 0; }
+};
+
+/**
+ * One event: a timestamp (measured-reference index, 1-based) plus up
+ * to three stream-specific operands named by the stream's field list.
+ */
+struct Event
+{
+    std::uint64_t t = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+};
+
+/** One named stream of a finished log. */
+struct EventStream
+{
+    /** Names of the operand fields actually used (t is implicit). */
+    std::vector<std::string> fields;
+    std::uint64_t seen = 0; ///< events offered (pre-sampling)
+    std::vector<Event> events; ///< kept events, emission order
+};
+
+/** The finished event log of one experiment cell. */
+struct EventLog
+{
+    std::string workload;
+    std::string tlbName;
+    std::string policyName;
+
+    std::uint64_t sampleEvery = 1;
+    std::size_t capacity = 0;
+    std::map<std::string, EventStream> streams;
+
+    /** Emit as one JSON object value (caller provides the key). */
+    void writeJson(JsonWriter &writer) const;
+};
+
+/**
+ * Per-cell recorder.  Streams are registered up front (handle-based so
+ * the hot emission path is an index, not a map lookup); emit() applies
+ * the keep-every-Nth sampling and the capacity cap.  Not thread-safe —
+ * each simulation cell owns its recorder.
+ */
+class EventLogRecorder
+{
+  public:
+    explicit EventLogRecorder(const EventLogConfig &config);
+
+    /** Register (or look up) the stream @p name; idempotent so
+     *  composite TLB levels sharing a recorder cannot collide. */
+    std::size_t stream(const std::string &name,
+                       std::vector<std::string> fields);
+
+    void
+    emit(std::size_t handle, std::uint64_t t, std::uint64_t a,
+         std::uint64_t b = 0, std::uint64_t c = 0)
+    {
+        Stream &s = streams_[handle];
+        ++s.data.seen;
+        if ((s.data.seen - 1) % config_.sampleEvery != 0)
+            return;
+        if (s.data.events.size() >= config_.capacity)
+            return;
+        s.data.events.push_back(Event{t, a, b, c});
+    }
+
+    /** Finish: label the log and hand it over (recorder is spent). */
+    EventLog finish(std::string workload, std::string tlb_name,
+                    std::string policy_name);
+
+  private:
+    struct Stream
+    {
+        std::string name;
+        EventStream data;
+    };
+
+    EventLogConfig config_;
+    std::vector<Stream> streams_;
+};
+
+/**
+ * Process-global collection point for finished event logs, one per
+ * experiment cell, written as one `tps-events-v1` document at exit
+ * (benches enable it with `--events-out FILE`; see bench_common.h).
+ * Cells are keyed by slugified "<workload>.<tlb>.<policy>"; add() is
+ * thread-safe and output is sorted with content-ordered "_2" suffixes
+ * for duplicates, so the document is byte-identical at any worker
+ * thread count (the determinism gate cmp's serial vs 4-thread runs).
+ */
+class EventLogSink
+{
+  public:
+    explicit EventLogSink(EventLogConfig config);
+
+    const EventLogConfig &config() const { return config_; }
+
+    /** Record one finished cell (any thread). */
+    void add(EventLog log);
+
+    std::size_t cellCount() const;
+
+    /**
+     * Emit the document:
+     * { "schema": "tps-events-v1",
+     *   "manifest": {...},              // when provided
+     *   "sample_every": N, "capacity": N,
+     *   "cells": { "<key>": {...} } }   // sorted keys
+     */
+    void writeJson(std::ostream &os,
+                   const RunManifest *manifest = nullptr) const;
+
+    // ------------------------------------------------- global access
+
+    /** The process-global sink, nullptr until enabled. */
+    static EventLogSink *global();
+
+    /** Idempotently create the global sink (first config wins). */
+    static EventLogSink *enableGlobal(const EventLogConfig &config);
+
+    /** Detach the global sink again (tests). */
+    static void disableGlobal();
+
+  private:
+    EventLogConfig config_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<EventLog>> cells_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_EVENT_LOG_H_

@@ -127,8 +127,28 @@ MemoryModel::state(Addr chunk)
 }
 
 void
-MemoryModel::backBlocks(ChunkState &st, unsigned first_block,
-                        unsigned order)
+MemoryModel::setEventSink(obs::EventLogRecorder *recorder,
+                          const RefTime *now)
+{
+    events_ = recorder;
+    event_now_ = now;
+    if (recorder != nullptr)
+        resv_stream_ = recorder->stream("resv_break",
+                                        {"chunk", "reason"});
+}
+
+void
+MemoryModel::emitBreak(Addr chunk, std::uint64_t reason)
+{
+    if (events_ != nullptr)
+        events_->emit(resv_stream_,
+                      event_now_ != nullptr ? *event_now_ : 0, chunk,
+                      reason);
+}
+
+void
+MemoryModel::backBlocks(Addr chunk, ChunkState &st,
+                        unsigned first_block, unsigned order)
 {
     const unsigned count = 1u << order;
     const std::uint64_t bits =
@@ -149,6 +169,7 @@ MemoryModel::backBlocks(ChunkState &st, unsigned first_block,
         } else {
             ++counters_.superpageFailures;
             ++counters_.reservationFallbacks;
+            emitBreak(chunk, 0); // reservation denied -> scatter
         }
     }
     if (st.contiguousBase != kNoFrame) {
@@ -193,7 +214,7 @@ MemoryModel::touch(Addr vpn, unsigned size_log2)
     const Addr chunk = block_vpn >> config_.superOrder();
     const unsigned first_block = static_cast<unsigned>(
         block_vpn & (config_.blocksPerChunk() - 1));
-    backBlocks(state(chunk), first_block, order);
+    backBlocks(chunk, state(chunk), first_block, order);
 }
 
 void
@@ -242,6 +263,7 @@ MemoryModel::promoteChunk(Addr chunk)
     // scattered frames.
     ++counters_.superpageFailures;
     ++counters_.promotionFailures;
+    emitBreak(chunk, 1); // no contiguous region for copy-promotion
     const unsigned blocks =
         static_cast<unsigned>(config_.blocksPerChunk());
     if (st.frames.empty())

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/stat_registry.h"
 #include "phys/allocator.h"
 #include "phys/buddy_allocator.h"
@@ -146,6 +147,18 @@ class MemoryModel : public Allocator
     /** Frames pre-claimed by fragPressure at construction. */
     std::uint64_t pressureFrames() const { return pressure_frames_; }
 
+    /**
+     * Attach an event recorder: registers the "resv_break" stream
+     * (fields {chunk, reason}; reason 0 = reservation denied at first
+     * touch, 1 = copy-promotion found no contiguous region) and emits
+     * one event per break.  @p now is the driver-owned measured-
+     * reference clock the events are timestamped from (the model has
+     * no clock of its own); it must outlive the attachment.  Pass
+     * nullptr/nullptr to detach.
+     */
+    void setEventSink(obs::EventLogRecorder *recorder,
+                      const RefTime *now);
+
     FragSnapshot snapshot() const
     {
         return snapshotOf(buddy_, config_.superOrder());
@@ -168,9 +181,10 @@ class MemoryModel : public Allocator
     };
 
     ChunkState &state(Addr chunk);
-    void backBlocks(ChunkState &st, unsigned first_block,
+    void backBlocks(Addr chunk, ChunkState &st, unsigned first_block,
                     unsigned order);
     void seedPressure();
+    void emitBreak(Addr chunk, std::uint64_t reason);
 
     PhysConfig config_;
     BuddyAllocator buddy_;
@@ -178,6 +192,9 @@ class MemoryModel : public Allocator
     std::uint64_t pressure_frames_ = 0;
     std::unordered_map<Addr, ChunkState> chunks_;
     PhysCounters counters_;
+    obs::EventLogRecorder *events_ = nullptr;
+    std::size_t resv_stream_ = 0;
+    const RefTime *event_now_ = nullptr;
 };
 
 } // namespace tps::phys

@@ -64,8 +64,16 @@ FullyAssocTlb::probeOne(const PageId &page)
     detail::recordOutcome(stats_, false, is_large);
     const std::size_t victim = detail::soaChooseVictim(
         store_, 0, store_.size(), policy_, rng_, plru_);
-    if (store_.valid(victim))
+    if (store_.valid(victim)) {
         ++stats_.evictions;
+        // Dwell = probes this entry survived since its fill; clock_ is
+        // already synced here on the batched fast path (lookupBatch
+        // stores its local clock back before delegating to probeOne).
+        if (events_ != nullptr)
+            events_->emit(evict_stream_, clock_, store_.vpn[victim],
+                          store_.meta[victim] & 0xff,
+                          clock_ - store_.inserted[victim]);
+    }
     store_.fill(victim, page, asid_, clock_);
     lookup_[slot] = static_cast<std::uint32_t>(victim);
     if (policy_ == ReplPolicy::TreePLRU)
@@ -188,6 +196,36 @@ FullyAssocTlb::reset()
     rng_ = Rng(rng_seed_);
     plru_ = PlruTree{};
     asid_ = 0;
+}
+
+Tlb::ReachSnapshot
+FullyAssocTlb::reachSnapshot() const
+{
+    ReachSnapshot snap;
+    snap.sets = 1;
+    snap.setOccupancy.assign(store_.size() + 1, 0);
+    std::size_t valid = 0;
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+        if (!store_.valid(i))
+            continue;
+        ++valid;
+        snap.reachBytes += std::uint64_t{1} << (store_.meta[i] & 0xff);
+    }
+    ++snap.setOccupancy[valid];
+    snap.fullSets = valid == store_.size() ? 1 : 0;
+    return snap;
+}
+
+void
+FullyAssocTlb::setEventSink(obs::EventLogRecorder *recorder,
+                            const std::string &tag)
+{
+    events_ = recorder;
+    if (recorder != nullptr) {
+        evict_stream_ = recorder->stream(
+            tag.empty() ? "tlb_evict" : "tlb_evict." + tag,
+            {"vpn", "size_log2", "dwell"});
+    }
 }
 
 std::string

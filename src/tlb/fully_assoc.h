@@ -60,6 +60,10 @@ class FullyAssocTlb : public Tlb
         return pc_;
     }
 
+    ReachSnapshot reachSnapshot() const override;
+    void setEventSink(obs::EventLogRecorder *recorder,
+                      const std::string &tag) override;
+
     ReplPolicy policy() const { return policy_; }
 
     /** Count of currently valid entries (for tests). */
@@ -100,6 +104,8 @@ class FullyAssocTlb : public Tlb
     PlruTree plru_; ///< used only under ReplPolicy::TreePLRU
     TlbStats stats_;
     ProbeCacheCounters pc_; ///< batched-path cache telemetry
+    obs::EventLogRecorder *events_ = nullptr;
+    std::size_t evict_stream_ = 0;
 };
 
 } // namespace tps

@@ -78,8 +78,16 @@ SetAssocTlb::probeOne(const PageId &page, Addr vaddr)
     detail::recordOutcome(stats_, false, is_large);
     const std::size_t victim = detail::soaChooseVictim(
         store_, base, ways_, policy_, rng_, plru_[set]);
-    if (store_.valid(base + victim))
+    if (store_.valid(base + victim)) {
         ++stats_.evictions;
+        if (events_ != nullptr) {
+            // Dwell = probes the entry survived since its fill.
+            events_->emit(evict_stream_, clock_,
+                          store_.vpn[base + victim],
+                          store_.meta[base + victim] & 0xff,
+                          clock_ - store_.inserted[base + victim]);
+        }
+    }
     store_.fill(base + victim, page, asid_, clock_);
     if (policy_ == ReplPolicy::TreePLRU)
         plru_[set].touch(victim, ways_);
@@ -150,6 +158,41 @@ SetAssocTlb::reset()
     rng_ = Rng(rng_seed_);
     std::fill(plru_.begin(), plru_.end(), PlruTree{});
     asid_ = 0;
+}
+
+Tlb::ReachSnapshot
+SetAssocTlb::reachSnapshot() const
+{
+    ReachSnapshot snap;
+    snap.sets = sets_;
+    snap.setOccupancy.assign(ways_ + 1, 0);
+    for (std::size_t set = 0; set < sets_; ++set) {
+        std::size_t valid = 0;
+        for (std::size_t way = 0; way < ways_; ++way) {
+            const std::size_t i = set * ways_ + way;
+            if (!store_.valid(i))
+                continue;
+            ++valid;
+            snap.reachBytes += std::uint64_t{1}
+                               << (store_.meta[i] & 0xff);
+        }
+        ++snap.setOccupancy[valid];
+        if (valid == ways_)
+            ++snap.fullSets;
+    }
+    return snap;
+}
+
+void
+SetAssocTlb::setEventSink(obs::EventLogRecorder *recorder,
+                          const std::string &tag)
+{
+    events_ = recorder;
+    if (recorder != nullptr) {
+        evict_stream_ = recorder->stream(
+            tag.empty() ? "tlb_evict" : "tlb_evict." + tag,
+            {"vpn", "size_log2", "dwell"});
+    }
 }
 
 std::string

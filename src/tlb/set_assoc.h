@@ -91,6 +91,10 @@ class SetAssocTlb : public Tlb
     std::size_t numWays() const { return ways_; }
     IndexScheme scheme() const { return scheme_; }
 
+    ReachSnapshot reachSnapshot() const override;
+    void setEventSink(obs::EventLogRecorder *recorder,
+                      const std::string &tag) override;
+
     /** Set index this (page, vaddr) pair probes (exposed for tests). */
     std::size_t indexFor(const PageId &page, Addr vaddr) const;
 
@@ -115,6 +119,8 @@ class SetAssocTlb : public Tlb
     std::uint64_t clock_ = 0;
     std::vector<PlruTree> plru_; ///< per set; TreePLRU only
     TlbStats stats_;
+    obs::EventLogRecorder *events_ = nullptr;
+    std::size_t evict_stream_ = 0;
 };
 
 } // namespace tps

@@ -1,5 +1,7 @@
 #include "tlb/split_tlb.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace tps
@@ -125,6 +127,33 @@ SplitTlb::stats() const
 {
     refreshStats();
     return combined_;
+}
+
+Tlb::ReachSnapshot
+SplitTlb::reachSnapshot() const
+{
+    const ReachSnapshot a = small_->reachSnapshot();
+    const ReachSnapshot b = large_->reachSnapshot();
+    ReachSnapshot merged;
+    merged.reachBytes = a.reachBytes + b.reachBytes;
+    merged.sets = a.sets + b.sets;
+    merged.fullSets = a.fullSets + b.fullSets;
+    merged.setOccupancy.assign(
+        std::max(a.setOccupancy.size(), b.setOccupancy.size()), 0);
+    for (std::size_t k = 0; k < a.setOccupancy.size(); ++k)
+        merged.setOccupancy[k] += a.setOccupancy[k];
+    for (std::size_t k = 0; k < b.setOccupancy.size(); ++k)
+        merged.setOccupancy[k] += b.setOccupancy[k];
+    return merged;
+}
+
+void
+SplitTlb::setEventSink(obs::EventLogRecorder *recorder,
+                       const std::string &tag)
+{
+    const std::string prefix = tag.empty() ? "" : tag + ".";
+    small_->setEventSink(recorder, prefix + "small");
+    large_->setEventSink(recorder, prefix + "large");
 }
 
 std::string

@@ -48,6 +48,15 @@ class SplitTlb : public Tlb
     const Tlb &smallTlb() const { return *small_; }
     const Tlb &largeTlb() const { return *large_; }
 
+    /** Merged over both sub-TLBs (their sets are disjoint hardware). */
+    ReachSnapshot reachSnapshot() const override;
+
+    /** Forwards with tags "small"/"large" (prefixed by @p tag): one
+     *  eviction stream per sub, since batching partitions refs across
+     *  subs but never reorders within one. */
+    void setEventSink(obs::EventLogRecorder *recorder,
+                      const std::string &tag) override;
+
   private:
     /** Recompute the combined stats from the sub-TLBs. */
     void refreshStats() const;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/stat_registry.h"
 #include "vm/page.h"
 #include "vm/policy.h"
@@ -167,6 +168,47 @@ class Tlb : public InvalidationSink
      * the last reset().  Zeros for models without such a cache.
      */
     virtual ProbeCacheCounters probeCacheCounters() const { return {}; }
+
+    /**
+     * Point-in-time occupancy of the TLB, the raw material of the
+     * paper's "TLB reach" argument (Section 2.1): how many bytes of
+     * address space the currently-valid entries cover, and how full
+     * each set is (set pressure is what makes the paper's
+     * set-associative indexing problem bite).
+     */
+    struct ReachSnapshot
+    {
+        std::uint64_t reachBytes = 0; ///< sum of 2^sizeLog2 over valid
+        std::uint64_t sets = 0;
+        std::uint64_t fullSets = 0; ///< sets with every way valid
+        /** Histogram: setOccupancy[k] = sets with k valid ways. */
+        std::vector<std::uint64_t> setOccupancy;
+    };
+
+    /**
+     * Snapshot current occupancy/reach.  Composite TLBs report the
+     * level that defines their reach (TwoLevelTlb: the L2, matching
+     * capacity()); SplitTlb merges its sub-TLBs.
+     */
+    virtual ReachSnapshot reachSnapshot() const { return {}; }
+
+    /**
+     * Attach an event recorder: the TLB registers its eviction
+     * stream(s) ("tlb_evict" or "tlb_evict.<tag>", fields {vpn,
+     * size_log2, dwell}) immediately — stream registration must be a
+     * function of configuration, not of whether evictions occur — and
+     * thereafter emits one event per valid-entry displacement, with
+     * dwell = probes survived since fill.  Composite TLBs forward to
+     * their sub-TLBs with distinguishing tags (one stream per sub,
+     * because batching partitions refs across subs but never reorders
+     * within one).  Pass nullptr to detach.  Default: events ignored.
+     */
+    virtual void
+    setEventSink(obs::EventLogRecorder *recorder, const std::string &tag)
+    {
+        (void)recorder;
+        (void)tag;
+    }
 
   protected:
     std::uint16_t asid_ = 0; ///< active context tag (see setAsid)

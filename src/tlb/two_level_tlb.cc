@@ -155,6 +155,21 @@ TwoLevelTlb::stats() const
     return stats_;
 }
 
+Tlb::ReachSnapshot
+TwoLevelTlb::reachSnapshot() const
+{
+    return l2_->reachSnapshot();
+}
+
+void
+TwoLevelTlb::setEventSink(obs::EventLogRecorder *recorder,
+                          const std::string &tag)
+{
+    const std::string prefix = tag.empty() ? "" : tag + ".";
+    l1_->setEventSink(recorder, prefix + "l1");
+    l2_->setEventSink(recorder, prefix + "l2");
+}
+
 std::string
 TwoLevelTlb::name() const
 {

@@ -61,6 +61,14 @@ class TwoLevelTlb : public Tlb
     const Tlb &l1() const { return *l1_; }
     const Tlb &l2() const { return *l2_; }
 
+    /** The L2 defines the hierarchy's reach (capacity() precedent:
+     *  inclusion makes the L1 a subset of it). */
+    ReachSnapshot reachSnapshot() const override;
+
+    /** Forwards with tags "l1"/"l2" (prefixed by @p tag). */
+    void setEventSink(obs::EventLogRecorder *recorder,
+                      const std::string &tag) override;
+
   private:
     std::unique_ptr<Tlb> l1_;
     std::unique_ptr<Tlb> l2_;

@@ -1,0 +1,169 @@
+#include "vm/lifecycle_ledger.h"
+
+#include "util/logging.h"
+
+namespace tps
+{
+
+namespace
+{
+
+/** Fixed bucket count: config-independent so exported histograms have
+ *  a deterministic shape (dwell < 2^39 refs covers any feasible run). */
+constexpr std::size_t kDwellBuckets = 40;
+
+std::size_t
+dwellBucket(RefTime dwell)
+{
+    std::size_t bucket = 0;
+    while (dwell != 0 && bucket + 1 < kDwellBuckets) {
+        dwell >>= 1;
+        ++bucket;
+    }
+    return bucket;
+}
+
+} // namespace
+
+void
+LifecycleSummary::exportTo(obs::StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".lifecycle.promotions", promotions);
+    registry.addCounter(prefix + ".lifecycle.demotions", demotions);
+    registry.addCounter(prefix + ".lifecycle.chunks_promoted",
+                        chunksPromoted);
+    registry.addCounter(prefix + ".lifecycle.repromotions",
+                        repromotions);
+    registry.addCounter(prefix + ".lifecycle.episodes_closed",
+                        episodesClosed);
+    registry.addCounter(prefix + ".lifecycle.episodes_open",
+                        episodesOpen);
+    registry.addCounter(prefix + ".lifecycle.wasted_promotions",
+                        wastedPromotions);
+    registry.addCounter(prefix + ".lifecycle.touched_subpages",
+                        touchedSubpages);
+    registry.addCounter(prefix + ".lifecycle.covered_subpages",
+                        coveredSubpages);
+    registry.addValue(prefix + ".lifecycle.touched_fraction",
+                      touchedFraction());
+    registry.addValue(prefix + ".lifecycle.wasted_fraction",
+                      wastedFraction());
+    registry.addHistogram(prefix + ".lifecycle.dwell_log2", dwellLog2);
+}
+
+LifecycleLedger::LifecycleLedger(const LifecycleConfig &config)
+    : config_(config)
+{
+    if (config_.largeLog2 <= config_.smallLog2)
+        tps_fatal("lifecycle ledger: largeLog2 (", config_.largeLog2,
+                  ") must exceed smallLog2 (", config_.smallLog2, ")");
+    if (config_.largeLog2 - config_.smallLog2 > 6)
+        tps_fatal("lifecycle ledger: more than 64 subpages per chunk");
+    summary_.dwellLog2.assign(kDwellBuckets, 0);
+}
+
+void
+LifecycleLedger::closeEpisode(ChunkRecord &record, RefTime t)
+{
+    const RefTime dwell = t >= record.start ? t - record.start : 0;
+    ++summary_.dwellLog2[dwellBucket(dwell)];
+    if (record.tracked) {
+        summary_.touchedSubpages += record.touchedCount;
+        summary_.coveredSubpages += config_.blocksPerChunk();
+        const double fraction =
+            static_cast<double>(record.touchedCount) /
+            static_cast<double>(config_.blocksPerChunk());
+        if (fraction < config_.wastedThreshold)
+            ++summary_.wastedPromotions;
+        --open_tracked_;
+        open_touched_ -= record.touchedCount;
+    }
+    record.open = false;
+    record.touched = 0;
+    record.touchedCount = 0;
+}
+
+void
+LifecycleLedger::onPromote(RefTime t, Addr chunk_number,
+                           unsigned from_log2, unsigned to_log2)
+{
+    (void)from_log2;
+    ++summary_.promotions;
+    ChunkRecord &record = chunks_[key(chunk_number, to_log2)];
+    cache_valid_ = false; // a cached "never promoted" is now stale
+    if (record.open)
+        return; // re-promote of an open episode: policy-impossible,
+                // but never double-count if it happens
+    record.tracked = to_log2 == config_.largeLog2;
+    record.open = true;
+    record.start = t;
+    record.touched = 0;
+    record.touchedCount = 0;
+    ++record.episodes;
+    if (record.tracked) {
+        ++open_tracked_;
+        if (record.episodes == 1)
+            ++summary_.chunksPromoted;
+        else
+            ++summary_.repromotions;
+    }
+}
+
+void
+LifecycleLedger::onDemote(RefTime t, Addr chunk_number,
+                          unsigned from_log2, unsigned to_log2)
+{
+    (void)to_log2;
+    ++summary_.demotions;
+    // A demotion names the size being *left*: the episode it closes is
+    // the one opened by the promote *to* from_log2.
+    const auto it = chunks_.find(key(chunk_number, from_log2));
+    if (it == chunks_.end() || !it->second.open)
+        return; // demote without a ledger-known episode (cannot happen
+                // through the policies; tolerated for robustness)
+    closeEpisode(it->second, t);
+    ++summary_.episodesClosed;
+    cache_valid_ = false;
+}
+
+void
+LifecycleLedger::resetStats(RefTime t)
+{
+    summary_ = LifecycleSummary{};
+    summary_.dwellLog2.assign(kDwellBuckets, 0);
+    open_tracked_ = 0;
+    open_touched_ = 0;
+    for (auto &[k, record] : chunks_) {
+        if (!record.open) {
+            record.episodes = 0;
+            continue;
+        }
+        // Keep the episode open but restart its clock and mask: the
+        // measured region accounts only post-warmup dwell and touches.
+        record.start = t;
+        record.touched = 0;
+        record.touchedCount = 0;
+        record.episodes = 1;
+        if (record.tracked) {
+            ++open_tracked_;
+            ++summary_.chunksPromoted;
+        }
+    }
+    cache_valid_ = false;
+}
+
+LifecycleSummary
+LifecycleLedger::finish(RefTime end)
+{
+    for (auto &[k, record] : chunks_) {
+        if (!record.open)
+            continue;
+        closeEpisode(record, end);
+        ++summary_.episodesOpen;
+    }
+    cache_valid_ = false;
+    return summary_;
+}
+
+} // namespace tps

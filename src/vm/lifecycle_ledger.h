@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Per-chunk page-lifecycle accounting: folds the promote/demote event
+ * stream plus the measured reference stream into the evidence the
+ * paper's tradeoff discussion needs — how long promotions last (dwell),
+ * how often chunks churn (promote -> demote -> promote), and whether a
+ * promotion *paid off* (did the program actually touch the subpages
+ * whose TLB reach the large page bought?).
+ *
+ * The ledger is an observer fed by the experiment driver with explicit
+ * measured-reference timestamps, so its output is bit-identical under
+ * batched vs per-reference execution and at any thread count.  Its
+ * promote/demote totals reconcile exactly with PolicyStats
+ * (promotions/demotions), which the events test suite asserts at every
+ * chunk size and thread count.
+ *
+ * Touched-subpage tracking covers the *tracked transition* only (small
+ * -> large, transition 0 of a multi-size ladder): that is where the
+ * paper's reach-vs-waste tradeoff lives.  Higher multi-size transitions
+ * still get dwell/churn accounting.
+ */
+
+#ifndef TPS_VM_LIFECYCLE_LEDGER_H_
+#define TPS_VM_LIFECYCLE_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/stat_registry.h"
+#include "vm/page.h"
+
+namespace tps
+{
+
+/** Knobs of the lifecycle ledger (derived from the policy in play). */
+struct LifecycleConfig
+{
+    /** Subpage granularity of touched tracking (the small page). */
+    unsigned smallLog2 = kLog2_4K;
+
+    /** Chunk granularity; promotions *to* this size are the tracked
+     *  transition that gets touched-subpage accounting. */
+    unsigned largeLog2 = kLog2_32K;
+
+    /**
+     * A tracked episode whose touched-subpage fraction ends below this
+     * counts as a wasted promotion: the chunk was mapped large but the
+     * program never used the reach it bought.  The default matches the
+     * paper's promote threshold ("half or more of the blocks").
+     */
+    double wastedThreshold = 0.5;
+
+    unsigned blocksPerChunk() const { return 1u << (largeLog2 - smallLog2); }
+};
+
+/** Everything the ledger measured (see exportTo for key names). */
+struct LifecycleSummary
+{
+    std::uint64_t promotions = 0; ///< all transitions, == policy counter
+    std::uint64_t demotions = 0;  ///< all transitions, == policy counter
+
+    std::uint64_t chunksPromoted = 0;  ///< distinct tracked chunks
+    std::uint64_t repromotions = 0;    ///< promote after earlier demote
+    std::uint64_t episodesClosed = 0;  ///< demote-terminated episodes
+    std::uint64_t episodesOpen = 0;    ///< still promoted at finish
+    std::uint64_t wastedPromotions = 0;
+
+    /** Tracked-transition subpage totals over all episodes. */
+    std::uint64_t touchedSubpages = 0;
+    std::uint64_t coveredSubpages = 0;
+
+    /** Episode dwell times (refs), bucket k = dwell in [2^(k-1), 2^k)
+     *  (bucket 0: dwell 0).  All transitions. */
+    std::vector<std::uint64_t> dwellLog2;
+
+    double
+    touchedFraction() const
+    {
+        return coveredSubpages == 0
+                   ? 0.0
+                   : static_cast<double>(touchedSubpages) /
+                         static_cast<double>(coveredSubpages);
+    }
+
+    double
+    wastedFraction() const
+    {
+        const std::uint64_t episodes = episodesClosed + episodesOpen;
+        return episodes == 0 ? 0.0
+                             : static_cast<double>(wastedPromotions) /
+                                   static_cast<double>(episodes);
+    }
+
+    /** Register everything under "<prefix>.lifecycle.*". */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
+};
+
+/**
+ * The live ledger.  Not thread-safe; one per classification pass (the
+ * promote/demote stream is policy state, shared by every cell of a
+ * shared pass).  Timestamps are measured-reference indices supplied by
+ * the driver — the ledger has no clock of its own.
+ */
+class LifecycleLedger
+{
+  public:
+    explicit LifecycleLedger(const LifecycleConfig &config);
+
+    void onPromote(RefTime t, Addr chunk_number, unsigned from_log2,
+                   unsigned to_log2);
+    void onDemote(RefTime t, Addr chunk_number, unsigned from_log2,
+                  unsigned to_log2);
+
+    /** Record one measured reference; marks the touched subpage when
+     *  the containing chunk has an open tracked episode. */
+    void
+    touch(Addr vaddr)
+    {
+        const Addr chunk = vaddr >> config_.largeLog2;
+        if (!cache_valid_ || chunk != cached_chunk_) {
+            // Negative results are cached too (most chunks of a mostly
+            // -small workload never promote); onPromote invalidates.
+            const auto it = chunks_.find(trackedKey(chunk));
+            cached_chunk_ = chunk;
+            cached_ = it == chunks_.end() ? nullptr : &it->second;
+            cache_valid_ = true;
+        }
+        if (cached_ == nullptr || !cached_->open)
+            return;
+        const std::uint64_t bit =
+            std::uint64_t{1}
+            << ((vaddr >> config_.smallLog2) &
+                (config_.blocksPerChunk() - 1));
+        if ((cached_->touched & bit) == 0) {
+            cached_->touched |= bit;
+            ++cached_->touchedCount;
+            ++open_touched_;
+        }
+    }
+
+    /**
+     * Warmup boundary: zero the totals (mirroring resetStats on the
+     * policy so the reconciliation invariant holds over the measured
+     * region) but keep episodes open — their dwell and touched masks
+     * restart at @p t, measuring the post-warmup lifetime only.
+     */
+    void resetStats(RefTime t);
+
+    /** Currently-open tracked episodes (interval telemetry). */
+    std::uint64_t openTrackedChunks() const { return open_tracked_; }
+
+    /** Subpages touched across the open tracked episodes. */
+    std::uint64_t openTouchedSubpages() const { return open_touched_; }
+
+    /** Bytes of address space currently mapped large. */
+    std::uint64_t
+    openReachBytes() const
+    {
+        return open_tracked_ << config_.largeLog2;
+    }
+
+    /** touched / covered over the open tracked episodes (0 if none). */
+    double
+    reachUtilization() const
+    {
+        const std::uint64_t covered =
+            open_tracked_ * config_.blocksPerChunk();
+        return covered == 0 ? 0.0
+                            : static_cast<double>(open_touched_) /
+                                  static_cast<double>(covered);
+    }
+
+    /** Close the books at measured time @p end (ledger is spent). */
+    LifecycleSummary finish(RefTime end);
+
+    const LifecycleConfig &config() const { return config_; }
+
+  private:
+    /** Lifecycle state of one (chunk, to-size) pair. */
+    struct ChunkRecord
+    {
+        RefTime start = 0;          ///< open-episode start time
+        std::uint64_t touched = 0;  ///< subpage mask (tracked only)
+        unsigned touchedCount = 0;
+        std::uint32_t episodes = 0; ///< promotes seen for this key
+        bool open = false;
+        bool tracked = false; ///< to_log2 == config.largeLog2
+    };
+
+    /** Episodes are keyed per (chunk, to-size): a multi-size ladder
+     *  promotes the same address range at several granularities and
+     *  each transition has its own lifecycle. */
+    static Addr
+    key(Addr chunk_number, unsigned to_log2)
+    {
+        return (chunk_number << 8) | to_log2;
+    }
+
+    Addr
+    trackedKey(Addr chunk_number) const
+    {
+        return key(chunk_number, config_.largeLog2);
+    }
+
+    void closeEpisode(ChunkRecord &record, RefTime t);
+
+    LifecycleConfig config_;
+    LifecycleSummary summary_;
+    std::unordered_map<Addr, ChunkRecord> chunks_;
+    std::uint64_t open_tracked_ = 0;
+    std::uint64_t open_touched_ = 0;
+    // One-entry cache for the common run of consecutive touches into
+    // the same chunk (node-based unordered_map pointers are stable).
+    Addr cached_chunk_ = 0;
+    ChunkRecord *cached_ = nullptr;
+    bool cache_valid_ = false;
+};
+
+} // namespace tps
+
+#endif // TPS_VM_LIFECYCLE_LEDGER_H_

@@ -55,6 +55,9 @@ MultiSizePolicy::promote(std::size_t level, Addr parent_number)
         return;
     node.promoted = true;
     ++stats_.promotions;
+    if (life_ != nullptr)
+        life_->onPromote(parent_number, config_.sizeLog2s[level],
+                         config_.sizeLog2s[level + 1]);
 
     if (sink_ != nullptr) {
         // Invalidate every finer-grained translation this new page

@@ -73,6 +73,7 @@ class MultiSizePolicy : public PageSizePolicy
 
     PageId classify(Addr vaddr, RefTime now) override;
     void setInvalidationSink(InvalidationSink *sink) override;
+    void setLifecycleSink(LifecycleSink *sink) override { life_ = sink; }
     void reset() override;
     void resetStats() override { stats_ = PolicyStats{}; }
     const PolicyStats &stats() const override { return stats_; }
@@ -108,6 +109,7 @@ class MultiSizePolicy : public PageSizePolicy
 
     MultiSizeConfig config_;
     InvalidationSink *sink_ = nullptr;
+    LifecycleSink *life_ = nullptr;
     std::vector<LevelMap> levels_; ///< one per transition
     PolicyStats stats_;
     std::vector<std::uint64_t> refs_per_level_;

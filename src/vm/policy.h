@@ -44,6 +44,30 @@ class InvalidationSink
     }
 };
 
+/**
+ * Receiver of page-size *lifecycle* notifications (promotion and
+ * demotion of a chunk), fired adjacent to the PolicyStats increments
+ * so a listener's totals reconcile exactly with the counters.
+ * Separate from InvalidationSink on purpose: invalidations are about
+ * cached-translation correctness (TLB, page tables, phys remapping),
+ * lifecycle events are pure observation — the LifecycleLedger and the
+ * event log attach here without perturbing any modeled state.
+ */
+class LifecycleSink
+{
+  public:
+    virtual ~LifecycleSink() = default;
+
+    /** The chunk @p chunk_number (numbered in 2^to_log2 units) is now
+     *  mapped at 2^to_log2, previously at 2^from_log2. */
+    virtual void onPromote(Addr chunk_number, unsigned from_log2,
+                           unsigned to_log2) = 0;
+
+    /** The reverse transition (two-size policies only today). */
+    virtual void onDemote(Addr chunk_number, unsigned from_log2,
+                          unsigned to_log2) = 0;
+};
+
 /** Counters every policy maintains. */
 struct PolicyStats
 {
@@ -92,6 +116,11 @@ class PageSizePolicy
 
     /** Register the TLB (or other cache of translations) to notify. */
     virtual void setInvalidationSink(InvalidationSink *sink) = 0;
+
+    /** Register a lifecycle observer (nullptr detaches).  Default
+     *  no-op: single-size policies never promote, so there is nothing
+     *  to observe and their totals reconcile vacuously. */
+    virtual void setLifecycleSink(LifecycleSink *sink) { (void)sink; }
 
     /** Forget all history (for replaying the trace from the start). */
     virtual void reset() = 0;

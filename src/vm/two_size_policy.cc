@@ -72,6 +72,9 @@ TwoSizePolicy::promote(Addr chunk_number, ChunkState &state)
 {
     state.large = true;
     ++stats_.promotions;
+    if (life_ != nullptr)
+        life_->onPromote(chunk_number, config_.smallLog2,
+                         config_.largeLog2);
     if (sink_ != nullptr) {
         // The blocks of this chunk were mapped as small pages; those
         // translations are now stale.
@@ -91,6 +94,9 @@ TwoSizePolicy::demote(Addr chunk_number, ChunkState &state)
 {
     state.large = false;
     ++stats_.demotions;
+    if (life_ != nullptr)
+        life_->onDemote(chunk_number, config_.largeLog2,
+                        config_.smallLog2);
     if (sink_ != nullptr) {
         sink_->invalidatePage(
             PageId{chunk_number,

@@ -107,6 +107,7 @@ class TwoSizePolicy : public PageSizePolicy
     PageId classifyFast(Addr vaddr, RefTime now);
 
     void setInvalidationSink(InvalidationSink *sink) override;
+    void setLifecycleSink(LifecycleSink *sink) override { life_ = sink; }
     void reset() override;
     void resetStats() override { stats_ = PolicyStats{}; }
     const PolicyStats &stats() const override { return stats_; }
@@ -157,6 +158,7 @@ class TwoSizePolicy : public PageSizePolicy
     unsigned demote_threshold_;
     unsigned blocks_per_chunk_;
     InvalidationSink *sink_ = nullptr;
+    LifecycleSink *life_ = nullptr;
     std::unordered_map<Addr, ChunkState> chunks_;
     // One-entry chunk cache for the common run of consecutive
     // references into the same chunk (node-based unordered_map never

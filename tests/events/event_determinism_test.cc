@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Byte-identity gates for the tps-events-v1 stream: the batched
+ * engine must produce EXACTLY the per-ref oracle's event log — same
+ * streams, same timestamps, same order — at any chunk size, for every
+ * TLB organization (composites register one eviction stream per sub),
+ * with the physical model's reservation-break stream attached, under
+ * sampling, and across the cells of a shared pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "obs/json.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+std::string
+serialize(const obs::EventLog &log)
+{
+    std::ostringstream out;
+    obs::JsonWriter writer(out, /*pretty=*/false);
+    log.writeJson(writer);
+    writer.finish();
+    return out.str();
+}
+
+PolicySpec
+churnyPolicy()
+{
+    TwoSizeConfig config;
+    config.window = 5'000;
+    config.promoteThreshold = 2; // promote eagerly at this scale
+    config.demoteThreshold = 2;  // and exercise demotion churn
+    return PolicySpec::twoSizes(config);
+}
+
+RunOptions
+eventOptions()
+{
+    RunOptions options;
+    options.maxRefs = 60'000;
+    options.warmupRefs = 15'000;
+    options.events.sampleEvery = 1;
+    return options;
+}
+
+std::uint64_t
+streamSeen(const obs::EventLog &log, const std::string &name)
+{
+    const auto it = log.streams.find(name);
+    return it == log.streams.end() ? 0 : it->second.seen;
+}
+
+TEST(EventDeterminism, BatchedMatchesPerRefByteForByte)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig tlb;
+    tlb.entries = 32;
+
+    // verilog churns under the eager window (espresso never demotes
+    // at this scale), so every stream the gate asserts on is hot.
+    auto workload = workloads::findWorkload("verilog").instantiate();
+    RunOptions oracle_options = eventOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    const ExperimentResult oracle =
+        runExperiment(*workload, policy, tlb, oracle_options);
+    ASSERT_NE(oracle.events, nullptr);
+    ASSERT_GT(streamSeen(*oracle.events, "promote"), 0u);
+    ASSERT_GT(streamSeen(*oracle.events, "demote"), 0u);
+    ASSERT_GT(streamSeen(*oracle.events, "tlb_evict"), 0u);
+    ASSERT_GT(streamSeen(*oracle.events, "shootdown"), 0u);
+    const std::string golden = serialize(*oracle.events);
+
+    for (std::uint64_t chunk : {std::uint64_t{1}, std::uint64_t{257},
+                                std::uint64_t{4'096},
+                                std::uint64_t{100'000}}) {
+        RunOptions options = eventOptions();
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = chunk;
+        workload->reset();
+        const ExperimentResult batched =
+            runExperiment(*workload, policy, tlb, options);
+        ASSERT_NE(batched.events, nullptr);
+        EXPECT_EQ(serialize(*batched.events), golden)
+            << "chunkRefs=" << chunk;
+    }
+}
+
+TEST(EventDeterminism, CompositeTlbsKeepPerSubStreams)
+{
+    const PolicySpec policy = churnyPolicy();
+
+    TlbConfig split;
+    split.organization = TlbOrganization::Split;
+    split.entries = 16;
+    split.splitLargeEntries = 8;
+
+    TlbConfig two_level;
+    two_level.organization = TlbOrganization::TwoLevel;
+    two_level.entries = 32;
+    two_level.l1Entries = 4;
+
+    for (const TlbConfig &tlb : {split, two_level}) {
+        auto workload =
+            workloads::findWorkload("espresso").instantiate();
+        RunOptions oracle_options = eventOptions();
+        oracle_options.exec = ExecMode::PerRef;
+        const ExperimentResult oracle =
+            runExperiment(*workload, policy, tlb, oracle_options);
+        ASSERT_NE(oracle.events, nullptr);
+
+        RunOptions options = eventOptions();
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = 257;
+        workload->reset();
+        const ExperimentResult batched =
+            runExperiment(*workload, policy, tlb, options);
+        ASSERT_NE(batched.events, nullptr);
+        EXPECT_EQ(serialize(*batched.events),
+                  serialize(*oracle.events));
+
+        if (tlb.organization == TlbOrganization::Split) {
+            // One eviction stream per sub-TLB: batching partitions
+            // refs across subs but never reorders within one, which
+            // is exactly why the streams must be split.
+            EXPECT_NE(oracle.events->streams.find("tlb_evict.small"),
+                      oracle.events->streams.end());
+            EXPECT_NE(oracle.events->streams.find("tlb_evict.large"),
+                      oracle.events->streams.end());
+        } else {
+            EXPECT_NE(oracle.events->streams.find("tlb_evict.l1"),
+                      oracle.events->streams.end());
+            EXPECT_NE(oracle.events->streams.find("tlb_evict.l2"),
+                      oracle.events->streams.end());
+        }
+    }
+}
+
+TEST(EventDeterminism, ReservationBreaksMatchUnderPressure)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig tlb;
+    tlb.entries = 32;
+
+    for (const bool reservation : {true, false}) {
+        RunOptions oracle_options = eventOptions();
+        oracle_options.exec = ExecMode::PerRef;
+        oracle_options.phys.memBytes = 4ull << 20;
+        oracle_options.phys.fragPressure = 0.5;
+        oracle_options.phys.reservation = reservation;
+
+        auto workload =
+            workloads::findWorkload("espresso").instantiate();
+        const ExperimentResult oracle =
+            runExperiment(*workload, policy, tlb, oracle_options);
+        ASSERT_NE(oracle.events, nullptr);
+        ASSERT_GT(streamSeen(*oracle.events, "resv_break"), 0u)
+            << "reservation=" << reservation;
+
+        RunOptions options = oracle_options;
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = 257;
+        workload->reset();
+        const ExperimentResult batched =
+            runExperiment(*workload, policy, tlb, options);
+        ASSERT_NE(batched.events, nullptr);
+        EXPECT_EQ(serialize(*batched.events),
+                  serialize(*oracle.events))
+            << "reservation=" << reservation;
+    }
+}
+
+TEST(EventDeterminism, SampledLogIsDeterministicSubsequence)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig tlb;
+    tlb.entries = 32;
+
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    RunOptions oracle_options = eventOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    oracle_options.events.sampleEvery = 7;
+    const ExperimentResult oracle =
+        runExperiment(*workload, policy, tlb, oracle_options);
+    ASSERT_NE(oracle.events, nullptr);
+
+    RunOptions options = eventOptions();
+    options.exec = ExecMode::Batched;
+    options.events.sampleEvery = 7;
+    options.chunkRefs = 4'096;
+    workload->reset();
+    const ExperimentResult batched =
+        runExperiment(*workload, policy, tlb, options);
+    ASSERT_NE(batched.events, nullptr);
+    EXPECT_EQ(serialize(*batched.events), serialize(*oracle.events));
+
+    // Sampling kept every 7th offer: kept == ceil(seen / 7), within
+    // the capacity cap.
+    for (const auto &[name, stream] : oracle.events->streams) {
+        SCOPED_TRACE(name);
+        const std::uint64_t expected = (stream.seen + 6) / 7;
+        EXPECT_EQ(stream.events.size(),
+                  std::min<std::uint64_t>(
+                      expected, oracle_options.events.capacity));
+    }
+}
+
+TEST(EventDeterminism, SharedPassMatchesIndependentRuns)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig small;
+    small.entries = 16;
+    TlbConfig large;
+    large.entries = 64;
+    const RunOptions options = eventOptions();
+
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    const std::vector<ExperimentResult> shared =
+        runSharedPass(*workload, policy, {small, large}, options);
+    ASSERT_EQ(shared.size(), 2u);
+    ASSERT_NE(shared[0].events, nullptr);
+    ASSERT_NE(shared[1].events, nullptr);
+
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        workload->reset();
+        const ExperimentResult alone = runExperiment(
+            *workload, policy, i == 0 ? small : large, options);
+        ASSERT_NE(alone.events, nullptr);
+        EXPECT_EQ(serialize(*shared[i].events),
+                  serialize(*alone.events))
+            << "cell " << i;
+    }
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the tps-events-v1 building blocks: deterministic
+ * keep-every-Nth sampling, the per-stream capacity cap, JSON shape,
+ * and the sink's content-ordered duplicate handling (the property the
+ * serial-vs-parallel byte-identity gate rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace tps::obs
+{
+namespace
+{
+
+std::string
+serialize(const EventLog &log)
+{
+    std::ostringstream out;
+    JsonWriter writer(out, /*pretty=*/false);
+    log.writeJson(writer);
+    writer.finish();
+    return out.str();
+}
+
+TEST(EventLogRecorder, KeepsEveryNthEvent)
+{
+    EventLogConfig config;
+    config.sampleEvery = 3;
+    EventLogRecorder recorder(config);
+    const std::size_t s = recorder.stream("s", {"a"});
+    for (std::uint64_t i = 0; i < 10; ++i)
+        recorder.emit(s, i, i * 100);
+
+    const EventLog log = recorder.finish("w", "t", "p");
+    const EventStream &stream = log.streams.at("s");
+    EXPECT_EQ(stream.seen, 10u);
+    ASSERT_EQ(stream.events.size(), 4u); // offers 1,4,7,10 kept
+    EXPECT_EQ(stream.events[0].t, 0u);
+    EXPECT_EQ(stream.events[1].t, 3u);
+    EXPECT_EQ(stream.events[2].t, 6u);
+    EXPECT_EQ(stream.events[3].t, 9u);
+    EXPECT_EQ(stream.events[3].a, 900u);
+}
+
+TEST(EventLogRecorder, CapacityCapsKeptButNotSeen)
+{
+    EventLogConfig config;
+    config.sampleEvery = 1;
+    config.capacity = 4;
+    EventLogRecorder recorder(config);
+    const std::size_t s = recorder.stream("s", {"a"});
+    for (std::uint64_t i = 0; i < 10; ++i)
+        recorder.emit(s, i, i);
+
+    const EventLog log = recorder.finish("w", "t", "p");
+    const EventStream &stream = log.streams.at("s");
+    EXPECT_EQ(stream.seen, 10u);       // true total survives the cap
+    ASSERT_EQ(stream.events.size(), 4u);
+    EXPECT_EQ(stream.events.back().t, 3u); // first 4, not last 4
+}
+
+TEST(EventLogRecorder, StreamRegistrationIsIdempotent)
+{
+    EventLogConfig config;
+    config.sampleEvery = 1;
+    EventLogRecorder recorder(config);
+    const std::size_t a = recorder.stream("tlb_evict", {"vpn"});
+    const std::size_t b = recorder.stream("tlb_evict", {"vpn"});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(recorder.stream("promote", {"chunk"}), a);
+}
+
+TEST(EventLogRecorder, RejectsDisabledConfig)
+{
+    EXPECT_THROW(EventLogRecorder(EventLogConfig{}),
+                 std::invalid_argument);
+}
+
+TEST(EventLog, JsonShapeRoundTrips)
+{
+    EventLogConfig config;
+    config.sampleEvery = 1;
+    EventLogRecorder recorder(config);
+    const std::size_t promote =
+        recorder.stream("promote", {"chunk", "from_log2", "to_log2"});
+    const std::size_t evict = recorder.stream("tlb_evict", {"vpn"});
+    recorder.emit(promote, 5, 0x42, 12, 15);
+    recorder.emit(evict, 9, 0x17);
+
+    const EventLog log = recorder.finish("w", "t", "p");
+    const JsonValue doc = parseJson(serialize(log));
+    EXPECT_EQ(doc.find("workload")->text, "w");
+
+    const JsonValue *streams = doc.find("streams");
+    ASSERT_NE(streams, nullptr);
+    ASSERT_EQ(streams->object.size(), 2u);
+
+    const JsonValue &p = streams->object.at("promote");
+    const JsonValue *fields = p.find("fields");
+    ASSERT_NE(fields, nullptr);
+    ASSERT_EQ(fields->array.size(), 4u); // implicit t + 3 operands
+    EXPECT_EQ(fields->array[0].text, "t");
+    EXPECT_EQ(fields->array[3].text, "to_log2");
+    const JsonValue *rows = p.find("events");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->array.size(), 1u);
+    ASSERT_EQ(rows->array[0].array.size(), 4u); // row width = fields
+    EXPECT_EQ(rows->array[0].array[1].integer, 0x42);
+
+    // A one-operand stream writes one-operand rows.
+    const JsonValue &e = streams->object.at("tlb_evict");
+    ASSERT_EQ(e.find("events")->array[0].array.size(), 2u);
+}
+
+EventLog
+makeLog(std::uint64_t payload)
+{
+    EventLogConfig config;
+    config.sampleEvery = 1;
+    EventLogRecorder recorder(config);
+    recorder.emit(recorder.stream("s", {"a"}), 1, payload);
+    return recorder.finish("w", "t", "p");
+}
+
+TEST(EventLogSink, DuplicateCellsOrderedByContentNotArrival)
+{
+    EventLogConfig config;
+    config.sampleEvery = 1;
+
+    EventLogSink first(config);
+    first.add(makeLog(7));
+    first.add(makeLog(3));
+
+    EventLogSink second(config);
+    second.add(makeLog(3));
+    second.add(makeLog(7));
+
+    std::ostringstream a, b;
+    first.writeJson(a);
+    second.writeJson(b);
+    EXPECT_EQ(a.str(), b.str()); // arrival order must not show
+
+    const JsonValue doc = parseJson(a.str());
+    EXPECT_EQ(doc.find("schema")->text, "tps-events-v1");
+    const JsonValue *cells = doc.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->object.size(), 2u);
+    EXPECT_NE(cells->object.find("w.t.p"), cells->object.end());
+    EXPECT_NE(cells->object.find("w.t.p_2"), cells->object.end());
+}
+
+TEST(EventLogSink, GlobalFirstConfigWins)
+{
+    EventLogSink::disableGlobal();
+    EventLogConfig first;
+    first.sampleEvery = 2;
+    EventLogSink *sink = EventLogSink::enableGlobal(first);
+    ASSERT_NE(sink, nullptr);
+
+    EventLogConfig second;
+    second.sampleEvery = 5;
+    EXPECT_EQ(EventLogSink::enableGlobal(second), sink);
+    EXPECT_EQ(EventLogSink::global()->config().sampleEvery, 2u);
+
+    EventLogSink::disableGlobal();
+    EXPECT_EQ(EventLogSink::global(), nullptr);
+}
+
+} // namespace
+} // namespace tps::obs

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Ledger-reconciliation gates: the LifecycleLedger is fed by the
+ * experiment driver alongside the policy, so its promote/demote
+ * totals must equal PolicyStats::promotions/demotions EXACTLY — over
+ * the measured region, at any chunk size, under either engine, for
+ * the two-size and the multi-size policy, and across the cells of a
+ * shared pass (which share one ledger).  Beyond the totals, the whole
+ * summary (dwell histogram, churn, touched subpages) must be
+ * bit-identical between engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "tlb/factory.h"
+#include "vm/multi_size_policy.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+void
+expectReconciled(const ExperimentResult &result, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    ASSERT_TRUE(result.lifecycleTracked);
+    EXPECT_EQ(result.lifecycle.promotions, result.policy.promotions);
+    EXPECT_EQ(result.lifecycle.demotions, result.policy.demotions);
+    // Episode accounting is internally consistent: every closed
+    // episode was closed by exactly one measured demotion.
+    EXPECT_LE(result.lifecycle.episodesClosed,
+              result.lifecycle.demotions);
+}
+
+void
+expectSameSummary(const LifecycleSummary &a, const LifecycleSummary &b,
+                  const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.promotions, b.promotions);
+    EXPECT_EQ(a.demotions, b.demotions);
+    EXPECT_EQ(a.chunksPromoted, b.chunksPromoted);
+    EXPECT_EQ(a.repromotions, b.repromotions);
+    EXPECT_EQ(a.episodesClosed, b.episodesClosed);
+    EXPECT_EQ(a.episodesOpen, b.episodesOpen);
+    EXPECT_EQ(a.wastedPromotions, b.wastedPromotions);
+    EXPECT_EQ(a.touchedSubpages, b.touchedSubpages);
+    EXPECT_EQ(a.coveredSubpages, b.coveredSubpages);
+    EXPECT_EQ(a.dwellLog2, b.dwellLog2);
+}
+
+PolicySpec
+churnyPolicy()
+{
+    TwoSizeConfig config;
+    config.window = 5'000;
+    config.promoteThreshold = 2; // promote eagerly at this scale
+    config.demoteThreshold = 2;  // and exercise demotion churn
+    return PolicySpec::twoSizes(config);
+}
+
+RunOptions
+ledgerOptions()
+{
+    RunOptions options;
+    options.maxRefs = 60'000;
+    options.warmupRefs = 15'000;
+    options.lifecycle = true; // ledger without the event log
+    return options;
+}
+
+TEST(LedgerReconcile, TotalsMatchPolicyAtEveryChunkSize)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig tlb;
+    tlb.entries = 32;
+
+    // verilog under the eager window actually churns (hundreds of
+    // promotions AND demotions in 60k refs); espresso promotes but
+    // never lets a chunk go idle long enough to demote.
+    auto workload = workloads::findWorkload("verilog").instantiate();
+
+    RunOptions oracle_options = ledgerOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    const ExperimentResult oracle =
+        runExperiment(*workload, policy, tlb, oracle_options);
+    ASSERT_GT(oracle.policy.promotions, 0u);
+    ASSERT_GT(oracle.policy.demotions, 0u);
+    expectReconciled(oracle, "per-ref oracle");
+    EXPECT_GT(oracle.lifecycle.touchedSubpages, 0u);
+
+    for (std::uint64_t chunk : {std::uint64_t{1}, std::uint64_t{257},
+                                std::uint64_t{4'096}}) {
+        RunOptions options = ledgerOptions();
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = chunk;
+        workload->reset();
+        const ExperimentResult batched =
+            runExperiment(*workload, policy, tlb, options);
+        expectReconciled(batched,
+                         "chunkRefs=" + std::to_string(chunk));
+        expectSameSummary(batched.lifecycle, oracle.lifecycle,
+                          "chunkRefs=" + std::to_string(chunk));
+        EXPECT_EQ(batched.reachOpenBytes, oracle.reachOpenBytes);
+        EXPECT_EQ(batched.reachUtilization, oracle.reachUtilization);
+    }
+}
+
+TEST(LedgerReconcile, MultiSizePolicyCountsEveryTransition)
+{
+    MultiSizeConfig config;
+    config.sizeLog2s = {12, 15, 18};
+    config.window = 20'000;
+
+    TlbConfig tlb;
+    tlb.entries = 16;
+
+    RunOptions options = ledgerOptions();
+    options.maxRefs = 300'000;
+    options.warmupRefs = 50'000;
+
+    auto workload = workloads::findWorkload("verilog").instantiate();
+    MultiSizePolicy per_ref_policy(config);
+    auto per_ref_tlb = makeTlb(tlb);
+    RunOptions per_ref_options = options;
+    per_ref_options.exec = ExecMode::PerRef;
+    const ExperimentResult oracle = runExperiment(
+        *workload, per_ref_policy, *per_ref_tlb, per_ref_options);
+    ASSERT_GT(per_ref_policy.refsPerLevel()[2], 0u); // 256KB used
+    expectReconciled(oracle, "multi-size per-ref");
+
+    workload->reset();
+    MultiSizePolicy batched_policy(config);
+    auto batched_tlb = makeTlb(tlb);
+    const ExperimentResult batched = runExperiment(
+        *workload, batched_policy, *batched_tlb, options);
+    expectReconciled(batched, "multi-size batched");
+    expectSameSummary(batched.lifecycle, oracle.lifecycle,
+                      "multi-size engines");
+}
+
+TEST(LedgerReconcile, SharedPassCellsShareOneLedger)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig small;
+    small.entries = 16;
+    TlbConfig large;
+    large.entries = 64;
+
+    RunOptions options = ledgerOptions();
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    const std::vector<ExperimentResult> results =
+        runSharedPass(*workload, policy, {small, large}, options);
+    ASSERT_EQ(results.size(), 2u);
+
+    // The promote/demote stream is policy state: both cells see the
+    // identical ledger summary, and both reconcile with the (shared)
+    // policy counters.
+    expectReconciled(results[0], "shared cell 0");
+    expectReconciled(results[1], "shared cell 1");
+    expectSameSummary(results[0].lifecycle, results[1].lifecycle,
+                      "shared cells");
+
+    // And the shared-pass summary equals an independent run's.
+    workload->reset();
+    const ExperimentResult alone =
+        runExperiment(*workload, policy, small, options);
+    expectSameSummary(results[0].lifecycle, alone.lifecycle,
+                      "shared vs independent");
+
+    // Reach telemetry: ledger-side numbers are pass-shared, the TLB
+    // occupancy side is per cell (64 entries reach at least as far as
+    // 16 at end of run is not guaranteed, but both snapshots exist).
+    EXPECT_EQ(results[0].reachOpenBytes, results[1].reachOpenBytes);
+    EXPECT_GT(results[1].reach.sets, 0u);
+}
+
+TEST(LedgerReconcile, ExportsFeatureGatedKeys)
+{
+    const PolicySpec policy = churnyPolicy();
+    TlbConfig tlb;
+    tlb.entries = 32;
+    RunOptions options = ledgerOptions();
+
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    const ExperimentResult on =
+        runExperiment(*workload, policy, tlb, options);
+    obs::StatRegistry with;
+    on.exportTo(with, "cell");
+    EXPECT_TRUE(with.has("cell.lifecycle.promotions"));
+    EXPECT_TRUE(with.has("cell.lifecycle.wasted_promotions"));
+    EXPECT_TRUE(with.has("cell.reach.tlb_bytes"));
+    EXPECT_TRUE(with.has("cell.reach.utilization"));
+
+    // Ledger off: none of the lifecycle/reach keys appear.
+    options.lifecycle = false;
+    workload->reset();
+    const ExperimentResult off =
+        runExperiment(*workload, policy, tlb, options);
+    EXPECT_FALSE(off.lifecycleTracked);
+    obs::StatRegistry without;
+    off.exportTo(without, "cell");
+    EXPECT_FALSE(without.has("cell.lifecycle.promotions"));
+    EXPECT_FALSE(without.has("cell.reach.tlb_bytes"));
+}
+
+} // namespace
+} // namespace tps::core

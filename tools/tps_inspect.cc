@@ -1,0 +1,370 @@
+/**
+ * @file
+ * tps_inspect: drill into a tps-events-v1 event log (written by
+ * `--events-out`, see bench_common.h).  Where the stats dump answers
+ * "how many promotions", the event log answers "which chunk, when,
+ * and what happened to it afterwards" — this tool is the query side.
+ *
+ * Usage: tps_inspect [--cell SUBSTR] [--top N] [--vpn V] events.json
+ *
+ * Default report, per cell:
+ *   - stream table: events seen (pre-sampling), kept, time range
+ *   - top-N churned chunks: ranked by promote+demote event count,
+ *     with the wasted back-and-forth (min(promotes, demotes)) shown
+ *     as "churn" — the paper's promotion-criterion tradeoff made
+ *     concrete per chunk
+ *   - TLB-eviction dwell distribution per eviction stream: log2
+ *     buckets of probes survived between fill and eviction (short
+ *     dwells = entries evicted before they earned their slot)
+ *
+ * --vpn V (decimal or 0x-hex) prints a chronological timeline of
+ * every kept event whose "vpn" or "chunk" operand equals V, merged
+ * across streams — the life story of one page.  Note the unit
+ * difference: promote/demote/resv_break streams carry chunk numbers,
+ * eviction/shootdown streams carry vpns; V is matched against
+ * whichever the stream has.
+ *
+ * --cell SUBSTR restricts every report to cells whose key contains
+ * SUBSTR.
+ *
+ * Exit codes: 0 ok (even when empty), 2 usage / IO / parse / schema.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace
+{
+
+using tps::obs::JsonValue;
+
+std::uint64_t
+asU64(const JsonValue &v)
+{
+    if (v.type == JsonValue::Type::Int)
+        return static_cast<std::uint64_t>(v.integer);
+    return static_cast<std::uint64_t>(v.number);
+}
+
+/** One stream of one cell, decoded from the document. */
+struct StreamView
+{
+    std::string name;
+    std::vector<std::string> fields; ///< includes the leading "t"
+    std::uint64_t seen = 0;
+    const JsonValue *events = nullptr; ///< array of [t, ...] rows
+
+    std::size_t kept() const
+    {
+        return events != nullptr ? events->array.size() : 0;
+    }
+
+    /** Index of @p field in the rows; npos when absent. */
+    std::size_t fieldIndex(const std::string &field) const
+    {
+        for (std::size_t i = 0; i < fields.size(); ++i)
+            if (fields[i] == field)
+                return i;
+        return std::string::npos;
+    }
+};
+
+std::vector<StreamView>
+decodeStreams(const JsonValue &cell)
+{
+    std::vector<StreamView> out;
+    const JsonValue *streams = cell.find("streams");
+    if (streams == nullptr)
+        return out;
+    for (const auto &[name, stream] : streams->object) {
+        StreamView view;
+        view.name = name;
+        if (const JsonValue *fields = stream.find("fields"))
+            for (const JsonValue &f : fields->array)
+                view.fields.push_back(f.text);
+        if (const JsonValue *seen = stream.find("seen"))
+            view.seen = asU64(*seen);
+        view.events = stream.find("events");
+        out.push_back(std::move(view));
+    }
+    return out;
+}
+
+void
+printStreamTable(const std::vector<StreamView> &streams)
+{
+    std::printf("  %-22s %10s %10s %12s %12s\n", "stream", "seen",
+                "kept", "first_t", "last_t");
+    for (const StreamView &s : streams) {
+        std::string first = "-";
+        std::string last = "-";
+        if (s.kept() > 0) {
+            first = std::to_string(asU64(s.events->array.front().array[0]));
+            last = std::to_string(asU64(s.events->array.back().array[0]));
+        }
+        std::printf("  %-22s %10llu %10zu %12s %12s\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.seen), s.kept(),
+                    first.c_str(), last.c_str());
+    }
+}
+
+/** Promote/demote traffic of one chunk. */
+struct Churn
+{
+    std::uint64_t promotes = 0;
+    std::uint64_t demotes = 0;
+};
+
+void
+printChurnTable(const std::vector<StreamView> &streams, std::size_t top)
+{
+    std::map<std::uint64_t, Churn> chunks;
+    for (const StreamView &s : streams) {
+        const bool promote = s.name == "promote";
+        if (!promote && s.name != "demote")
+            continue;
+        const std::size_t chunk_at = s.fieldIndex("chunk");
+        if (chunk_at == std::string::npos || s.events == nullptr)
+            continue;
+        for (const JsonValue &row : s.events->array) {
+            if (row.array.size() <= chunk_at)
+                continue;
+            Churn &c = chunks[asU64(row.array[chunk_at])];
+            if (promote)
+                ++c.promotes;
+            else
+                ++c.demotes;
+        }
+    }
+    if (chunks.empty()) {
+        std::printf("  (no promote/demote events)\n");
+        return;
+    }
+    std::vector<std::pair<std::uint64_t, Churn>> ranked(chunks.begin(),
+                                                        chunks.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  const std::uint64_t ta =
+                      a.second.promotes + a.second.demotes;
+                  const std::uint64_t tb =
+                      b.second.promotes + b.second.demotes;
+                  if (ta != tb)
+                      return ta > tb;
+                  return a.first < b.first;
+              });
+    std::printf("  %-16s %10s %10s %10s\n", "chunk", "promotes",
+                "demotes", "churn");
+    const std::size_t n = std::min(top, ranked.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &[chunk, c] = ranked[i];
+        std::printf("  %#-16llx %10llu %10llu %10llu\n",
+                    static_cast<unsigned long long>(chunk),
+                    static_cast<unsigned long long>(c.promotes),
+                    static_cast<unsigned long long>(c.demotes),
+                    static_cast<unsigned long long>(
+                        std::min(c.promotes, c.demotes)));
+    }
+    if (ranked.size() > n)
+        std::printf("  ... and %zu more chunk(s)\n", ranked.size() - n);
+}
+
+void
+printDwellHistograms(const std::vector<StreamView> &streams)
+{
+    bool any = false;
+    for (const StreamView &s : streams) {
+        const std::size_t dwell_at = s.fieldIndex("dwell");
+        if (dwell_at == std::string::npos || s.kept() == 0)
+            continue;
+        any = true;
+        // log2 buckets: bucket 0 = dwell 0, bucket k = [2^(k-1), 2^k).
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t max_count = 0;
+        for (const JsonValue &row : s.events->array) {
+            if (row.array.size() <= dwell_at)
+                continue;
+            const std::uint64_t dwell = asU64(row.array[dwell_at]);
+            std::size_t bucket = 0;
+            while ((std::uint64_t{1} << bucket) <= dwell && bucket < 63)
+                ++bucket;
+            if (buckets.size() <= bucket)
+                buckets.resize(bucket + 1, 0);
+            max_count = std::max(max_count, ++buckets[bucket]);
+        }
+        std::printf("  %s dwell (probes survived, log2 buckets):\n",
+                    s.name.c_str());
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+            if (buckets[b] == 0)
+                continue;
+            const int bars = static_cast<int>(
+                (40 * buckets[b] + max_count - 1) / max_count);
+            std::printf("    <2^%-2zu %10llu %.*s\n", b,
+                        static_cast<unsigned long long>(buckets[b]),
+                        bars,
+                        "########################################");
+        }
+    }
+    if (!any)
+        std::printf("  (no eviction events with dwell)\n");
+}
+
+void
+printTimeline(const std::vector<StreamView> &streams, std::uint64_t vpn)
+{
+    struct Line
+    {
+        std::uint64_t t;
+        std::string text;
+    };
+    std::vector<Line> lines;
+    for (const StreamView &s : streams) {
+        std::size_t match_at = s.fieldIndex("vpn");
+        if (match_at == std::string::npos)
+            match_at = s.fieldIndex("chunk");
+        if (match_at == std::string::npos || s.events == nullptr)
+            continue;
+        for (const JsonValue &row : s.events->array) {
+            if (row.array.size() <= match_at ||
+                asU64(row.array[match_at]) != vpn)
+                continue;
+            std::ostringstream text;
+            text << s.name;
+            for (std::size_t f = 1;
+                 f < s.fields.size() && f < row.array.size(); ++f)
+                text << " " << s.fields[f] << "="
+                     << asU64(row.array[f]);
+            lines.push_back(Line{asU64(row.array[0]), text.str()});
+        }
+    }
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const Line &a, const Line &b) {
+                         return a.t < b.t;
+                     });
+    if (lines.empty()) {
+        std::printf("  (no events for %#llx)\n",
+                    static_cast<unsigned long long>(vpn));
+        return;
+    }
+    for (const Line &line : lines)
+        std::printf("  t=%-12llu %s\n",
+                    static_cast<unsigned long long>(line.t),
+                    line.text.c_str());
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--cell SUBSTR] [--top N] [--vpn V] "
+                 "events.json\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cell_filter;
+    std::string path;
+    std::size_t top = 10;
+    bool have_vpn = false;
+    std::uint64_t vpn = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cell" && i + 1 < argc) {
+            cell_filter = argv[++i];
+        } else if (arg == "--top" && i + 1 < argc) {
+            char *end = nullptr;
+            top = static_cast<std::size_t>(
+                std::strtoull(argv[++i], &end, 10));
+            if (end == argv[i] || *end != '\0' || top == 0) {
+                std::fprintf(stderr,
+                             "error: --top expects a positive count\n");
+                return 2;
+            }
+        } else if (arg == "--vpn" && i + 1 < argc) {
+            char *end = nullptr;
+            vpn = std::strtoull(argv[++i], &end, 0);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr,
+                             "error: --vpn expects a number, got "
+                             "'%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            have_vpn = true;
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+            path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    JsonValue doc;
+    try {
+        doc = tps::obs::parseJson(text.str());
+    } catch (const tps::obs::JsonParseError &error) {
+        std::fprintf(stderr, "error: %s: %s (offset %zu)\n",
+                     path.c_str(), error.what(), error.offset());
+        return 2;
+    }
+
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr || schema->type != JsonValue::Type::String ||
+        schema->text != "tps-events-v1") {
+        std::fprintf(stderr,
+                     "error: %s is not a tps-events-v1 document\n",
+                     path.c_str());
+        return 2;
+    }
+
+    const JsonValue *cells = doc.find("cells");
+    std::size_t matched = 0;
+    if (cells != nullptr) {
+        for (const auto &[key, cell] : cells->object) {
+            if (!cell_filter.empty() &&
+                key.find(cell_filter) == std::string::npos)
+                continue;
+            ++matched;
+            std::printf("== cell %s ==\n", key.c_str());
+            const std::vector<StreamView> streams =
+                decodeStreams(cell);
+            if (have_vpn) {
+                printTimeline(streams, vpn);
+            } else {
+                printStreamTable(streams);
+                std::printf("\n  top churned chunks:\n");
+                printChurnTable(streams, top);
+                std::printf("\n");
+                printDwellHistograms(streams);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("%zu cell(s)%s\n", matched,
+                cell_filter.empty()
+                    ? ""
+                    : (" matching '" + cell_filter + "'").c_str());
+    return 0;
+}

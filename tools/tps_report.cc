@@ -3,7 +3,8 @@
  * Render tps-stats-v1 and tps-timeseries-v1 JSON dumps into one
  * self-contained HTML report: run-manifest provenance header,
  * per-cell inline-SVG interval charts (miss rate / superpage
- * coverage, promotion-demotion-shootdown events, working-set bytes),
+ * coverage, promotion-demotion-shootdown events, working-set bytes,
+ * TLB reach and reach utilization when the lifecycle ledger ran),
  * sampled miss-event tables and whole-run aggregate tables.  No
  * external assets — the file opens anywhere, forever.
  *
@@ -344,6 +345,51 @@ writeTimeSeriesCell(std::ostream &os, const std::string &key,
         if (!ws.points.empty())
             os << lineChart("Working-set bytes at interval end",
                             {ws}, 0.0, interval, "refs");
+    }
+
+    // Chart 3.5: TLB reach telemetry (columns exist only when the
+    // lifecycle ledger ran — `--events-out` or RunOptions::lifecycle —
+    // so absence = skip).
+    {
+        ChartSeries reach{"effective reach", 1,
+                          column(cell, "values", "value_names",
+                                 "reach_bytes")};
+        if (!reach.points.empty())
+            os << lineChart("Effective TLB reach bytes at interval "
+                            "end",
+                            {reach}, 0.0, interval, "refs");
+        ChartSeries util{"reach utilization", 2,
+                         column(cell, "values", "value_names",
+                                "reach_utilization")};
+        if (!util.points.empty()) {
+            os << lineChart("Reach utilization (touched / covered "
+                            "subpages of open superpages)",
+                            {util}, 0.0, interval, "refs");
+            // Churn table: how much of the promotion traffic was
+            // back-and-forth on the same chunks (whole-run sums of
+            // the interval counters).
+            auto sum = [&](const char *name) {
+                double total = 0.0;
+                for (const double v :
+                     column(cell, "counters", "counter_names", name))
+                    total += v;
+                return total;
+            };
+            const double promos = sum("promotions");
+            const double demos = sum("demotions");
+            os << "<details><summary>promotion churn</summary>"
+               << "<table class=\"stats\">\n"
+               << "<tr><th>promotions</th><td>"
+               << htmlEscape(formatNumber(promos)) << "</td></tr>\n"
+               << "<tr><th>demotions</th><td>"
+               << htmlEscape(formatNumber(demos)) << "</td></tr>\n"
+               << "<tr><th>churn (min of the two)</th><td>"
+               << htmlEscape(formatNumber(std::min(promos, demos)))
+               << "</td></tr>\n"
+               << "<tr><th>shootdowns</th><td>"
+               << htmlEscape(formatNumber(sum("tlb_invalidation")))
+               << "</td></tr>\n</table></details>\n";
+        }
     }
 
     // Chart 4: physical-memory fragmentation, when the phys model ran

@@ -11,10 +11,10 @@
  * For tps-stats-v1 dumps, compares the "stats" section numerically
  * (|a-b| <= tol * max(|a|, |b|); the default tolerance 0 demands
  * exact equality) and the "text" and "histograms" sections exactly.
- * For tps-timeseries-v1 dumps, recursively compares every top-level
- * key.  Both schemas ignore the manifest — hostname, timestamp and
- * command line legitimately differ between runs of the same
- * configuration.
+ * For tps-timeseries-v1 and tps-events-v1 dumps, recursively compares
+ * every top-level key.  All schemas ignore the manifest — hostname,
+ * timestamp and command line legitimately differ between runs of the
+ * same configuration.
  *
  * --prefix P restricts the comparison to keys whose dotted path (with
  * or without the leading section name) starts with P; --max-print N
@@ -329,7 +329,8 @@ main(int argc, char **argv)
     }
 
     std::size_t compared = 0;
-    if (schema_a->text == "tps-timeseries-v1") {
+    if (schema_a->text == "tps-timeseries-v1" ||
+        schema_a->text == "tps-events-v1") {
         // Whole-document structural diff, manifest excepted.
         std::set<std::string> names;
         for (const auto &[name, value] : a.object)

@@ -14,7 +14,11 @@
  *   tps_top DIR|FILE --once       render one frame and exit
  *   --interval-ms N               poll period (default 500)
  *   --wait-ms N                   wait up to N ms for the file to
- *                                 appear / first parse (default 0)
+ *                                 appear / first parse (default 0
+ *                                 under --once; watch mode without an
+ *                                 explicit --wait-ms waits
+ *                                 indefinitely, so the viewer can be
+ *                                 launched before the campaign)
  *
  * Exit codes: 0 rendered at least one frame, 2 usage or no heartbeat
  * within the wait budget.
@@ -117,6 +121,7 @@ main(int argc, char **argv)
 {
     std::string path;
     bool once = false;
+    bool wait_set = false;
     std::uint64_t interval_ms = 500;
     std::uint64_t wait_ms = 0;
     for (int i = 1; i < argc; ++i) {
@@ -127,6 +132,7 @@ main(int argc, char **argv)
             interval_ms = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--wait-ms" && i + 1 < argc) {
             wait_ms = std::strtoull(argv[++i], nullptr, 10);
+            wait_set = true;
         } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
             path = arg;
         } else {
@@ -151,11 +157,22 @@ main(int argc, char **argv)
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(wait_ms);
     Heartbeat hb;
+    bool said_waiting = false;
     while (!readHeartbeat(path, hb)) {
-        if (std::chrono::steady_clock::now() >= deadline) {
+        // --once (and an explicit --wait-ms) bound the wait; plain
+        // watch mode polls until the campaign shows up, so the viewer
+        // can be started first.
+        if ((once || wait_set) &&
+            std::chrono::steady_clock::now() >= deadline) {
             std::fprintf(stderr, "error: no readable heartbeat at %s\n",
                          path.c_str());
             return 2;
+        }
+        if (!once && !said_waiting) {
+            std::printf("tps campaign — waiting for heartbeat at %s\n",
+                        path.c_str());
+            std::fflush(stdout);
+            said_waiting = true;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         path = resolve(arg_path);
