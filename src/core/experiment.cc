@@ -4,6 +4,8 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "core/experiment_detail.h"
+#include "core/experiment_session.h"
 #include "obs/trace_profiler.h"
 #include "util/logging.h"
 #include "vm/multi_size_policy.h"
@@ -123,292 +125,6 @@ operator==(const PolicySpec &a, const PolicySpec &b)
     tps_panic("unreachable policy kind");
 }
 
-namespace
-{
-
-/**
- * Fans invalidation events out to the TLB and, optionally, mirrors
- * chunk remaps into the modeled page tables.  When the miss-event
- * sampler is on it also remembers shot-down pages so a later re-miss
- * on one can be attributed to the shootdown rather than to capacity.
- */
-class SinkTee : public InvalidationSink
-{
-  public:
-    SinkTee(Tlb &tlb, AddressSpace *address_space,
-            phys::MemoryModel *phys_model,
-            std::unordered_set<PageId, PageIdHash> *shot_down = nullptr)
-        : tlb_(tlb), address_space_(address_space),
-          phys_model_(phys_model), shot_down_(shot_down)
-    {
-    }
-
-    /** Emit each shootdown into @p events ("shootdown" stream handle
-     *  @p stream), timestamped from the driver-owned clock @p now. */
-    void
-    setEventSink(obs::EventLogRecorder *events, std::size_t stream,
-                 const RefTime *now)
-    {
-        events_ = events;
-        shootdown_stream_ = stream;
-        event_now_ = now;
-    }
-
-    void
-    invalidatePage(const PageId &page) override
-    {
-        tlb_.invalidatePage(page);
-        if (shot_down_ != nullptr)
-            shot_down_->insert(page);
-        if (events_ != nullptr)
-            events_->emit(shootdown_stream_, *event_now_, page.vpn,
-                          page.sizeLog2);
-    }
-
-    void
-    onChunkRemap(Addr chunk_number, bool to_large) override
-    {
-        // Physical backing first: a subsequent page-table remap asks
-        // the model for the superpage's pfn.
-        if (phys_model_ != nullptr) {
-            if (to_large)
-                phys_model_->promoteChunk(chunk_number);
-            else
-                phys_model_->demoteChunk(chunk_number);
-        }
-        if (address_space_ != nullptr)
-            address_space_->remapChunk(chunk_number, to_large);
-    }
-
-  private:
-    Tlb &tlb_;
-    AddressSpace *address_space_;
-    phys::MemoryModel *phys_model_;
-    std::unordered_set<PageId, PageIdHash> *shot_down_;
-    obs::EventLogRecorder *events_ = nullptr;
-    std::size_t shootdown_stream_ = 0;
-    const RefTime *event_now_ = nullptr;
-};
-
-/**
- * Construct the modeled address space whose page-table layout matches
- * @p policy (shared by the per-ref and batched engines).
- */
-void
-emplaceAddressSpace(std::optional<AddressSpace> &slot,
-                    const PageSizePolicy &policy)
-{
-    // Small/large exponents: take them from the policy when it is
-    // multi-size; a single-size policy walks only the "small"
-    // table, so pair it with an unused larger size.
-    if (const auto *policy2 =
-            dynamic_cast<const TwoSizePolicy *>(&policy)) {
-        slot.emplace(policy2->config().smallLog2,
-                     policy2->config().largeLog2);
-    } else if (const auto *policy1 =
-                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
-        slot.emplace(policy1->sizeLog2(), policy1->sizeLog2() + 3);
-    } else {
-        tps_fatal("page-table modeling supports single- and "
-                  "two-size policies only (got ", policy.name(), ")");
-    }
-}
-
-/**
- * Physical memory model: frame/superpage exponents follow the policy
- * in play (a single-size policy still gets a superpage ladder above it
- * so fragmentation is measured against something).
- */
-phys::PhysConfig
-resolvePhysConfig(const phys::PhysConfig &base,
-                  const PageSizePolicy &policy)
-{
-    phys::PhysConfig phys_config = base;
-    if (const auto *policy2 =
-            dynamic_cast<const TwoSizePolicy *>(&policy)) {
-        phys_config.frameLog2 = policy2->config().smallLog2;
-        phys_config.superLog2 = policy2->config().largeLog2;
-    } else if (const auto *policyn =
-                   dynamic_cast<const MultiSizePolicy *>(&policy)) {
-        phys_config.frameLog2 = policyn->config().sizeLog2s.at(0);
-        phys_config.superLog2 = policyn->config().sizeLog2s.at(1);
-    } else if (const auto *policy1 =
-                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
-        phys_config.frameLog2 = policy1->sizeLog2();
-        phys_config.superLog2 = policy1->sizeLog2() + 3;
-    }
-    return phys_config;
-}
-
-/**
- * The per-run interval-telemetry config: an explicitly enabled
- * options.timeseries wins, else a process-global sink
- * (--timeseries-out) acts as the default so every bench records
- * telemetry without plumbing it through its own RunOptions.
- */
-obs::TimeSeriesConfig
-resolveTsConfig(const RunOptions &options)
-{
-    obs::TimeSeriesConfig ts_config = options.timeseries;
-    if (!ts_config.enabled()) {
-        if (const obs::TimeSeriesSink *sink =
-                obs::TimeSeriesSink::global())
-            ts_config = sink->config();
-    }
-    return ts_config;
-}
-
-/**
- * The per-run event-log config: same fallback shape as
- * resolveTsConfig — an explicitly enabled options.events wins, else a
- * process-global sink (--events-out) acts as the default.
- */
-obs::EventLogConfig
-resolveEventsConfig(const RunOptions &options)
-{
-    obs::EventLogConfig events_config = options.events;
-    if (!events_config.enabled()) {
-        if (const obs::EventLogSink *sink = obs::EventLogSink::global())
-            events_config = sink->config();
-    }
-    return events_config;
-}
-
-/**
- * Lifecycle-ledger granularity follows the policy in play, exactly
- * like resolvePhysConfig: the tracked transition is small -> large
- * (the first transition of a multi-size ladder); a single-size policy
- * gets a ladder above it so the ledger exists but stays empty.
- */
-LifecycleConfig
-resolveLifecycleConfig(const PageSizePolicy &policy)
-{
-    LifecycleConfig config;
-    if (const auto *policy2 =
-            dynamic_cast<const TwoSizePolicy *>(&policy)) {
-        config.smallLog2 = policy2->config().smallLog2;
-        config.largeLog2 = policy2->config().largeLog2;
-    } else if (const auto *policyn =
-                   dynamic_cast<const MultiSizePolicy *>(&policy)) {
-        config.smallLog2 = policyn->config().sizeLog2s.at(0);
-        config.largeLog2 = policyn->config().sizeLog2s.at(1);
-    } else if (const auto *policy1 =
-                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
-        config.smallLog2 = policy1->sizeLog2();
-        config.largeLog2 = policy1->sizeLog2() + 3;
-    }
-    return config;
-}
-
-/** Event-stream field layouts, shared by both engines. */
-constexpr const char *kPromoteStream = "promote";
-constexpr const char *kDemoteStream = "demote";
-constexpr const char *kShootdownStream = "shootdown";
-
-std::size_t
-registerPromoteStream(obs::EventLogRecorder &events)
-{
-    return events.stream(kPromoteStream,
-                         {"chunk", "from_log2", "to_log2"});
-}
-
-std::size_t
-registerDemoteStream(obs::EventLogRecorder &events)
-{
-    return events.stream(kDemoteStream,
-                         {"chunk", "from_log2", "to_log2"});
-}
-
-std::size_t
-registerShootdownStream(obs::EventLogRecorder &events)
-{
-    return events.stream(kShootdownStream, {"vpn", "size_log2"});
-}
-
-/**
- * Per-ref-engine lifecycle sink: forwards the policy's promote/demote
- * callbacks to the ledger and the event log, timestamped from the
- * driver's measured-reference counter (0 during warmup — matching the
- * batched engine, whose warmup chunks replay events at t = 0).
- */
-class LifecycleTee : public LifecycleSink
-{
-  public:
-    LifecycleTee(const std::uint64_t *measured, LifecycleLedger *ledger,
-                 obs::EventLogRecorder *events,
-                 std::size_t promote_stream, std::size_t demote_stream)
-        : measured_(measured), ledger_(ledger), events_(events),
-          promote_stream_(promote_stream), demote_stream_(demote_stream)
-    {
-    }
-
-    void
-    onPromote(Addr chunk_number, unsigned from_log2,
-              unsigned to_log2) override
-    {
-        if (ledger_ != nullptr)
-            ledger_->onPromote(*measured_, chunk_number, from_log2,
-                               to_log2);
-        if (events_ != nullptr)
-            events_->emit(promote_stream_, *measured_, chunk_number,
-                          from_log2, to_log2);
-    }
-
-    void
-    onDemote(Addr chunk_number, unsigned from_log2,
-             unsigned to_log2) override
-    {
-        if (ledger_ != nullptr)
-            ledger_->onDemote(*measured_, chunk_number, from_log2,
-                              to_log2);
-        if (events_ != nullptr)
-            events_->emit(demote_stream_, *measured_, chunk_number,
-                          from_log2, to_log2);
-    }
-
-  private:
-    const std::uint64_t *measured_;
-    LifecycleLedger *ledger_;
-    obs::EventLogRecorder *events_;
-    std::size_t promote_stream_;
-    std::size_t demote_stream_;
-};
-
-/**
- * Interval-telemetry column names for one cell: the base layout plus
- * the columns of the optional features in play (the lists grow only
- * with the features, so output without them is unchanged byte for
- * byte).
- */
-void
-emplaceTsRecorder(std::optional<obs::TimeSeriesRecorder> &slot,
-                  const obs::TimeSeriesConfig &ts_config, bool has_wset,
-                  bool has_lifecycle, bool has_phys)
-{
-    std::vector<std::string> counter_names = detail::kTsCounterNames;
-    std::vector<std::string> value_names = detail::kTsValueNames;
-    if (has_wset)
-        value_names.push_back("ws_bytes");
-    if (has_lifecycle) {
-        // TLB reach (valid-entry coverage) and ledger reach
-        // utilization, sampled at each interval close.
-        value_names.push_back("reach_bytes");
-        value_names.push_back("reach_utilization");
-    }
-    if (has_phys) {
-        counter_names.insert(counter_names.end(),
-                             detail::kTsPhysCounterNames.begin(),
-                             detail::kTsPhysCounterNames.end());
-        value_names.insert(value_names.end(),
-                           detail::kTsPhysValueNames.begin(),
-                           detail::kTsPhysValueNames.end());
-    }
-    slot.emplace(ts_config, std::move(counter_names),
-                 std::move(value_names));
-}
-
-} // namespace
-
 namespace detail
 {
 
@@ -449,14 +165,18 @@ const std::vector<std::string> kTsPhysValueNames = {
 
 namespace
 {
-using detail::kTsCounterNames;
-using detail::kTsPhysCounterNames;
-using detail::kTsPhysValueNames;
-using detail::kTsValueNames;
-} // namespace
 
-namespace
-{
+using detail::emplaceAddressSpace;
+using detail::emplaceTsRecorder;
+using detail::LifecycleTee;
+using detail::registerDemoteStream;
+using detail::registerPromoteStream;
+using detail::registerShootdownStream;
+using detail::resolveEventsConfig;
+using detail::resolveLifecycleConfig;
+using detail::resolvePhysConfig;
+using detail::resolveTsConfig;
+using detail::SinkTee;
 
 /**
  * The reference-at-a-time engine (ExecMode::PerRef): the oracle the
@@ -784,639 +504,20 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
 }
 
 /**
- * One deferred policy-side effect, recorded during a chunk's
- * classification phase at the index of the reference whose classify()
- * emitted it.  Replaying the events at exactly that index restores the
- * per-ref interleaving: everything classify(i) did reaches each cell
- * after the miss work of reference i-1 and before the probe of
- * reference i.
- */
-struct PolicyEvent
-{
-    enum class Kind : std::uint8_t
-    {
-        Invalidate, ///< InvalidationSink::invalidatePage
-        Remap,      ///< InvalidationSink::onChunkRemap
-    };
-
-    std::uint32_t index = 0; ///< chunk-local reference index
-    Kind kind = Kind::Invalidate;
-    PageId page;           ///< Invalidate payload
-    Addr chunkNumber = 0;  ///< Remap payload
-    bool toLarge = false;  ///< Remap payload
-};
-
-/**
- * One promote/demote transition recorded during classification, at the
- * chunk-local index of the reference whose classify() fired it.  The
- * engine folds these into the (pass-shared) lifecycle ledger and each
- * cell's event log at t = base_measured + index + 1, the measured
- * index the per-ref engine stamps at the same point.
- */
-struct LifeEvent
-{
-    std::uint32_t index = 0; ///< chunk-local reference index
-    bool promote = false;
-    Addr chunk = 0;
-    std::uint8_t fromLog2 = 0;
-    std::uint8_t toLog2 = 0;
-};
-
-/** Policy sink of the classification phase: record, don't apply. */
-class EventRecorder : public InvalidationSink, public LifecycleSink
-{
-  public:
-    std::vector<PolicyEvent> events;
-    std::vector<LifeEvent> lifeEvents;
-    std::uint32_t index = 0; ///< set by the classify loop per ref
-
-    void
-    invalidatePage(const PageId &page) override
-    {
-        PolicyEvent event;
-        event.index = index;
-        event.kind = PolicyEvent::Kind::Invalidate;
-        event.page = page;
-        events.push_back(event);
-    }
-
-    void
-    onChunkRemap(Addr chunk_number, bool to_large) override
-    {
-        PolicyEvent event;
-        event.index = index;
-        event.kind = PolicyEvent::Kind::Remap;
-        event.chunkNumber = chunk_number;
-        event.toLarge = to_large;
-        events.push_back(event);
-    }
-
-    void
-    onPromote(Addr chunk_number, unsigned from_log2,
-              unsigned to_log2) override
-    {
-        lifeEvents.push_back(
-            LifeEvent{index, true, chunk_number,
-                      static_cast<std::uint8_t>(from_log2),
-                      static_cast<std::uint8_t>(to_log2)});
-    }
-
-    void
-    onDemote(Addr chunk_number, unsigned from_log2,
-             unsigned to_log2) override
-    {
-        lifeEvents.push_back(
-            LifeEvent{index, false, chunk_number,
-                      static_cast<std::uint8_t>(from_log2),
-                      static_cast<std::uint8_t>(to_log2)});
-    }
-};
-
-/** One TLB configuration sharing the batched pass. */
-struct BatchCellSetup
-{
-    Tlb *tlb = nullptr;
-    ProbeStrategy probe = ProbeStrategy::Parallel;
-};
-
-/**
- * The chunked engine (ExecMode::Batched), generalized to N cells: one
- * classification pass feeds any number of TLB configurations, each
- * with its own downstream models (DESIGN.md §11).
- *
- * Bit-identity with runPerRef() rests on three invariants:
- *  - policy state depends only on (vaddr, now), never on a TLB, so
- *    classifying a chunk ahead of the probes (and sharing the result
- *    across cells) yields the identical page stream;
- *  - policy side effects are replayed into each cell at the recorded
- *    reference index, and probes between two event indices carry no
- *    ordering hazard (lookups never touch the page-table or physical
- *    models, and miss work never touches the TLB);
- *  - chunks split at every point where per-ref code reads or resets
- *    mid-stream state (warmup boundary, interval closes, maxRefs), so
- *    each observable is read at the same reference index.
+ * The run-to-completion wrapper over the resumable engine: construct
+ * a session, step it dry, collect the results.  Bit-identity with the
+ * old in-line loop is structural — the session runs the identical
+ * code, one chunk per step().
  */
 std::vector<ExperimentResult>
 runBatchedCells(TraceSource &trace, PageSizePolicy &policy,
-                const std::vector<BatchCellSetup> &setups,
+                std::vector<SessionCell> cells,
                 const RunOptions &options)
 {
-    trace.reset();
-    policy.reset();
-
-    if (options.chunkRefs == 0)
-        tps_fatal("chunkRefs must be positive");
-    if (options.warmupRefs != 0 && options.maxRefs != 0 &&
-        options.warmupRefs >= options.maxRefs) {
-        tps_fatal("warmupRefs (", options.warmupRefs,
-                  ") must be below maxRefs (", options.maxRefs, ")");
+    ExperimentSession session(trace, policy, std::move(cells), options);
+    while (session.step()) {
     }
-
-    const bool two_sizes = policy.isMultiSize();
-    const obs::TimeSeriesConfig ts_config = resolveTsConfig(options);
-    const std::uint64_t interval_refs = ts_config.intervalRefs;
-    const obs::EventLogConfig events_config =
-        resolveEventsConfig(options);
-    const bool lifecycle_on =
-        options.lifecycle || events_config.enabled();
-
-    // The event clock for shootdown/resv_break emission: replayChunk
-    // keeps it at the measured index of the reference being replayed
-    // (0 during warmup), mirroring the per-ref engine's measured_refs.
-    // Declared before the cells so their sinks can hold its address.
-    RefTime event_now = 0;
-
-    struct Cell
-    {
-        Cell(Tlb &tlb_ref, ProbeStrategy probe_kind)
-            : tlb(tlb_ref), probe(probe_kind)
-        {
-        }
-
-        Tlb &tlb;
-        ProbeStrategy probe;
-        std::optional<WindowedWorkingSet> wset;
-        std::optional<AddressSpace> addressSpace;
-        std::optional<phys::MemoryModel> physModel;
-        std::optional<obs::TimeSeriesRecorder> ts;
-        bool sampleMisses = false;
-        /** Anything to do per reference beyond the TLB probe? */
-        bool missWork = false;
-        std::unordered_set<PageId, PageIdHash> seenPages;
-        std::unordered_set<PageId, PageIdHash> shotDown;
-        std::optional<SinkTee> sink;
-        TlbStats tsPrevTlb;
-        phys::PhysCounters tsPrevPhys;
-        std::optional<obs::EventLogRecorder> events;
-        std::size_t evPromote = 0;
-        std::size_t evDemote = 0;
-    };
-
-    std::vector<std::unique_ptr<Cell>> cells;
-    cells.reserve(setups.size());
-    for (const BatchCellSetup &setup : setups) {
-        auto cell = std::make_unique<Cell>(*setup.tlb, setup.probe);
-        cell->tlb.reset();
-        if (options.wsWindow != 0)
-            cell->wset.emplace(options.wsWindow);
-        if (options.modelPageTables)
-            emplaceAddressSpace(cell->addressSpace, policy);
-        if (options.phys.enabled()) {
-            cell->physModel.emplace(
-                resolvePhysConfig(options.phys, policy));
-            if (cell->addressSpace)
-                cell->addressSpace->setAllocator(&*cell->physModel);
-        }
-        if (ts_config.enabled()) {
-            emplaceTsRecorder(cell->ts, ts_config,
-                              cell->wset.has_value(), lifecycle_on,
-                              cell->physModel.has_value());
-            cell->sampleMisses = cell->ts->samplingMisses();
-        }
-        cell->sink.emplace(
-            cell->tlb,
-            cell->addressSpace ? &*cell->addressSpace : nullptr,
-            cell->physModel ? &*cell->physModel : nullptr,
-            cell->sampleMisses ? &cell->shotDown : nullptr);
-        if (events_config.enabled()) {
-            cell->events.emplace(events_config);
-            cell->evPromote = registerPromoteStream(*cell->events);
-            cell->evDemote = registerDemoteStream(*cell->events);
-            cell->sink->setEventSink(
-                &*cell->events, registerShootdownStream(*cell->events),
-                &event_now);
-            cell->tlb.setEventSink(&*cell->events, "");
-            if (cell->physModel)
-                cell->physModel->setEventSink(&*cell->events,
-                                              &event_now);
-        }
-        cell->missWork = cell->wset || cell->addressSpace ||
-                         cell->physModel || cell->sampleMisses;
-        cells.push_back(std::move(cell));
-    }
-
-    // The lifecycle ledger folds the *policy's* promote/demote stream,
-    // which every cell of the pass shares — one ledger per pass, fed
-    // during the classification phase, never per cell.
-    std::optional<LifecycleLedger> ledger;
-    if (lifecycle_on)
-        ledger.emplace(resolveLifecycleConfig(policy));
-
-    // The classification phase records side effects instead of
-    // applying them; each cell replays them through its own tee.
-    EventRecorder recorder;
-    policy.setInvalidationSink(&recorder);
-    if (lifecycle_on)
-        policy.setLifecycleSink(&recorder);
-    auto *policy1 = dynamic_cast<SingleSizePolicy *>(&policy);
-    auto *policy2 = dynamic_cast<TwoSizePolicy *>(&policy);
-
-    obs::TraceProfiler *profiler = obs::TraceProfiler::global();
-    std::vector<MemRef> refs(options.chunkRefs);
-    std::vector<Tlb::BatchRef> brefs(options.chunkRefs);
-    Tlb::BatchResult probe_result;
-
-    RefTime now = 0;
-    std::uint64_t instructions = 0;
-    std::uint64_t measured_refs = 0;
-
-    // Harness self-telemetry: counted unconditionally (two integer
-    // increments per *chunk*), exported only under options.harnessStats.
-    const auto harness_start = std::chrono::steady_clock::now();
-    std::uint64_t harness_chunks = 0;
-    std::uint64_t harness_splits = 0;
-
-    // Interval bookkeeping shared by all cells: closes fall at the
-    // same measured-reference positions everywhere, and the policy and
-    // instruction streams are cell-independent.
-    PolicyStats ts_prev_policy;
-    std::uint64_t ts_prev_instructions = 0;
-    std::uint64_t ts_last_close = 0;
-    auto closeCell = [&](Cell &cell) {
-        const TlbStats tlb_d = cell.tlb.stats().deltaSince(cell.tsPrevTlb);
-        const PolicyStats pol_d =
-            policy.stats().deltaSince(ts_prev_policy);
-        const std::uint64_t refs_d = measured_refs - ts_last_close;
-        const std::uint64_t instr_d = instructions - ts_prev_instructions;
-        std::vector<std::uint64_t> counters = {
-            refs_d,          instr_d,          tlb_d.accesses,
-            tlb_d.hits,      tlb_d.misses,     tlb_d.hitsSmall,
-            tlb_d.hitsLarge, tlb_d.missesSmall, tlb_d.missesLarge,
-            tlb_d.fills,     tlb_d.evictions,  tlb_d.invalidations,
-            pol_d.refsSmall, pol_d.refsLarge,  pol_d.promotions,
-            pol_d.demotions};
-        std::vector<double> values = {
-            tlb_d.missRatio(),
-            instr_d == 0 ? 0.0
-                         : static_cast<double>(tlb_d.misses) /
-                               static_cast<double>(instr_d),
-            pol_d.largeFraction()};
-        if (cell.wset)
-            values.push_back(
-                static_cast<double>(cell.wset->currentBytes()));
-        if (ledger) {
-            values.push_back(static_cast<double>(
-                cell.tlb.reachSnapshot().reachBytes));
-            values.push_back(ledger->reachUtilization());
-        }
-        if (cell.physModel) {
-            const phys::PhysCounters phys_d =
-                cell.physModel->counters().deltaSince(cell.tsPrevPhys);
-            counters.insert(counters.end(),
-                            {phys_d.framesAllocated,
-                             phys_d.superpageFailures,
-                             phys_d.promotionsInPlace,
-                             phys_d.promotionsCopied,
-                             phys_d.pagesCopied});
-            const phys::FragSnapshot snap = cell.physModel->snapshot();
-            values.push_back(snap.fragIndex);
-            values.push_back(static_cast<double>(snap.freeBytes));
-            cell.tsPrevPhys = cell.physModel->counters();
-        }
-        cell.ts->endInterval(ts_last_close, refs_d, std::move(counters),
-                             std::move(values));
-        cell.tsPrevTlb = cell.tlb.stats();
-    };
-    auto closeAll = [&] {
-        for (auto &cell : cells)
-            if (cell->ts)
-                closeCell(*cell);
-        ts_prev_policy = policy.stats();
-        ts_prev_instructions = instructions;
-        ts_last_close = measured_refs;
-    };
-
-    // Replay one chunk into one cell: apply the recorded policy events
-    // at their reference index, probe every event-free segment in one
-    // batched call, then run the per-reference miss work (which never
-    // touches the TLB, so running it after the segment's probes
-    // preserves per-ref semantics).
-    auto replayChunk = [&](Cell &cell, std::size_t got,
-                           std::uint64_t base_measured,
-                           bool measuring) {
-        // Cell-side promote/demote events: streams are serialized
-        // independently, so appending them chunk-at-a-time preserves
-        // byte-identity with the per-ref engine (within-stream order
-        // and timestamps match; cross-stream interleaving is not part
-        // of the format).
-        if (cell.events) {
-            for (const LifeEvent &life : recorder.lifeEvents) {
-                cell.events->emit(
-                    life.promote ? cell.evPromote : cell.evDemote,
-                    measuring ? base_measured + life.index + 1 : 0,
-                    life.chunk, life.fromLog2, life.toLog2);
-            }
-        }
-        std::size_t ev = 0;
-        std::size_t seg = 0;
-        while (seg < got) {
-            if (cell.events)
-                event_now = measuring ? base_measured + seg + 1 : 0;
-            while (ev < recorder.events.size() &&
-                   recorder.events[ev].index == seg) {
-                const PolicyEvent &event = recorder.events[ev];
-                if (event.kind == PolicyEvent::Kind::Invalidate)
-                    cell.sink->invalidatePage(event.page);
-                else
-                    cell.sink->onChunkRemap(event.chunkNumber,
-                                            event.toLarge);
-                ++ev;
-            }
-            const std::size_t seg_end =
-                ev < recorder.events.size()
-                    ? recorder.events[ev].index
-                    : got;
-            cell.tlb.lookupBatch(brefs.data() + seg, seg_end - seg,
-                                 probe_result);
-            if (cell.missWork) {
-                for (std::size_t i = seg; i < seg_end; ++i) {
-                    const bool hit = probe_result.hit[i - seg] != 0;
-                    const PageId &page = brefs[i].page;
-                    if (!hit && cell.physModel) {
-                        // Every first access to a page identity is a
-                        // cold TLB miss, so backing work is observed
-                        // here without taxing the hit path.
-                        if (cell.events)
-                            event_now =
-                                measuring ? base_measured + i + 1 : 0;
-                        cell.physModel->touch(page.vpn, page.sizeLog2);
-                    }
-                    if (!hit && cell.addressSpace) {
-                        if (two_sizes)
-                            cell.addressSpace->handleMiss(
-                                page, ProbeOrder::SmallFirst);
-                        else
-                            cell.addressSpace->handleMissSingleSize(
-                                page);
-                    }
-                    if (cell.wset)
-                        cell.wset->observe(page);
-                    if (cell.sampleMisses && !hit) {
-                        // Same seen-at-miss bookkeeping as the
-                        // per-ref engine (see runPerRef for why
-                        // membership at miss time matches a
-                        // per-access set).
-                        const bool first =
-                            cell.seenPages.insert(page).second;
-                        if (measuring) {
-                            obs::MissCause cause;
-                            if (cell.shotDown.erase(page) != 0)
-                                cause = obs::MissCause::Shootdown;
-                            else if (first)
-                                cause = obs::MissCause::Cold;
-                            else
-                                cause = obs::MissCause::Capacity;
-                            cell.ts->offerMiss(base_measured + i + 1,
-                                               page.vpn, page.sizeLog2,
-                                               cause);
-                        } else {
-                            cell.shotDown.erase(page);
-                        }
-                    }
-                }
-            }
-            seg = seg_end;
-        }
-    };
-
-    for (;;) {
-        std::size_t want = options.chunkRefs;
-        if (options.maxRefs != 0) {
-            const std::uint64_t remaining = options.maxRefs - now;
-            if (remaining == 0)
-                break;
-            want = static_cast<std::size_t>(
-                std::min<std::uint64_t>(want, remaining));
-        }
-        // Never cross the warmup boundary: stats reset there.
-        if (options.warmupRefs != 0 && now < options.warmupRefs)
-            want = static_cast<std::size_t>(std::min<std::uint64_t>(
-                want, options.warmupRefs - now));
-        const bool measuring = now >= options.warmupRefs;
-        // Never cross an interval close: counters are read there.
-        if (interval_refs != 0 && measuring)
-            want = static_cast<std::size_t>(std::min<std::uint64_t>(
-                want,
-                ts_last_close + interval_refs - measured_refs));
-        const std::size_t got = trace.fill(refs.data(), want);
-        if (got == 0)
-            break;
-        ++harness_chunks;
-        if (want < options.chunkRefs)
-            ++harness_splits; // truncated at warmup/interval/maxRefs
-        obs::ScopedSpan chunk_span(profiler, "chunk", "replay");
-        if (options.warmupRefs != 0 && now == options.warmupRefs) {
-            // Warmup ends: zero the counters, keep the state.
-            for (auto &cell : cells) {
-                cell->tlb.resetStats();
-                if (cell->physModel)
-                    cell->physModel->resetCounters();
-            }
-            policy.resetStats();
-            if (ledger)
-                ledger->resetStats(measured_refs);
-            instructions = 0;
-        }
-
-        // Phase 1: classify the chunk once, recording side effects.
-        // The loop is specialized per concrete policy so classify
-        // inlines (the virtual call per reference was a measurable
-        // share of the replay cost).
-        const RefTime base_now = now;
-        recorder.events.clear();
-        recorder.lifeEvents.clear();
-        std::uint64_t chunk_instr = 0;
-        if (policy1 != nullptr) {
-            // A single-size policy never emits events.
-            for (std::size_t i = 0; i < got; ++i) {
-                const MemRef &ref = refs[i];
-                if (ref.type == RefType::Ifetch)
-                    ++chunk_instr;
-                brefs[i].page = policy1->SingleSizePolicy::classify(
-                    ref.vaddr, base_now + i + 1);
-                brefs[i].vaddr = ref.vaddr;
-            }
-        } else if (policy2 != nullptr) {
-            for (std::size_t i = 0; i < got; ++i) {
-                const MemRef &ref = refs[i];
-                if (ref.type == RefType::Ifetch)
-                    ++chunk_instr;
-                recorder.index = static_cast<std::uint32_t>(i);
-                brefs[i].page =
-                    policy2->classifyFast(ref.vaddr, base_now + i + 1);
-                brefs[i].vaddr = ref.vaddr;
-            }
-        } else {
-            for (std::size_t i = 0; i < got; ++i) {
-                const MemRef &ref = refs[i];
-                if (ref.type == RefType::Ifetch)
-                    ++chunk_instr;
-                recorder.index = static_cast<std::uint32_t>(i);
-                brefs[i].page =
-                    policy.classify(ref.vaddr, base_now + i + 1);
-                brefs[i].vaddr = ref.vaddr;
-            }
-        }
-        instructions += chunk_instr;
-
-        // Phase 1.5: fold the chunk's promote/demote and reference
-        // streams into the pass-shared ledger, in the per-ref
-        // interleaving (the events of classify(i) land before the
-        // touch of reference i, at its measured index).
-        if (ledger) {
-            std::size_t le = 0;
-            for (std::size_t i = 0; i < got; ++i) {
-                while (le < recorder.lifeEvents.size() &&
-                       recorder.lifeEvents[le].index == i) {
-                    const LifeEvent &life = recorder.lifeEvents[le];
-                    const RefTime t =
-                        measuring ? measured_refs + i + 1 : 0;
-                    if (life.promote)
-                        ledger->onPromote(t, life.chunk, life.fromLog2,
-                                          life.toLog2);
-                    else
-                        ledger->onDemote(t, life.chunk, life.fromLog2,
-                                         life.toLog2);
-                    ++le;
-                }
-                ledger->touch(refs[i].vaddr);
-            }
-        }
-
-        // Phase 2: replay the classified chunk into every cell.
-        for (auto &cell : cells)
-            replayChunk(*cell, got, measured_refs, measuring);
-
-        now += got;
-        if (measuring)
-            measured_refs += got;
-        if (interval_refs != 0 && measuring &&
-            measured_refs - ts_last_close == interval_refs)
-            closeAll();
-    }
-    policy.setInvalidationSink(nullptr);
-    if (lifecycle_on)
-        policy.setLifecycleSink(nullptr);
-    for (auto &cell : cells)
-        if (cell->events) // the TLBs outlive their recorders
-            cell->tlb.setEventSink(nullptr, "");
-
-    // Flush the final partial interval so per-interval sums equal the
-    // whole-run aggregates exactly.
-    if (interval_refs != 0 && measured_refs > ts_last_close)
-        closeAll();
-
-    // Close the pass-shared ledger once; every cell's result carries
-    // the same summary (lifecycle state is policy state).
-    std::uint64_t reach_open_bytes = 0;
-    double reach_utilization = 0.0;
-    LifecycleSummary lifecycle_summary;
-    if (ledger) {
-        reach_open_bytes = ledger->openReachBytes();
-        reach_utilization = ledger->reachUtilization();
-        lifecycle_summary = ledger->finish(measured_refs);
-    }
-
-    // One wall clock for the whole pass: cells execute interleaved, so
-    // per-cell attribution of shared-pass time would be fiction.
-    const double harness_wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      harness_start)
-            .count();
-
-    std::vector<ExperimentResult> results;
-    results.reserve(cells.size());
-    for (auto &cell_ptr : cells) {
-        Cell &cell = *cell_ptr;
-        ExperimentResult result;
-        result.workload = trace.name();
-        result.tlbName = cell.tlb.name();
-        result.policyName = policy.name();
-        if (cell.ts) {
-            auto series = std::make_shared<obs::TimeSeries>(
-                cell.ts->finish(result.workload, result.tlbName,
-                                result.policyName));
-            result.timeseries = series;
-            if (obs::TimeSeriesSink *global =
-                    obs::TimeSeriesSink::global())
-                global->add(*series);
-        }
-        result.refs = measured_refs;
-        result.instructions = instructions;
-        result.tlb = cell.tlb.stats();
-        result.policy = policy.stats();
-        result.cpiTlb =
-            options.cpi.cpiTlb(result.tlb, result.policy, instructions,
-                               two_sizes, cell.probe);
-        result.mpi = instructions == 0
-                         ? 0.0
-                         : static_cast<double>(result.tlb.misses) /
-                               static_cast<double>(instructions);
-        result.missRatio = result.tlb.missRatio();
-        result.rpi = instructions == 0
-                         ? 0.0
-                         : static_cast<double>(measured_refs) /
-                               static_cast<double>(instructions);
-        if (cell.wset) {
-            result.avgWsBytes = cell.wset->averageBytes();
-            result.wsTracked = true;
-        }
-        if (ledger) {
-            result.lifecycleTracked = true;
-            result.lifecycle = lifecycle_summary;
-            result.reachOpenBytes = reach_open_bytes;
-            result.reachUtilization = reach_utilization;
-            result.reach = cell.tlb.reachSnapshot();
-        }
-        if (cell.events) {
-            auto log = std::make_shared<obs::EventLog>(
-                cell.events->finish(result.workload, result.tlbName,
-                                    result.policyName));
-            result.events = log;
-            if (obs::EventLogSink *global =
-                    obs::EventLogSink::global())
-                global->add(*log);
-        }
-        if (cell.addressSpace) {
-            result.pageTablesModeled = true;
-            result.measuredMissCycles =
-                cell.addressSpace->averageMissCycles();
-            result.cpiTlbMeasured =
-                instructions == 0
-                    ? 0.0
-                    : static_cast<double>(result.tlb.misses) *
-                          result.measuredMissCycles /
-                          static_cast<double>(instructions);
-        }
-        if (cell.physModel) {
-            result.physModeled = true;
-            result.phys = cell.physModel->counters();
-            result.physFrag = cell.physModel->snapshot();
-            result.cpiPhys =
-                result.cpiTlb +
-                (instructions == 0
-                     ? 0.0
-                     : static_cast<double>(result.phys.pagesCopied) *
-                           cell.physModel->config().copyCyclesPerPage /
-                           static_cast<double>(instructions));
-        }
-        if (options.harnessStats) {
-            result.harnessMeasured = true;
-            result.harness.wallSeconds = harness_wall;
-            // Replayed refs include warmup — that's real wall time.
-            result.harness.refsPerSec =
-                harness_wall > 0.0
-                    ? static_cast<double>(now) / harness_wall
-                    : 0.0;
-            result.harness.chunks = harness_chunks;
-            result.harness.chunkSplits = harness_splits;
-            const ProbeCacheCounters pc = cell.tlb.probeCacheCounters();
-            result.harness.probeCacheLookups = pc.lookups;
-            result.harness.probeCacheHits = pc.hits;
-        }
-        results.push_back(std::move(result));
-    }
-    return results;
+    return session.finish();
 }
 
 } // namespace
@@ -1427,11 +528,11 @@ runExperiment(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
 {
     if (options.exec == ExecMode::PerRef)
         return runPerRef(trace, policy, tlb, options, probe);
-    std::vector<BatchCellSetup> one(1);
+    std::vector<SessionCell> one(1);
     one[0].tlb = &tlb;
     one[0].probe = probe;
     std::vector<ExperimentResult> results =
-        runBatchedCells(trace, policy, one, options);
+        runBatchedCells(trace, policy, std::move(one), options);
     return std::move(results.front());
 }
 
@@ -1454,14 +555,14 @@ runSharedPass(TraceSource &trace, const PolicySpec &policy_spec,
         return {};
     auto policy = policy_spec.instantiate();
     std::vector<std::unique_ptr<Tlb>> tlbs;
-    std::vector<BatchCellSetup> setups(tlb_configs.size());
+    std::vector<SessionCell> cells(tlb_configs.size());
     tlbs.reserve(tlb_configs.size());
     for (std::size_t i = 0; i < tlb_configs.size(); ++i) {
         tlbs.push_back(makeTlb(tlb_configs[i]));
-        setups[i].tlb = tlbs.back().get();
-        setups[i].probe = tlb_configs[i].probe;
+        cells[i].tlb = tlbs.back().get();
+        cells[i].probe = tlb_configs[i].probe;
     }
-    return runBatchedCells(trace, *policy, setups, options);
+    return runBatchedCells(trace, *policy, std::move(cells), options);
 }
 
 } // namespace tps::core

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Internal helpers shared by the experiment engines: the per-ref
+ * oracle (experiment.cc) and the resumable chunked session
+ * (experiment_session.cc).  Everything here is an implementation
+ * detail of core — tools and tests include experiment.h /
+ * experiment_session.h instead.
+ */
+
+#ifndef TPS_CORE_EXPERIMENT_DETAIL_H_
+#define TPS_CORE_EXPERIMENT_DETAIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/experiment.h"
+#include "obs/event_log.h"
+#include "obs/timeseries.h"
+#include "phys/memory_model.h"
+#include "util/logging.h"
+#include "vm/lifecycle_ledger.h"
+#include "vm/multi_size_policy.h"
+#include "vm/page_table.h"
+#include "vm/policy.h"
+#include "vm/two_size_policy.h"
+
+namespace tps::core::detail
+{
+
+/**
+ * Fans invalidation events out to the TLB and, optionally, mirrors
+ * chunk remaps into the modeled page tables.  When the miss-event
+ * sampler is on it also remembers shot-down pages so a later re-miss
+ * on one can be attributed to the shootdown rather than to capacity.
+ */
+class SinkTee : public InvalidationSink
+{
+  public:
+    SinkTee(Tlb &tlb, AddressSpace *address_space,
+            phys::MemoryModel *phys_model,
+            std::unordered_set<PageId, PageIdHash> *shot_down = nullptr)
+        : tlb_(tlb), address_space_(address_space),
+          phys_model_(phys_model), shot_down_(shot_down)
+    {
+    }
+
+    /** Emit each shootdown into @p events ("shootdown" stream handle
+     *  @p stream), timestamped from the driver-owned clock @p now. */
+    void
+    setEventSink(obs::EventLogRecorder *events, std::size_t stream,
+                 const RefTime *now)
+    {
+        events_ = events;
+        shootdown_stream_ = stream;
+        event_now_ = now;
+    }
+
+    void
+    invalidatePage(const PageId &page) override
+    {
+        tlb_.invalidatePage(page);
+        if (shot_down_ != nullptr)
+            shot_down_->insert(page);
+        if (events_ != nullptr)
+            events_->emit(shootdown_stream_, *event_now_, page.vpn,
+                          page.sizeLog2);
+    }
+
+    void
+    onChunkRemap(Addr chunk_number, bool to_large) override
+    {
+        // Physical backing first: a subsequent page-table remap asks
+        // the model for the superpage's pfn.
+        if (phys_model_ != nullptr) {
+            if (to_large)
+                phys_model_->promoteChunk(chunk_number);
+            else
+                phys_model_->demoteChunk(chunk_number);
+        }
+        if (address_space_ != nullptr)
+            address_space_->remapChunk(chunk_number, to_large);
+    }
+
+  private:
+    Tlb &tlb_;
+    AddressSpace *address_space_;
+    phys::MemoryModel *phys_model_;
+    std::unordered_set<PageId, PageIdHash> *shot_down_;
+    obs::EventLogRecorder *events_ = nullptr;
+    std::size_t shootdown_stream_ = 0;
+    const RefTime *event_now_ = nullptr;
+};
+
+/**
+ * Construct the modeled address space whose page-table layout matches
+ * @p policy (shared by the per-ref and batched engines).
+ */
+inline void
+emplaceAddressSpace(std::optional<AddressSpace> &slot,
+                    const PageSizePolicy &policy)
+{
+    // Small/large exponents: take them from the policy when it is
+    // multi-size; a single-size policy walks only the "small"
+    // table, so pair it with an unused larger size.
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(&policy)) {
+        slot.emplace(policy2->config().smallLog2,
+                     policy2->config().largeLog2);
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
+        slot.emplace(policy1->sizeLog2(), policy1->sizeLog2() + 3);
+    } else {
+        tps_fatal("page-table modeling supports single- and "
+                  "two-size policies only (got ", policy.name(), ")");
+    }
+}
+
+/**
+ * Physical memory model: frame/superpage exponents follow the policy
+ * in play (a single-size policy still gets a superpage ladder above it
+ * so fragmentation is measured against something).
+ */
+inline phys::PhysConfig
+resolvePhysConfig(const phys::PhysConfig &base,
+                  const PageSizePolicy &policy)
+{
+    phys::PhysConfig phys_config = base;
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(&policy)) {
+        phys_config.frameLog2 = policy2->config().smallLog2;
+        phys_config.superLog2 = policy2->config().largeLog2;
+    } else if (const auto *policyn =
+                   dynamic_cast<const MultiSizePolicy *>(&policy)) {
+        phys_config.frameLog2 = policyn->config().sizeLog2s.at(0);
+        phys_config.superLog2 = policyn->config().sizeLog2s.at(1);
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
+        phys_config.frameLog2 = policy1->sizeLog2();
+        phys_config.superLog2 = policy1->sizeLog2() + 3;
+    }
+    return phys_config;
+}
+
+/**
+ * The per-run interval-telemetry config: an explicitly enabled
+ * options.timeseries wins, else a process-global sink
+ * (--timeseries-out) acts as the default so every bench records
+ * telemetry without plumbing it through its own RunOptions.
+ */
+inline obs::TimeSeriesConfig
+resolveTsConfig(const RunOptions &options)
+{
+    obs::TimeSeriesConfig ts_config = options.timeseries;
+    if (!ts_config.enabled()) {
+        if (const obs::TimeSeriesSink *sink =
+                obs::TimeSeriesSink::global())
+            ts_config = sink->config();
+    }
+    return ts_config;
+}
+
+/**
+ * The per-run event-log config: same fallback shape as
+ * resolveTsConfig — an explicitly enabled options.events wins, else a
+ * process-global sink (--events-out) acts as the default.
+ */
+inline obs::EventLogConfig
+resolveEventsConfig(const RunOptions &options)
+{
+    obs::EventLogConfig events_config = options.events;
+    if (!events_config.enabled()) {
+        if (const obs::EventLogSink *sink = obs::EventLogSink::global())
+            events_config = sink->config();
+    }
+    return events_config;
+}
+
+/**
+ * Lifecycle-ledger granularity follows the policy in play, exactly
+ * like resolvePhysConfig: the tracked transition is small -> large
+ * (the first transition of a multi-size ladder); a single-size policy
+ * gets a ladder above it so the ledger exists but stays empty.
+ */
+inline LifecycleConfig
+resolveLifecycleConfig(const PageSizePolicy &policy)
+{
+    LifecycleConfig config;
+    if (const auto *policy2 =
+            dynamic_cast<const TwoSizePolicy *>(&policy)) {
+        config.smallLog2 = policy2->config().smallLog2;
+        config.largeLog2 = policy2->config().largeLog2;
+    } else if (const auto *policyn =
+                   dynamic_cast<const MultiSizePolicy *>(&policy)) {
+        config.smallLog2 = policyn->config().sizeLog2s.at(0);
+        config.largeLog2 = policyn->config().sizeLog2s.at(1);
+    } else if (const auto *policy1 =
+                   dynamic_cast<const SingleSizePolicy *>(&policy)) {
+        config.smallLog2 = policy1->sizeLog2();
+        config.largeLog2 = policy1->sizeLog2() + 3;
+    }
+    return config;
+}
+
+/** Event-stream field layouts, shared by both engines. */
+inline std::size_t
+registerPromoteStream(obs::EventLogRecorder &events)
+{
+    return events.stream("promote", {"chunk", "from_log2", "to_log2"});
+}
+
+inline std::size_t
+registerDemoteStream(obs::EventLogRecorder &events)
+{
+    return events.stream("demote", {"chunk", "from_log2", "to_log2"});
+}
+
+inline std::size_t
+registerShootdownStream(obs::EventLogRecorder &events)
+{
+    return events.stream("shootdown", {"vpn", "size_log2"});
+}
+
+/**
+ * Per-ref-engine lifecycle sink: forwards the policy's promote/demote
+ * callbacks to the ledger and the event log, timestamped from the
+ * driver's measured-reference counter (0 during warmup — matching the
+ * batched engine, whose warmup chunks replay events at t = 0).
+ */
+class LifecycleTee : public LifecycleSink
+{
+  public:
+    LifecycleTee(const std::uint64_t *measured, LifecycleLedger *ledger,
+                 obs::EventLogRecorder *events,
+                 std::size_t promote_stream, std::size_t demote_stream)
+        : measured_(measured), ledger_(ledger), events_(events),
+          promote_stream_(promote_stream), demote_stream_(demote_stream)
+    {
+    }
+
+    void
+    onPromote(Addr chunk_number, unsigned from_log2,
+              unsigned to_log2) override
+    {
+        if (ledger_ != nullptr)
+            ledger_->onPromote(*measured_, chunk_number, from_log2,
+                               to_log2);
+        if (events_ != nullptr)
+            events_->emit(promote_stream_, *measured_, chunk_number,
+                          from_log2, to_log2);
+    }
+
+    void
+    onDemote(Addr chunk_number, unsigned from_log2,
+             unsigned to_log2) override
+    {
+        if (ledger_ != nullptr)
+            ledger_->onDemote(*measured_, chunk_number, from_log2,
+                              to_log2);
+        if (events_ != nullptr)
+            events_->emit(demote_stream_, *measured_, chunk_number,
+                          from_log2, to_log2);
+    }
+
+  private:
+    const std::uint64_t *measured_;
+    LifecycleLedger *ledger_;
+    obs::EventLogRecorder *events_;
+    std::size_t promote_stream_;
+    std::size_t demote_stream_;
+};
+
+/**
+ * Interval-telemetry column names for one cell: the base layout plus
+ * the columns of the optional features in play (the lists grow only
+ * with the features, so output without them is unchanged byte for
+ * byte).
+ */
+inline void
+emplaceTsRecorder(std::optional<obs::TimeSeriesRecorder> &slot,
+                  const obs::TimeSeriesConfig &ts_config, bool has_wset,
+                  bool has_lifecycle, bool has_phys)
+{
+    std::vector<std::string> counter_names = detail::kTsCounterNames;
+    std::vector<std::string> value_names = detail::kTsValueNames;
+    if (has_wset)
+        value_names.push_back("ws_bytes");
+    if (has_lifecycle) {
+        // TLB reach (valid-entry coverage) and ledger reach
+        // utilization, sampled at each interval close.
+        value_names.push_back("reach_bytes");
+        value_names.push_back("reach_utilization");
+    }
+    if (has_phys) {
+        counter_names.insert(counter_names.end(),
+                             detail::kTsPhysCounterNames.begin(),
+                             detail::kTsPhysCounterNames.end());
+        value_names.insert(value_names.end(),
+                           detail::kTsPhysValueNames.begin(),
+                           detail::kTsPhysValueNames.end());
+    }
+    slot.emplace(ts_config, std::move(counter_names),
+                 std::move(value_names));
+}
+
+/**
+ * One deferred policy-side effect, recorded during a chunk's
+ * classification phase at the index of the reference whose classify()
+ * emitted it.  Replaying the events at exactly that index restores the
+ * per-ref interleaving: everything classify(i) did reaches each cell
+ * after the miss work of reference i-1 and before the probe of
+ * reference i.
+ */
+struct PolicyEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Invalidate, ///< InvalidationSink::invalidatePage
+        Remap,      ///< InvalidationSink::onChunkRemap
+    };
+
+    std::uint32_t index = 0; ///< chunk-local reference index
+    Kind kind = Kind::Invalidate;
+    PageId page;           ///< Invalidate payload
+    Addr chunkNumber = 0;  ///< Remap payload
+    bool toLarge = false;  ///< Remap payload
+};
+
+/**
+ * One promote/demote transition recorded during classification, at the
+ * chunk-local index of the reference whose classify() fired it.  The
+ * engine folds these into the (pass-shared) lifecycle ledger and each
+ * cell's event log at t = base_measured + index + 1, the measured
+ * index the per-ref engine stamps at the same point.
+ */
+struct LifeEvent
+{
+    std::uint32_t index = 0; ///< chunk-local reference index
+    bool promote = false;
+    Addr chunk = 0;
+    std::uint8_t fromLog2 = 0;
+    std::uint8_t toLog2 = 0;
+};
+
+/** Policy sink of the classification phase: record, don't apply. */
+class EventRecorder : public InvalidationSink, public LifecycleSink
+{
+  public:
+    std::vector<PolicyEvent> events;
+    std::vector<LifeEvent> lifeEvents;
+    std::uint32_t index = 0; ///< set by the classify loop per ref
+
+    void
+    invalidatePage(const PageId &page) override
+    {
+        PolicyEvent event;
+        event.index = index;
+        event.kind = PolicyEvent::Kind::Invalidate;
+        event.page = page;
+        events.push_back(event);
+    }
+
+    void
+    onChunkRemap(Addr chunk_number, bool to_large) override
+    {
+        PolicyEvent event;
+        event.index = index;
+        event.kind = PolicyEvent::Kind::Remap;
+        event.chunkNumber = chunk_number;
+        event.toLarge = to_large;
+        events.push_back(event);
+    }
+
+    void
+    onPromote(Addr chunk_number, unsigned from_log2,
+              unsigned to_log2) override
+    {
+        lifeEvents.push_back(
+            LifeEvent{index, true, chunk_number,
+                      static_cast<std::uint8_t>(from_log2),
+                      static_cast<std::uint8_t>(to_log2)});
+    }
+
+    void
+    onDemote(Addr chunk_number, unsigned from_log2,
+             unsigned to_log2) override
+    {
+        lifeEvents.push_back(
+            LifeEvent{index, false, chunk_number,
+                      static_cast<std::uint8_t>(from_log2),
+                      static_cast<std::uint8_t>(to_log2)});
+    }
+};
+
+} // namespace tps::core::detail
+
+#endif // TPS_CORE_EXPERIMENT_DETAIL_H_

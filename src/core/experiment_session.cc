@@ -1,0 +1,578 @@
+#include "core/experiment_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "core/experiment_detail.h"
+#include "obs/trace_profiler.h"
+#include "wset/windowed_working_set.h"
+
+namespace tps::core
+{
+
+/** Per-TLB state of one session (see runSharedPass's legality note:
+ *  everything downstream of classification lives here, per cell). */
+struct ExperimentSession::Cell
+{
+    Cell(Tlb &tlb_ref, ProbeStrategy probe_kind)
+        : tlb(tlb_ref), probe(probe_kind)
+    {
+    }
+
+    Tlb &tlb;
+    ProbeStrategy probe;
+    std::optional<WindowedWorkingSet> wset;
+    std::optional<AddressSpace> addressSpace;
+    std::optional<phys::MemoryModel> physModel;
+    std::optional<obs::TimeSeriesRecorder> ts;
+    bool sampleMisses = false;
+    /** Anything to do per reference beyond the TLB probe? */
+    bool missWork = false;
+    std::unordered_set<PageId, PageIdHash> seenPages;
+    std::unordered_set<PageId, PageIdHash> shotDown;
+    std::optional<detail::SinkTee> sink;
+    TlbStats tsPrevTlb;
+    phys::PhysCounters tsPrevPhys;
+    std::optional<obs::EventLogRecorder> events;
+    std::size_t evPromote = 0;
+    std::size_t evDemote = 0;
+};
+
+ExperimentSession::ExperimentSession(TraceSource &trace,
+                                     PageSizePolicy &policy,
+                                     std::vector<SessionCell> cells,
+                                     const RunOptions &options)
+    : trace_(trace), policy_(policy), options_(options)
+{
+    trace_.reset();
+    policy_.reset();
+
+    if (options_.chunkRefs == 0)
+        tps_fatal("chunkRefs must be positive");
+    if (options_.warmupRefs != 0 && options_.maxRefs != 0 &&
+        options_.warmupRefs >= options_.maxRefs) {
+        tps_fatal("warmupRefs (", options_.warmupRefs,
+                  ") must be below maxRefs (", options_.maxRefs, ")");
+    }
+
+    two_sizes_ = policy_.isMultiSize();
+    ts_config_ = detail::resolveTsConfig(options_);
+    interval_refs_ = ts_config_.intervalRefs;
+    events_config_ = detail::resolveEventsConfig(options_);
+    lifecycle_on_ = options_.lifecycle || events_config_.enabled();
+
+    cells_.reserve(cells.size());
+    for (const SessionCell &setup : cells) {
+        auto cell = std::make_unique<Cell>(*setup.tlb, setup.probe);
+        cell->tlb.reset();
+        if (options_.wsWindow != 0)
+            cell->wset.emplace(options_.wsWindow);
+        if (options_.modelPageTables)
+            detail::emplaceAddressSpace(cell->addressSpace, policy_);
+        if (options_.phys.enabled()) {
+            cell->physModel.emplace(
+                detail::resolvePhysConfig(options_.phys, policy_));
+            if (cell->addressSpace)
+                cell->addressSpace->setAllocator(&*cell->physModel);
+        }
+        if (ts_config_.enabled()) {
+            detail::emplaceTsRecorder(cell->ts, ts_config_,
+                                      cell->wset.has_value(),
+                                      lifecycle_on_,
+                                      cell->physModel.has_value());
+            cell->sampleMisses = cell->ts->samplingMisses();
+        }
+        cell->sink.emplace(
+            cell->tlb,
+            cell->addressSpace ? &*cell->addressSpace : nullptr,
+            cell->physModel ? &*cell->physModel : nullptr,
+            cell->sampleMisses ? &cell->shotDown : nullptr);
+        if (events_config_.enabled()) {
+            cell->events.emplace(events_config_);
+            cell->evPromote =
+                detail::registerPromoteStream(*cell->events);
+            cell->evDemote = detail::registerDemoteStream(*cell->events);
+            cell->sink->setEventSink(
+                &*cell->events,
+                detail::registerShootdownStream(*cell->events),
+                &event_now_);
+            cell->tlb.setEventSink(&*cell->events, "");
+            if (cell->physModel)
+                cell->physModel->setEventSink(&*cell->events,
+                                              &event_now_);
+        }
+        cell->missWork = cell->wset || cell->addressSpace ||
+                         cell->physModel || cell->sampleMisses;
+        cells_.push_back(std::move(cell));
+    }
+
+    // The lifecycle ledger folds the *policy's* promote/demote stream,
+    // which every cell of the pass shares — one ledger per pass, fed
+    // during the classification phase, never per cell.
+    if (lifecycle_on_)
+        ledger_.emplace(detail::resolveLifecycleConfig(policy_));
+
+    // The classification phase records side effects instead of
+    // applying them; each cell replays them through its own tee.
+    recorder_ = std::make_unique<detail::EventRecorder>();
+    policy_.setInvalidationSink(recorder_.get());
+    if (lifecycle_on_)
+        policy_.setLifecycleSink(recorder_.get());
+    policy1_ = dynamic_cast<SingleSizePolicy *>(&policy_);
+    policy2_ = dynamic_cast<TwoSizePolicy *>(&policy_);
+
+    refs_.resize(options_.chunkRefs);
+    brefs_.resize(options_.chunkRefs);
+}
+
+ExperimentSession::~ExperimentSession()
+{
+    // An abandoned session (cancelled without finish()) must not leave
+    // sinks pointing at its members: the policy and TLBs are borrowed
+    // and outlive it.
+    if (!finished_)
+        detachSinks();
+}
+
+void
+ExperimentSession::detachSinks()
+{
+    policy_.setInvalidationSink(nullptr);
+    if (lifecycle_on_)
+        policy_.setLifecycleSink(nullptr);
+    for (auto &cell : cells_)
+        if (cell->events) // the TLBs outlive their recorders
+            cell->tlb.setEventSink(nullptr, "");
+}
+
+void
+ExperimentSession::closeCell(Cell &cell)
+{
+    const TlbStats tlb_d = cell.tlb.stats().deltaSince(cell.tsPrevTlb);
+    const PolicyStats pol_d =
+        policy_.stats().deltaSince(ts_prev_policy_);
+    const std::uint64_t refs_d = measured_refs_ - ts_last_close_;
+    const std::uint64_t instr_d = instructions_ - ts_prev_instructions_;
+    std::vector<std::uint64_t> counters = {
+        refs_d,          instr_d,          tlb_d.accesses,
+        tlb_d.hits,      tlb_d.misses,     tlb_d.hitsSmall,
+        tlb_d.hitsLarge, tlb_d.missesSmall, tlb_d.missesLarge,
+        tlb_d.fills,     tlb_d.evictions,  tlb_d.invalidations,
+        pol_d.refsSmall, pol_d.refsLarge,  pol_d.promotions,
+        pol_d.demotions};
+    std::vector<double> values = {
+        tlb_d.missRatio(),
+        instr_d == 0 ? 0.0
+                     : static_cast<double>(tlb_d.misses) /
+                           static_cast<double>(instr_d),
+        pol_d.largeFraction()};
+    if (cell.wset)
+        values.push_back(
+            static_cast<double>(cell.wset->currentBytes()));
+    if (ledger_) {
+        values.push_back(static_cast<double>(
+            cell.tlb.reachSnapshot().reachBytes));
+        values.push_back(ledger_->reachUtilization());
+    }
+    if (cell.physModel) {
+        const phys::PhysCounters phys_d =
+            cell.physModel->counters().deltaSince(cell.tsPrevPhys);
+        counters.insert(counters.end(),
+                        {phys_d.framesAllocated,
+                         phys_d.superpageFailures,
+                         phys_d.promotionsInPlace,
+                         phys_d.promotionsCopied,
+                         phys_d.pagesCopied});
+        const phys::FragSnapshot snap = cell.physModel->snapshot();
+        values.push_back(snap.fragIndex);
+        values.push_back(static_cast<double>(snap.freeBytes));
+        cell.tsPrevPhys = cell.physModel->counters();
+    }
+    cell.ts->endInterval(ts_last_close_, refs_d, std::move(counters),
+                         std::move(values));
+    cell.tsPrevTlb = cell.tlb.stats();
+}
+
+void
+ExperimentSession::closeAll()
+{
+    for (auto &cell : cells_)
+        if (cell->ts)
+            closeCell(*cell);
+    ts_prev_policy_ = policy_.stats();
+    ts_prev_instructions_ = instructions_;
+    ts_last_close_ = measured_refs_;
+}
+
+// Replay one chunk into one cell: apply the recorded policy events
+// at their reference index, probe every event-free segment in one
+// batched call, then run the per-reference miss work (which never
+// touches the TLB, so running it after the segment's probes
+// preserves per-ref semantics).
+void
+ExperimentSession::replayChunk(Cell &cell, std::size_t got,
+                               std::uint64_t base_measured,
+                               bool measuring)
+{
+    // Cell-side promote/demote events: streams are serialized
+    // independently, so appending them chunk-at-a-time preserves
+    // byte-identity with the per-ref engine (within-stream order
+    // and timestamps match; cross-stream interleaving is not part
+    // of the format).
+    if (cell.events) {
+        for (const detail::LifeEvent &life : recorder_->lifeEvents) {
+            cell.events->emit(
+                life.promote ? cell.evPromote : cell.evDemote,
+                measuring ? base_measured + life.index + 1 : 0,
+                life.chunk, life.fromLog2, life.toLog2);
+        }
+    }
+    std::size_t ev = 0;
+    std::size_t seg = 0;
+    while (seg < got) {
+        if (cell.events)
+            event_now_ = measuring ? base_measured + seg + 1 : 0;
+        while (ev < recorder_->events.size() &&
+               recorder_->events[ev].index == seg) {
+            const detail::PolicyEvent &event = recorder_->events[ev];
+            if (event.kind == detail::PolicyEvent::Kind::Invalidate)
+                cell.sink->invalidatePage(event.page);
+            else
+                cell.sink->onChunkRemap(event.chunkNumber,
+                                        event.toLarge);
+            ++ev;
+        }
+        const std::size_t seg_end =
+            ev < recorder_->events.size()
+                ? recorder_->events[ev].index
+                : got;
+        cell.tlb.lookupBatch(brefs_.data() + seg, seg_end - seg,
+                             probe_result_);
+        if (cell.missWork) {
+            for (std::size_t i = seg; i < seg_end; ++i) {
+                const bool hit = probe_result_.hit[i - seg] != 0;
+                const PageId &page = brefs_[i].page;
+                if (!hit && cell.physModel) {
+                    // Every first access to a page identity is a
+                    // cold TLB miss, so backing work is observed
+                    // here without taxing the hit path.
+                    if (cell.events)
+                        event_now_ =
+                            measuring ? base_measured + i + 1 : 0;
+                    cell.physModel->touch(page.vpn, page.sizeLog2);
+                }
+                if (!hit && cell.addressSpace) {
+                    if (two_sizes_)
+                        cell.addressSpace->handleMiss(
+                            page, ProbeOrder::SmallFirst);
+                    else
+                        cell.addressSpace->handleMissSingleSize(page);
+                }
+                if (cell.wset)
+                    cell.wset->observe(page);
+                if (cell.sampleMisses && !hit) {
+                    // Same seen-at-miss bookkeeping as the
+                    // per-ref engine (see runPerRef for why
+                    // membership at miss time matches a
+                    // per-access set).
+                    const bool first =
+                        cell.seenPages.insert(page).second;
+                    if (measuring) {
+                        obs::MissCause cause;
+                        if (cell.shotDown.erase(page) != 0)
+                            cause = obs::MissCause::Shootdown;
+                        else if (first)
+                            cause = obs::MissCause::Cold;
+                        else
+                            cause = obs::MissCause::Capacity;
+                        cell.ts->offerMiss(base_measured + i + 1,
+                                           page.vpn, page.sizeLog2,
+                                           cause);
+                    } else {
+                        cell.shotDown.erase(page);
+                    }
+                }
+            }
+        }
+        seg = seg_end;
+    }
+}
+
+bool
+ExperimentSession::step()
+{
+    if (exhausted_ || finished_)
+        return false;
+
+    std::size_t want = options_.chunkRefs;
+    if (options_.maxRefs != 0) {
+        const std::uint64_t remaining = options_.maxRefs - now_;
+        if (remaining == 0) {
+            exhausted_ = true;
+            return false;
+        }
+        want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(want, remaining));
+    }
+    // Never cross the warmup boundary: stats reset there.
+    if (options_.warmupRefs != 0 && now_ < options_.warmupRefs)
+        want = static_cast<std::size_t>(std::min<std::uint64_t>(
+            want, options_.warmupRefs - now_));
+    const bool measuring = now_ >= options_.warmupRefs;
+    // Never cross an interval close: counters are read there.
+    if (interval_refs_ != 0 && measuring)
+        want = static_cast<std::size_t>(std::min<std::uint64_t>(
+            want,
+            ts_last_close_ + interval_refs_ - measured_refs_));
+    const std::size_t got = trace_.fill(refs_.data(), want);
+    if (got == 0) {
+        exhausted_ = true;
+        return false;
+    }
+    // The harness clock starts after the fill decision so a parked
+    // session never bills wait time; per-chunk clock reads only
+    // happen when the telemetry is requested.
+    const bool timing = options_.harnessStats;
+    const auto harness_start = timing
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
+    ++harness_chunks_;
+    if (want < options_.chunkRefs)
+        ++harness_splits_; // truncated at warmup/interval/maxRefs
+    obs::ScopedSpan chunk_span(obs::TraceProfiler::global(), "chunk",
+                               "replay");
+    if (options_.warmupRefs != 0 && now_ == options_.warmupRefs) {
+        // Warmup ends: zero the counters, keep the state.
+        for (auto &cell : cells_) {
+            cell->tlb.resetStats();
+            if (cell->physModel)
+                cell->physModel->resetCounters();
+        }
+        policy_.resetStats();
+        if (ledger_)
+            ledger_->resetStats(measured_refs_);
+        instructions_ = 0;
+    }
+
+    // Phase 1: classify the chunk once, recording side effects.
+    // The loop is specialized per concrete policy so classify
+    // inlines (the virtual call per reference was a measurable
+    // share of the replay cost).
+    const RefTime base_now = now_;
+    recorder_->events.clear();
+    recorder_->lifeEvents.clear();
+    std::uint64_t chunk_instr = 0;
+    if (policy1_ != nullptr) {
+        // A single-size policy never emits events.
+        for (std::size_t i = 0; i < got; ++i) {
+            const MemRef &ref = refs_[i];
+            if (ref.type == RefType::Ifetch)
+                ++chunk_instr;
+            brefs_[i].page = policy1_->SingleSizePolicy::classify(
+                ref.vaddr, base_now + i + 1);
+            brefs_[i].vaddr = ref.vaddr;
+        }
+    } else if (policy2_ != nullptr) {
+        for (std::size_t i = 0; i < got; ++i) {
+            const MemRef &ref = refs_[i];
+            if (ref.type == RefType::Ifetch)
+                ++chunk_instr;
+            recorder_->index = static_cast<std::uint32_t>(i);
+            brefs_[i].page =
+                policy2_->classifyFast(ref.vaddr, base_now + i + 1);
+            brefs_[i].vaddr = ref.vaddr;
+        }
+    } else {
+        for (std::size_t i = 0; i < got; ++i) {
+            const MemRef &ref = refs_[i];
+            if (ref.type == RefType::Ifetch)
+                ++chunk_instr;
+            recorder_->index = static_cast<std::uint32_t>(i);
+            brefs_[i].page =
+                policy_.classify(ref.vaddr, base_now + i + 1);
+            brefs_[i].vaddr = ref.vaddr;
+        }
+    }
+    instructions_ += chunk_instr;
+
+    // Phase 1.5: fold the chunk's promote/demote and reference
+    // streams into the pass-shared ledger, in the per-ref
+    // interleaving (the events of classify(i) land before the
+    // touch of reference i, at its measured index).
+    if (ledger_) {
+        std::size_t le = 0;
+        for (std::size_t i = 0; i < got; ++i) {
+            while (le < recorder_->lifeEvents.size() &&
+                   recorder_->lifeEvents[le].index == i) {
+                const detail::LifeEvent &life =
+                    recorder_->lifeEvents[le];
+                const RefTime t =
+                    measuring ? measured_refs_ + i + 1 : 0;
+                if (life.promote)
+                    ledger_->onPromote(t, life.chunk, life.fromLog2,
+                                       life.toLog2);
+                else
+                    ledger_->onDemote(t, life.chunk, life.fromLog2,
+                                      life.toLog2);
+                ++le;
+            }
+            ledger_->touch(refs_[i].vaddr);
+        }
+    }
+
+    // Phase 2: replay the classified chunk into every cell.
+    for (auto &cell : cells_)
+        replayChunk(*cell, got, measured_refs_, measuring);
+
+    now_ += got;
+    if (measuring)
+        measured_refs_ += got;
+    if (interval_refs_ != 0 && measuring &&
+        measured_refs_ - ts_last_close_ == interval_refs_)
+        closeAll();
+
+    if (timing)
+        harness_wall_ += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             harness_start)
+                             .count();
+    return true;
+}
+
+std::uint64_t
+ExperimentSession::advance(std::uint64_t max_chunks)
+{
+    std::uint64_t done = 0;
+    while (done < max_chunks && step())
+        ++done;
+    return done;
+}
+
+const obs::TimeSeriesRecorder *
+ExperimentSession::recorder(std::size_t cell) const
+{
+    const Cell &c = *cells_.at(cell);
+    return c.ts ? &*c.ts : nullptr;
+}
+
+std::vector<ExperimentResult>
+ExperimentSession::finish()
+{
+    if (finished_)
+        tps_fatal("ExperimentSession::finish() called twice");
+    finished_ = true;
+    detachSinks();
+
+    // Flush the final partial interval so per-interval sums equal the
+    // whole-run aggregates exactly.
+    if (interval_refs_ != 0 && measured_refs_ > ts_last_close_)
+        closeAll();
+
+    // Close the pass-shared ledger once; every cell's result carries
+    // the same summary (lifecycle state is policy state).
+    std::uint64_t reach_open_bytes = 0;
+    double reach_utilization = 0.0;
+    LifecycleSummary lifecycle_summary;
+    if (ledger_) {
+        reach_open_bytes = ledger_->openReachBytes();
+        reach_utilization = ledger_->reachUtilization();
+        lifecycle_summary = ledger_->finish(measured_refs_);
+    }
+
+    std::vector<ExperimentResult> results;
+    results.reserve(cells_.size());
+    for (auto &cell_ptr : cells_) {
+        Cell &cell = *cell_ptr;
+        ExperimentResult result;
+        result.workload = trace_.name();
+        result.tlbName = cell.tlb.name();
+        result.policyName = policy_.name();
+        if (cell.ts) {
+            auto series = std::make_shared<obs::TimeSeries>(
+                cell.ts->finish(result.workload, result.tlbName,
+                                result.policyName));
+            result.timeseries = series;
+            if (obs::TimeSeriesSink *global =
+                    obs::TimeSeriesSink::global())
+                global->add(*series);
+        }
+        result.refs = measured_refs_;
+        result.instructions = instructions_;
+        result.tlb = cell.tlb.stats();
+        result.policy = policy_.stats();
+        result.cpiTlb = options_.cpi.cpiTlb(result.tlb, result.policy,
+                                            instructions_, two_sizes_,
+                                            cell.probe);
+        result.mpi = instructions_ == 0
+                         ? 0.0
+                         : static_cast<double>(result.tlb.misses) /
+                               static_cast<double>(instructions_);
+        result.missRatio = result.tlb.missRatio();
+        result.rpi = instructions_ == 0
+                         ? 0.0
+                         : static_cast<double>(measured_refs_) /
+                               static_cast<double>(instructions_);
+        if (cell.wset) {
+            result.avgWsBytes = cell.wset->averageBytes();
+            result.wsTracked = true;
+        }
+        if (ledger_) {
+            result.lifecycleTracked = true;
+            result.lifecycle = lifecycle_summary;
+            result.reachOpenBytes = reach_open_bytes;
+            result.reachUtilization = reach_utilization;
+            result.reach = cell.tlb.reachSnapshot();
+        }
+        if (cell.events) {
+            auto log = std::make_shared<obs::EventLog>(
+                cell.events->finish(result.workload, result.tlbName,
+                                    result.policyName));
+            result.events = log;
+            if (obs::EventLogSink *global =
+                    obs::EventLogSink::global())
+                global->add(*log);
+        }
+        if (cell.addressSpace) {
+            result.pageTablesModeled = true;
+            result.measuredMissCycles =
+                cell.addressSpace->averageMissCycles();
+            result.cpiTlbMeasured =
+                instructions_ == 0
+                    ? 0.0
+                    : static_cast<double>(result.tlb.misses) *
+                          result.measuredMissCycles /
+                          static_cast<double>(instructions_);
+        }
+        if (cell.physModel) {
+            result.physModeled = true;
+            result.phys = cell.physModel->counters();
+            result.physFrag = cell.physModel->snapshot();
+            result.cpiPhys =
+                result.cpiTlb +
+                (instructions_ == 0
+                     ? 0.0
+                     : static_cast<double>(result.phys.pagesCopied) *
+                           cell.physModel->config().copyCyclesPerPage /
+                           static_cast<double>(instructions_));
+        }
+        if (options_.harnessStats) {
+            result.harnessMeasured = true;
+            result.harness.wallSeconds = harness_wall_;
+            // Replayed refs include warmup — that's real wall time.
+            result.harness.refsPerSec =
+                harness_wall_ > 0.0
+                    ? static_cast<double>(now_) / harness_wall_
+                    : 0.0;
+            result.harness.chunks = harness_chunks_;
+            result.harness.chunkSplits = harness_splits_;
+            const ProbeCacheCounters pc = cell.tlb.probeCacheCounters();
+            result.harness.probeCacheLookups = pc.lookups;
+            result.harness.probeCacheHits = pc.hits;
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace tps::core

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Resumable experiment engine: the chunked (ExecMode::Batched) driver
+ * loop of runExperiment, reshaped into a state machine that advances
+ * one chunk per step() call.
+ *
+ * Motivation (DESIGN.md §14): a trace-replay daemon must multiplex
+ * many experiments onto a few worker threads, which means an
+ * experiment has to be something the scheduler can put down and pick
+ * up again.  The contract that makes that safe is bit-identity:
+ * stepping a session to exhaustion and calling finish() produces
+ * byte-identical stats, timeseries and event logs to the one-shot
+ * runExperiment path, at every quantum size (gated by tests/net/).
+ *
+ * A session borrows its trace, policy and TLBs — the caller keeps
+ * ownership and must keep them alive until finish() (or destruction).
+ * Sessions are not movable: cells' event sinks hold the address of a
+ * member clock.  One session is single-threaded; concurrency comes
+ * from running different sessions on different workers.
+ */
+
+#ifndef TPS_CORE_EXPERIMENT_SESSION_H_
+#define TPS_CORE_EXPERIMENT_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace tps::core
+{
+
+namespace detail
+{
+class EventRecorder;
+} // namespace detail
+
+/** One TLB configuration sharing a session's classification pass. */
+struct SessionCell
+{
+    Tlb *tlb = nullptr;
+    ProbeStrategy probe = ProbeStrategy::Parallel;
+};
+
+/**
+ * The chunked engine, generalized to N cells and resumable: one
+ * classification pass feeds any number of TLB configurations, each
+ * with its own downstream models (DESIGN.md §11), one chunk per
+ * step().
+ *
+ * Bit-identity with the per-ref oracle rests on three invariants:
+ *  - policy state depends only on (vaddr, now), never on a TLB, so
+ *    classifying a chunk ahead of the probes (and sharing the result
+ *    across cells) yields the identical page stream;
+ *  - policy side effects are replayed into each cell at the recorded
+ *    reference index, and probes between two event indices carry no
+ *    ordering hazard (lookups never touch the page-table or physical
+ *    models, and miss work never touches the TLB);
+ *  - chunks split at every point where per-ref code reads or resets
+ *    mid-stream state (warmup boundary, interval closes, maxRefs), so
+ *    each observable is read at the same reference index.
+ *
+ * Resumability adds a fourth: no chunk reads state a previous chunk
+ * did not leave behind, so where the step() calls fall — one per
+ * chunk, all at once, or interleaved with other sessions' — cannot
+ * change any output.
+ */
+class ExperimentSession
+{
+  public:
+    /**
+     * Bind a session to @p trace / @p policy / the cells' TLBs (all
+     * borrowed; reset() is called on each).  Validates options the
+     * same way runExperiment does (positive chunkRefs, warmup below
+     * maxRefs).
+     */
+    ExperimentSession(TraceSource &trace, PageSizePolicy &policy,
+                      std::vector<SessionCell> cells,
+                      const RunOptions &options);
+    ~ExperimentSession();
+
+    ExperimentSession(const ExperimentSession &) = delete;
+    ExperimentSession &operator=(const ExperimentSession &) = delete;
+
+    /**
+     * Replay one chunk (up to options.chunkRefs references, split
+     * early at warmup/interval/maxRefs boundaries).  Returns false —
+     * without consuming anything — once the trace is drained or
+     * maxRefs is reached; the session is then exhausted and only
+     * finish() remains.
+     */
+    bool step();
+
+    /** step() up to @p max_chunks times; returns chunks executed. */
+    std::uint64_t advance(std::uint64_t max_chunks);
+
+    /** True once step() has hit end-of-trace / maxRefs. */
+    bool exhausted() const { return exhausted_; }
+
+    /** True once finish() has been called. */
+    bool finished() const { return finished_; }
+
+    /** References replayed so far, including warmup. */
+    std::uint64_t replayedRefs() const { return now_; }
+
+    /** Measured (post-warmup) references replayed so far. */
+    std::uint64_t measuredRefs() const { return measured_refs_; }
+
+    /** Chunks executed so far (monotonic; step() that returns false
+     *  does not count). */
+    std::uint64_t chunksExecuted() const { return harness_chunks_; }
+
+    std::size_t cellCount() const { return cells_.size(); }
+
+    /**
+     * Live view of one cell's interval recorder (nullptr when the run
+     * records no telemetry).  Rows accumulate as intervals close;
+     * reading between step() calls is how a server streams telemetry
+     * without waiting for the run to finish.
+     */
+    const obs::TimeSeriesRecorder *recorder(std::size_t cell) const;
+
+    /**
+     * Detach from the borrowed policy/TLBs and build one result per
+     * cell.  Callable once; normally after step() returns false, but
+     * an early finish() is legal and yields the stats of the partial
+     * run (how a server reports a cancelled session).
+     */
+    std::vector<ExperimentResult> finish();
+
+  private:
+    struct Cell;
+
+    void closeCell(Cell &cell);
+    void closeAll();
+    void replayChunk(Cell &cell, std::size_t got,
+                     std::uint64_t base_measured, bool measuring);
+    void detachSinks();
+
+    TraceSource &trace_;
+    PageSizePolicy &policy_;
+    RunOptions options_;
+    bool two_sizes_ = false;
+    obs::TimeSeriesConfig ts_config_;
+    std::uint64_t interval_refs_ = 0;
+    obs::EventLogConfig events_config_;
+    bool lifecycle_on_ = false;
+
+    // The event clock for shootdown/resv_break emission: replayChunk
+    // keeps it at the measured index of the reference being replayed
+    // (0 during warmup), mirroring the per-ref engine's measured_refs.
+    // Cells' sinks hold its address (hence: not movable).
+    RefTime event_now_ = 0;
+
+    std::vector<std::unique_ptr<Cell>> cells_;
+    std::optional<LifecycleLedger> ledger_;
+    std::unique_ptr<detail::EventRecorder> recorder_;
+
+    SingleSizePolicy *policy1_ = nullptr;
+    TwoSizePolicy *policy2_ = nullptr;
+
+    std::vector<MemRef> refs_;
+    std::vector<Tlb::BatchRef> brefs_;
+    Tlb::BatchResult probe_result_;
+
+    RefTime now_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t measured_refs_ = 0;
+
+    // Harness self-telemetry: counted unconditionally (two integer
+    // increments per *chunk*), exported only under
+    // options.harnessStats.  The wall clock sums step() durations, so
+    // a session parked between quanta does not accrue time.
+    std::uint64_t harness_chunks_ = 0;
+    std::uint64_t harness_splits_ = 0;
+    double harness_wall_ = 0.0;
+
+    // Interval bookkeeping shared by all cells: closes fall at the
+    // same measured-reference positions everywhere, and the policy and
+    // instruction streams are cell-independent.
+    PolicyStats ts_prev_policy_;
+    std::uint64_t ts_prev_instructions_ = 0;
+    std::uint64_t ts_last_close_ = 0;
+
+    bool exhausted_ = false;
+    bool finished_ = false;
+};
+
+} // namespace tps::core
+
+#endif // TPS_CORE_EXPERIMENT_SESSION_H_

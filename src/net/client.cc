@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Blocking tps-wire-v1 client (see client.h).
+ */
+
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace tps::net
+{
+
+namespace
+{
+
+/** Refs per TraceChunk frame: ~640 KB payloads, far under the frame
+ *  cap, so upload memory stays bounded on both ends. */
+constexpr std::size_t kTraceChunkRefs = 65536;
+
+std::uint64_t
+jsonUint(const obs::JsonValue &doc, const char *name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    if (v == nullptr || !v->isNumber() || v->number < 0)
+        return 0;
+    return static_cast<std::uint64_t>(v->integer);
+}
+
+std::string
+jsonString(const obs::JsonValue &doc, const char *name)
+{
+    const obs::JsonValue *v = doc.find(name);
+    return v == nullptr ? std::string() : v->text;
+}
+
+/** Connect a blocking TCP socket; -1 with @p error set on failure. */
+int
+tcpConnect(const std::string &host, std::uint16_t port,
+           std::string &error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc =
+        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (rc != 0) {
+        error = host + ": " + ::gai_strerror(rc);
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        error = "connect " + host + ":" + service + ": " +
+                std::strerror(errno);
+    return fd;
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    parser_ = FrameParser();
+}
+
+bool
+Client::connect(const std::string &host, std::uint16_t port,
+                std::string &error)
+{
+    close();
+    fd_ = tcpConnect(host, port, error);
+    if (fd_ < 0)
+        return false;
+
+    std::string out;
+    appendFrame(out, FrameType::Hello, encodeVersion(kWireVersion));
+    if (!sendAll(out, error))
+        return false;
+    Frame frame;
+    if (!readFrame(frame, error))
+        return false;
+    if (frame.type != FrameType::HelloOk) {
+        error = "handshake refused";
+        close();
+        return false;
+    }
+    PayloadReader r(frame.payload);
+    std::uint32_t version = 0;
+    if (!r.u32(version) || version != kWireVersion) {
+        error = "server speaks wire version " + std::to_string(version);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::sendAll(const std::string &bytes, std::string &error)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = std::string("send: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::readFrame(Frame &out, std::string &error)
+{
+    char buf[65536];
+    for (;;) {
+        const FrameParser::Result r = parser_.next(out);
+        if (r == FrameParser::Result::Ready)
+            return true;
+        if (r == FrameParser::Result::Malformed) {
+            error = "malformed frame from server";
+            close();
+            return false;
+        }
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            parser_.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = n == 0 ? "server closed connection"
+                       : std::string("recv: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+}
+
+bool
+Client::submit(const SessionSpec &spec, SubmitReply &out,
+               std::string &error)
+{
+    out = SubmitReply();
+    std::string wire;
+    appendFrame(wire, FrameType::Submit, spec.toJson());
+    if (!sendAll(wire, error))
+        return false;
+    Frame frame;
+    if (!readFrame(frame, error))
+        return false;
+    try {
+        const obs::JsonValue doc = obs::parseJson(frame.payload);
+        switch (frame.type) {
+        case FrameType::Accepted:
+            out.accepted = true;
+            out.sessionId = jsonUint(doc, "session_id");
+            return true;
+        case FrameType::Rejected:
+            out.reason = jsonString(doc, "reason");
+            out.retryAfterMs = jsonUint(doc, "retry_after_ms");
+            return true;
+        case FrameType::Error:
+            error = jsonString(doc, "error");
+            return false;
+        default:
+            break;
+        }
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+    error = "unexpected reply to Submit";
+    return false;
+}
+
+bool
+Client::sendTrace(std::uint64_t session,
+                  const std::vector<MemRef> &refs, std::string &error)
+{
+    std::size_t off = 0;
+    do {
+        const std::size_t n =
+            std::min(kTraceChunkRefs, refs.size() - off);
+        std::string wire;
+        appendFrame(wire, FrameType::TraceChunk,
+                    encodeTraceChunk(session, refs.data() + off, n));
+        if (!sendAll(wire, error))
+            return false;
+        off += n;
+    } while (off < refs.size());
+
+    std::string wire;
+    appendFrame(wire, FrameType::TraceDone, encodeSessionId(session));
+    if (!sendAll(wire, error))
+        return false;
+    PollReply reply;
+    if (!readStatusReply(reply, error))
+        return false;
+    if (reply.state == "failed") {
+        error = reply.sessionError.empty() ? "session failed"
+                                           : reply.sessionError;
+        return false;
+    }
+    return true;
+}
+
+/** Read frames up to (and including) the Status reply, collecting
+ *  Telemetry on the way and the Result frame when Status announces
+ *  one. */
+bool
+Client::readStatusReply(PollReply &out, std::string &error)
+{
+    for (;;) {
+        Frame frame;
+        if (!readFrame(frame, error))
+            return false;
+        if (frame.type == FrameType::Telemetry) {
+            out.telemetry.push_back(std::move(frame.payload));
+            continue;
+        }
+        if (frame.type == FrameType::Error) {
+            try {
+                error = jsonString(obs::parseJson(frame.payload),
+                                   "error");
+            } catch (const std::exception &) {
+                error = "server error";
+            }
+            return false;
+        }
+        if (frame.type != FrameType::Status) {
+            error = "unexpected frame awaiting Status";
+            return false;
+        }
+        bool has_result = false;
+        try {
+            const obs::JsonValue doc = obs::parseJson(frame.payload);
+            out.state = jsonString(doc, "state");
+            out.replayedRefs = jsonUint(doc, "replayed_refs");
+            out.measuredRefs = jsonUint(doc, "measured_refs");
+            out.chunks = jsonUint(doc, "chunks");
+            out.sessionError = jsonString(doc, "error");
+            if (const obs::JsonValue *v = doc.find("has_result"))
+                has_result = v->boolean;
+        } catch (const std::exception &e) {
+            error = e.what();
+            return false;
+        }
+        if (has_result && out.resultStats.empty()) {
+            if (!readFrame(frame, error))
+                return false;
+            if (frame.type != FrameType::Result) {
+                error = "expected Result after Status";
+                return false;
+            }
+            out.resultStats = std::move(frame.payload);
+        }
+        return true;
+    }
+}
+
+bool
+Client::poll(std::uint64_t session, PollReply &out, std::string &error)
+{
+    out = PollReply();
+    std::string wire;
+    appendFrame(wire, FrameType::Poll, encodeSessionId(session));
+    if (!sendAll(wire, error))
+        return false;
+    return readStatusReply(out, error);
+}
+
+bool
+Client::cancel(std::uint64_t session, PollReply &out,
+               std::string &error)
+{
+    out = PollReply();
+    std::string wire;
+    appendFrame(wire, FrameType::Cancel, encodeSessionId(session));
+    if (!sendAll(wire, error))
+        return false;
+    return readStatusReply(out, error);
+}
+
+bool
+httpGet(const std::string &host, std::uint16_t port,
+        const std::string &path, std::string &body, std::string &error)
+{
+    error.clear();
+    const int fd = tcpConnect(host, port, error);
+    if (fd < 0)
+        return false;
+    const std::string request = "GET " + path +
+                                " HTTP/1.1\r\nHost: " + host +
+                                "\r\nConnection: close\r\n\r\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + off,
+                                 request.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = std::string("send: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    std::string response;
+    char buf[65536];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            response.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0)
+            error = std::string("recv: ") + std::strerror(errno);
+        break;
+    }
+    ::close(fd);
+    if (!error.empty())
+        return false;
+    const std::size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+        error = "truncated HTTP response";
+        return false;
+    }
+    if (response.compare(0, 12, "HTTP/1.1 200") != 0) {
+        error = "HTTP " + response.substr(9, 3);
+        return false;
+    }
+    body = response.substr(header_end + 4);
+    return true;
+}
+
+} // namespace tps::net

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Blocking tps-wire-v1 client: what `tps_submit` (and the loopback
+ * tests) use to talk to tpsd.  One Client is one connection; the
+ * session id returned by submit() is a capability that stays valid
+ * across connections, so a client may disconnect and poll again later
+ * from a fresh Client.
+ *
+ * Every call either succeeds or returns false with @p error set; a
+ * server-side Error frame surfaces as a failed call with the server's
+ * message.  Not thread-safe — one thread per Client.
+ */
+
+#ifndef TPS_NET_CLIENT_H_
+#define TPS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/spec.h"
+#include "net/wire.h"
+
+namespace tps::net
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** TCP-connect to @p host:@p port and run the Hello handshake. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::string &error);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Outcome of submit(): admission, not transport. */
+    struct SubmitReply
+    {
+        bool accepted = false;
+        std::uint64_t sessionId = 0;
+        /** Rejection detail (admission control). */
+        std::string reason;
+        std::uint64_t retryAfterMs = 0;
+    };
+
+    /** Submit @p spec; false only on transport/protocol failure —
+     *  an admission rejection is a successful call with
+     *  out.accepted == false. */
+    bool submit(const SessionSpec &spec, SubmitReply &out,
+                std::string &error);
+
+    /** Upload a streamed trace (chunked internally), then TraceDone.
+     *  The engine starts once the server acknowledges. */
+    bool sendTrace(std::uint64_t session,
+                   const std::vector<MemRef> &refs, std::string &error);
+
+    /** One Poll round-trip. */
+    struct PollReply
+    {
+        std::string state; ///< receiving|queued|running|done|...
+        std::uint64_t replayedRefs = 0;
+        std::uint64_t measuredRefs = 0;
+        std::uint64_t chunks = 0;
+        std::string sessionError; ///< session failure detail ("" ok)
+        /** Telemetry frame payloads drained by this poll. */
+        std::vector<std::string> telemetry;
+        /** Final stats document; non-empty once the run finished. */
+        std::string resultStats;
+    };
+
+    bool poll(std::uint64_t session, PollReply &out,
+              std::string &error);
+
+    /** Request cancellation (the session turns terminal with partial
+     *  results shortly; poll() to collect them). */
+    bool cancel(std::uint64_t session, PollReply &out,
+                std::string &error);
+
+  private:
+    bool sendAll(const std::string &bytes, std::string &error);
+    bool readFrame(Frame &out, std::string &error);
+    bool readStatusReply(PollReply &out, std::string &error);
+
+    int fd_ = -1;
+    FrameParser parser_;
+};
+
+/**
+ * Minimal HTTP/1.1 GET against tpsd's report endpoint.  Returns false
+ * with @p error set on transport failure or a non-200 status; the
+ * response body lands in @p body.
+ */
+bool httpGet(const std::string &host, std::uint16_t port,
+             const std::string &path, std::string &body,
+             std::string &error);
+
+} // namespace tps::net
+
+#endif // TPS_NET_CLIENT_H_

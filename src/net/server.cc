@@ -1,0 +1,1591 @@
+/**
+ * @file
+ * tpsd's engine (see server.h for the threading model).
+ *
+ * Layout of this file: wire-level JSON payload builders, then the
+ * three pimpl structs (Conn, Session, Impl), then the Impl methods in
+ * lifecycle order — sockets, event loop, frame dispatch, admission,
+ * quantum execution on the pool, completion/eviction/journaling, the
+ * HTTP /report endpoint — and finally the thin Server facade.
+ */
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/experiment_session.h"
+#include "obs/atomic_file.h"
+#include "obs/campaign_journal.h"
+#include "obs/heartbeat.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/report_html.h"
+#include "obs/timeseries.h"
+#include "trace/vector_trace.h"
+#include "util/thread_pool.h"
+#include "workloads/registry.h"
+
+namespace tps::net
+{
+
+namespace
+{
+
+std::uint64_t
+nowSteadyMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool
+setNonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string
+errorJson(const std::string &message)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os, false);
+    w.beginObject();
+    w.key("error").value(message);
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+std::string
+acceptedJson(std::uint64_t session_id)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os, false);
+    w.beginObject();
+    w.key("session_id").value(session_id);
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+std::string
+rejectedJson(const std::string &reason, std::uint64_t retry_after_ms)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os, false);
+    w.beginObject();
+    w.key("reason").value(reason);
+    w.key("retry_after_ms").value(retry_after_ms);
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+enum class SessionState
+{
+    Receiving, ///< streamed trace still uploading
+    Queued,    ///< admitted; a quantum is queued on (or bound for) the pool
+    Running,   ///< a worker is advancing the engine right now
+    Done,      ///< exhausted; result available
+    Cancelled, ///< client Cancel; partial result available
+    Failed,    ///< engine threw; see failure
+    Evicted,   ///< idle timeout; partial result when it got to run
+};
+
+const char *
+stateName(SessionState s)
+{
+    switch (s) {
+    case SessionState::Receiving:
+        return "receiving";
+    case SessionState::Queued:
+        return "queued";
+    case SessionState::Running:
+        return "running";
+    case SessionState::Done:
+        return "done";
+    case SessionState::Cancelled:
+        return "cancelled";
+    case SessionState::Failed:
+        return "failed";
+    case SessionState::Evicted:
+        return "evicted";
+    }
+    return "?";
+}
+
+bool
+isTerminal(SessionState s)
+{
+    return s == SessionState::Done || s == SessionState::Cancelled ||
+           s == SessionState::Failed || s == SessionState::Evicted;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ structs
+
+/** One TCP connection (wire protocol until sniffed as HTTP). */
+struct Server::Conn
+{
+    int fd = -1;
+
+    // Mode sniffing: the first 4 bytes decide wire vs. HTTP ("GET ").
+    bool sniffed = false;
+    bool http = false;
+    std::string preamble;
+
+    // Wire mode.
+    FrameParser parser;
+    bool helloDone = false;
+
+    // HTTP mode.
+    std::string httpBuf;
+
+    // Outbound bytes not yet written (outOff consumed).
+    std::string out;
+    std::size_t outOff = 0;
+    bool closeAfterFlush = false;
+
+    bool wantWrite() const { return outOff < out.size(); }
+};
+
+/**
+ * One experiment session.  Owned by the sessions map (loop) via
+ * shared_ptr; the in-flight pool task holds a second reference, so an
+ * erase never frees an engine a worker still touches.  Snapshot
+ * fields are guarded by Impl::mutex; the engine and its borrowed
+ * trace/policy/TLB belong to the loop while Receiving and to the
+ * single in-flight task afterwards.
+ */
+struct Server::Session
+{
+    std::uint64_t id = 0;
+    SessionSpec spec;
+    std::uint64_t admittedAtMs = 0;
+
+    // ---- guarded by Impl::mutex ----
+    SessionState state = SessionState::Receiving;
+    bool evicted = false;
+    std::uint64_t replayedRefs = 0;
+    std::uint64_t measuredRefs = 0;
+    std::uint64_t chunks = 0;
+    double wallSeconds = 0.0;
+    std::vector<std::string> pendingTelemetry;
+    std::string resultStats;   ///< canonical "session"-prefixed dump
+    std::string journalStats;  ///< same result, "session-<id>" prefix
+    std::string resultTs;
+    std::string failure;
+    std::string workloadName;  ///< from the result (journal fields)
+    std::uint64_t resultRefs = 0;
+    std::uint64_t resultInstructions = 0;
+    double resultCpi = 0.0;
+    bool journaled = false;
+
+    // ---- engine; see ownership note above ----
+    std::unique_ptr<TraceSource> trace;
+    std::unique_ptr<PageSizePolicy> policy;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<core::ExperimentSession> engine;
+    std::size_t tsSent = 0; ///< interval rows already serialized (task-only)
+
+    std::atomic<bool> cancelRequested{false};
+
+    // ---- streamed upload (Receiving only; loop-owned) ----
+    std::vector<MemRef> streamedRefs;
+    std::uint64_t streamedBytes = 0;
+};
+
+struct Server::Impl
+{
+    ServerConfig config;
+    std::atomic<bool> *stopFlag = nullptr;
+
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+
+    TimeWheel wheel{50, 256};
+    std::map<int, std::unique_ptr<Conn>> conns;
+
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, std::shared_ptr<Session>> sessions;
+    std::uint64_t nextSessionId = 1;
+
+    // Daemon counters (guarded by mutex; exported as net.*).
+    struct
+    {
+        std::uint64_t connsAccepted = 0;
+        std::uint64_t framesIn = 0;
+        std::uint64_t framesOut = 0;
+        std::uint64_t bytesIn = 0;
+        std::uint64_t bytesOut = 0;
+        std::uint64_t malformedFrames = 0;
+        std::uint64_t admitted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t done = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t evicted = 0;
+        std::uint64_t httpRequests = 0;
+    } counters;
+
+    std::string hostname;
+    std::string createdUtc;
+    std::uint64_t startedMs = 0;
+    std::uint64_t nextHeartbeatMs = 0;
+
+    std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+    std::unique_ptr<obs::CampaignJournal> journal;
+
+    // Destroyed first (reverse member order): workers join before the
+    // sessions they reference can go away.
+    std::unique_ptr<util::ThreadPool> pool;
+
+    ~Impl();
+
+    // lifecycle
+    bool start(std::string &error, std::uint16_t &port_out);
+    void runLoop();
+    void drainAndFinish();
+
+    // loop internals
+    void acceptConns();
+    void wakeup(std::uint64_t session_id);
+    void drainWakePipe();
+    bool handleConnRead(Conn &conn);
+    bool flushConn(Conn &conn);
+    void closeConn(int fd);
+    void sendFrame(Conn &conn, FrameType type, const std::string &payload);
+
+    // frame dispatch (loop thread); false closes after flush
+    bool handleFrame(Conn &conn, const Frame &frame);
+    void handleSubmit(Conn &conn, const Frame &frame);
+    void handleTraceChunk(Conn &conn, const Frame &frame);
+    void handleTraceDone(Conn &conn, std::uint64_t id);
+    void handlePoll(Conn &conn, std::uint64_t id);
+    void handleCancel(Conn &conn, std::uint64_t id);
+
+    // sessions
+    std::shared_ptr<Session> findSession(std::uint64_t id);
+    bool admit(const SessionSpec &spec, std::string &reason);
+    bool buildEngine(Session &s, std::string &error);
+    void submitQuantum(std::shared_ptr<Session> s);
+    void runQuantum(const std::shared_ptr<Session> &s);
+    std::string serializeTelemetry(Session &s);
+    void onTaskNotify(std::uint64_t id);
+    void finalizeSession(const std::shared_ptr<Session> &s);
+    void onIdleExpire(std::uint64_t id);
+    void touch(std::uint64_t id);
+    std::string statusJsonLocked(const Session &s,
+                                 bool result_follows) const;
+
+    // artifacts
+    void journalSessionLocked(Session &s);
+    void writeHeartbeat(const std::string &state);
+    obs::Heartbeat buildHeartbeat(const std::string &state);
+
+    // HTTP
+    void handleHttp(Conn &conn);
+    std::string httpResponse(int code, const std::string &reason,
+                             const std::string &body) const;
+    std::string renderIndex();
+    bool renderSession(std::uint64_t id, std::string &html);
+};
+
+Server::Impl::~Impl()
+{
+    pool.reset(); // join workers before tearing anything else down
+    for (auto &[fd, conn] : conns)
+        ::close(fd);
+    conns.clear();
+    if (listenFd >= 0)
+        ::close(listenFd);
+    if (wakeRead >= 0)
+        ::close(wakeRead);
+    if (wakeWrite >= 0)
+        ::close(wakeWrite);
+}
+
+// ----------------------------------------------------------- lifecycle
+
+bool
+Server::Impl::start(std::string &error, std::uint16_t &port_out)
+{
+    hostname = obs::RunManifest::currentHostname();
+    createdUtc = obs::RunManifest::currentTimestampUtc();
+    startedMs = nowSteadyMs();
+
+    if (!config.statusDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config.statusDir, ec);
+        if (ec) {
+            error = config.statusDir + ": " + ec.message();
+            return false;
+        }
+        heartbeat = std::make_unique<obs::HeartbeatWriter>(
+            config.statusDir + "/heartbeat.json");
+        journal = std::make_unique<obs::CampaignJournal>(
+            config.statusDir + "/campaign.jsonl");
+        try {
+            journal->start("tpsd", 0, "tpsd", createdUtc);
+        } catch (const std::exception &e) {
+            error = e.what();
+            return false;
+        }
+    }
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        error = config.bindAddress + ": not an IPv4 address";
+        return false;
+    }
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = std::string("bind: ") + std::strerror(errno);
+        return false;
+    }
+    if (::listen(listenFd, 64) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        error = std::string("getsockname: ") + std::strerror(errno);
+        return false;
+    }
+    port_out = ntohs(addr.sin_port);
+    if (!setNonblocking(listenFd)) {
+        error = "fcntl(listen): " + std::string(std::strerror(errno));
+        return false;
+    }
+
+    int pipefd[2];
+    if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+        error = std::string("pipe2: ") + std::strerror(errno);
+        return false;
+    }
+    wakeRead = pipefd[0];
+    wakeWrite = pipefd[1];
+
+    pool = std::make_unique<util::ThreadPool>(
+        config.workers == 0 ? 1 : config.workers);
+
+    writeHeartbeat("starting");
+    return true;
+}
+
+void
+Server::Impl::runLoop()
+{
+    writeHeartbeat("running");
+    nextHeartbeatMs = nowSteadyMs() + config.heartbeatIntervalMs;
+
+    std::vector<pollfd> fds;
+    std::vector<int> order; // conn fd per fds entry beyond the first two
+    while (!stopFlag->load(std::memory_order_relaxed)) {
+        fds.clear();
+        order.clear();
+        fds.push_back({listenFd, POLLIN, 0});
+        fds.push_back({wakeRead, POLLIN, 0});
+        for (auto &[fd, conn] : conns) {
+            short events = POLLIN;
+            if (conn->wantWrite())
+                events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+            order.push_back(fd);
+        }
+
+        const std::uint64_t now = nowSteadyMs();
+        std::uint64_t deadline = nextHeartbeatMs;
+        deadline = std::min(deadline, wheel.nextDeadline());
+        int timeout = 500;
+        if (deadline != std::numeric_limits<std::uint64_t>::max()) {
+            const std::uint64_t wait =
+                deadline > now ? deadline - now : 0;
+            timeout = static_cast<int>(std::min<std::uint64_t>(wait, 500));
+        }
+
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
+        if (ready < 0 && errno != EINTR)
+            break;
+
+        if (ready > 0) {
+            if (fds[1].revents & POLLIN)
+                drainWakePipe();
+            if (fds[0].revents & POLLIN)
+                acceptConns();
+            for (std::size_t i = 2; i < fds.size(); ++i) {
+                const int fd = order[i - 2];
+                const auto it = conns.find(fd);
+                if (it == conns.end())
+                    continue;
+                Conn &conn = *it->second;
+                bool ok = true;
+                if (fds[i].revents & (POLLERR | POLLNVAL))
+                    ok = false;
+                if (ok && (fds[i].revents & (POLLIN | POLLHUP)))
+                    ok = handleConnRead(conn);
+                if (ok)
+                    ok = flushConn(conn);
+                if (!ok)
+                    closeConn(fd);
+            }
+        }
+
+        const std::uint64_t after = nowSteadyMs();
+        for (const std::uint64_t id : wheel.advanceTo(after))
+            onIdleExpire(id);
+        if (after >= nextHeartbeatMs) {
+            writeHeartbeat("running");
+            nextHeartbeatMs = after + config.heartbeatIntervalMs;
+        }
+    }
+
+    drainAndFinish();
+}
+
+/**
+ * Orderly shutdown: cancel every live session, drain the pool (each
+ * queued quantum sees cancelRequested and finishes partial), journal
+ * whatever produced results, and leave a final "finished" heartbeat.
+ */
+void
+Server::Impl::drainAndFinish()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto &[id, s] : sessions)
+            if (!isTerminal(s->state))
+                s->cancelRequested.store(true);
+    }
+    pool.reset(); // joins; completion notifications go unread, fine
+
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto &[id, s] : sessions) {
+        if (s->state == SessionState::Receiving ||
+            s->state == SessionState::Queued)
+            s->state = SessionState::Cancelled;
+        if (isTerminal(s->state) && !s->journaled)
+            journalSessionLocked(*s);
+    }
+    if (heartbeat != nullptr) {
+        obs::Heartbeat hb = buildHeartbeat("finished");
+        std::string error;
+        heartbeat->write(hb, error);
+    }
+}
+
+// ---------------------------------------------------------- loop internals
+
+void
+Server::Impl::acceptConns()
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conns.emplace(fd, std::move(conn));
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.connsAccepted;
+    }
+}
+
+void
+Server::Impl::wakeup(std::uint64_t session_id)
+{
+    char buf[8];
+    std::memcpy(buf, &session_id, sizeof(buf));
+    // Nonblocking: a full pipe just means the loop has plenty of
+    // wakeups pending already.
+    (void)!::write(wakeWrite, buf, sizeof(buf));
+}
+
+void
+Server::Impl::drainWakePipe()
+{
+    char buf[8 * 64];
+    for (;;) {
+        const ssize_t n = ::read(wakeRead, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        for (ssize_t off = 0; off + 8 <= n; off += 8) {
+            std::uint64_t id = 0;
+            std::memcpy(&id, buf + off, sizeof(id));
+            if (id != 0)
+                onTaskNotify(id);
+        }
+    }
+}
+
+bool
+Server::Impl::handleConnRead(Conn &conn)
+{
+    char buf[65536];
+    for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                counters.bytesIn += static_cast<std::uint64_t>(n);
+            }
+            const char *data = buf;
+            std::size_t size = static_cast<std::size_t>(n);
+            if (!conn.sniffed) {
+                conn.preamble.append(data, size);
+                if (conn.preamble.size() < 4)
+                    continue;
+                conn.sniffed = true;
+                conn.http = conn.preamble.compare(0, 4, "GET ") == 0;
+                data = conn.preamble.data();
+                size = conn.preamble.size();
+                if (conn.http)
+                    conn.httpBuf.assign(data, size);
+                else
+                    conn.parser.feed(data, size);
+                conn.preamble.clear();
+                continue;
+            }
+            if (conn.http)
+                conn.httpBuf.append(data, size);
+            else
+                conn.parser.feed(data, size);
+            continue;
+        }
+        if (n == 0)
+            return conn.wantWrite(); // peer closed; flush what remains
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        return false;
+    }
+
+    if (conn.http) {
+        if (conn.httpBuf.size() > 8192) // header cap; no bodies served
+            return false;
+        handleHttp(conn);
+        return true;
+    }
+
+    Frame frame;
+    while (!conn.closeAfterFlush) {
+        const FrameParser::Result r = conn.parser.next(frame);
+        if (r == FrameParser::Result::NeedMore)
+            break;
+        if (r == FrameParser::Result::Malformed) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++counters.malformedFrames;
+            }
+            sendFrame(conn, FrameType::Error,
+                      errorJson("malformed frame"));
+            conn.closeAfterFlush = true;
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++counters.framesIn;
+        }
+        if (!handleFrame(conn, frame))
+            conn.closeAfterFlush = true;
+    }
+    return true;
+}
+
+bool
+Server::Impl::flushConn(Conn &conn)
+{
+    while (conn.outOff < conn.out.size()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.out.data() + conn.outOff,
+                   conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outOff += static_cast<std::size_t>(n);
+            std::lock_guard<std::mutex> lock(mutex);
+            counters.bytesOut += static_cast<std::uint64_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true; // POLLOUT will resume
+        return false;
+    }
+    conn.out.clear();
+    conn.outOff = 0;
+    return !conn.closeAfterFlush;
+}
+
+void
+Server::Impl::closeConn(int fd)
+{
+    const auto it = conns.find(fd);
+    if (it == conns.end())
+        return;
+    ::close(fd);
+    conns.erase(it);
+}
+
+void
+Server::Impl::sendFrame(Conn &conn, FrameType type,
+                        const std::string &payload)
+{
+    appendFrame(conn.out, type, payload);
+    std::lock_guard<std::mutex> lock(mutex);
+    ++counters.framesOut;
+}
+
+// ------------------------------------------------------- frame dispatch
+
+bool
+Server::Impl::handleFrame(Conn &conn, const Frame &frame)
+{
+    if (!conn.helloDone) {
+        if (frame.type != FrameType::Hello) {
+            sendFrame(conn, FrameType::Error,
+                      errorJson("expected Hello"));
+            return false;
+        }
+        PayloadReader r(frame.payload);
+        std::uint32_t version = 0;
+        if (!r.u32(version) || !r.done()) {
+            sendFrame(conn, FrameType::Error,
+                      errorJson("malformed Hello"));
+            return false;
+        }
+        if (version != kWireVersion) {
+            sendFrame(conn, FrameType::Error,
+                      errorJson("unsupported wire version"));
+            return false;
+        }
+        conn.helloDone = true;
+        sendFrame(conn, FrameType::HelloOk, encodeVersion(kWireVersion));
+        return true;
+    }
+
+    switch (frame.type) {
+    case FrameType::Submit:
+        handleSubmit(conn, frame);
+        return true;
+    case FrameType::TraceChunk:
+        handleTraceChunk(conn, frame);
+        return true;
+    case FrameType::TraceDone:
+    case FrameType::Poll:
+    case FrameType::Cancel: {
+        PayloadReader r(frame.payload);
+        std::uint64_t id = 0;
+        if (!r.u64(id) || !r.done()) {
+            sendFrame(conn, FrameType::Error,
+                      errorJson("malformed session id payload"));
+            return false;
+        }
+        if (frame.type == FrameType::TraceDone)
+            handleTraceDone(conn, id);
+        else if (frame.type == FrameType::Poll)
+            handlePoll(conn, id);
+        else
+            handleCancel(conn, id);
+        return true;
+    }
+    default:
+        // Server-to-client frame types arriving here are a protocol
+        // violation even though the framing was well-formed.
+        sendFrame(conn, FrameType::Error,
+                  errorJson("unexpected frame type"));
+        return false;
+    }
+}
+
+void
+Server::Impl::handleSubmit(Conn &conn, const Frame &frame)
+{
+    SessionSpec spec;
+    std::string error;
+    if (!SessionSpec::fromJson(frame.payload, spec, error) ||
+        !spec.validate(error)) {
+        sendFrame(conn, FrameType::Error, errorJson(error));
+        return;
+    }
+    if (spec.maxRefs == 0) {
+        // The daemon predicts load from max_refs; unbounded sessions
+        // would make admission control meaningless.
+        sendFrame(conn, FrameType::Error,
+                  errorJson("tpsd requires max_refs > 0"));
+        return;
+    }
+
+    std::string reason;
+    if (!admit(spec, reason)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++counters.rejected;
+        }
+        sendFrame(conn, FrameType::Rejected,
+                  rejectedJson(reason, config.retryAfterMs));
+        return;
+    }
+
+    auto s = std::make_shared<Session>();
+    s->spec = spec;
+    s->admittedAtMs = nowSteadyMs();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        s->id = nextSessionId++;
+        ++counters.admitted;
+        sessions.emplace(s->id, s);
+    }
+
+    if (!spec.streamTrace) {
+        std::string build_error;
+        if (!buildEngine(*s, build_error)) {
+            std::lock_guard<std::mutex> lock(mutex);
+            s->state = SessionState::Failed;
+            s->failure = build_error;
+            ++counters.failed;
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                s->state = SessionState::Queued;
+            }
+            submitQuantum(s);
+        }
+    }
+
+    touch(s->id);
+    sendFrame(conn, FrameType::Accepted, acceptedJson(s->id));
+}
+
+void
+Server::Impl::handleTraceChunk(Conn &conn, const Frame &frame)
+{
+    std::uint64_t id = 0;
+    std::vector<MemRef> refs;
+    if (!decodeTraceChunk(frame.payload, id, refs)) {
+        sendFrame(conn, FrameType::Error,
+                  errorJson("malformed TraceChunk"));
+        conn.closeAfterFlush = true;
+        return;
+    }
+    auto s = findSession(id);
+    if (s == nullptr) {
+        sendFrame(conn, FrameType::Error, errorJson("unknown session"));
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (s->state != SessionState::Receiving) {
+        appendFrame(conn.out, FrameType::Error,
+                    errorJson("session is not receiving a trace"));
+        ++counters.framesOut;
+        return;
+    }
+    std::uint64_t queued = 0;
+    for (const auto &[sid, other] : sessions)
+        if (!isTerminal(other->state))
+            queued += other->streamedBytes;
+    const std::uint64_t add = refs.size() * kWireRefBytes;
+    if (queued + add > config.maxQueuedTraceBytes) {
+        s->state = SessionState::Failed;
+        s->failure = "queued trace bytes cap exceeded";
+        ++counters.failed;
+        appendFrame(conn.out, FrameType::Error, errorJson(s->failure));
+        ++counters.framesOut;
+        return;
+    }
+    s->streamedBytes += add;
+    s->streamedRefs.insert(s->streamedRefs.end(), refs.begin(),
+                           refs.end());
+    touch(id);
+}
+
+void
+Server::Impl::handleTraceDone(Conn &conn, std::uint64_t id)
+{
+    auto s = findSession(id);
+    if (s == nullptr) {
+        sendFrame(conn, FrameType::Error, errorJson("unknown session"));
+        return;
+    }
+    bool start = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (s->state != SessionState::Receiving) {
+            appendFrame(conn.out, FrameType::Error,
+                        errorJson("session is not receiving a trace"));
+            ++counters.framesOut;
+            return;
+        }
+        start = true;
+    }
+    std::string error;
+    if (!buildEngine(*s, error)) {
+        std::lock_guard<std::mutex> lock(mutex);
+        s->state = SessionState::Failed;
+        s->failure = error;
+        ++counters.failed;
+    } else if (start) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            s->state = SessionState::Queued;
+        }
+        submitQuantum(s);
+    }
+    touch(id);
+    std::lock_guard<std::mutex> lock(mutex);
+    appendFrame(conn.out, FrameType::Status,
+                statusJsonLocked(*s, false));
+    ++counters.framesOut;
+}
+
+void
+Server::Impl::handlePoll(Conn &conn, std::uint64_t id)
+{
+    auto s = findSession(id);
+    if (s == nullptr) {
+        sendFrame(conn, FrameType::Error, errorJson("unknown session"));
+        return;
+    }
+    std::vector<std::string> telemetry;
+    std::string status;
+    std::string result;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        telemetry.swap(s->pendingTelemetry);
+        if (isTerminal(s->state) && !s->resultStats.empty())
+            result = s->resultStats;
+        status = statusJsonLocked(*s, !result.empty());
+    }
+    for (const std::string &t : telemetry)
+        sendFrame(conn, FrameType::Telemetry, t);
+    sendFrame(conn, FrameType::Status, status);
+    if (!result.empty())
+        sendFrame(conn, FrameType::Result, result);
+    touch(id);
+}
+
+void
+Server::Impl::handleCancel(Conn &conn, std::uint64_t id)
+{
+    auto s = findSession(id);
+    if (s == nullptr) {
+        sendFrame(conn, FrameType::Error, errorJson("unknown session"));
+        return;
+    }
+    bool finalize = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (s->state == SessionState::Receiving) {
+            s->state = SessionState::Cancelled;
+            s->streamedRefs.clear();
+            s->streamedRefs.shrink_to_fit();
+            s->streamedBytes = 0;
+            finalize = true;
+        } else if (!isTerminal(s->state)) {
+            // The in-flight (or next) quantum sees the flag, finishes
+            // the partial run and posts completion.
+            s->cancelRequested.store(true);
+        }
+    }
+    if (finalize)
+        finalizeSession(s);
+    touch(id);
+    std::lock_guard<std::mutex> lock(mutex);
+    appendFrame(conn.out, FrameType::Status,
+                statusJsonLocked(*s, false));
+    ++counters.framesOut;
+}
+
+// ------------------------------------------------------------ sessions
+
+std::shared_ptr<Server::Session>
+Server::Impl::findSession(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = sessions.find(id);
+    return it == sessions.end() ? nullptr : it->second;
+}
+
+/** Admission control (loop thread).  False sets @p reason. */
+bool
+Server::Impl::admit(const SessionSpec &spec, std::string &reason)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t live = 0;
+    std::uint64_t predicted = 0;
+    for (const auto &[id, s] : sessions) {
+        if (isTerminal(s->state))
+            continue;
+        ++live;
+        const std::uint64_t remaining =
+            s->spec.maxRefs > s->replayedRefs
+                ? s->spec.maxRefs - s->replayedRefs
+                : 0;
+        predicted += remaining;
+    }
+    if (live >= config.maxSessions) {
+        reason = "session limit reached";
+        return false;
+    }
+    if (config.maxInflightRefs != 0 &&
+        predicted + spec.maxRefs > config.maxInflightRefs) {
+        reason = "predicted reference backlog too high";
+        return false;
+    }
+    return true;
+}
+
+/** Instantiate trace/policy/TLB/engine (loop thread, pre-queue). */
+bool
+Server::Impl::buildEngine(Session &s, std::string &error)
+{
+    try {
+        if (s.spec.streamTrace) {
+            s.trace = std::make_unique<VectorTrace>(
+                std::move(s.streamedRefs), "stream");
+            s.streamedRefs.clear();
+        } else {
+            s.trace = workloads::findWorkload(s.spec.workload)
+                          .instantiate();
+        }
+        s.policy = s.spec.policy.instantiate();
+        s.tlb = makeTlb(s.spec.tlb);
+        std::vector<core::SessionCell> cells(1);
+        cells[0].tlb = s.tlb.get();
+        cells[0].probe = s.spec.tlb.probe;
+        s.engine = std::make_unique<core::ExperimentSession>(
+            *s.trace, *s.policy, std::move(cells),
+            s.spec.runOptions());
+        return true;
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+}
+
+void
+Server::Impl::submitQuantum(std::shared_ptr<Session> s)
+{
+    if (pool == nullptr)
+        return;
+    pool->submit([this, s = std::move(s)] { runQuantum(s); });
+}
+
+/**
+ * One scheduling quantum (worker thread): advance the engine up to
+ * quantumChunks chunks, checking the cancel flag between chunks;
+ * serialize any newly closed telemetry intervals; on exhaustion or
+ * cancel, finish() the engine and serialize the final stats.  Only
+ * then take the mutex to publish, and post the session id to the loop.
+ */
+void
+Server::Impl::runQuantum(const std::shared_ptr<Session> &s)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (isTerminal(s->state))
+            return;
+        s->state = SessionState::Running;
+    }
+
+    bool cancelled = s->cancelRequested.load();
+    bool exhausted = false;
+    std::string telemetry;
+    std::string stats;
+    std::string journal_stats;
+    std::string ts;
+    std::string failure;
+    std::string workload_name;
+    std::uint64_t result_refs = 0;
+    std::uint64_t result_instructions = 0;
+    double result_cpi = 0.0;
+    double wall = 0.0;
+
+    try {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t executed = 0;
+        while (!cancelled && executed < config.quantumChunks &&
+               s->engine->step()) {
+            ++executed;
+            cancelled = s->cancelRequested.load();
+        }
+        exhausted = s->engine->exhausted();
+        wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+        telemetry = serializeTelemetry(*s);
+        if (cancelled || exhausted) {
+            std::vector<core::ExperimentResult> results =
+                s->engine->finish();
+            const core::ExperimentResult &result = results.front();
+            stats = sessionStatsJson(result);
+            ts = sessionTimeseriesJson(result);
+            // The journaled copy gets a per-session stats prefix so
+            // `tps_report --campaign` can merge many sessions without
+            // name collisions; the wire Result keeps the canonical
+            // "session" prefix the byte-identity gate compares.
+            obs::StatRegistry registry;
+            result.exportTo(registry,
+                            "session-" + std::to_string(s->id));
+            std::ostringstream os;
+            registry.writeJson(os);
+            os << '\n';
+            journal_stats = os.str();
+            workload_name = result.workload;
+            result_refs = result.refs;
+            result_instructions = result.instructions;
+            result_cpi = result.cpiTlb;
+        }
+    } catch (const std::exception &e) {
+        failure = e.what();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        s->replayedRefs = s->engine->replayedRefs();
+        s->measuredRefs = s->engine->measuredRefs();
+        s->chunks = s->engine->chunksExecuted();
+        s->wallSeconds += wall;
+        if (!telemetry.empty())
+            s->pendingTelemetry.push_back(std::move(telemetry));
+        if (!failure.empty()) {
+            s->state = SessionState::Failed;
+            s->failure = failure;
+        } else if (cancelled || exhausted) {
+            s->resultStats = std::move(stats);
+            s->journalStats = std::move(journal_stats);
+            s->resultTs = std::move(ts);
+            s->workloadName = workload_name;
+            s->resultRefs = result_refs;
+            s->resultInstructions = result_instructions;
+            s->resultCpi = result_cpi;
+            s->state = exhausted && !cancelled
+                           ? SessionState::Done
+                           : (s->evicted ? SessionState::Evicted
+                                         : SessionState::Cancelled);
+        } else {
+            s->state = SessionState::Queued;
+        }
+    }
+    wakeup(s->id);
+}
+
+/** New interval rows since the last quantum, as one Telemetry payload
+ *  ("" when none).  Worker thread; reads only its own engine. */
+std::string
+Server::Impl::serializeTelemetry(Session &s)
+{
+    const obs::TimeSeriesRecorder *recorder = s.engine->recorder(0);
+    if (recorder == nullptr)
+        return "";
+    const std::vector<obs::IntervalRow> &rows = recorder->intervals();
+    if (rows.size() <= s.tsSent)
+        return "";
+    std::ostringstream os;
+    obs::JsonWriter w(os, false);
+    w.beginObject();
+    w.key("session_id").value(s.id);
+    w.key("counter_names").beginArray();
+    for (const std::string &name : recorder->counterNames())
+        w.value(name);
+    w.endArray();
+    w.key("value_names").beginArray();
+    for (const std::string &name : recorder->valueNames())
+        w.value(name);
+    w.endArray();
+    w.key("rows").beginArray();
+    for (std::size_t i = s.tsSent; i < rows.size(); ++i) {
+        const obs::IntervalRow &row = rows[i];
+        w.beginObject();
+        w.key("start").value(row.startRef);
+        w.key("refs").value(row.refs);
+        w.key("counters").beginArray();
+        for (const std::uint64_t c : row.counters)
+            w.value(c);
+        w.endArray();
+        w.key("values").beginArray();
+        for (const double v : row.values)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.finish();
+    s.tsSent = rows.size();
+    return os.str();
+}
+
+/** Loop thread, via the wake pipe: requeue or finalize. */
+void
+Server::Impl::onTaskNotify(std::uint64_t id)
+{
+    auto s = findSession(id);
+    if (s == nullptr)
+        return;
+    SessionState state;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        state = s->state;
+    }
+    if (state == SessionState::Queued) {
+        if (!stopFlag->load(std::memory_order_relaxed))
+            submitQuantum(s);
+    } else if (isTerminal(state)) {
+        finalizeSession(s);
+    }
+}
+
+/** Loop thread: count, journal, and arm the retention timer that
+ *  eventually frees an unclaimed terminal session. */
+void
+Server::Impl::finalizeSession(const std::shared_ptr<Session> &s)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        switch (s->state) {
+        case SessionState::Done:
+            ++counters.done;
+            break;
+        case SessionState::Cancelled:
+            ++counters.cancelled;
+            break;
+        case SessionState::Evicted:
+            ++counters.evicted;
+            break;
+        case SessionState::Failed:
+            ++counters.failed;
+            break;
+        default:
+            break;
+        }
+        s->streamedBytes = 0;
+        if (!s->journaled)
+            journalSessionLocked(*s);
+    }
+    wheel.schedule(s->id, nowSteadyMs() + config.idleTimeoutMs);
+}
+
+void
+Server::Impl::onIdleExpire(std::uint64_t id)
+{
+    auto s = findSession(id);
+    if (s == nullptr)
+        return;
+    bool erase = false;
+    bool cancel = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (isTerminal(s->state)) {
+            erase = true; // unclaimed result outlived its retention
+        } else if (s->state == SessionState::Receiving) {
+            s->state = SessionState::Evicted;
+            ++counters.evicted;
+            erase = true;
+        } else {
+            // Running/queued but unattended: cancel the engine; the
+            // quantum in flight turns it into an Evicted session with
+            // partial results, which finalizeSession then journals.
+            s->evicted = true;
+            s->cancelRequested.store(true);
+            cancel = true;
+        }
+        if (erase)
+            sessions.erase(id);
+    }
+    if (cancel)
+        wheel.schedule(id, nowSteadyMs() + config.idleTimeoutMs);
+}
+
+void
+Server::Impl::touch(std::uint64_t id)
+{
+    wheel.schedule(id, nowSteadyMs() + config.idleTimeoutMs);
+}
+
+std::string
+Server::Impl::statusJsonLocked(const Session &s,
+                               bool result_follows) const
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os, false);
+    w.beginObject();
+    w.key("session_id").value(s.id);
+    w.key("state").value(stateName(s.state));
+    w.key("replayed_refs").value(s.replayedRefs);
+    w.key("measured_refs").value(s.measuredRefs);
+    w.key("chunks").value(s.chunks);
+    // True only when a Result frame follows THIS Status in the same
+    // reply.  Only Poll replies ever carry one; a TraceDone or Cancel
+    // reply must say false even if the session already finished (a
+    // fast run can beat the reply to the mutex), or the client hangs
+    // waiting for a frame that never comes — poll again instead.
+    w.key("has_result").value(result_follows);
+    w.key("error").value(s.failure);
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+// ----------------------------------------------------------- artifacts
+
+/** Write the per-session dumps and append the journal record (mutex
+ *  held by the caller).  IO failures are reported, not fatal: the
+ *  daemon keeps serving even when its status dir fills up. */
+void
+Server::Impl::journalSessionLocked(Session &s)
+{
+    s.journaled = true;
+    if (journal == nullptr || s.resultStats.empty())
+        return;
+    const std::string key = "session-" + std::to_string(s.id);
+    const std::string stats_file = key + ".stats.json";
+    const std::string ts_file =
+        s.resultTs.empty() ? "" : key + ".ts.json";
+    std::string error;
+    if (!obs::atomicWriteFile(config.statusDir + "/" + stats_file,
+                              s.journalStats, error)) {
+        std::fprintf(stderr, "tpsd: %s\n", error.c_str());
+        return;
+    }
+    if (!ts_file.empty() &&
+        !obs::atomicWriteFile(config.statusDir + "/" + ts_file,
+                              s.resultTs, error))
+        std::fprintf(stderr, "tpsd: %s\n", error.c_str());
+    obs::CampaignCellRecord record;
+    record.key = key;
+    record.workload = s.workloadName;
+    record.config = s.spec.tlb.describe();
+    record.refs = s.resultRefs;
+    record.instructions = s.resultInstructions;
+    record.cpiTlb = s.resultCpi;
+    record.wallSeconds = s.wallSeconds;
+    record.statsFile = stats_file;
+    record.timeseriesFile = ts_file;
+    try {
+        journal->append(record);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tpsd: journal: %s\n", e.what());
+    }
+}
+
+obs::Heartbeat
+Server::Impl::buildHeartbeat(const std::string &state)
+{
+    obs::Heartbeat hb;
+    hb.state = state;
+    hb.configHash = "tpsd";
+    hb.timestampUtc = obs::RunManifest::currentTimestampUtc();
+    hb.hostname = hostname;
+    hb.pid = static_cast<std::uint64_t>(::getpid());
+    hb.uptimeSeconds =
+        static_cast<double>(nowSteadyMs() - startedMs) / 1000.0;
+    hb.workers = pool != nullptr ? pool->size() : 0;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    hb.cellsTotal = counters.admitted;
+    for (const auto &[id, s] : sessions) {
+        if (isTerminal(s->state)) {
+            ++hb.cellsDone;
+            hb.refsDone += s->replayedRefs;
+            continue;
+        }
+        if (s->state == SessionState::Running)
+            ++hb.workersBusy;
+        obs::HeartbeatCell cell;
+        cell.key = "session-" + std::to_string(id);
+        cell.workload =
+            s->spec.streamTrace ? "stream" : s->spec.workload;
+        cell.config = s->spec.tlb.describe();
+        cell.elapsedSeconds =
+            static_cast<double>(nowSteadyMs() - s->admittedAtMs) /
+            1000.0;
+        hb.inFlight.push_back(std::move(cell));
+    }
+    // Sessions already reaped by the retention timer still count.
+    const std::uint64_t reaped_done =
+        counters.done + counters.cancelled + counters.evicted +
+        counters.failed;
+    if (reaped_done > hb.cellsDone)
+        hb.cellsDone = reaped_done;
+    return hb;
+}
+
+void
+Server::Impl::writeHeartbeat(const std::string &state)
+{
+    if (heartbeat == nullptr)
+        return;
+    const obs::Heartbeat hb = buildHeartbeat(state);
+    std::string error;
+    if (!heartbeat->write(hb, error))
+        std::fprintf(stderr, "tpsd: %s\n", error.c_str());
+}
+
+// ---------------------------------------------------------------- HTTP
+
+void
+Server::Impl::handleHttp(Conn &conn)
+{
+    const std::size_t end = conn.httpBuf.find("\r\n\r\n");
+    if (end == std::string::npos)
+        return; // request incomplete
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.httpRequests;
+    }
+    conn.closeAfterFlush = true;
+
+    const std::size_t line_end = conn.httpBuf.find("\r\n");
+    std::istringstream line(conn.httpBuf.substr(0, line_end));
+    std::string method;
+    std::string path;
+    line >> method >> path;
+    if (method != "GET") {
+        conn.out += httpResponse(405, "Method Not Allowed",
+                                 "<h1>405</h1>\n");
+        return;
+    }
+    if (path == "/" || path == "/report" || path == "/report/") {
+        conn.out += httpResponse(200, "OK", renderIndex());
+        return;
+    }
+    const std::string prefix = "/report/";
+    if (path.compare(0, prefix.size(), prefix) == 0) {
+        const std::string tail = path.substr(prefix.size());
+        char *parse_end = nullptr;
+        const std::uint64_t id =
+            std::strtoull(tail.c_str(), &parse_end, 10);
+        if (parse_end != tail.c_str() && *parse_end == '\0') {
+            std::string html;
+            if (renderSession(id, html)) {
+                conn.out += httpResponse(200, "OK", html);
+                return;
+            }
+            conn.out += httpResponse(
+                404, "Not Found",
+                "<h1>404</h1><p>no finished session with that id</p>\n");
+            return;
+        }
+    }
+    conn.out += httpResponse(404, "Not Found", "<h1>404</h1>\n");
+}
+
+std::string
+Server::Impl::httpResponse(int code, const std::string &reason,
+                           const std::string &body) const
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+       << "Content-Type: text/html; charset=utf-8\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+std::string
+Server::Impl::renderIndex()
+{
+    namespace report = obs::report;
+    std::ostringstream os;
+    report::writePageHead(os, "tpsd sessions");
+    os << "<table>\n<tr><th>session</th><th>state</th>"
+          "<th>workload</th><th>replayed refs</th>"
+          "<th>report</th></tr>\n";
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &[id, s] : sessions) {
+        os << "<tr><td>session-" << id << "</td><td>"
+           << stateName(s->state) << "</td><td>"
+           << report::htmlEscape(s->spec.streamTrace ? "stream"
+                                                     : s->spec.workload)
+           << "</td><td>" << s->replayedRefs << "</td><td>";
+        if (isTerminal(s->state) && !s->resultStats.empty())
+            os << "<a href=\"/report/" << id << "\">report</a>";
+        os << "</td></tr>\n";
+    }
+    os << "</table>\n";
+    report::writePageFoot(os);
+    return os.str();
+}
+
+/** Render one finished session's report (the page `tps_report` would
+ *  write for the same stats/timeseries documents). */
+bool
+Server::Impl::renderSession(std::uint64_t id, std::string &html)
+{
+    std::string stats;
+    std::string ts;
+    std::string state;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = sessions.find(id);
+        if (it == sessions.end())
+            return false;
+        const Session &s = *it->second;
+        if (!isTerminal(s.state) || s.resultStats.empty())
+            return false;
+        stats = s.resultStats;
+        ts = s.resultTs;
+        state = stateName(s.state);
+    }
+
+    namespace report = obs::report;
+    std::ostringstream os;
+    try {
+        report::writePageHead(os, "tpsd session report");
+        os << "<p class=\"dim\">session-" << id << " &mdash; " << state
+           << "</p>\n";
+        const obs::JsonValue doc = obs::parseJson(stats);
+        report::writeStatsSections(os, doc);
+        if (!ts.empty()) {
+            const obs::JsonValue tsdoc = obs::parseJson(ts);
+            if (const obs::JsonValue *cells = tsdoc.find("cells"))
+                for (const auto &[key, cell] : cells->object)
+                    report::writeTimeSeriesCell(os, key, cell);
+        }
+        report::writePageFoot(os);
+    } catch (const std::exception &) {
+        return false;
+    }
+    html = os.str();
+    return true;
+}
+
+// ------------------------------------------------------- Server facade
+
+Server::Server(ServerConfig config) : impl_(std::make_unique<Impl>())
+{
+    impl_->config = std::move(config);
+    impl_->stopFlag = &stop_;
+}
+
+Server::~Server() = default;
+
+bool
+Server::start(std::string &error)
+{
+    return impl_->start(error, port_);
+}
+
+void
+Server::run()
+{
+    impl_->runLoop();
+}
+
+void
+Server::stop()
+{
+    stop_.store(true);
+    impl_->wakeup(0);
+}
+
+void
+Server::journalPartialAndFlush(int signo)
+{
+    (void)signo;
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // Same pragmatic tradeoff obs/signal_flush.h documents: this runs
+    // IO and takes locks on a signal path; the journal and heartbeat
+    // stay uncorruptible because their commits are atomic renames.
+    for (auto &[id, s] : impl_->sessions)
+        if (isTerminal(s->state) && !s->journaled)
+            impl_->journalSessionLocked(*s);
+    if (impl_->heartbeat != nullptr) {
+        obs::Heartbeat hb;
+        hb.state = "interrupted";
+        hb.configHash = "tpsd";
+        hb.timestampUtc = obs::RunManifest::currentTimestampUtc();
+        hb.hostname = impl_->hostname;
+        hb.pid = static_cast<std::uint64_t>(::getpid());
+        hb.uptimeSeconds =
+            static_cast<double>(nowSteadyMs() - impl_->startedMs) /
+            1000.0;
+        hb.cellsTotal = impl_->counters.admitted;
+        for (const auto &[id, s] : impl_->sessions) {
+            if (isTerminal(s->state)) {
+                ++hb.cellsDone;
+                continue;
+            }
+            obs::HeartbeatCell cell;
+            cell.key = "session-" + std::to_string(id);
+            cell.workload =
+                s->spec.streamTrace ? "stream" : s->spec.workload;
+            cell.config = s->spec.tlb.describe();
+            hb.inFlight.push_back(std::move(cell));
+        }
+        std::string error;
+        impl_->heartbeat->write(hb, error);
+    }
+}
+
+void
+Server::exportStats(obs::StatRegistry &registry) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto &c = impl_->counters;
+    registry.addCounter("net.conns_accepted", c.connsAccepted);
+    registry.addCounter("net.frames_in", c.framesIn);
+    registry.addCounter("net.frames_out", c.framesOut);
+    registry.addCounter("net.bytes_in", c.bytesIn);
+    registry.addCounter("net.bytes_out", c.bytesOut);
+    registry.addCounter("net.malformed_frames", c.malformedFrames);
+    registry.addCounter("net.sessions_admitted", c.admitted);
+    registry.addCounter("net.sessions_rejected", c.rejected);
+    registry.addCounter("net.sessions_done", c.done);
+    registry.addCounter("net.sessions_cancelled", c.cancelled);
+    registry.addCounter("net.sessions_failed", c.failed);
+    registry.addCounter("net.sessions_evicted", c.evicted);
+    registry.addCounter("net.http_requests", c.httpRequests);
+}
+
+std::size_t
+Server::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->sessions.size();
+}
+
+} // namespace tps::net

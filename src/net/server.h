@@ -1,0 +1,138 @@
+/**
+ * @file
+ * tpsd's engine: a poll(2) event loop multiplexing tps-wire-v1
+ * connections, experiment sessions scheduled in quanta onto
+ * util::ThreadPool, admission control, timewheel-driven idle
+ * eviction, live heartbeat/journal publication and a plain-HTTP
+ * /report endpoint (DESIGN.md §14).
+ *
+ * Threading: the event-loop thread (the caller of run()) owns the
+ * sockets, the timewheel and all admission/eviction decisions.  One
+ * pool task at a time advances a session's core::ExperimentSession by
+ * `quantumChunks` chunks and serializes that session's new telemetry
+ * and (on exhaustion) its final stats itself — workers touch only
+ * their own session's engine, so the loop and the workers share
+ * nothing but the small snapshot fields guarded by one mutex.
+ * Completion is posted back to the loop over a self-pipe, which is
+ * also how stop() and cross-thread wakeups work.
+ *
+ * Sessions outlive connections: a client may disconnect after Submit
+ * and poll again later from a new connection — sessions are evicted
+ * only by the idle timewheel or by shutdown, which is what makes a
+ * submitted experiment resumable from the client's point of view.
+ */
+
+#ifndef TPS_NET_SERVER_H_
+#define TPS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/spec.h"
+#include "net/timewheel.h"
+#include "net/wire.h"
+#include "obs/stat_registry.h"
+
+namespace tps::util
+{
+class ThreadPool;
+}
+
+namespace tps::net
+{
+
+struct ServerConfig
+{
+    /** Bind address; loopback by default — tpsd serves a machine, not
+     *  a network, until someone consciously widens this. */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 = ephemeral (the test harness reads port()). */
+    std::uint16_t port = 0;
+
+    /** Worker threads advancing sessions. */
+    unsigned workers = 2;
+
+    /** Chunks one pool task advances a session before requeueing it —
+     *  the fairness quantum (chunk size comes from each spec). */
+    std::uint64_t quantumChunks = 64;
+
+    // ---- admission control ----
+    /** Concurrently admitted sessions (receiving + queued + running). */
+    std::size_t maxSessions = 4;
+
+    /** Cap on streamed trace bytes held across live sessions. */
+    std::uint64_t maxQueuedTraceBytes = 64u << 20;
+
+    /**
+     * Throttle on the total predicted references (sum of admitted
+     * sessions' remaining max_refs); 0 disables.  The hint a Rejected
+     * frame carries is retryAfterMs.
+     */
+    std::uint64_t maxInflightRefs = 0;
+
+    std::uint64_t retryAfterMs = 250;
+
+    // ---- lifecycle ----
+    /** Evict a session untouched by any client frame for this long. */
+    std::uint64_t idleTimeoutMs = 60'000;
+
+    /** Heartbeat + journal + per-session dumps; "" disables. */
+    std::string statusDir;
+
+    std::uint64_t heartbeatIntervalMs = 1000;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, open the self-pipe, spawn the pool.  False with
+     *  @p error set on any socket failure. */
+    bool start(std::string &error);
+
+    /** The bound port (after start(); resolves port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** The event loop; returns after stop().  Call from one thread. */
+    void run();
+
+    /** Ask the loop to exit (any thread; idempotent). */
+    void stop();
+
+    /**
+     * Signal-flush path (SIGINT/SIGTERM via obs::installSignalFlush):
+     * publish a state="interrupted" heartbeat and journal every live
+     * session's partial progress, so an interrupted daemon leaves the
+     * same readable artifacts an interrupted campaign does.  Not a
+     * clean shutdown — the process _Exit()s right after.
+     */
+    void journalPartialAndFlush(int signo);
+
+    /** Daemon counters under "net.*" (feature-gated registry keys). */
+    void exportStats(obs::StatRegistry &registry) const;
+
+    /** Live session count (tests). */
+    std::size_t sessionCount() const;
+
+  private:
+    struct Conn;
+    struct Session;
+    struct Impl;
+
+    std::unique_ptr<Impl> impl_;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace tps::net
+
+#endif // TPS_NET_SERVER_H_

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * tps-session-spec-v1 (de)serialization and validation (see spec.h).
+ */
+
+#include "net/spec.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/stat_registry.h"
+#include "obs/timeseries.h"
+#include "workloads/registry.h"
+
+namespace tps::net
+{
+
+namespace
+{
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+// --- enum spellings (wire names are part of the schema) -------------
+
+const char *
+organizationName(TlbOrganization org)
+{
+    switch (org) {
+      case TlbOrganization::FullyAssociative:
+        return "fa";
+      case TlbOrganization::SetAssociative:
+        return "set_assoc";
+      case TlbOrganization::Split:
+        return "split";
+      case TlbOrganization::TwoLevel:
+        return "two_level";
+    }
+    return "?";
+}
+
+bool
+parseOrganization(const std::string &name, TlbOrganization &out)
+{
+    if (name == "fa")
+        out = TlbOrganization::FullyAssociative;
+    else if (name == "set_assoc")
+        out = TlbOrganization::SetAssociative;
+    else if (name == "split")
+        out = TlbOrganization::Split;
+    else if (name == "two_level")
+        out = TlbOrganization::TwoLevel;
+    else
+        return false;
+    return true;
+}
+
+const char *
+schemeName(IndexScheme scheme)
+{
+    switch (scheme) {
+      case IndexScheme::SmallPage:
+        return "small";
+      case IndexScheme::LargePage:
+        return "large";
+      case IndexScheme::Exact:
+        return "exact";
+    }
+    return "?";
+}
+
+bool
+parseScheme(const std::string &name, IndexScheme &out)
+{
+    if (name == "small")
+        out = IndexScheme::SmallPage;
+    else if (name == "large")
+        out = IndexScheme::LargePage;
+    else if (name == "exact")
+        out = IndexScheme::Exact;
+    else
+        return false;
+    return true;
+}
+
+const char *
+probeName(ProbeStrategy probe)
+{
+    return probe == ProbeStrategy::Sequential ? "sequential"
+                                              : "parallel";
+}
+
+bool
+parseProbe(const std::string &name, ProbeStrategy &out)
+{
+    if (name == "parallel")
+        out = ProbeStrategy::Parallel;
+    else if (name == "sequential")
+        out = ProbeStrategy::Sequential;
+    else
+        return false;
+    return true;
+}
+
+const char *
+replacementName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:
+        return "lru";
+      case ReplPolicy::FIFO:
+        return "fifo";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::TreePLRU:
+        return "tree_plru";
+    }
+    return "?";
+}
+
+bool
+parseReplacement(const std::string &name, ReplPolicy &out)
+{
+    if (name == "lru")
+        out = ReplPolicy::LRU;
+    else if (name == "fifo")
+        out = ReplPolicy::FIFO;
+    else if (name == "random")
+        out = ReplPolicy::Random;
+    else if (name == "tree_plru")
+        out = ReplPolicy::TreePLRU;
+    else
+        return false;
+    return true;
+}
+
+// --- tolerant field readers ----------------------------------------
+
+std::string
+getString(const JsonValue &obj, const char *key,
+          const std::string &fallback = "")
+{
+    const JsonValue *v = obj.find(key);
+    return v != nullptr && v->type == JsonValue::Type::String
+               ? v->text
+               : fallback;
+}
+
+std::uint64_t
+getUint(const JsonValue &obj, const char *key, std::uint64_t fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isNumber())
+        return fallback;
+    if (v->type == JsonValue::Type::Int)
+        return v->integer < 0 ? fallback
+                              : static_cast<std::uint64_t>(v->integer);
+    return v->number < 0 ? fallback
+                         : static_cast<std::uint64_t>(v->number);
+}
+
+bool
+getBool(const JsonValue &obj, const char *key, bool fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v != nullptr && v->type == JsonValue::Type::Bool
+               ? v->boolean
+               : fallback;
+}
+
+} // namespace
+
+std::string
+SessionSpec::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("schema").value(kSessionSpecSchema);
+    if (streamTrace)
+        w.key("stream_trace").value(true);
+    else
+        w.key("workload").value(workload);
+    w.key("max_refs").value(maxRefs);
+    w.key("warmup_refs").value(warmupRefs);
+    w.key("ws_window").value(wsWindow);
+    w.key("chunk_refs").value(chunkRefs);
+    w.key("lifecycle").value(lifecycle);
+    w.key("ts_interval_refs").value(tsIntervalRefs);
+    w.key("ts_miss_samples").value(tsMissSamples);
+    w.key("ts_miss_seed").value(tsMissSeed);
+    w.key("events_sample_every").value(eventsSampleEvery);
+    w.key("events_capacity").value(eventsCapacity);
+
+    w.key("tlb").beginObject();
+    w.key("organization").value(organizationName(tlb.organization));
+    w.key("entries").value(static_cast<std::uint64_t>(tlb.entries));
+    w.key("ways").value(static_cast<std::uint64_t>(tlb.ways));
+    w.key("scheme").value(schemeName(tlb.scheme));
+    w.key("probe").value(probeName(tlb.probe));
+    w.key("small_log2").value(tlb.smallLog2);
+    w.key("large_log2").value(tlb.largeLog2);
+    w.key("replacement").value(replacementName(tlb.replacement));
+    w.key("rng_seed").value(tlb.rngSeed);
+    w.key("split_large_entries")
+        .value(static_cast<std::uint64_t>(tlb.splitLargeEntries));
+    w.key("l1_entries")
+        .value(static_cast<std::uint64_t>(tlb.l1Entries));
+    w.endObject();
+
+    w.key("policy").beginObject();
+    if (policy.kind == core::PolicySpec::Kind::Single) {
+        w.key("kind").value("single");
+        w.key("size_log2").value(policy.singleLog2);
+    } else {
+        w.key("kind").value("two_size");
+        w.key("small_log2").value(policy.twoSize.smallLog2);
+        w.key("large_log2").value(policy.twoSize.largeLog2);
+        w.key("window").value(policy.twoSize.window);
+        w.key("promote_threshold").value(policy.twoSize.promoteThreshold);
+        w.key("demote_threshold").value(policy.twoSize.demoteThreshold);
+    }
+    w.endObject();
+    w.endObject();
+    w.finish();
+    return os.str();
+}
+
+bool
+SessionSpec::fromJson(const std::string &text, SessionSpec &out,
+                      std::string &error)
+{
+    JsonValue doc;
+    try {
+        doc = obs::parseJson(text);
+    } catch (const obs::JsonParseError &e) {
+        error = std::string("spec parse error: ") + e.what();
+        return false;
+    }
+    if (doc.type != JsonValue::Type::Object) {
+        error = "spec is not a JSON object";
+        return false;
+    }
+    if (getString(doc, "schema") != kSessionSpecSchema) {
+        error = "spec schema is not tps-session-spec-v1";
+        return false;
+    }
+
+    SessionSpec spec;
+    spec.workload = getString(doc, "workload");
+    spec.streamTrace = getBool(doc, "stream_trace", false);
+    spec.maxRefs = getUint(doc, "max_refs", spec.maxRefs);
+    spec.warmupRefs = getUint(doc, "warmup_refs", spec.warmupRefs);
+    spec.wsWindow = getUint(doc, "ws_window", spec.wsWindow);
+    spec.chunkRefs = getUint(doc, "chunk_refs", spec.chunkRefs);
+    spec.lifecycle = getBool(doc, "lifecycle", spec.lifecycle);
+    spec.tsIntervalRefs =
+        getUint(doc, "ts_interval_refs", spec.tsIntervalRefs);
+    spec.tsMissSamples =
+        getUint(doc, "ts_miss_samples", spec.tsMissSamples);
+    spec.tsMissSeed = getUint(doc, "ts_miss_seed", spec.tsMissSeed);
+    spec.eventsSampleEvery =
+        getUint(doc, "events_sample_every", spec.eventsSampleEvery);
+    spec.eventsCapacity =
+        getUint(doc, "events_capacity", spec.eventsCapacity);
+
+    if (const JsonValue *tlb = doc.find("tlb")) {
+        if (tlb->type != JsonValue::Type::Object) {
+            error = "\"tlb\" is not an object";
+            return false;
+        }
+        TlbConfig &c = spec.tlb;
+        if (!parseOrganization(
+                getString(*tlb, "organization",
+                          organizationName(c.organization)),
+                c.organization)) {
+            error = "unknown tlb.organization";
+            return false;
+        }
+        c.entries = static_cast<std::size_t>(
+            getUint(*tlb, "entries", c.entries));
+        c.ways =
+            static_cast<std::size_t>(getUint(*tlb, "ways", c.ways));
+        if (!parseScheme(getString(*tlb, "scheme",
+                                   schemeName(c.scheme)),
+                         c.scheme)) {
+            error = "unknown tlb.scheme";
+            return false;
+        }
+        if (!parseProbe(getString(*tlb, "probe", probeName(c.probe)),
+                        c.probe)) {
+            error = "unknown tlb.probe";
+            return false;
+        }
+        c.smallLog2 = static_cast<unsigned>(
+            getUint(*tlb, "small_log2", c.smallLog2));
+        c.largeLog2 = static_cast<unsigned>(
+            getUint(*tlb, "large_log2", c.largeLog2));
+        if (!parseReplacement(
+                getString(*tlb, "replacement",
+                          replacementName(c.replacement)),
+                c.replacement)) {
+            error = "unknown tlb.replacement";
+            return false;
+        }
+        c.rngSeed = getUint(*tlb, "rng_seed", c.rngSeed);
+        c.splitLargeEntries = static_cast<std::size_t>(getUint(
+            *tlb, "split_large_entries", c.splitLargeEntries));
+        c.l1Entries = static_cast<std::size_t>(
+            getUint(*tlb, "l1_entries", c.l1Entries));
+    }
+
+    if (const JsonValue *policy = doc.find("policy")) {
+        if (policy->type != JsonValue::Type::Object) {
+            error = "\"policy\" is not an object";
+            return false;
+        }
+        const std::string kind = getString(*policy, "kind", "single");
+        if (kind == "single") {
+            spec.policy = core::PolicySpec::single(
+                static_cast<unsigned>(getUint(*policy, "size_log2",
+                                              spec.tlb.smallLog2)));
+        } else if (kind == "two_size") {
+            TwoSizeConfig config;
+            config.smallLog2 = static_cast<unsigned>(getUint(
+                *policy, "small_log2", spec.tlb.smallLog2));
+            config.largeLog2 = static_cast<unsigned>(getUint(
+                *policy, "large_log2", spec.tlb.largeLog2));
+            config.window =
+                getUint(*policy, "window", config.window);
+            config.promoteThreshold = static_cast<unsigned>(getUint(
+                *policy, "promote_threshold", config.promoteThreshold));
+            config.demoteThreshold = static_cast<unsigned>(getUint(
+                *policy, "demote_threshold", config.demoteThreshold));
+            spec.policy = core::PolicySpec::twoSizes(config);
+        } else {
+            error = "unknown policy.kind";
+            return false;
+        }
+    }
+
+    out = std::move(spec);
+    return true;
+}
+
+bool
+SessionSpec::validate(std::string &error) const
+{
+    if (streamTrace && !workload.empty()) {
+        error = "spec names a workload AND streams a trace";
+        return false;
+    }
+    if (!streamTrace) {
+        if (workload.empty()) {
+            error = "spec names no workload and streams no trace";
+            return false;
+        }
+        bool known = false;
+        for (const auto &info : workloads::suite())
+            known = known || info.name == workload;
+        if (!known) {
+            error = "unknown workload \"" + workload + "\"";
+            return false;
+        }
+        // Registry workloads are infinite generators: an unbounded
+        // run would hold a worker forever.
+        if (maxRefs == 0) {
+            error = "max_refs must be positive for registry workloads";
+            return false;
+        }
+    }
+    if (warmupRefs != 0 && maxRefs != 0 && warmupRefs >= maxRefs) {
+        error = "warmup_refs must be below max_refs";
+        return false;
+    }
+    if (chunkRefs == 0 || chunkRefs > (1u << 20)) {
+        error = "chunk_refs must be in [1, 1048576]";
+        return false;
+    }
+
+    // Everything makeTlb()/the TLB constructors would tps_fatal on —
+    // a daemon refuses, it does not abort.
+    const TlbConfig &c = tlb;
+    if (c.entries == 0) {
+        error = "tlb.entries must be positive";
+        return false;
+    }
+    if (c.smallLog2 >= c.largeLog2) {
+        error = "tlb.small_log2 must be below tlb.large_log2";
+        return false;
+    }
+    auto isPow2 = [](std::size_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    if (c.organization == TlbOrganization::SetAssociative) {
+        if (c.ways == 0 || c.entries % c.ways != 0 ||
+            !isPow2(c.entries / c.ways)) {
+            error = "set-assoc tlb needs entries divisible by ways "
+                    "with a power-of-two set count";
+            return false;
+        }
+    }
+    if (c.organization == TlbOrganization::Split &&
+        (c.splitLargeEntries == 0 ||
+         c.splitLargeEntries >= c.entries)) {
+        error = "split tlb needs 0 < split_large_entries < entries";
+        return false;
+    }
+    if (c.organization == TlbOrganization::TwoLevel &&
+        c.l1Entries == 0) {
+        error = "two-level tlb needs l1_entries > 0";
+        return false;
+    }
+    if (c.replacement == ReplPolicy::TreePLRU) {
+        const std::size_t assoc =
+            c.organization == TlbOrganization::SetAssociative
+                ? c.ways
+                : c.entries;
+        if (!isPow2(assoc) || assoc > 64) {
+            error = "tree_plru needs a power-of-two associativity "
+                    "<= 64";
+            return false;
+        }
+    }
+
+    if (policy.kind == core::PolicySpec::Kind::TwoSize) {
+        const TwoSizeConfig &p = policy.twoSize;
+        if (p.smallLog2 >= p.largeLog2) {
+            error = "policy.small_log2 must be below policy.large_log2";
+            return false;
+        }
+        if (p.blocksPerChunk() > kMaxBlocksPerChunk) {
+            error = "policy page-size span exceeds the supported "
+                    "blocks per chunk";
+            return false;
+        }
+        if (p.window == 0) {
+            error = "policy.window must be positive";
+            return false;
+        }
+    }
+    return true;
+}
+
+core::RunOptions
+SessionSpec::runOptions() const
+{
+    core::RunOptions options;
+    options.maxRefs = maxRefs;
+    options.warmupRefs = warmupRefs;
+    options.wsWindow = wsWindow;
+    options.chunkRefs = static_cast<std::size_t>(chunkRefs);
+    options.lifecycle = lifecycle;
+    options.exec = core::ExecMode::Batched;
+    options.timeseries.intervalRefs = tsIntervalRefs;
+    options.timeseries.missSampleCapacity =
+        static_cast<std::size_t>(tsMissSamples);
+    options.timeseries.missSampleSeed = tsMissSeed;
+    options.events.sampleEvery = eventsSampleEvery;
+    options.events.capacity =
+        static_cast<std::size_t>(eventsCapacity);
+    return options;
+}
+
+std::string
+sessionStatsJson(const core::ExperimentResult &result)
+{
+    obs::StatRegistry registry;
+    result.exportTo(registry, "session");
+    std::ostringstream os;
+    registry.writeJson(os);
+    os << '\n';
+    return os.str();
+}
+
+std::string
+sessionTimeseriesJson(const core::ExperimentResult &result)
+{
+    if (result.timeseries == nullptr)
+        return "";
+    const obs::TimeSeries &series = *result.timeseries;
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(obs::kTimeSeriesSchema);
+    w.key("interval_refs").value(series.intervalRefs);
+    w.key("cells").beginObject();
+    w.key(obs::slugify(series.workload) + "." +
+          obs::slugify(series.tlbName) + "." +
+          obs::slugify(series.policyName));
+    series.writeJson(w);
+    w.endObject();
+    w.endObject();
+    w.finish();
+    os << '\n';
+    return os.str();
+}
+
+} // namespace tps::net

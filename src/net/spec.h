@@ -1,0 +1,99 @@
+/**
+ * @file
+ * tps-session-spec-v1: the JSON experiment description a client
+ * Submits to tpsd, shared verbatim by `tps_submit --local` so the
+ * daemon path and the bench-harness path run *the same* parsed spec —
+ * the precondition of the byte-identity gate (daemon stats ==
+ * --local stats under tps_stats_diff).
+ *
+ * A spec names either a registry workload (replayed server-side from
+ * its deterministic generator) or a streamed trace (the client
+ * uploads references in TraceChunk frames), plus the TLB
+ * configuration, the page-size policy and the run controls.  Fields
+ * mirror core::RunOptions / TlbConfig / core::PolicySpec one-to-one;
+ * serialization round-trips exactly so a spec can be journaled and
+ * re-run.
+ */
+
+#ifndef TPS_NET_SPEC_H_
+#define TPS_NET_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.h"
+#include "tlb/factory.h"
+
+namespace tps::net
+{
+
+inline constexpr const char *kSessionSpecSchema = "tps-session-spec-v1";
+
+/** One experiment session request (see file comment). */
+struct SessionSpec
+{
+    /** Registry workload name; empty iff @ref streamTrace. */
+    std::string workload;
+
+    /** Trace arrives over the wire instead of from the registry. */
+    bool streamTrace = false;
+
+    // Run controls (subset of core::RunOptions the daemon exposes;
+    // exec is always Batched — the resumable engine).
+    std::uint64_t maxRefs = 100'000;
+    std::uint64_t warmupRefs = 0;
+    std::uint64_t wsWindow = 0;
+    std::uint64_t chunkRefs = 4096;
+    bool lifecycle = false;
+
+    // Interval telemetry (0 = disabled).
+    std::uint64_t tsIntervalRefs = 0;
+    std::uint64_t tsMissSamples = 0;
+    std::uint64_t tsMissSeed = 0x9E3779B97F4A7C15ULL;
+
+    // Event telemetry (0 = disabled).
+    std::uint64_t eventsSampleEvery = 0;
+    std::uint64_t eventsCapacity = 65'536;
+
+    TlbConfig tlb;
+    core::PolicySpec policy;
+
+    /** Serialize (canonical field order, round-trips exactly). */
+    std::string toJson() const;
+
+    /** Parse + structural validation; false with @p error set on
+     *  malformed JSON, wrong schema, or unknown enum spelling. */
+    static bool fromJson(const std::string &text, SessionSpec &out,
+                         std::string &error);
+
+    /**
+     * Semantic validation: bounded refs, warmup below maxRefs, a
+     * workload that exists (or streaming), a TLB shape makeTlb()
+     * accepts.  Everything the daemon must refuse instead of
+     * tps_fatal-ing on.
+     */
+    bool validate(std::string &error) const;
+
+    /** The RunOptions this spec means (always ExecMode::Batched). */
+    core::RunOptions runOptions() const;
+};
+
+/**
+ * The canonical stats dump of one finished session: the result
+ * exported under the "session" prefix, serialized with no manifest so
+ * the bytes depend only on the simulation.  tpsd's Result frame,
+ * `tps_submit --stats-out` and `tps_submit --local` all emit exactly
+ * this string.
+ */
+std::string sessionStatsJson(const core::ExperimentResult &result);
+
+/**
+ * The session's interval telemetry as one tps-timeseries-v1 document
+ * (single cell, keyed like obs::TimeSeriesSink would).  Empty string
+ * when the run recorded no timeseries.
+ */
+std::string sessionTimeseriesJson(const core::ExperimentResult &result);
+
+} // namespace tps::net
+
+#endif // TPS_NET_SPEC_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hashed timing wheel (see timewheel.h).
+ */
+
+#include "net/timewheel.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tps::net
+{
+
+TimeWheel::TimeWheel(std::uint64_t tick_ms, std::size_t slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(slots == 0 ? 1 : slots)
+{
+}
+
+std::size_t
+TimeWheel::slotOf(std::uint64_t deadline_ms) const
+{
+    // Round up: an entry must never be visited before its deadline.
+    const std::uint64_t tick =
+        (deadline_ms + tick_ms_ - 1) / tick_ms_;
+    return static_cast<std::size_t>(tick % slots_.size());
+}
+
+void
+TimeWheel::schedule(std::uint64_t id, std::uint64_t deadline_ms)
+{
+    cancel(id);
+    // Store the tick-aligned deadline (rounded up, so nothing fires
+    // early): nextDeadline() then agrees exactly with the tick at
+    // which advanceTo() will visit the entry's bucket — an event loop
+    // sleeping until nextDeadline() wakes to a real expiry, never to
+    // a not-due-yet entry it would spin on.
+    deadline_ms = (deadline_ms + tick_ms_ - 1) / tick_ms_ * tick_ms_;
+    const std::uint64_t floor_ms = (current_tick_ + 1) * tick_ms_;
+    if (deadline_ms < floor_ms)
+        deadline_ms = floor_ms;
+    deadlines_[id] = deadline_ms;
+    slots_[slotOf(deadline_ms)].push_back(id);
+}
+
+void
+TimeWheel::cancel(std::uint64_t id)
+{
+    const auto it = deadlines_.find(id);
+    if (it == deadlines_.end())
+        return;
+    auto &bucket = slots_[slotOf(it->second)];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
+                 bucket.end());
+    deadlines_.erase(it);
+}
+
+std::vector<std::uint64_t>
+TimeWheel::advanceTo(std::uint64_t now_ms)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> expired;
+    const std::uint64_t target_tick = now_ms / tick_ms_;
+    while (current_tick_ < target_tick) {
+        ++current_tick_;
+        auto &bucket =
+            slots_[static_cast<std::size_t>(current_tick_ %
+                                            slots_.size())];
+        // An entry in this bucket expires now only when its absolute
+        // deadline is due — otherwise it is a later revolution's.
+        for (std::size_t i = 0; i < bucket.size();) {
+            const std::uint64_t id = bucket[i];
+            const std::uint64_t deadline = deadlines_.at(id);
+            if (deadline <= current_tick_ * tick_ms_ &&
+                deadline <= now_ms) {
+                expired.emplace_back(deadline, id);
+                deadlines_.erase(id);
+                bucket[i] = bucket.back();
+                bucket.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        // Skip idle revolutions in one hop: if nothing is armed,
+        // jump straight to the target tick.
+        if (deadlines_.empty()) {
+            current_tick_ = target_tick;
+            break;
+        }
+    }
+    std::sort(expired.begin(), expired.end());
+    std::vector<std::uint64_t> ids;
+    ids.reserve(expired.size());
+    for (const auto &[deadline, id] : expired)
+        ids.push_back(id);
+    return ids;
+}
+
+std::uint64_t
+TimeWheel::nextDeadline() const
+{
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (const auto &[id, deadline] : deadlines_)
+        best = std::min(best, deadline);
+    return best;
+}
+
+} // namespace tps::net

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hashed timing wheel driving tpsd's per-session idle timeouts.
+ *
+ * The daemon needs one deadline per session ("evict if the client
+ * neither feeds nor polls it for idleTimeoutMs") and reschedules it on
+ * every client touch.  A wheel makes schedule/cancel O(1) and expiry
+ * O(ticks elapsed + entries expired): deadlines hash into
+ * `slots` buckets of `tickMs` granularity, and advanceTo() walks only
+ * the ticks that actually passed.  Deadlines further out than one
+ * revolution simply stay in their bucket until their turn comes round
+ * (the classic "rounds" check compares the stored absolute deadline).
+ *
+ * The wheel is time-source-agnostic — callers pass absolute
+ * millisecond timestamps from whatever clock they use — which is what
+ * makes the eviction tests deterministic: they drive a fake clock.
+ * Not thread-safe; tpsd owns it from the event-loop thread.
+ */
+
+#ifndef TPS_NET_TIMEWHEEL_H_
+#define TPS_NET_TIMEWHEEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tps::net
+{
+
+class TimeWheel
+{
+  public:
+    /** @p tick_ms granularity (deadlines round UP to the next tick so
+     *  a timeout never fires early), @p slots buckets. */
+    explicit TimeWheel(std::uint64_t tick_ms = 100,
+                       std::size_t slots = 256);
+
+    /**
+     * Arm (or re-arm) @p id to expire at absolute @p deadline_ms.
+     * Re-scheduling an armed id replaces its previous deadline — the
+     * "client touched the session, push the timeout out" operation.
+     */
+    void schedule(std::uint64_t id, std::uint64_t deadline_ms);
+
+    /** Disarm @p id (no-op when not armed). */
+    void cancel(std::uint64_t id);
+
+    /**
+     * Advance the wheel to @p now_ms and collect every id whose
+     * deadline has passed, in deadline order (ties by id, so expiry
+     * order is deterministic).  Monotonic: a @p now_ms earlier than a
+     * previous call is clamped to it.
+     */
+    std::vector<std::uint64_t> advanceTo(std::uint64_t now_ms);
+
+    /** Armed entries. */
+    std::size_t size() const { return deadlines_.size(); }
+
+    /**
+     * Earliest armed deadline, or UINT64_MAX when empty — the event
+     * loop's poll-timeout hint.  O(armed entries); sessions number in
+     * the dozens, so a heap would be ceremony.
+     */
+    std::uint64_t nextDeadline() const;
+
+  private:
+    std::size_t slotOf(std::uint64_t deadline_ms) const;
+
+    std::uint64_t tick_ms_;
+    std::uint64_t current_tick_ = 0; ///< wheel time in ticks
+    std::vector<std::vector<std::uint64_t>> slots_;
+    std::unordered_map<std::uint64_t, std::uint64_t> deadlines_;
+};
+
+} // namespace tps::net
+
+#endif // TPS_NET_TIMEWHEEL_H_

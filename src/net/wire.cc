@@ -1,0 +1,200 @@
+/**
+ * @file
+ * tps-wire-v1 framing (see wire.h for the grammar).
+ */
+
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace tps::net
+{
+
+bool
+isKnownFrameType(std::uint8_t type)
+{
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::Hello:
+      case FrameType::HelloOk:
+      case FrameType::Submit:
+      case FrameType::Accepted:
+      case FrameType::Rejected:
+      case FrameType::TraceChunk:
+      case FrameType::TraceDone:
+      case FrameType::Poll:
+      case FrameType::Status:
+      case FrameType::Cancel:
+      case FrameType::Result:
+      case FrameType::Telemetry:
+      case FrameType::Error:
+        return true;
+    }
+    return false;
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+appendFrame(std::string &out, FrameType type, const std::string &payload)
+{
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.push_back(static_cast<char>(type));
+    out += payload;
+}
+
+std::string
+encodeVersion(std::uint32_t version)
+{
+    std::string payload;
+    putU32(payload, version);
+    return payload;
+}
+
+std::string
+encodeTraceChunk(std::uint64_t session, const MemRef *refs,
+                 std::size_t n)
+{
+    std::string payload;
+    payload.reserve(8 + n * kWireRefBytes);
+    putU64(payload, session);
+    for (std::size_t i = 0; i < n; ++i) {
+        putU64(payload, refs[i].vaddr);
+        payload.push_back(
+            static_cast<char>(static_cast<std::uint8_t>(refs[i].type)));
+        payload.push_back(static_cast<char>(refs[i].size));
+    }
+    return payload;
+}
+
+std::string
+encodeSessionId(std::uint64_t session)
+{
+    std::string payload;
+    putU64(payload, session);
+    return payload;
+}
+
+bool
+PayloadReader::u8(std::uint8_t &v)
+{
+    if (remaining() < 1)
+        return false;
+    v = static_cast<std::uint8_t>(data_[off_]);
+    off_ += 1;
+    return true;
+}
+
+bool
+PayloadReader::u32(std::uint32_t &v)
+{
+    if (remaining() < 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(data_.data() + off_);
+    v = static_cast<std::uint32_t>(p[0]) |
+        static_cast<std::uint32_t>(p[1]) << 8 |
+        static_cast<std::uint32_t>(p[2]) << 16 |
+        static_cast<std::uint32_t>(p[3]) << 24;
+    off_ += 4;
+    return true;
+}
+
+bool
+PayloadReader::u64(std::uint64_t &v)
+{
+    // All-or-nothing: a failed read must not consume the low half.
+    if (remaining() < 8)
+        return false;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!u32(lo) || !u32(hi))
+        return false;
+    v = static_cast<std::uint64_t>(lo) |
+        static_cast<std::uint64_t>(hi) << 32;
+    return true;
+}
+
+bool
+decodeTraceChunk(const std::string &payload, std::uint64_t &session,
+                 std::vector<MemRef> &refs)
+{
+    if (payload.size() < 8 || (payload.size() - 8) % kWireRefBytes != 0)
+        return false;
+    PayloadReader reader(payload);
+    if (!reader.u64(session))
+        return false;
+    const std::size_t n = (payload.size() - 8) / kWireRefBytes;
+    refs.clear();
+    refs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        MemRef ref;
+        std::uint8_t type = 0;
+        std::uint8_t size = 0;
+        if (!reader.u64(ref.vaddr) || !reader.u8(type) ||
+            !reader.u8(size))
+            return false;
+        if (type > static_cast<std::uint8_t>(RefType::Store))
+            return false;
+        ref.type = static_cast<RefType>(type);
+        ref.size = size;
+        refs.push_back(ref);
+    }
+    return reader.done();
+}
+
+void
+FrameParser::feed(const char *data, std::size_t n)
+{
+    if (malformed_)
+        return; // the stream is dead; do not grow the buffer
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not accumulate every frame it ever received.
+    if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(data, n);
+}
+
+FrameParser::Result
+FrameParser::next(Frame &out)
+{
+    if (malformed_)
+        return Result::Malformed;
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < kFrameHeader)
+        return Result::NeedMore;
+    const auto *p = reinterpret_cast<const unsigned char *>(
+        buffer_.data() + consumed_);
+    const std::uint32_t length = static_cast<std::uint32_t>(p[0]) |
+                                 static_cast<std::uint32_t>(p[1]) << 8 |
+                                 static_cast<std::uint32_t>(p[2]) << 16 |
+                                 static_cast<std::uint32_t>(p[3]) << 24;
+    const std::uint8_t type = p[4];
+    if (length > kMaxFramePayload || !isKnownFrameType(type)) {
+        malformed_ = true;
+        return Result::Malformed;
+    }
+    if (avail < kFrameHeader + length)
+        return Result::NeedMore;
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(buffer_, consumed_ + kFrameHeader, length);
+    consumed_ += kFrameHeader + length;
+    return Result::Ready;
+}
+
+} // namespace tps::net

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * tps-wire-v1: the length-prefixed binary framing `tpsd` and
+ * `tps_submit` speak (DESIGN.md §14).
+ *
+ * Every frame is
+ *
+ *     u32 LE payload_length | u8 frame_type | payload bytes
+ *
+ * so a reader always knows how many bytes complete the current frame
+ * and framing survives any TCP segmentation.  Integers inside
+ * payloads are little-endian; structured payloads (session specs,
+ * status, results) are UTF-8 JSON so they stay debuggable with nc and
+ * reuse obs::parseJson on both ends.
+ *
+ * Versioning: the connection opens with Hello carrying kWireVersion;
+ * the server answers HelloOk (same version) or an Error frame and
+ * closes.  A malformed frame — oversized length, unknown type, or a
+ * payload that fails its type's shape check — is answered with one
+ * Error frame and a connection close, never a crash or a silent skip.
+ */
+
+#ifndef TPS_NET_WIRE_H_
+#define TPS_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/memref.h"
+
+namespace tps::net
+{
+
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/** Hard ceiling on one frame's payload: keeps a hostile or buggy
+ *  peer from ballooning the parser's buffer (trace uploads chunk well
+ *  below this). */
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/** Frame header size: u32 length + u8 type. */
+inline constexpr std::size_t kFrameHeader = 5;
+
+/** Serialized reference inside a TraceChunk payload:
+ *  u64 vaddr | u8 type | u8 size. */
+inline constexpr std::size_t kWireRefBytes = 10;
+
+enum class FrameType : std::uint8_t
+{
+    // client -> server
+    Hello = 0x01,      ///< u32 wire version
+    Submit = 0x03,     ///< JSON tps-session-spec-v1
+    TraceChunk = 0x06, ///< u64 session id + N x kWireRefBytes refs
+    TraceDone = 0x07,  ///< u64 session id
+    Poll = 0x08,       ///< u64 session id
+    Cancel = 0x0A,     ///< u64 session id
+
+    // server -> client
+    HelloOk = 0x02,   ///< u32 wire version
+    Accepted = 0x04,  ///< JSON {"session_id": N}
+    Rejected = 0x05,  ///< JSON {"reason", "retry_after_ms"}
+    Status = 0x09,    ///< JSON session status (see DESIGN.md §14)
+    Result = 0x0B,    ///< JSON tps-stats-v1 document
+    Telemetry = 0x0C, ///< JSON interval rows since the last Poll
+    Error = 0x0D,     ///< JSON {"error": "..."}
+};
+
+/** True for the codes enumerated above (anything else is malformed). */
+bool isKnownFrameType(std::uint8_t type);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+// ------------------------------------------------------ serialization
+
+void putU32(std::string &out, std::uint32_t v);
+void putU64(std::string &out, std::uint64_t v);
+
+/** Append one complete frame to @p out. */
+void appendFrame(std::string &out, FrameType type,
+                 const std::string &payload);
+
+/** Hello / HelloOk payload. */
+std::string encodeVersion(std::uint32_t version);
+
+/** TraceChunk payload for @p n refs of @p session. */
+std::string encodeTraceChunk(std::uint64_t session, const MemRef *refs,
+                             std::size_t n);
+
+/** u64-only payload (TraceDone / Poll / Cancel). */
+std::string encodeSessionId(std::uint64_t session);
+
+// -------------------------------------------------------- deserialization
+
+/** Bounds-checked little-endian reader over one payload. */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(const std::string &payload)
+        : data_(payload)
+    {
+    }
+
+    bool u8(std::uint8_t &v);
+    bool u32(std::uint32_t &v);
+    bool u64(std::uint64_t &v);
+    std::size_t remaining() const { return data_.size() - off_; }
+    bool done() const { return off_ == data_.size(); }
+
+  private:
+    const std::string &data_;
+    std::size_t off_ = 0;
+};
+
+/** Decode a TraceChunk payload; false when the shape is wrong (bad
+ *  length modulus or an out-of-range RefType). */
+bool decodeTraceChunk(const std::string &payload, std::uint64_t &session,
+                      std::vector<MemRef> &refs);
+
+/**
+ * Incremental frame decoder: feed() arbitrary byte slices as they
+ * arrive, then drain complete frames with next().  Malformed framing
+ * (length above kMaxFramePayload or an unknown type byte) is sticky —
+ * once detected, next() keeps returning Malformed and the connection
+ * must be torn down, because a misframed stream has no recoverable
+ * resync point.
+ */
+class FrameParser
+{
+  public:
+    enum class Result
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Ready,    ///< one frame decoded into @p out
+        Malformed ///< framing violated; close the connection
+    };
+
+    void feed(const char *data, std::size_t n);
+    Result next(Frame &out);
+
+    /** Bytes buffered but not yet consumed (tests). */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::string buffer_;
+    std::size_t consumed_ = 0;
+    bool malformed_ = false;
+};
+
+} // namespace tps::net
+
+#endif // TPS_NET_WIRE_H_

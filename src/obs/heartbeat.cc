@@ -45,6 +45,8 @@ Heartbeat::writeJson(std::ostream &os) const
     w.key("state").value(state);
     w.key("config_hash").value(configHash);
     w.key("timestamp_utc").value(timestampUtc);
+    w.key("hostname").value(hostname);
+    w.key("pid").value(pid);
     w.key("uptime_seconds").value(uptimeSeconds);
     w.key("workers").value(workers);
     w.key("workers_busy").value(workersBusy);
@@ -89,6 +91,8 @@ Heartbeat::fromJson(const std::string &text, Heartbeat &out,
     out.state = getString(doc, "state");
     out.configHash = getString(doc, "config_hash");
     out.timestampUtc = getString(doc, "timestamp_utc");
+    out.hostname = getString(doc, "hostname");
+    out.pid = getUint(doc, "pid");
     out.uptimeSeconds = getNumber(doc, "uptime_seconds", 0.0);
     out.workers = getUint(doc, "workers");
     out.workersBusy = getUint(doc, "workers_busy");

@@ -40,6 +40,11 @@ struct Heartbeat
     std::string state;
     std::string configHash;
     std::string timestampUtc;
+    /** Writer provenance: which process on which machine produced
+     *  this document (several daemons/campaigns can share a status
+     *  directory; see RunManifest for the fuller machine context). */
+    std::string hostname;
+    std::uint64_t pid = 0;
     double uptimeSeconds = 0.0;
 
     std::uint64_t workers = 0;

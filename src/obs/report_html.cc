@@ -1,0 +1,574 @@
+#include "obs/report_html.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace tps::obs::report
+{
+
+namespace
+{
+
+const JsonValue *
+find(const JsonValue &v, const char *name)
+{
+    return v.find(name);
+}
+
+std::string
+stringOr(const JsonValue *v, const std::string &fallback = "")
+{
+    return v != nullptr && v->type == JsonValue::Type::String
+               ? v->text
+               : fallback;
+}
+
+double
+numberOr(const JsonValue *v, double fallback = 0.0)
+{
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+/** One plotted line: label, palette slot (1-based), y per interval. */
+struct ChartSeries
+{
+    std::string name;
+    int slot = 1;
+    std::vector<double> points;
+};
+
+/**
+ * Inline-SVG line chart.  One y-axis only; callers group series with
+ * a shared unit.  Hover <title> tooltips are emitted per point while
+ * the interval count stays small enough to keep reports light.
+ */
+std::string
+lineChart(const std::string &title,
+          const std::vector<ChartSeries> &series_list,
+          double x0, double dx, const std::string &x_unit)
+{
+    constexpr double kW = 640, kH = 190;
+    constexpr double kL = 64, kR = 150, kT = 26, kB = 24;
+    const double plot_w = kW - kL - kR, plot_h = kH - kT - kB;
+
+    std::size_t n = 0;
+    double y_max = 0.0;
+    for (const ChartSeries &s : series_list) {
+        n = std::max(n, s.points.size());
+        for (const double v : s.points)
+            y_max = std::max(y_max, v);
+    }
+    if (y_max <= 0.0)
+        y_max = 1.0;
+
+    std::ostringstream svg;
+    svg << "<svg class=\"chart\" viewBox=\"0 0 " << kW << " " << kH
+        << "\" role=\"img\" aria-label=\"" << htmlEscape(title)
+        << "\">\n";
+    svg << "<text class=\"ctitle\" x=\"" << kL << "\" y=\"15\">"
+        << htmlEscape(title) << "</text>\n";
+
+    // Recessive grid: four horizontal lines with y labels.
+    for (int g = 0; g <= 4; ++g) {
+        const double frac = static_cast<double>(g) / 4.0;
+        const double y = kT + plot_h * (1.0 - frac);
+        svg << "<line class=\"grid\" x1=\"" << kL << "\" y1=\"" << y
+            << "\" x2=\"" << kL + plot_w << "\" y2=\"" << y << "\"/>\n";
+        svg << "<text class=\"tick\" x=\"" << kL - 6 << "\" y=\""
+            << y + 3.5 << "\" text-anchor=\"end\">"
+            << htmlEscape(formatNumber(y_max * frac)) << "</text>\n";
+    }
+    // X range labels (first/last interval start).
+    svg << "<text class=\"tick\" x=\"" << kL << "\" y=\"" << kH - 8
+        << "\">" << htmlEscape(formatNumber(x0)) << "</text>\n";
+    if (n > 1) {
+        svg << "<text class=\"tick\" x=\"" << kL + plot_w << "\" y=\""
+            << kH - 8 << "\" text-anchor=\"end\">"
+            << htmlEscape(formatNumber(
+                   x0 + dx * static_cast<double>(n - 1)))
+            << " " << htmlEscape(x_unit) << "</text>\n";
+    }
+
+    auto xAt = [&](std::size_t i) {
+        return n <= 1 ? kL
+                      : kL + plot_w * static_cast<double>(i) /
+                                 static_cast<double>(n - 1);
+    };
+    auto yAt = [&](double v) {
+        return kT + plot_h * (1.0 - std::min(v, y_max) / y_max);
+    };
+
+    const bool hover = n <= 200;
+    for (const ChartSeries &s : series_list) {
+        svg << "<polyline class=\"s" << s.slot << "\" points=\"";
+        for (std::size_t i = 0; i < s.points.size(); ++i) {
+            char pt[48];
+            std::snprintf(pt, sizeof(pt), "%.2f,%.2f ", xAt(i),
+                          yAt(s.points[i]));
+            svg << pt;
+        }
+        svg << "\"/>\n";
+        if (hover) {
+            for (std::size_t i = 0; i < s.points.size(); ++i) {
+                svg << "<circle class=\"pt s" << s.slot << "\" cx=\""
+                    << xAt(i) << "\" cy=\"" << yAt(s.points[i])
+                    << "\" r=\"7\"><title>" << htmlEscape(s.name)
+                    << " @ " << formatNumber(
+                           x0 + dx * static_cast<double>(i))
+                    << " " << htmlEscape(x_unit) << ": "
+                    << htmlEscape(formatNumber(s.points[i]))
+                    << "</title></circle>\n";
+            }
+        }
+    }
+
+    // Legend (always present for >= 2 series; single series is named
+    // by the title).
+    if (series_list.size() >= 2) {
+        double ly = kT + 6;
+        for (const ChartSeries &s : series_list) {
+            svg << "<rect class=\"chip s" << s.slot << "\" x=\""
+                << kL + plot_w + 10 << "\" y=\"" << ly - 8
+                << "\" width=\"10\" height=\"10\" rx=\"2\"/>\n";
+            svg << "<text class=\"ltext\" x=\"" << kL + plot_w + 25
+                << "\" y=\"" << ly + 1 << "\">" << htmlEscape(s.name)
+                << "</text>\n";
+            ly += 17;
+        }
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+/** Column index in the names array, or -1. */
+int
+columnOf(const JsonValue *names, const std::string &wanted)
+{
+    if (names == nullptr || names->type != JsonValue::Type::Array)
+        return -1;
+    for (std::size_t i = 0; i < names->array.size(); ++i)
+        if (names->array[i].text == wanted)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<double>
+column(const JsonValue &cell, const char *section,
+       const char *names_key, const std::string &name)
+{
+    std::vector<double> out;
+    const int idx = columnOf(find(cell, names_key), name);
+    const JsonValue *intervals = find(cell, "intervals");
+    if (idx < 0 || intervals == nullptr)
+        return out;
+    for (const JsonValue &row : intervals->array) {
+        const JsonValue *cols = find(row, section);
+        if (cols != nullptr &&
+            static_cast<std::size_t>(idx) < cols->array.size())
+            out.push_back(cols->array[static_cast<std::size_t>(idx)]
+                              .number);
+    }
+    return out;
+}
+
+/** Everything inside <style> — the palette is the validated default
+ *  (see dataviz reference palette), declared once per mode. */
+const char *kStyle = R"css(
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --surface-2: #f4f3f0;
+  --text: #0b0b0b; --text-2: #52514e; --grid: #e4e2dc;
+  --c1: #2a78d6; --c2: #eb6834; --c3: #1baf7a; --c4: #8950c7;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --surface-2: #242423;
+    --text: #ffffff; --text-2: #c3c2b7; --grid: #383835;
+    --c1: #3987e5; --c2: #d95926; --c3: #199e70; --c4: #9a66d8;
+  }
+}
+body { background: var(--surface); color: var(--text);
+  font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto;
+  max-width: 72rem; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.dim { color: var(--text-2); font-weight: normal; }
+table.manifest, table.stats { border-collapse: collapse;
+  margin: .5rem 0; }
+table th, table td { text-align: left; padding: .15rem .6rem;
+  border-bottom: 1px solid var(--grid); font-weight: normal; }
+table th { color: var(--text-2); }
+details.cell { border: 1px solid var(--grid); border-radius: 6px;
+  padding: .35rem .7rem; margin: .5rem 0;
+  background: var(--surface-2); }
+summary { cursor: pointer; }
+svg.chart { display: block; max-width: 40rem; margin: .7rem 0; }
+.ctitle { fill: var(--text); font: 600 12px system-ui, sans-serif; }
+.tick, .ltext { fill: var(--text-2);
+  font: 10px system-ui, sans-serif; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
+polyline.s1 { stroke: var(--c1); } polyline.s2 { stroke: var(--c2); }
+polyline.s3 { stroke: var(--c3); } polyline.s4 { stroke: var(--c4); }
+rect.chip.s1 { fill: var(--c1); } rect.chip.s2 { fill: var(--c2); }
+rect.chip.s3 { fill: var(--c3); } rect.chip.s4 { fill: var(--c4); }
+circle.pt { fill: transparent; }
+circle.pt:hover { fill: currentColor; r: 3.5; }
+circle.pt.s1 { color: var(--c1); } circle.pt.s2 { color: var(--c2); }
+circle.pt.s3 { color: var(--c3); } circle.pt.s4 { color: var(--c4); }
+)css";
+
+} // namespace
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '"':
+            out += "&quot;";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+writePageHead(std::ostream &os, const std::string &title)
+{
+    os << "<!doctype html>\n<html lang=\"en\"><head>"
+       << "<meta charset=\"utf-8\">\n"
+       << "<meta name=\"viewport\" content=\"width=device-width, "
+          "initial-scale=1\">\n"
+       << "<title>" << htmlEscape(title) << "</title>\n<style>"
+       << kStyle << "</style></head>\n<body>\n<h1>"
+       << htmlEscape(title) << "</h1>\n";
+}
+
+void
+writePageFoot(std::ostream &os)
+{
+    os << "</body></html>\n";
+}
+
+void
+writeManifest(std::ostream &os, const JsonValue *manifest)
+{
+    if (manifest == nullptr ||
+        manifest->type != JsonValue::Type::Object)
+        return;
+    os << "<table class=\"manifest\">\n";
+    for (const auto &[key, value] : manifest->object) {
+        std::string rendered;
+        if (value.type == JsonValue::Type::String)
+            rendered = value.text;
+        else if (value.isNumber())
+            rendered = formatNumber(value.number);
+        else if (value.type == JsonValue::Type::Object) {
+            for (const auto &[ek, ev] : value.object) {
+                if (!rendered.empty())
+                    rendered += ", ";
+                rendered += ek + "=" +
+                            (ev.type == JsonValue::Type::String
+                                 ? ev.text
+                                 : formatNumber(ev.number));
+            }
+        }
+        os << "<tr><th>" << htmlEscape(key) << "</th><td>"
+           << htmlEscape(rendered) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+}
+
+void
+writeTimeSeriesCell(std::ostream &os, const std::string &key,
+                    const JsonValue &cell)
+{
+    const std::string workload = stringOr(find(cell, "workload"), key);
+    const std::string tlb = stringOr(find(cell, "tlb"));
+    const std::string policy = stringOr(find(cell, "policy"));
+    const double interval = numberOr(find(cell, "interval_refs"), 1.0);
+    const JsonValue *intervals = find(cell, "intervals");
+    const std::size_t n =
+        intervals != nullptr ? intervals->array.size() : 0;
+
+    const JsonValue *totals = find(cell, "totals");
+    const double total_refs = numberOr(
+        totals != nullptr ? totals->find("refs") : nullptr);
+    const double total_miss = numberOr(
+        totals != nullptr ? totals->find("tlb_miss") : nullptr);
+
+    os << "<details class=\"cell\"><summary><b>"
+       << htmlEscape(workload) << "</b> &middot; " << htmlEscape(tlb)
+       << " / " << htmlEscape(policy) << " <span class=\"dim\">("
+       << n << " intervals, "
+       << htmlEscape(formatNumber(total_refs)) << " refs, miss rate "
+       << htmlEscape(formatNumber(
+              total_refs > 0 ? total_miss / total_refs : 0.0))
+       << ")</span></summary>\n";
+
+    // Chart 1: fractions (one unit, one axis).
+    {
+        std::vector<ChartSeries> fractions;
+        ChartSeries miss{"miss rate", 1,
+                         column(cell, "values", "value_names",
+                                "miss_rate")};
+        ChartSeries coverage{"large-page coverage", 2,
+                             column(cell, "values", "value_names",
+                                    "large_fraction")};
+        if (!miss.points.empty())
+            fractions.push_back(std::move(miss));
+        const bool any_coverage =
+            std::any_of(coverage.points.begin(), coverage.points.end(),
+                        [](double v) { return v != 0.0; });
+        if (any_coverage)
+            fractions.push_back(std::move(coverage));
+        if (!fractions.empty())
+            os << lineChart("TLB miss rate per interval", fractions,
+                            0.0, interval, "refs");
+    }
+
+    // Chart 2: policy/shootdown events per interval (counts).
+    {
+        std::vector<ChartSeries> events;
+        ChartSeries promos{"promotions", 1,
+                           column(cell, "counters", "counter_names",
+                                  "promotions")};
+        ChartSeries demos{"demotions", 2,
+                          column(cell, "counters", "counter_names",
+                                 "demotions")};
+        ChartSeries shoots{"shootdowns", 3,
+                           column(cell, "counters", "counter_names",
+                                  "tlb_invalidation")};
+        for (auto *s : {&promos, &demos, &shoots}) {
+            if (std::any_of(s->points.begin(), s->points.end(),
+                            [](double v) { return v != 0.0; }))
+                events.push_back(std::move(*s));
+        }
+        if (!events.empty())
+            os << lineChart("Promotions / demotions / shootdowns "
+                            "per interval",
+                            events, 0.0, interval, "refs");
+    }
+
+    // Chart 3: working set, when tracked.
+    {
+        ChartSeries ws{"working set", 1,
+                       column(cell, "values", "value_names",
+                              "ws_bytes")};
+        if (!ws.points.empty())
+            os << lineChart("Working-set bytes at interval end",
+                            {ws}, 0.0, interval, "refs");
+    }
+
+    // Chart 3.5: TLB reach telemetry (columns exist only when the
+    // lifecycle ledger ran — `--events-out` or RunOptions::lifecycle —
+    // so absence = skip).
+    {
+        ChartSeries reach{"effective reach", 1,
+                          column(cell, "values", "value_names",
+                                 "reach_bytes")};
+        if (!reach.points.empty())
+            os << lineChart("Effective TLB reach bytes at interval "
+                            "end",
+                            {reach}, 0.0, interval, "refs");
+        ChartSeries util{"reach utilization", 2,
+                         column(cell, "values", "value_names",
+                                "reach_utilization")};
+        if (!util.points.empty()) {
+            os << lineChart("Reach utilization (touched / covered "
+                            "subpages of open superpages)",
+                            {util}, 0.0, interval, "refs");
+            // Churn table: how much of the promotion traffic was
+            // back-and-forth on the same chunks (whole-run sums of
+            // the interval counters).
+            auto sum = [&](const char *name) {
+                double total = 0.0;
+                for (const double v :
+                     column(cell, "counters", "counter_names", name))
+                    total += v;
+                return total;
+            };
+            const double promos = sum("promotions");
+            const double demos = sum("demotions");
+            os << "<details><summary>promotion churn</summary>"
+               << "<table class=\"stats\">\n"
+               << "<tr><th>promotions</th><td>"
+               << htmlEscape(formatNumber(promos)) << "</td></tr>\n"
+               << "<tr><th>demotions</th><td>"
+               << htmlEscape(formatNumber(demos)) << "</td></tr>\n"
+               << "<tr><th>churn (min of the two)</th><td>"
+               << htmlEscape(formatNumber(std::min(promos, demos)))
+               << "</td></tr>\n"
+               << "<tr><th>shootdowns</th><td>"
+               << htmlEscape(formatNumber(sum("tlb_invalidation")))
+               << "</td></tr>\n</table></details>\n";
+        }
+    }
+
+    // Chart 4: physical-memory fragmentation, when the phys model ran
+    // (columns exist only under --phys-mem, so absence = skip).
+    {
+        ChartSeries frag{"fragmentation index", 1,
+                         column(cell, "values", "value_names",
+                                "frag_index")};
+        if (!frag.points.empty())
+            os << lineChart("External fragmentation index at "
+                            "interval end",
+                            {frag}, 0.0, interval, "refs");
+        ChartSeries free_bytes{"free bytes", 1,
+                               column(cell, "values", "value_names",
+                                      "phys_free_bytes")};
+        if (!free_bytes.points.empty())
+            os << lineChart("Free physical memory at interval end",
+                            {free_bytes}, 0.0, interval, "refs");
+    }
+
+    // Chart 5: phys allocation events per interval (counts).
+    {
+        std::vector<ChartSeries> events;
+        ChartSeries in_place{"in-place promotions", 1,
+                             column(cell, "counters", "counter_names",
+                                    "phys_promos_in_place")};
+        ChartSeries copied{"copy promotions", 2,
+                           column(cell, "counters", "counter_names",
+                                  "phys_promos_copied")};
+        ChartSeries sp_fail{"superpage alloc failures", 3,
+                            column(cell, "counters", "counter_names",
+                                   "phys_superpage_fail")};
+        for (auto *s : {&in_place, &copied, &sp_fail}) {
+            if (std::any_of(s->points.begin(), s->points.end(),
+                            [](double v) { return v != 0.0; }))
+                events.push_back(std::move(*s));
+        }
+        if (!events.empty())
+            os << lineChart("Superpage allocation events per interval",
+                            events, 0.0, interval, "refs");
+    }
+
+    // Chart 6: OS-layer events per interval (columns exist only for
+    // multiprogrammed cells — core::runMultiprogExperiment — so
+    // absence = skip).
+    {
+        std::vector<ChartSeries> events;
+        ChartSeries switches{"context switches", 1,
+                             column(cell, "counters", "counter_names",
+                                    "ctx_switches")};
+        ChartSeries flushes{"switch flushes", 2,
+                            column(cell, "counters", "counter_names",
+                                   "switch_flushes")};
+        ChartSeries recycles{"ASID recycles", 3,
+                             column(cell, "counters", "counter_names",
+                                    "asid_recycles")};
+        ChartSeries shootdowns{"shootdown broadcasts", 4,
+                               column(cell, "counters",
+                                      "counter_names", "shootdowns")};
+        for (auto *s : {&switches, &flushes, &recycles, &shootdowns}) {
+            if (!s->points.empty() &&
+                std::any_of(s->points.begin(), s->points.end(),
+                            [](double v) { return v != 0.0; }))
+                events.push_back(std::move(*s));
+        }
+        if (!events.empty())
+            os << lineChart("Context switches / ASID events "
+                            "per interval",
+                            events, 0.0, interval, "refs");
+    }
+
+    // Totals table (the whole-run aggregates, table view of the data).
+    if (totals != nullptr) {
+        os << "<details><summary>whole-run totals</summary>"
+           << "<table class=\"stats\">\n";
+        for (const auto &[name, value] : totals->object)
+            os << "<tr><th>" << htmlEscape(name) << "</th><td>"
+               << htmlEscape(formatNumber(value.number))
+               << "</td></tr>\n";
+        os << "</table></details>\n";
+    }
+
+    // Sampled miss events.
+    if (const JsonValue *samples = find(cell, "miss_samples")) {
+        const JsonValue *events = find(*samples, "events");
+        const std::size_t shown =
+            events != nullptr ? events->array.size() : 0;
+        os << "<details><summary>sampled miss events (" << shown
+           << " of " << htmlEscape(formatNumber(
+                             numberOr(find(*samples, "seen"))))
+           << " misses)</summary><table class=\"stats\">"
+           << "<tr><th>ref</th><th>vpn</th><th>page</th>"
+           << "<th>cause</th></tr>\n";
+        if (events != nullptr) {
+            for (const JsonValue &event : events->array) {
+                char vpn[32];
+                std::snprintf(
+                    vpn, sizeof(vpn), "0x%llx",
+                    static_cast<unsigned long long>(
+                        numberOr(find(event, "vpn"))));
+                const double size_log2 =
+                    numberOr(find(event, "size_log2"));
+                os << "<tr><td>"
+                   << htmlEscape(formatNumber(
+                          numberOr(find(event, "ref"))))
+                   << "</td><td>" << vpn << "</td><td>"
+                   << htmlEscape(formatNumber(
+                          std::pow(2.0, size_log2) / 1024.0))
+                   << "KB</td><td>"
+                   << htmlEscape(stringOr(find(event, "cause")))
+                   << "</td></tr>\n";
+            }
+        }
+        os << "</table></details>\n";
+    }
+    os << "</details>\n";
+}
+
+void
+writeStatsSections(std::ostream &os, const JsonValue &doc)
+{
+    for (const char *section : {"stats", "text"}) {
+        const JsonValue *values = find(doc, section);
+        if (values == nullptr ||
+            values->type != JsonValue::Type::Object ||
+            values->object.empty())
+            continue;
+        os << "<details><summary>" << section << " ("
+           << values->object.size()
+           << " entries)</summary><table class=\"stats\">\n";
+        for (const auto &[name, value] : values->object) {
+            os << "<tr><th>" << htmlEscape(name) << "</th><td>"
+               << htmlEscape(value.type == JsonValue::Type::String
+                                 ? value.text
+                                 : formatNumber(value.number))
+               << "</td></tr>\n";
+        }
+        os << "</table></details>\n";
+    }
+}
+
+} // namespace tps::obs::report

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * HTML rendering of tps-stats-v1 / tps-timeseries-v1 documents: the
+ * self-contained report (inline-SVG charts, no external assets) that
+ * `tps_report` writes to disk and `tpsd` serves from its /report
+ * endpoint.  Living in obs keeps the two consumers byte-identical —
+ * the daemon renders the same page the CLI would have written for the
+ * same documents.
+ *
+ * All entry points append fragments to a caller-owned stream;
+ * writePageHead/writePageFoot bracket them into a full document.
+ */
+
+#ifndef TPS_OBS_REPORT_HTML_H_
+#define TPS_OBS_REPORT_HTML_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace tps::obs::report
+{
+
+/** Escape &, <, >, " for element and attribute context. */
+std::string htmlEscape(const std::string &s);
+
+/** Integers exactly, everything else %.6g. */
+std::string formatNumber(double v);
+
+/** `<!doctype html>` through `<h1>` (title is escaped). */
+void writePageHead(std::ostream &os, const std::string &title);
+
+/** Close body/html. */
+void writePageFoot(std::ostream &os);
+
+/** Provenance header table from a stats document's "manifest". */
+void writeManifest(std::ostream &os, const JsonValue *manifest);
+
+/**
+ * One cell of a tps-timeseries-v1 document: collapsible section with
+ * the per-interval charts (miss rate, promotion/demotion/shootdown
+ * events, working set, reach, fragmentation, OS events — each only
+ * when its columns exist), the whole-run totals and the sampled miss
+ * events.  @p key labels the cell when it carries no workload name.
+ */
+void writeTimeSeriesCell(std::ostream &os, const std::string &key,
+                         const JsonValue &cell);
+
+/** The stats/text tables of a tps-stats-v1 document. */
+void writeStatsSections(std::ostream &os, const JsonValue &doc);
+
+} // namespace tps::obs::report
+
+#endif // TPS_OBS_REPORT_HTML_H_

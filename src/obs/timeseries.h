@@ -139,6 +139,14 @@ class TimeSeriesRecorder
     {
         return series_.intervals;
     }
+    const std::vector<std::string> &counterNames() const
+    {
+        return series_.counterNames;
+    }
+    const std::vector<std::string> &valueNames() const
+    {
+        return series_.valueNames;
+    }
 
     /** Finish: label the series and hand it over (recorder is spent).
      *  Miss samples come back sorted by reference time so the output

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * End-to-end loopback: an in-process tpsd Server on an ephemeral port
+ * driven by real Clients over TCP.  Covers the happy path (registry
+ * and streamed sessions, byte-identity vs the in-process harness),
+ * admission control (deterministic rejection + retry-after, zero lost
+ * sessions under a concurrent soak), cancellation, idle eviction, and
+ * the protocol edges (version mismatch, malformed framing, bad spec).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/spec.h"
+#include "net/wire.h"
+#include "trace/vector_trace.h"
+#include "workloads/registry.h"
+
+namespace
+{
+
+using namespace tps;
+using namespace tps::net;
+
+/** Server on an ephemeral loopback port with run() on its own
+ *  thread; stop() + join on destruction. */
+class LoopbackServer
+{
+  public:
+    explicit LoopbackServer(ServerConfig config)
+        : server_(std::move(config))
+    {
+        std::string error;
+        if (!server_.start(error))
+            ADD_FAILURE() << "server start failed: " << error;
+        thread_ = std::thread([this] { server_.run(); });
+    }
+
+    ~LoopbackServer()
+    {
+        server_.stop();
+        thread_.join();
+    }
+
+    Server &server() { return server_; }
+    std::uint16_t port() const { return server_.port(); }
+
+  private:
+    Server server_;
+    std::thread thread_;
+};
+
+ServerConfig
+baseConfig()
+{
+    ServerConfig config;
+    config.workers = 2;
+    config.quantumChunks = 4;
+    config.heartbeatIntervalMs = 60'000; // quiet during tests
+    return config;
+}
+
+SessionSpec
+smallSpec(const std::string &workload)
+{
+    SessionSpec spec;
+    spec.workload = workload;
+    spec.maxRefs = 12'000;
+    spec.warmupRefs = 2'000;
+    spec.chunkRefs = 512;
+    spec.tsIntervalRefs = 2'500;
+    spec.policy.kind = core::PolicySpec::Kind::TwoSize;
+    spec.policy.twoSize.window = 4'000;
+    return spec;
+}
+
+std::vector<MemRef>
+materialize(const std::string &workload, std::uint64_t refs)
+{
+    auto trace = workloads::findWorkload(workload).instantiate();
+    std::vector<MemRef> out;
+    out.reserve(refs);
+    MemRef ref;
+    while (out.size() < refs && trace->next(ref))
+        out.push_back(ref);
+    return out;
+}
+
+std::string
+localStats(const SessionSpec &spec)
+{
+    if (spec.streamTrace) {
+        VectorTrace trace(materialize(spec.workload, spec.maxRefs),
+                          "stream");
+        return sessionStatsJson(runExperiment(
+            trace, spec.policy, spec.tlb, spec.runOptions()));
+    }
+    auto trace = workloads::findWorkload(spec.workload).instantiate();
+    return sessionStatsJson(runExperiment(
+        *trace, spec.policy, spec.tlb, spec.runOptions()));
+}
+
+/** Submit (with a retry loop honoring retry_after_ms), stream if
+ *  needed, poll to terminal state; returns the final stats. */
+bool
+runSession(std::uint16_t port, const SessionSpec &spec,
+           std::string &stats_out, int &rejections,
+           std::string &error)
+{
+    for (int attempt = 0; attempt < 400; ++attempt) {
+        Client client;
+        if (!client.connect("127.0.0.1", port, error))
+            return false;
+        Client::SubmitReply reply;
+        if (!client.submit(spec, reply, error))
+            return false;
+        if (!reply.accepted) {
+            ++rejections;
+            EXPECT_FALSE(reply.reason.empty());
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::max<std::uint64_t>(reply.retryAfterMs, 1)));
+            continue;
+        }
+        if (spec.streamTrace &&
+            !client.sendTrace(reply.sessionId,
+                              materialize(spec.workload, spec.maxRefs),
+                              error))
+            return false;
+        for (;;) {
+            Client::PollReply status;
+            if (!client.poll(reply.sessionId, status, error))
+                return false;
+            if (status.state == "done") {
+                stats_out = status.resultStats;
+                return !stats_out.empty();
+            }
+            if (status.state == "failed" ||
+                status.state == "cancelled" ||
+                status.state == "evicted") {
+                error = "session " + status.state + ": " +
+                        status.sessionError;
+                return false;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+    error = "gave up after repeated rejections";
+    return false;
+}
+
+TEST(Loopback, RegistrySessionMatchesLocal)
+{
+    LoopbackServer daemon(baseConfig());
+    const SessionSpec spec = smallSpec("li");
+
+    std::string stats, error;
+    int rejections = 0;
+    ASSERT_TRUE(runSession(daemon.port(), spec, stats, rejections,
+                           error))
+        << error;
+    EXPECT_EQ(rejections, 0);
+    EXPECT_EQ(stats, localStats(spec));
+}
+
+TEST(Loopback, StreamedSessionMatchesLocal)
+{
+    LoopbackServer daemon(baseConfig());
+    SessionSpec spec = smallSpec("espresso");
+    spec.streamTrace = true;
+
+    std::string stats, error;
+    int rejections = 0;
+    ASSERT_TRUE(runSession(daemon.port(), spec, stats, rejections,
+                           error))
+        << error;
+    EXPECT_EQ(stats, localStats(spec));
+}
+
+TEST(Loopback, TinyStreamedTraceDoesNotHangTheClient)
+{
+    // Regression: a streamed run this small finishes on the worker
+    // before the loop composes the TraceDone reply, so that reply's
+    // Status sees a terminal session.  has_result must still say
+    // false there — only Poll replies carry a Result frame — or the
+    // client blocks forever waiting for one.
+    LoopbackServer daemon(baseConfig());
+    SessionSpec spec = smallSpec("li");
+    spec.streamTrace = true;
+    spec.maxRefs = 2'000;
+    spec.warmupRefs = 0;
+    spec.chunkRefs = 4'096; // one chunk: the fastest possible run
+
+    std::string stats, error;
+    int rejections = 0;
+    ASSERT_TRUE(runSession(daemon.port(), spec, stats, rejections,
+                           error))
+        << error;
+    EXPECT_EQ(stats, localStats(spec));
+}
+
+TEST(Loopback, AdmissionRejectsDeterministically)
+{
+    ServerConfig config = baseConfig();
+    config.maxSessions = 1;
+    LoopbackServer daemon(config);
+
+    // Occupy the single slot with a session that sits in Receiving
+    // until we feed it.
+    Client holder;
+    std::string error;
+    ASSERT_TRUE(holder.connect("127.0.0.1", daemon.port(), error))
+        << error;
+    SessionSpec stream_spec = smallSpec("li");
+    stream_spec.streamTrace = true;
+    Client::SubmitReply held;
+    ASSERT_TRUE(holder.submit(stream_spec, held, error)) << error;
+    ASSERT_TRUE(held.accepted);
+
+    // The second submit must bounce with the configured hint.
+    Client rejected;
+    ASSERT_TRUE(rejected.connect("127.0.0.1", daemon.port(), error))
+        << error;
+    Client::SubmitReply reply;
+    ASSERT_TRUE(rejected.submit(smallSpec("li"), reply, error))
+        << error;
+    EXPECT_FALSE(reply.accepted);
+    EXPECT_NE(reply.reason.find("session limit"), std::string::npos)
+        << reply.reason;
+    EXPECT_EQ(reply.retryAfterMs, config.retryAfterMs);
+
+    // Cancel the holder; the slot frees and the next submit lands.
+    Client::PollReply cancelled;
+    ASSERT_TRUE(holder.cancel(held.sessionId, cancelled, error))
+        << error;
+    std::string stats;
+    int rejections = 0;
+    EXPECT_TRUE(runSession(daemon.port(), smallSpec("li"), stats,
+                           rejections, error))
+        << error;
+}
+
+TEST(Loopback, ConcurrentSoakLosesNoSession)
+{
+    // More clients than admission slots: rejections are expected (and
+    // counted), lost or corrupted sessions are not.  Every client must
+    // land its stats, and every stats blob must equal the --local
+    // bytes for its spec.
+    ServerConfig config = baseConfig();
+    config.maxSessions = 2;
+    config.retryAfterMs = 20;
+    LoopbackServer daemon(config);
+
+    const std::vector<std::string> names = {"li", "espresso", "eqntott",
+                                            "worm", "li", "espresso"};
+    std::vector<SessionSpec> specs;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        SessionSpec spec = smallSpec(names[i]);
+        spec.maxRefs = 6'000;
+        spec.warmupRefs = 1'000;
+        spec.streamTrace = (i % 3 == 2);
+        specs.push_back(spec);
+    }
+
+    std::vector<std::string> stats(specs.size());
+    std::vector<std::string> errors(specs.size());
+    std::vector<int> rejections(specs.size(), 0);
+    std::vector<bool> ok(specs.size(), false);
+    std::vector<std::thread> clients;
+    clients.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        clients.emplace_back([&, i] {
+            ok[i] = runSession(daemon.port(), specs[i], stats[i],
+                               rejections[i], errors[i]);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    int total_rejections = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(ok[i]) << names[i] << ": " << errors[i];
+        total_rejections += rejections[i];
+        if (ok[i]) {
+            EXPECT_EQ(stats[i], localStats(specs[i])) << names[i];
+        }
+    }
+    // 6 clients through 2 slots: the throttle must have pushed back
+    // at least once, or the cap was not enforced.
+    EXPECT_GT(total_rejections, 0);
+
+    // All admitted sessions reached Done; none leaked another way.
+    // The loop thread reaps the counter slightly after clients see
+    // the terminal state, so give it a moment.
+    std::uint64_t done = 0;
+    for (int i = 0; i < 400; ++i) {
+        obs::StatRegistry registry;
+        daemon.server().exportStats(registry);
+        done = registry.counter("net.sessions_done");
+        if (done == specs.size())
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(done, specs.size());
+    obs::StatRegistry registry;
+    daemon.server().exportStats(registry);
+    EXPECT_GE(registry.counter("net.sessions_rejected"),
+              static_cast<std::uint64_t>(total_rejections));
+}
+
+TEST(Loopback, CancelMidRunReturnsPartial)
+{
+    ServerConfig config = baseConfig();
+    config.quantumChunks = 1; // keep the run slow enough to catch
+    LoopbackServer daemon(config);
+
+    SessionSpec spec = smallSpec("li");
+    spec.maxRefs = 400'000;
+    spec.warmupRefs = 0;
+    spec.chunkRefs = 256;
+
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", daemon.port(), error))
+        << error;
+    Client::SubmitReply reply;
+    ASSERT_TRUE(client.submit(spec, reply, error)) << error;
+    ASSERT_TRUE(reply.accepted);
+
+    Client::PollReply status;
+    ASSERT_TRUE(client.cancel(reply.sessionId, status, error)) << error;
+    // The worker notices cancelRequested at the next chunk boundary.
+    for (int i = 0; i < 400 && status.state != "cancelled"; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ASSERT_TRUE(client.poll(reply.sessionId, status, error))
+            << error;
+    }
+    EXPECT_EQ(status.state, "cancelled");
+    EXPECT_LT(status.replayedRefs, spec.maxRefs);
+    // Partial results are still published.
+    EXPECT_FALSE(status.resultStats.empty());
+}
+
+TEST(Loopback, IdleSessionIsEvicted)
+{
+    ServerConfig config = baseConfig();
+    config.idleTimeoutMs = 100;
+    LoopbackServer daemon(config);
+
+    // A Receiving session we never feed: the timewheel must reap it.
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", daemon.port(), error))
+        << error;
+    SessionSpec spec = smallSpec("li");
+    spec.streamTrace = true;
+    Client::SubmitReply reply;
+    ASSERT_TRUE(client.submit(spec, reply, error)) << error;
+    ASSERT_TRUE(reply.accepted);
+
+    // Don't poll while waiting — every client frame re-arms the idle
+    // timer.  Go quiet for several timeouts, then look once.
+    bool gone = false;
+    for (int i = 0; i < 40 && !gone; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        Client::PollReply status;
+        Client probe;
+        ASSERT_TRUE(probe.connect("127.0.0.1", daemon.port(), error))
+            << error;
+        if (!probe.poll(reply.sessionId, status, error)) {
+            gone = true; // erased: unknown session -> Error frame
+        } else if (status.state == "evicted") {
+            gone = true;
+        }
+    }
+    EXPECT_TRUE(gone);
+
+    obs::StatRegistry registry;
+    daemon.server().exportStats(registry);
+    EXPECT_GE(registry.counter("net.sessions_evicted"), 1u);
+}
+
+TEST(Loopback, TelemetryFlowsBeforeCompletion)
+{
+    LoopbackServer daemon(baseConfig());
+    SessionSpec spec = smallSpec("li");
+    spec.maxRefs = 60'000;
+    spec.tsIntervalRefs = 2'000;
+
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", daemon.port(), error))
+        << error;
+    Client::SubmitReply reply;
+    ASSERT_TRUE(client.submit(spec, reply, error)) << error;
+    ASSERT_TRUE(reply.accepted);
+
+    std::size_t telemetry_frames = 0;
+    for (int i = 0; i < 2'000; ++i) {
+        Client::PollReply status;
+        ASSERT_TRUE(client.poll(reply.sessionId, status, error))
+            << error;
+        telemetry_frames += status.telemetry.size();
+        if (status.state == "done")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(telemetry_frames, 0u);
+}
+
+TEST(Loopback, RejectsBadSpecAndUnknownSession)
+{
+    LoopbackServer daemon(baseConfig());
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", daemon.port(), error))
+        << error;
+
+    // Unknown workload: an Error frame, not an accepted session.
+    SessionSpec bad = smallSpec("no-such-workload");
+    Client::SubmitReply reply;
+    EXPECT_FALSE(client.submit(bad, reply, error));
+    EXPECT_FALSE(error.empty());
+
+    // Poll for a session that never existed (fresh connection; the
+    // previous Error closed the old one).
+    Client fresh;
+    ASSERT_TRUE(fresh.connect("127.0.0.1", daemon.port(), error))
+        << error;
+    Client::PollReply status;
+    EXPECT_FALSE(fresh.poll(999'999, status, error));
+}
+
+// ---- raw-socket protocol edges -------------------------------------
+
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+/** Read frames until EOF; returns the types seen. */
+std::vector<FrameType>
+drainFrames(int fd)
+{
+    FrameParser parser;
+    std::vector<FrameType> types;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n <= 0)
+            break;
+        parser.feed(buffer, static_cast<std::size_t>(n));
+        Frame frame;
+        while (parser.next(frame) == FrameParser::Result::Ready)
+            types.push_back(frame.type);
+    }
+    return types;
+}
+
+TEST(Loopback, HelloVersionMismatchGetsErrorAndClose)
+{
+    LoopbackServer daemon(baseConfig());
+    const int fd = rawConnect(daemon.port());
+
+    std::string out;
+    appendFrame(out, FrameType::Hello, encodeVersion(kWireVersion + 7));
+    ASSERT_EQ(::write(fd, out.data(), out.size()),
+              static_cast<ssize_t>(out.size()));
+
+    const std::vector<FrameType> types = drainFrames(fd);
+    ASSERT_EQ(types.size(), 1u); // then EOF: the server closed
+    EXPECT_EQ(types[0], FrameType::Error);
+    ::close(fd);
+}
+
+TEST(Loopback, MalformedFrameGetsErrorAndClose)
+{
+    LoopbackServer daemon(baseConfig());
+    const int fd = rawConnect(daemon.port());
+
+    std::string out;
+    appendFrame(out, FrameType::Hello, encodeVersion(kWireVersion));
+    out.push_back('\x01');
+    out.push_back('\x00');
+    out.push_back('\x00');
+    out.push_back('\x00');
+    out.push_back('\x7f'); // unknown frame type byte
+    out.push_back('x');
+    ASSERT_EQ(::write(fd, out.data(), out.size()),
+              static_cast<ssize_t>(out.size()));
+
+    const std::vector<FrameType> types = drainFrames(fd);
+    ASSERT_GE(types.size(), 1u);
+    EXPECT_EQ(types.front(), FrameType::HelloOk);
+    EXPECT_EQ(types.back(), FrameType::Error);
+    ::close(fd);
+}
+
+TEST(Loopback, FrameBeforeHelloIsRejected)
+{
+    LoopbackServer daemon(baseConfig());
+    const int fd = rawConnect(daemon.port());
+
+    std::string out;
+    appendFrame(out, FrameType::Poll, encodeSessionId(1));
+    ASSERT_EQ(::write(fd, out.data(), out.size()),
+              static_cast<ssize_t>(out.size()));
+
+    const std::vector<FrameType> types = drainFrames(fd);
+    ASSERT_EQ(types.size(), 1u);
+    EXPECT_EQ(types[0], FrameType::Error);
+    ::close(fd);
+}
+
+} // namespace

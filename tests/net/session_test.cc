@@ -1,0 +1,223 @@
+/**
+ * @file
+ * core::ExperimentSession resumability: stepping a session to
+ * exhaustion must be byte-identical — same sessionStatsJson, same
+ * sessionTimeseriesJson — to the one-shot runExperiment path, at every
+ * quantum size, whether the quanta run serially or across a thread
+ * pool.  This is the contract that lets tpsd park and resume
+ * experiments without perturbing the science (DESIGN.md §14).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "core/experiment_session.h"
+#include "net/spec.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "tlb/factory.h"
+#include "util/thread_pool.h"
+#include "workloads/registry.h"
+
+namespace
+{
+
+using namespace tps;
+using namespace tps::core;
+
+/** A spec exercising every observable at once: warmup boundary,
+ *  two-size policy with promotions, interval telemetry with miss
+ *  sampling, event log, lifecycle ledger, working-set tracking. */
+net::SessionSpec
+denseSpec(const std::string &workload, std::uint64_t chunk_refs)
+{
+    net::SessionSpec spec;
+    spec.workload = workload;
+    spec.maxRefs = 24'000;
+    spec.warmupRefs = 5'000;
+    spec.wsWindow = 4'096;
+    spec.chunkRefs = chunk_refs;
+    spec.lifecycle = true;
+    spec.tsIntervalRefs = 3'000;
+    spec.tsMissSamples = 8;
+    spec.eventsSampleEvery = 1;
+    spec.policy.kind = PolicySpec::Kind::TwoSize;
+    spec.policy.twoSize.window = 6'000;
+    spec.tlb.entries = 32;
+    spec.tlb.ways = 4;
+    spec.tlb.organization = TlbOrganization::SetAssociative;
+    return spec;
+}
+
+/** The three documents the resumability contract covers. */
+struct RunDocs
+{
+    std::string stats;
+    std::string timeseries;
+    std::string events;
+
+    bool operator==(const RunDocs &) const = default;
+};
+
+std::string
+eventsJson(const ExperimentResult &result)
+{
+    if (!result.events)
+        return "";
+    std::ostringstream os;
+    obs::JsonWriter w(os, false);
+    result.events->writeJson(w);
+    w.finish();
+    return os.str();
+}
+
+RunDocs
+docsOf(const ExperimentResult &result)
+{
+    return {net::sessionStatsJson(result),
+            net::sessionTimeseriesJson(result), eventsJson(result)};
+}
+
+RunDocs
+oracleRun(const net::SessionSpec &spec)
+{
+    auto trace = workloads::findWorkload(spec.workload).instantiate();
+    return docsOf(runExperiment(*trace, spec.policy, spec.tlb,
+                                spec.runOptions()));
+}
+
+RunDocs
+steppedRun(const net::SessionSpec &spec, std::uint64_t quantum)
+{
+    auto trace = workloads::findWorkload(spec.workload).instantiate();
+    auto policy = spec.policy.instantiate();
+    auto tlb = makeTlb(spec.tlb);
+    std::vector<SessionCell> cells{{tlb.get(), spec.tlb.probe}};
+    ExperimentSession session(*trace, *policy, cells,
+                              spec.runOptions());
+
+    std::uint64_t chunks = 0;
+    while (!session.exhausted()) {
+        const std::uint64_t ran = session.advance(quantum);
+        chunks += ran;
+        if (ran == 0)
+            break;
+    }
+    EXPECT_TRUE(session.exhausted());
+    EXPECT_EQ(session.chunksExecuted(), chunks);
+    EXPECT_EQ(session.replayedRefs(), spec.maxRefs);
+    EXPECT_EQ(session.measuredRefs(), spec.maxRefs - spec.warmupRefs);
+
+    std::vector<ExperimentResult> results = session.finish();
+    EXPECT_TRUE(session.finished());
+    EXPECT_EQ(results.size(), 1u);
+    return docsOf(results.front());
+}
+
+class SessionQuantum : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SessionQuantum, ByteIdenticalToOneShot)
+{
+    const net::SessionSpec spec = denseSpec("li", 1'024);
+    const RunDocs oracle = oracleRun(spec);
+    ASSERT_FALSE(oracle.stats.empty());
+    ASSERT_FALSE(oracle.timeseries.empty());
+    ASSERT_FALSE(oracle.events.empty());
+
+    const RunDocs stepped = steppedRun(spec, GetParam());
+    EXPECT_EQ(stepped.stats, oracle.stats);
+    EXPECT_EQ(stepped.timeseries, oracle.timeseries);
+    EXPECT_EQ(stepped.events, oracle.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, SessionQuantum,
+                         ::testing::Values(1, 7, 4096));
+
+TEST(Session, PoolInterleavingPreservesIdentity)
+{
+    // Four sessions advance concurrently on four threads, one quantum
+    // at a time — the daemon's actual execution shape.  Each must
+    // still match its own serial oracle exactly.
+    const std::vector<std::string> workloads = {"li", "espresso",
+                                                "eqntott", "worm"};
+    std::vector<RunDocs> oracles;
+    for (const std::string &name : workloads)
+        oracles.push_back(oracleRun(denseSpec(name, 512)));
+
+    const std::vector<RunDocs> stepped =
+        util::parallelMapIndex(4, workloads.size(), [&](std::size_t i) {
+            return steppedRun(denseSpec(workloads[i], 512), 3);
+        });
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        EXPECT_EQ(stepped[i].stats, oracles[i].stats) << workloads[i];
+        EXPECT_EQ(stepped[i].timeseries, oracles[i].timeseries)
+            << workloads[i];
+        EXPECT_EQ(stepped[i].events, oracles[i].events)
+            << workloads[i];
+    }
+}
+
+TEST(Session, EarlyFinishYieldsPartialStats)
+{
+    const net::SessionSpec spec = denseSpec("espresso", 256);
+    auto trace = workloads::findWorkload(spec.workload).instantiate();
+    auto policy = spec.policy.instantiate();
+    auto tlb = makeTlb(spec.tlb);
+    std::vector<SessionCell> cells{{tlb.get(), spec.tlb.probe}};
+    ExperimentSession session(*trace, *policy, cells,
+                              spec.runOptions());
+
+    ASSERT_EQ(session.advance(10), 10u); // 10 chunks x 256 refs
+    EXPECT_FALSE(session.exhausted());
+    const std::uint64_t replayed = session.replayedRefs();
+    EXPECT_GT(replayed, 0u);
+    EXPECT_LT(replayed, spec.maxRefs);
+
+    std::vector<ExperimentResult> results = session.finish();
+    ASSERT_EQ(results.size(), 1u);
+    // The partial stats are well-formed and reflect the cut point.
+    EXPECT_EQ(results.front().refs,
+              replayed - std::min(replayed, spec.warmupRefs));
+    EXPECT_FALSE(net::sessionStatsJson(results.front()).empty());
+}
+
+TEST(Session, LiveRecorderAccumulatesBetweenSteps)
+{
+    const net::SessionSpec spec = denseSpec("li", 1'000);
+    auto trace = workloads::findWorkload(spec.workload).instantiate();
+    auto policy = spec.policy.instantiate();
+    auto tlb = makeTlb(spec.tlb);
+    std::vector<SessionCell> cells{{tlb.get(), spec.tlb.probe}};
+    ExperimentSession session(*trace, *policy, cells,
+                              spec.runOptions());
+
+    const obs::TimeSeriesRecorder *recorder = session.recorder(0);
+    ASSERT_NE(recorder, nullptr);
+
+    std::size_t last_rows = 0;
+    bool grew_midway = false;
+    while (session.step()) {
+        const std::size_t rows = recorder->intervals().size();
+        EXPECT_GE(rows, last_rows); // rows only accumulate
+        if (rows > last_rows && !session.exhausted())
+            grew_midway = true;
+        last_rows = rows;
+    }
+    // Telemetry must appear while the run is in flight, not only at
+    // finish() — that is what a Poll's Telemetry frame reads.
+    EXPECT_TRUE(grew_midway);
+    EXPECT_GT(last_rows, 0u);
+    session.finish();
+}
+
+} // namespace

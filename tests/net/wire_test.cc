@@ -1,0 +1,176 @@
+/**
+ * @file
+ * tps-wire-v1 framing: encode/decode round trips, incremental parsing
+ * under arbitrary TCP segmentation, and the malformed-framing
+ * contract (sticky error, no resync).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace
+{
+
+using namespace tps;
+using namespace tps::net;
+
+Frame
+parseOne(const std::string &bytes)
+{
+    FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::Ready);
+    return frame;
+}
+
+TEST(Wire, FrameRoundTrip)
+{
+    std::string out;
+    appendFrame(out, FrameType::Submit, "{\"x\":1}");
+    ASSERT_EQ(out.size(), kFrameHeader + 7);
+    const Frame frame = parseOne(out);
+    EXPECT_EQ(frame.type, FrameType::Submit);
+    EXPECT_EQ(frame.payload, "{\"x\":1}");
+}
+
+TEST(Wire, ByteAtATimeSegmentation)
+{
+    std::string out;
+    appendFrame(out, FrameType::Hello, encodeVersion(kWireVersion));
+    appendFrame(out, FrameType::Poll, encodeSessionId(42));
+
+    FrameParser parser;
+    std::vector<Frame> frames;
+    for (const char byte : out) {
+        parser.feed(&byte, 1);
+        Frame frame;
+        while (parser.next(frame) == FrameParser::Result::Ready)
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].type, FrameType::Hello);
+    EXPECT_EQ(frames[1].type, FrameType::Poll);
+
+    PayloadReader r(frames[1].payload);
+    std::uint64_t id = 0;
+    EXPECT_TRUE(r.u64(id));
+    EXPECT_EQ(id, 42u);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, EmptyPayloadFrame)
+{
+    std::string out;
+    appendFrame(out, FrameType::TraceDone, "");
+    const Frame frame = parseOne(out);
+    EXPECT_EQ(frame.type, FrameType::TraceDone);
+    EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Wire, TraceChunkRoundTrip)
+{
+    std::vector<MemRef> refs;
+    refs.push_back({0x1000, RefType::Ifetch, 4});
+    refs.push_back({0xdeadbeefcafe, RefType::Store, 8});
+    refs.push_back({0x2000, RefType::Load, 2});
+    const std::string payload =
+        encodeTraceChunk(7, refs.data(), refs.size());
+    ASSERT_EQ(payload.size(), 8 + refs.size() * kWireRefBytes);
+
+    std::uint64_t session = 0;
+    std::vector<MemRef> decoded;
+    ASSERT_TRUE(decodeTraceChunk(payload, session, decoded));
+    EXPECT_EQ(session, 7u);
+    ASSERT_EQ(decoded.size(), refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        EXPECT_EQ(decoded[i].vaddr, refs[i].vaddr);
+        EXPECT_EQ(decoded[i].type, refs[i].type);
+        EXPECT_EQ(decoded[i].size, refs[i].size);
+    }
+}
+
+TEST(Wire, TraceChunkRejectsBadShape)
+{
+    std::vector<MemRef> refs(1);
+    std::string payload = encodeTraceChunk(1, refs.data(), 1);
+
+    std::uint64_t session = 0;
+    std::vector<MemRef> decoded;
+    // Truncated: length no longer a multiple of the ref record.
+    std::string truncated = payload.substr(0, payload.size() - 1);
+    EXPECT_FALSE(decodeTraceChunk(truncated, session, decoded));
+    // Out-of-range RefType byte.
+    payload[8 + 8] = 17;
+    EXPECT_FALSE(decodeTraceChunk(payload, session, decoded));
+    // Shorter than the session id alone.
+    EXPECT_FALSE(decodeTraceChunk("abc", session, decoded));
+}
+
+TEST(Wire, UnknownTypeIsMalformedAndSticky)
+{
+    std::string out;
+    appendFrame(out, FrameType::Hello, encodeVersion(kWireVersion));
+    out[4] = static_cast<char>(0x7f); // clobber the type byte
+
+    FrameParser parser;
+    parser.feed(out.data(), out.size());
+    Frame frame;
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::Malformed);
+
+    // Sticky: even a well-formed follow-up frame must not parse.
+    std::string good;
+    appendFrame(good, FrameType::Poll, encodeSessionId(1));
+    parser.feed(good.data(), good.size());
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::Malformed);
+}
+
+TEST(Wire, OversizedLengthIsMalformed)
+{
+    std::string out;
+    putU32(out, kMaxFramePayload + 1);
+    out.push_back(static_cast<char>(FrameType::Hello));
+
+    FrameParser parser;
+    parser.feed(out.data(), out.size());
+    Frame frame;
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::Malformed);
+}
+
+TEST(Wire, NeedMoreUntilComplete)
+{
+    std::string out;
+    appendFrame(out, FrameType::Submit, "abcdef");
+
+    FrameParser parser;
+    Frame frame;
+    parser.feed(out.data(), kFrameHeader + 3);
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::NeedMore);
+    parser.feed(out.data() + kFrameHeader + 3, out.size() -
+                                                  (kFrameHeader + 3));
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::Ready);
+    EXPECT_EQ(frame.payload, "abcdef");
+    EXPECT_EQ(parser.next(frame), FrameParser::Result::NeedMore);
+    EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(Wire, PayloadReaderBounds)
+{
+    std::string payload;
+    putU32(payload, 5);
+    PayloadReader r(payload);
+    std::uint64_t wide = 0;
+    EXPECT_FALSE(r.u64(wide)); // only 4 bytes buffered
+    std::uint32_t narrow = 0;
+    EXPECT_TRUE(r.u32(narrow));
+    EXPECT_EQ(narrow, 5u);
+    EXPECT_TRUE(r.done());
+    std::uint8_t byte = 0;
+    EXPECT_FALSE(r.u8(byte));
+}
+
+} // namespace

@@ -25,6 +25,8 @@ sampleHeartbeat()
     hb.state = "running";
     hb.configHash = "00c0ffee00c0ffee";
     hb.timestampUtc = "2026-01-01T00:00:00Z";
+    hb.hostname = "simbox-03";
+    hb.pid = 4242;
     hb.uptimeSeconds = 12.5;
     hb.workers = 4;
     hb.workersBusy = 2;
@@ -62,6 +64,8 @@ TEST(Heartbeat, JsonRoundTrip)
     EXPECT_EQ(back.state, "running");
     EXPECT_EQ(back.configHash, hb.configHash);
     EXPECT_EQ(back.timestampUtc, hb.timestampUtc);
+    EXPECT_EQ(back.hostname, "simbox-03");
+    EXPECT_EQ(back.pid, 4242u);
     EXPECT_DOUBLE_EQ(back.uptimeSeconds, 12.5);
     EXPECT_EQ(back.workers, 4u);
     EXPECT_EQ(back.workersBusy, 2u);

@@ -23,6 +23,7 @@
  */
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
@@ -282,6 +283,8 @@ snapshotHeartbeat(CampaignState &state, const std::string &hb_state,
     hb.state = hb_state;
     hb.configHash = state.configHash;
     hb.timestampUtc = obs::RunManifest::currentTimestampUtc();
+    hb.hostname = obs::RunManifest::currentHostname();
+    hb.pid = static_cast<std::uint64_t>(::getpid());
     hb.uptimeSeconds = uptime;
     hb.workers = state.workers;
     hb.workersBusy = state.inFlight.size();

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * tps_submit: submit one experiment to tpsd (or run it locally) and
+ * collect the stats.
+ *
+ *   tps_submit --workload NAME [spec flags]   registry workload
+ *   tps_submit --workload NAME --stream ...   materialize the trace
+ *                                             client-side and upload
+ *                                             it in TraceChunk frames
+ *   tps_submit --spec FILE ...                spec from JSON instead
+ *                                             of flags
+ *
+ * Daemon selection: --host (default 127.0.0.1) plus --port N or
+ * --port-file PATH (the file tpsd --port-file writes).  --local skips
+ * the daemon entirely and runs the identical parsed spec through
+ * core::runExperiment in-process — the bench-harness path.  Both
+ * paths emit exactly sessionStatsJson(), which is what the loopback
+ * byte-identity gate diffs.
+ *
+ * Spec flags (defaults in net/spec.h): --refs N --warmup N
+ * --ws-window N --chunk-refs N --lifecycle --ts-interval N
+ * --ts-miss-samples N --ts-miss-seed N --events-every N
+ * --events-capacity N --tlb-org fa|set_assoc|split|two_level
+ * --tlb-entries N --tlb-ways N --tlb-scheme small|large|exact
+ * --tlb-probe parallel|sequential --small-log2 N --large-log2 N
+ * --replacement lru|fifo|random|tree_plru --rng-seed N
+ * --split-large N --l1-entries N --policy single|two_size
+ * --page-log2 N --policy-window N --promote N --demote N
+ *
+ * Daemon-mode controls: --poll-ms N (default 50), --retries N (resubmit
+ * after an admission Rejected, honoring the server's retry_after_ms
+ * hint; default 0), --cancel-after-polls N (exercise the cancel path),
+ * --report-out FILE (fetch the HTTP /report page when finished).
+ * Output: stats to stdout, or --stats-out FILE; --ts-out FILE
+ * (--local only) writes the interval timeseries document.
+ *
+ * Exit codes: 0 session done, 1 failed or cancelled, 2 usage /
+ * connection / protocol error, 3 rejected after all retries.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "net/client.h"
+#include "net/spec.h"
+#include "obs/atomic_file.h"
+#include "obs/json.h"
+#include "trace/vector_trace.h"
+#include "workloads/registry.h"
+
+namespace
+{
+
+using tps::MemRef;
+using tps::net::Client;
+using tps::net::SessionSpec;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s (--workload NAME | --spec FILE) "
+                 "[--stream] [--local]\n"
+                 "       [--host H] [--port N | --port-file PATH] "
+                 "[spec flags]\n"
+                 "see the file header of tools/tps_submit.cc for the "
+                 "full flag list\n",
+                 argv0);
+    return 2;
+}
+
+bool
+parseUint(const char *text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+bool
+readFileTo(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Replay the registry workload into a vector — the trace a --stream
+ *  submission uploads, and the one --local --stream replays. */
+std::vector<MemRef>
+materialize(const std::string &workload, std::uint64_t max_refs)
+{
+    auto generator =
+        tps::workloads::findWorkload(workload).instantiate();
+    std::vector<MemRef> refs(max_refs);
+    std::size_t have = 0;
+    while (have < refs.size()) {
+        const std::size_t got =
+            generator->fill(refs.data() + have, refs.size() - have);
+        if (got == 0)
+            break;
+        have += got;
+    }
+    refs.resize(have);
+    return refs;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const auto &info : tps::workloads::suite())
+        if (info.name == name)
+            return true;
+    return false;
+}
+
+bool
+writeOutput(const std::string &path, const std::string &content)
+{
+    if (path.empty() || path == "-") {
+        std::fputs(content.c_str(), stdout);
+        return true;
+    }
+    std::string error;
+    if (!tps::obs::atomicWriteFile(path, content, error)) {
+        std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+telemetryRows(const std::vector<std::string> &payloads)
+{
+    std::uint64_t rows = 0;
+    for (const std::string &payload : payloads) {
+        try {
+            const tps::obs::JsonValue doc =
+                tps::obs::parseJson(payload);
+            if (const tps::obs::JsonValue *r = doc.find("rows"))
+                rows += r->array.size();
+        } catch (const std::exception &) {
+        }
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SessionSpec spec;
+    std::string workload;
+    std::string spec_file;
+    bool stream = false;
+    bool local = false;
+
+    std::string host = "127.0.0.1";
+    std::uint64_t port = 0;
+    std::string port_file;
+    std::uint64_t poll_ms = 50;
+    std::uint64_t retries = 0;
+    std::uint64_t cancel_after_polls = 0;
+    std::string stats_out;
+    std::string ts_out;
+    std::string report_out;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
+        std::uint64_t n = 0;
+        const bool uint_arg = value != nullptr && parseUint(value, n);
+
+        if (arg == "--workload" && value) {
+            workload = value;
+            ++i;
+        } else if (arg == "--spec" && value) {
+            spec_file = value;
+            ++i;
+        } else if (arg == "--stream") {
+            stream = true;
+        } else if (arg == "--local") {
+            local = true;
+        } else if (arg == "--host" && value) {
+            host = value;
+            ++i;
+        } else if (arg == "--port" && uint_arg) {
+            port = n;
+            ++i;
+        } else if (arg == "--port-file" && value) {
+            port_file = value;
+            ++i;
+        } else if (arg == "--poll-ms" && uint_arg) {
+            poll_ms = n;
+            ++i;
+        } else if (arg == "--retries" && uint_arg) {
+            retries = n;
+            ++i;
+        } else if (arg == "--cancel-after-polls" && uint_arg) {
+            cancel_after_polls = n;
+            ++i;
+        } else if (arg == "--stats-out" && value) {
+            stats_out = value;
+            ++i;
+        } else if (arg == "--ts-out" && value) {
+            ts_out = value;
+            ++i;
+        } else if (arg == "--report-out" && value) {
+            report_out = value;
+            ++i;
+        } else if (arg == "--refs" && uint_arg) {
+            spec.maxRefs = n;
+            ++i;
+        } else if (arg == "--warmup" && uint_arg) {
+            spec.warmupRefs = n;
+            ++i;
+        } else if (arg == "--ws-window" && uint_arg) {
+            spec.wsWindow = n;
+            ++i;
+        } else if (arg == "--chunk-refs" && uint_arg) {
+            spec.chunkRefs = n;
+            ++i;
+        } else if (arg == "--lifecycle") {
+            spec.lifecycle = true;
+        } else if (arg == "--ts-interval" && uint_arg) {
+            spec.tsIntervalRefs = n;
+            ++i;
+        } else if (arg == "--ts-miss-samples" && uint_arg) {
+            spec.tsMissSamples = n;
+            ++i;
+        } else if (arg == "--ts-miss-seed" && uint_arg) {
+            spec.tsMissSeed = n;
+            ++i;
+        } else if (arg == "--events-every" && uint_arg) {
+            spec.eventsSampleEvery = n;
+            ++i;
+        } else if (arg == "--events-capacity" && uint_arg) {
+            spec.eventsCapacity = n;
+            ++i;
+        } else if (arg == "--tlb-org" && value) {
+            const std::string v = value;
+            if (v == "fa")
+                spec.tlb.organization =
+                    tps::TlbOrganization::FullyAssociative;
+            else if (v == "set_assoc")
+                spec.tlb.organization =
+                    tps::TlbOrganization::SetAssociative;
+            else if (v == "split")
+                spec.tlb.organization = tps::TlbOrganization::Split;
+            else if (v == "two_level")
+                spec.tlb.organization = tps::TlbOrganization::TwoLevel;
+            else
+                return usage(argv[0]);
+            ++i;
+        } else if (arg == "--tlb-entries" && uint_arg) {
+            spec.tlb.entries = static_cast<std::size_t>(n);
+            ++i;
+        } else if (arg == "--tlb-ways" && uint_arg) {
+            spec.tlb.ways = static_cast<std::size_t>(n);
+            ++i;
+        } else if (arg == "--tlb-scheme" && value) {
+            const std::string v = value;
+            if (v == "small")
+                spec.tlb.scheme = tps::IndexScheme::SmallPage;
+            else if (v == "large")
+                spec.tlb.scheme = tps::IndexScheme::LargePage;
+            else if (v == "exact")
+                spec.tlb.scheme = tps::IndexScheme::Exact;
+            else
+                return usage(argv[0]);
+            ++i;
+        } else if (arg == "--tlb-probe" && value) {
+            const std::string v = value;
+            if (v == "parallel")
+                spec.tlb.probe = tps::ProbeStrategy::Parallel;
+            else if (v == "sequential")
+                spec.tlb.probe = tps::ProbeStrategy::Sequential;
+            else
+                return usage(argv[0]);
+            ++i;
+        } else if (arg == "--small-log2" && uint_arg) {
+            spec.tlb.smallLog2 = static_cast<unsigned>(n);
+            spec.policy.twoSize.smallLog2 = static_cast<unsigned>(n);
+            ++i;
+        } else if (arg == "--large-log2" && uint_arg) {
+            spec.tlb.largeLog2 = static_cast<unsigned>(n);
+            spec.policy.twoSize.largeLog2 = static_cast<unsigned>(n);
+            ++i;
+        } else if (arg == "--replacement" && value) {
+            const std::string v = value;
+            if (v == "lru")
+                spec.tlb.replacement = tps::ReplPolicy::LRU;
+            else if (v == "fifo")
+                spec.tlb.replacement = tps::ReplPolicy::FIFO;
+            else if (v == "random")
+                spec.tlb.replacement = tps::ReplPolicy::Random;
+            else if (v == "tree_plru")
+                spec.tlb.replacement = tps::ReplPolicy::TreePLRU;
+            else
+                return usage(argv[0]);
+            ++i;
+        } else if (arg == "--rng-seed" && uint_arg) {
+            spec.tlb.rngSeed = n;
+            ++i;
+        } else if (arg == "--split-large" && uint_arg) {
+            spec.tlb.splitLargeEntries = static_cast<std::size_t>(n);
+            ++i;
+        } else if (arg == "--l1-entries" && uint_arg) {
+            spec.tlb.l1Entries = static_cast<std::size_t>(n);
+            ++i;
+        } else if (arg == "--policy" && value) {
+            const std::string v = value;
+            if (v == "single")
+                spec.policy.kind = tps::core::PolicySpec::Kind::Single;
+            else if (v == "two_size")
+                spec.policy.kind =
+                    tps::core::PolicySpec::Kind::TwoSize;
+            else
+                return usage(argv[0]);
+            ++i;
+        } else if (arg == "--page-log2" && uint_arg) {
+            spec.policy.singleLog2 = static_cast<unsigned>(n);
+            ++i;
+        } else if (arg == "--policy-window" && uint_arg) {
+            spec.policy.twoSize.window = n;
+            ++i;
+        } else if (arg == "--promote" && uint_arg) {
+            spec.policy.twoSize.promoteThreshold =
+                static_cast<unsigned>(n);
+            ++i;
+        } else if (arg == "--demote" && uint_arg) {
+            spec.policy.twoSize.demoteThreshold =
+                static_cast<unsigned>(n);
+            ++i;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::string error;
+    if (!spec_file.empty()) {
+        std::string text;
+        if (!readFileTo(spec_file, text)) {
+            std::fprintf(stderr, "tps_submit: cannot read %s\n",
+                         spec_file.c_str());
+            return 2;
+        }
+        if (!SessionSpec::fromJson(text, spec, error)) {
+            std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+            return 2;
+        }
+        stream = spec.streamTrace;
+        if (stream)
+            // A streamed spec names no workload; the generator to
+            // materialize still comes from --workload.
+            spec.workload.clear();
+        else
+            workload = spec.workload;
+    } else {
+        spec.streamTrace = stream;
+        spec.workload = stream ? "" : workload;
+    }
+
+    if (stream || !spec.streamTrace) {
+        if (workload.empty() && spec.workload.empty()) {
+            std::fprintf(stderr, "tps_submit: --workload required\n");
+            return 2;
+        }
+    }
+    if (stream && !knownWorkload(workload)) {
+        std::fprintf(stderr, "tps_submit: unknown workload %s\n",
+                     workload.c_str());
+        return 2;
+    }
+    if (!spec.validate(error)) {
+        std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+        return 2;
+    }
+    if (spec.maxRefs == 0) {
+        std::fprintf(stderr, "tps_submit: --refs must be > 0\n");
+        return 2;
+    }
+
+    // ---------------------------------------------------- local path
+    if (local) {
+        std::unique_ptr<tps::TraceSource> trace;
+        if (stream)
+            trace = std::make_unique<tps::VectorTrace>(
+                materialize(workload, spec.maxRefs), "stream");
+        else
+            trace = tps::workloads::findWorkload(spec.workload)
+                        .instantiate();
+        const tps::core::ExperimentResult result =
+            tps::core::runExperiment(*trace, spec.policy, spec.tlb,
+                                     spec.runOptions());
+        if (!writeOutput(stats_out, tps::net::sessionStatsJson(result)))
+            return 2;
+        if (!ts_out.empty() &&
+            !writeOutput(ts_out,
+                         tps::net::sessionTimeseriesJson(result)))
+            return 2;
+        return 0;
+    }
+
+    // --------------------------------------------------- daemon path
+    if (!port_file.empty()) {
+        std::string text;
+        if (!readFileTo(port_file, text) ||
+            !parseUint(std::string(text, 0, text.find('\n')).c_str(),
+                       port)) {
+            std::fprintf(stderr, "tps_submit: cannot read port from %s\n",
+                         port_file.c_str());
+            return 2;
+        }
+    }
+    if (port == 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "tps_submit: --port or --port-file required\n");
+        return 2;
+    }
+
+    Client client;
+    if (!client.connect(host, static_cast<std::uint16_t>(port),
+                        error)) {
+        std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+        return 2;
+    }
+
+    Client::SubmitReply submitted;
+    for (std::uint64_t attempt = 0;; ++attempt) {
+        if (!client.submit(spec, submitted, error)) {
+            std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+            return 2;
+        }
+        if (submitted.accepted)
+            break;
+        if (attempt >= retries) {
+            std::fprintf(stderr, "tps_submit: rejected: %s\n",
+                         submitted.reason.c_str());
+            return 3;
+        }
+        std::fprintf(stderr,
+                     "tps_submit: rejected (%s), retrying in %llu ms\n",
+                     submitted.reason.c_str(),
+                     static_cast<unsigned long long>(
+                         submitted.retryAfterMs));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(submitted.retryAfterMs));
+    }
+    const std::uint64_t session = submitted.sessionId;
+
+    if (stream) {
+        const std::vector<MemRef> refs =
+            materialize(workload, spec.maxRefs);
+        if (!client.sendTrace(session, refs, error)) {
+            std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+            return 2;
+        }
+    }
+
+    std::uint64_t rows = 0;
+    std::uint64_t polls = 0;
+    bool cancel_sent = false;
+    Client::PollReply reply;
+    for (;;) {
+        if (cancel_after_polls != 0 && polls >= cancel_after_polls &&
+            !cancel_sent) {
+            if (!client.cancel(session, reply, error)) {
+                std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+                return 2;
+            }
+            cancel_sent = true;
+        }
+        if (!client.poll(session, reply, error)) {
+            std::fprintf(stderr, "tps_submit: %s\n", error.c_str());
+            return 2;
+        }
+        ++polls;
+        rows += telemetryRows(reply.telemetry);
+        if (reply.state == "done" || reply.state == "cancelled" ||
+            reply.state == "failed" || reply.state == "evicted")
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(poll_ms));
+    }
+
+    std::fprintf(stderr,
+                 "tps_submit: session %llu %s: %llu refs, %llu chunks, "
+                 "%llu telemetry rows\n",
+                 static_cast<unsigned long long>(session),
+                 reply.state.c_str(),
+                 static_cast<unsigned long long>(reply.replayedRefs),
+                 static_cast<unsigned long long>(reply.chunks),
+                 static_cast<unsigned long long>(rows));
+
+    if (!reply.resultStats.empty() &&
+        !writeOutput(stats_out, reply.resultStats))
+        return 2;
+
+    if (!report_out.empty() && !reply.resultStats.empty()) {
+        std::string body;
+        if (!tps::net::httpGet(host,
+                               static_cast<std::uint16_t>(port),
+                               "/report/" + std::to_string(session),
+                               body, error)) {
+            std::fprintf(stderr, "tps_submit: report: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        if (!writeOutput(report_out, body))
+            return 2;
+    }
+
+    if (reply.state == "done")
+        return 0;
+    if (reply.state == "failed" && !reply.sessionError.empty())
+        std::fprintf(stderr, "tps_submit: session failed: %s\n",
+                     reply.sessionError.c_str());
+    return 1;
+}

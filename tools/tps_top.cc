@@ -12,6 +12,10 @@
  * Modes:
  *   tps_top DIR|FILE              watch until the campaign finishes
  *   tps_top DIR|FILE --once       render one frame and exit
+ *   tps_top DIR|FILE --json       dump one parsed heartbeat as JSON
+ *                                 and exit (implies --once); scripts
+ *                                 and tps_submit poll status this way
+ *                                 without scraping the terminal view
  *   --interval-ms N               poll period (default 500)
  *   --wait-ms N                   wait up to N ms for the file to
  *                                 appear / first parse (default 0
@@ -47,7 +51,7 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s DIR|heartbeat.json [--once] "
+                 "usage: %s DIR|heartbeat.json [--once] [--json] "
                  "[--interval-ms N] [--wait-ms N]\n",
                  argv0);
     return 2;
@@ -90,8 +94,12 @@ render(const Heartbeat &hb, bool clear)
         std::printf("\033[H\033[J"); // home + clear, plain ANSI
     std::printf("tps campaign — %-12s  %s\n", hb.state.c_str(),
                 hb.timestampUtc.c_str());
-    std::printf("  config %s   uptime %s\n", hb.configHash.c_str(),
+    std::printf("  config %s   uptime %s", hb.configHash.c_str(),
                 fmtSeconds(hb.uptimeSeconds).c_str());
+    if (!hb.hostname.empty())
+        std::printf("   writer %s:%llu", hb.hostname.c_str(),
+                    static_cast<unsigned long long>(hb.pid));
+    std::printf("\n");
     std::printf("  cells %llu/%llu done (%llu resumed)   refs %.2fM   "
                 "%.2fM refs/s   eta %s\n",
                 static_cast<unsigned long long>(hb.cellsDone),
@@ -121,12 +129,19 @@ main(int argc, char **argv)
 {
     std::string path;
     bool once = false;
+    bool json = false;
     bool wait_set = false;
     std::uint64_t interval_ms = 500;
     std::uint64_t wait_ms = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--once") {
+            once = true;
+        } else if (arg == "--json") {
+            // Machine-readable once mode: the parsed heartbeat is
+            // re-serialized, so consumers get schema-checked JSON
+            // (never a torn or foreign document).
+            json = true;
             once = true;
         } else if (arg == "--interval-ms" && i + 1 < argc) {
             interval_ms = std::strtoull(argv[++i], nullptr, 10);
@@ -178,6 +193,13 @@ main(int argc, char **argv)
         path = resolve(arg_path);
     }
 
+    if (json) {
+        std::ostringstream out;
+        hb.writeJson(out);
+        out << '\n';
+        std::fputs(out.str().c_str(), stdout);
+        return 0;
+    }
     if (once) {
         render(hb, false);
         return 0;

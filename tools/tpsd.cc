@@ -1,0 +1,172 @@
+/**
+ * @file
+ * tpsd: the trace-replay daemon (DESIGN.md §14).
+ *
+ * Serves tps-wire-v1 on a TCP port: clients Submit a
+ * tps-session-spec-v1 experiment (registry workload or streamed
+ * trace), the daemon multiplexes the resulting resumable sessions
+ * onto a worker pool in fairness quanta, and clients Poll for live
+ * telemetry and the final stats.  A plain-HTTP GET against the same
+ * port serves per-session reports.
+ *
+ *   tpsd [--port N] [--port-file PATH] [--dir DIR] [--bind ADDR]
+ *        [--threads N] [--quantum-chunks N] [--max-sessions N]
+ *        [--max-trace-bytes N] [--max-inflight-refs N]
+ *        [--idle-timeout-ms N] [--retry-after-ms N]
+ *        [--heartbeat-ms N]
+ *
+ * --port 0 (the default) binds an ephemeral port; the resolved port
+ * goes to stdout ("listening on PORT") and, with --port-file, into
+ * PATH through an atomic rename — the race-free way for scripts to
+ * find the daemon.  --dir enables the status artifacts (heartbeat for
+ * tps_top, campaign journal + per-session dumps for tps_report).
+ *
+ * SIGINT/SIGTERM go through obs::installSignalFlush: the daemon
+ * journals every finished-but-unclaimed session and leaves a
+ * state="interrupted" heartbeat before exiting 128+signo, the same
+ * artifact contract tps_campaign honors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "net/server.h"
+#include "obs/atomic_file.h"
+#include "obs/signal_flush.h"
+#include "obs/stat_registry.h"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port N] [--port-file PATH] [--dir DIR]\n"
+        "          [--bind ADDR] [--threads N] [--quantum-chunks N]\n"
+        "          [--max-sessions N] [--max-trace-bytes N]\n"
+        "          [--max-inflight-refs N] [--idle-timeout-ms N]\n"
+        "          [--retry-after-ms N] [--heartbeat-ms N]\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseUint(const char *text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tps::net::ServerConfig config;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
+        std::uint64_t n = 0;
+        if (arg == "--port" && value && parseUint(value, n)) {
+            config.port = static_cast<std::uint16_t>(n);
+            ++i;
+        } else if (arg == "--port-file" && value) {
+            port_file = value;
+            ++i;
+        } else if (arg == "--dir" && value) {
+            config.statusDir = value;
+            ++i;
+        } else if (arg == "--bind" && value) {
+            config.bindAddress = value;
+            ++i;
+        } else if (arg == "--threads" && value && parseUint(value, n)) {
+            config.workers = static_cast<unsigned>(n);
+            ++i;
+        } else if (arg == "--quantum-chunks" && value &&
+                   parseUint(value, n)) {
+            config.quantumChunks = n;
+            ++i;
+        } else if (arg == "--max-sessions" && value &&
+                   parseUint(value, n)) {
+            config.maxSessions = static_cast<std::size_t>(n);
+            ++i;
+        } else if (arg == "--max-trace-bytes" && value &&
+                   parseUint(value, n)) {
+            config.maxQueuedTraceBytes = n;
+            ++i;
+        } else if (arg == "--max-inflight-refs" && value &&
+                   parseUint(value, n)) {
+            config.maxInflightRefs = n;
+            ++i;
+        } else if (arg == "--idle-timeout-ms" && value &&
+                   parseUint(value, n)) {
+            config.idleTimeoutMs = n;
+            ++i;
+        } else if (arg == "--retry-after-ms" && value &&
+                   parseUint(value, n)) {
+            config.retryAfterMs = n;
+            ++i;
+        } else if (arg == "--heartbeat-ms" && value &&
+                   parseUint(value, n)) {
+            config.heartbeatIntervalMs = n;
+            ++i;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const std::string status_dir = config.statusDir;
+    tps::net::Server server(std::move(config));
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "tpsd: %s\n", error.c_str());
+        return 1;
+    }
+
+    tps::obs::installSignalFlush([&server, status_dir](int signo) {
+        server.journalPartialAndFlush(signo);
+        if (status_dir.empty())
+            return;
+        // Leave the daemon counters next to the journal, the same
+        // stats-on-interrupt contract the bench harness honors.
+        tps::obs::StatRegistry registry;
+        server.exportStats(registry);
+        std::ostringstream os;
+        registry.writeJson(os);
+        os << '\n';
+        std::string write_error;
+        tps::obs::atomicWriteFile(status_dir + "/tpsd.stats.json",
+                                  os.str(), write_error);
+    });
+
+    if (!port_file.empty()) {
+        const std::string content =
+            std::to_string(server.port()) + "\n";
+        if (!tps::obs::atomicWriteFile(port_file, content, error)) {
+            std::fprintf(stderr, "tpsd: %s\n", error.c_str());
+            return 1;
+        }
+    }
+    std::printf("listening on %u\n", server.port());
+    std::fflush(stdout);
+
+    server.run();
+
+    // Orderly exit (tests call stop() in-process; the daemon normally
+    // leaves through the signal path above): dump the net.* counters.
+    tps::obs::StatRegistry registry;
+    server.exportStats(registry);
+    std::ostringstream stats;
+    registry.writeJson(stats);
+    stats << '\n';
+    std::fputs(stats.str().c_str(), stdout);
+    return 0;
+}

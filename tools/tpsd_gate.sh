@@ -1,0 +1,97 @@
+#!/bin/sh
+# Loopback byte-identity gate for tpsd (DESIGN.md §14, label: net).
+#
+# Boots a daemon on an ephemeral port, submits two experiments
+# CONCURRENTLY through tps_submit — one replayed server-side from the
+# registry, one streamed over TraceChunk frames — and requires each
+# session's stats to be byte-identical (tps_stats_diff, exit 0) to the
+# same spec run through `tps_submit --local`, i.e. the bench-harness
+# runExperiment path.  Also checks the daemon's artifacts: the HTTP
+# /report page, the heartbeat, and the campaign journal.
+#
+# usage: tpsd_gate.sh TPSD TPS_SUBMIT TPS_STATS_DIFF WORKDIR
+set -u
+
+TPSD=$1
+TPS_SUBMIT=$2
+TPS_STATS_DIFF=$3
+DIR=$4
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+"$TPSD" --port-file "$DIR/port" --dir "$DIR/status" \
+    --threads 2 --quantum-chunks 8 --heartbeat-ms 200 \
+    > "$DIR/tpsd.log" 2>&1 &
+TPSD_PID=$!
+trap 'kill "$TPSD_PID" 2>/dev/null' EXIT
+
+i=0
+while [ ! -s "$DIR/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ] || ! kill -0 "$TPSD_PID" 2>/dev/null; then
+        echo "tpsd_gate: daemon did not come up" >&2
+        cat "$DIR/tpsd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Session A: registry workload, two-size policy, interval telemetry.
+SPEC_A="--workload li --refs 30000 --warmup 5000 --chunk-refs 1024 \
+    --policy two_size --policy-window 8000 \
+    --ts-interval 5000 --ts-miss-samples 16"
+# Session B: streamed trace, single-size defaults.
+SPEC_B="--workload espresso --refs 20000 --chunk-refs 512 --stream"
+
+# Both submissions run concurrently: the daemon must multiplex them.
+"$TPS_SUBMIT" --port-file "$DIR/port" --poll-ms 20 $SPEC_A \
+    --stats-out "$DIR/daemon_a.json" \
+    --report-out "$DIR/report_a.html" \
+    > /dev/null 2> "$DIR/submit_a.log" &
+A_PID=$!
+"$TPS_SUBMIT" --port-file "$DIR/port" --poll-ms 20 $SPEC_B \
+    --stats-out "$DIR/daemon_b.json" \
+    > /dev/null 2> "$DIR/submit_b.log" &
+B_PID=$!
+
+wait "$A_PID"
+A_RC=$?
+wait "$B_PID"
+B_RC=$?
+if [ "$A_RC" -ne 0 ] || [ "$B_RC" -ne 0 ]; then
+    echo "tpsd_gate: submit failed (a=$A_RC b=$B_RC)" >&2
+    cat "$DIR/submit_a.log" "$DIR/submit_b.log" "$DIR/tpsd.log" >&2
+    exit 1
+fi
+
+# The identical parsed specs through the in-process harness path.
+"$TPS_SUBMIT" --local $SPEC_A --stats-out "$DIR/local_a.json" \
+    2>> "$DIR/submit_a.log" || exit 1
+"$TPS_SUBMIT" --local $SPEC_B --stats-out "$DIR/local_b.json" \
+    2>> "$DIR/submit_b.log" || exit 1
+
+# The gate itself: daemon stats == harness stats, byte for byte.
+"$TPS_STATS_DIFF" "$DIR/daemon_a.json" "$DIR/local_a.json" || {
+    echo "tpsd_gate: session A stats differ from --local" >&2
+    exit 1
+}
+"$TPS_STATS_DIFF" "$DIR/daemon_b.json" "$DIR/local_b.json" || {
+    echo "tpsd_gate: session B stats differ from --local" >&2
+    exit 1
+}
+
+grep -q '<svg' "$DIR/report_a.html" || {
+    echo "tpsd_gate: /report page carries no charts" >&2
+    exit 1
+}
+[ -s "$DIR/status/heartbeat.json" ] || {
+    echo "tpsd_gate: no heartbeat written" >&2
+    exit 1
+}
+grep -q 'session-' "$DIR/status/campaign.jsonl" || {
+    echo "tpsd_gate: no session journaled" >&2
+    exit 1
+}
+
+exit 0
