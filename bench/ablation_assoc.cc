@@ -30,6 +30,7 @@ main(int argc, char **argv)
         core::RunOptions options;
         options.maxRefs = scale.refs;
         options.warmupRefs = scale.warmupRefs;
+        options.walk = scale.walk;
         core::SweepRunner sweep;
         sweep.workloads({"li", "worm", "xnews"})
             .options(options)
@@ -93,6 +94,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 row.push_back(bench::cpi(
                     core::runExperiment(
                         *workload,

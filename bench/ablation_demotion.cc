@@ -50,6 +50,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 return core::runExperiment(
                     *workload, core::PolicySpec::twoSizes(policy), tlb,
                     options);

@@ -41,6 +41,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 const auto result = core::runExperiment(
                     *workload, core::PolicySpec::twoSizes(policy), tlb,
                     options);
@@ -66,6 +67,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 row.push_back(bench::cpi(
                     core::runExperiment(
                         *workload, core::PolicySpec::twoSizes(policy),

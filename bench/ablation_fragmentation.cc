@@ -64,6 +64,7 @@ main(int argc, char **argv)
                     core::RunOptions options;
                     options.maxRefs = scale.refs;
                     options.warmupRefs = scale.warmupRefs;
+                    options.walk = scale.walk;
                     options.phys = base;
                     options.phys.fragPressure = pressure;
                     options.phys.reservation = reservation;

@@ -128,5 +128,152 @@ main(int argc, char **argv)
     std::cout << "\npaper estimate: two-size handlers ~25% slower "
                  "(Section 2.3); the walker model shows where that "
                  "lands for each program's size mix\n";
-    return 0;
+
+    // ---------------------------------------------------------------
+    // Mechanism axis: constant penalty vs structural walk vs walk+PWC
+    // vs walk+PWC+victim-TLB (DESIGN.md §15).  Four runs per program:
+    //
+    //   4K+walk   : 4K-only policy, radix walk, no PWC.  Every miss
+    //               walks all 4 levels, so levels/walk is exactly 4.0
+    //               and cpi_walk == the paper's 20-cycle constant
+    //               times MPI.
+    //   32K+walk  : all-large policy, same walker, no PWC.  Large
+    //               leaves terminate one level early, so levels/walk
+    //               is exactly 3.0 — measured through the whole
+    //               stack, which gates that the miss stream actually
+    //               carries page sizes into the walker.  The depth
+    //               check below compares this against the 4K column.
+    //   two+walk  : the two-size policy on the same walker lands
+    //               between those bounds in proportion to the large
+    //               fraction of its miss stream — except worm, the
+    //               paper's degradation case, whose chunks never earn
+    //               a promotion and so pays full 4K depth.
+    //   two+pwc   : add the page-walk cache (scale.walk geometry).
+    //   two+victim: additionally catch primary-TLB evictions in a
+    //               software victim array (TlbOrganization::Victim —
+    //               note its primary is fully associative at the same
+    //               entry count, not the 2-way array above, so its
+    //               miss stream differs from two+pwc's).
+    // ---------------------------------------------------------------
+    std::cout << "\n-- mechanism axis: constant vs walk vs walk+PWC "
+                 "vs walk+PWC+victim --\n";
+    struct MechRow
+    {
+        std::string name;
+        double levels4k = 0.0;
+        double levelsLarge = 0.0;
+        double levelsTwo = 0.0;
+        double cpiWalkNoPwc = 0.0;
+        double cpiWalkPwc = 0.0;
+        double pwcHitRate = 0.0;
+        double cpiVictim = 0.0;
+        std::uint64_t victimHits = 0;
+    };
+    const auto mech_rows = core::forEachSuiteWorkload(
+        scale, [&](const auto &info) {
+            core::RunOptions options;
+            // Full scale.refs, not a shortened run: chunk-sparse
+            // programs (worm) need the whole assignment window before
+            // their first promotion, and the depth check below
+            // requires every program to map *something* large.
+            options.maxRefs = scale.refs;
+            options.warmupRefs = 0;
+            options.walk = scale.walk;
+            options.walk.enabled = true;
+
+            MechRow row;
+            row.name = info.name;
+
+            auto workload = info.instantiate();
+            TlbConfig tlb4 = tlb;
+            tlb4.largeLog2 = kLog2_4K + 3;
+            core::RunOptions no_pwc = options;
+            no_pwc.walk.pwcEntries = 0;
+            const auto r4 = core::runExperiment(
+                *workload, core::PolicySpec::single(kLog2_4K), tlb4,
+                no_pwc);
+            row.levels4k = r4.walk.levelsPerWalk();
+
+            workload->reset();
+            const auto r32 = core::runExperiment(
+                *workload, core::PolicySpec::single(kLog2_32K), tlb,
+                no_pwc);
+            row.levelsLarge = r32.walk.levelsPerWalk();
+
+            workload->reset();
+            const auto two_walk = core::runExperiment(
+                *workload,
+                core::PolicySpec::twoSizes(core::paperPolicy(scale)),
+                tlb, no_pwc);
+            row.levelsTwo = two_walk.walk.levelsPerWalk();
+            row.cpiWalkNoPwc = two_walk.cpiWalk;
+
+            workload->reset();
+            const auto two_pwc = core::runExperiment(
+                *workload,
+                core::PolicySpec::twoSizes(core::paperPolicy(scale)),
+                tlb, options);
+            row.cpiWalkPwc = two_pwc.cpiWalk;
+            row.pwcHitRate = two_pwc.walk.pwcHitRate();
+
+            workload->reset();
+            TlbConfig victim_tlb = tlb;
+            victim_tlb.organization = TlbOrganization::Victim;
+            victim_tlb.victimEntries = options.walk.victimEntries;
+            const auto two_victim = core::runExperiment(
+                *workload,
+                core::PolicySpec::twoSizes(core::paperPolicy(scale)),
+                victim_tlb, options);
+            row.victimHits = two_victim.victim.victimHits;
+            row.cpiVictim =
+                two_victim.cpiWalk +
+                static_cast<double>(options.walk.victimHitCycles) *
+                    static_cast<double>(two_victim.victim.victimHits) /
+                    static_cast<double>(two_victim.instructions);
+            return row;
+        });
+
+    stats::TextTable mech({"Program", "lv/walk 4K", "lv/walk 32K",
+                           "lv/walk 2sz", "CPIwalk", "CPIwalk+pwc",
+                           "PWC hit", "CPIwalk+victim"});
+    std::vector<std::vector<std::string>> mech_csv;
+    bool depth_ok = true;
+    for (const MechRow &row : mech_rows) {
+        depth_ok = depth_ok && row.levelsLarge < row.levels4k &&
+                   row.levelsTwo <= row.levels4k &&
+                   row.levelsTwo >= row.levelsLarge;
+        mech.addRow({row.name, formatFixed(row.levels4k, 3),
+                     formatFixed(row.levelsLarge, 3),
+                     formatFixed(row.levelsTwo, 3),
+                     bench::cpi(row.cpiWalkNoPwc),
+                     bench::cpi(row.cpiWalkPwc),
+                     formatFixed(row.pwcHitRate * 100.0, 1) + "%",
+                     bench::cpi(row.cpiVictim)});
+        mech_csv.push_back(
+            {row.name, formatFixed(row.levels4k, 4),
+             formatFixed(row.levelsLarge, 4),
+             formatFixed(row.levelsTwo, 4),
+             formatFixed(row.cpiWalkNoPwc, 6),
+             formatFixed(row.cpiWalkPwc, 6),
+             formatFixed(row.pwcHitRate, 4),
+             formatFixed(row.cpiVictim, 6),
+             std::to_string(row.victimHits)});
+    }
+    bench::record("ablation_penalty_mechanism",
+                  {"program", "levels_per_walk_4k",
+                   "levels_per_walk_32k", "levels_per_walk_two_size",
+                   "cpi_walk_no_pwc", "cpi_walk_pwc", "pwc_hit_rate",
+                   "cpi_walk_victim", "victim_hits"},
+                  mech_csv);
+    mech.print(std::cout);
+    std::cout << (depth_ok
+                      ? "\ndepth check: the large-page config touches "
+                        "strictly fewer walk levels per miss than "
+                        "4K-only on every program (large leaves end "
+                        "one level early), and the two-size mix lands "
+                        "between those bounds\n"
+                      : "\ndepth check FAILED: a large-page config "
+                        "walked as many levels as 4K-only, or a "
+                        "two-size mix fell outside the bounds\n");
+    return depth_ok ? 0 : 1;
 }

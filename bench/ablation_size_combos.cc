@@ -34,6 +34,7 @@ main(int argc, char **argv)
                  core::RunOptions options;
                  options.maxRefs = scale.refs;
                  options.warmupRefs = scale.warmupRefs;
+                 options.walk = scale.walk;
                  return core::runExperiment(
                             *workload,
                             core::PolicySpec::single(kLog2_4K), tlb,
@@ -67,6 +68,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 const auto result = core::runExperiment(
                     *workload, core::PolicySpec::twoSizes(policy),
                     combo_tlb, options);

@@ -47,6 +47,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 const auto result = core::runExperiment(
                     *workload, core::PolicySpec::twoSizes(policy), tlb,
                     options);

@@ -285,11 +285,12 @@ stripObsArgs(int &argc, char **argv)
         "--threads",        "--stats-out",           "--trace-out",
         "--timeseries-out", "--timeseries-interval", "--miss-sample",
         "--phys-mem",       "--frag-pressure",       "--reservation",
-        "--chunk-refs",     "--events-out",          "--events-sample"};
+        "--chunk-refs",     "--events-out",          "--events-sample",
+        "--pwc-entries",    "--victim-entries"};
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--progress")
+        if (arg == "--progress" || arg == "--walk-model")
             continue;
         bool strip = false;
         for (const std::string &flag : value_flags) {
@@ -344,6 +345,17 @@ stripObsArgs(int &argc, char **argv)
  *                              experiment engine (default 4096;
  *                              TPS_CHUNK_REFS equivalent; results
  *                              are identical at any value)
+ *   --walk-model               charge TLB misses a structural radix
+ *                              page walk instead of only the flat
+ *                              constant (TPS_WALK_MODEL equivalent;
+ *                              adds walk.* keys and cpi_walk to every
+ *                              cell — see walk/walk.h)
+ *   --pwc-entries N            page-walk-cache entries for the walk
+ *                              model (default 16; 0 = no PWC)
+ *   --victim-entries N         software victim-TLB array size used by
+ *                              benches that build a
+ *                              TlbOrganization::Victim config
+ *                              (default 512)
  */
 inline core::StudyScale
 banner(int argc, char **argv, const char *experiment, const char *what)
@@ -358,6 +370,17 @@ banner(int argc, char **argv, const char *experiment, const char *what)
             detail::parseCount("--chunk-refs", value));
         if (scale.chunkRefs == 0)
             tps_fatal("--chunk-refs must be > 0");
+    }
+    if (hasFlag(argc, argv, "--walk-model"))
+        scale.walk.enabled = true;
+    if (flagValue(argc, argv, "--pwc-entries", value))
+        scale.walk.pwcEntries = static_cast<std::size_t>(
+            detail::parseCount("--pwc-entries", value));
+    if (flagValue(argc, argv, "--victim-entries", value)) {
+        scale.walk.victimEntries = static_cast<std::size_t>(
+            detail::parseCount("--victim-entries", value));
+        if (scale.walk.victimEntries == 0)
+            tps_fatal("--victim-entries must be > 0");
     }
     if (flagValue(argc, argv, "--stats-out", value))
         state.statsOut = value;

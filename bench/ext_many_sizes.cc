@@ -38,6 +38,7 @@ main(int argc, char **argv)
         core::RunOptions options;
         options.maxRefs = scale.refs;
         options.warmupRefs = scale.warmupRefs;
+        options.walk = scale.walk;
 
         auto workload = info.instantiate();
         const double cpi1 =

@@ -61,6 +61,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 const auto policy =
                     two_sizes ? core::PolicySpec::twoSizes(
                                     core::paperPolicy(scale))
@@ -89,6 +90,7 @@ main(int argc, char **argv)
                 core::RunOptions options;
                 options.maxRefs = scale.refs;
                 options.warmupRefs = scale.warmupRefs;
+                options.walk = scale.walk;
                 const auto result = core::runExperiment(
                     *workload, *policy, tlb, options);
 

@@ -303,6 +303,38 @@ writePerfJson(const core::StudyScale &scale)
             batched.cpiTlb == per_ref.cpiTlb;
     }
 
+    // --- walk model: structural-penalty engine cost ----------------
+    // The same representative cell with `--walk-model` on: how much
+    // the radix walker + PWC cost on top of the flat-constant path,
+    // plus the deterministic walk counters the gate can exact-match.
+    const std::uint64_t walk_refs = envOr("TPS_REFS", 200'000) * 5;
+    double walk_off_s = 0.0;
+    double walk_on_s = 0.0;
+    core::ExperimentResult walk_result;
+    {
+        auto workload = workloads::findWorkload("doduc").instantiate();
+        const VectorTrace walk_trace = materialize(*workload, walk_refs);
+        TlbConfig tlb;
+        tlb.organization = TlbOrganization::FullyAssociative;
+        tlb.entries = 64;
+        const auto policy =
+            core::PolicySpec::twoSizes(TwoSizeConfig{});
+        core::RunOptions walk_options;
+        walk_options.maxRefs = walk_refs;
+        walk_options.chunkRefs = scale.chunkRefs;
+
+        VectorTrace cursor = walk_trace;
+        auto start = Clock::now();
+        (void)runExperiment(cursor, policy, tlb, walk_options);
+        walk_off_s = secondsSince(start);
+
+        walk_options.walk = scale.walk;
+        walk_options.walk.enabled = true;
+        start = Clock::now();
+        walk_result = runExperiment(cursor, policy, tlb, walk_options);
+        walk_on_s = secondsSince(start);
+    }
+
     // --- sweep: shared-pass serial, vs 4 threads where possible ----
     const std::uint64_t cell_refs = envOr("TPS_REFS", 200'000);
     const unsigned par_threads = 4;
@@ -408,6 +440,19 @@ writePerfJson(const core::StudyScale &scale)
                      : 0.0);
     reg.addText("micro_perf.engine.results_identical",
                 engines_identical ? "true" : "false");
+    reg.addCounter("micro_perf.walk.refs", walk_refs);
+    reg.addCounter("micro_perf.walk.walks", walk_result.walk.walks);
+    reg.addCounter("micro_perf.walk.level_accesses",
+                   walk_result.walk.levelAccesses);
+    reg.addCounter("micro_perf.walk.pwc_hits",
+                   walk_result.walk.pwcHits);
+    reg.addValue("micro_perf.walk.cpi_walk", walk_result.cpiWalk);
+    reg.addValue("micro_perf.walk.refs_per_sec",
+                 walk_on_s > 0
+                     ? static_cast<double>(walk_refs) / walk_on_s
+                     : 0.0);
+    reg.addValue("micro_perf.walk.slowdown_vs_constant",
+                 walk_off_s > 0 ? walk_on_s / walk_off_s : 0.0);
     reg.addCounter("micro_perf.sweep.cells", sweep.cells());
     reg.addCounter("micro_perf.sweep.refs_per_cell", cell_refs);
     reg.addValue("micro_perf.sweep.serial_seconds", serial_s);

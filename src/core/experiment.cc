@@ -60,6 +60,30 @@ ExperimentResult::exportTo(obs::StatRegistry &registry,
         registry.addHistogram(prefix + ".reach.set_occupancy",
                               reach.setOccupancy);
     }
+    if (walkModeled) {
+        walk.exportTo(registry, prefix + ".walk");
+        registry.addValue(prefix + ".cpi_walk", cpiWalk);
+    }
+    if (victimModeled) {
+        registry.addCounter(prefix + ".walk.victim_primary_hits",
+                            victim.primaryHits);
+        registry.addCounter(prefix + ".walk.victim_hits",
+                            victim.victimHits);
+        registry.addCounter(prefix + ".walk.victim_fills",
+                            victim.victimFills);
+        registry.addCounter(prefix + ".walk.victim_evictions",
+                            victim.victimEvictions);
+        registry.addCounter(prefix + ".walk.victim_invalidations",
+                            victim.victimInvalidations);
+        // Rescue rate: primary misses the array resurrected.
+        const std::uint64_t primary_misses =
+            victim.victimHits + tlb.misses;
+        registry.addValue(prefix + ".walk.victim_hit_rate",
+                          primary_misses == 0
+                              ? 0.0
+                              : static_cast<double>(victim.victimHits) /
+                                    static_cast<double>(primary_misses));
+    }
     if (harnessMeasured) {
         registry.addValue(prefix + ".harness.wall_seconds",
                           harness.wallSeconds);
@@ -208,6 +232,10 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
             address_space->setAllocator(&*phys_model);
     }
 
+    std::optional<walk::PageWalker> walker;
+    if (options.walk.enabled)
+        walker.emplace(options.walk);
+
     // Interval telemetry: a per-cell recorder fed with counter deltas
     // every intervalRefs measured references.
     const obs::TimeSeriesConfig ts_config = resolveTsConfig(options);
@@ -218,7 +246,8 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     std::optional<obs::TimeSeriesRecorder> ts;
     if (ts_config.enabled())
         emplaceTsRecorder(ts, ts_config, wset.has_value(),
-                          lifecycle_on, phys_model.has_value());
+                          lifecycle_on, phys_model.has_value(),
+                          walker.has_value());
     const bool sample_misses = ts && ts->samplingMisses();
     // Miss-cause attribution (sampling only): every page identity ever
     // accessed, and identities invalidated since their last access.
@@ -287,6 +316,7 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
     TlbStats ts_prev_tlb;
     PolicyStats ts_prev_policy;
     phys::PhysCounters ts_prev_phys;
+    walk::WalkStats ts_prev_walk;
     std::uint64_t ts_prev_instructions = 0;
     std::uint64_t ts_last_close = 0;
     auto closeInterval = [&] {
@@ -330,6 +360,13 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
             values.push_back(static_cast<double>(snap.freeBytes));
             ts_prev_phys = phys_model->counters();
         }
+        if (walker) {
+            const walk::WalkStats walk_d =
+                walker->stats().deltaSince(ts_prev_walk);
+            counters.push_back(walk_d.levelAccesses);
+            values.push_back(walk_d.pwcHitRate());
+            ts_prev_walk = walker->stats();
+        }
         ts->endInterval(ts_last_close, refs_d, std::move(counters),
                         std::move(values));
         ts_prev_tlb = tlb.stats();
@@ -361,6 +398,8 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                 policy.resetStats();
                 if (phys_model)
                     phys_model->resetCounters();
+                if (walker)
+                    walker->resetStats();
                 if (ledger)
                     ledger->resetStats(measured_refs);
                 instructions = 0;
@@ -386,6 +425,8 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                 else
                     address_space->handleMissSingleSize(page);
             }
+            if (!hit && walker)
+                walker->walk(ref.vaddr, page.sizeLog2);
             if (wset)
                 wset->observe(page);
             if (ts) {
@@ -499,6 +540,19 @@ runPerRef(TraceSource &trace, PageSizePolicy &policy, Tlb &tlb,
                  : static_cast<double>(result.phys.pagesCopied) *
                        phys_model->config().copyCyclesPerPage /
                        static_cast<double>(instructions));
+    }
+    if (walker) {
+        result.walkModeled = true;
+        result.walk = walker->stats();
+        result.cpiWalk =
+            instructions == 0
+                ? 0.0
+                : static_cast<double>(result.walk.cycles) /
+                      static_cast<double>(instructions);
+    }
+    if (const auto *victim = dynamic_cast<const VictimTlb *>(&tlb)) {
+        result.victimModeled = true;
+        result.victim = victim->victimStats();
     }
     return result;
 }

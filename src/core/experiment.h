@@ -18,10 +18,12 @@
 #include "obs/timeseries.h"
 #include "phys/memory_model.h"
 #include "tlb/factory.h"
+#include "tlb/victim_tlb.h"
 #include "trace/trace_source.h"
 #include "vm/lifecycle_ledger.h"
 #include "vm/policy.h"
 #include "vm/two_size_policy.h"
+#include "walk/walk.h"
 
 namespace tps::core
 {
@@ -170,6 +172,17 @@ struct RunOptions
      */
     bool lifecycle = false;
 
+    /**
+     * Structural page-walk model (off unless walk.enabled): charge
+     * every TLB miss a radix walk whose depth depends on the missing
+     * page's size, partially absorbed by a page-walk cache, and report
+     * the emergent `cpi_walk` alongside the constant-penalty cpiTlb
+     * (which stays untouched — the flat model remains the oracle the
+     * paper's numbers come from).  Feature-gated: disabled, every
+     * output is unchanged byte for byte (see walk/walk.h).
+     */
+    walk::WalkConfig walk;
+
     /** Execution engine (results are bit-identical either way). */
     ExecMode exec = ExecMode::Batched;
 
@@ -252,6 +265,26 @@ struct ExperimentResult
 
     /** Structured event log (null unless options.events enabled). */
     std::shared_ptr<const obs::EventLog> events;
+
+    /** Structural walk model outputs (meaningful iff walkModeled). */
+    bool walkModeled = false;
+    walk::WalkStats walk;
+    /**
+     * CPI charged by the structural walker: walk.cycles (an exact
+     * integer — cyclesPerLevel * level accesses + pwcHitCycles * PWC
+     * hits) per instruction.  The emergent counterpart of the flat
+     * cpiTlb.
+     */
+    double cpiWalk = 0.0;
+
+    /**
+     * Victim-TLB outputs (meaningful iff victimModeled): set whenever
+     * the cell's TLB is a VictimTlb, independently of the walk model.
+     * Exported under "<prefix>.walk.victim_*" so the one feature
+     * namespace covers the whole mechanism axis.
+     */
+    bool victimModeled = false;
+    VictimStats victim;
 
     /**
      * Harness self-telemetry (meaningful iff harnessMeasured): how

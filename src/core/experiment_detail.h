@@ -280,7 +280,7 @@ class LifecycleTee : public LifecycleSink
 inline void
 emplaceTsRecorder(std::optional<obs::TimeSeriesRecorder> &slot,
                   const obs::TimeSeriesConfig &ts_config, bool has_wset,
-                  bool has_lifecycle, bool has_phys)
+                  bool has_lifecycle, bool has_phys, bool has_walk)
 {
     std::vector<std::string> counter_names = detail::kTsCounterNames;
     std::vector<std::string> value_names = detail::kTsValueNames;
@@ -299,6 +299,12 @@ emplaceTsRecorder(std::optional<obs::TimeSeriesRecorder> &slot,
         value_names.insert(value_names.end(),
                            detail::kTsPhysValueNames.begin(),
                            detail::kTsPhysValueNames.end());
+    }
+    if (has_walk) {
+        // Per-interval walk depth (level accesses performed) and PWC
+        // absorption, both interval deltas.
+        counter_names.push_back("walk_levels");
+        value_names.push_back("pwc_hit_rate");
     }
     slot.emplace(ts_config, std::move(counter_names),
                  std::move(value_names));

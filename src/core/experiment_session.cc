@@ -25,6 +25,7 @@ struct ExperimentSession::Cell
     std::optional<WindowedWorkingSet> wset;
     std::optional<AddressSpace> addressSpace;
     std::optional<phys::MemoryModel> physModel;
+    std::optional<walk::PageWalker> walker;
     std::optional<obs::TimeSeriesRecorder> ts;
     bool sampleMisses = false;
     /** Anything to do per reference beyond the TLB probe? */
@@ -34,6 +35,7 @@ struct ExperimentSession::Cell
     std::optional<detail::SinkTee> sink;
     TlbStats tsPrevTlb;
     phys::PhysCounters tsPrevPhys;
+    walk::WalkStats tsPrevWalk;
     std::optional<obs::EventLogRecorder> events;
     std::size_t evPromote = 0;
     std::size_t evDemote = 0;
@@ -76,11 +78,16 @@ ExperimentSession::ExperimentSession(TraceSource &trace,
             if (cell->addressSpace)
                 cell->addressSpace->setAllocator(&*cell->physModel);
         }
+        // One walker per cell: the miss stream it charges is a
+        // function of this cell's TLB contents.
+        if (options_.walk.enabled)
+            cell->walker.emplace(options_.walk);
         if (ts_config_.enabled()) {
             detail::emplaceTsRecorder(cell->ts, ts_config_,
                                       cell->wset.has_value(),
                                       lifecycle_on_,
-                                      cell->physModel.has_value());
+                                      cell->physModel.has_value(),
+                                      cell->walker.has_value());
             cell->sampleMisses = cell->ts->samplingMisses();
         }
         cell->sink.emplace(
@@ -103,7 +110,8 @@ ExperimentSession::ExperimentSession(TraceSource &trace,
                                               &event_now_);
         }
         cell->missWork = cell->wset || cell->addressSpace ||
-                         cell->physModel || cell->sampleMisses;
+                         cell->physModel || cell->sampleMisses ||
+                         cell->walker;
         cells_.push_back(std::move(cell));
     }
 
@@ -189,6 +197,13 @@ ExperimentSession::closeCell(Cell &cell)
         values.push_back(static_cast<double>(snap.freeBytes));
         cell.tsPrevPhys = cell.physModel->counters();
     }
+    if (cell.walker) {
+        const walk::WalkStats walk_d =
+            cell.walker->stats().deltaSince(cell.tsPrevWalk);
+        counters.push_back(walk_d.levelAccesses);
+        values.push_back(walk_d.pwcHitRate());
+        cell.tsPrevWalk = cell.walker->stats();
+    }
     cell.ts->endInterval(ts_last_close_, refs_d, std::move(counters),
                          std::move(values));
     cell.tsPrevTlb = cell.tlb.stats();
@@ -269,6 +284,11 @@ ExperimentSession::replayChunk(Cell &cell, std::size_t got,
                     else
                         cell.addressSpace->handleMissSingleSize(page);
                 }
+                // Pure cost model: reads the miss stream, never the
+                // TLB, so charging it inside the segment's miss loop
+                // preserves per-ref semantics at any chunk size.
+                if (!hit && cell.walker)
+                    cell.walker->walk(brefs_[i].vaddr, page.sizeLog2);
                 if (cell.wset)
                     cell.wset->observe(page);
                 if (cell.sampleMisses && !hit) {
@@ -348,6 +368,8 @@ ExperimentSession::step()
             cell->tlb.resetStats();
             if (cell->physModel)
                 cell->physModel->resetCounters();
+            if (cell->walker)
+                cell->walker->resetStats();
         }
         policy_.resetStats();
         if (ledger_)
@@ -555,6 +577,20 @@ ExperimentSession::finish()
                      : static_cast<double>(result.phys.pagesCopied) *
                            cell.physModel->config().copyCyclesPerPage /
                            static_cast<double>(instructions_));
+        }
+        if (cell.walker) {
+            result.walkModeled = true;
+            result.walk = cell.walker->stats();
+            result.cpiWalk =
+                instructions_ == 0
+                    ? 0.0
+                    : static_cast<double>(result.walk.cycles) /
+                          static_cast<double>(instructions_);
+        }
+        if (const auto *victim =
+                dynamic_cast<const VictimTlb *>(&cell.tlb)) {
+            result.victimModeled = true;
+            result.victim = victim->victimStats();
         }
         if (options_.harnessStats) {
             result.harnessMeasured = true;

@@ -22,6 +22,8 @@ defaultScale()
     scale.warmupRefs = envOr("TPS_WARMUP", scale.refs / 4);
     scale.chunkRefs = static_cast<std::size_t>(
         envOr("TPS_CHUNK_REFS", scale.chunkRefs));
+    scale.walk.enabled =
+        envOr("TPS_WALK_MODEL", std::uint64_t{0}) != 0;
     return scale;
 }
 
@@ -162,6 +164,7 @@ runCell(TraceSource &trace, const PolicySpec &policy, TlbConfig tlb,
     options.cpi = cpi;
     options.timeseries = scale.timeseries;
     options.chunkRefs = scale.chunkRefs;
+    options.walk = scale.walk;
     return runExperiment(trace, policy, tlb, options);
 }
 

@@ -67,6 +67,15 @@ struct StudyScale
      * any value; only throughput changes.
      */
     std::size_t chunkRefs = 4096;
+
+    /**
+     * Structural page-walk model applied to every cell the study
+     * runners execute (RunOptions::walk; `--walk-model`,
+     * `--pwc-entries` and `--victim-entries` in bench_common.h,
+     * TPS_WALK_MODEL in the environment).  Off by default — the flat
+     * miss-penalty constant stays the oracle.
+     */
+    walk::WalkConfig walk;
 };
 
 /**

@@ -218,6 +218,12 @@ circle.pt { fill: transparent; }
 circle.pt:hover { fill: currentColor; r: 3.5; }
 circle.pt.s1 { color: var(--c1); } circle.pt.s2 { color: var(--c2); }
 circle.pt.s3 { color: var(--c3); } circle.pt.s4 { color: var(--c4); }
+div.cpibar { display: flex; width: 18rem; height: 14px;
+  border-radius: 3px; overflow: hidden;
+  background: var(--surface-2); }
+div.cpibar span { display: block; height: 100%; }
+div.cpibar .btlb { background: var(--c1); }
+div.cpibar .bwalk { background: var(--c2); }
 )css";
 
 } // namespace
@@ -501,6 +507,24 @@ writeTimeSeriesCell(std::ostream &os, const std::string &key,
                             events, 0.0, interval, "refs");
     }
 
+    // Chart 7: page-walk model (columns exist only under
+    // --walk-model, so absence = skip).
+    {
+        ChartSeries pwc{"PWC hit rate", 1,
+                        column(cell, "values", "value_names",
+                               "pwc_hit_rate")};
+        if (!pwc.points.empty())
+            os << lineChart("Page-walk cache hit rate per interval",
+                            {pwc}, 0.0, interval, "refs");
+        ChartSeries levels{"walk level accesses", 2,
+                           column(cell, "counters", "counter_names",
+                                  "walk_levels")};
+        if (std::any_of(levels.points.begin(), levels.points.end(),
+                        [](double v) { return v != 0.0; }))
+            os << lineChart("Page-walk level accesses per interval",
+                            {levels}, 0.0, interval, "refs");
+    }
+
     // Totals table (the whole-run aggregates, table view of the data).
     if (totals != nullptr) {
         os << "<details><summary>whole-run totals</summary>"
@@ -551,6 +575,78 @@ writeTimeSeriesCell(std::ostream &os, const std::string &key,
 void
 writeStatsSections(std::ostream &os, const JsonValue &doc)
 {
+    // CPI stack: every cell that exported cpi_tlb gets a shared-scale
+    // bar; cells that also ran the walk model get the structural
+    // cpi_walk band stacked beside the flat term, so the two cost
+    // models are comparable at a glance (DESIGN.md §15).
+    {
+        struct Band
+        {
+            std::string cell;
+            double tlb = 0.0;
+            double walk = 0.0;
+            bool hasWalk = false;
+        };
+        std::vector<Band> bands;
+        const JsonValue *stats = find(doc, "stats");
+        const std::string suffix = ".cpi_tlb";
+        if (stats != nullptr &&
+            stats->type == JsonValue::Type::Object) {
+            for (const auto &[name, value] : stats->object) {
+                if (name.size() <= suffix.size() ||
+                    name.compare(name.size() - suffix.size(),
+                                 suffix.size(), suffix) != 0)
+                    continue;
+                Band band;
+                band.cell =
+                    name.substr(0, name.size() - suffix.size());
+                band.tlb = value.number;
+                if (const JsonValue *w =
+                        stats->find(band.cell + ".cpi_walk")) {
+                    band.walk = w->number;
+                    band.hasWalk = true;
+                }
+                bands.push_back(std::move(band));
+            }
+        }
+        const bool any_walk =
+            std::any_of(bands.begin(), bands.end(),
+                        [](const Band &b) { return b.hasWalk; });
+        if (!bands.empty() && any_walk) {
+            double max_total = 0.0;
+            for (const Band &b : bands)
+                max_total = std::max(max_total, b.tlb + b.walk);
+            if (max_total <= 0.0)
+                max_total = 1.0;
+            os << "<details open><summary>CPI stack (flat "
+                  "cpi_tlb + structural cpi_walk)</summary>"
+                  "<table class=\"stats\">\n"
+                  "<tr><th>cell</th><th>cpi_tlb</th>"
+                  "<th>cpi_walk</th><th></th></tr>\n";
+            for (const Band &b : bands) {
+                char tlb_w[16], walk_w[16];
+                std::snprintf(tlb_w, sizeof(tlb_w), "%.2f%%",
+                              100.0 * b.tlb / max_total);
+                std::snprintf(walk_w, sizeof(walk_w), "%.2f%%",
+                              100.0 * b.walk / max_total);
+                os << "<tr><th>" << htmlEscape(b.cell) << "</th><td>"
+                   << htmlEscape(formatNumber(b.tlb)) << "</td><td>"
+                   << (b.hasWalk ? htmlEscape(formatNumber(b.walk))
+                                 : std::string("-"))
+                   << "</td><td><div class=\"cpibar\">"
+                      "<span class=\"btlb\" title=\"cpi_tlb\" "
+                      "style=\"width:"
+                   << tlb_w << "\"></span>";
+                if (b.hasWalk)
+                    os << "<span class=\"bwalk\" title=\"cpi_walk\" "
+                          "style=\"width:"
+                       << walk_w << "\"></span>";
+                os << "</div></td></tr>\n";
+            }
+            os << "</table></details>\n";
+        }
+    }
+
     for (const char *section : {"stats", "text"}) {
         const JsonValue *values = find(doc, section);
         if (values == nullptr ||

@@ -3,6 +3,7 @@
 #include "tlb/fully_assoc.h"
 #include "tlb/split_tlb.h"
 #include "tlb/two_level_tlb.h"
+#include "tlb/victim_tlb.h"
 #include "util/logging.h"
 
 namespace tps
@@ -26,6 +27,9 @@ TlbConfig::describe() const
         break;
       case TlbOrganization::TwoLevel:
         text += "two-level(L1 " + std::to_string(l1Entries) + ")";
+        break;
+      case TlbOrganization::Victim:
+        text += "fa+victim(" + std::to_string(victimEntries) + ")";
         break;
     }
     return text;
@@ -72,6 +76,15 @@ makeTlb(const TlbConfig &config)
               config.rngSeed + 1);
           return std::make_unique<TwoLevelTlb>(std::move(l1),
                                                std::move(l2));
+      }
+
+      case TlbOrganization::Victim: {
+          auto primary = std::make_unique<FullyAssocTlb>(
+              config.entries, config.replacement, config.largeLog2,
+              config.rngSeed);
+          return std::make_unique<VictimTlb>(std::move(primary),
+                                             config.victimEntries,
+                                             config.largeLog2);
       }
     }
     tps_panic("unreachable TLB organization");

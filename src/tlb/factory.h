@@ -23,6 +23,7 @@ enum class TlbOrganization : std::uint8_t
     SetAssociative = 1,
     Split = 2,    ///< one sub-TLB per page size
     TwoLevel = 3, ///< FA L1 micro-TLB + FA L2 (entries = L2 size)
+    Victim = 4,   ///< FA primary + software victim array
 };
 
 /**
@@ -61,6 +62,13 @@ struct TlbConfig
 
     /** TwoLevel organization: entries in the L1 micro-TLB. */
     std::size_t l1Entries = 4;
+
+    /**
+     * Victim organization: entries in the software victim array that
+     * catches primary evictions (entries = primary size, as for
+     * TwoLevel).
+     */
+    std::size_t victimEntries = 512;
 
     /** Short description, e.g. "32-entry 2-way exact-index". */
     std::string describe() const;

@@ -73,6 +73,11 @@ FullyAssocTlb::probeOne(const PageId &page)
             events_->emit(evict_stream_, clock_, store_.vpn[victim],
                           store_.meta[victim] & 0xff,
                           clock_ - store_.inserted[victim]);
+        if (evict_sink_ != nullptr)
+            evict_sink_->onTlbEviction(
+                store_.pageAt(victim),
+                detail::metaAsid(store_.meta[victim]),
+                clock_ - store_.inserted[victim]);
     }
     store_.fill(victim, page, asid_, clock_);
     lookup_[slot] = static_cast<std::uint32_t>(victim);

@@ -64,6 +64,13 @@ class FullyAssocTlb : public Tlb
     void setEventSink(obs::EventLogRecorder *recorder,
                       const std::string &tag) override;
 
+    bool
+    setEvictionSink(TlbEvictionSink *sink) override
+    {
+        evict_sink_ = sink;
+        return true;
+    }
+
     ReplPolicy policy() const { return policy_; }
 
     /** Count of currently valid entries (for tests). */
@@ -106,6 +113,7 @@ class FullyAssocTlb : public Tlb
     ProbeCacheCounters pc_; ///< batched-path cache telemetry
     obs::EventLogRecorder *events_ = nullptr;
     std::size_t evict_stream_ = 0;
+    TlbEvictionSink *evict_sink_ = nullptr;
 };
 
 } // namespace tps

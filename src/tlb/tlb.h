@@ -79,6 +79,26 @@ struct ProbeCacheCounters
 };
 
 /**
+ * Observer of capacity evictions (valid entries displaced by fills —
+ * never shootdowns, whose translations are stale and must not be
+ * cached anywhere).  A victim TLB registers itself here to catch what
+ * its primary throws away (tlb/victim_tlb.h).
+ */
+class TlbEvictionSink
+{
+  public:
+    virtual ~TlbEvictionSink() = default;
+
+    /**
+     * @param page  the displaced translation
+     * @param asid  address-space tag the entry carried
+     * @param dwell probes the entry survived since its fill
+     */
+    virtual void onTlbEviction(const PageId &page, std::uint16_t asid,
+                               std::uint64_t dwell) = 0;
+};
+
+/**
  * Abstract TLB.  Implements InvalidationSink so a PageSizePolicy can
  * shoot down stale translations on promotion/demotion.
  */
@@ -208,6 +228,21 @@ class Tlb : public InvalidationSink
     {
         (void)recorder;
         (void)tag;
+    }
+
+    /**
+     * Attach an eviction observer: the sink is called once per
+     * capacity eviction (valid entry displaced by a fill), at the
+     * point the entry leaves — shootdown invalidations never reach
+     * it.  Pass nullptr to detach.
+     * @return true when the organization supports the hook (the
+     *         victim wrapper fails fast on a primary that does not).
+     */
+    virtual bool
+    setEvictionSink(TlbEvictionSink *sink)
+    {
+        (void)sink;
+        return false;
     }
 
   protected:

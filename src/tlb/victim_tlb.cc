@@ -1,0 +1,210 @@
+#include "tlb/victim_tlb.h"
+
+#include <algorithm>
+
+#include "tlb/tlb_detail.h"
+#include "util/logging.h"
+
+namespace tps
+{
+
+VictimTlb::VictimTlb(std::unique_ptr<Tlb> primary,
+                     std::size_t victim_entries, unsigned large_log2)
+    : primary_(std::move(primary)), entries_(victim_entries),
+      large_log2_(large_log2)
+{
+    if (!primary_)
+        tps_fatal("VictimTlb requires a primary");
+    if (entries_ == 0)
+        tps_fatal("victim array must have at least one entry");
+    if (!primary_->setEvictionSink(this))
+        tps_fatal("victim TLB primary '", primary_->name(),
+                  "' does not expose evictions");
+    victim_.reserve(entries_);
+}
+
+void
+VictimTlb::onTlbEviction(const PageId &page, std::uint16_t asid,
+                         std::uint64_t dwell)
+{
+    (void)dwell; // the array restarts dwell at park time
+    pending_page_ = page;
+    pending_asid_ = asid;
+    pending_valid_ = true;
+}
+
+bool
+VictimTlb::access(const PageId &page, Addr vaddr)
+{
+    ++clock_;
+    pending_valid_ = false;
+    const bool is_large = page.sizeLog2 >= large_log2_;
+
+    if (primary_->access(page, vaddr)) {
+        ++vstats_.primaryHits;
+        detail::recordOutcome(stats_, true, is_large);
+        return true;
+    }
+    // Primary missed, refilled itself, and — if that fill displaced a
+    // valid entry — staged the casualty in pending_.  Probe the array
+    // BEFORE parking it: the pending entry must not age out the entry
+    // this very lookup needs (see victim_ declaration).
+    bool hit = false;
+    for (auto it = victim_.begin(); it != victim_.end(); ++it) {
+        if (it->vpn == page.vpn && it->sizeLog2 == page.sizeLog2 &&
+            it->asid == asid_) {
+            hit = true;
+            ++vstats_.victimHits;
+            if (events_ != nullptr)
+                events_->emit(hit_stream_, clock_, it->vpn, it->sizeLog2,
+                              clock_ - it->inserted);
+            victim_.erase(it); // swapped back into the primary
+            break;
+        }
+    }
+    detail::recordOutcome(stats_, hit, is_large);
+    if (!hit)
+        ++stats_.fills;
+    if (pending_valid_) {
+        if (victim_.size() >= entries_) {
+            const Entry &oldest = victim_.front();
+            ++vstats_.victimEvictions;
+            ++stats_.evictions;
+            if (events_ != nullptr)
+                events_->emit(evict_stream_, clock_, oldest.vpn,
+                              oldest.sizeLog2, clock_ - oldest.inserted);
+            victim_.erase(victim_.begin());
+        }
+        victim_.push_back(Entry{pending_page_.vpn,
+                                pending_page_.sizeLog2, pending_asid_,
+                                clock_});
+        ++vstats_.victimFills;
+        pending_valid_ = false;
+    }
+    return hit;
+}
+
+void
+VictimTlb::invalidatePage(const PageId &page)
+{
+    primary_->invalidatePage(page);
+    const auto is_stale = [&](const Entry &entry) {
+        return entry.vpn == page.vpn &&
+               entry.sizeLog2 == page.sizeLog2 && entry.asid == asid_;
+    };
+    const auto first =
+        std::remove_if(victim_.begin(), victim_.end(), is_stale);
+    vstats_.victimInvalidations +=
+        static_cast<std::uint64_t>(victim_.end() - first);
+    victim_.erase(first, victim_.end());
+    // Count shootdowns once at the wrapper level, wherever they land.
+    stats_.invalidations =
+        primary_->stats().invalidations + vstats_.victimInvalidations;
+}
+
+void
+VictimTlb::invalidateAsid(std::uint16_t asid)
+{
+    primary_->invalidateAsid(asid);
+    const auto is_stale = [&](const Entry &entry) {
+        return entry.asid == asid;
+    };
+    const auto first =
+        std::remove_if(victim_.begin(), victim_.end(), is_stale);
+    vstats_.victimInvalidations +=
+        static_cast<std::uint64_t>(victim_.end() - first);
+    victim_.erase(first, victim_.end());
+    stats_.invalidations =
+        primary_->stats().invalidations + vstats_.victimInvalidations;
+}
+
+void
+VictimTlb::invalidateAll()
+{
+    primary_->invalidateAll();
+    vstats_.victimInvalidations +=
+        static_cast<std::uint64_t>(victim_.size());
+    victim_.clear();
+    stats_.invalidations =
+        primary_->stats().invalidations + vstats_.victimInvalidations;
+}
+
+void
+VictimTlb::setAsid(std::uint16_t asid)
+{
+    asid_ = asid;
+    primary_->setAsid(asid);
+}
+
+void
+VictimTlb::reset()
+{
+    primary_->reset();
+    victim_.clear();
+    pending_valid_ = false;
+    clock_ = 0;
+    stats_ = TlbStats{};
+    vstats_ = VictimStats{};
+    asid_ = 0;
+}
+
+void
+VictimTlb::resetStats()
+{
+    primary_->resetStats();
+    stats_ = TlbStats{};
+    vstats_ = VictimStats{};
+}
+
+std::size_t
+VictimTlb::capacity() const
+{
+    return primary_->capacity() + entries_;
+}
+
+const TlbStats &
+VictimTlb::stats() const
+{
+    return stats_;
+}
+
+Tlb::ReachSnapshot
+VictimTlb::reachSnapshot() const
+{
+    ReachSnapshot snap = primary_->reachSnapshot();
+    snap.sets += 1; // the array reports as one fully associative set
+    if (snap.setOccupancy.size() < entries_ + 1)
+        snap.setOccupancy.resize(entries_ + 1, 0);
+    ++snap.setOccupancy[victim_.size()];
+    snap.fullSets += victim_.size() == entries_ ? 1 : 0;
+    for (const Entry &entry : victim_)
+        snap.reachBytes += std::uint64_t{1} << entry.sizeLog2;
+    return snap;
+}
+
+void
+VictimTlb::setEventSink(obs::EventLogRecorder *recorder,
+                        const std::string &tag)
+{
+    // The primary's "tlb_evict" stream is exactly the array's refill
+    // stream (every capacity eviction is parked), so the tag is
+    // forwarded unchanged rather than nested.
+    primary_->setEventSink(recorder, tag);
+    events_ = recorder;
+    if (recorder != nullptr) {
+        const std::string suffix = tag.empty() ? "" : "." + tag;
+        hit_stream_ = recorder->stream("victim_hit" + suffix,
+                                       {"vpn", "size_log2", "dwell"});
+        evict_stream_ = recorder->stream("victim_evict" + suffix,
+                                         {"vpn", "size_log2", "dwell"});
+    }
+}
+
+std::string
+VictimTlb::name() const
+{
+    return "victim[" + primary_->name() + " + " +
+           std::to_string(entries_) + "]";
+}
+
+} // namespace tps

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Victim TLB: a software-filled side array catching primary evictions.
+ *
+ * A small primary TLB under two page sizes suffers conflict and
+ * capacity casualties that a modest side buffer can resurrect: every
+ * entry the primary displaces is parked in a FIFO/LRU victim array,
+ * and a primary miss probes that array before paying the full
+ * page-walk penalty (cf. Jouppi's victim caches; the Victima line of
+ * work applies the same idea at TLB scale).  The wrapper composes any
+ * eviction-observable Tlb (tlb.h TlbEvictionSink) with a large,
+ * slower, fully associative victim array; a victim hit swaps the
+ * entry back into the primary (which, under the trace-driven fill
+ * convention, already refilled itself) and costs a distinct latency
+ * the CPI model charges separately from a full walk.
+ *
+ * Interface "hit" means "did not reach the miss handler", exactly as
+ * for TwoLevelTlb: a victim hit is a TLB hit at this interface; use
+ * victimStats() to cost the victim-probe latency separately.
+ */
+
+#ifndef TPS_TLB_VICTIM_TLB_H_
+#define TPS_TLB_VICTIM_TLB_H_
+
+#include <memory>
+#include <vector>
+
+#include "tlb/tlb.h"
+
+namespace tps
+{
+
+/** Extra counters specific to the victim arrangement. */
+struct VictimStats
+{
+    std::uint64_t primaryHits = 0;
+    std::uint64_t victimHits = 0;  ///< primary miss rescued by the array
+    std::uint64_t victimFills = 0; ///< primary evictions parked
+    std::uint64_t victimEvictions = 0; ///< parked entries aged out
+    std::uint64_t victimInvalidations = 0; ///< shootdowns reaching the array
+};
+
+/**
+ * A primary TLB backed by a victim array of displaced entries.
+ *
+ * Exclusive by construction: an entry lives in the primary or the
+ * victim array, never both (victim hits move the entry back, fills of
+ * the array come only from primary displacements), so FA-LRU(n) +
+ * victim(m) matches FA-LRU(n+m) hit-for-hit in shootdown-free runs —
+ * the oracle the unit tests check.
+ */
+class VictimTlb : public Tlb, private TlbEvictionSink
+{
+  public:
+    /**
+     * @param primary any Tlb supporting setEvictionSink (tps_fatal
+     *                otherwise — the wrapper is blind without it)
+     * @param victim_entries capacity of the victim array
+     * @param large_log2 page-size exponent treated as "large" in the
+     *                per-size statistics split
+     */
+    VictimTlb(std::unique_ptr<Tlb> primary, std::size_t victim_entries,
+              unsigned large_log2 = kLog2_32K);
+
+    bool access(const PageId &page, Addr vaddr) override;
+
+    void invalidatePage(const PageId &page) override;
+    void invalidateAll() override;
+    void invalidateAsid(std::uint16_t asid) override;
+    void setAsid(std::uint16_t asid) override;
+    void reset() override;
+    void resetStats() override;
+    std::size_t capacity() const override;
+    const TlbStats &stats() const override;
+    std::string name() const override;
+
+    ProbeCacheCounters probeCacheCounters() const override
+    {
+        return primary_->probeCacheCounters();
+    }
+
+    /** Primary snapshot merged with the array as one extra set. */
+    ReachSnapshot reachSnapshot() const override;
+
+    /**
+     * Forwards @p tag unchanged to the primary — its "tlb_evict"
+     * stream doubles as the victim-array refill stream — and registers
+     * "victim_hit"/"victim_evict" (".<tag>"-suffixed) for the array's
+     * own events, fields {vpn, size_log2, dwell} with dwell counted in
+     * wrapper probes since the entry entered the array.
+     */
+    void setEventSink(obs::EventLogRecorder *recorder,
+                      const std::string &tag) override;
+
+    const VictimStats &victimStats() const { return vstats_; }
+    const Tlb &primary() const { return *primary_; }
+
+    /** Entries currently parked in the array (for tests). */
+    std::size_t victimValidCount() const { return victim_.size(); }
+
+  private:
+    /** One parked translation; the array is ordered oldest-first. */
+    struct Entry
+    {
+        Addr vpn;
+        std::uint8_t sizeLog2;
+        std::uint16_t asid;
+        std::uint64_t inserted; ///< wrapper clock at park time
+    };
+
+    void onTlbEviction(const PageId &page, std::uint16_t asid,
+                       std::uint64_t dwell) override;
+
+    std::unique_ptr<Tlb> primary_;
+    std::size_t entries_;
+    unsigned large_log2_;
+
+    /**
+     * Oldest-first LRU: entries are appended on park and only ever
+     * leave whole (victim hit, age-out, shootdown), never touched in
+     * place, so FIFO-from-the-front IS exact LRU.
+     */
+    std::vector<Entry> victim_;
+
+    /**
+     * Eviction handed up by the primary mid-access: the primary fills
+     * itself inside access(), so its casualty arrives via
+     * onTlbEviction() *before* we have probed the array.  It is staged
+     * here and parked only after the probe — inserting first could
+     * age out the very entry being looked up and break the
+     * FA-LRU(n+m) equivalence.
+     */
+    PageId pending_page_;
+    std::uint16_t pending_asid_ = 0;
+    bool pending_valid_ = false;
+
+    std::uint64_t clock_ = 0;
+    TlbStats stats_;
+    VictimStats vstats_;
+
+    obs::EventLogRecorder *events_ = nullptr;
+    std::size_t hit_stream_ = 0;
+    std::size_t evict_stream_ = 0;
+};
+
+} // namespace tps
+
+#endif // TPS_TLB_VICTIM_TLB_H_

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Structural page-walk modeling (DESIGN.md §15).
+ *
+ * The paper charges every TLB miss a flat constant (20 cycles, +25%
+ * for two-size handlers — core/cpi_model.h) and admits the number is
+ * a guess.  This subsystem makes the miss cost *emerge from
+ * structure* instead: a radix page-table walk whose depth depends on
+ * the page size of the missing translation, partially absorbed by a
+ * small page-walk cache (PWC) over the non-leaf levels.
+ *
+ * The walker is a pure cost model: it never changes hit/miss
+ * outcomes, fills or replacement decisions.  Its inputs are the
+ * (vaddr, size) pairs of the miss stream a TLB already produced, so
+ * batched and per-ref execution feed it identical sequences and its
+ * counters — including the integer cycle total behind `cpi_walk` —
+ * reconcile exactly at every chunk size (gated by tests/walk/).
+ */
+
+#ifndef TPS_WALK_WALK_H_
+#define TPS_WALK_WALK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stat_registry.h"
+#include "vm/page.h"
+
+namespace tps::walk
+{
+
+/**
+ * Radix-walk shape and per-level costs.  The defaults model a 4-level
+ * x86-64-style table (9 bits per level above a 4K leaf) costed so a
+ * full walk lands exactly on the paper's 20-cycle constant
+ * (4 levels x 5 cycles): the structural model and the flat model
+ * agree on a PWC-less, all-small workload, and diverge only where
+ * structure matters.
+ */
+struct WalkConfig
+{
+    /** Master switch (`--walk-model`): off keeps every output of an
+     *  existing run byte-identical. */
+    bool enabled = false;
+
+    /** Radix depth: a small-page leaf walks this many levels. */
+    unsigned levels = 4;
+
+    /** Virtual-address bits consumed per non-leaf level. */
+    unsigned bitsPerLevel = 9;
+
+    /** Address bits below the deepest level index (4K leaf). */
+    unsigned pageShift = 12;
+
+    /**
+     * Pages at least this large terminate the walk one level early:
+     * their leaf entry lives in the next table up (the 32K/large leaf
+     * of the paper's two-size policy walks 3 levels, not 4).
+     */
+    unsigned largeLeafLog2 = kLog2_32K;
+
+    /** Memory-access cost per level touched (4 x 5 = the paper's 20). */
+    unsigned cyclesPerLevel = 5;
+
+    /** Page-walk cache: entries over non-leaf levels (0 = no PWC). */
+    std::size_t pwcEntries = 16;
+
+    /** PWC associativity (clamped to pwcEntries). */
+    std::size_t pwcWays = 4;
+
+    /** Cycles charged per PWC hit (the probe that skipped levels). */
+    unsigned pwcHitCycles = 1;
+
+    /**
+     * Victim-TLB plumbing carried alongside the walk options so one
+     * `StudyScale` knob set covers the whole mechanism axis
+     * (`--victim-entries`): entries in the software victim array when
+     * a bench builds a TlbOrganization::Victim config, and the
+     * distinct latency its hits are charged in mechanism CPIs.  The
+     * walker itself never reads these.
+     */
+    std::size_t victimEntries = 512;
+    unsigned victimHitCycles = 8;
+};
+
+/** Everything a walker counts.  Cycles are integral on purpose: the
+ *  reconciliation gate asserts cycles == cyclesPerLevel*levelAccesses
+ *  + pwcHitCycles*pwcHits with no floating-point slack. */
+struct WalkStats
+{
+    std::uint64_t walks = 0;      ///< TLB misses walked
+    std::uint64_t walksLarge = 0; ///< walks that ended at a large leaf
+
+    /** Structural depth: levels the table format requires per walk,
+     *  before any PWC absorption (4K leaf: levels; large: levels-1). */
+    std::uint64_t levelsTouched = 0;
+
+    /** Memory accesses actually performed (post-PWC skips). */
+    std::uint64_t levelAccesses = 0;
+
+    std::uint64_t pwcLookups = 0;
+    std::uint64_t pwcHits = 0;
+    std::uint64_t pwcEvictions = 0; ///< valid PWC entries displaced
+
+    /** Total cycles charged (the integer behind cpi_walk). */
+    std::uint64_t cycles = 0;
+
+    double
+    levelsPerWalk() const
+    {
+        return walks == 0 ? 0.0
+                          : static_cast<double>(levelsTouched) /
+                                static_cast<double>(walks);
+    }
+
+    double
+    accessesPerWalk() const
+    {
+        return walks == 0 ? 0.0
+                          : static_cast<double>(levelAccesses) /
+                                static_cast<double>(walks);
+    }
+
+    double
+    pwcHitRate() const
+    {
+        return pwcLookups == 0 ? 0.0
+                               : static_cast<double>(pwcHits) /
+                                     static_cast<double>(pwcLookups);
+    }
+
+    /** Counter deltas since @p since (interval telemetry; every field
+     *  is this-minus-since, like TlbStats::deltaSince). */
+    WalkStats deltaSince(const WalkStats &since) const;
+
+    /** Register every counter under "<prefix>." plus derived rates. */
+    void exportTo(obs::StatRegistry &registry,
+                  const std::string &prefix) const;
+};
+
+/**
+ * The radix walker with its page-walk cache.  One instance per
+ * experiment cell: the miss stream is TLB-dependent, so the walker's
+ * state is too.
+ *
+ * The PWC is set-associative LRU over (level, vaddr-prefix) keys of
+ * the *non-leaf* levels only — a cached level-k entry is the pointer
+ * to the level-(k-1) table, so a hit at the deepest cached level
+ * skips every access above it.  All structures are deterministic
+ * (index is a fixed hash, LRU by a walker-local clock), so two
+ * walkers fed the same miss sequence are byte-identical.
+ */
+class PageWalker
+{
+  public:
+    explicit PageWalker(const WalkConfig &config);
+
+    /**
+     * Charge one TLB miss.  @p size_log2 is the page size of the
+     * missing translation; at or above config.largeLeafLog2 the walk
+     * terminates one level early.
+     * @return memory accesses performed (post-PWC).
+     */
+    unsigned walk(Addr vaddr, unsigned size_log2);
+
+    /** Zero the counters, keep PWC contents (warmup boundary). */
+    void resetStats() { stats_ = WalkStats{}; }
+
+    /** Clear PWC contents and counters (run start). */
+    void reset();
+
+    const WalkStats &stats() const { return stats_; }
+    const WalkConfig &config() const { return config_; }
+
+  private:
+    struct PwcEntry
+    {
+        std::uint64_t key = 0; ///< (prefix << 3) | level; 0 = invalid
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Level-k table prefix of @p vaddr (the walk-path identity of
+     *  the level-k entry). */
+    std::uint64_t
+    prefixOf(Addr vaddr, unsigned level) const
+    {
+        return static_cast<std::uint64_t>(vaddr) >>
+               (config_.pageShift +
+                config_.bitsPerLevel * (level - 1));
+    }
+
+    std::size_t setOf(std::uint64_t key) const;
+    bool pwcProbe(std::uint64_t key);
+    void pwcInsert(std::uint64_t key);
+
+    WalkConfig config_;
+    std::size_t ways_ = 0;
+    std::size_t sets_ = 0;
+    std::vector<PwcEntry> pwc_; ///< sets_ x ways_, row-major
+    std::uint64_t clock_ = 0;
+    WalkStats stats_;
+};
+
+} // namespace tps::walk
+
+#endif // TPS_WALK_WALK_H_

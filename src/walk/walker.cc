@@ -1,0 +1,167 @@
+#include "walk/walk.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tps::walk
+{
+
+WalkStats
+WalkStats::deltaSince(const WalkStats &since) const
+{
+    WalkStats delta;
+    delta.walks = walks - since.walks;
+    delta.walksLarge = walksLarge - since.walksLarge;
+    delta.levelsTouched = levelsTouched - since.levelsTouched;
+    delta.levelAccesses = levelAccesses - since.levelAccesses;
+    delta.pwcLookups = pwcLookups - since.pwcLookups;
+    delta.pwcHits = pwcHits - since.pwcHits;
+    delta.pwcEvictions = pwcEvictions - since.pwcEvictions;
+    delta.cycles = cycles - since.cycles;
+    return delta;
+}
+
+void
+WalkStats::exportTo(obs::StatRegistry &registry,
+                    const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".walks", walks);
+    registry.addCounter(prefix + ".walks_large", walksLarge);
+    registry.addCounter(prefix + ".levels_touched", levelsTouched);
+    registry.addCounter(prefix + ".level_accesses", levelAccesses);
+    registry.addCounter(prefix + ".pwc_lookups", pwcLookups);
+    registry.addCounter(prefix + ".pwc_hits", pwcHits);
+    registry.addCounter(prefix + ".pwc_evictions", pwcEvictions);
+    registry.addCounter(prefix + ".cycles", cycles);
+    registry.addValue(prefix + ".levels_per_walk", levelsPerWalk());
+    registry.addValue(prefix + ".accesses_per_walk",
+                      accessesPerWalk());
+    registry.addValue(prefix + ".pwc_hit_rate", pwcHitRate());
+}
+
+PageWalker::PageWalker(const WalkConfig &config) : config_(config)
+{
+    if (config_.levels < 2)
+        tps_fatal("walk model needs at least 2 levels, got ",
+                  config_.levels);
+    if (config_.levels > 7)
+        tps_fatal("walk model supports at most 7 levels (packed PWC "
+                  "keys), got ", config_.levels);
+    if (config_.bitsPerLevel == 0)
+        tps_fatal("walk model needs bitsPerLevel > 0");
+    if (config_.pwcEntries != 0) {
+        ways_ = std::min<std::size_t>(
+            std::max<std::size_t>(config_.pwcWays, 1),
+            config_.pwcEntries);
+        sets_ = std::max<std::size_t>(config_.pwcEntries / ways_, 1);
+        pwc_.assign(sets_ * ways_, PwcEntry{});
+    }
+}
+
+void
+PageWalker::reset()
+{
+    std::fill(pwc_.begin(), pwc_.end(), PwcEntry{});
+    clock_ = 0;
+    stats_ = WalkStats{};
+}
+
+std::size_t
+PageWalker::setOf(std::uint64_t key) const
+{
+    // Fixed multiplicative hash (deterministic across runs/platforms):
+    // spreads sequential prefixes so a strided walk does not pile into
+    // one set.
+    const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>((mixed >> 32) % sets_);
+}
+
+bool
+PageWalker::pwcProbe(std::uint64_t key)
+{
+    PwcEntry *set = pwc_.data() + setOf(key) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].key == key) {
+            set[w].lastUse = clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+PageWalker::pwcInsert(std::uint64_t key)
+{
+    PwcEntry *set = pwc_.data() + setOf(key) * ways_;
+    std::size_t victim = 0;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].key == key) {
+            set[w].lastUse = clock_;
+            return;
+        }
+        if (set[w].key == 0) {
+            victim = w;
+            break;
+        }
+        if (set[w].lastUse < set[victim].lastUse)
+            victim = w;
+    }
+    if (set[victim].key != 0)
+        ++stats_.pwcEvictions;
+    set[victim].key = key;
+    set[victim].lastUse = clock_;
+}
+
+unsigned
+PageWalker::walk(Addr vaddr, unsigned size_log2)
+{
+    ++clock_;
+    ++stats_.walks;
+    const bool large = size_log2 >= config_.largeLeafLog2;
+    if (large)
+        ++stats_.walksLarge;
+
+    // Leaf level: 1 for a small page; a large leaf lives one table up.
+    const unsigned leaf = large ? 2 : 1;
+    stats_.levelsTouched += config_.levels - leaf + 1;
+
+    // The walk starts at the root unless the PWC holds an entry on
+    // this path; the deepest cached entry (smallest level above the
+    // leaf) skips every access at and above its level.
+    unsigned start = config_.levels;
+    if (!pwc_.empty()) {
+        ++stats_.pwcLookups;
+        unsigned best = 0;
+        for (unsigned level = leaf + 1;
+             level <= config_.levels && best == 0; ++level) {
+            const std::uint64_t key =
+                (prefixOf(vaddr, level) << 3) | level;
+            if (pwcProbe(key))
+                best = level;
+        }
+        if (best != 0) {
+            ++stats_.pwcHits;
+            stats_.cycles += config_.pwcHitCycles;
+            start = best - 1;
+        }
+    }
+
+    const unsigned accesses = start - leaf + 1;
+    stats_.levelAccesses += accesses;
+    stats_.cycles +=
+        static_cast<std::uint64_t>(config_.cyclesPerLevel) * accesses;
+
+    // Refill: every non-leaf entry on the path is now known (the walk
+    // read or skipped-via-cache each of them), so cache them all; a
+    // re-insert of a resident key just refreshes its LRU stamp.
+    if (!pwc_.empty()) {
+        for (unsigned level = leaf + 1; level <= config_.levels;
+             ++level) {
+            pwcInsert((prefixOf(vaddr, level) << 3) | level);
+        }
+    }
+    return accesses;
+}
+
+} // namespace tps::walk

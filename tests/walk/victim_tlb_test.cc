@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the victim-TLB wrapper (tlb/victim_tlb.h).  The
+ * centerpiece is the classical oracle: because the arrangement is
+ * exclusive and the array is exact LRU, FA-LRU(n) + victim(m) must
+ * match FA-LRU(n+m) hit-for-hit on any shootdown-free reference
+ * stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "tlb/fully_assoc.h"
+#include "tlb/victim_tlb.h"
+#include "vm/page.h"
+
+namespace tps
+{
+namespace
+{
+
+std::unique_ptr<VictimTlb>
+makeVictim(std::size_t primary_entries, std::size_t victim_entries)
+{
+    return std::make_unique<VictimTlb>(
+        std::make_unique<FullyAssocTlb>(primary_entries),
+        victim_entries);
+}
+
+TEST(VictimTlb, MatchesFaOfCombinedCapacity)
+{
+    // FA-LRU(8) + victim(8) vs FA-LRU(16), same 4K-page stream,
+    // hit-for-hit.  Shootdown-free: no invalidations ever run.
+    auto victim = makeVictim(8, 8);
+    FullyAssocTlb oracle(16);
+    std::uint64_t state = 7;
+    for (int i = 0; i < 200'000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        // ~24 hot pages over 8+8 entries: misses, rescues and age-outs.
+        const Addr vaddr = ((state >> 33) % 24) << kLog2_4K;
+        const PageId page = pageOf(vaddr, kLog2_4K);
+        const bool a = victim->access(page, vaddr);
+        const bool b = oracle.access(page, vaddr);
+        ASSERT_EQ(a, b) << "diverged at access " << i;
+    }
+    EXPECT_EQ(victim->stats().hits, oracle.stats().hits);
+    EXPECT_EQ(victim->stats().misses, oracle.stats().misses);
+    EXPECT_GT(victim->victimStats().victimHits, 0u);
+    EXPECT_GT(victim->victimStats().victimEvictions, 0u);
+}
+
+TEST(VictimTlb, ExclusiveAndAccounted)
+{
+    auto victim = makeVictim(2, 4);
+    // Fill the primary, then displace: each eviction parks exactly one
+    // entry in the array.
+    for (Addr p = 0; p < 4; ++p)
+        victim->access(pageOf(p << kLog2_4K, kLog2_4K),
+                       p << kLog2_4K);
+    EXPECT_EQ(victim->victimStats().victimFills, 2u);
+    EXPECT_EQ(victim->victimValidCount(), 2u);
+
+    // Rescue: page 0 was displaced, so this access hits the array,
+    // moves the entry back (exclusivity) and displaces another.
+    const TlbStats before = victim->stats();
+    EXPECT_TRUE(victim->access(pageOf(0, kLog2_4K), 0));
+    EXPECT_EQ(victim->victimStats().victimHits, 1u);
+    EXPECT_EQ(victim->stats().hits, before.hits + 1);
+    // One came back, one went in: still 2 parked.
+    EXPECT_EQ(victim->victimValidCount(), 2u);
+}
+
+TEST(VictimTlb, ShootdownsReachTheArray)
+{
+    auto victim = makeVictim(2, 4);
+    for (Addr p = 0; p < 4; ++p)
+        victim->access(pageOf(p << kLog2_4K, kLog2_4K),
+                       p << kLog2_4K);
+    ASSERT_EQ(victim->victimValidCount(), 2u);
+
+    // Page 0 lives in the array by now; a shootdown must find it there.
+    victim->invalidatePage(pageOf(0, kLog2_4K));
+    EXPECT_EQ(victim->victimValidCount(), 1u);
+    EXPECT_EQ(victim->victimStats().victimInvalidations, 1u);
+    // The wrapper's invalidation counter spans both structures.
+    EXPECT_EQ(victim->stats().invalidations, 1u);
+
+    victim->invalidateAll();
+    EXPECT_EQ(victim->victimValidCount(), 0u);
+}
+
+TEST(VictimTlb, AsidInvalidationScansTheArray)
+{
+    auto victim = makeVictim(2, 8);
+    victim->setAsid(1);
+    for (Addr p = 0; p < 4; ++p)
+        victim->access(pageOf(p << kLog2_4K, kLog2_4K),
+                       p << kLog2_4K);
+    victim->setAsid(2);
+    for (Addr p = 8; p < 12; ++p)
+        victim->access(pageOf(p << kLog2_4K, kLog2_4K),
+                       p << kLog2_4K);
+    const std::size_t parked = victim->victimValidCount();
+    ASSERT_GT(parked, 0u);
+
+    victim->invalidateAsid(1);
+    // ASID 1's parked entries are gone; ASID 2's survive.
+    EXPECT_LT(victim->victimValidCount(), parked);
+    victim->setAsid(1);
+    EXPECT_FALSE(victim->access(pageOf(0, kLog2_4K), 0));
+}
+
+TEST(VictimTlb, AsidTagsKeepStreamsApart)
+{
+    // Same vpn under two ASIDs: the array must not cross-serve.
+    auto victim = makeVictim(1, 4);
+    victim->setAsid(1);
+    victim->access(pageOf(0, kLog2_4K), 0);
+    victim->access(pageOf(1 << kLog2_4K, kLog2_4K),
+                   Addr{1} << kLog2_4K); // displaces (asid 1, vpn 0)
+    victim->setAsid(2);
+    // vpn 0 is parked, but for ASID 1 — this must miss.
+    EXPECT_FALSE(victim->access(pageOf(0, kLog2_4K), 0));
+}
+
+TEST(VictimTlb, CapacityNameAndReset)
+{
+    auto victim = makeVictim(4, 16);
+    EXPECT_EQ(victim->capacity(), 20u);
+    EXPECT_NE(victim->name().find("victim["), std::string::npos);
+    EXPECT_NE(victim->name().find("16"), std::string::npos);
+
+    for (Addr p = 0; p < 8; ++p)
+        victim->access(pageOf(p << kLog2_4K, kLog2_4K),
+                       p << kLog2_4K);
+    victim->reset();
+    EXPECT_EQ(victim->victimValidCount(), 0u);
+    EXPECT_EQ(victim->stats().accesses, 0u);
+    EXPECT_EQ(victim->victimStats().victimFills, 0u);
+
+    // resetStats keeps contents: the primary still holds its pages.
+    victim->access(pageOf(0, kLog2_4K), 0);
+    victim->resetStats();
+    EXPECT_EQ(victim->stats().accesses, 0u);
+    EXPECT_TRUE(victim->access(pageOf(0, kLog2_4K), 0));
+}
+
+TEST(VictimTlb, ReachSnapshotAddsTheArrayAsOneSet)
+{
+    auto victim = makeVictim(2, 4);
+    for (Addr p = 0; p < 3; ++p)
+        victim->access(pageOf(p << kLog2_4K, kLog2_4K),
+                       p << kLog2_4K);
+    auto primary_only = FullyAssocTlb(2);
+    for (Addr p = 0; p < 3; ++p)
+        primary_only.access(pageOf(p << kLog2_4K, kLog2_4K),
+                            p << kLog2_4K);
+    const auto combined = victim->reachSnapshot();
+    const auto base = primary_only.reachSnapshot();
+    EXPECT_EQ(combined.sets, base.sets + 1);
+    // One entry is parked: its 4K page extends the reach.
+    EXPECT_EQ(combined.reachBytes,
+              base.reachBytes + (std::uint64_t{1} << kLog2_4K));
+}
+
+} // namespace
+} // namespace tps

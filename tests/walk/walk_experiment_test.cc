@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Walk-model integration gates: with `--walk-model` on, the batched
+ * engine must stay bit-identical to the per-ref oracle at every chunk
+ * size (the walker reads the miss stream, which is identical, so its
+ * counters must be too); cpi_walk must reconcile exactly with the
+ * counted walk accesses; sweeps must be schedule-independent; and the
+ * victim-TLB organization must match the FA oracle of combined
+ * capacity under a shootdown-free (single-size) policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "workloads/registry.h"
+
+namespace tps::core
+{
+namespace
+{
+
+RunOptions
+walkOptions()
+{
+    RunOptions options;
+    options.maxRefs = 120'000;
+    options.warmupRefs = 30'000;
+    options.walk.enabled = true;
+    return options;
+}
+
+/** Two-size policy scaled so promotions happen inside the short test
+ *  traces (the default T=200k window would barely close once). */
+TwoSizeConfig
+testPolicy()
+{
+    TwoSizeConfig config;
+    config.window = 20'000;
+    return config;
+}
+
+void
+expectSameWalk(const ExperimentResult &a, const ExperimentResult &b,
+               const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.tlb.hits, b.tlb.hits);
+    EXPECT_EQ(a.tlb.misses, b.tlb.misses);
+    ASSERT_TRUE(a.walkModeled);
+    ASSERT_TRUE(b.walkModeled);
+    EXPECT_EQ(a.walk.walks, b.walk.walks);
+    EXPECT_EQ(a.walk.walksLarge, b.walk.walksLarge);
+    EXPECT_EQ(a.walk.levelsTouched, b.walk.levelsTouched);
+    EXPECT_EQ(a.walk.levelAccesses, b.walk.levelAccesses);
+    EXPECT_EQ(a.walk.pwcLookups, b.walk.pwcLookups);
+    EXPECT_EQ(a.walk.pwcHits, b.walk.pwcHits);
+    EXPECT_EQ(a.walk.pwcEvictions, b.walk.pwcEvictions);
+    EXPECT_EQ(a.walk.cycles, b.walk.cycles);
+    EXPECT_EQ(a.cpiWalk, b.cpiWalk);
+}
+
+TEST(WalkExperiment, BatchedMatchesPerRefAtEveryChunkSize)
+{
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::SetAssociative;
+    tlb.entries = 32;
+    tlb.ways = 2;
+    const auto policy = PolicySpec::twoSizes(testPolicy());
+
+    RunOptions oracle_options = walkOptions();
+    oracle_options.exec = ExecMode::PerRef;
+    const auto oracle =
+        runExperiment(*workload, policy, tlb, oracle_options);
+    ASSERT_GT(oracle.walk.walks, 0u);
+    ASSERT_GT(oracle.walk.walksLarge, 0u);
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64},
+                                    std::size_t{4096}}) {
+        RunOptions options = walkOptions();
+        options.exec = ExecMode::Batched;
+        options.chunkRefs = chunk;
+        const auto batched =
+            runExperiment(*workload, policy, tlb, options);
+        expectSameWalk(batched, oracle,
+                       "chunkRefs=" + std::to_string(chunk));
+    }
+}
+
+TEST(WalkExperiment, CpiWalkReconcilesExactly)
+{
+    auto workload = workloads::findWorkload("doduc").instantiate();
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::FullyAssociative;
+    tlb.entries = 48;
+    const RunOptions options = walkOptions();
+    const auto result = runExperiment(
+        *workload, PolicySpec::twoSizes(testPolicy()), tlb,
+        options);
+
+    ASSERT_TRUE(result.walkModeled);
+    // One walk per measured miss, no more, no fewer.
+    EXPECT_EQ(result.walk.walks, result.tlb.misses);
+    // The integer identity: every cycle is a counted level access or
+    // a counted PWC hit.
+    EXPECT_EQ(result.walk.cycles,
+              std::uint64_t{options.walk.cyclesPerLevel} *
+                      result.walk.levelAccesses +
+                  std::uint64_t{options.walk.pwcHitCycles} *
+                      result.walk.pwcHits);
+    // And cpi_walk is exactly that integer per instruction.
+    EXPECT_EQ(result.cpiWalk,
+              static_cast<double>(result.walk.cycles) /
+                  static_cast<double>(result.instructions));
+    // Structural depth: a two-size mix must land strictly between the
+    // all-large and all-small depths.
+    ASSERT_GT(result.walk.walksLarge, 0u);
+    ASSERT_LT(result.walk.walksLarge, result.walk.walks);
+    EXPECT_GT(result.walk.levelsPerWalk(), 3.0);
+    EXPECT_LT(result.walk.levelsPerWalk(), 4.0);
+}
+
+TEST(WalkExperiment, WalkOffLeavesResultUnmodeled)
+{
+    auto workload = workloads::findWorkload("li").instantiate();
+    TlbConfig tlb;
+    RunOptions options;
+    options.maxRefs = 50'000;
+    const auto result = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), tlb, options);
+    EXPECT_FALSE(result.walkModeled);
+    EXPECT_EQ(result.walk.walks, 0u);
+    EXPECT_EQ(result.cpiWalk, 0.0);
+}
+
+TEST(WalkExperiment, SweepScheduleIndependentWithWalkOn)
+{
+    auto buildSweep = [](unsigned threads) {
+        RunOptions options;
+        options.maxRefs = 60'000;
+        options.warmupRefs = 15'000;
+        options.walk.enabled = true;
+        SweepRunner sweep;
+        sweep.workloads({"li", "espresso", "doduc"})
+            .options(options)
+            .threads(threads);
+        for (const std::size_t entries : {16, 64}) {
+            TlbConfig tlb;
+            tlb.organization = TlbOrganization::FullyAssociative;
+            tlb.entries = entries;
+            sweep.configuration(
+                tlb, PolicySpec::twoSizes(testPolicy()));
+        }
+        return sweep.run();
+    };
+    const auto serial = buildSweep(1);
+    const auto parallel = buildSweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameWalk(serial[i].result, parallel[i].result,
+                       "cell " + std::to_string(i));
+}
+
+TEST(WalkExperiment, VictimOrganizationMatchesFaOracle)
+{
+    // FA(8)+victim(8) vs FA(16) through the full driver, hit-for-hit.
+    // Single-size policy: no promotions, so no shootdowns — the
+    // regime where the exclusivity argument is exact.
+    auto workload = workloads::findWorkload("espresso").instantiate();
+    RunOptions options;
+    options.maxRefs = 100'000;
+
+    TlbConfig victim;
+    victim.organization = TlbOrganization::Victim;
+    victim.entries = 8;
+    victim.victimEntries = 8;
+    const auto with_victim = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), victim, options);
+
+    TlbConfig oracle;
+    oracle.organization = TlbOrganization::FullyAssociative;
+    oracle.entries = 16;
+    const auto flat = runExperiment(
+        *workload, PolicySpec::single(kLog2_4K), oracle, options);
+
+    EXPECT_EQ(with_victim.tlb.hits, flat.tlb.hits);
+    EXPECT_EQ(with_victim.tlb.misses, flat.tlb.misses);
+    ASSERT_TRUE(with_victim.victimModeled);
+    EXPECT_GT(with_victim.victim.victimHits, 0u);
+    EXPECT_FALSE(flat.victimModeled);
+}
+
+TEST(WalkExperiment, VictimStatsExportedUnderWalkNamespace)
+{
+    auto workload = workloads::findWorkload("li").instantiate();
+    RunOptions options;
+    options.maxRefs = 40'000;
+    options.walk.enabled = true;
+    TlbConfig tlb;
+    tlb.organization = TlbOrganization::Victim;
+    tlb.entries = 8;
+    tlb.victimEntries = 16;
+    const auto result = runExperiment(
+        *workload, PolicySpec::twoSizes(testPolicy()), tlb,
+        options);
+    ASSERT_TRUE(result.walkModeled);
+    ASSERT_TRUE(result.victimModeled);
+
+    obs::StatRegistry registry;
+    result.exportTo(registry, "cell");
+    std::ostringstream json;
+    registry.writeJson(json);
+    const std::string text = json.str();
+    EXPECT_NE(text.find("cell.walk.cycles"), std::string::npos);
+    EXPECT_NE(text.find("cell.cpi_walk"), std::string::npos);
+    EXPECT_NE(text.find("cell.walk.victim_hits"), std::string::npos);
+    EXPECT_NE(text.find("cell.walk.victim_fills"), std::string::npos);
+}
+
+} // namespace
+} // namespace tps::core

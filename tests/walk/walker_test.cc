@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the radix page walker (walk/walk.h): structural
+ * level counts per page size, the exact integer cycle identity, and
+ * PWC determinism (two walkers fed the same miss sequence produce
+ * byte-identical counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "walk/walk.h"
+
+namespace tps::walk
+{
+namespace
+{
+
+WalkConfig
+noPwc()
+{
+    WalkConfig config;
+    config.enabled = true;
+    config.pwcEntries = 0;
+    return config;
+}
+
+TEST(PageWalker, SmallLeafWalksEveryLevel)
+{
+    PageWalker walker(noPwc());
+    const unsigned accesses = walker.walk(0x1234'5000, kLog2_4K);
+    EXPECT_EQ(accesses, 4u);
+    EXPECT_EQ(walker.stats().walks, 1u);
+    EXPECT_EQ(walker.stats().walksLarge, 0u);
+    EXPECT_EQ(walker.stats().levelsTouched, 4u);
+    EXPECT_EQ(walker.stats().levelAccesses, 4u);
+    // 4 levels x 5 cycles = the paper's 20-cycle flat constant.
+    EXPECT_EQ(walker.stats().cycles, 20u);
+}
+
+TEST(PageWalker, LargeLeafTerminatesOneLevelEarly)
+{
+    PageWalker walker(noPwc());
+    const unsigned accesses = walker.walk(0x1234'8000, kLog2_32K);
+    EXPECT_EQ(accesses, 3u);
+    EXPECT_EQ(walker.stats().walksLarge, 1u);
+    EXPECT_EQ(walker.stats().levelsTouched, 3u);
+    EXPECT_EQ(walker.stats().cycles, 15u);
+}
+
+TEST(PageWalker, StructuralDepthIgnoresPwcAbsorption)
+{
+    WalkConfig config;
+    config.enabled = true; // default 16-entry PWC stays on
+    PageWalker walker(config);
+    walker.walk(0x4000'0000, kLog2_4K);
+    walker.walk(0x4000'0000, kLog2_4K); // PWC-warm revisit
+    // levelsTouched counts what the table format requires, not what
+    // the PWC absorbed: 4 + 4, even though the second walk accessed
+    // only the leaf.
+    EXPECT_EQ(walker.stats().levelsTouched, 8u);
+    EXPECT_LT(walker.stats().levelAccesses, 8u);
+}
+
+TEST(PageWalker, PwcHitSkipsCachedLevels)
+{
+    WalkConfig config;
+    config.enabled = true;
+    PageWalker walker(config);
+    walker.walk(0x4000'0000, kLog2_4K);
+    EXPECT_EQ(walker.stats().pwcHits, 0u);
+    // Same page again: the level-2 entry (the leaf table pointer) is
+    // now cached, so only the leaf level is accessed.
+    const unsigned accesses = walker.walk(0x4000'0000, kLog2_4K);
+    EXPECT_EQ(accesses, 1u);
+    EXPECT_EQ(walker.stats().pwcHits, 1u);
+    EXPECT_EQ(walker.stats().levelAccesses, 5u);
+}
+
+TEST(PageWalker, CycleIdentityHoldsExactly)
+{
+    // cycles == cyclesPerLevel * levelAccesses + pwcHitCycles *
+    // pwcHits, with no floating-point slack: the invariant cpi_walk
+    // reconciliation rests on.
+    WalkConfig config;
+    config.enabled = true;
+    config.pwcEntries = 8;
+    config.pwcWays = 2;
+    PageWalker walker(config);
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 20'000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr vaddr = static_cast<Addr>(state >> 20);
+        const unsigned size =
+            (state & 3) == 0 ? kLog2_32K : kLog2_4K;
+        walker.walk(vaddr, size);
+    }
+    const WalkStats &s = walker.stats();
+    EXPECT_EQ(s.walks, 20'000u);
+    EXPECT_EQ(s.cycles,
+              std::uint64_t{config.cyclesPerLevel} * s.levelAccesses +
+                  std::uint64_t{config.pwcHitCycles} * s.pwcHits);
+    EXPECT_GT(s.pwcHits, 0u);
+}
+
+TEST(PageWalker, DeterministicAcrossInstances)
+{
+    WalkConfig config;
+    config.enabled = true;
+    auto drive = [&](PageWalker &walker) {
+        std::uint64_t state = 99;
+        for (int i = 0; i < 50'000; ++i) {
+            state = state * 2862933555777941757ull + 3037000493ull;
+            walker.walk(static_cast<Addr>(state >> 16),
+                        (state & 7) < 2 ? kLog2_32K : kLog2_4K);
+        }
+    };
+    PageWalker a(config);
+    PageWalker b(config);
+    drive(a);
+    drive(b);
+    EXPECT_EQ(a.stats().walks, b.stats().walks);
+    EXPECT_EQ(a.stats().levelsTouched, b.stats().levelsTouched);
+    EXPECT_EQ(a.stats().levelAccesses, b.stats().levelAccesses);
+    EXPECT_EQ(a.stats().pwcLookups, b.stats().pwcLookups);
+    EXPECT_EQ(a.stats().pwcHits, b.stats().pwcHits);
+    EXPECT_EQ(a.stats().pwcEvictions, b.stats().pwcEvictions);
+    EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+}
+
+TEST(PageWalker, ResetStatsKeepsPwcContents)
+{
+    WalkConfig config;
+    config.enabled = true;
+    PageWalker walker(config);
+    walker.walk(0x4000'0000, kLog2_4K);
+    walker.resetStats();
+    EXPECT_EQ(walker.stats().walks, 0u);
+    // The PWC survived the warmup boundary: the revisit still hits.
+    walker.walk(0x4000'0000, kLog2_4K);
+    EXPECT_EQ(walker.stats().pwcHits, 1u);
+
+    walker.reset();
+    walker.resetStats();
+    walker.walk(0x4000'0000, kLog2_4K);
+    EXPECT_EQ(walker.stats().pwcHits, 0u); // reset() cleared contents
+}
+
+TEST(WalkStats, DeltaSinceSubtractsEveryField)
+{
+    WalkConfig config;
+    config.enabled = true;
+    PageWalker walker(config);
+    walker.walk(0x1000, kLog2_4K);
+    const WalkStats snapshot = walker.stats();
+    walker.walk(0x2000'0000, kLog2_4K);
+    walker.walk(0x2000'0000, kLog2_32K);
+    const WalkStats delta = walker.stats().deltaSince(snapshot);
+    EXPECT_EQ(delta.walks, 2u);
+    EXPECT_EQ(delta.walksLarge, 1u);
+    EXPECT_EQ(delta.levelsTouched, 7u);
+    EXPECT_EQ(delta.cycles,
+              walker.stats().cycles - snapshot.cycles);
+}
+
+} // namespace
+} // namespace tps::walk

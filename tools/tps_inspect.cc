@@ -16,6 +16,10 @@
  *   - TLB-eviction dwell distribution per eviction stream: log2
  *     buckets of probes survived between fill and eviction (short
  *     dwells = entries evicted before they earned their slot)
+ *   - victim-TLB summary (when victim_hit/victim_evict streams are
+ *     present): the primary's tlb_evict stream is the victim array's
+ *     refill stream, so the rescue rate (victim hits per refill) and
+ *     the rescued entries' dwell fall straight out of the log
  *
  * --vpn V (decimal or 0x-hex) prints a chronological timeline of
  * every kept event whose "vpn" or "chunk" operand equals V, merged
@@ -218,6 +222,69 @@ printDwellHistograms(const std::vector<StreamView> &streams)
         std::printf("  (no eviction events with dwell)\n");
 }
 
+/** Does @p name identify stream @p base (tagged variants included)? */
+bool
+streamIs(const std::string &name, const char *base)
+{
+    const std::size_t len = std::strlen(base);
+    return name.compare(0, len, base) == 0 &&
+           (name.size() == len || name[len] == '.');
+}
+
+/**
+ * Victim-TLB summary: when a VictimTlb ran, the primary's tlb_evict
+ * stream doubles as the victim array's refill stream (every eviction
+ * parks the casualty there), and victim_hit / victim_evict record
+ * what the array gave back vs aged out.  Quantify the rescue rate:
+ * hits per refill, with the mean victim dwell of rescued entries.
+ */
+void
+printVictimSummary(const std::vector<StreamView> &streams)
+{
+    std::uint64_t refills = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t evicts = 0;
+    std::uint64_t hit_dwell_sum = 0;
+    std::uint64_t hit_dwell_n = 0;
+    bool have_victim = false;
+    for (const StreamView &s : streams) {
+        if (streamIs(s.name, "tlb_evict")) {
+            refills += s.seen;
+        } else if (streamIs(s.name, "victim_hit")) {
+            have_victim = true;
+            hits += s.seen;
+            const std::size_t dwell_at = s.fieldIndex("dwell");
+            if (dwell_at == std::string::npos || s.events == nullptr)
+                continue;
+            for (const JsonValue &row : s.events->array) {
+                if (row.array.size() <= dwell_at)
+                    continue;
+                hit_dwell_sum += asU64(row.array[dwell_at]);
+                ++hit_dwell_n;
+            }
+        } else if (streamIs(s.name, "victim_evict")) {
+            have_victim = true;
+            evicts += s.seen;
+        }
+    }
+    if (!have_victim)
+        return;
+    std::printf("\n  victim TLB: %llu refill(s) (primary tlb_evict), "
+                "%llu rescued, %llu aged out",
+                static_cast<unsigned long long>(refills),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(evicts));
+    if (refills > 0)
+        std::printf(" (rescue rate %.1f%%)",
+                    100.0 * static_cast<double>(hits) /
+                        static_cast<double>(refills));
+    if (hit_dwell_n > 0)
+        std::printf(", mean rescued dwell %.0f probes",
+                    static_cast<double>(hit_dwell_sum) /
+                        static_cast<double>(hit_dwell_n));
+    std::printf("\n");
+}
+
 void
 printTimeline(const std::vector<StreamView> &streams, std::uint64_t vpn)
 {
@@ -358,6 +425,7 @@ main(int argc, char **argv)
                 printChurnTable(streams, top);
                 std::printf("\n");
                 printDwellHistograms(streams);
+                printVictimSummary(streams);
             }
             std::printf("\n");
         }

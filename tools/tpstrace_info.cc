@@ -1,16 +1,23 @@
 /**
  * @file
  * CLI: print the header and descriptive statistics of a .tps trace
- * file (the Table 3.1 columns for an external trace).
+ * file (the Table 3.1 columns for an external trace), plus the
+ * per-level page-table footprint under the default radix-walk
+ * geometry — how many distinct L4/L3/L2/L1 entries the trace's
+ * address set populates, i.e. the table working set a structural
+ * walker (src/walk) would traverse.
  *
  * Usage: tpstrace_info <trace.tps>
  */
 
 #include <iostream>
+#include <unordered_set>
+#include <vector>
 
 #include "trace/trace_file.h"
 #include "trace/trace_stats.h"
 #include "util/format.h"
+#include "walk/walk.h"
 
 int
 main(int argc, char **argv)
@@ -36,5 +43,39 @@ main(int argc, char **argv)
               << "footprint:   " << formatBytes(stats.footprintBytes())
               << " (" << stats.codePages4k << " code + "
               << stats.dataPages4k << " data 4KB pages)\n";
+
+    // Per-level page-table footprint: distinct table entries at each
+    // radix level.  The L1 (leaf) set is the distinct 4K-page set; a
+    // level-k prefix is its child's prefix shifted down bitsPerLevel
+    // more, so each level folds from the one below it.
+    const walk::WalkConfig geom;
+    reader.reset();
+    std::unordered_set<std::uint64_t> entries;
+    MemRef ref;
+    while (reader.next(ref))
+        entries.insert(static_cast<std::uint64_t>(ref.vaddr) >>
+                       geom.pageShift);
+    std::cout << "page table:  ";
+    std::uint64_t total_entries = 0;
+    std::vector<std::uint64_t> prev(entries.begin(), entries.end());
+    for (unsigned level = 1; level <= geom.levels; ++level) {
+        if (level > 1) {
+            std::unordered_set<std::uint64_t> up;
+            for (std::uint64_t prefix : prev)
+                up.insert(prefix >> geom.bitsPerLevel);
+            prev.assign(up.begin(), up.end());
+            std::cout << ", ";
+        }
+        total_entries += prev.size();
+        std::cout << "L" << level << " "
+                  << withCommas(prev.size());
+    }
+    std::cout << " entries (" << geom.levels << "-level radix, "
+              << geom.bitsPerLevel << " bits/level)\n"
+              << "walk depth:  " << geom.levels << " levels per 4K "
+              << "miss, " << geom.levels - 1
+              << " per >=" << formatBytes(std::uint64_t{1}
+                                          << geom.largeLeafLog2)
+              << " miss\n";
     return 0;
 }
